@@ -1,0 +1,1 @@
+bench/bench_kernels.ml: Analyze Bechamel Benchmark Bits Cpu Fpga Hashtbl Hw Instance List Md5 Measure Melastic Printf Staged Test Time Toolkit

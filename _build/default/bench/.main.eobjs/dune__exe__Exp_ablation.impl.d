@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Fpga Hw List Melastic Printf Random Workload

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Char Hw List Melastic Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bits Elastic Hw List Printf String Workload

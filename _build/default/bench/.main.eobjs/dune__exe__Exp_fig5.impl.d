@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Hw Melastic Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_granularity.ml: Hw List Melastic Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_ipc.ml: Array Buffer Cpu Hw List Melastic Printf

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Cpu Format Fpga Hw List Md5 Melastic Printf

@@ -1,0 +1,1 @@
+bench/exp_throughput.ml: Float Fun Hw List Melastic Printf Workload

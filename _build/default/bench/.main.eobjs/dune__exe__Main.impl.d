@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_kernels Exp_ablation Exp_fig1 Exp_fig2 Exp_fig5 Exp_granularity Exp_ipc Exp_table1 Exp_throughput List String Sys

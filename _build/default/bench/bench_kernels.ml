@@ -1,0 +1,78 @@
+(* Bechamel microbenchmarks of the kernels behind each reproduced
+   table/figure: one Test.make per experiment's simulation substrate.
+   These measure host-side simulator performance (ns per simulated
+   cycle), not the modelled hardware. *)
+
+open Bechamel
+open Toolkit
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let meb_pipeline_sim kind =
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads:8 ~width:32 in
+  let out, _ = Melastic.Meb.pipeline ~kind b ~stages:2 src in
+  Mc.sink b ~name:"snk" out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  Hw.Sim.poke_int sim "snk_ready" 255;
+  sim
+
+let md5_sim () =
+  let sim = Hw.Sim.create (Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~threads:8 ()) in
+  Hw.Sim.poke_int sim "digest_ready" 255;
+  sim
+
+let cpu_sim () =
+  let config = Cpu.Mt_pipeline.default_config ~threads:8 in
+  let circuit, t = Cpu.Mt_pipeline.circuit config in
+  let sim = Hw.Sim.create circuit in
+  (* An infinite loop keeps every stage busy while we benchmark. *)
+  Cpu.Mt_pipeline.load_program sim t
+    (Cpu.Asm.assemble_words "loop: addi r1, r1, 1\nsw r1, 0(r2)\nj loop\n");
+  sim
+
+let tests () =
+  let cycle_test name sim =
+    Test.make ~name (Staged.stage (fun () -> Hw.Sim.cycle sim))
+  in
+  [ Test.make ~name:"bits: 128-bit add"
+      (let a = Bits.of_hex_string ~width:128 "deadbeefcafebabe0123456789abcdef" in
+       let b = Bits.of_hex_string ~width:128 "0123456789abcdefdeadbeefcafebabe" in
+       Staged.stage (fun () -> ignore (Bits.add a b)));
+    cycle_test "sim cycle: fig5 MEB pipeline (full, 8T)" (meb_pipeline_sim Melastic.Meb.Full);
+    cycle_test "sim cycle: fig5 MEB pipeline (reduced, 8T)"
+      (meb_pipeline_sim Melastic.Meb.Reduced);
+    cycle_test "sim cycle: table1 MD5 (reduced, 8T)" (md5_sim ());
+    cycle_test "sim cycle: table1 CPU (reduced, 8T)" (cpu_sim ());
+    Test.make ~name:"md5 reference digest"
+      (Staged.stage (fun () -> ignore (Md5.Md5_ref.digest "benchmark message")));
+    Test.make ~name:"table1 area model: MEB 8T"
+      (let b = S.Builder.create () in
+       let src = Mc.source b ~name:"src" ~threads:8 ~width:32 in
+       let m = Melastic.Meb.create ~kind:Melastic.Meb.Reduced b src in
+       Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+       let c = Hw.Circuit.create b in
+       Staged.stage (fun () -> ignore (Fpga.Tech.circuit_cost c))) ]
+
+let run () =
+  print_endline "=== Bechamel: simulator kernel microbenchmarks ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n" name)
+        results)
+    (tests ());
+  print_newline ()

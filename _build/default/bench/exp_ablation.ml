@@ -1,0 +1,74 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   1. MEB cost scaling: standalone MEB area (32-bit payload) for
+      S in {2,4,8,16}, full vs reduced — shows where the paper's
+      savings come from (slots: 2S vs S+1) and that they grow with S.
+   2. Payload-width scaling at S = 8: savings as the datapath widens.
+   3. Arbitration-policy ablation: ready-aware vs valid-only grant
+      throughput on a 2-stage pipeline under random per-thread sink
+      stalls (ready-aware never wastes a granted slot). *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let meb_circuit ~kind ~threads ~width =
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m = Melastic.Meb.create ~kind b src in
+  Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+  Hw.Circuit.create b
+
+let area ~kind ~threads ~width =
+  Fpga.Tech.les (Fpga.Tech.circuit_cost (meb_circuit ~kind ~threads ~width))
+
+let policy_throughput ~policy ~seed =
+  let threads = 4 in
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width:32 in
+  let out, _ = Melastic.Meb.pipeline ~kind:Melastic.Meb.Reduced ~policy b ~stages:2 src in
+  Mc.sink b ~name:"snk" out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width:32 in
+  for t = 0 to threads - 1 do
+    for i = 0 to 199 do Workload.Mt_driver.push_int d ~thread:t i done
+  done;
+  let st = Random.State.make [| seed |] in
+  let script = Array.init 1000 (fun _ -> Array.init threads (fun _ -> Random.State.bool st)) in
+  Workload.Mt_driver.set_sink_ready d (fun c t -> script.(c mod 1000).(t));
+  Workload.Mt_driver.run d 400;
+  float_of_int (List.length (Workload.Mt_driver.outputs d)) /. 400.0
+
+let run () =
+  print_endline "=== Ablation 1: standalone MEB area, 32-bit payload ===";
+  Printf.printf "%-8s %-10s %-10s %-10s %-8s\n" "threads" "full(LE)" "reduced" "saving%"
+    "slots 2S vs S+1";
+  List.iter
+    (fun s ->
+      let f = area ~kind:Melastic.Meb.Full ~threads:s ~width:32 in
+      let r = area ~kind:Melastic.Meb.Reduced ~threads:s ~width:32 in
+      Printf.printf "%-8d %-10d %-10d %-10.1f %d vs %d\n" s f r
+        (100.0 *. (1.0 -. (float_of_int r /. float_of_int f)))
+        (2 * s) (s + 1))
+    [ 2; 4; 8; 16 ];
+  print_newline ();
+  print_endline "=== Ablation 2: payload width at 8 threads ===";
+  Printf.printf "%-8s %-10s %-10s %-10s\n" "width" "full(LE)" "reduced" "saving%";
+  List.iter
+    (fun w ->
+      let f = area ~kind:Melastic.Meb.Full ~threads:8 ~width:w in
+      let r = area ~kind:Melastic.Meb.Reduced ~threads:8 ~width:w in
+      Printf.printf "%-8d %-10d %-10d %-10.1f\n" w f r
+        (100.0 *. (1.0 -. (float_of_int r /. float_of_int f))))
+    [ 8; 32; 64; 128 ];
+  print_newline ();
+  print_endline "=== Ablation 3: arbitration policy under random sink stalls ===";
+  List.iter
+    (fun (policy, name) ->
+      let avg =
+        List.fold_left (fun acc seed -> acc +. policy_throughput ~policy ~seed) 0.0
+          [ 3; 17; 91 ]
+        /. 3.0
+      in
+      Printf.printf "%-12s total channel throughput: %.3f tokens/cycle\n" name avg)
+    [ (Melastic.Policy.Ready_aware, "ready-aware"); (Melastic.Policy.Valid_only, "valid-only") ];
+  print_newline ()

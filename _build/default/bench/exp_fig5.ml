@@ -1,0 +1,71 @@
+(* Fig. 5 reproduction: a 2-stage pipeline of MEBs carrying two
+   threads; thread B's consumer stalls, then releases.  The paper's
+   schedule tables show (a) full MEBs keep thread A at full channel
+   throughput during the stall, while (b) reduced MEBs degrade A to
+   1/2 once B's backpressure reaches the source and B's stalled items
+   occupy every shared slot. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let stall_from = 6
+let stall_to = 26
+let horizon = 40
+
+let run_one kind =
+  let b = S.Builder.create () in
+  let threads = 2 and width = 32 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb.create ~name:"MEB#0" ~kind b src in
+  let mid = Mc.probe b m0.Melastic.Meb.out ~name:"mid" in
+  let m1 = Melastic.Meb.create ~name:"MEB#1" ~kind b mid in
+  ignore (S.output b "occ0" m0.Melastic.Meb.occupancy);
+  ignore (S.output b "occ1" m1.Melastic.Meb.occupancy);
+  Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  let stats = Workload.Stats.attach sim ~signals:[ "occ0"; "occ1" ] in
+  let sched =
+    Workload.Schedule.attach sim ~threads ~probes:[ "src"; "mid"; "snk" ]
+  in
+  for t = 0 to 1 do
+    for i = 0 to 39 do
+      Workload.Mt_driver.push d ~thread:t (Workload.Trace.encode_tag ~width ~thread:t ~seq:i)
+    done
+  done;
+  Workload.Mt_driver.set_sink_ready d (fun c t ->
+      t = 0 || c < stall_from || c > stall_to);
+  Workload.Mt_driver.run d horizon;
+  (d, sched, stats)
+
+let report kind =
+  let d, sched, stats = run_one kind in
+  Printf.printf "--- Fig. 5 (%s MEBs): thread B stalls at cycle %d, releases after %d ---\n"
+    (Melastic.Meb.kind_to_string kind) stall_from stall_to;
+  print_string (Workload.Schedule.render sched ~from_cycle:0 ~to_cycle:(horizon - 1));
+  let tput t from_ to_ = Workload.Mt_driver.throughput d ~thread:t ~from_cycle:from_ ~to_cycle:to_ in
+  let a_before = tput 0 0 (stall_from - 1) in
+  let a_during = tput 0 (stall_from + 6) stall_to in
+  let a_after = tput 0 (stall_to + 4) (horizon - 1) in
+  Printf.printf
+    "thread A throughput: before stall %.2f | during B-stall %.2f | after release %.2f\n"
+    a_before a_during a_after;
+  Printf.printf
+    "mean slot occupancy: MEB#0 %.2f, MEB#1 %.2f (capacity %d each)\n"
+    (Workload.Stats.mean stats "occ0")
+    (Workload.Stats.mean stats "occ1")
+    (Melastic.Meb.capacity ~kind ~threads:2);
+  a_during
+
+let run () =
+  print_endline "=== Fig. 5: full vs reduced MEB pipelines under a thread stall ===";
+  let full = report Melastic.Meb.Full in
+  print_newline ();
+  let reduced = report Melastic.Meb.Reduced in
+  print_newline ();
+  Printf.printf
+    "paper: full MEB lets the active thread keep ~100%% during the stall;\n\
+    \       reduced MEB drops it to ~50%% (one effective slot per channel).\n";
+  Printf.printf "measured: full %.2f vs reduced %.2f  ->  %s\n\n" full reduced
+    (if full > 0.9 && reduced > 0.4 && reduced < 0.6 then "shape reproduced"
+     else "UNEXPECTED")

@@ -1,0 +1,53 @@
+(* Reproduction harness: regenerates every figure and table of the
+   paper's evaluation (see DESIGN.md's experiment index), then runs the
+   Bechamel microbenchmarks of the simulation kernels.
+
+   Usage:
+     main.exe                 run everything
+     main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels
+     main.exe table1 --threads 16 *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels] [--threads N]";
+  exit 2
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let threads =
+    let rec find = function
+      | "--threads" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> 8
+    in
+    find args
+  in
+  let cmds =
+    List.filter (fun a -> String.length a > 0 && a.[0] <> '-') (List.tl args)
+  in
+  let cmds =
+    List.filter
+      (fun a -> not (String.for_all (fun c -> c >= '0' && c <= '9') a))
+      cmds
+  in
+  match cmds with
+  | [] ->
+    Exp_fig1.run ();
+    Exp_fig2.run ();
+    Exp_fig5.run ();
+    Exp_throughput.run ();
+    Exp_table1.run_all ();
+    Exp_ablation.run ();
+    Exp_ipc.run ();
+    Exp_granularity.run ();
+    Bench_kernels.run ()
+  | [ "fig1" ] -> Exp_fig1.run ()
+  | [ "fig2" ] -> Exp_fig2.run ()
+  | [ "fig5" ] -> Exp_fig5.run ()
+  | [ "throughput" ] -> Exp_throughput.run ()
+  | [ "table1" ] -> ignore (Exp_table1.run ~threads ())
+  | [ "ablation" ] -> Exp_ablation.run ()
+  | [ "ipc" ] -> Exp_ipc.run ()
+  | [ "granularity" ] -> Exp_granularity.run ()
+  | [ "kernels" ] -> Bench_kernels.run ()
+  | _ -> usage ()

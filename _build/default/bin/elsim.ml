@@ -1,0 +1,242 @@
+(* elsim — command-line driver for the multithreaded elastic systems
+   library.
+
+     elsim asm FILE            assemble to hex words
+     elsim run FILE            assemble and run on the elastic pipeline
+     elsim md5 MSG...          hash messages on the MT elastic MD5 circuit
+     elsim report              area/Fmax report for the Table I designs
+     elsim vcd FILE            dump a VCD of the Fig. 5 stall scenario *)
+
+open Cmdliner
+
+let kind_conv =
+  let parse = function
+    | "full" -> Ok Melastic.Meb.Full
+    | "reduced" -> Ok Melastic.Meb.Reduced
+    | s -> Error (`Msg (Printf.sprintf "unknown MEB kind %S (full|reduced)" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Melastic.Meb.kind_to_string k))
+
+let kind_arg =
+  Arg.(value & opt kind_conv Melastic.Meb.Reduced
+       & info [ "kind" ] ~docv:"KIND" ~doc:"MEB kind: full or reduced.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Number of threads.")
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- asm --- *)
+
+let asm_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match Cpu.Asm.assemble (read_file file) with
+    | words, _ ->
+      List.iteri (fun i w -> Printf.printf "%04x: %08x\n" i w) words;
+      `Ok ()
+    | exception Cpu.Asm.Error msg ->
+      Printf.eprintf "assembly error: %s\n" msg;
+      `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble a program and print the words.")
+    Term.(ret (const run $ file))
+
+(* --- run --- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let limit =
+    Arg.(value & opt int 100000 & info [ "limit" ] ~docv:"CYCLES" ~doc:"Cycle budget.")
+  in
+  let run file threads kind limit =
+    match Cpu.Asm.assemble_words (read_file file) with
+    | exception Cpu.Asm.Error msg ->
+      Printf.eprintf "assembly error: %s\n" msg;
+      `Error (false, msg)
+    | words ->
+      let config =
+        { (Cpu.Mt_pipeline.default_config ~threads) with Cpu.Mt_pipeline.kind }
+      in
+      let circuit, t = Cpu.Mt_pipeline.circuit config in
+      let sim = Hw.Sim.create circuit in
+      Cpu.Mt_pipeline.load_program sim t words;
+      Hw.Sim.settle sim;
+      (match Cpu.Mt_pipeline.run_until_halted sim ~limit with
+       | None ->
+         Printf.printf "did not halt within %d cycles\n" limit;
+         `Ok ()
+       | Some cycles ->
+         Printf.printf "halted after %d cycles, %d instructions retired\n" cycles
+           (Hw.Sim.peek_int sim "retired_total");
+         for th = 0 to threads - 1 do
+           Printf.printf "thread %d:" th;
+           for r = 1 to Cpu.Isa.num_regs - 1 do
+             let v = Cpu.Mt_pipeline.read_reg sim t ~thread:th ~reg:r in
+             if v <> 0 then Printf.printf " r%d=%d" r v
+           done;
+           print_newline ()
+         done;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Assemble and run a program on the MT elastic pipeline.")
+    Term.(ret (const run $ file $ threads_arg $ kind_arg $ limit))
+
+(* --- md5 --- *)
+
+let md5_cmd =
+  let msgs = Arg.(non_empty & pos_all string [] & info [] ~docv:"MSG") in
+  let run kind msgs =
+    let threads = List.length msgs in
+    let sim = Hw.Sim.create (Md5.Md5_circuit.circuit ~kind ~threads ()) in
+    let digests = Md5.Md5_host.hash_messages sim msgs in
+    List.iter2 (fun m dgst -> Printf.printf "%s  %S\n" dgst m) msgs digests;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "md5" ~doc:"Hash messages (any length) on the MT elastic MD5 circuit.")
+    Term.(ret (const run $ kind_arg $ msgs))
+
+(* --- report --- *)
+
+let report_cmd =
+  let run threads =
+    let rows =
+      List.concat_map
+        (fun kind ->
+          let md5 =
+            Fpga.Report.of_circuit
+              ~label:(Printf.sprintf "MD5 %s %dT" (Melastic.Meb.kind_to_string kind) threads)
+              (Md5.Md5_circuit.circuit ~kind ~threads ())
+          in
+          let cpu =
+            let config =
+              { (Cpu.Mt_pipeline.default_config ~threads) with Cpu.Mt_pipeline.kind }
+            in
+            Fpga.Report.of_circuit
+              ~label:(Printf.sprintf "CPU %s %dT" (Melastic.Meb.kind_to_string kind) threads)
+              (fst (Cpu.Mt_pipeline.circuit config))
+          in
+          [ md5; cpu ])
+        [ Melastic.Meb.Full; Melastic.Meb.Reduced ]
+    in
+    Fpga.Report.pp_table Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Area / Fmax report for the Table I designs.")
+    Term.(const run $ threads_arg)
+
+(* --- vcd --- *)
+
+let vcd_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run kind out =
+    let module S = Hw.Signal in
+    let module Mc = Melastic.Mt_channel in
+    let b = S.Builder.create () in
+    let threads = 2 and width = 32 in
+    let src = Mc.source b ~name:"src" ~threads ~width in
+    let m0 = Melastic.Meb.create ~name:"meb0" ~kind b src in
+    let mid = Mc.probe b m0.Melastic.Meb.out ~name:"mid" in
+    let m1 = Melastic.Meb.create ~name:"meb1" ~kind b mid in
+    Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
+    let circuit = Hw.Circuit.create b in
+    let sim = Hw.Sim.create circuit in
+    let signals =
+      List.filter_map
+        (fun n ->
+          match Hw.Circuit.find_named circuit n with
+          | s -> Some (n, s)
+          | exception Invalid_argument _ -> None)
+        [ "src_valid"; "src_ready"; "src_data"; "mid_valid"; "mid_ready";
+          "mid_data"; "snk_valid"; "snk_fire" ]
+    in
+    let vcd = Hw.Vcd.attach sim ~path:out ~signals in
+    let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+    for t = 0 to 1 do
+      for i = 0 to 19 do
+        Workload.Mt_driver.push_int d ~thread:t ((t * 256) + i)
+      done
+    done;
+    Workload.Mt_driver.set_sink_ready d (fun c t -> t = 0 || c < 6 || c > 20);
+    Workload.Mt_driver.run d 60;
+    Hw.Vcd.close vcd;
+    Printf.printf "wrote %s (%d cycles of the Fig. 5 stall scenario)\n" out 60
+  in
+  Cmd.v
+    (Cmd.info "vcd" ~doc:"Dump a VCD waveform of the Fig. 5 stall scenario.")
+    Term.(const run $ kind_arg $ out)
+
+(* --- tb: DUT + self-checking testbench from a recorded run --- *)
+
+let tb_cmd =
+  let dut = Arg.(required & pos 0 (some string) None & info [] ~docv:"DUT.v") in
+  let tbf = Arg.(required & pos 1 (some string) None & info [] ~docv:"TB.v") in
+  let run kind dut tbf =
+    (* Record the Fig. 5 stall scenario and emit DUT + testbench. *)
+    let module S = Hw.Signal in
+    let module Mc = Melastic.Mt_channel in
+    let b = S.Builder.create () in
+    let threads = 2 and width = 32 in
+    let src = Mc.source b ~name:"src" ~threads ~width in
+    let m0 = Melastic.Meb.create ~name:"meb0" ~kind b src in
+    let m1 = Melastic.Meb.create ~name:"meb1" ~kind b m0.Melastic.Meb.out in
+    Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
+    let circuit = Hw.Circuit.create b in
+    let sim = Hw.Sim.create circuit in
+    let tb = Hw.Verilog_tb.attach sim ~outputs:[ "snk_valid"; "snk_fire"; "src_ready" ] in
+    let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+    for t = 0 to 1 do
+      for i = 0 to 9 do Workload.Mt_driver.push_int d ~thread:t ((t * 256) + i) done
+    done;
+    Workload.Mt_driver.set_sink_ready d (fun c t -> t = 0 || c < 4 || c > 14);
+    Workload.Mt_driver.run d 40;
+    Hw.Verilog_tb.write_with_dut ~module_name:"meb_pipeline" tb ~dut_path:dut
+      ~tb_path:tbf;
+    Printf.printf "wrote %s and %s (40 recorded cycles); run with:\n" dut tbf;
+    Printf.printf "  iverilog -o tb %s %s && ./tb\n" dut tbf
+  in
+  Cmd.v
+    (Cmd.info "tb"
+       ~doc:"Emit a DUT and self-checking testbench from a recorded simulation.")
+    Term.(const run $ kind_arg $ dut $ tbf)
+
+(* --- verilog --- *)
+
+let verilog_cmd =
+  let design =
+    Arg.(required & pos 0 (some (enum [ ("md5", `Md5); ("cpu", `Cpu) ])) None
+         & info [] ~docv:"DESIGN" ~doc:"md5 or cpu")
+  in
+  let out = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run design kind threads out =
+    let circuit =
+      match design with
+      | `Md5 -> Md5.Md5_circuit.circuit ~kind ~threads ()
+      | `Cpu ->
+        let config =
+          { (Cpu.Mt_pipeline.default_config ~threads) with Cpu.Mt_pipeline.kind }
+        in
+        fst (Cpu.Mt_pipeline.circuit config)
+    in
+    Hw.Verilog.write ~module_name:"top" circuit ~path:out;
+    Printf.printf "wrote %s (%d netlist nodes)\n" out (Hw.Circuit.node_count circuit)
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Emit synthesizable Verilog for a Table I design.")
+    Term.(const run $ design $ kind_arg $ threads_arg $ out)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "elsim" ~version:"1.0.0"
+             ~doc:"Multithreaded elastic systems: simulator and tools.")
+          [ asm_cmd; run_cmd; md5_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))

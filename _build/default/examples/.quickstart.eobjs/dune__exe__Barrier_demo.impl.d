@@ -1,0 +1,1 @@
+examples/barrier_demo.ml: Hw List Melastic Printf Workload

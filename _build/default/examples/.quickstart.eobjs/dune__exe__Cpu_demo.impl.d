@@ -1,0 +1,1 @@
+examples/cpu_demo.ml: Array Buffer Cpu Hw List Melastic Printf

@@ -1,0 +1,1 @@
+examples/cpu_demo.mli:

@@ -1,0 +1,1 @@
+examples/dataflow_demo.ml: Bits Hw List Printf Synth Workload

@@ -1,0 +1,1 @@
+examples/horner_demo.ml: Bits Fpga Hw List Melastic Printf String Workload

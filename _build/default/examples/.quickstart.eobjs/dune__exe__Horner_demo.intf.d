@@ -1,0 +1,1 @@
+examples/horner_demo.mli:

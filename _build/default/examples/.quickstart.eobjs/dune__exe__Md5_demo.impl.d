@@ -1,0 +1,1 @@
+examples/md5_demo.ml: Hw List Md5 Melastic Printf Workload

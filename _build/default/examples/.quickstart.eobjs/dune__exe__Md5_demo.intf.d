@@ -1,0 +1,1 @@
+examples/md5_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bits Hw List Melastic Printf String Workload

@@ -1,0 +1,51 @@
+(* Barrier demo: three threads repeatedly synchronize at a barrier
+   (Fig. 8 of the paper).  Thread arrivals are skewed by a
+   variable-latency unit, yet episodes never interleave: every thread
+   passes episode k before any thread passes episode k+1.
+
+   Run with:  dune exec examples/barrier_demo.exe *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let () =
+  print_endline "-- thread-synchronization barrier (3 threads) --";
+  let b = S.Builder.create () in
+  let threads = 3 and width = 32 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  (* Skew arrivals with a random-latency unit, then buffer, then
+     synchronize. *)
+  let vl =
+    Melastic.Mt_varlat.per_thread ~name:"skew" b src
+      ~latency:(Melastic.Mt_varlat.Random { max_latency = 4; seed = 3 })
+  in
+  let meb =
+    Melastic.Meb.create ~name:"outbuf" ~policy:Melastic.Policy.Valid_only
+      ~kind:Melastic.Meb.Reduced b vl.Melastic.Mt_varlat.out
+  in
+  let bar = Melastic.Barrier.create ~name:"bar" b meb.Melastic.Meb.out in
+  Mc.sink b ~name:"snk" bar.Melastic.Barrier.out;
+  ignore (S.output b "bar_count" bar.Melastic.Barrier.count);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  let episodes = 4 in
+  for e = 0 to episodes - 1 do
+    for t = 0 to threads - 1 do
+      Workload.Mt_driver.push d ~thread:t
+        (Workload.Trace.encode_tag ~width ~thread:t ~seq:e)
+    done
+  done;
+  ignore (Workload.Mt_driver.run_until_drained d ~limit:2000);
+  (* Show the release order and check episode separation. *)
+  print_endline "tokens passing the barrier (cycle: thread/episode):";
+  let last_episode = ref (-1) in
+  let ordered = ref true in
+  List.iter
+    (fun e ->
+      let _, seq = Workload.Trace.decode_tag e.Workload.Mt_driver.data in
+      Printf.printf "  cycle %3d: %s\n" e.Workload.Mt_driver.cycle
+        (Workload.Trace.tag_to_string e.Workload.Mt_driver.data);
+      if seq < !last_episode then ordered := false;
+      last_episode := max !last_episode seq)
+    (Workload.Mt_driver.outputs d);
+  Printf.printf "episodes strictly ordered across all threads: %b\n" !ordered

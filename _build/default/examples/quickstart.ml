@@ -1,0 +1,47 @@
+(* Quickstart: build a 2-thread multithreaded elastic pipeline out of
+   reduced MEBs, stream tagged tokens through it, and watch the
+   channel schedule.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let () =
+  print_endline "-- multithreaded elastic quickstart --";
+  (* 1. Describe the hardware: source -> MEB -> +1 -> MEB -> sink. *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 32 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb.create ~name:"meb0" ~kind:Melastic.Meb.Reduced b src in
+  let plus_one =
+    Mc.map b m0.Melastic.Meb.out ~f:(fun b d -> S.add b d (S.of_int b ~width 1))
+  in
+  let m1 = Melastic.Meb.create ~name:"meb1" ~kind:Melastic.Meb.Reduced b plus_one in
+  Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
+  (* 2. Elaborate and simulate. *)
+  let circuit = Hw.Circuit.create ~name:"quickstart" b in
+  Printf.printf "elaborated %d netlist nodes\n" (Hw.Circuit.node_count circuit);
+  let sim = Hw.Sim.create circuit in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  (* 3. Push work for both threads; thread B's consumer stalls for a
+     while so you can see elasticity absorb it. *)
+  for i = 0 to 9 do
+    Workload.Mt_driver.push_int d ~thread:0 (100 + i);
+    Workload.Mt_driver.push_int d ~thread:1 (200 + i)
+  done;
+  Workload.Mt_driver.set_sink_ready d (fun cycle thread ->
+      thread = 0 || cycle < 4 || cycle > 12);
+  ignore (Workload.Mt_driver.run_until_drained d ~limit:200);
+  (* 4. Inspect the results: per-thread streams arrive complete, in
+     order, incremented by the datapath. *)
+  List.iter
+    (fun t ->
+      let outs =
+        List.map Bits.to_int (Workload.Mt_driver.output_sequence d ~thread:t)
+      in
+      Printf.printf "thread %d received: %s\n" t
+        (String.concat " " (List.map string_of_int outs)))
+    [ 0; 1 ];
+  let total = List.length (Workload.Mt_driver.outputs d) in
+  Printf.printf "total transfers: %d over %d cycles\n" total (Hw.Sim.cycle_no sim)

@@ -1,0 +1,152 @@
+(* Circuit-level arbiters over a request bit-vector, plus pure OCaml
+   reference models used by the test suites.
+
+   Grants are one-hot.  The round-robin arbiter keeps a pointer
+   register: the search for a requester starts at the pointer and the
+   pointer moves one past the granted index whenever [advance] is high
+   (typically "the granted transfer actually happened"). *)
+
+module S = Hw.Signal
+
+(* One-hot fixed-priority grant, bit 0 = highest priority. *)
+let fixed_priority b req =
+  let w = S.width req in
+  if w = 1 then req
+  else begin
+    (* blocked(i) = req(0) | ... | req(i-1), built as a running OR. *)
+    let rec grants i blocked acc =
+      if i >= w then List.rev acc
+      else
+        let r = S.bit b req i in
+        let g = S.land_ b r (S.lnot b blocked) in
+        grants (i + 1) (S.lor_ b blocked r) (g :: acc)
+    in
+    let gs = grants 1 (S.bit b req 0) [ S.bit b req 0 ] in
+    S.concat_msb b (List.rev gs)
+  end
+
+(* Thermometer mask: bit i set iff i >= ptr (ptr given in binary). *)
+let mask_ge b ~width ptr =
+  let bits =
+    List.init width (fun i ->
+        S.lnot b (S.ult b (S.of_int b ~width:(S.width ptr) i) ptr))
+  in
+  S.concat_msb b (List.rev bits)
+
+type round_robin = {
+  grant : S.t; (* one-hot, all zero when no request *)
+  grant_index : S.t; (* binary index of the granted requester *)
+  any_grant : S.t;
+  pointer : S.t; (* current priority pointer, for observability *)
+}
+
+let round_robin b ~advance req =
+  let w = S.width req in
+  if w = 1 then
+    { grant = req; grant_index = S.gnd b; any_grant = req; pointer = S.gnd b }
+  else begin
+    let ptr_w = S.clog2 w in
+    let ptr = S.wire b ptr_w in
+    (* Two-pass priority: first among requests at or above the pointer,
+       otherwise wrap to the plain fixed-priority grant. *)
+    let masked = S.land_ b req (mask_ge b ~width:w ptr) in
+    let grant_hi = fixed_priority b masked in
+    let grant_lo = fixed_priority b req in
+    let any_hi = S.any_bit_set b masked in
+    let grant = S.mux2 b any_hi grant_hi grant_lo in
+    let any_grant = S.any_bit_set b req in
+    let grant_index = S.onehot_to_binary b grant in
+    let grant_index = S.uresize b grant_index ptr_w in
+    (* pointer <- grant_index + 1 (mod w) when an advance happens. *)
+    let next =
+      let inc = S.add b grant_index (S.of_int b ~width:ptr_w 1) in
+      let wrapped =
+        if w = 1 lsl ptr_w then inc
+        else S.mux2 b (S.eq b grant_index (S.of_int b ~width:ptr_w (w - 1)))
+               (S.zero b ptr_w) inc
+      in
+      wrapped
+    in
+    let enable = S.land_ b advance any_grant in
+    let ptr_reg = S.reg b ~enable next in
+    S.assign ptr ptr_reg;
+    { grant; grant_index; any_grant; pointer = ptr_reg }
+  end
+
+(* Sticky (coarse-grained) round-robin: the grant stays with the
+   current owner while it keeps requesting and its quantum has not
+   expired; only then does the pointer move on.  This is the
+   coarse-grained thread interleaving of Ungerer et al. that the
+   paper contrasts with cycle-by-cycle (fine-grained) selection. *)
+let sticky_round_robin b ~advance ~quantum req =
+  if quantum < 1 then invalid_arg "Arbiter.sticky_round_robin: quantum >= 1";
+  let w = S.width req in
+  if w = 1 then
+    { grant = req; grant_index = S.gnd b; any_grant = req; pointer = S.gnd b }
+  else begin
+    let ptr_w = S.clog2 w in
+    let owner_valid = S.wire b 1 in
+    let owner = S.wire b ptr_w in
+    let q_w = max 1 (S.clog2 (quantum + 1)) in
+    let credit = S.wire b q_w in
+    (* Does the owner still request, with quantum left? *)
+    let owner_req =
+      S.any_bit_set b (S.land_ b req (S.binary_to_onehot b ~size:w owner))
+    in
+    let keep =
+      S.land_ b owner_valid
+        (S.land_ b owner_req (S.lnot b (S.eq_const b credit 0)))
+    in
+    (* Fall back to plain round-robin arbitration for a new owner. *)
+    let rr_adv = S.wire b 1 in
+    let rr = round_robin b ~advance:rr_adv req in
+    let grant =
+      S.mux2 b keep (S.binary_to_onehot b ~size:w owner) rr.grant
+    in
+    let grant_index = S.mux2 b keep owner rr.grant_index in
+    let any_grant = S.mux2 b keep (S.vdd b) rr.any_grant in
+    (* The base pointer only rotates when a new owner is adopted. *)
+    S.assign rr_adv (S.land_ b advance (S.lnot b keep));
+    let adopting = S.land_ b advance (S.land_ b (S.lnot b keep) rr.any_grant) in
+    let owner_reg = S.reg b ~enable:adopting rr.grant_index in
+    let ov_reg =
+      S.reg_fb b ~width:1 (fun q -> S.mux2 b adopting (S.vdd b) q)
+    in
+    S.assign owner owner_reg;
+    S.assign owner_valid ov_reg;
+    let credit_next =
+      S.mux2 b adopting
+        (S.of_int b ~width:q_w (quantum - 1))
+        (S.mux2 b (S.land_ b keep advance)
+           (S.sub b credit (S.of_int b ~width:q_w 1))
+           credit)
+    in
+    S.assign credit (S.reg b credit_next);
+    { grant; grant_index; any_grant; pointer = rr.pointer }
+  end
+
+(* Pure reference models. *)
+module Model = struct
+  (* [fixed_priority reqs] returns the granted index, if any. *)
+  let fixed_priority reqs =
+    let n = Array.length reqs in
+    let rec go i = if i >= n then None else if reqs.(i) then Some i else go (i + 1) in
+    go 0
+
+  type rr = { mutable ptr : int; n : int }
+
+  let make_rr n = { ptr = 0; n }
+
+  (* Returns granted index (if any); [advance] tells the model the
+     transfer happened, moving the pointer past the grant. *)
+  let rr_grant t reqs =
+    let rec go k =
+      if k >= t.n then None
+      else
+        let i = (t.ptr + k) mod t.n in
+        if reqs.(i) then Some i else go (k + 1)
+    in
+    go 0
+
+  let rr_advance t granted = t.ptr <- (granted + 1) mod t.n
+end

@@ -1,0 +1,42 @@
+(** Circuit-level arbiters over request bit-vectors, plus pure
+    reference models for the test suites.  Grants are one-hot; all-zero
+    when nothing requests. *)
+
+module S := Hw.Signal
+
+val fixed_priority : S.builder -> S.t -> S.t
+(** One-hot grant; bit 0 has the highest priority. *)
+
+val mask_ge : S.builder -> width:int -> S.t -> S.t
+(** Thermometer mask: output bit [i] is set iff [i >= ptr]. *)
+
+type round_robin = {
+  grant : S.t;  (** one-hot; all-zero when idle *)
+  grant_index : S.t;  (** binary index of the granted requester *)
+  any_grant : S.t;
+  pointer : S.t;  (** the priority pointer register, for probes *)
+}
+
+val round_robin : S.builder -> advance:S.t -> S.t -> round_robin
+(** Round-robin arbitration: the search starts at the pointer; when
+    [advance] is high and something is granted, the pointer moves one
+    past the granted index.  Drive [advance] with "the grant was
+    consumed" (or with [any_grant] for rotate-on-grant). *)
+
+val sticky_round_robin :
+  S.builder -> advance:S.t -> quantum:int -> S.t -> round_robin
+(** Coarse-grained variant: the grant stays with the current owner
+    while it keeps requesting, for up to [quantum] granted cycles;
+    then (or when the owner goes idle) the next requester is adopted
+    round-robin.  [advance] gates owner adoption and credit spend. *)
+
+(** Pure models mirrored by the circuits. *)
+module Model : sig
+  val fixed_priority : bool array -> int option
+
+  type rr
+
+  val make_rr : int -> rr
+  val rr_grant : rr -> bool array -> int option
+  val rr_advance : rr -> int -> unit
+end

@@ -1,0 +1,1 @@
+lib/core/aligned.ml: Arbiter Array Elastic Hw List Mt_channel Policy Printf

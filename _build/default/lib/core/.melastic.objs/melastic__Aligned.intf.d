@@ -1,0 +1,1 @@
+lib/core/aligned.mli: Hw Mt_channel Policy

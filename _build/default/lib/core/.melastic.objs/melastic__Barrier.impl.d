@@ -1,0 +1,1 @@
+lib/core/barrier.ml: Array Hw Mt_channel Printf

@@ -1,0 +1,1 @@
+lib/core/m_branch.ml: Array Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/m_branch.mli: Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/m_fork.ml: Array Hw List Mt_channel Printf

@@ -1,0 +1,1 @@
+lib/core/m_fork.mli: Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/m_join.ml: Array Hw Mt_channel

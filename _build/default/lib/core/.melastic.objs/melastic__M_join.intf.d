@@ -1,0 +1,1 @@
+lib/core/m_join.mli: Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/m_merge.ml: Array Bits Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/m_merge.mli: Hw Mt_channel

@@ -1,0 +1,1 @@
+lib/core/meb.ml: Hw List Meb_full Meb_reduced Mt_channel Printf

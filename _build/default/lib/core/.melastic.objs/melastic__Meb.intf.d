@@ -1,0 +1,1 @@
+lib/core/meb.mli: Hw Mt_channel Policy

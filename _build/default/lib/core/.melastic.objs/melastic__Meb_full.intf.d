@@ -1,0 +1,1 @@
+lib/core/meb_full.mli: Hw Mt_channel Policy

@@ -1,0 +1,1 @@
+lib/core/meb_reduced.ml: Arbiter Array Bits Hw List Mt_channel Policy Printf

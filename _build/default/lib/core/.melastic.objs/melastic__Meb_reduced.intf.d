@@ -1,0 +1,1 @@
+lib/core/meb_reduced.mli: Hw Mt_channel Policy

@@ -1,0 +1,1 @@
+lib/core/mt_channel.ml: Array Hw List

@@ -1,0 +1,1 @@
+lib/core/mt_varlat.ml: Arbiter Array Hw List Mt_channel Printf

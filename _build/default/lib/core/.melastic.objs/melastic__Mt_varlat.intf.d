@@ -1,0 +1,1 @@
+lib/core/mt_varlat.mli: Hw Mt_channel

@@ -1,0 +1,81 @@
+(* Aligned MEB pair for M-Join inputs.
+
+   Joining two independently-arbitrated MEBs wastes slots: each buffer
+   may present a different thread, and no transfer happens until they
+   happen to agree (the leader/follower composition of DESIGN.md).
+   When both operands of a join are buffered side by side, one shared
+   arbiter can grant only threads with data in BOTH buffers (and, with
+   ready-aware arbitration, whose consumer is ready), so every grant
+   joins and transfers.
+
+   The datapath instantiates two reduced or full MEB *storage* arrays
+   by reusing the existing implementations with their arbitration
+   driven from the shared grant: we build each MEB with Valid_only
+   policy and gate its downstream ready per thread with the join
+   transfer, which is exactly the baseline M-Join wiring — except the
+   shared requests feed one arbiter, so the two grants are identical
+   by construction. *)
+
+module S = Hw.Signal
+
+type t = {
+  out : Mt_channel.t;
+  grant : S.t;
+}
+
+let create ?(name = "ajoin") ?(policy = Policy.Ready_aware)
+    ?(combine = fun b x y -> S.concat_msb b [ x; y ]) b
+    (in_a : Mt_channel.t) (in_b : Mt_channel.t) =
+  let n = Mt_channel.threads in_a in
+  if Mt_channel.threads in_b <> n then invalid_arg "Aligned.create: thread count";
+  (* Storage is the full-MEB datapath (one 2-slot EB per thread and
+     side); only the arbitration differs: one shared arbiter over the
+     per-thread AND of both stores' valids. *)
+  let mk_store (input : Mt_channel.t) tag =
+    Array.init n (fun i ->
+        let ch =
+          { Elastic.Channel.valid = input.Mt_channel.valids.(i);
+            data = input.Mt_channel.data;
+            ready = S.wire b 1 }
+        in
+        let eb =
+          Elastic.Eb.create ~name:(Printf.sprintf "%s_%s%d" name tag i) b ch
+        in
+        S.assign input.Mt_channel.readys.(i) ch.Elastic.Channel.ready;
+        eb)
+  in
+  let store_a = mk_store in_a "a" in
+  let store_b = mk_store in_b "b" in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let req_bit i =
+    let both =
+      S.land_ b store_a.(i).Elastic.Eb.out.Elastic.Channel.valid
+        store_b.(i).Elastic.Eb.out.Elastic.Channel.valid
+    in
+    match policy with
+    | Policy.Valid_only -> both
+    | Policy.Ready_aware -> S.land_ b both out_readys.(i)
+  in
+  let req = S.concat_msb b (List.rev (List.init n req_bit)) in
+  let advance = S.wire b 1 in
+  let rr = Arbiter.round_robin b ~advance req in
+  S.assign advance rr.Arbiter.any_grant;
+  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let out_valids = Array.init n (fun i -> S.bit b grant i) in
+  Array.iteri
+    (fun i (eb : Elastic.Eb.t) ->
+      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
+        (S.land_ b out_valids.(i) out_readys.(i)))
+    store_a;
+  Array.iteri
+    (fun i (eb : Elastic.Eb.t) ->
+      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
+        (S.land_ b out_valids.(i) out_readys.(i)))
+    store_b;
+  let mux_store store =
+    S.mux b rr.Arbiter.grant_index
+      (List.init n (fun i -> store.(i).Elastic.Eb.out.Elastic.Channel.data))
+  in
+  let data = combine b (mux_store store_a) (mux_store store_b) in
+  { out = { Mt_channel.valids = out_valids; readys = out_readys; data };
+    grant }

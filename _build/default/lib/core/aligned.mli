@@ -1,0 +1,24 @@
+(** Aligned MEB pair for M-Join inputs.
+
+    Joining two independently-arbitrated MEBs wastes cycles: each may
+    present a different thread, and nothing transfers until the grants
+    agree.  This unit buffers both operands (the full-MEB datapath: a
+    2-slot EB per thread and side) under ONE shared arbiter whose
+    requests are the per-thread AND of both stores' valids — every
+    grant joins, so an aligned pair sustains one join per cycle.
+
+    With {!Policy.Ready_aware} the request also includes downstream
+    ready; being a single arbitration point, no combinational
+    grant/ready cycle can form through this join. *)
+
+module S := Hw.Signal
+
+type t = {
+  out : Mt_channel.t;  (** the joined channel *)
+  grant : S.t;  (** shared one-hot grant (probe) *)
+}
+
+val create :
+  ?name:string -> ?policy:Policy.t ->
+  ?combine:(S.builder -> S.t -> S.t -> S.t) ->
+  S.builder -> Mt_channel.t -> Mt_channel.t -> t

@@ -1,0 +1,111 @@
+(* Thread-synchronization barrier (Fig. 8).
+
+   Sits on a multithreaded elastic channel, typically right after an
+   output MEB, and blocks each participating thread until every
+   participant has arrived with valid data; then all are released and
+   drain as the downstream arbiter selects them.
+
+   Per-thread FSM: IDLE -> (valid data seen) -> WAIT, loading the local
+   copy [lgo] of the global [go] flag and bumping the arrival counter.
+   When the counter reaches the participant count it resets and [go]
+   flips, so every waiting thread sees [lgo <> go] and moves to FREE.
+   A FREE thread passes its handshake through; once its token transfers
+   it returns to IDLE for the next barrier episode.
+
+   The upstream MEB must use the [Valid_only] policy: arrivals are
+   observed through the valid wires while the barrier holds ready low,
+   which a ready-aware producer would never assert. *)
+
+module S = Hw.Signal
+
+let idle = 0
+let wait = 1
+let free = 2
+
+type t = {
+  out : Mt_channel.t;
+  count : S.t; (* probe: arrivals so far in the current episode *)
+  go : S.t; (* probe: the global phase flag *)
+  release : S.t; (* pulse: the last participant just arrived *)
+  states : S.t array; (* probe: per-thread FSM state *)
+}
+
+let create ?(name = "barrier") ?participants b (input : Mt_channel.t) =
+  let n = Mt_channel.threads input in
+  let participates =
+    match participants with
+    | None -> Array.make n true
+    | Some l ->
+      if Array.length l <> n then invalid_arg "Barrier: participants length";
+      l
+  in
+  let total = Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 participates in
+  if total = 0 then invalid_arg "Barrier: no participants";
+  let cnt_w = S.clog2 (total + 1) in
+  let go = S.wire b 1 in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let out_valids = Array.make n (S.gnd b) in
+  let states = Array.make n (S.gnd b) in
+  let arrivals = ref [] in
+  for i = 0 to n - 1 do
+    if not participates.(i) then begin
+      (* Bypass: non-participants flow through untouched. *)
+      out_valids.(i) <- input.Mt_channel.valids.(i);
+      S.assign input.Mt_channel.readys.(i) out_readys.(i);
+      states.(i) <- S.of_int b ~width:2 free
+    end
+    else begin
+      let state = S.wire b 2 in
+      let is s = S.eq_const b state s in
+      let vin = input.Mt_channel.valids.(i) in
+      let arrival = S.land_ b vin (is idle) in
+      arrivals := arrival :: !arrivals;
+      (* lgo: the phase at arrival time; the thread is released when
+         the global phase has moved past it. *)
+      let lgo = S.reg b ~enable:arrival go in
+      ignore (S.set_name lgo (Printf.sprintf "%s_lgo%d" name i));
+      let differs = S.lxor_ b lgo go in
+      let fire = S.land_ b (S.land_ b vin (is free)) out_readys.(i) in
+      let next =
+        S.mux b state
+          [ (* IDLE *)
+            S.mux2 b arrival (S.of_int b ~width:2 wait) (S.of_int b ~width:2 idle);
+            (* WAIT *)
+            S.mux2 b differs (S.of_int b ~width:2 free) (S.of_int b ~width:2 wait);
+            (* FREE *)
+            S.mux2 b fire (S.of_int b ~width:2 idle) (S.of_int b ~width:2 free) ]
+      in
+      let reg = S.reg b next in
+      ignore (S.set_name reg (Printf.sprintf "%s_state%d" name i));
+      S.assign state reg;
+      states.(i) <- reg;
+      out_valids.(i) <- S.land_ b vin (is free);
+      S.assign input.Mt_channel.readys.(i) (S.land_ b out_readys.(i) (is free))
+    end
+  done;
+  let any_arrival =
+    match !arrivals with [] -> S.gnd b | l -> S.or_reduce b l
+  in
+  (* Arrival counter: one arrival per cycle at most (channel carries a
+     single valid).  Reaching [total] resets the count and flips go. *)
+  let count = S.wire b cnt_w in
+  let last_arrival =
+    S.land_ b any_arrival (S.eq_const b count (total - 1))
+  in
+  let count_next =
+    S.mux2 b last_arrival (S.zero b cnt_w)
+      (S.mux2 b any_arrival (S.add b count (S.of_int b ~width:cnt_w 1)) count)
+  in
+  let count_reg = S.reg b count_next in
+  ignore (S.set_name count_reg (name ^ "_count"));
+  S.assign count count_reg;
+  let go_reg = S.reg_fb b ~width:1 (fun q -> S.mux2 b last_arrival (S.lnot b q) q) in
+  ignore (S.set_name go_reg (name ^ "_go"));
+  S.assign go go_reg;
+  ignore (S.set_name last_arrival (name ^ "_release"));
+  { out = { Mt_channel.valids = out_valids; readys = out_readys;
+            data = input.Mt_channel.data };
+    count = count_reg;
+    go = go_reg;
+    release = last_arrival;
+    states }

@@ -1,0 +1,30 @@
+(** Thread-synchronization barrier (paper Fig. 8).
+
+    Sits on a multithreaded channel (typically after an output MEB)
+    and blocks each participating thread until every participant has
+    arrived with valid data, then releases them all; released tokens
+    drain as the downstream arbiter selects them.
+
+    Per-thread FSM IDLE→WAIT→FREE with a local copy of the global [go]
+    flip-bit; an arrival counter reaching the participant count resets
+    and flips [go].
+
+    The producer feeding a barrier must use {!Policy.Valid_only}:
+    arrivals are observed through valid while the barrier holds ready
+    low, which a ready-aware producer would never assert. *)
+
+module S := Hw.Signal
+
+type t = {
+  out : Mt_channel.t;
+  count : S.t;  (** arrivals so far in the current episode *)
+  go : S.t;  (** the global phase flag *)
+  release : S.t;  (** pulse: the last participant just arrived *)
+  states : S.t array;  (** per-thread FSM state (probe) *)
+}
+
+val create :
+  ?name:string -> ?participants:bool array ->
+  S.builder -> Mt_channel.t -> t
+(** [participants] defaults to every thread; non-participants bypass
+    the barrier untouched. *)

@@ -1,0 +1,29 @@
+(* M-Branch (Fig. 7c): steers the active thread's token to the
+   [out_true] or [out_false] channel according to a condition flag
+   computed from the data bus.  The asserted valid bit of the input
+   channel identifies which thread the condition belongs to, so one
+   baseline branch per thread suffices. *)
+
+module S = Hw.Signal
+
+type t = { out_true : Mt_channel.t; out_false : Mt_channel.t }
+
+let create b (input : Mt_channel.t) ~cond =
+  if S.width cond <> 1 then invalid_arg "M_branch.create: cond must be 1 bit";
+  let n = Mt_channel.threads input in
+  let ready_t = Array.init n (fun _ -> S.wire b 1) in
+  let ready_f = Array.init n (fun _ -> S.wire b 1) in
+  Array.iteri
+    (fun i r -> S.assign r (S.mux2 b cond ready_t.(i) ready_f.(i)))
+    input.Mt_channel.readys;
+  { out_true =
+      { Mt_channel.valids =
+          Array.init n (fun i -> S.land_ b input.Mt_channel.valids.(i) cond);
+        readys = ready_t;
+        data = input.Mt_channel.data };
+    out_false =
+      { Mt_channel.valids =
+          Array.init n (fun i ->
+              S.land_ b input.Mt_channel.valids.(i) (S.lnot b cond));
+        readys = ready_f;
+        data = input.Mt_channel.data } }

@@ -1,0 +1,9 @@
+(** M-Branch (paper Fig. 7c): steer the active thread's token by a
+    condition computed from the shared data bus; the asserted valid
+    identifies which thread the condition belongs to. *)
+
+module S := Hw.Signal
+
+type t = { out_true : Mt_channel.t; out_false : Mt_channel.t }
+
+val create : S.builder -> Mt_channel.t -> cond:S.t -> t

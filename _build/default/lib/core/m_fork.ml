@@ -1,0 +1,40 @@
+(* M-Fork (Fig. 7b): one baseline fork per thread over the gathered
+   per-thread handshakes; the data bus fans out unchanged.  The eager
+   implementation keeps one served-flag per (thread, output). *)
+
+module S = Hw.Signal
+
+let eager ?(name = "mfork") b (input : Mt_channel.t) ~n =
+  if n < 2 then invalid_arg "M_fork.eager: need at least 2 outputs";
+  let threads = Mt_channel.threads input in
+  let out_readys = Array.init n (fun _ -> Array.init threads (fun _ -> S.wire b 1)) in
+  let out_valids = Array.init n (fun _ -> Array.make threads (S.gnd b)) in
+  for t = 0 to threads - 1 do
+    let vin = input.Mt_channel.valids.(t) in
+    let done_wires = Array.init n (fun _ -> S.wire b 1) in
+    (* As in Elastic.Fork.eager, the thread's ready must not depend on
+       its valid. *)
+    let satisfied =
+      Array.init n (fun k -> S.lor_ b done_wires.(k) out_readys.(k).(t))
+    in
+    let in_ready = S.and_reduce b (Array.to_list satisfied) in
+    let in_transfer = S.land_ b vin in_ready in
+    S.assign input.Mt_channel.readys.(t) in_ready;
+    for k = 0 to n - 1 do
+      let transfer_k =
+        S.land_ b vin
+          (S.land_ b (S.lnot b done_wires.(k)) out_readys.(k).(t))
+      in
+      let next =
+        S.land_ b (S.lor_ b done_wires.(k) transfer_k) (S.lnot b in_transfer)
+      in
+      let d = S.reg b next in
+      ignore (S.set_name d (Printf.sprintf "%s_done_o%d_t%d" name k t));
+      S.assign done_wires.(k) d;
+      out_valids.(k).(t) <- S.land_ b vin (S.lnot b done_wires.(k))
+    done
+  done;
+  List.init n (fun k ->
+      { Mt_channel.valids = out_valids.(k);
+        readys = out_readys.(k);
+        data = input.Mt_channel.data })

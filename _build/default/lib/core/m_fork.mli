@@ -1,0 +1,9 @@
+(** M-Fork (paper Fig. 7b): one eager fork per thread over the
+    gathered per-thread handshakes; the data bus fans out unchanged.
+    Keeps each thread's ready independent of its valid (safe under
+    ready-aware producers). *)
+
+module S := Hw.Signal
+
+val eager :
+  ?name:string -> S.builder -> Mt_channel.t -> n:int -> Mt_channel.t list

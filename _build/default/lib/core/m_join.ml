@@ -1,0 +1,27 @@
+(* M-Join (Fig. 7a): the handshake pairs of both inputs are gathered
+   per thread and fed to one baseline join per thread.  Thread i fires
+   when both inputs carry valid data for thread i; the two data buses
+   are combined combinationally. *)
+
+module S = Hw.Signal
+
+let create ?(combine = fun b x y -> S.concat_msb b [ x; y ]) b
+    (a : Mt_channel.t) (c : Mt_channel.t) =
+  let n = Mt_channel.threads a in
+  if Mt_channel.threads c <> n then invalid_arg "M_join: thread count mismatch";
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let out_valids =
+    Array.init n (fun i ->
+        S.land_ b a.Mt_channel.valids.(i) c.Mt_channel.valids.(i))
+  in
+  Array.iteri
+    (fun i r ->
+      S.assign r (S.land_ b out_readys.(i) c.Mt_channel.valids.(i)))
+    a.Mt_channel.readys;
+  Array.iteri
+    (fun i r ->
+      S.assign r (S.land_ b out_readys.(i) a.Mt_channel.valids.(i)))
+    c.Mt_channel.readys;
+  { Mt_channel.valids = out_valids;
+    readys = out_readys;
+    data = combine b a.Mt_channel.data c.Mt_channel.data }

@@ -1,0 +1,13 @@
+(** M-Join (paper Fig. 7a): per-thread joins over two multithreaded
+    channels — thread [i] fires when both inputs carry its data.
+
+    Composition rule: at most one of the joined producers may use the
+    {!Policy.Ready_aware} arbitration (leader/follower), otherwise the
+    grant/ready dependency forms a combinational cycle that the
+    elaborator rejects. *)
+
+module S := Hw.Signal
+
+val create :
+  ?combine:(S.builder -> S.t -> S.t -> S.t) ->
+  S.builder -> Mt_channel.t -> Mt_channel.t -> Mt_channel.t

@@ -1,0 +1,50 @@
+(* M-Merge (Fig. 7d): merges the two channels produced by an M-Branch
+   back into one multithreaded channel.
+
+   Per thread, at most one of the two inputs carries that thread's
+   token (guaranteed by the upstream branch).  Across threads, however,
+   both input channels may present tokens of different threads in the
+   same cycle — only one can use the shared output data bus, so the
+   merge selects one input path per cycle.  [`Priority_a`] always
+   prefers input A; [`Fair`] alternates when both compete, avoiding
+   starvation of path B in loops. *)
+
+module S = Hw.Signal
+
+type fairness = Priority_a | Fair
+
+let create ?(fairness = Fair) b (a : Mt_channel.t) (c : Mt_channel.t) =
+  let n = Mt_channel.threads a in
+  if Mt_channel.threads c <> n then invalid_arg "M_merge: thread count mismatch";
+  if Mt_channel.width a <> Mt_channel.width c then invalid_arg "M_merge: width mismatch";
+  let any_a = Mt_channel.any_valid b a in
+  let any_c = Mt_channel.any_valid b c in
+  let sel_a =
+    match fairness with
+    | Priority_a -> any_a
+    | Fair ->
+      (* prefer_a toggles away from the path served while both compete. *)
+      let prefer_a = S.wire b 1 in
+      let sel = S.mux2 b (S.land_ b any_a any_c) prefer_a any_a in
+      let both = S.land_ b any_a any_c in
+      let reg =
+        S.reg_fb b ~init:Bits.vdd ~width:1 (fun q ->
+            S.mux2 b both (S.lnot b sel) q)
+      in
+      S.assign prefer_a reg;
+      sel
+  in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let out_valids =
+    Array.init n (fun i ->
+        S.mux2 b sel_a a.Mt_channel.valids.(i) c.Mt_channel.valids.(i))
+  in
+  Array.iteri
+    (fun i r -> S.assign r (S.land_ b sel_a out_readys.(i)))
+    a.Mt_channel.readys;
+  Array.iteri
+    (fun i r -> S.assign r (S.land_ b (S.lnot b sel_a) out_readys.(i)))
+    c.Mt_channel.readys;
+  { Mt_channel.valids = out_valids;
+    readys = out_readys;
+    data = S.mux2 b sel_a a.Mt_channel.data c.Mt_channel.data }

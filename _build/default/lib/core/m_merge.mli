@@ -1,0 +1,14 @@
+(** M-Merge (paper Fig. 7d): merge the two channels produced by an
+    M-Branch.  Per thread the inputs are exclusive, but across threads
+    both channels may present tokens in one cycle — only one can use
+    the shared output bus, so the merge selects a path per cycle:
+    [Priority_a] always prefers input A; [Fair] alternates while both
+    compete. *)
+
+module S := Hw.Signal
+
+type fairness = Priority_a | Fair
+
+val create :
+  ?fairness:fairness ->
+  S.builder -> Mt_channel.t -> Mt_channel.t -> Mt_channel.t

@@ -1,0 +1,43 @@
+(* Uniform view over the two MEB implementations, so that whole designs
+   (MD5, the processor) can be instantiated with either buffer kind and
+   compared — exactly the experiment of Table I. *)
+
+module S = Hw.Signal
+
+type kind = Full | Reduced
+
+let kind_to_string = function Full -> "full" | Reduced -> "reduced"
+
+type t = {
+  out : Mt_channel.t;
+  occupancy : S.t;
+  grant : S.t;
+}
+
+let create ?name ?policy ?granularity ~kind b input =
+  match kind with
+  | Full ->
+    let m = Meb_full.create ?name ?policy ?granularity b input in
+    { out = m.Meb_full.out; occupancy = m.Meb_full.occupancy; grant = m.Meb_full.grant }
+  | Reduced ->
+    let m = Meb_reduced.create ?name ?policy ?granularity b input in
+    { out = m.Meb_reduced.out;
+      occupancy = m.Meb_reduced.occupancy;
+      grant = m.Meb_reduced.grant }
+
+let pipeline ?(name = "meb") ?policy ?granularity ?f ~kind b ~stages (input : Mt_channel.t) =
+  let rec go i ch acc =
+    if i >= stages then (ch, List.rev acc)
+    else begin
+      let ch = match f with None -> ch | Some f -> Mt_channel.map b ch ~f in
+      let meb =
+        create ~name:(Printf.sprintf "%s%d" name i) ?policy ?granularity ~kind b ch
+      in
+      go (i + 1) meb.out (meb :: acc)
+    end
+  in
+  go 0 input []
+
+(* Slot capacity of one MEB for [threads] threads. *)
+let capacity ~kind ~threads =
+  match kind with Full -> 2 * threads | Reduced -> threads + 1

@@ -1,0 +1,24 @@
+(** Uniform view over {!Meb_full} and {!Meb_reduced}, so whole designs
+    can be instantiated with either buffer kind and compared — the
+    Table I experiment. *)
+
+module S := Hw.Signal
+
+type kind = Full | Reduced
+
+val kind_to_string : kind -> string
+
+type t = { out : Mt_channel.t; occupancy : S.t; grant : S.t }
+
+val create :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  kind:kind -> S.builder -> Mt_channel.t -> t
+
+val pipeline :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  ?f:(S.builder -> S.t -> S.t) ->
+  kind:kind -> S.builder -> stages:int -> Mt_channel.t -> Mt_channel.t * t list
+
+val capacity : kind:kind -> threads:int -> int
+(** Buffer slots of one MEB: [2 * threads] (full) or [threads + 1]
+    (reduced). *)

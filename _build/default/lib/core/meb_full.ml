@@ -1,0 +1,90 @@
+(* The full multithreaded elastic buffer (Fig. 4): one 2-slot EB per
+   thread, an output arbiter and a data multiplexer.  Capacity is 2S
+   slots for S threads — the expensive baseline the reduced MEB
+   improves on. *)
+
+module S = Hw.Signal
+
+type t = {
+  out : Mt_channel.t;
+  occupancy : S.t; (* total items buffered, for probes *)
+  grant : S.t; (* one-hot output grant, for probes *)
+}
+
+let create ?(name = "meb") ?(policy = Policy.Ready_aware)
+    ?(granularity = Policy.Fine) b (input : Mt_channel.t) =
+  let n = Mt_channel.threads input in
+  let w = Mt_channel.width input in
+  (* One private 2-slot EB per thread; each sees the shared data bus and
+     its own valid. *)
+  let ebs =
+    Array.init n (fun i ->
+        let ch =
+          { Elastic.Channel.valid = input.Mt_channel.valids.(i);
+            data = input.Mt_channel.data;
+            ready = S.wire b 1 }
+        in
+        let eb = Elastic.Eb.create ~name:(Printf.sprintf "%s_t%d" name i) b ch in
+        (* The EB assigned ch.ready; surface it as this thread's
+           upstream ready. *)
+        S.assign input.Mt_channel.readys.(i) ch.Elastic.Channel.ready;
+        eb)
+  in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let req_bit i =
+    let v = ebs.(i).Elastic.Eb.out.Elastic.Channel.valid in
+    match policy with
+    | Policy.Valid_only -> v
+    | Policy.Ready_aware -> S.land_ b v out_readys.(i)
+  in
+  let req = S.concat_msb b (List.rev (List.init n (fun i -> req_bit i))) in
+  let advance = S.wire b 1 in
+  let rr =
+    match granularity with
+    | Policy.Fine -> Arbiter.round_robin b ~advance req
+    | Policy.Coarse quantum -> Arbiter.sticky_round_robin b ~advance ~quantum req
+  in
+  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let out_valids = Array.init n (fun i -> S.bit b grant i) in
+  (* Dequeue an EB when its thread is granted and the consumer is
+     ready. *)
+  Array.iteri
+    (fun i (eb : Elastic.Eb.t) ->
+      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
+        (S.land_ b out_valids.(i) out_readys.(i)))
+    ebs;
+  (* Rotate past the granted thread every cycle a grant exists (not
+     only on transfer): under Valid_only a granted-but-stalled thread
+     must not pin the pointer, or threads behind it would never be
+     shown downstream (e.g. to a barrier counting arrivals).  Under
+     Ready_aware every grant transfers, so this is equivalent to
+     rotate-on-transfer. *)
+  S.assign advance rr.Arbiter.any_grant;
+  let data_out =
+    S.mux b rr.Arbiter.grant_index
+      (List.init n (fun i -> ebs.(i).Elastic.Eb.out.Elastic.Channel.data))
+  in
+  let occupancy =
+    let ow = S.clog2 ((2 * n) + 1) in
+    S.reduce b S.add
+      (List.init n (fun i -> S.uresize b ebs.(i).Elastic.Eb.occupancy ow))
+  in
+  ignore w;
+  { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_out };
+    occupancy;
+    grant }
+
+(* A linear pipeline of [stages] full MEBs, applying [f] between
+   consecutive stages when given. *)
+let pipeline ?(name = "meb") ?policy ?granularity ?f b ~stages (input : Mt_channel.t) =
+  let rec go i ch acc =
+    if i >= stages then (ch, List.rev acc)
+    else begin
+      let ch = match f with None -> ch | Some f -> Mt_channel.map b ch ~f in
+      let meb =
+        create ~name:(Printf.sprintf "%s%d" name i) ?policy ?granularity b ch
+      in
+      go (i + 1) meb.out (meb :: acc)
+    end
+  in
+  go 0 input []

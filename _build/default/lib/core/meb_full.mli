@@ -1,0 +1,23 @@
+(** The full multithreaded elastic buffer (paper Fig. 4): one private
+    2-slot EB per thread, an output arbiter and a data multiplexer —
+    2S slots for S threads, the baseline the reduced MEB improves
+    on. *)
+
+module S := Hw.Signal
+
+type t = {
+  out : Mt_channel.t;
+  occupancy : S.t;  (** total buffered items *)
+  grant : S.t;  (** one-hot output grant (probe) *)
+}
+
+val create :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  S.builder -> Mt_channel.t -> t
+
+val pipeline :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  ?f:(S.builder -> S.t -> S.t) ->
+  S.builder -> stages:int -> Mt_channel.t -> Mt_channel.t * t list
+(** A linear pipeline of [stages] MEBs, applying [f] to the payload
+    between consecutive stages when given. *)

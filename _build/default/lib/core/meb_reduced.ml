@@ -1,0 +1,145 @@
+(* The reduced multithreaded elastic buffer (Fig. 6).
+
+   S main registers (one per thread) plus ONE auxiliary register shared
+   dynamically by all threads: S + 1 slots instead of the full MEB's
+   2S.  Each thread runs the 3-state EB FSM (EMPTY/HALF/FULL); a
+   2-state FSM on the shared slot emits [shared_free], which gates the
+   HALF->FULL transition so that at most one thread is FULL at a time.
+
+   Per the paper: threads in HALF accept new data only while no thread
+   holds the shared slot; when the FULL thread is read, its main
+   register refills from the shared slot and the freed slot becomes
+   visible upstream one cycle later (the ready signals derive from
+   registered state). *)
+
+module S = Hw.Signal
+
+let empty = 0
+let half = 1
+let full = 2
+
+type t = {
+  out : Mt_channel.t;
+  occupancy : S.t;
+  grant : S.t;
+  shared_free : S.t; (* probe: shared-slot FSM state *)
+  full_count : S.t; (* probe: number of threads in FULL (invariant: <= 1) *)
+}
+
+let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
+    ?(granularity = Policy.Fine) b (input : Mt_channel.t) =
+  let n = Mt_channel.threads input in
+  let states = Array.init n (fun _ -> S.wire b 2) in
+  let shared_free = S.wire b 1 in
+  let is i s = S.eq_const b states.(i) s in
+  (* Upstream ready per thread (registered state only). *)
+  let routs =
+    Array.init n (fun i -> S.lor_ b (is i empty) (S.land_ b (is i half) shared_free))
+  in
+  Array.iteri (fun i r -> S.assign input.Mt_channel.readys.(i) r) routs;
+  let wr = Array.init n (fun i -> S.land_ b input.Mt_channel.valids.(i) routs.(i)) in
+  (* Output arbitration. *)
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let req_bit i =
+    let v = S.lnot b (is i empty) in
+    match policy with
+    | Policy.Valid_only -> v
+    | Policy.Ready_aware -> S.land_ b v out_readys.(i)
+  in
+  let req = S.concat_msb b (List.rev (List.init n req_bit)) in
+  let advance = S.wire b 1 in
+  let rr =
+    match granularity with
+    | Policy.Fine -> Arbiter.round_robin b ~advance req
+    | Policy.Coarse quantum -> Arbiter.sticky_round_robin b ~advance ~quantum req
+  in
+  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let out_valids = Array.init n (fun i -> S.bit b grant i) in
+  let rd = Array.init n (fun i -> S.land_ b out_valids.(i) out_readys.(i)) in
+  (* Rotate past the grant every cycle (see Meb_full): required for
+     Valid_only progress in front of arrival-counting consumers. *)
+  S.assign advance rr.Arbiter.any_grant;
+  (* Per-thread next state. *)
+  Array.iteri
+    (fun i state ->
+      let next =
+        S.mux b state
+          [ (* EMPTY *)
+            S.mux2 b wr.(i) (S.of_int b ~width:2 half) (S.of_int b ~width:2 empty);
+            (* HALF *)
+            S.mux b (S.concat_msb b [ wr.(i); rd.(i) ])
+              [ S.of_int b ~width:2 half;
+                S.of_int b ~width:2 empty;
+                S.of_int b ~width:2 full;
+                S.of_int b ~width:2 half ];
+            (* FULL *)
+            S.mux2 b rd.(i) (S.of_int b ~width:2 half) (S.of_int b ~width:2 full) ]
+      in
+      let reg = S.reg b next in
+      ignore (S.set_name reg (Printf.sprintf "%s_state%d" name i));
+      S.assign state reg)
+    states;
+  (* Shared-slot FSM: occupied by the single HALF->FULL writer, freed
+     when the FULL thread is read. *)
+  let goes_full =
+    Array.init n (fun i -> S.land_ b (is i half) (S.land_ b wr.(i) (S.lnot b rd.(i))))
+  in
+  let frees = Array.init n (fun i -> S.land_ b (is i full) rd.(i)) in
+  let any_goes_full = S.or_reduce b (Array.to_list goes_full) in
+  let any_frees = S.or_reduce b (Array.to_list frees) in
+  let shared_free_reg =
+    S.reg_fb b ~init:Bits.vdd ~width:1 (fun q ->
+        S.mux2 b any_goes_full (S.gnd b) (S.mux2 b any_frees (S.vdd b) q))
+  in
+  ignore (S.set_name shared_free_reg (name ^ "_shared_free"));
+  S.assign shared_free shared_free_reg;
+  (* Shared auxiliary register: written by the thread going FULL. *)
+  let aux = S.reg b ~enable:any_goes_full input.Mt_channel.data in
+  ignore (S.set_name aux (name ^ "_aux"));
+  (* Main register per thread: loads fresh data on a write in EMPTY (or
+     a simultaneous read+write in HALF) and refills from the shared
+     slot when read in FULL. *)
+  let mains =
+    Array.init n (fun i ->
+        let refill = frees.(i) in
+        let en =
+          S.lor_ b refill
+            (S.lor_ b
+               (S.land_ b (is i empty) wr.(i))
+               (S.land_ b (is i half) (S.land_ b wr.(i) rd.(i))))
+        in
+        let m = S.reg b ~enable:en (S.mux2 b refill aux input.Mt_channel.data) in
+        ignore (S.set_name m (Printf.sprintf "%s_main%d" name i));
+        m)
+  in
+  let data_out = S.mux b rr.Arbiter.grant_index (Array.to_list mains) in
+  let ow = S.clog2 ((2 * n) + 1) in
+  let occupancy =
+    S.reduce b S.add
+      (List.init n (fun i ->
+           S.mux b states.(i)
+             [ S.of_int b ~width:ow 0; S.of_int b ~width:ow 1;
+               S.of_int b ~width:ow 2; S.of_int b ~width:ow 0 ]))
+  in
+  let fc_w = S.clog2 (n + 1) in
+  let full_count =
+    S.reduce b S.add (List.init n (fun i -> S.uresize b (is i full) fc_w))
+  in
+  { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_out };
+    occupancy;
+    grant;
+    shared_free = shared_free_reg;
+    full_count }
+
+let pipeline ?(name = "rmeb") ?policy ?granularity ?f b ~stages (input : Mt_channel.t) =
+  let rec go i ch acc =
+    if i >= stages then (ch, List.rev acc)
+    else begin
+      let ch = match f with None -> ch | Some f -> Mt_channel.map b ch ~f in
+      let meb =
+        create ~name:(Printf.sprintf "%s%d" name i) ?policy ?granularity b ch
+      in
+      go (i + 1) meb.out (meb :: acc)
+    end
+  in
+  go 0 input []

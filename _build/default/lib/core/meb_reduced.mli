@@ -1,0 +1,30 @@
+(** The reduced multithreaded elastic buffer (paper Fig. 6) — the
+    paper's central contribution.
+
+    S main registers (one per thread) plus ONE auxiliary register
+    dynamically shared by all threads: S+1 slots instead of 2S.  Each
+    thread runs the EMPTY/HALF/FULL EB FSM; a 2-state FSM on the
+    shared slot gates the HALF→FULL transition so at most one thread
+    is FULL at a time.  Threads in HALF accept data only while the
+    shared slot is free; when the FULL thread is read, its main
+    register refills from the shared slot and the freed slot becomes
+    visible upstream one cycle later. *)
+
+module S := Hw.Signal
+
+type t = {
+  out : Mt_channel.t;
+  occupancy : S.t;
+  grant : S.t;
+  shared_free : S.t;  (** probe: shared-slot FSM state *)
+  full_count : S.t;  (** probe: threads in FULL (invariant: <= 1) *)
+}
+
+val create :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  S.builder -> Mt_channel.t -> t
+
+val pipeline :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  ?f:(S.builder -> S.t -> S.t) ->
+  S.builder -> stages:int -> Mt_channel.t -> Mt_channel.t * t list

@@ -1,0 +1,110 @@
+(* A multithreaded elastic channel (Section III).
+
+   The channel carries one data word per cycle plus one valid/ready
+   handshake pair per thread.  Protocol invariant: at most one
+   [valid(i)] is asserted per cycle — the word on [data] belongs to
+   that thread.  Each thread's pair follows the baseline elastic
+   protocol independently: thread [i] transfers when
+   [valid(i) && ready(i)].
+
+   Producer drives [valids] and [data]; consumer assigns [readys]. *)
+
+module S = Hw.Signal
+
+type t = { valids : S.t array; readys : S.t array; data : S.t }
+
+let threads t = Array.length t.valids
+let width t = S.width t.data
+
+let wires b ~threads ~width =
+  { valids = Array.init threads (fun _ -> S.wire b 1);
+    readys = Array.init threads (fun _ -> S.wire b 1);
+    data = S.wire b width }
+
+let connect ~src ~dst =
+  if threads src <> threads dst then invalid_arg "Mt_channel.connect: thread count";
+  Array.iter2 (fun s d -> S.assign d s) src.valids dst.valids;
+  Array.iter2 (fun s d -> S.assign s d) src.readys dst.readys;
+  S.assign dst.data src.data
+
+(* 1-bit signal: more than one valid asserted (protocol violation). *)
+let multi_valid b t =
+  let n = threads t in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := S.land_ b t.valids.(i) t.valids.(j) :: !pairs
+    done
+  done;
+  match !pairs with [] -> S.gnd b | l -> S.or_reduce b l
+
+let any_valid b t = S.or_reduce b (Array.to_list t.valids)
+
+let transfer b t i = S.land_ b t.valids.(i) t.readys.(i)
+
+let any_transfer b t =
+  S.or_reduce b (List.init (threads t) (fun i -> transfer b t i))
+
+(* Binary index of the active (valid) thread; 0 when idle. *)
+let active_thread b t =
+  let w = max 1 (S.clog2 (threads t)) in
+  S.or_reduce b
+    (List.init (threads t) (fun i ->
+         S.mux2 b t.valids.(i) (S.of_int b ~width:w i) (S.zero b w)))
+
+(* Map the payload through a combinational function. *)
+let map b t ~f = { t with data = f b t.data }
+
+(* Host-driven source: the testbench pokes <name>_valid (one bit per
+   thread) and <name>_data, and reads the <name>_ready vector. *)
+let source b ~name ~threads ~width =
+  let valid_vec = S.input b (name ^ "_valid") threads in
+  let data = S.input b (name ^ "_data") width in
+  let readys = Array.init threads (fun _ -> S.wire b 1) in
+  ignore (S.output b (name ^ "_ready") (S.concat_msb b (List.rev (Array.to_list readys))));
+  let t = { valids = Array.init threads (fun i -> S.bit b valid_vec i); readys; data } in
+  (* Fire/data echoes so schedule captures can treat a source like any
+     probed channel. *)
+  ignore
+    (S.output b (name ^ "_fire")
+       (S.concat_msb b (List.rev (List.init threads (fun i -> transfer b t i)))));
+  ignore (S.output b (name ^ "_data") data);
+  t
+
+(* Host-driven sink: the testbench pokes the <name>_ready vector and
+   reads <name>_valid / <name>_data / <name>_fire. *)
+let sink b ~name t =
+  let n = threads t in
+  ignore
+    (S.output b (name ^ "_valid")
+       (S.concat_msb b (List.rev (Array.to_list t.valids))));
+  ignore (S.output b (name ^ "_data") t.data);
+  let ready_vec = S.input b (name ^ "_ready") n in
+  Array.iteri (fun i r -> S.assign r (S.bit b ready_vec i)) t.readys;
+  ignore
+    (S.output b (name ^ "_fire")
+       (S.concat_msb b (List.rev (List.init n (fun i -> transfer b t i)))))
+
+(* Observe a channel mid-pipeline without consuming it: exports
+   <name>_valid / <name>_ready / <name>_fire vectors and <name>_data. *)
+let probe b t ~name =
+  let n = threads t in
+  ignore
+    (S.output b (name ^ "_valid")
+       (S.concat_msb b (List.rev (Array.to_list t.valids))));
+  ignore
+    (S.output b (name ^ "_ready")
+       (S.concat_msb b (List.rev (Array.to_list t.readys))));
+  ignore (S.output b (name ^ "_data") t.data);
+  ignore
+    (S.output b (name ^ "_fire")
+       (S.concat_msb b (List.rev (List.init n (fun i -> transfer b t i)))));
+  t
+
+let label b t ~name =
+  ignore
+    (S.set_name
+       (S.concat_msb b (List.rev (Array.to_list t.valids)))
+       (name ^ "_valid"));
+  ignore (S.set_name t.data (name ^ "_data"));
+  t

@@ -1,0 +1,49 @@
+(** A multithreaded elastic channel (paper Section III): one shared
+    data word per cycle plus one valid/ready handshake pair per
+    thread.
+
+    Protocol invariant: at most one [valid(i)] is asserted per cycle —
+    the word on [data] belongs to that thread.  Each pair follows the
+    baseline elastic protocol: thread [i] transfers when
+    [valids.(i) && readys.(i)].
+
+    Producer drives [valids]/[data]; consumer assigns [readys]. *)
+
+module S := Hw.Signal
+
+type t = { valids : S.t array; readys : S.t array; data : S.t }
+
+val threads : t -> int
+val width : t -> int
+
+val wires : S.builder -> threads:int -> width:int -> t
+val connect : src:t -> dst:t -> unit
+
+val multi_valid : S.builder -> t -> S.t
+(** 1-bit protocol-violation flag: more than one valid asserted. *)
+
+val any_valid : S.builder -> t -> S.t
+val transfer : S.builder -> t -> int -> S.t
+val any_transfer : S.builder -> t -> S.t
+
+val active_thread : S.builder -> t -> S.t
+(** Binary index of the valid thread (0 when idle); width
+    [clog2 threads]. *)
+
+val map : S.builder -> t -> f:(S.builder -> S.t -> S.t) -> t
+
+val source : S.builder -> name:string -> threads:int -> width:int -> t
+(** Host-driven producer: poke [<name>_valid] (one bit per thread) and
+    [<name>_data]; read the [<name>_ready] vector.  Also exports
+    [<name>_fire]/[<name>_data] echoes so schedule capture can treat a
+    source like any probe. *)
+
+val sink : S.builder -> name:string -> t -> unit
+(** Host-driven consumer: poke the [<name>_ready] vector; read
+    [<name>_valid]/[<name>_data]/[<name>_fire]. *)
+
+val probe : S.builder -> t -> name:string -> t
+(** Observe mid-pipeline without consuming: exports
+    [<name>_valid/_ready/_fire] vectors and [<name>_data]. *)
+
+val label : S.builder -> t -> name:string -> t

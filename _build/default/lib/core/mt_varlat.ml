@@ -1,0 +1,162 @@
+(* A variable-latency computation unit on a multithreaded elastic
+   channel — the paper's model for shared functional units and
+   memories ("the instruction and data memory as well as the execution
+   units are considered variable latency units").
+
+   The unit holds one token at a time, of whichever thread won the
+   upstream arbitration.  On acceptance the payload is transformed by
+   [f] (combinationally — e.g. a memory read) and a latency is sampled
+   (fixed, or from an LFSR).  The output valid of the owning thread
+   rises once the down-counter expires. *)
+
+module S = Hw.Signal
+
+type latency = Fixed of int | Random of { max_latency : int; seed : int }
+
+type t = {
+  out : Mt_channel.t;
+  accept : S.t; (* pulse: a token is accepted this cycle *)
+  accept_thread : S.t; (* binary thread index of the accepted token *)
+  busy : S.t;
+}
+
+let create ?(name = "mtvl") ?(f = fun _b d -> d) b (input : Mt_channel.t) ~latency =
+  let n = Mt_channel.threads input in
+  let thread_w = max 1 (S.clog2 n) in
+  let cnt_w, sample =
+    match latency with
+    | Fixed k ->
+      if k < 0 then invalid_arg "Mt_varlat: negative latency";
+      let cw = max 1 (S.clog2 (k + 1)) in
+      (cw, fun () -> S.of_int b ~width:cw k)
+    | Random { max_latency; seed } ->
+      if max_latency < 1 then invalid_arg "Mt_varlat: max_latency must be >= 1";
+      let cw = max 3 (S.clog2 (max_latency + 1)) in
+      ( cw,
+        fun () ->
+          let lf = Hw.Lfsr.create b ~width:(max cw 3) ~seed () in
+          let lf = S.uresize b lf cw in
+          let bound = S.of_int b ~width:cw (max_latency + 1) in
+          let wrapped = S.sub b lf bound in
+          S.mux2 b (S.ult b lf bound) lf wrapped )
+  in
+  let occupied = S.wire b 1 in
+  let counter = S.wire b cnt_w in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let owner = S.wire b thread_w in
+  let done_ = S.eq_const b counter 0 in
+  let out_valids =
+    Array.init n (fun i ->
+        S.land_ b occupied
+          (S.land_ b done_ (S.eq_const b owner i)))
+  in
+  let out_transfer =
+    S.or_reduce b (List.init n (fun i -> S.land_ b out_valids.(i) out_readys.(i)))
+  in
+  (* Accept when idle or in the cycle the current token departs, for
+     back-to-back throughput.  Depends only on registered state and the
+     downstream readys, never on the input valids. *)
+  let in_ready = S.lor_ b (S.lnot b occupied) out_transfer in
+  Array.iter (fun r -> S.assign r in_ready) input.Mt_channel.readys;
+  let vin_any = Mt_channel.any_valid b input in
+  let accept = S.land_ b vin_any in_ready in
+  let accept_thread = Mt_channel.active_thread b input in
+  let owner_reg = S.reg b ~enable:accept accept_thread in
+  ignore (S.set_name owner_reg (name ^ "_owner"));
+  S.assign owner owner_reg;
+  let occ_reg =
+    S.reg_fb b ~width:1 (fun q ->
+        S.mux2 b accept (S.vdd b) (S.mux2 b out_transfer (S.gnd b) q))
+  in
+  ignore (S.set_name occ_reg (name ^ "_occupied"));
+  S.assign occupied occ_reg;
+  let lat = sample () in
+  let counter_next =
+    S.mux2 b accept lat
+      (S.mux2 b (S.land_ b occupied (S.lnot b done_))
+         (S.sub b counter (S.of_int b ~width:cnt_w 1))
+         counter)
+  in
+  S.assign counter (S.reg b counter_next);
+  let data_reg = S.reg b ~enable:accept (f b input.Mt_channel.data) in
+  ignore (S.set_name data_reg (name ^ "_data"));
+
+  { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_reg };
+    accept;
+    accept_thread;
+    busy = occ_reg }
+
+(* Per-thread-context variant: every thread owns a private token slot
+   inside the unit, so threads overlap their latencies — this is the
+   latency-hiding configuration of Fig. 1(c), where a second thread
+   fills the slots the first leaves idle.  Output conflicts (several
+   threads finishing) are resolved by a round-robin arbiter. *)
+let per_thread ?(name = "mtvlp") ?(f = fun _b d -> d) b (input : Mt_channel.t)
+    ~latency =
+  let n = Mt_channel.threads input in
+  let cnt_w, sample =
+    match latency with
+    | Fixed k ->
+      if k < 0 then invalid_arg "Mt_varlat.per_thread: negative latency";
+      let cw = max 1 (S.clog2 (k + 1)) in
+      (cw, fun () -> S.of_int b ~width:cw k)
+    | Random { max_latency; seed } ->
+      if max_latency < 1 then
+        invalid_arg "Mt_varlat.per_thread: max_latency must be >= 1";
+      let cw = max 3 (S.clog2 (max_latency + 1)) in
+      ( cw,
+        fun () ->
+          let lf = Hw.Lfsr.create b ~width:(max cw 3) ~seed () in
+          let lf = S.uresize b lf cw in
+          let bound = S.of_int b ~width:cw (max_latency + 1) in
+          let wrapped = S.sub b lf bound in
+          S.mux2 b (S.ult b lf bound) lf wrapped )
+  in
+  let lat = sample () in
+  let out_readys = Array.init n (fun _ -> S.wire b 1) in
+  let dones = Array.make n (S.gnd b) in
+  let datas = Array.make n (S.gnd b) in
+  let grant_wire = S.wire b n in
+  let transformed = f b input.Mt_channel.data in
+  Array.iteri
+    (fun i _ ->
+      let occupied = S.wire b 1 in
+      let counter = S.wire b cnt_w in
+      let done_ = S.land_ b occupied (S.eq_const b counter 0) in
+      let leaving =
+        S.land_ b (S.bit b grant_wire i) out_readys.(i)
+      in
+      let in_ready = S.lor_ b (S.lnot b occupied) leaving in
+      S.assign input.Mt_channel.readys.(i) in_ready;
+      let accept = S.land_ b input.Mt_channel.valids.(i) in_ready in
+      let occ_reg =
+        S.reg_fb b ~width:1 (fun q ->
+            S.mux2 b accept (S.vdd b) (S.mux2 b leaving (S.gnd b) q))
+      in
+      ignore (S.set_name occ_reg (Printf.sprintf "%s_occ%d" name i));
+      S.assign occupied occ_reg;
+      let counter_next =
+        S.mux2 b accept lat
+          (S.mux2 b (S.land_ b occupied (S.lnot b (S.eq_const b counter 0)))
+             (S.sub b counter (S.of_int b ~width:cnt_w 1))
+             counter)
+      in
+      S.assign counter (S.reg b counter_next);
+      dones.(i) <- done_;
+      datas.(i) <- S.reg b ~enable:accept transformed)
+    out_readys;
+  (* Ready-aware round-robin among finished threads. *)
+  let req =
+    S.concat_msb b
+      (List.rev (List.init n (fun i -> S.land_ b dones.(i) out_readys.(i))))
+  in
+  let advance = S.wire b 1 in
+  let rr = Arbiter.round_robin b ~advance req in
+  S.assign advance rr.Arbiter.any_grant;
+  S.assign grant_wire rr.Arbiter.grant;
+  let out_valids = Array.init n (fun i -> S.bit b rr.Arbiter.grant i) in
+  let data_out = S.mux b rr.Arbiter.grant_index (Array.to_list datas) in
+  { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_out };
+    accept = S.gnd b;
+    accept_thread = S.zero b (max 1 (S.clog2 n));
+    busy = S.or_reduce b (Array.to_list dones) }

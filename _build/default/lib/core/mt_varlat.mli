@@ -1,0 +1,31 @@
+(** Variable-latency computation units on multithreaded elastic
+    channels — the paper's model for shared functional units and
+    memories ("instruction and data memory as well as the execution
+    units are considered variable latency units"). *)
+
+module S := Hw.Signal
+
+type latency = Fixed of int | Random of { max_latency : int; seed : int }
+
+type t = {
+  out : Mt_channel.t;
+  accept : S.t;  (** pulse: a token is accepted this cycle *)
+  accept_thread : S.t;  (** binary thread index of the accepted token *)
+  busy : S.t;
+}
+
+val create :
+  ?name:string -> ?f:(S.builder -> S.t -> S.t) ->
+  S.builder -> Mt_channel.t -> latency:latency -> t
+(** Single-context unit: holds one token of whichever thread won the
+    upstream arbitration; [f] is applied combinationally at acceptance
+    (e.g. a memory read — gate write ports with {!field-accept}). *)
+
+val per_thread :
+  ?name:string -> ?f:(S.builder -> S.t -> S.t) ->
+  S.builder -> Mt_channel.t -> latency:latency -> t
+(** Per-thread-context unit: every thread owns a private slot, so
+    threads overlap their latencies (the Fig. 1(c) latency-hiding
+    configuration); finished threads compete for the output through a
+    round-robin arbiter.  [accept]/[accept_thread] are not meaningful
+    for this variant. *)

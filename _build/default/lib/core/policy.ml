@@ -1,0 +1,27 @@
+(* MEB output arbitration policy (Section III and DESIGN.md).
+
+   [Ready_aware] — grant only threads whose downstream ready is already
+   high; every grant transfers, which matches the schedules of Fig. 5.
+   The grant then depends combinationally on downstream ready, so at an
+   M-Join exactly one of the joined producers may use it (the
+   leader/follower rule) or a combinational cycle results — the
+   elaborator rejects such compositions.
+
+   [Valid_only] — grant among threads with buffered data regardless of
+   downstream readiness.  Grants may fail to transfer (the token stays
+   buffered), costing slots under contention, but the control is
+   acyclic in any topology. *)
+
+type t = Ready_aware | Valid_only
+
+let to_string = function Ready_aware -> "ready-aware" | Valid_only -> "valid-only"
+
+(* Thread-interleaving granularity (paper Section I, citing Ungerer et
+   al.): fine-grained selection may change the granted thread every
+   cycle; coarse-grained keeps the winner for up to a quantum of
+   transfers. *)
+type granularity = Fine | Coarse of int
+
+let granularity_to_string = function
+  | Fine -> "fine"
+  | Coarse q -> Printf.sprintf "coarse(%d)" q

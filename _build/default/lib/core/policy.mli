@@ -1,0 +1,25 @@
+(** MEB output-arbitration policy.
+
+    {!Ready_aware} grants only threads whose downstream ready is
+    already high (the paper's arbiter that "takes into account which
+    threads are ready downstream"); every grant transfers.  The grant
+    then depends combinationally on downstream ready: at an M-Join at
+    most one producer may use it (leader/follower rule) or the
+    elaborator rejects the cycle.
+
+    {!Valid_only} grants among buffered threads regardless of
+    downstream readiness: grants can fail to transfer (wasting the
+    slot under contention) but the control is acyclic in any topology;
+    it is also what a {!Barrier} needs upstream, since arrivals are
+    observed through valid while ready is held low. *)
+
+type t = Ready_aware | Valid_only
+
+val to_string : t -> string
+
+(** Thread-interleaving granularity (paper Section I): {!Fine} may
+    switch the granted thread every cycle; [Coarse q] keeps the winner
+    for up to [q] consecutive grants while it has data. *)
+type granularity = Fine | Coarse of int
+
+val granularity_to_string : granularity -> string

@@ -1,0 +1,1 @@
+lib/cpu/asm.ml: Hashtbl Isa List Printf String

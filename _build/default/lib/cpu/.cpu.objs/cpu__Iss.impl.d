@@ -1,0 +1,1 @@
+lib/cpu/iss.ml: Array Isa Printf

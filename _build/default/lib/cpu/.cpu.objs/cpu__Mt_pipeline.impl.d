@@ -1,0 +1,1 @@
+lib/cpu/mt_pipeline.ml: Arbiter Array Bits Hw Isa List Melastic Printf

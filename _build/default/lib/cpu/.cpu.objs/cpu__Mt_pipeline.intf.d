@@ -1,0 +1,1 @@
+lib/cpu/mt_pipeline.mli: Hw Melastic

@@ -1,0 +1,201 @@
+(* A small two-pass assembler for the ISA.
+
+   Syntax, one instruction or directive per line:
+
+     start:  addi r1, r0, 5      ; comments with ';' or '#'
+             lw   r2, 4(r3)
+             beq  r1, r2, done   ; branch targets may be labels
+             j    start
+     done:   halt
+             .word 42            ; literal data word
+
+   Branch label targets assemble to PC-relative immediates; jump label
+   targets to absolute addresses. *)
+
+type line = {
+  label : string option;
+  body : string; (* instruction text, possibly empty *)
+  lineno : int;
+}
+
+exception Error of string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" lineno s))) fmt
+
+let strip_comment s =
+  let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+  cut ';' (cut '#' s)
+
+let parse_lines text =
+  let raw = String.split_on_char '\n' text in
+  List.filteri (fun _ _ -> true) raw
+  |> List.mapi (fun i s -> (i + 1, String.trim (strip_comment s)))
+  |> List.filter (fun (_, s) -> s <> "")
+  |> List.map (fun (lineno, s) ->
+         match String.index_opt s ':' with
+         | Some i
+           when String.for_all
+                  (fun c -> c = '_' || c = '.' ||
+                            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                            || (c >= '0' && c <= '9'))
+                  (String.sub s 0 i) ->
+           { label = Some (String.sub s 0 i);
+             body = String.trim (String.sub s (i + 1) (String.length s - i - 1));
+             lineno }
+         | _ -> { label = None; body = s; lineno })
+
+let split_operands body =
+  match String.index_opt body ' ' with
+  | None -> (String.lowercase_ascii body, [])
+  | Some i ->
+    let m = String.lowercase_ascii (String.sub body 0 i) in
+    let rest = String.sub body i (String.length body - i) in
+    let ops =
+      String.split_on_char ',' rest |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (m, ops)
+
+let parse_reg lineno s =
+  let s = String.lowercase_ascii s in
+  if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some r when r >= 0 && r < Isa.num_regs -> r
+    | _ -> fail lineno "bad register %s" s
+  else fail lineno "expected register, got %s" s
+
+(* Either a number or a label (resolved in pass 2). *)
+type operand_imm = Num of int | Label of string
+
+let parse_imm lineno s =
+  match int_of_string_opt s with
+  | Some n -> Num n
+  | None ->
+    if s <> "" then Label s else fail lineno "expected immediate"
+
+(* "imm(reg)" for memory operands. *)
+let parse_mem lineno s =
+  match String.index_opt s '(' with
+  | Some i when s.[String.length s - 1] = ')' ->
+    let off = String.trim (String.sub s 0 i) in
+    let reg = String.sub s (i + 1) (String.length s - i - 2) in
+    let off = if off = "" then 0 else
+        match int_of_string_opt off with
+        | Some n -> n
+        | None -> fail lineno "bad offset %s" off
+    in
+    (off, parse_reg lineno reg)
+  | _ -> fail lineno "expected offset(register), got %s" s
+
+type statement =
+  | Instr of Isa.opcode * int * int * int * operand_imm (* op rd rs rt imm *)
+  | Word of int
+
+let parse_statement lineno body =
+  let m, ops = split_operands body in
+  let num = List.length ops in
+  let expect n = if num <> n then fail lineno "%s expects %d operands" m n in
+  let reg i = parse_reg lineno (List.nth ops i) in
+  let imm i = parse_imm lineno (List.nth ops i) in
+  match m with
+  | ".word" ->
+    expect 1;
+    (match imm 0 with
+     | Num n -> Word (n land 0xffffffff)
+     | Label _ -> fail lineno ".word takes a number")
+  | "nop" -> expect 0; Instr (Isa.NOP, 0, 0, 0, Num 0)
+  | "halt" -> expect 0; Instr (Isa.HALT, 0, 0, 0, Num 0)
+  | "add" | "sub" | "and" | "or" | "xor" | "slt" | "sltu" | "sll" | "srl"
+  | "sra" | "mul" ->
+    expect 3;
+    let op =
+      match m with
+      | "add" -> Isa.ADD | "sub" -> Isa.SUB | "and" -> Isa.AND | "or" -> Isa.OR
+      | "xor" -> Isa.XOR | "slt" -> Isa.SLT | "sltu" -> Isa.SLTU
+      | "sll" -> Isa.SLL | "srl" -> Isa.SRL | "sra" -> Isa.SRA | _ -> Isa.MUL
+    in
+    Instr (op, reg 0, reg 1, reg 2, Num 0)
+  | "addi" | "andi" | "ori" | "xori" | "slti" ->
+    expect 3;
+    let op =
+      match m with
+      | "addi" -> Isa.ADDI | "andi" -> Isa.ANDI | "ori" -> Isa.ORI
+      | "xori" -> Isa.XORI | _ -> Isa.SLTI
+    in
+    Instr (op, reg 0, reg 1, 0, imm 2)
+  | "lui" -> expect 2; Instr (Isa.LUI, reg 0, 0, 0, imm 1)
+  | "li" ->
+    (* pseudo: li rd, n  ==  addi rd, r0, n (small n only) *)
+    expect 2;
+    Instr (Isa.ADDI, reg 0, 0, 0, imm 1)
+  | "mv" -> expect 2; Instr (Isa.ADD, reg 0, reg 1, 0, Num 0)
+  | "lw" ->
+    expect 2;
+    let off, base = parse_mem lineno (List.nth ops 1) in
+    Instr (Isa.LW, reg 0, base, 0, Num off)
+  | "sw" ->
+    expect 2;
+    let off, base = parse_mem lineno (List.nth ops 1) in
+    Instr (Isa.SW, 0, base, reg 0, Num off)
+  | "beq" | "bne" | "blt" | "bge" ->
+    expect 3;
+    let op =
+      match m with
+      | "beq" -> Isa.BEQ | "bne" -> Isa.BNE | "blt" -> Isa.BLT | _ -> Isa.BGE
+    in
+    Instr (op, 0, reg 0, reg 1, imm 2)
+  | "j" -> expect 1; Instr (Isa.J, 0, 0, 0, imm 0)
+  | "jal" -> expect 2; Instr (Isa.JAL, reg 0, 0, 0, imm 1)
+  | "jr" -> expect 1; Instr (Isa.JR, 0, reg 0, 0, Num 0)
+  | _ -> fail lineno "unknown mnemonic %s" m
+
+(* Assemble to 32-bit words starting at [origin] (word addresses). *)
+let assemble ?(origin = 0) text =
+  let lines = parse_lines text in
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 16 in
+  let pc = ref origin in
+  List.iter
+    (fun l ->
+      (match l.label with
+       | Some name ->
+         if Hashtbl.mem labels name then fail l.lineno "duplicate label %s" name;
+         Hashtbl.replace labels name !pc
+       | None -> ());
+      if l.body <> "" then incr pc)
+    lines;
+  (* Pass 2: encode. *)
+  let resolve lineno ~relative_to = function
+    | Num n -> n
+    | Label name ->
+      (match Hashtbl.find_opt labels name with
+       | None -> fail lineno "undefined label %s" name
+       | Some addr ->
+         (match relative_to with Some pc -> addr - pc | None -> addr))
+  in
+  let pc = ref origin in
+  let words =
+    List.filter_map
+      (fun l ->
+        if l.body = "" then None
+        else begin
+          let this_pc = !pc in
+          incr pc;
+          match parse_statement l.lineno l.body with
+          | Word w -> Some w
+          | Instr (op, rd, rs, rt, imm) ->
+            let relative_to =
+              match op with
+              | Isa.BEQ | Isa.BNE | Isa.BLT | Isa.BGE -> Some this_pc
+              | _ -> None
+            in
+            let imm = resolve l.lineno ~relative_to imm in
+            (try Some (Isa.encode (Isa.make ~rd ~rs ~rt ~imm op))
+             with Invalid_argument msg -> fail l.lineno "%s" msg)
+        end)
+      lines
+  in
+  (words, labels)
+
+let assemble_words ?origin text = fst (assemble ?origin text)

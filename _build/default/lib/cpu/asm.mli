@@ -1,0 +1,15 @@
+(** Two-pass assembler for the ISA.
+
+    One instruction or directive per line; [';'] and ['#'] start
+    comments; [label:] defines a word address.  Branch label targets
+    assemble PC-relative, jump targets absolute.  Pseudo-instructions:
+    [li rd, n] (= addi rd, r0, n) and [mv rd, rs].  [.word n] emits a
+    literal data word. *)
+
+exception Error of string
+
+val assemble : ?origin:int -> string -> int list * (string, int) Hashtbl.t
+(** Returns the 32-bit words and the label table.
+    Raises {!Error} with a line-numbered message. *)
+
+val assemble_words : ?origin:int -> string -> int list

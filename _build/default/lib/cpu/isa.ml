@@ -1,0 +1,126 @@
+(* The processor's instruction set — a 32-bit RISC in the mold of the
+   iDEA soft processor the paper builds on [Cheah et al., FPT 2012]:
+   16 general-purpose registers (r0 wired to zero), ALU / shift /
+   multiply, loads and stores, conditional branches, jumps and HALT.
+
+   Encoding (32 bits):
+     [31:26] opcode   [25:22] rd   [21:18] rs   [17:14] rt   [13:0] imm
+
+   imm is sign-extended except for the bitwise immediates (ANDI / ORI /
+   XORI), which zero-extend.  The PC is word-addressed and
+   [pc_width] bits wide; branch targets are PC-relative, jump targets
+   absolute. *)
+
+type opcode =
+  | NOP
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL
+  | ADDI | ANDI | ORI | XORI | SLTI
+  | LUI
+  | LW | SW
+  | BEQ | BNE | BLT | BGE
+  | J | JAL | JR
+  | HALT
+
+let pc_width = 14
+let imm_width = 14
+let num_regs = 16
+
+let opcode_value = function
+  | NOP -> 0x00
+  | ADD -> 0x01 | SUB -> 0x02 | AND -> 0x03 | OR -> 0x04 | XOR -> 0x05
+  | SLT -> 0x06 | SLTU -> 0x07 | SLL -> 0x08 | SRL -> 0x09 | SRA -> 0x0a
+  | MUL -> 0x0b
+  | ADDI -> 0x10 | ANDI -> 0x11 | ORI -> 0x12 | XORI -> 0x13 | SLTI -> 0x14
+  | LUI -> 0x15
+  | LW -> 0x20 | SW -> 0x21
+  | BEQ -> 0x30 | BNE -> 0x31 | BLT -> 0x32 | BGE -> 0x33
+  | J -> 0x34 | JAL -> 0x35 | JR -> 0x36
+  | HALT -> 0x3f
+
+let opcode_of_value = function
+  | 0x00 -> Some NOP
+  | 0x01 -> Some ADD | 0x02 -> Some SUB | 0x03 -> Some AND | 0x04 -> Some OR
+  | 0x05 -> Some XOR | 0x06 -> Some SLT | 0x07 -> Some SLTU | 0x08 -> Some SLL
+  | 0x09 -> Some SRL | 0x0a -> Some SRA | 0x0b -> Some MUL
+  | 0x10 -> Some ADDI | 0x11 -> Some ANDI | 0x12 -> Some ORI | 0x13 -> Some XORI
+  | 0x14 -> Some SLTI | 0x15 -> Some LUI
+  | 0x20 -> Some LW | 0x21 -> Some SW
+  | 0x30 -> Some BEQ | 0x31 -> Some BNE | 0x32 -> Some BLT | 0x33 -> Some BGE
+  | 0x34 -> Some J | 0x35 -> Some JAL | 0x36 -> Some JR
+  | 0x3f -> Some HALT
+  | _ -> None
+
+type instr = {
+  op : opcode;
+  rd : int;
+  rs : int;
+  rt : int;
+  imm : int; (* raw 14-bit field, unsigned *)
+}
+
+let check_reg r = if r < 0 || r >= num_regs then invalid_arg "Isa: bad register"
+
+let make ?(rd = 0) ?(rs = 0) ?(rt = 0) ?(imm = 0) op =
+  check_reg rd; check_reg rs; check_reg rt;
+  if imm < -(1 lsl (imm_width - 1)) || imm >= 1 lsl imm_width then
+    invalid_arg "Isa: immediate out of range";
+  { op; rd; rs; rt; imm = imm land ((1 lsl imm_width) - 1) }
+
+let encode i =
+  (opcode_value i.op lsl 26) lor (i.rd lsl 22) lor (i.rs lsl 18) lor (i.rt lsl 14)
+  lor i.imm
+
+let decode word =
+  match opcode_of_value ((word lsr 26) land 0x3f) with
+  | None -> None
+  | Some op ->
+    Some
+      { op;
+        rd = (word lsr 22) land 0xf;
+        rs = (word lsr 18) land 0xf;
+        rt = (word lsr 14) land 0xf;
+        imm = word land 0x3fff }
+
+(* Sign-extended immediate as an OCaml int. *)
+let imm_signed i =
+  if i.imm land (1 lsl (imm_width - 1)) <> 0 then i.imm - (1 lsl imm_width)
+  else i.imm
+
+(* Does this opcode sign-extend its immediate? *)
+let sign_extends = function
+  | ANDI | ORI | XORI | LUI -> false
+  | NOP | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL
+  | ADDI | SLTI | LW | SW | BEQ | BNE | BLT | BGE | J | JAL | JR | HALT -> true
+
+let writes_register = function
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL
+  | ADDI | ANDI | ORI | XORI | SLTI | LUI | LW | JAL -> true
+  | NOP | SW | BEQ | BNE | BLT | BGE | J | JR | HALT -> false
+
+let mnemonic = function
+  | NOP -> "nop" | ADD -> "add" | SUB -> "sub" | AND -> "and" | OR -> "or"
+  | XOR -> "xor" | SLT -> "slt" | SLTU -> "sltu" | SLL -> "sll" | SRL -> "srl"
+  | SRA -> "sra" | MUL -> "mul" | ADDI -> "addi" | ANDI -> "andi" | ORI -> "ori"
+  | XORI -> "xori" | SLTI -> "slti" | LUI -> "lui" | LW -> "lw" | SW -> "sw"
+  | BEQ -> "beq" | BNE -> "bne" | BLT -> "blt" | BGE -> "bge" | J -> "j"
+  | JAL -> "jal" | JR -> "jr" | HALT -> "halt"
+
+let all_opcodes =
+  [ NOP; ADD; SUB; AND; OR; XOR; SLT; SLTU; SLL; SRL; SRA; MUL; ADDI; ANDI;
+    ORI; XORI; SLTI; LUI; LW; SW; BEQ; BNE; BLT; BGE; J; JAL; JR; HALT ]
+
+let to_string i =
+  match i.op with
+  | NOP | HALT -> mnemonic i.op
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL ->
+    Printf.sprintf "%s r%d, r%d, r%d" (mnemonic i.op) i.rd i.rs i.rt
+  | ADDI | ANDI | ORI | XORI | SLTI ->
+    Printf.sprintf "%s r%d, r%d, %d" (mnemonic i.op) i.rd i.rs (imm_signed i)
+  | LUI -> Printf.sprintf "lui r%d, %d" i.rd i.imm
+  | LW -> Printf.sprintf "lw r%d, %d(r%d)" i.rd (imm_signed i) i.rs
+  | SW -> Printf.sprintf "sw r%d, %d(r%d)" i.rt (imm_signed i) i.rs
+  | BEQ | BNE | BLT | BGE ->
+    Printf.sprintf "%s r%d, r%d, %d" (mnemonic i.op) i.rs i.rt (imm_signed i)
+  | J -> Printf.sprintf "j %d" i.imm
+  | JAL -> Printf.sprintf "jal r%d, %d" i.rd i.imm
+  | JR -> Printf.sprintf "jr r%d" i.rs

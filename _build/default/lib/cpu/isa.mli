@@ -1,0 +1,47 @@
+(** The processor's instruction set — a 32-bit RISC in the mold of the
+    iDEA soft processor the paper builds on (Cheah et al., FPT 2012):
+    16 registers (r0 = 0), ALU/shift/multiply, loads/stores, branches,
+    jumps, HALT.
+
+    Encoding: [[31:26] opcode | [25:22] rd | [21:18] rs | [17:14] rt |
+    [13:0] imm].  The immediate sign-extends except for ANDI/ORI/XORI/
+    LUI.  The PC is word-addressed, {!pc_width} bits; branches are
+    PC-relative, jumps absolute. *)
+
+type opcode =
+  | NOP
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL
+  | ADDI | ANDI | ORI | XORI | SLTI
+  | LUI
+  | LW | SW
+  | BEQ | BNE | BLT | BGE
+  | J | JAL | JR
+  | HALT
+
+val pc_width : int
+val imm_width : int
+val num_regs : int
+
+val opcode_value : opcode -> int
+val opcode_of_value : int -> opcode option
+
+type instr = {
+  op : opcode;
+  rd : int;
+  rs : int;
+  rt : int;
+  imm : int;  (** raw 14-bit field, unsigned *)
+}
+
+val make : ?rd:int -> ?rs:int -> ?rt:int -> ?imm:int -> opcode -> instr
+(** Validates field ranges; [imm] may be given signed. *)
+
+val encode : instr -> int
+val decode : int -> instr option
+
+val imm_signed : instr -> int
+val sign_extends : opcode -> bool
+val writes_register : opcode -> bool
+val mnemonic : opcode -> string
+val all_opcodes : opcode list
+val to_string : instr -> string

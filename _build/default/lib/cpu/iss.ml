@@ -1,0 +1,120 @@
+(* Reference instruction-set simulator: the architectural golden model
+   the elastic pipeline is checked against.
+
+   Each thread owns a register file and PC; data memory is shared.
+   [step] executes one instruction of one thread.  For co-simulation
+   the test programs keep per-thread data regions disjoint, so any
+   thread interleaving produces the same final state. *)
+
+let mask32 = 0xffffffff
+
+type thread_state = {
+  mutable pc : int;
+  regs : int array;
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+type t = {
+  imem : int array;
+  dmem : int array;
+  threads : thread_state array;
+}
+
+let create ~imem ~dmem_size ~threads ~start_pcs =
+  if Array.length start_pcs <> threads then invalid_arg "Iss.create: start_pcs";
+  { imem;
+    dmem = Array.make dmem_size 0;
+    threads =
+      Array.init threads (fun i ->
+          { pc = start_pcs.(i); regs = Array.make Isa.num_regs 0; halted = false;
+            retired = 0 }) }
+
+let signed32 v = if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+exception Trap of string
+
+(* Execute one instruction for thread [t]; no-op if halted. *)
+let step t (st : thread_state) =
+  if st.halted then ()
+  else begin
+    let word =
+      if st.pc < 0 || st.pc >= Array.length t.imem then
+        raise (Trap (Printf.sprintf "pc out of range: %d" st.pc))
+      else t.imem.(st.pc)
+    in
+    let i =
+      match Isa.decode word with
+      | Some i -> i
+      | None -> raise (Trap (Printf.sprintf "illegal instruction %08x at %d" word st.pc))
+    in
+    let reg r = if r = 0 then 0 else st.regs.(r) in
+    let wreg r v = if r <> 0 then st.regs.(r) <- v land mask32 in
+    let imm_s = Isa.imm_signed i in
+    let imm_z = i.Isa.imm in
+    let a = reg i.Isa.rs and bv = reg i.Isa.rt in
+    let next = ref ((st.pc + 1) land ((1 lsl Isa.pc_width) - 1)) in
+    (match i.Isa.op with
+     | Isa.NOP -> ()
+     | Isa.ADD -> wreg i.Isa.rd (a + bv)
+     | Isa.SUB -> wreg i.Isa.rd (a - bv)
+     | Isa.AND -> wreg i.Isa.rd (a land bv)
+     | Isa.OR -> wreg i.Isa.rd (a lor bv)
+     | Isa.XOR -> wreg i.Isa.rd (a lxor bv)
+     | Isa.SLT -> wreg i.Isa.rd (if signed32 a < signed32 bv then 1 else 0)
+     | Isa.SLTU -> wreg i.Isa.rd (if a < bv then 1 else 0)
+     | Isa.SLL -> wreg i.Isa.rd (a lsl (bv land 31))
+     | Isa.SRL -> wreg i.Isa.rd (a lsr (bv land 31))
+     | Isa.SRA -> wreg i.Isa.rd (signed32 a asr (bv land 31))
+     | Isa.MUL -> wreg i.Isa.rd (a * bv)
+     | Isa.ADDI -> wreg i.Isa.rd (a + imm_s)
+     | Isa.ANDI -> wreg i.Isa.rd (a land imm_z)
+     | Isa.ORI -> wreg i.Isa.rd (a lor imm_z)
+     | Isa.XORI -> wreg i.Isa.rd (a lxor imm_z)
+     | Isa.SLTI -> wreg i.Isa.rd (if signed32 a < imm_s then 1 else 0)
+     | Isa.LUI -> wreg i.Isa.rd (imm_z lsl 18)
+     | Isa.LW ->
+       let addr = (a + imm_s) land mask32 in
+       if addr >= Array.length t.dmem then
+         raise (Trap (Printf.sprintf "load out of range: %d" addr));
+       wreg i.Isa.rd t.dmem.(addr)
+     | Isa.SW ->
+       let addr = (a + imm_s) land mask32 in
+       if addr >= Array.length t.dmem then
+         raise (Trap (Printf.sprintf "store out of range: %d" addr));
+       t.dmem.(addr) <- bv
+     | Isa.BEQ -> if a = bv then next := (st.pc + imm_s) land ((1 lsl Isa.pc_width) - 1)
+     | Isa.BNE -> if a <> bv then next := (st.pc + imm_s) land ((1 lsl Isa.pc_width) - 1)
+     | Isa.BLT ->
+       if signed32 a < signed32 bv then
+         next := (st.pc + imm_s) land ((1 lsl Isa.pc_width) - 1)
+     | Isa.BGE ->
+       if signed32 a >= signed32 bv then
+         next := (st.pc + imm_s) land ((1 lsl Isa.pc_width) - 1)
+     | Isa.J -> next := imm_z land ((1 lsl Isa.pc_width) - 1)
+     | Isa.JAL ->
+       wreg i.Isa.rd (st.pc + 1);
+       next := imm_z land ((1 lsl Isa.pc_width) - 1)
+     | Isa.JR -> next := a land ((1 lsl Isa.pc_width) - 1)
+     | Isa.HALT -> st.halted <- true);
+    st.retired <- st.retired + 1;
+    if not st.halted then st.pc <- !next
+  end
+
+(* Run all threads round-robin (one instruction each per rotation)
+   until every thread halts or the step budget runs out; returns true
+   when all halted. *)
+let run ?(max_steps = 100_000) t =
+  let rec go budget =
+    if Array.for_all (fun st -> st.halted) t.threads then true
+    else if budget <= 0 then false
+    else begin
+      Array.iter (fun st -> step t st) t.threads;
+      go (budget - 1)
+    end
+  in
+  go max_steps
+
+let reg_value t ~thread ~reg = t.threads.(thread).regs.(reg)
+let dmem_value t addr = t.dmem.(addr)
+let halted t ~thread = t.threads.(thread).halted

@@ -1,0 +1,34 @@
+(** Reference instruction-set simulator — the architectural golden
+    model the elastic pipeline is checked against.  Each thread owns a
+    register file and PC; data memory is shared (co-simulation
+    programs keep per-thread regions disjoint so interleaving is
+    immaterial). *)
+
+type thread_state = {
+  mutable pc : int;
+  regs : int array;
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+type t = {
+  imem : int array;
+  dmem : int array;
+  threads : thread_state array;
+}
+
+exception Trap of string
+(** Illegal instruction or out-of-range access. *)
+
+val create :
+  imem:int array -> dmem_size:int -> threads:int -> start_pcs:int array -> t
+
+val step : t -> thread_state -> unit
+(** Execute one instruction of one thread (no-op when halted). *)
+
+val run : ?max_steps:int -> t -> bool
+(** Round-robin all threads until all halt; true when they did. *)
+
+val reg_value : t -> thread:int -> reg:int -> int
+val dmem_value : t -> int -> int
+val halted : t -> thread:int -> bool

@@ -1,0 +1,47 @@
+(** The multithreaded pipelined elastic processor of paper Section
+    V.B: five MEB pipeline stages, per-thread PC and register file,
+    variable-latency instruction memory / execute / data memory, and a
+    one-instruction-per-thread scoreboard (fetch sets it, writeback
+    clears it), so threads hide each other's latencies without
+    intra-thread hazards.
+
+    Exported probes: ["halted_all"], ["halted_vec"], ["retired_total"],
+    per-thread ["retired<i>"], ["wb_fire"].  The register file and the
+    two memories are Memory nodes (block RAMs — excluded from LE
+    counts as in the paper's Table I). *)
+
+module S := Hw.Signal
+
+type config = {
+  threads : int;
+  kind : Melastic.Meb.kind;
+  imem_size : int;
+  dmem_size : int;
+  imem_latency : Melastic.Mt_varlat.latency;
+  exe_latency : Melastic.Mt_varlat.latency;
+  mem_latency : Melastic.Mt_varlat.latency;
+  start_pcs : int array;
+}
+
+val default_config : threads:int -> config
+(** Reduced MEBs, 1 Ki-word memories, fixed single-cycle units, all
+    threads starting at PC 0. *)
+
+type t = {
+  config : config;
+  imem : S.memory;
+  dmem : S.memory;
+  regfile : S.memory;
+}
+
+val create : ?config_name:string -> S.builder -> config -> t
+val circuit : config -> Hw.Circuit.t * t
+
+(** {1 Testbench helpers} *)
+
+val load_program : Hw.Sim.t -> t -> int list -> unit
+val run_until_halted : Hw.Sim.t -> limit:int -> int option
+(** Cycles until every thread halted, or [None] at the limit. *)
+
+val read_reg : Hw.Sim.t -> t -> thread:int -> reg:int -> int
+val read_dmem : Hw.Sim.t -> t -> int -> int

@@ -1,0 +1,1 @@
+lib/elastic/branch.ml: Channel Hw

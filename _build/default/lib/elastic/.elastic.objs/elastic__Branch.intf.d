@@ -1,0 +1,1 @@
+lib/elastic/branch.mli: Channel Hw

@@ -1,0 +1,1 @@
+lib/elastic/channel.mli: Hw

@@ -1,0 +1,1 @@
+lib/elastic/eb.ml: Channel Hw List Printf

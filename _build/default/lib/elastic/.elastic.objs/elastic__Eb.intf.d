@@ -1,0 +1,1 @@
+lib/elastic/eb.mli: Channel Hw

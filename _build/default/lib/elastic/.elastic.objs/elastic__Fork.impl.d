@@ -1,0 +1,1 @@
+lib/elastic/fork.ml: Array Channel Hw List Printf

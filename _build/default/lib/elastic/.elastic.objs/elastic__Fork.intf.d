@@ -1,0 +1,1 @@
+lib/elastic/fork.mli: Channel Hw

@@ -1,0 +1,1 @@
+lib/elastic/join.ml: Channel Hw List

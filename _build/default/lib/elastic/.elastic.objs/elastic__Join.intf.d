@@ -1,0 +1,1 @@
+lib/elastic/join.mli: Channel Hw

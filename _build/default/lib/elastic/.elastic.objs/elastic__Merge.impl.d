@@ -1,0 +1,1 @@
+lib/elastic/merge.ml: Channel Hw

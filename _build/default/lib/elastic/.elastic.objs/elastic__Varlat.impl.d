@@ -1,0 +1,1 @@
+lib/elastic/varlat.ml: Channel Hw

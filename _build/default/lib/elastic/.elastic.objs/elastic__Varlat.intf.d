@@ -1,0 +1,1 @@
+lib/elastic/varlat.mli: Channel Hw

@@ -1,0 +1,8 @@
+(** Branch (Fig. 3): steer the input token by a 1-bit condition
+    (combinational in the input data). *)
+
+module S := Hw.Signal
+
+type t = { out_true : Channel.t; out_false : Channel.t }
+
+val create : S.builder -> Channel.t -> cond:S.t -> t

@@ -1,0 +1,56 @@
+(* A single-thread elastic channel: data plus the valid/ready handshake
+   of Fig. 2 of the paper.  A transfer happens on a cycle where both
+   [valid] and [ready] are high.
+
+   Convention: the producer of a channel drives [valid] and [data] and
+   creates [ready] as an unassigned wire; the consumer assigns [ready].
+   Operators consume their input channels (assigning the input's
+   [ready]) and produce fresh output channels. *)
+
+module S = Hw.Signal
+
+type t = { valid : S.t; data : S.t; ready : S.t }
+
+let width t = S.width t.data
+
+(* A channel whose three signals are wires; used for feedback loops. *)
+let wires b ~width =
+  { valid = S.wire b 1; data = S.wire b width; ready = S.wire b 1 }
+
+(* Connect producer [src] to consumer-side channel [dst] (both created
+   with [wires]): forwards valid/data downstream and ready upstream. *)
+let connect ~src ~dst =
+  S.assign dst.valid src.valid;
+  S.assign dst.data src.data;
+  S.assign src.ready dst.ready
+
+let transfer b t = S.land_ b t.valid t.ready
+
+(* Map the payload through a combinational function; handshake passes
+   through untouched. *)
+let map b t ~f = { t with data = f b t.data }
+
+(* Host-driven source: the testbench pokes <name>_valid / <name>_data
+   and reads <name>_ready. *)
+let source b ~name ~width =
+  let valid = S.input b (name ^ "_valid") 1 in
+  let data = S.input b (name ^ "_data") width in
+  let ready = S.wire b 1 in
+  ignore (S.output b (name ^ "_ready") ready);
+  { valid; data; ready }
+
+(* Host-driven sink: the testbench pokes <name>_ready and reads
+   <name>_valid / <name>_data. *)
+let sink b ~name t =
+  ignore (S.output b (name ^ "_valid") t.valid);
+  ignore (S.output b (name ^ "_data") t.data);
+  let ready = S.input b (name ^ "_ready") 1 in
+  S.assign t.ready ready;
+  ignore (S.output b (name ^ "_fire") (S.land_ b t.valid ready))
+
+(* Name the channel's signals for waveforms and peeking. *)
+let label t ~name =
+  ignore (S.set_name t.valid (name ^ "_valid"));
+  ignore (S.set_name t.data (name ^ "_data"));
+  ignore (S.set_name t.ready (name ^ "_ready"));
+  t

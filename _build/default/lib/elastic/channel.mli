@@ -1,0 +1,38 @@
+(** A single-thread elastic channel (paper Fig. 2): a data word plus
+    the valid/ready handshake.  A transfer occurs on every cycle where
+    both [valid] and [ready] are high.
+
+    Convention: the producer drives [valid]/[data] and creates [ready]
+    as an unassigned wire; the consumer assigns [ready].  Operators
+    consume their inputs (assigning the ready) and return fresh
+    output channels. *)
+
+module S := Hw.Signal
+
+type t = { valid : S.t; data : S.t; ready : S.t }
+
+val width : t -> int
+
+val wires : S.builder -> width:int -> t
+(** A channel of three unassigned wires, for feedback loops. *)
+
+val connect : src:t -> dst:t -> unit
+(** Forward [src]'s valid/data into [dst]'s wires and [dst]'s ready
+    back into [src]'s. *)
+
+val transfer : S.builder -> t -> S.t
+(** 1-bit: a transfer happens this cycle. *)
+
+val map : S.builder -> t -> f:(S.builder -> S.t -> S.t) -> t
+(** Combinationally transform the payload; handshake untouched. *)
+
+val source : S.builder -> name:string -> width:int -> t
+(** Host-driven producer: poke [<name>_valid] / [<name>_data], read
+    [<name>_ready]. *)
+
+val sink : S.builder -> name:string -> t -> unit
+(** Host-driven consumer: poke [<name>_ready], read [<name>_valid] /
+    [<name>_data] / [<name>_fire]. *)
+
+val label : t -> name:string -> t
+(** Name the channel's signals [<name>_valid/_data/_ready]. *)

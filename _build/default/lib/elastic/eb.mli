@@ -1,0 +1,19 @@
+(** The baseline 2-slot elastic buffer of Section II: a 3-state FSM
+    (EMPTY/HALF/FULL) over a main and an auxiliary register.  With
+    one-cycle forward and backward handshake latency, two slots are
+    the minimum for full throughput [Carloni et al.].  Both [valid]
+    and [ready] derive from registered state only, so EB-separated
+    logic has no combinational handshake paths. *)
+
+module S := Hw.Signal
+
+type t = {
+  out : Channel.t;
+  state : S.t;  (** 2-bit FSM state (0 empty / 1 half / 2 full) *)
+  occupancy : S.t;  (** items stored: 0, 1 or 2 *)
+}
+
+val create : ?name:string -> S.builder -> Channel.t -> t
+
+val chain : ?name:string -> S.builder -> n:int -> Channel.t -> Channel.t * t list
+(** [n] EBs in series; returns the final channel and every stage. *)

@@ -1,0 +1,13 @@
+(** Fork (Fig. 3): replicate one token to [n] outputs.
+
+    [eager] serves each output as soon as it is ready (one done-flag
+    per branch) and keeps the input ready independent of the input
+    valid — safe to compose with ready-aware producers and downstream
+    joins.  [lazy_] fires all outputs in the same cycle; composing it
+    with a join creates the textbook combinational cycle (rejected at
+    elaboration), so it exists for completeness and negative tests. *)
+
+module S := Hw.Signal
+
+val eager : ?name:string -> S.builder -> Channel.t -> n:int -> Channel.t list
+val lazy_ : S.builder -> Channel.t -> n:int -> Channel.t list

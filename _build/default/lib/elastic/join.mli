@@ -1,0 +1,13 @@
+(** Lazy join (Fig. 3): fires when every input is valid; inputs are
+    consumed simultaneously.  [combine] builds the output payload
+    (default: MSB-first concatenation). *)
+
+module S := Hw.Signal
+
+val create :
+  ?combine:(S.builder -> S.t -> S.t -> S.t) ->
+  S.builder -> Channel.t -> Channel.t -> Channel.t
+
+val create_list :
+  ?combine:(S.builder -> S.t -> S.t -> S.t) ->
+  S.builder -> Channel.t list -> Channel.t

@@ -1,0 +1,7 @@
+(** Merge (Fig. 3): funnel two channels into one.  Inputs produced by
+    a branch are mutually exclusive; if both are valid anyway, input A
+    has priority and B waits (no token is dropped). *)
+
+module S := Hw.Signal
+
+val create : S.builder -> Channel.t -> Channel.t -> Channel.t

@@ -1,0 +1,14 @@
+(** A variable-latency elastic unit holding one token: on acceptance
+    the payload is transformed by [f] and a latency is sampled (fixed
+    or LFSR-driven); the output turns valid when the down-counter
+    expires.  Models the paper's variable-latency computations. *)
+
+module S := Hw.Signal
+
+type latency_source =
+  | Fixed of int
+  | Random of { max_latency : int; seed : int }
+
+val create :
+  ?name:string -> ?f:(S.builder -> S.t -> S.t) ->
+  S.builder -> Channel.t -> latency:latency_source -> Channel.t

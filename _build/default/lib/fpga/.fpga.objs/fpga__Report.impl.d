@@ -1,0 +1,1 @@
+lib/fpga/report.ml: Format Hw List Tech Timing

@@ -1,0 +1,1 @@
+lib/fpga/tech.ml: Array Hashtbl Hw List Option

@@ -1,0 +1,1 @@
+lib/fpga/tech.mli: Hw

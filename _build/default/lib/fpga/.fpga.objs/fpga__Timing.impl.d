@@ -1,0 +1,1 @@
+lib/fpga/timing.ml: Array Hashtbl Hw List Option Tech

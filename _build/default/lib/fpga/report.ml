@@ -1,0 +1,39 @@
+(* Implementation reports in the shape of the paper's Table I. *)
+
+type row = {
+  label : string;
+  les : int;
+  luts : int;
+  ffs : int;
+  brams : int;
+  dsps : int;
+  fmax_mhz : float;
+  critical_path_ns : float;
+}
+
+let of_circuit ?params ~label (c : Hw.Circuit.t) =
+  let cost = Tech.circuit_cost c in
+  let timing = Timing.analyze ?params c in
+  { label;
+    les = Tech.les cost;
+    luts = cost.Tech.luts;
+    ffs = cost.Tech.ffs;
+    brams = cost.Tech.brams;
+    dsps = cost.Tech.dsps;
+    fmax_mhz = timing.Timing.fmax_mhz;
+    critical_path_ns = timing.Timing.critical_path_ns }
+
+let pp_table fmt rows =
+  Format.fprintf fmt "%-28s %8s %8s %8s %6s %5s %10s %9s@."
+    "design" "LEs" "LUTs" "FFs" "BRAM" "DSP" "Fmax(MHz)" "Tcrit(ns)";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %8d %8d %8d %6d %5d %10.1f %9.2f@."
+        r.label r.les r.luts r.ffs r.brams r.dsps r.fmax_mhz r.critical_path_ns)
+    rows
+
+let to_string rows = Format.asprintf "%a" pp_table rows
+
+(* Percentage saving of [reduced] relative to [full], in LEs. *)
+let area_saving ~full ~reduced =
+  100.0 *. (1.0 -. (float_of_int reduced.les /. float_of_int full.les))

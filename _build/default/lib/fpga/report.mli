@@ -1,0 +1,19 @@
+(** Implementation reports in the shape of the paper's Table I. *)
+
+type row = {
+  label : string;
+  les : int;
+  luts : int;
+  ffs : int;
+  brams : int;
+  dsps : int;
+  fmax_mhz : float;
+  critical_path_ns : float;
+}
+
+val of_circuit : ?params:Timing.params -> label:string -> Hw.Circuit.t -> row
+val pp_table : Format.formatter -> row list -> unit
+val to_string : row list -> string
+
+val area_saving : full:row -> reduced:row -> float
+(** Percentage LE saving of [reduced] relative to [full]. *)

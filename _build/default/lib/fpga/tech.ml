@@ -1,0 +1,134 @@
+(* FPGA technology mapping model.
+
+   The target is an Altera-Cyclone-class device: one logic element (LE)
+   = one 4-input LUT plus one flip-flop.  Mapping rules per netlist
+   node (width [w]):
+
+   - wiring (const/input/wire/concat/select): free
+   - [Not]: free — inverters fold into downstream LUT masks
+   - 2-input bitwise gate: [w] LUTs
+   - add/sub: [w] LEs in carry-chain mode
+   - equality: a balanced reduction of [2w] inputs, ceil((2w-1)/3) LUTs
+   - unsigned/signed compare: carry-chain comparator, [w] LUTs
+   - k-ary mux: a tree of (k-1) 2:1 muxes per bit, each one LUT
+   - multiplier: DSP block (counted separately, as the paper excludes
+     DSPs from Table I)
+   - register: [w] FFs; an FF packs into the LE of the LUT driving it
+     when that LUT output has no other fanout
+   - memory read: block RAM (counted separately, also excluded) *)
+
+type cost = {
+  luts : int;
+  ffs : int;
+  packed_ffs : int; (* FFs absorbed into the LE of their driving LUT *)
+  dsps : int;
+  brams : int;
+}
+
+let zero_cost = { luts = 0; ffs = 0; packed_ffs = 0; dsps = 0; brams = 0 }
+
+let add_cost a b =
+  { luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    packed_ffs = a.packed_ffs + b.packed_ffs;
+    dsps = a.dsps + b.dsps;
+    brams = a.brams + b.brams }
+
+(* LEs consumed: every LUT needs an LE; an unpacked FF needs its own. *)
+let les c = c.luts + (c.ffs - c.packed_ffs)
+
+let lut_tree_size inputs = if inputs <= 1 then 0 else (inputs - 1 + 2) / 3
+
+(* Does this node produce its result in LUTs (so a downstream FF can
+   pack with it)? *)
+let produces_lut (s : Hw.Signal.t) =
+  match s.Hw.Signal.op with
+  | Hw.Signal.Binop (Hw.Signal.Mul, _, _) -> false
+  | Hw.Signal.Binop _ | Hw.Signal.Mux _ -> true
+  | Hw.Signal.Const _ | Hw.Signal.Input _ | Hw.Signal.Wire _ | Hw.Signal.Not _
+  | Hw.Signal.Concat _ | Hw.Signal.Select _ | Hw.Signal.Reg _
+  | Hw.Signal.Mem_read _ -> false
+
+(* Follow wiring nodes to the signal that actually computes a value. *)
+let rec resolve (s : Hw.Signal.t) =
+  match s.Hw.Signal.op with
+  | Hw.Signal.Wire { driver = Some d } -> resolve d
+  | Hw.Signal.Not x -> resolve x (* inversion folds away *)
+  | _ -> s
+
+let node_cost ~fanout (s : Hw.Signal.t) =
+  let w = s.Hw.Signal.width in
+  match s.Hw.Signal.op with
+  | Hw.Signal.Const _ | Hw.Signal.Input _ | Hw.Signal.Wire _ | Hw.Signal.Not _
+  | Hw.Signal.Concat _ | Hw.Signal.Select _ -> zero_cost
+  | Hw.Signal.Binop (op, x, _) ->
+    (match op with
+     | Hw.Signal.And | Hw.Signal.Or | Hw.Signal.Xor -> { zero_cost with luts = w }
+     | Hw.Signal.Add | Hw.Signal.Sub -> { zero_cost with luts = w }
+     | Hw.Signal.Eq -> { zero_cost with luts = lut_tree_size (2 * x.Hw.Signal.width) }
+     | Hw.Signal.Ult | Hw.Signal.Slt -> { zero_cost with luts = x.Hw.Signal.width }
+     | Hw.Signal.Mul -> { zero_cost with dsps = 1 })
+  | Hw.Signal.Mux (sel, cases) ->
+    let k = Array.length cases in
+    let all_const =
+      Array.for_all
+        (fun (c : Hw.Signal.t) ->
+          match (resolve c).Hw.Signal.op with Hw.Signal.Const _ -> true | _ -> false)
+        cases
+    in
+    if all_const then
+      (* A mux of constants is just a function of the selector bits:
+         one LUT per output bit while the selector fits a 4-LUT. *)
+      { zero_cost with luts = w * max 1 ((sel.Hw.Signal.width + 3) / 4) }
+    else
+      (* Altera-class LEs implement wide muxes at roughly two LEs per
+         4:1 stage and bit (cascade-chain packing): 2(k-1)/3 LUTs per
+         bit rather than a naive k-1 tree of 2:1s. *)
+      { zero_cost with luts = (((2 * (k - 1)) + 2) / 3) * w }
+  | Hw.Signal.Reg { d; _ } ->
+    let driver = resolve d in
+    let packs = produces_lut driver && fanout driver.Hw.Signal.uid = 1 in
+    { zero_cost with ffs = w; packed_ffs = (if packs then w else 0) }
+  | Hw.Signal.Mem_read _ -> { zero_cost with brams = 1 }
+
+let fanout_table (c : Hw.Circuit.t) =
+  let fanout = Hashtbl.create 1024 in
+  let bump (s : Hw.Signal.t) =
+    let s = resolve s in
+    let u = s.Hw.Signal.uid in
+    Hashtbl.replace fanout u (1 + Option.value ~default:0 (Hashtbl.find_opt fanout u))
+  in
+  Hw.Circuit.iter_nodes c (fun s ->
+      (match s.Hw.Signal.op with
+       | Hw.Signal.Const _ | Hw.Signal.Input _ -> ()
+       (* Wires and inverters are transparent (resolve folds through
+          them): their consumers already bump the resolved driver, so
+          bumping here would double-count and defeat FF packing. *)
+       | Hw.Signal.Wire _ | Hw.Signal.Not _ -> ()
+       | Hw.Signal.Binop (_, x, y) -> bump x; bump y
+       | Hw.Signal.Mux (sel, cases) -> bump sel; Array.iter bump cases
+       | Hw.Signal.Concat parts -> List.iter bump parts
+       | Hw.Signal.Select { arg; _ } -> bump arg
+       | Hw.Signal.Reg { d; enable; clear; _ } ->
+         bump d;
+         Option.iter bump enable;
+         Option.iter bump clear
+       | Hw.Signal.Mem_read { addr; _ } -> bump addr);
+      ());
+  List.iter
+    (fun (m : Hw.Signal.memory) ->
+      List.iter
+        (fun (p : Hw.Signal.write_port) ->
+          bump p.Hw.Signal.we; bump p.Hw.Signal.waddr; bump p.Hw.Signal.wdata)
+        m.Hw.Signal.write_ports)
+    c.Hw.Circuit.memories;
+  (* Circuit outputs are sinks too: a LUT that also drives an output
+     port cannot be absorbed into a register's LE. *)
+  List.iter (fun (_, s) -> bump s) c.Hw.Circuit.outputs;
+  fun uid -> Option.value ~default:0 (Hashtbl.find_opt fanout uid)
+
+let circuit_cost (c : Hw.Circuit.t) =
+  let fanout = fanout_table c in
+  let total = ref zero_cost in
+  Hw.Circuit.iter_nodes c (fun s -> total := add_cost !total (node_cost ~fanout s));
+  !total

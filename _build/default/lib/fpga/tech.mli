@@ -1,0 +1,39 @@
+(** FPGA technology-mapping model: Altera-Cyclone-class logic elements
+    (one 4-input LUT + one flip-flop each).
+
+    Mapping rules (width [w]): wiring and inverters are free; 2-input
+    gates and add/sub/compare cost [w] LUTs (carry chains); equality is
+    a balanced LUT reduction; a k-ary mux costs 2(k-1)/3 LUTs per bit
+    (one LUT per bit if every case is a constant); registers cost [w]
+    FFs, and an FF packs for free into the LE of the LUT driving it
+    when that LUT has no other fanout.  Multipliers map to DSP blocks
+    and memories to block RAMs, counted separately and excluded from
+    the LE totals exactly as the paper's Table I excludes them. *)
+
+type cost = {
+  luts : int;
+  ffs : int;
+  packed_ffs : int;  (** FFs absorbed into their driving LUT's LE *)
+  dsps : int;
+  brams : int;
+}
+
+val zero_cost : cost
+val add_cost : cost -> cost -> cost
+
+val les : cost -> int
+(** Logic elements consumed: [luts + (ffs - packed_ffs)]. *)
+
+val lut_tree_size : int -> int
+(** 4-LUTs needed to reduce [n] inputs with 3-input steps. *)
+
+val resolve : Hw.Signal.t -> Hw.Signal.t
+(** Follow wires and inverter folds to the computing node. *)
+
+val produces_lut : Hw.Signal.t -> bool
+
+val node_cost : fanout:(int -> int) -> Hw.Signal.t -> cost
+(** Cost of one node given a fanout oracle (uid -> sink count). *)
+
+val fanout_table : Hw.Circuit.t -> int -> int
+val circuit_cost : Hw.Circuit.t -> cost

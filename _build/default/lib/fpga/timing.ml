@@ -1,0 +1,121 @@
+(* Static timing analysis over the word-level netlist.
+
+   Each node gets a propagation delay (ns); arrival times are the
+   longest combinational paths from state elements / inputs.  The
+   clock period is the worst register-to-register (or input-to-register
+   / register-to-output) path plus sequencing overhead, inflated by an
+   area-dependent routing factor: bigger designs route worse, which is
+   how the paper's reduced-MEB designs end up marginally faster. *)
+
+type params = {
+  t_lut : float; (* one LUT level, incl. local interconnect *)
+  t_carry : float; (* per-bit carry propagation *)
+  t_clk_q : float;
+  t_setup : float;
+  t_mem : float; (* async memory read *)
+  t_dsp : float;
+  route_alpha : float; (* routing inflation per log2(LE) *)
+}
+
+(* Calibrated so the two Table I designs land in the paper's Fmax
+   range (see EXPERIMENTS.md); the full-vs-reduced comparisons do not
+   depend on the calibration. *)
+let default_params =
+  { t_lut = 0.22; t_carry = 0.018; t_clk_q = 0.10; t_setup = 0.06; t_mem = 0.9;
+    t_dsp = 1.5; route_alpha = 0.0012 }
+
+let mux_levels k =
+  (* Depth of a balanced tree of 2:1 muxes with [k] leaves. *)
+  let rec go k acc = if k <= 1 then acc else go ((k + 1) / 2) (acc + 1) in
+  go k 0
+
+let node_delay p (s : Hw.Signal.t) =
+  match s.Hw.Signal.op with
+  | Hw.Signal.Const _ | Hw.Signal.Input _ | Hw.Signal.Wire _ | Hw.Signal.Not _
+  | Hw.Signal.Concat _ | Hw.Signal.Select _ -> 0.0
+  | Hw.Signal.Binop (op, x, _) ->
+    (match op with
+     | Hw.Signal.And | Hw.Signal.Or | Hw.Signal.Xor -> p.t_lut
+     | Hw.Signal.Add | Hw.Signal.Sub | Hw.Signal.Ult | Hw.Signal.Slt ->
+       p.t_lut +. (p.t_carry *. float_of_int x.Hw.Signal.width)
+     | Hw.Signal.Eq ->
+       (* Balanced LUT reduction of 2w inputs: log base 3 levels. *)
+       let inputs = 2 * x.Hw.Signal.width in
+       let rec levels n acc = if n <= 1 then acc else levels ((n + 2) / 3) (acc + 1) in
+       p.t_lut *. float_of_int (levels inputs 0)
+     | Hw.Signal.Mul -> p.t_dsp)
+  | Hw.Signal.Mux (_, cases) -> p.t_lut *. float_of_int (mux_levels (Array.length cases))
+  | Hw.Signal.Reg _ -> 0.0 (* handled as a path endpoint/startpoint *)
+  | Hw.Signal.Mem_read _ -> p.t_mem
+
+type result = {
+  critical_path_ns : float;
+  fmax_mhz : float;
+  route_factor : float;
+  critical_nodes : string list; (* description of the worst path, endpoint first *)
+}
+
+let analyze ?(params = default_params) (c : Hw.Circuit.t) =
+  (* Longest arrival time at each node output. *)
+  let arrival = Hashtbl.create 1024 in
+  let pred = Hashtbl.create 1024 in
+  let get (s : Hw.Signal.t) = Option.value ~default:0.0 (Hashtbl.find_opt arrival s.Hw.Signal.uid) in
+  Hw.Circuit.iter_nodes c (fun s ->
+      let start, deps =
+        match s.Hw.Signal.op with
+        | Hw.Signal.Reg _ -> params.t_clk_q, []
+        | Hw.Signal.Const _ | Hw.Signal.Input _ -> 0.0, []
+        | _ -> 0.0, Hw.Circuit.comb_deps s
+      in
+      let worst, worst_dep =
+        List.fold_left
+          (fun (w, wd) d -> let a = get d in if a > w then (a, Some d) else (w, wd))
+          (start, None) deps
+      in
+      Hashtbl.replace arrival s.Hw.Signal.uid (worst +. node_delay params s);
+      match worst_dep with
+      | Some d -> Hashtbl.replace pred s.Hw.Signal.uid d
+      | None -> ());
+  (* Worst path ends at a register data/enable/clear pin (+ setup) or at
+     a memory write port. *)
+  let worst = ref 0.0 and worst_end = ref None in
+  let consider (s : Hw.Signal.t) =
+    let a = get s +. params.t_setup in
+    if a > !worst then begin worst := a; worst_end := Some s end
+  in
+  Hw.Circuit.iter_nodes c (fun s ->
+      match s.Hw.Signal.op with
+      | Hw.Signal.Reg { d; enable; clear; _ } ->
+        consider d;
+        Option.iter consider enable;
+        Option.iter consider clear
+      | _ -> ());
+  List.iter
+    (fun (m : Hw.Signal.memory) ->
+      List.iter
+        (fun (p : Hw.Signal.write_port) ->
+          consider p.Hw.Signal.we; consider p.Hw.Signal.waddr; consider p.Hw.Signal.wdata)
+        m.Hw.Signal.write_ports)
+    c.Hw.Circuit.memories;
+  let les = Tech.les (Tech.circuit_cost c) in
+  (* Average wire length grows with the square root of placed area:
+     bigger designs route slower, which is why the paper's reduced-MEB
+     designs come out marginally faster. *)
+  let route_factor =
+    1.0 +. (params.route_alpha *. sqrt (float_of_int (max 1 les)))
+  in
+  let critical = !worst *. route_factor in
+  let critical = max critical 0.001 in
+  let path =
+    let rec walk acc (s : Hw.Signal.t) =
+      let acc = Hw.Circuit.describe s :: acc in
+      match Hashtbl.find_opt pred s.Hw.Signal.uid with
+      | Some d -> walk acc d
+      | None -> acc
+    in
+    match !worst_end with Some s -> List.rev (walk [] s) | None -> []
+  in
+  { critical_path_ns = critical;
+    fmax_mhz = 1000.0 /. critical;
+    route_factor;
+    critical_nodes = path }

@@ -1,0 +1,34 @@
+(** Static timing analysis over the word-level netlist.
+
+    Longest register/input-to-register path (plus sequencing overhead),
+    inflated by an area-dependent routing factor — average wire length
+    grows with the square root of placed area, which is why the
+    paper's smaller reduced-MEB designs come out marginally faster.
+
+    [default_params] is calibrated so the two Table I designs land in
+    the paper's Fmax range (see EXPERIMENTS.md); relative comparisons
+    do not depend on the calibration. *)
+
+type params = {
+  t_lut : float;  (** one LUT level incl. local interconnect, ns *)
+  t_carry : float;  (** per-bit carry propagation, ns *)
+  t_clk_q : float;
+  t_setup : float;
+  t_mem : float;  (** asynchronous memory read, ns *)
+  t_dsp : float;
+  route_alpha : float;  (** routing inflation per sqrt(LE) *)
+}
+
+val default_params : params
+
+val mux_levels : int -> int
+val node_delay : params -> Hw.Signal.t -> float
+
+type result = {
+  critical_path_ns : float;
+  fmax_mhz : float;
+  route_factor : float;
+  critical_nodes : string list;  (** worst path, endpoint first *)
+}
+
+val analyze : ?params:params -> Hw.Circuit.t -> result

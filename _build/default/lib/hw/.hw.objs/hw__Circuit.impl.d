@@ -1,0 +1,1 @@
+lib/hw/circuit.ml: Array Hashtbl List Printf Signal String

@@ -1,0 +1,1 @@
+lib/hw/circuit.mli: Hashtbl Signal

@@ -1,0 +1,1 @@
+lib/hw/lfsr.ml: Bits List Printf Signal

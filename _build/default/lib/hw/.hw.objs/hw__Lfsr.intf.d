@@ -1,0 +1,1 @@
+lib/hw/lfsr.mli: Signal

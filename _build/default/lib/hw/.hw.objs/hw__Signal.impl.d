@@ -1,0 +1,1 @@
+lib/hw/signal.ml: Array Bits List Printf

@@ -1,0 +1,1 @@
+lib/hw/signal.mli: Bits

@@ -1,0 +1,1 @@
+lib/hw/sim.ml: Array Bits Circuit Hashtbl List Printf Signal

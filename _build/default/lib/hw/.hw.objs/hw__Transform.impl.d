@@ -1,0 +1,1 @@
+lib/hw/transform.ml: Array Bits Circuit Hashtbl Int List Map Option Signal

@@ -1,0 +1,1 @@
+lib/hw/vcd.ml: Bits Char Hashtbl List Printf Signal Sim String

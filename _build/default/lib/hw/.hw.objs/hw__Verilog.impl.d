@@ -1,0 +1,1 @@
+lib/hw/verilog.ml: Array Bits Buffer Circuit Hashtbl List Printf Signal String

@@ -1,0 +1,1 @@
+lib/hw/verilog_tb.ml: Bits Buffer Circuit Hashtbl List Printf Signal Sim Verilog

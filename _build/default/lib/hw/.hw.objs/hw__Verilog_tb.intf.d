@@ -1,0 +1,1 @@
+lib/hw/verilog_tb.mli: Buffer Sim

@@ -1,0 +1,1 @@
+lib/hw/wave.ml: Array Bits Buffer List Signal Sim String

@@ -1,0 +1,130 @@
+(* Elaboration of a built netlist: wire resolution, input/output maps,
+   combinational-cycle detection and a levelized evaluation order. *)
+
+type t = {
+  name : string;
+  order : Signal.t array; (* every node, topologically sorted for comb eval *)
+  inputs : (string, Signal.t) Hashtbl.t;
+  outputs : (string * Signal.t) list;
+  named : (string, Signal.t) Hashtbl.t; (* every named signal, incl. outputs *)
+  memories : Signal.memory list;
+  max_uid : int;
+}
+
+exception Combinational_cycle of string
+
+let comb_deps (s : Signal.t) : Signal.t list =
+  match s.op with
+  | Signal.Const _ | Signal.Input _ -> []
+  | Signal.Wire w ->
+    (match w.driver with
+     | Some d -> [ d ]
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Circuit: wire %s (uid %d) was never assigned"
+            (match s.name with Some n -> n | None -> "<anonymous>")
+            s.uid))
+  | Signal.Not x -> [ x ]
+  | Signal.Binop (_, x, y) -> [ x; y ]
+  | Signal.Mux (sel, cases) -> sel :: Array.to_list cases
+  | Signal.Concat parts -> parts
+  | Signal.Select { arg; _ } -> [ arg ]
+  | Signal.Reg _ -> [] (* register output is a state source *)
+  | Signal.Mem_read { addr; _ } -> [ addr ]
+
+let describe (s : Signal.t) =
+  let kind =
+    match s.op with
+    | Signal.Const _ -> "const"
+    | Signal.Input n -> "input " ^ n
+    | Signal.Wire _ -> "wire"
+    | Signal.Not _ -> "not"
+    | Signal.Binop (op, _, _) ->
+      (match op with
+       | Signal.And -> "and" | Signal.Or -> "or" | Signal.Xor -> "xor"
+       | Signal.Add -> "add" | Signal.Sub -> "sub" | Signal.Mul -> "mul"
+       | Signal.Eq -> "eq" | Signal.Ult -> "ult" | Signal.Slt -> "slt")
+    | Signal.Mux _ -> "mux"
+    | Signal.Concat _ -> "concat"
+    | Signal.Select _ -> "select"
+    | Signal.Reg _ -> "reg"
+    | Signal.Mem_read _ -> "mem_read"
+  in
+  Printf.sprintf "%s#%d%s" kind s.uid
+    (match s.name with Some n -> "(" ^ n ^ ")" | None -> "")
+
+(* Depth-first topological sort with an explicit on-stack marker so a
+   combinational cycle is reported with its full path. *)
+let topo_sort (nodes : Signal.t list) =
+  let state : (int, [ `Visiting | `Done ]) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref [] in
+  let rec visit path (s : Signal.t) =
+    match Hashtbl.find_opt state s.uid with
+    | Some `Done -> ()
+    | Some `Visiting ->
+      let cycle =
+        List.rev (describe s :: List.map describe path)
+        |> String.concat " -> "
+      in
+      raise (Combinational_cycle cycle)
+    | None ->
+      Hashtbl.replace state s.uid `Visiting;
+      List.iter (visit (s :: path)) (comb_deps s);
+      Hashtbl.replace state s.uid `Done;
+      order := s :: !order
+  in
+  List.iter (visit []) nodes;
+  List.rev !order
+
+let create ?(name = "circuit") (b : Signal.builder) =
+  let nodes = List.rev b.Signal.Builder.nodes in
+  let order = Array.of_list (topo_sort nodes) in
+  let inputs = Hashtbl.create 16 in
+  let named = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Signal.t) ->
+      (match s.op with
+       | Signal.Input n ->
+         if Hashtbl.mem inputs n then
+           invalid_arg (Printf.sprintf "Circuit: duplicate input name %s" n);
+         Hashtbl.replace inputs n s
+       | _ -> ());
+      match s.name with
+      | Some n ->
+        if Hashtbl.mem named n then
+          invalid_arg (Printf.sprintf "Circuit: duplicate signal name %s" n);
+        Hashtbl.replace named n s
+      | None -> ())
+    nodes;
+  (* Output names are peekable aliases even when the signal already
+     carries an internal name. *)
+  List.iter
+    (fun (n, s) ->
+      match Hashtbl.find_opt named n with
+      | None -> Hashtbl.replace named n s
+      | Some existing when existing == s -> ()
+      | Some _ -> invalid_arg (Printf.sprintf "Circuit: duplicate signal name %s" n))
+    b.Signal.Builder.outputs;
+  { name;
+    order;
+    inputs;
+    outputs = List.rev b.Signal.Builder.outputs;
+    named;
+    memories = List.rev b.Signal.Builder.memories;
+    max_uid = b.Signal.Builder.next_uid }
+
+let find_named t n =
+  match Hashtbl.find_opt t.named n with
+  | Some s -> s
+  | None ->
+    (match Hashtbl.find_opt t.inputs n with
+     | Some s -> s
+     | None -> invalid_arg (Printf.sprintf "Circuit %s: no signal named %s" t.name n))
+
+let node_count t = Array.length t.order
+
+let registers t =
+  Array.to_list t.order
+  |> List.filter (fun (s : Signal.t) -> match s.op with Signal.Reg _ -> true | _ -> false)
+
+let iter_nodes t f = Array.iter f t.order

@@ -1,0 +1,35 @@
+(** Elaboration of a built netlist.
+
+    [create] resolves wires, indexes inputs/outputs/named signals,
+    rejects undriven wires and combinational cycles, and produces a
+    topological evaluation order for the simulator and analyzers. *)
+
+type t = {
+  name : string;
+  order : Signal.t array;  (** all nodes, topologically sorted *)
+  inputs : (string, Signal.t) Hashtbl.t;
+  outputs : (string * Signal.t) list;
+  named : (string, Signal.t) Hashtbl.t;
+  memories : Signal.memory list;
+  max_uid : int;
+}
+
+exception Combinational_cycle of string
+(** Raised by {!create}; the payload is the cycle's node path. *)
+
+val create : ?name:string -> Signal.builder -> t
+
+val comb_deps : Signal.t -> Signal.t list
+(** Combinational fan-in of a node (registers are state sources and
+    report none). Raises on an undriven wire. *)
+
+val describe : Signal.t -> string
+(** One-line description (kind, uid, name) for diagnostics. *)
+
+val find_named : t -> string -> Signal.t
+(** Look up a named signal, an output alias, or a primary input.
+    Raises [Invalid_argument] if absent. *)
+
+val node_count : t -> int
+val registers : t -> Signal.t list
+val iter_nodes : t -> (Signal.t -> unit) -> unit

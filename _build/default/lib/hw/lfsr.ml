@@ -1,0 +1,39 @@
+(* Maximal-length Fibonacci LFSRs used as in-circuit pseudo-random
+   sources (e.g. variable-latency units).  Tap positions (1-based, MSB
+   first) for maximal sequences, per the standard Xilinx table. *)
+
+let taps = function
+  | 3 -> [ 3; 2 ] | 4 -> [ 4; 3 ] | 5 -> [ 5; 3 ] | 6 -> [ 6; 5 ]
+  | 7 -> [ 7; 6 ] | 8 -> [ 8; 6; 5; 4 ] | 9 -> [ 9; 5 ] | 10 -> [ 10; 7 ]
+  | 11 -> [ 11; 9 ] | 12 -> [ 12; 6; 4; 1 ] | 13 -> [ 13; 4; 3; 1 ]
+  | 14 -> [ 14; 5; 3; 1 ] | 15 -> [ 15; 14 ] | 16 -> [ 16; 15; 13; 4 ]
+  | 17 -> [ 17; 14 ] | 18 -> [ 18; 11 ] | 19 -> [ 19; 6; 2; 1 ]
+  | 20 -> [ 20; 17 ] | 21 -> [ 21; 19 ] | 22 -> [ 22; 21 ]
+  | 23 -> [ 23; 18 ] | 24 -> [ 24; 23; 22; 17 ]
+  | w -> invalid_arg (Printf.sprintf "Lfsr: unsupported width %d" w)
+
+(* [create b ~width ~seed ()] returns the LFSR state register (width
+   [width]); it advances every cycle (or when [enable] is high).  The
+   seed must be non-zero. *)
+let create b ?enable ~width ~seed () =
+  if seed = 0 then invalid_arg "Lfsr.create: seed must be non-zero";
+  let tap_list = taps width in
+  Signal.reg_fb b ?enable ~init:(Bits.of_int ~width seed) ~width (fun state ->
+      let feedback =
+        Signal.xor_reduce b
+          (List.map (fun pos -> Signal.bit b state (pos - 1)) tap_list)
+      in
+      Signal.concat_msb b [ Signal.select b state ~hi:(width - 2) ~lo:0; feedback ])
+
+(* Pure-OCaml reference model of the same LFSR, for testbenches that
+   need to predict the in-circuit sequence. *)
+let model ~width ~seed =
+  let tap_list = taps width in
+  let state = ref seed in
+  fun () ->
+    let s = !state in
+    let feedback =
+      List.fold_left (fun acc pos -> acc lxor ((s lsr (pos - 1)) land 1)) 0 tap_list
+    in
+    state := ((s lsl 1) lor feedback) land ((1 lsl width) - 1);
+    s

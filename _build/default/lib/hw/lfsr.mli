@@ -1,0 +1,15 @@
+(** Maximal-length Fibonacci LFSRs — the in-circuit pseudo-random
+    sources behind the variable-latency units. *)
+
+val taps : int -> int list
+(** Tap positions (1-based, MSB first) for widths 3..24; raises
+    [Invalid_argument] otherwise. *)
+
+val create :
+  Signal.builder -> ?enable:Signal.t -> width:int -> seed:int -> unit -> Signal.t
+(** The LFSR state register; advances every (enabled) cycle.  [seed]
+    must be non-zero. *)
+
+val model : width:int -> seed:int -> unit -> int
+(** Pure reference generator producing the same sequence: each call
+    returns the current state and advances. *)

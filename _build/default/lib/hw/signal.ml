@@ -1,0 +1,307 @@
+(* Word-level structural hardware signals.
+
+   A [Builder.t] accumulates a netlist of signal nodes.  Signals are
+   created by the combinators below; registers and memories carry the
+   sequential state.  Feedback loops must go through a [wire] that is
+   later [assign]ed.  A single implicit clock drives all state. *)
+
+type uid = int
+
+type t = {
+  uid : uid;
+  width : int;
+  mutable name : string option;
+  op : op;
+}
+
+and op =
+  | Const of Bits.t
+  | Input of string
+  | Wire of wire
+  | Not of t
+  | Binop of binop * t * t
+  | Mux of t * t array (* selector, cases (>= 1); out-of-range selects last *)
+  | Concat of t list (* MSB first *)
+  | Select of { hi : int; lo : int; arg : t }
+  | Reg of reg
+  | Mem_read of { mem : memory; addr : t }
+
+and wire = { mutable driver : t option }
+
+and binop = And | Or | Xor | Add | Sub | Mul | Eq | Ult | Slt
+
+and reg = {
+  d : t;
+  enable : t option;
+  clear : t option;
+  clear_to : Bits.t;
+  init : Bits.t;
+}
+
+and memory = {
+  mem_uid : uid;
+  mem_name : string;
+  size : int;
+  mem_width : int;
+  mutable write_ports : write_port list;
+  init_contents : Bits.t array option;
+}
+
+and write_port = { we : t; waddr : t; wdata : t }
+
+module Builder = struct
+  type builder = {
+    mutable next_uid : int;
+    mutable nodes : t list; (* reverse creation order *)
+    mutable memories : memory list;
+    mutable outputs : (string * t) list;
+    mutable node_count : int;
+  }
+
+  let create () =
+    { next_uid = 0; nodes = []; memories = []; outputs = []; node_count = 0 }
+
+  let fresh b = let u = b.next_uid in b.next_uid <- u + 1; u
+
+  let register b node =
+    b.nodes <- node :: b.nodes;
+    b.node_count <- b.node_count + 1;
+    node
+end
+
+type builder = Builder.builder
+
+let width t = t.width
+
+let check_width w = if w < 1 then invalid_arg "Signal: width must be >= 1"
+
+let make b width op =
+  check_width width;
+  Builder.register b { uid = Builder.fresh b; width; name = None; op }
+
+let const b bits = make b (Bits.width bits) (Const bits)
+let of_int b ~width n = const b (Bits.of_int ~width n)
+let zero b w = of_int b ~width:w 0
+let ones b w = const b (Bits.ones w)
+let vdd b = const b Bits.vdd
+let gnd b = const b Bits.gnd
+
+let input b name w = make b w (Input name)
+
+let wire b w = make b w (Wire { driver = None })
+
+let assign t driver =
+  match t.op with
+  | Wire w ->
+    if w.driver <> None then invalid_arg "Signal.assign: wire already driven";
+    if driver.width <> t.width then
+      invalid_arg
+        (Printf.sprintf "Signal.assign: width mismatch (%d vs %d)" t.width driver.width);
+    w.driver <- Some driver
+  | _ -> invalid_arg "Signal.assign: not a wire"
+
+let ( <== ) = assign
+
+let set_name t n = t.name <- Some n; t
+let ( -- ) = set_name
+
+let same_width op a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Signal.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let binop b op name x y =
+  same_width name x y;
+  let w = match op with Eq | Ult | Slt -> 1 | Mul -> x.width + y.width | _ -> x.width in
+  (* Builder is threaded through the node's operands; both share it. *)
+  make b w (Binop (op, x, y))
+
+(* Every signal remembers no builder, so combinators take it explicitly
+   via a functor-free convention: the [Dsl] module below closes over a
+   builder for ergonomic infix use. *)
+
+let lnot b x = make b x.width (Not x)
+let land_ b x y = binop b And "land" x y
+let lor_ b x y = binop b Or "lor" x y
+let lxor_ b x y = binop b Xor "lxor" x y
+let add b x y = binop b Add "add" x y
+let sub b x y = binop b Sub "sub" x y
+let mul b x y = binop b Mul "mul" x y
+let eq b x y = binop b Eq "eq" x y
+let ult b x y = binop b Ult "ult" x y
+let slt b x y = binop b Slt "slt" x y
+
+let select b t ~hi ~lo =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Signal.select: bad range [%d:%d] of width %d" hi lo t.width);
+  make b (hi - lo + 1) (Select { hi; lo; arg = t })
+
+let bit b t i = select b t ~hi:i ~lo:i
+let msb b t = bit b t (t.width - 1)
+let lsb b t = bit b t 0
+
+let concat_msb b parts =
+  (match parts with [] -> invalid_arg "Signal.concat_msb: empty" | _ -> ());
+  let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
+  make b w (Concat parts)
+
+let repeat b t n =
+  if n < 1 then invalid_arg "Signal.repeat: count must be >= 1";
+  concat_msb b (List.init n (fun _ -> t))
+
+let uresize b t w =
+  check_width w;
+  if w = t.width then t
+  else if w < t.width then select b t ~hi:(w - 1) ~lo:0
+  else concat_msb b [ zero b (w - t.width); t ]
+
+let sresize b t w =
+  check_width w;
+  if w <= t.width then uresize b t w
+  else concat_msb b [ repeat b (msb b t) (w - t.width); t ]
+
+let mux b sel cases =
+  (match cases with [] -> invalid_arg "Signal.mux: no cases" | _ -> ());
+  let w = (List.hd cases).width in
+  List.iter (fun c -> same_width "mux" (List.hd cases) c) cases;
+  let n = List.length cases in
+  if n > 1 lsl sel.width then invalid_arg "Signal.mux: too many cases for selector";
+  make b w (Mux (sel, Array.of_list cases))
+
+let mux2 b sel on_true on_false = mux b sel [ on_false; on_true ]
+
+let clog2 n =
+  if n < 1 then invalid_arg "clog2";
+  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+  go 0 1
+
+(* Constant shifts are wiring only. *)
+let sll b t k =
+  if k < 0 then invalid_arg "Signal.sll";
+  if k = 0 then t
+  else if k >= t.width then zero b t.width
+  else concat_msb b [ select b t ~hi:(t.width - 1 - k) ~lo:0; zero b k ]
+
+let srl b t k =
+  if k < 0 then invalid_arg "Signal.srl";
+  if k = 0 then t
+  else if k >= t.width then zero b t.width
+  else concat_msb b [ zero b k; select b t ~hi:(t.width - 1) ~lo:k ]
+
+let sra b t k =
+  if k < 0 then invalid_arg "Signal.sra";
+  if k = 0 then t
+  else
+    let k' = min k (t.width - 1) in
+    concat_msb b [ repeat b (msb b t) k; select b t ~hi:(t.width - 1) ~lo:k' ]
+    |> fun s -> select b s ~hi:(t.width - 1) ~lo:0
+
+let rotl b t k =
+  let k = ((k mod t.width) + t.width) mod t.width in
+  if k = 0 then t
+  else concat_msb b [ select b t ~hi:(t.width - 1 - k) ~lo:0; select b t ~hi:(t.width - 1) ~lo:(t.width - k) ]
+
+let rotr b t k = rotl b t (t.width - (((k mod t.width) + t.width) mod t.width))
+
+(* Dynamic (barrel) shifts built as a mux ladder over the bits of the
+   shift amount. *)
+let log_shift b shift_fn t amount =
+  let rec go t i =
+    if i >= amount.width then t
+    else
+      let shifted = shift_fn b t (1 lsl i) in
+      go (mux2 b (bit b amount i) shifted t) (i + 1)
+  in
+  go t 0
+
+let sll_dyn b t amount = log_shift b sll t amount
+let srl_dyn b t amount = log_shift b srl t amount
+let sra_dyn b t amount = log_shift b sra t amount
+
+let reg b ?enable ?clear ?clear_to ?init d =
+  let init = match init with Some i -> i | None -> Bits.zero d.width in
+  let clear_to = match clear_to with Some c -> c | None -> Bits.zero d.width in
+  if Bits.width init <> d.width || Bits.width clear_to <> d.width then
+    invalid_arg "Signal.reg: init/clear_to width mismatch";
+  (match enable with
+   | Some e when e.width <> 1 -> invalid_arg "Signal.reg: enable must be 1 bit"
+   | _ -> ());
+  (match clear with
+   | Some c when c.width <> 1 -> invalid_arg "Signal.reg: clear must be 1 bit"
+   | _ -> ());
+  make b d.width (Reg { d; enable; clear; clear_to; init })
+
+(* Register with feedback: [f] receives the register output and returns
+   its next-value input. *)
+let reg_fb b ?enable ?clear ?clear_to ?init ~width f =
+  let w = wire b width in
+  let q = reg b ?enable ?clear ?clear_to ?init w in
+  assign w (f q);
+  q
+
+let reduce b f = function
+  | [] -> invalid_arg "Signal.reduce: empty"
+  | x :: rest -> List.fold_left (f b) x rest
+
+let and_reduce b signals = reduce b land_ signals
+let or_reduce b signals = reduce b lor_ signals
+let xor_reduce b signals = reduce b lxor_ signals
+
+let bits_lsb b t = List.init t.width (fun i -> bit b t i)
+
+let any_bit_set b t = if t.width = 1 then t else or_reduce b (bits_lsb b t)
+let all_bits_set b t = if t.width = 1 then t else and_reduce b (bits_lsb b t)
+let is_zero b t = lnot b (any_bit_set b t)
+
+let eq_const b t n = eq b t (of_int b ~width:t.width n)
+
+(* One-hot decoder: out has 2^(width sel) bits unless [size] given. *)
+let binary_to_onehot b ?size sel =
+  let n = match size with Some n -> n | None -> 1 lsl sel.width in
+  concat_msb b (List.rev (List.init n (fun i -> eq_const b sel i)))
+
+let onehot_to_binary b t =
+  let w = max 1 (clog2 t.width) in
+  let terms =
+    List.init t.width (fun i ->
+        mux2 b (bit b t i) (of_int b ~width:w i) (zero b w))
+  in
+  or_reduce b terms
+
+module Memory = struct
+  let mem_uid = ref 0
+
+  let create b ~name ~size ~width ?init () =
+    check_width width;
+    if size < 1 then invalid_arg "Memory.create: size must be >= 1";
+    (match init with
+     | Some a when Array.length a <> size -> invalid_arg "Memory.create: init size"
+     | Some a when Array.exists (fun v -> Bits.width v <> width) a ->
+       invalid_arg "Memory.create: init width"
+     | _ -> ());
+    incr mem_uid;
+    let m =
+      { mem_uid = !mem_uid; mem_name = name; size; mem_width = width;
+        write_ports = []; init_contents = init }
+    in
+    b.Builder.memories <- m :: b.Builder.memories;
+    m
+
+  let write _b mem ~we ~addr ~data =
+    if we.width <> 1 then invalid_arg "Memory.write: we must be 1 bit";
+    if data.width <> mem.mem_width then invalid_arg "Memory.write: data width";
+    mem.write_ports <- { we; waddr = addr; wdata = data } :: mem.write_ports
+
+  let read_async b mem ~addr =
+    make b mem.mem_width (Mem_read { mem; addr })
+
+  (* Synchronous read = async read + output register. *)
+  let read_sync b mem ?enable ~addr () =
+    reg b ?enable (read_async b mem ~addr)
+end
+
+let output b name t =
+  b.Builder.outputs <- (name, t) :: b.Builder.outputs;
+  (match t.name with None -> ignore (set_name t name) | Some _ -> ());
+  t

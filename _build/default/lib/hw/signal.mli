@@ -1,0 +1,193 @@
+(** Word-level structural hardware signals.
+
+    A {!builder} accumulates a netlist of {!t} nodes.  Combinators
+    create combinational nodes; {!reg} and {!Memory} carry sequential
+    state, clocked by a single implicit clock.  Feedback must go
+    through a {!wire} that is {!assign}ed later; {!Circuit.create}
+    checks that every wire is driven and that no combinational cycle
+    exists.
+
+    The node representation is exposed deliberately: downstream tools
+    (the simulator, the FPGA technology mapper, timing analysis)
+    traverse it as a netlist IR. *)
+
+type uid = int
+
+type t = {
+  uid : uid;
+  width : int;
+  mutable name : string option;
+  op : op;
+}
+
+and op =
+  | Const of Bits.t
+  | Input of string
+  | Wire of wire
+  | Not of t
+  | Binop of binop * t * t
+  | Mux of t * t array  (** selector, cases; out-of-range selects last *)
+  | Concat of t list  (** MSB first *)
+  | Select of { hi : int; lo : int; arg : t }
+  | Reg of reg
+  | Mem_read of { mem : memory; addr : t }
+
+and wire = { mutable driver : t option }
+
+and binop = And | Or | Xor | Add | Sub | Mul | Eq | Ult | Slt
+
+and reg = {
+  d : t;
+  enable : t option;
+  clear : t option;
+  clear_to : Bits.t;
+  init : Bits.t;
+}
+
+and memory = {
+  mem_uid : uid;
+  mem_name : string;
+  size : int;
+  mem_width : int;
+  mutable write_ports : write_port list;
+  init_contents : Bits.t array option;
+}
+
+and write_port = { we : t; waddr : t; wdata : t }
+
+(** Netlist under construction. *)
+module Builder : sig
+  type builder = {
+    mutable next_uid : int;
+    mutable nodes : t list;  (** reverse creation order *)
+    mutable memories : memory list;
+    mutable outputs : (string * t) list;
+    mutable node_count : int;
+  }
+
+  val create : unit -> builder
+end
+
+type builder = Builder.builder
+
+val width : t -> int
+
+(** {1 Sources} *)
+
+val const : builder -> Bits.t -> t
+val of_int : builder -> width:int -> int -> t
+val zero : builder -> int -> t
+val ones : builder -> int -> t
+val vdd : builder -> t
+val gnd : builder -> t
+
+val input : builder -> string -> int -> t
+(** [input b name width] — a primary input, poked by the simulator. *)
+
+(** {1 Wires (feedback)} *)
+
+val wire : builder -> int -> t
+(** An initially undriven node; must be {!assign}ed exactly once. *)
+
+val assign : t -> t -> unit
+(** [assign w driver] — drive wire [w]. *)
+
+val ( <== ) : t -> t -> unit
+
+val set_name : t -> string -> t
+(** Name a signal for waveforms and {!Sim.peek}. *)
+
+val ( -- ) : t -> string -> t
+
+(** {1 Combinational operators}
+
+    Binary operators require equal widths.  Comparison results are
+    1 bit; [mul] widens to the sum of widths. *)
+
+val lnot : builder -> t -> t
+val land_ : builder -> t -> t -> t
+val lor_ : builder -> t -> t -> t
+val lxor_ : builder -> t -> t -> t
+val add : builder -> t -> t -> t
+val sub : builder -> t -> t -> t
+val mul : builder -> t -> t -> t
+val eq : builder -> t -> t -> t
+val ult : builder -> t -> t -> t
+val slt : builder -> t -> t -> t
+
+val select : builder -> t -> hi:int -> lo:int -> t
+val bit : builder -> t -> int -> t
+val msb : builder -> t -> t
+val lsb : builder -> t -> t
+val concat_msb : builder -> t list -> t
+val repeat : builder -> t -> int -> t
+val uresize : builder -> t -> int -> t
+val sresize : builder -> t -> int -> t
+
+val mux : builder -> t -> t list -> t
+(** [mux b sel cases] — an out-of-range selector picks the last case. *)
+
+val mux2 : builder -> t -> t -> t -> t
+(** [mux2 b sel on_true on_false]. *)
+
+val clog2 : int -> int
+(** Ceiling log2 (pure; [clog2 1 = 0]). *)
+
+(** {2 Shifts and rotates} *)
+
+val sll : builder -> t -> int -> t
+val srl : builder -> t -> int -> t
+val sra : builder -> t -> int -> t
+val rotl : builder -> t -> int -> t
+val rotr : builder -> t -> int -> t
+
+val sll_dyn : builder -> t -> t -> t
+(** Barrel shifter: shift amount is a signal. *)
+
+val srl_dyn : builder -> t -> t -> t
+val sra_dyn : builder -> t -> t -> t
+
+(** {2 Reductions and codecs} *)
+
+val reduce : builder -> (builder -> t -> t -> t) -> t list -> t
+(** Left fold of a binary combinator over a non-empty list. *)
+
+val and_reduce : builder -> t list -> t
+val or_reduce : builder -> t list -> t
+val xor_reduce : builder -> t list -> t
+val bits_lsb : builder -> t -> t list
+val any_bit_set : builder -> t -> t
+val all_bits_set : builder -> t -> t
+val is_zero : builder -> t -> t
+val eq_const : builder -> t -> int -> t
+val binary_to_onehot : builder -> ?size:int -> t -> t
+val onehot_to_binary : builder -> t -> t
+
+(** {1 Sequential} *)
+
+val reg :
+  builder -> ?enable:t -> ?clear:t -> ?clear_to:Bits.t -> ?init:Bits.t -> t -> t
+(** D register with optional enable and synchronous clear (clear wins
+    over enable).  [init] is the power-on/[Sim.reset] value. *)
+
+val reg_fb :
+  builder -> ?enable:t -> ?clear:t -> ?clear_to:Bits.t -> ?init:Bits.t ->
+  width:int -> (t -> t) -> t
+(** [reg_fb b ~width f] — register whose next value is [f q]. *)
+
+(** Word memories: synchronous write ports, asynchronous (or
+    registered) read ports.  Out-of-range reads return zero;
+    out-of-range writes are dropped.  When several write ports hit the
+    same address in one cycle, the last-added port wins. *)
+module Memory : sig
+  val create :
+    builder -> name:string -> size:int -> width:int ->
+    ?init:Bits.t array -> unit -> memory
+
+  val write : builder -> memory -> we:t -> addr:t -> data:t -> unit
+  val read_async : builder -> memory -> addr:t -> t
+  val read_sync : builder -> memory -> ?enable:t -> addr:t -> unit -> t
+end
+
+val output : builder -> string -> t -> t
+(** Register a named circuit output (peekable in simulation). *)

@@ -1,0 +1,48 @@
+(** Cycle-accurate two-phase simulator.
+
+    Each {!cycle}: settle all combinational nodes in topological
+    order, run observers, commit registers and memory writes, settle
+    again (so peeks after [cycle] see the new state).  Poke inputs at
+    any time; call {!settle} to observe their combinational effect
+    before committing. *)
+
+type t
+
+val create : Circuit.t -> t
+
+val settle : t -> unit
+(** Recompute all combinational values from current inputs/state. *)
+
+val cycle : t -> unit
+(** One clock cycle (settle, observe, commit, settle). *)
+
+val cycles : t -> int -> unit
+
+val cycle_no : t -> int
+(** Number of cycles since creation or {!reset}. *)
+
+val circuit : t -> Circuit.t
+
+val on_cycle : t -> (t -> unit) -> unit
+(** Register an observer called at the end of every cycle, before the
+    state commit (i.e. it sees the cycle's settled values). *)
+
+val poke : t -> string -> Bits.t -> unit
+(** Set a primary input; takes effect at the next {!settle}/{!cycle}. *)
+
+val poke_int : t -> string -> int -> unit
+
+val peek : t -> string -> Bits.t
+(** Read a named signal, output or input (see {!Circuit.find_named}). *)
+
+val peek_int : t -> string -> int
+val peek_bool : t -> string -> bool
+val peek_signal : t -> Signal.t -> Bits.t
+
+val reset : t -> unit
+(** Restore registers and memories to their initial contents. *)
+
+val mem_read : t -> Signal.memory -> int -> Bits.t
+(** Direct testbench access to a memory's contents. *)
+
+val mem_write : t -> Signal.memory -> int -> Bits.t -> unit

@@ -1,0 +1,320 @@
+(* Netlist optimization passes: constant folding and dead-node
+   elimination.
+
+   The generators in this repository emit structural netlists with
+   redundancies a synthesis tool would clean up — muxes with constant
+   selectors, gates against all-zeros/all-ones, logic whose output
+   nobody reads.  [optimize] rewrites a built netlist in place
+   semantically: it produces a NEW builder whose circuit is
+   behaviourally equivalent (same inputs, outputs, registers and
+   memories) but smaller.  The equivalence is checked in the test
+   suite by co-simulating random circuits before and after.
+
+   Folding rules (per node, applied bottom-up):
+   - operator with all-constant operands  -> Const
+   - x & 0 -> 0;  x & 1..1 -> x;  x | 0 -> x;  x | 1..1 -> 1..1
+   - x ^ 0 -> x;  x + 0 -> x;  x - 0 -> x
+   - mux with constant selector -> selected case
+   - mux whose cases are all the same node -> that node
+   - not(not x) -> x
+   - select over the full width -> argument
+   - wire -> its driver (wires vanish entirely)
+
+   Dead-node elimination keeps only the cone of: outputs, registers'
+   inputs (enable/clear/d), and memory write ports. *)
+
+module SMap = Map.Make (Int)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  folded : int;
+}
+
+let is_const (s : Signal.t) =
+  match s.Signal.op with Signal.Const _ -> true | _ -> false
+
+let const_value (s : Signal.t) =
+  match s.Signal.op with Signal.Const c -> Some c | _ -> None
+
+(* Rebuild the netlist bottom-up into [nb], folding as we go.  Returns
+   the mapping from old uid to new signal. *)
+let rebuild (c : Circuit.t) nb =
+  let map : Signal.t SMap.t ref = ref SMap.empty in
+  let folded = ref 0 in
+  let find (s : Signal.t) = SMap.find s.Signal.uid !map in
+  (* Register data/enable/clear may come later in topological order
+     (registers are state sources); wire them up after the sweep. *)
+  let fixups : (Signal.t * Signal.t) list ref = ref [] in
+  let defer (old : Signal.t) =
+    let w = Signal.wire nb old.Signal.width in
+    fixups := (w, old) :: !fixups;
+    w
+  in
+  let mem_map : (int, Signal.memory) Hashtbl.t = Hashtbl.create 8 in
+  (* Memories must exist before reads are rebuilt. *)
+  List.iter
+    (fun (m : Signal.memory) ->
+      let nm =
+        Signal.Memory.create nb ~name:m.Signal.mem_name ~size:m.Signal.size
+          ~width:m.Signal.mem_width ?init:m.Signal.init_contents ()
+      in
+      Hashtbl.replace mem_map m.Signal.mem_uid nm)
+    c.Circuit.memories;
+  let fold_binop op (x : Signal.t) (y : Signal.t) width =
+    let cx = const_value x and cy = const_value y in
+    match op, cx, cy with
+    | _, Some a, Some b ->
+      incr folded;
+      let v =
+        match op with
+        | Signal.And -> Bits.logand a b
+        | Signal.Or -> Bits.logor a b
+        | Signal.Xor -> Bits.logxor a b
+        | Signal.Add -> Bits.add a b
+        | Signal.Sub -> Bits.sub a b
+        | Signal.Mul -> Bits.mul a b
+        | Signal.Eq -> Bits.of_bool (Bits.equal a b)
+        | Signal.Ult -> Bits.of_bool (Bits.ult a b)
+        | Signal.Slt -> Bits.of_bool (Bits.slt a b)
+      in
+      Some (Signal.const nb v)
+    | Signal.And, Some a, _ when Bits.is_zero a ->
+      incr folded; Some (Signal.const nb (Bits.zero width))
+    | Signal.And, _, Some b when Bits.is_zero b ->
+      incr folded; Some (Signal.const nb (Bits.zero width))
+    | Signal.And, Some a, _ when Bits.equal a (Bits.ones width) ->
+      incr folded; Some y
+    | Signal.And, _, Some b when Bits.equal b (Bits.ones width) ->
+      incr folded; Some x
+    | Signal.Or, Some a, _ when Bits.is_zero a -> incr folded; Some y
+    | Signal.Or, _, Some b when Bits.is_zero b -> incr folded; Some x
+    | Signal.Or, Some a, _ when Bits.equal a (Bits.ones width) ->
+      incr folded; Some (Signal.const nb (Bits.ones width))
+    | Signal.Or, _, Some b when Bits.equal b (Bits.ones width) ->
+      incr folded; Some (Signal.const nb (Bits.ones width))
+    | Signal.Xor, Some a, _ when Bits.is_zero a -> incr folded; Some y
+    | Signal.Xor, _, Some b when Bits.is_zero b -> incr folded; Some x
+    | (Signal.Add | Signal.Sub), _, Some b when Bits.is_zero b ->
+      incr folded; Some x
+    | Signal.Add, Some a, _ when Bits.is_zero a -> incr folded; Some y
+    | _ -> None
+  in
+  Circuit.iter_nodes c (fun (s : Signal.t) ->
+      let ns =
+        match s.Signal.op with
+        | Signal.Const v -> Signal.const nb v
+        | Signal.Input n -> Signal.input nb n s.Signal.width
+        | Signal.Wire { driver = Some d } ->
+          (* Wires vanish: map straight to the rebuilt driver.  (The
+             topological order guarantees the driver was rebuilt.) *)
+          find d
+        | Signal.Wire { driver = None } -> assert false
+        | Signal.Not x ->
+          let x' = find x in
+          (match x'.Signal.op with
+           | Signal.Const v -> incr folded; Signal.const nb (Bits.lnot v)
+           | Signal.Not y -> incr folded; y
+           | _ -> Signal.lnot nb x')
+        | Signal.Binop (op, x, y) ->
+          let x' = find x and y' = find y in
+          (match fold_binop op x' y' s.Signal.width with
+           | Some r -> r
+           | None ->
+             (match op with
+              | Signal.And -> Signal.land_ nb x' y'
+              | Signal.Or -> Signal.lor_ nb x' y'
+              | Signal.Xor -> Signal.lxor_ nb x' y'
+              | Signal.Add -> Signal.add nb x' y'
+              | Signal.Sub -> Signal.sub nb x' y'
+              | Signal.Mul -> Signal.mul nb x' y'
+              | Signal.Eq -> Signal.eq nb x' y'
+              | Signal.Ult -> Signal.ult nb x' y'
+              | Signal.Slt -> Signal.slt nb x' y'))
+        | Signal.Mux (sel, cases) ->
+          let sel' = find sel in
+          let cases' = Array.map find cases in
+          (match const_value sel' with
+           | Some v ->
+             incr folded;
+             let i = min (Bits.to_int_trunc v) (Array.length cases' - 1) in
+             cases'.(i)
+           | None ->
+             let first = cases'.(0) in
+             if Array.for_all (fun c -> c == first) cases' then begin
+               incr folded; first
+             end
+             else Signal.mux nb sel' (Array.to_list cases'))
+        | Signal.Concat parts ->
+          let parts' = List.map find parts in
+          if List.for_all is_const parts' then begin
+            incr folded;
+            Signal.const nb
+              (Bits.concat (List.filter_map const_value parts'))
+          end
+          else Signal.concat_msb nb parts'
+        | Signal.Select { hi; lo; arg } ->
+          let arg' = find arg in
+          if lo = 0 && hi = arg'.Signal.width - 1 then begin
+            incr folded; arg'
+          end
+          else (
+            match const_value arg' with
+            | Some v -> incr folded; Signal.const nb (Bits.select v ~hi ~lo)
+            | None -> Signal.select nb arg' ~hi ~lo)
+        | Signal.Reg r ->
+          Signal.reg nb
+            ?enable:(Option.map defer r.Signal.enable)
+            ?clear:(Option.map defer r.Signal.clear)
+            ~clear_to:r.Signal.clear_to ~init:r.Signal.init (defer r.Signal.d)
+        | Signal.Mem_read { mem; addr } ->
+          Signal.Memory.read_async nb
+            (Hashtbl.find mem_map mem.Signal.mem_uid)
+            ~addr:(find addr)
+      in
+      (match s.Signal.name with
+       | Some n when ns.Signal.name = None -> ignore (Signal.set_name ns n)
+       | _ -> ());
+      map := SMap.add s.Signal.uid ns !map);
+  List.iter (fun (w, old) -> Signal.assign w (find old)) !fixups;
+  (* Write ports. *)
+  List.iter
+    (fun (m : Signal.memory) ->
+      let nm = Hashtbl.find mem_map m.Signal.mem_uid in
+      List.iter
+        (fun (p : Signal.write_port) ->
+          Signal.Memory.write nb nm
+            ~we:(SMap.find p.Signal.we.Signal.uid !map)
+            ~addr:(SMap.find p.Signal.waddr.Signal.uid !map)
+            ~data:(SMap.find p.Signal.wdata.Signal.uid !map))
+        (List.rev m.Signal.write_ports))
+    c.Circuit.memories;
+  (* Outputs. *)
+  List.iter
+    (fun (n, (s : Signal.t)) ->
+      ignore (Signal.output nb n (SMap.find s.Signal.uid !map)))
+    c.Circuit.outputs;
+  !folded
+
+(* Dead-node elimination happens implicitly at elaboration time?  No —
+   the builder keeps every created node.  We sweep by rebuilding once
+   more, creating only nodes reachable from the roots. *)
+let live_set (c : Circuit.t) =
+  let live = Hashtbl.create 1024 in
+  let rec mark (s : Signal.t) =
+    if not (Hashtbl.mem live s.Signal.uid) then begin
+      Hashtbl.replace live s.Signal.uid ();
+      List.iter mark (Circuit.comb_deps s);
+      match s.Signal.op with
+      | Signal.Reg r ->
+        mark r.Signal.d;
+        Option.iter mark r.Signal.enable;
+        Option.iter mark r.Signal.clear
+      | _ -> ()
+    end
+  in
+  List.iter (fun (_, s) -> mark s) c.Circuit.outputs;
+  (* Registers and memory write ports are roots because they carry
+     state the outputs may read later; primary inputs are kept so the
+     optimized circuit preserves the original interface. *)
+  Circuit.iter_nodes c (fun s ->
+      match s.Signal.op with
+      | Signal.Reg _ | Signal.Input _ -> mark s
+      | _ -> ());
+  List.iter
+    (fun (m : Signal.memory) ->
+      List.iter
+        (fun (p : Signal.write_port) ->
+          mark p.Signal.we; mark p.Signal.waddr; mark p.Signal.wdata)
+        m.Signal.write_ports)
+    c.Circuit.memories;
+  live
+
+(* Optimize: fold constants into a fresh builder, elaborate, then
+   report.  Dead nodes are those never rebuilt as dependencies of the
+   roots; the rebuild pass recreates every node, so we follow it with
+   a sweep pass that rebuilds only the live cone. *)
+let optimize ?(name = "optimized") (c : Circuit.t) =
+  (* Pass 1: fold. *)
+  let b1 = Signal.Builder.create () in
+  let folded = rebuild c b1 in
+  let c1 = Circuit.create ~name b1 in
+  (* Pass 2: sweep dead nodes by rebuilding only the live cone. *)
+  let live = live_set c1 in
+  let b2 = Signal.Builder.create () in
+  let map : Signal.t SMap.t ref = ref SMap.empty in
+  let mem_map : (int, Signal.memory) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Signal.memory) ->
+      Hashtbl.replace mem_map m.Signal.mem_uid
+        (Signal.Memory.create b2 ~name:m.Signal.mem_name ~size:m.Signal.size
+           ~width:m.Signal.mem_width ?init:m.Signal.init_contents ()))
+    c1.Circuit.memories;
+  let fixups : (Signal.t * Signal.t) list ref = ref [] in
+  Circuit.iter_nodes c1 (fun (s : Signal.t) ->
+      if Hashtbl.mem live s.Signal.uid then begin
+        let find (x : Signal.t) = SMap.find x.Signal.uid !map in
+        let defer (old : Signal.t) =
+          let w = Signal.wire b2 old.Signal.width in
+          fixups := (w, old) :: !fixups;
+          w
+        in
+        let ns =
+          match s.Signal.op with
+          | Signal.Const v -> Signal.const b2 v
+          | Signal.Input n -> Signal.input b2 n s.Signal.width
+          | Signal.Wire { driver = Some d } -> find d
+          | Signal.Wire { driver = None } -> assert false
+          | Signal.Not x -> Signal.lnot b2 (find x)
+          | Signal.Binop (op, x, y) ->
+            let f =
+              match op with
+              | Signal.And -> Signal.land_ | Signal.Or -> Signal.lor_
+              | Signal.Xor -> Signal.lxor_ | Signal.Add -> Signal.add
+              | Signal.Sub -> Signal.sub | Signal.Mul -> Signal.mul
+              | Signal.Eq -> Signal.eq | Signal.Ult -> Signal.ult
+              | Signal.Slt -> Signal.slt
+            in
+            f b2 (find x) (find y)
+          | Signal.Mux (sel, cases) ->
+            Signal.mux b2 (find sel) (List.map find (Array.to_list cases))
+          | Signal.Concat parts -> Signal.concat_msb b2 (List.map find parts)
+          | Signal.Select { hi; lo; arg } -> Signal.select b2 (find arg) ~hi ~lo
+          | Signal.Reg r ->
+            Signal.reg b2
+              ?enable:(Option.map defer r.Signal.enable)
+              ?clear:(Option.map defer r.Signal.clear)
+              ~clear_to:r.Signal.clear_to ~init:r.Signal.init (defer r.Signal.d)
+          | Signal.Mem_read { mem; addr } ->
+            Signal.Memory.read_async b2
+              (Hashtbl.find mem_map mem.Signal.mem_uid)
+              ~addr:(find addr)
+        in
+        (match s.Signal.name with
+         | Some n when ns.Signal.name = None -> ignore (Signal.set_name ns n)
+         | _ -> ());
+        map := SMap.add s.Signal.uid ns !map
+      end);
+  List.iter
+    (fun (w, old) -> Signal.assign w (SMap.find old.Signal.uid !map))
+    !fixups;
+  List.iter
+    (fun (m : Signal.memory) ->
+      let nm = Hashtbl.find mem_map m.Signal.mem_uid in
+      List.iter
+        (fun (p : Signal.write_port) ->
+          Signal.Memory.write b2 nm
+            ~we:(SMap.find p.Signal.we.Signal.uid !map)
+            ~addr:(SMap.find p.Signal.waddr.Signal.uid !map)
+            ~data:(SMap.find p.Signal.wdata.Signal.uid !map))
+        (List.rev m.Signal.write_ports))
+    c1.Circuit.memories;
+  List.iter
+    (fun (n, (s : Signal.t)) ->
+      ignore (Signal.output b2 n (SMap.find s.Signal.uid !map)))
+    c1.Circuit.outputs;
+  let c2 = Circuit.create ~name b2 in
+  ( c2,
+    { nodes_before = Circuit.node_count c;
+      nodes_after = Circuit.node_count c2;
+      folded } )

@@ -1,0 +1,21 @@
+(** Netlist optimization: constant folding and dead-node elimination.
+
+    [optimize c] returns a behaviourally equivalent circuit — same
+    inputs, outputs, register/memory state evolution — with constants
+    propagated (operators over constants, identity/absorbing operands,
+    constant-selector muxes, double negation, full-width selects,
+    wire indirection) and everything outside the live cone of the
+    outputs, registers and memory write ports removed.  Primary inputs
+    are preserved even when unused, so testbenches keep working.
+
+    Equivalence is enforced by the property tests in
+    [test/test_transform.ml] (random circuits co-simulated before and
+    after). *)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  folded : int;  (** folding rewrites applied *)
+}
+
+val optimize : ?name:string -> Circuit.t -> Circuit.t * stats

@@ -1,0 +1,61 @@
+(* Minimal VCD (value change dump) writer attached to a simulator.
+   Dumps the selected named signals each cycle; only changes are
+   written, as the format requires. *)
+
+type t = {
+  out : out_channel;
+  signals : (string * Signal.t * string) list; (* name, signal, vcd id *)
+  last : (int, Bits.t) Hashtbl.t;
+  mutable header_done : bool;
+}
+
+let ident_of_index i =
+  (* VCD identifiers: printable ASCII 33..126. *)
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let attach sim ~path ~signals =
+  let out = open_out path in
+  let signals =
+    List.mapi (fun i (name, s) -> (name, s, ident_of_index i)) signals
+  in
+  let t = { out; signals; last = Hashtbl.create 64; header_done = false } in
+  let write_header () =
+    output_string out "$timescale 1ns $end\n$scope module top $end\n";
+    List.iter
+      (fun (name, (s : Signal.t), id) ->
+        Printf.fprintf out "$var wire %d %s %s $end\n" s.Signal.width id name)
+      signals;
+    output_string out "$upscope $end\n$enddefinitions $end\n"
+  in
+  let dump_values sim =
+    if not t.header_done then begin
+      write_header ();
+      t.header_done <- true
+    end;
+    Printf.fprintf out "#%d\n" (Sim.cycle_no sim);
+    List.iter
+      (fun (_, (s : Signal.t), id) ->
+        let v = Sim.peek_signal sim s in
+        let changed =
+          match Hashtbl.find_opt t.last s.Signal.uid with
+          | Some prev -> not (Bits.equal prev v)
+          | None -> true
+        in
+        if changed then begin
+          Hashtbl.replace t.last s.Signal.uid v;
+          if s.Signal.width = 1 then
+            Printf.fprintf out "%s%s\n" (if Bits.to_bool v then "1" else "0") id
+          else Printf.fprintf out "b%s %s\n" (Bits.to_binary_string v) id
+        end)
+      signals
+  in
+  Sim.on_cycle sim dump_values;
+  t
+
+let close t = close_out t.out

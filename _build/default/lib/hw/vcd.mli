@@ -1,0 +1,10 @@
+(** Minimal VCD (value change dump) writer.
+
+    [attach sim ~path ~signals] hooks the simulator: the selected
+    signals are dumped once per cycle (changes only).  Close the file
+    when done. *)
+
+type t
+
+val attach : Sim.t -> path:string -> signals:(string * Signal.t) list -> t
+val close : t -> unit

@@ -1,0 +1,17 @@
+(** Synthesizable Verilog-2001 emission from an elaborated circuit.
+
+    Combinational nodes become continuous assignments; registers and
+    memory write ports become [always @(posedge clk)] blocks; the
+    implicit clock is exported as input [clk].  Output ports whose
+    names collide with an input (e.g. a source's data echo) are
+    omitted with a comment. *)
+
+val width_decl : int -> string
+(** ["[w-1:0] "] or [""] for 1-bit. *)
+
+val bits_literal : Bits.t -> string
+(** Verilog sized binary literal. *)
+
+val to_buffer : ?module_name:string -> Circuit.t -> Buffer.t -> unit
+val to_string : ?module_name:string -> Circuit.t -> string
+val write : ?module_name:string -> Circuit.t -> path:string -> unit

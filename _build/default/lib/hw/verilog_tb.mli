@@ -1,0 +1,18 @@
+(** Self-checking Verilog testbench generation.
+
+    Attach a recorder to a simulation; every cycle it captures the
+    primary inputs and selected named outputs.  [emit] produces a
+    standalone testbench that instantiates the {!Verilog}-emitted
+    module, replays the stimulus and compares outputs — for
+    cross-checking the OCaml simulator under iverilog/Verilator.
+    Outputs whose names collide with inputs are skipped (they are not
+    DUT ports). *)
+
+type t
+
+val attach : Sim.t -> outputs:string list -> t
+val emit : ?module_name:string -> ?tb_name:string -> t -> Buffer.t -> unit
+val to_string : ?module_name:string -> ?tb_name:string -> t -> string
+
+val write_with_dut : ?module_name:string -> t -> dut_path:string -> tb_path:string -> unit
+(** Write the DUT module and its testbench to two files. *)

@@ -1,0 +1,78 @@
+(* ASCII waveform recorder: samples chosen signals every cycle and
+   renders a text diagram in the style of the paper's Figs. 1 and 2.
+
+   1-bit signals render as underscores and overlines; wider signals as
+   framed hex values with '.' marking continuation of the same value. *)
+
+type track = { label : string; signal : Signal.t; mutable samples : Bits.t list }
+
+type t = { tracks : track list }
+
+let attach sim ~signals =
+  let tracks = List.map (fun (label, signal) -> { label; signal; samples = [] }) signals in
+  Sim.on_cycle sim (fun sim ->
+      List.iter
+        (fun tr -> tr.samples <- Sim.peek_signal sim tr.signal :: tr.samples)
+        tracks);
+  { tracks }
+
+let samples tr = Array.of_list (List.rev tr.samples)
+
+(* Width in characters allotted to one cycle of a track. *)
+let cell_width tracks =
+  let max_hex =
+    List.fold_left
+      (fun acc tr ->
+        if tr.signal.Signal.width = 1 then acc
+        else max acc ((tr.signal.Signal.width + 3) / 4))
+      1 tracks
+  in
+  max 2 (max_hex + 1)
+
+let render ?(from_cycle = 0) ?to_cycle t =
+  let cw = cell_width t.tracks in
+  let buf = Buffer.create 1024 in
+  let label_w =
+    List.fold_left (fun acc tr -> max acc (String.length tr.label)) 5 t.tracks
+  in
+  let pad s w =
+    if String.length s >= w then s else s ^ String.make (w - String.length s) ' '
+  in
+  let last =
+    match to_cycle with
+    | Some c -> c
+    | None ->
+      List.fold_left (fun acc tr -> max acc (List.length tr.samples)) 0 t.tracks - 1
+  in
+  (* Cycle-number ruler. *)
+  Buffer.add_string buf (pad "cycle" label_w);
+  Buffer.add_string buf " |";
+  for c = from_cycle to last do
+    Buffer.add_string buf (pad (string_of_int c) cw)
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun tr ->
+      let data = samples tr in
+      Buffer.add_string buf (pad tr.label label_w);
+      Buffer.add_string buf " |";
+      let prev = ref None in
+      for c = from_cycle to last do
+        if c >= Array.length data then Buffer.add_string buf (String.make cw ' ')
+        else begin
+          let v = data.(c) in
+          if tr.signal.Signal.width = 1 then begin
+            let ch = if Bits.to_bool v then '-' else '_' in
+            Buffer.add_string buf (String.make cw ch)
+          end
+          else begin
+            let same = match !prev with Some p -> Bits.equal p v | None -> false in
+            let text = if same then "." else Bits.to_hex_string v in
+            Buffer.add_string buf (pad text cw)
+          end;
+          prev := Some v
+        end
+      done;
+      Buffer.add_char buf '\n')
+    t.tracks;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** ASCII waveform recorder (the rendering used for the paper's
+    Figs. 1 and 2).
+
+    [attach] samples the given signals every simulated cycle; [render]
+    draws 1-bit tracks as [_]/[-] levels and wider tracks as hex
+    values with ['.'] marking an unchanged value. *)
+
+type t
+
+val attach : Sim.t -> signals:(string * Signal.t) list -> t
+val render : ?from_cycle:int -> ?to_cycle:int -> t -> string

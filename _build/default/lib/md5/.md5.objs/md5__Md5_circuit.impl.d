@@ -1,0 +1,1 @@
+lib/md5/md5_circuit.ml: Array Bits Hw List Md5_ref Melastic Printf

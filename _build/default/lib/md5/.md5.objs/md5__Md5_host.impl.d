@@ -1,0 +1,1 @@
+lib/md5/md5_host.ml: Array Bits Fun List Md5_circuit Md5_ref Workload

@@ -1,0 +1,1 @@
+lib/md5/md5_host.mli: Hw

@@ -1,0 +1,1 @@
+lib/md5/md5_ref.ml: Array Bits Bytes Char Float Int64 List Printf String

@@ -1,0 +1,251 @@
+(* The multithreaded elastic MD5 circuit of Section V.A.
+
+   Architecture (per the paper):
+
+     input ──gate──▶ M-Merge ──▶ round datapath ──▶ output MEB ──▶
+        (16 unrolled steps, configured by the shared round counter)
+     barrier ──▶ M-Branch ──▶ exit (digest)
+        │              └──────── loopback to the M-Merge
+        └─ release pulse increments the shared round counter
+
+   Each of the S threads hashes its own 512-bit pre-padded block.  The
+   16 steps of a round execute combinationally in one cycle; a thread
+   needs four trips around the loop.  Because the round configuration
+   (T constants, shift amounts, message-word schedule, F/G/H/I) is a
+   single shared counter, all threads synchronize at the barrier before
+   the counter may advance — exactly the role Fig. 8's barrier plays in
+   the paper.
+
+   The message block M of each thread is held in a per-thread register
+   bank written when the thread's block enters the loop; the loop token
+   itself carries only (round, state) = 3 + 128 bits, keeping the MEB
+   slots narrow (this is what makes the full-vs-reduced area comparison
+   of Table I about buffers, not about message storage).
+
+   The token's round field is what the exit branch tests; it equals the
+   shared counter whenever the token is in flight (asserted by the
+   [sync_ok] probe), but unlike the counter it stays correct for tokens
+   still draining out while the next batch has already re-armed the
+   counter. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let state_width = 128
+let block_width = 512
+let input_width = block_width + state_width (* block ++ chaining value *)
+let round_field_width = 3
+let token_width = round_field_width + state_width
+
+(* 32-bit little-endian word [i] of a multi-word bus. *)
+let word b bus i = S.select b bus ~hi:((32 * (i + 1)) - 1) ~lo:(32 * i)
+
+let iv_signal b =
+  let a, bb, c, d = Md5_ref.iv in
+  S.concat_msb b
+    [ S.of_int b ~width:32 d; S.of_int b ~width:32 c;
+      S.of_int b ~width:32 bb; S.of_int b ~width:32 a ]
+
+(* One fully unrolled 16-step MD5 round; [round] (2 bits) selects the
+   per-round constants, schedule and boolean function. *)
+let round_datapath b ~round ~state ~m =
+  let a0 = word b state 0 and b0 = word b state 1 in
+  let c0 = word b state 2 and d0 = word b state 3 in
+  let rec steps i (a, bb, c, d) =
+    if i >= 16 then (a, bb, c, d)
+    else begin
+      let mux4 cases = S.mux b round cases in
+      let f =
+        mux4
+          [ (* F = (b & c) | (~b & d) *)
+            S.lor_ b (S.land_ b bb c) (S.land_ b (S.lnot b bb) d);
+            (* G = (b & d) | (c & ~d) *)
+            S.lor_ b (S.land_ b bb d) (S.land_ b c (S.lnot b d));
+            (* H = b ^ c ^ d *)
+            S.lxor_ b (S.lxor_ b bb c) d;
+            (* I = c ^ (b | ~d) *)
+            S.lxor_ b c (S.lor_ b bb (S.lnot b d)) ]
+      in
+      let m_word =
+        mux4 (List.init 4 (fun r -> word b m (Md5_ref.g_index ((16 * r) + i))))
+      in
+      let t_const =
+        mux4
+          (List.init 4 (fun r ->
+               S.of_int b ~width:32 Md5_ref.t_table.((16 * r) + i)))
+      in
+      let sum = S.add b (S.add b a f) (S.add b m_word t_const) in
+      let rotated =
+        mux4 (List.init 4 (fun r -> S.rotl b sum Md5_ref.s_table.((16 * r) + i)))
+      in
+      let nb = S.add b bb rotated in
+      steps (i + 1) (d, nb, bb, c)
+    end
+  in
+  let a, bb, c, d = steps 0 (a0, b0, c0, d0) in
+  S.concat_msb b [ d; c; bb; a ]
+
+type t = {
+  builder : S.builder;
+  threads : int;
+  kind : Melastic.Meb.kind;
+}
+
+(* Builds the whole design into [b].  External interface:
+   - source "msg"  : width 640 = block(512) ++ chaining value(128).
+     Single-block messages pass the standard IV; multi-block messages
+     chain by passing the previous block's digest (see
+     [Md5_circuit.input_bits] / the multi-block tests).
+   - sink "digest" : width 128, the block's digest (state + chaining
+     value), which is also the next block's chaining value.
+   Probes: "round_counter", "sync_ok", barrier and MEB internals. *)
+let create ?(kind = Melastic.Meb.Reduced) ?participants b ~threads =
+  let src = Mc.source b ~name:"msg" ~threads ~width:input_width in
+  let src_block = S.select b src.Mc.data ~hi:(input_width - 1) ~lo:state_width in
+  let src_iv = S.select b src.Mc.data ~hi:(state_width - 1) ~lo:0 in
+  (* Shared round counter (2 bits, wraps 3 -> 0 on the final release). *)
+  let counter = S.wire b 2 in
+  let in_window = S.eq_const b counter 0 in
+  (* Gate: a new block may enter the loop only while the counter is at
+     round 0 AND its thread has no block in flight — each thread is one
+     execution context; admitting a second block would overwrite the
+     thread's message bank and desynchronize the barrier episodes. *)
+  let exit_fires = Array.init threads (fun _ -> S.wire b 1) in
+  let gated_readys = Array.init threads (fun _ -> S.wire b 1) in
+  let admit = Array.init threads (fun _ -> S.wire b 1) in
+  let gated =
+    { Mc.valids =
+        Array.init threads (fun i -> S.land_ b src.Mc.valids.(i) admit.(i));
+      readys = gated_readys;
+      data = S.zero b token_width }
+  in
+  Array.iteri
+    (fun i r -> S.assign r (S.land_ b admit.(i) gated_readys.(i)))
+    src.Mc.readys;
+  let enter_fires =
+    Array.init threads (fun i -> S.land_ b gated.Mc.valids.(i) gated_readys.(i))
+  in
+  Array.iteri
+    (fun i a ->
+      let inflight =
+        S.reg_fb b ~width:1 (fun q ->
+            S.mux2 b enter_fires.(i) (S.vdd b) (S.mux2 b exit_fires.(i) (S.gnd b) q))
+      in
+      ignore (S.set_name inflight (Printf.sprintf "inflight%d" i));
+      S.assign a (S.land_ b in_window (S.lnot b inflight)))
+    admit;
+  (* Fresh tokens start at round 0 with the supplied chaining value. *)
+  let entry_token =
+    S.concat_msb b [ S.zero b round_field_width; src_iv ]
+  in
+  let gated = { gated with Mc.data = entry_token } in
+  (* Per-thread message bank, written as the block crosses the gate.
+     Held in a block RAM (like the paper's memories, excluded from the
+     LE counts): one 512-bit word per thread. *)
+  let m_bank =
+    S.Memory.create b ~name:"m_bank" ~size:threads ~width:block_width ()
+  in
+  (* Chaining-value bank: the final addition at the exit needs the
+     block's initial state. *)
+  let iv_bank =
+    S.Memory.create b ~name:"iv_bank" ~size:threads ~width:state_width ()
+  in
+  (* Loopback channel (assigned after the branch exists). *)
+  let loop_in = Mc.wires b ~threads ~width:token_width in
+  let merged = Melastic.M_merge.create ~fairness:Melastic.M_merge.Priority_a b loop_in gated in
+  (* The message for the computing thread: forwarded from the input bus
+     when the token is entering right now (its bank write lands at the
+     end of this cycle), otherwise from the bank. *)
+  let tw = max 1 (S.clog2 threads) in
+  let enter_any = S.or_reduce b (Array.to_list enter_fires) in
+  let enter_thread = S.uresize b (Mc.active_thread b merged) tw in
+  S.Memory.write b m_bank ~we:enter_any ~addr:enter_thread ~data:src_block;
+  S.Memory.write b iv_bank ~we:enter_any ~addr:enter_thread ~data:src_iv;
+  (* Entry MEB: the second pipeline register of the round loop ("every
+     pipeline register has been replaced by a MEB").  It also
+     guarantees the message bank is written a cycle before the thread's
+     token reaches the datapath, so no bank-forwarding path is
+     needed. *)
+  let entry_meb =
+    Melastic.Meb.create ~name:"md5_entry_meb" ~policy:Melastic.Policy.Valid_only
+      ~kind b merged
+  in
+  let dp_in = entry_meb.Melastic.Meb.out in
+  let active = Mc.active_thread b dp_in in
+  let m = S.Memory.read_async b m_bank ~addr:(S.uresize b active tw) in
+  let round_field =
+    S.select b dp_in.Mc.data ~hi:(token_width - 1) ~lo:state_width
+  in
+  let state = S.select b dp_in.Mc.data ~hi:(state_width - 1) ~lo:0 in
+  let computed = round_datapath b ~round:counter ~state ~m in
+  let next_token =
+    S.concat_msb b
+      [ S.add b round_field (S.of_int b ~width:round_field_width 1); computed ]
+  in
+  let to_meb = { dp_in with Mc.data = next_token } in
+  let out_meb =
+    Melastic.Meb.create ~name:"md5_meb" ~policy:Melastic.Policy.Valid_only ~kind b
+      to_meb
+  in
+  let barrier =
+    Melastic.Barrier.create ~name:"md5_barrier" ?participants b
+      out_meb.Melastic.Meb.out
+  in
+  (* Shared round counter: advances when the barrier releases. *)
+  let counter_reg =
+    S.reg_fb b ~width:2 (fun q ->
+        S.mux2 b barrier.Melastic.Barrier.release
+          (S.add b q (S.of_int b ~width:2 1))
+          q)
+  in
+  ignore (S.set_name counter_reg "round_counter");
+  S.assign counter counter_reg;
+  (* Exit test: the token has completed its fourth round. *)
+  let out_round =
+    S.select b barrier.Melastic.Barrier.out.Mc.data ~hi:(token_width - 1)
+      ~lo:state_width
+  in
+  let exit = S.eq_const b out_round 4 in
+  let br = Melastic.M_branch.create b barrier.Melastic.Barrier.out ~cond:exit in
+  (* Loopback. *)
+  Mc.connect ~src:br.Melastic.M_branch.out_false ~dst:loop_in;
+  (* Digest output: final addition of the IV, little-endian words. *)
+  let exit_state =
+    S.select b br.Melastic.M_branch.out_true.Mc.data ~hi:(state_width - 1) ~lo:0
+  in
+  let exit_thread =
+    S.uresize b (Mc.active_thread b br.Melastic.M_branch.out_true) tw
+  in
+  let iv = S.Memory.read_async b iv_bank ~addr:exit_thread in
+  let digest =
+    S.concat_msb b
+      (List.rev
+         (List.init 4 (fun i -> S.add b (word b exit_state i) (word b iv i))))
+  in
+  let exit_channel = { br.Melastic.M_branch.out_true with Mc.data = digest } in
+  Array.iteri
+    (fun i w -> S.assign w (Mc.transfer b exit_channel i))
+    exit_fires;
+  Mc.sink b ~name:"digest" exit_channel;
+  (* Probe: a token entering the datapath always computes the round its
+     own field says (field = counter while in flight). *)
+  let sync_ok =
+    S.lor_ b
+      (S.lnot b (Mc.any_valid b dp_in))
+      (S.eq b (S.uresize b round_field 2) counter)
+  in
+  ignore (S.output b "sync_ok" sync_ok);
+  ignore (S.output b "round_counter_out" counter_reg);
+  { builder = b; threads; kind }
+
+(* Convenience: elaborate a standalone MD5 circuit. *)
+let circuit ?(kind = Melastic.Meb.Reduced) ~threads () =
+  let b = S.Builder.create () in
+  let _t = create ~kind b ~threads in
+  Hw.Circuit.create ~name:(Printf.sprintf "md5_%s_%dt" (Melastic.Meb.kind_to_string kind) threads) b
+
+(* Pack a block and a chaining value for the "msg" source. *)
+let input_bits ~block ~iv =
+  if Bits.width block <> block_width || Bits.width iv <> state_width then
+    invalid_arg "Md5_circuit.input_bits: widths";
+  Bits.concat [ block; iv ]

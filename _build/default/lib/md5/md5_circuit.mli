@@ -1,0 +1,50 @@
+(** The multithreaded elastic MD5 circuit of paper Section V.A.
+
+    Topology: input gate → M-Merge (loopback has priority) → entry MEB
+    → 16-step unrolled round datapath (configured by a shared round
+    counter) → output MEB → barrier → M-Branch (exit when the token's
+    round field reaches 4, else loop).  The barrier release pulse
+    advances the shared counter; a per-thread in-flight bit admits one
+    block per thread per pass; the 512-bit message blocks live in a
+    block-RAM bank outside the loop.
+
+    External interface of the built design:
+    - source ["msg"]: 640 bits = pre-padded block (512) ++ chaining
+      value (128).  Pass the standard IV for a message's first block
+      and the previous digest for the following blocks — arbitrary
+      message lengths hash by repeated passes (see [input_bits]);
+    - sink ["digest"]: the 128-bit block digest (state + chaining
+      value), which is also the next block's chaining value;
+    - probes: ["round_counter"], ["sync_ok"] (token round field always
+      matches the shared counter at the datapath input), plus the MEB
+      and barrier internals. *)
+
+module S := Hw.Signal
+
+val state_width : int
+val block_width : int
+val input_width : int
+val token_width : int
+
+val input_bits : block:Bits.t -> iv:Bits.t -> Bits.t
+(** Pack a 512-bit block and a 128-bit chaining value for the ["msg"]
+    source. *)
+
+val iv_signal : S.builder -> S.t
+
+val round_datapath : S.builder -> round:S.t -> state:S.t -> m:S.t -> S.t
+(** One fully unrolled 16-step round; [round] (2 bits) selects the
+    constants, schedule and boolean function. *)
+
+type t = {
+  builder : S.builder;
+  threads : int;
+  kind : Melastic.Meb.kind;
+}
+
+val create :
+  ?kind:Melastic.Meb.kind -> ?participants:bool array ->
+  S.builder -> threads:int -> t
+
+val circuit : ?kind:Melastic.Meb.kind -> threads:int -> unit -> Hw.Circuit.t
+(** Elaborate a standalone MD5 design. *)

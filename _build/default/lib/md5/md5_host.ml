@@ -1,0 +1,72 @@
+(* Host-side driver for the MD5 circuit: hashes arbitrary-length
+   messages (one per thread) by feeding padded blocks with digest
+   chaining.
+
+   The barrier synchronizes ALL participating threads every episode,
+   so the host must keep the batches aligned: it proceeds in explicit
+   rounds of max-block-count batches, where a thread whose message has
+   fewer blocks contributes dummy blocks (standard IV, digest
+   discarded).  Each round is fully drained before the next is
+   submitted — exactly the discipline a hardware host controller for
+   the paper's design needs. *)
+
+let dummy_input () =
+  Md5_circuit.input_bits
+    ~block:(Bits.zero Md5_circuit.block_width)
+    ~iv:(Md5_ref.state_to_bits Md5_ref.iv)
+
+(* Hash [messages] (thread i gets message i) on a simulator built from
+   [Md5_circuit.circuit ~threads:(List.length messages)]; returns the
+   hex digests.  Raises [Failure] if the circuit does not finish
+   within [limit] cycles. *)
+let hash_messages ?(limit = 200_000) sim messages =
+  let threads = List.length messages in
+  let d =
+    Workload.Mt_driver.create sim ~src:"msg" ~snk:"digest" ~threads
+      ~width:Md5_circuit.input_width
+  in
+  let blocks = Array.of_list (List.map Md5_ref.padded_blocks messages) in
+  let chain =
+    Array.init threads (fun _ -> Md5_ref.state_to_bits Md5_ref.iv)
+  in
+  let rounds = Array.fold_left (fun acc b -> max acc (List.length b)) 0 blocks in
+  let budget = ref limit in
+  for round = 0 to rounds - 1 do
+    (* Submit one batch: every thread sends a block (real or dummy). *)
+    let real = Array.make threads false in
+    for t = 0 to threads - 1 do
+      match List.nth_opt blocks.(t) round with
+      | Some block ->
+        real.(t) <- true;
+        Workload.Mt_driver.push d ~thread:t
+          (Md5_circuit.input_bits ~block:(Md5_ref.block_to_bits block)
+             ~iv:chain.(t))
+      | None -> Workload.Mt_driver.push d ~thread:t (dummy_input ())
+    done;
+    (* Drain the whole batch before the next round. *)
+    let target =
+      Array.init threads (fun t ->
+          List.length (Workload.Mt_driver.output_sequence d ~thread:t) + 1)
+    in
+    let batch_done () =
+      Array.for_all
+        (fun t ->
+          List.length (Workload.Mt_driver.output_sequence d ~thread:t)
+          >= target.(t))
+        (Array.init threads Fun.id)
+    in
+    while (not (batch_done ())) && !budget > 0 do
+      decr budget;
+      Workload.Mt_driver.step d
+    done;
+    if not (batch_done ()) then
+      failwith "Md5_host.hash_messages: cycle limit exceeded";
+    for t = 0 to threads - 1 do
+      if real.(t) then begin
+        let outs = Workload.Mt_driver.output_sequence d ~thread:t in
+        chain.(t) <- List.nth outs (List.length outs - 1)
+      end
+    done
+  done;
+  Array.to_list
+    (Array.map (fun c -> Md5_ref.to_hex (Md5_ref.state_of_bits c)) chain)

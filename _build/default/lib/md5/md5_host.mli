@@ -1,0 +1,13 @@
+(** Host-side driver for the MD5 circuit: arbitrary-length messages
+    via digest chaining.
+
+    The barrier synchronizes all threads each episode, so the host
+    proceeds in aligned rounds of max-block-count batches; threads
+    with shorter messages contribute dummy blocks whose digests are
+    discarded. *)
+
+val hash_messages : ?limit:int -> Hw.Sim.t -> string list -> string list
+(** [hash_messages sim messages] — thread [i] hashes [List.nth
+    messages i]; the simulator must come from [Md5_circuit.circuit
+    ~threads:(List.length messages)].  Returns lowercase hex digests.
+    Raises [Failure] beyond [limit] simulated cycles. *)

@@ -1,0 +1,1 @@
+lib/synth/dataflow.ml: Array Buffer Hashtbl Hw List Melastic Option Printf

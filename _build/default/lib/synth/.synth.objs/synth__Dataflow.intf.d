@@ -1,0 +1,1 @@
+lib/synth/dataflow.mli: Hw Melastic

@@ -1,0 +1,361 @@
+(* Dataflow-graph synthesis of multithreaded elastic circuits — the
+   automation the paper's conclusion calls for: describe an algorithm
+   as a graph of functional nodes, buffers, branches, merges and
+   barriers; [build] compiles it to an MT elastic circuit using the
+   paper's primitives.
+
+   The synthesizer
+   - inserts an M-Fork automatically wherever one output feeds several
+     consumers;
+   - maps buffers to full or reduced MEBs (the graph's default kind,
+     overridable per buffer);
+   - uses the Valid_only arbitration policy by default — acyclic in
+     any topology and required in front of barriers — with a per-buffer
+     override for ready-aware linear segments;
+   - rejects graphs with a buffer-free cycle (a combinational loop or
+     a token-starved loop, depending on operators) before elaboration.
+
+   Ports are produced by node constructors and consumed (exactly once,
+   after fork insertion) by later constructors; loops are closed with
+   explicit [merge]/[branch] plus at least one [buffer]. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+type port = { source_node : int; source_slot : int; width : int }
+
+type node =
+  | Input of { name : string }
+  | Output of { name : string; arg : port }
+  | Func of { name : string; width_out : int;
+              f : S.builder -> S.t -> S.t; arg : port }
+  | Func2 of { name : string; width_out : int;
+               f : S.builder -> S.t -> S.t -> S.t; arg_a : port; arg_b : port }
+  | Buffer of { name : string; kind : Melastic.Meb.kind option;
+                policy : Melastic.Policy.t; arg : port }
+  | Branch of { name : string; cond : S.builder -> S.t -> S.t; arg : port }
+  | Merge of { name : string; fairness : Melastic.M_merge.fairness;
+               arg_a : port; arg_b : port }
+  | Barrier of { name : string; participants : bool array option; arg : port }
+  | Varlat of { name : string; latency : Melastic.Mt_varlat.latency;
+                per_thread : bool; f : (S.builder -> S.t -> S.t) option;
+                width_out : int; arg : port }
+  | Feedback of { name : string; width : int; mutable tied : port option }
+
+type t = {
+  threads : int;
+  default_kind : Melastic.Meb.kind;
+  mutable nodes : (int * node) list; (* reverse order *)
+  mutable next_id : int;
+  mutable built : bool;
+}
+
+exception Invalid_graph of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_graph s)) fmt
+
+let create ?(kind = Melastic.Meb.Reduced) ~threads () =
+  if threads < 1 then fail "threads must be >= 1";
+  { threads; default_kind = kind; nodes = []; next_id = 0; built = false }
+
+let add g node =
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  g.nodes <- (id, node) :: g.nodes;
+  id
+
+let out_port g id ~slot ~width = ignore g; { source_node = id; source_slot = slot; width }
+
+let input g ~name ~width =
+  let id = add g (Input { name }) in
+  out_port g id ~slot:0 ~width
+
+let output g ~name arg = ignore (add g (Output { name; arg }))
+
+let func g ?(name = "f") ~width f arg =
+  let id = add g (Func { name; width_out = width; f; arg }) in
+  out_port g id ~slot:0 ~width
+
+let func2 g ?(name = "f2") ~width f arg_a arg_b =
+  let id = add g (Func2 { name; width_out = width; f; arg_a; arg_b }) in
+  out_port g id ~slot:0 ~width
+
+let buffer g ?(name = "buf") ?kind ?(policy = Melastic.Policy.Valid_only) arg =
+  let id = add g (Buffer { name; kind; policy; arg }) in
+  out_port g id ~slot:0 ~width:arg.width
+
+let branch g ?(name = "br") ~cond arg =
+  let id = add g (Branch { name; cond; arg }) in
+  (out_port g id ~slot:0 ~width:arg.width, out_port g id ~slot:1 ~width:arg.width)
+
+let merge g ?(name = "mrg") ?(fairness = Melastic.M_merge.Fair) arg_a arg_b =
+  if arg_a.width <> arg_b.width then fail "merge %s: width mismatch" name;
+  let id = add g (Merge { name; fairness; arg_a; arg_b }) in
+  out_port g id ~slot:0 ~width:arg_a.width
+
+let barrier g ?(name = "bar") ?participants arg =
+  let id = add g (Barrier { name; participants; arg }) in
+  out_port g id ~slot:0 ~width:arg.width
+
+let varlat g ?(name = "vl") ?(per_thread = false) ?f ?width ~latency arg =
+  let width_out = match width with Some w -> w | None -> arg.width in
+  let id = add g (Varlat { name; latency; per_thread; f; width_out; arg }) in
+  out_port g id ~slot:0 ~width:width_out
+
+(* Back edges: [feedback] mints a port usable immediately; [close]
+   ties it to the real producer once the loop body exists. *)
+let feedback g ?(name = "fb") ~width () =
+  let node = Feedback { name; width; tied = None } in
+  let id = add g node in
+  let close (p : port) =
+    if p.width <> width then fail "feedback %s: width mismatch" name;
+    match node with
+    | Feedback r ->
+      if r.tied <> None then fail "feedback %s: already closed" name;
+      r.tied <- Some p
+    | _ -> assert false
+  in
+  (out_port g id ~slot:0 ~width, close)
+
+(* ---- analysis ---- *)
+
+let node_args = function
+  | Input _ -> []
+  | Output { arg; _ } | Func { arg; _ } | Buffer { arg; _ } | Branch { arg; _ }
+  | Barrier { arg; _ } | Varlat { arg; _ } -> [ arg ]
+  | Func2 { arg_a; arg_b; _ } | Merge { arg_a; arg_b; _ } -> [ arg_a; arg_b ]
+  | Feedback { tied = Some p; name = _; width = _ } -> [ p ]
+  | Feedback { tied = None; name; _ } ->
+    fail "feedback %s was never closed" name
+
+let node_name = function
+  | Input { name } | Output { name; _ } | Func { name; _ } | Func2 { name; _ }
+  | Buffer { name; _ } | Branch { name; _ } | Merge { name; _ }
+  | Barrier { name; _ } | Varlat { name; _ } | Feedback { name; _ } -> name
+
+(* Every cycle must contain a Buffer (a Varlat also registers its
+   token and breaks combinational feedback, so it counts too). *)
+let check_cycles_have_buffers nodes =
+  let sequential = function
+    | Buffer _ | Varlat _ -> true
+    | Input _ | Output _ | Func _ | Func2 _ | Branch _ | Merge _ | Barrier _
+    | Feedback _ -> false
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (id, n) -> Hashtbl.replace tbl id n) nodes;
+  (* DFS over edges that skip sequential nodes; a cycle in this
+     subgraph is a buffer-free loop. *)
+  let state = Hashtbl.create 16 in
+  let rec visit id =
+    match Hashtbl.find_opt state id with
+    | Some `Done -> ()
+    | Some `Visiting ->
+      fail "graph has a cycle without any buffer (through node %s)"
+        (node_name (Hashtbl.find tbl id))
+    | None ->
+      Hashtbl.replace state id `Visiting;
+      let n = Hashtbl.find tbl id in
+      if not (sequential n) then
+        List.iter (fun (p : port) -> visit p.source_node) (node_args n);
+      Hashtbl.replace state id `Done
+  in
+  List.iter (fun (id, _) -> visit id) nodes
+
+(* ---- elaboration ---- *)
+
+let build g b =
+  if g.built then fail "graph already built";
+  g.built <- true;
+  let nodes = List.rev g.nodes in
+  check_cycles_have_buffers nodes;
+  (* Fanout per output port. *)
+  let fanout = Hashtbl.create 32 in
+  List.iter
+    (fun (_, n) ->
+      List.iter
+        (fun (p : port) ->
+          let key = (p.source_node, p.source_slot) in
+          Hashtbl.replace fanout key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fanout key)))
+        (node_args n))
+    nodes;
+  (* A wire channel per (port, consumer-instance); forks split high
+     fanout.  [takers] hands consumers their private channel. *)
+  let channels : (int * int, Mc.t list ref) Hashtbl.t = Hashtbl.create 32 in
+  let give key ch =
+    match Hashtbl.find_opt channels key with
+    | Some l -> l := ch :: !l
+    | None -> Hashtbl.replace channels key (ref [ ch ])
+  in
+  let produced = Hashtbl.create 32 in
+  (* Producers register their output channel here; fork insertion
+     happens on registration. *)
+  let produce (p : port) ch =
+    Hashtbl.replace produced (p.source_node, p.source_slot) ();
+    let key = (p.source_node, p.source_slot) in
+    match Option.value ~default:0 (Hashtbl.find_opt fanout key) with
+    | 0 ->
+      (* Dangling output: cap it with an always-ready sink so tokens
+         drain instead of deadlocking the producer. *)
+      Array.iter (fun r -> S.assign r (S.vdd b)) ch.Mc.readys
+    | 1 -> give key ch
+    | n ->
+      let name = Printf.sprintf "fork_n%d_s%d" p.source_node p.source_slot in
+      List.iter (give key) (Melastic.M_fork.eager ~name b ch ~n)
+  in
+  let taken = Hashtbl.create 32 in
+  let consume (p : port) =
+    let key = (p.source_node, p.source_slot) in
+    let l =
+      match Hashtbl.find_opt channels key with
+      | Some l -> l
+      | None -> fail "internal: port consumed before production"
+    in
+    match !l with
+    | [] -> fail "internal: fanout exhausted"
+    | ch :: rest ->
+      l := rest;
+      Hashtbl.replace taken key ();
+      ch
+  in
+  (* Two passes: every producer's output goes through a wire channel,
+     so construction order does not matter (loops included). *)
+  let wires_of_port = Hashtbl.create 32 in
+  List.iter
+    (fun (id, n) ->
+      let slots =
+        match n with
+        | Output _ -> []
+        | Branch _ -> [ (0, (List.hd (node_args n)).width); (1, (List.hd (node_args n)).width) ]
+        | Input { name = _ } -> [ (0, -1) ] (* width resolved below *)
+        | Func { width_out; _ } | Func2 { width_out; _ }
+        | Varlat { width_out; _ } -> [ (0, width_out) ]
+        | Buffer { arg; _ } | Barrier { arg; _ } -> [ (0, arg.width) ]
+        | Merge { arg_a; _ } -> [ (0, arg_a.width) ]
+        | Feedback { width; _ } -> [ (0, width) ]
+      in
+      List.iter
+        (fun (slot, w) ->
+          if w > 0 then begin
+            let ch = Mc.wires b ~threads:g.threads ~width:w in
+            Hashtbl.replace wires_of_port (id, slot) ch;
+            produce { source_node = id; source_slot = slot; width = w } ch
+          end)
+        slots)
+    nodes;
+  (* Input widths come from the ports handed out at construction: find
+     them via consumers.  Simpler: scan all args for matching ports. *)
+  let input_width id =
+    let rec find = function
+      | [] -> fail "input node %d is never consumed; give it a consumer" id
+      | (_, n) :: rest ->
+        (match
+           List.find_opt (fun (p : port) -> p.source_node = id) (node_args n)
+         with
+         | Some p -> p.width
+         | None -> find rest)
+    in
+    find nodes
+  in
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Input _ ->
+        let w = input_width id in
+        let ch = Mc.wires b ~threads:g.threads ~width:w in
+        Hashtbl.replace wires_of_port (id, 0) ch;
+        produce { source_node = id; source_slot = 0; width = w } ch
+      | _ -> ())
+    nodes;
+  (* Instantiate nodes, driving each port's wire channel. *)
+  let drive (id, slot) ch =
+    match Hashtbl.find_opt wires_of_port (id, slot) with
+    | Some w -> Mc.connect ~src:ch ~dst:w
+    | None -> fail "internal: missing wire channel"
+  in
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Input { name } ->
+        let w = (Hashtbl.find wires_of_port (id, 0)).Mc.data.S.width in
+        let src = Mc.source b ~name ~threads:g.threads ~width:w in
+        drive (id, 0) src
+      | Output { name; arg } -> Mc.sink b ~name (consume arg)
+      | Func { f; arg; width_out; name } ->
+        let ch = consume arg in
+        let data = f b ch.Mc.data in
+        if data.S.width <> width_out then
+          fail "func %s: body produced width %d, declared %d" name data.S.width
+            width_out;
+        drive (id, 0) { ch with Mc.data = data }
+      | Func2 { f; arg_a; arg_b; width_out; name } ->
+        let a = consume arg_a and c = consume arg_b in
+        let joined =
+          Melastic.M_join.create
+            ~combine:(fun b x y ->
+              let data = f b x y in
+              if data.S.width <> width_out then
+                fail "func2 %s: body produced width %d, declared %d" name
+                  data.S.width width_out;
+              data)
+            b a c
+        in
+        drive (id, 0) joined
+      | Buffer { name; kind; policy; arg } ->
+        let kind = Option.value ~default:g.default_kind kind in
+        let name = Printf.sprintf "%s_n%d" name id in
+        let meb = Melastic.Meb.create ~name ~policy ~kind b (consume arg) in
+        drive (id, 0) meb.Melastic.Meb.out
+      | Branch { name = _; cond; arg } ->
+        let ch = consume arg in
+        let br = Melastic.M_branch.create b ch ~cond:(cond b ch.Mc.data) in
+        drive (id, 0) br.Melastic.M_branch.out_true;
+        drive (id, 1) br.Melastic.M_branch.out_false
+      | Merge { fairness; arg_a; arg_b; name = _ } ->
+        let m = Melastic.M_merge.create ~fairness b (consume arg_a) (consume arg_b) in
+        drive (id, 0) m
+      | Barrier { name; participants; arg } ->
+        let name = Printf.sprintf "%s_n%d" name id in
+        let bar = Melastic.Barrier.create ~name ?participants b (consume arg) in
+        drive (id, 0) bar.Melastic.Barrier.out
+      | Varlat { name; latency; per_thread; f; width_out = _; arg } ->
+        let name = Printf.sprintf "%s_n%d" name id in
+        let make = if per_thread then Melastic.Mt_varlat.per_thread else Melastic.Mt_varlat.create in
+        let vl = make ~name ?f b (consume arg) ~latency in
+        drive (id, 0) vl.Melastic.Mt_varlat.out
+      | Feedback { tied = Some p; _ } -> drive (id, 0) (consume p)
+      | Feedback { tied = None; name; _ } -> fail "feedback %s was never closed" name)
+    nodes
+
+(* Graphviz DOT rendering of the (unbuilt or built) graph, for
+   documentation and debugging of synthesized designs. *)
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dataflow {\n  rankdir=LR;\n";
+  let shape = function
+    | Input _ -> "invhouse" | Output _ -> "house"
+    | Buffer _ -> "box3d" | Varlat _ -> "component"
+    | Branch _ -> "diamond" | Merge _ -> "invtriangle"
+    | Barrier _ -> "octagon" | Feedback _ -> "cds"
+    | Func _ | Func2 _ -> "ellipse"
+  in
+  List.iter
+    (fun (id, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" id (node_name n)
+           (shape n));
+      List.iteri
+        (fun slot (p : port) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%d:%d\"];\n" p.source_node id
+               p.source_slot slot))
+        (match n with Feedback { tied = None; _ } -> [] | _ -> node_args n))
+    (List.rev g.nodes);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Convenience: build and elaborate in one go. *)
+let circuit ?name g =
+  let b = S.Builder.create () in
+  build g b;
+  Hw.Circuit.create ?name b

@@ -1,0 +1,88 @@
+(** Dataflow-graph synthesis of multithreaded elastic circuits — the
+    automation the paper's conclusion calls for.
+
+    Describe an algorithm as a graph of functional nodes, buffers,
+    branches, merges, barriers and variable-latency units; {!build}
+    compiles it onto the paper's primitives:
+
+    - an M-Fork is inserted wherever one output feeds several
+      consumers;
+    - buffers become full or reduced MEBs (graph default, per-buffer
+      override);
+    - buffers default to the {!Melastic.Policy.Valid_only} policy
+      (acyclic in any topology, required before barriers), overridable
+      per buffer for ready-aware linear segments;
+    - a cycle without a buffer or variable-latency unit is rejected
+      with {!Invalid_graph} before elaboration.
+
+    Ports are produced by node constructors and consumed by later
+    ones; using a port twice is a fanout of two.  Loops are closed
+    with [merge]/[branch] plus at least one [buffer].
+
+    {[
+      let g = Dataflow.create ~threads:4 () in
+      let x = Dataflow.input g ~name:"x" ~width:32 in
+      let y = Dataflow.func g ~width:32 (fun b d -> S.add b d (S.of_int b ~width:32 1)) x in
+      let y = Dataflow.buffer g y in
+      Dataflow.output g ~name:"y" y;
+      let circuit = Dataflow.circuit g
+    ]} *)
+
+module S := Hw.Signal
+
+type port
+
+type t
+
+exception Invalid_graph of string
+
+val create : ?kind:Melastic.Meb.kind -> threads:int -> unit -> t
+
+val input : t -> name:string -> width:int -> port
+(** External producer; becomes an {!Melastic.Mt_channel.source} named
+    [name] (testbench pokes [<name>_valid]/[<name>_data]). *)
+
+val output : t -> name:string -> port -> unit
+(** External consumer; becomes an {!Melastic.Mt_channel.sink}. *)
+
+val func :
+  t -> ?name:string -> width:int -> (S.builder -> S.t -> S.t) -> port -> port
+(** Combinational 1-in/1-out operator; [width] is the declared output
+    width (checked at build time). *)
+
+val func2 :
+  t -> ?name:string -> width:int -> (S.builder -> S.t -> S.t -> S.t) ->
+  port -> port -> port
+(** Two-input operator: an M-Join followed by the combinational body. *)
+
+val buffer :
+  t -> ?name:string -> ?kind:Melastic.Meb.kind -> ?policy:Melastic.Policy.t ->
+  port -> port
+
+val branch :
+  t -> ?name:string -> cond:(S.builder -> S.t -> S.t) -> port -> port * port
+(** [cond] maps the payload to a 1-bit steer; returns
+    [(out_true, out_false)]. *)
+
+val merge :
+  t -> ?name:string -> ?fairness:Melastic.M_merge.fairness -> port -> port -> port
+
+val barrier : t -> ?name:string -> ?participants:bool array -> port -> port
+
+val varlat :
+  t -> ?name:string -> ?per_thread:bool -> ?f:(S.builder -> S.t -> S.t) ->
+  ?width:int -> latency:Melastic.Mt_varlat.latency -> port -> port
+
+val feedback : t -> ?name:string -> width:int -> unit -> port * (port -> unit)
+(** Back edges for loops: [let back, close = feedback g ~width ()]
+    mints a port usable immediately; call [close p] once the loop body
+    exists to tie it.  A loop must still contain a {!buffer} (or
+    {!varlat}). *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the graph (usable before or after build). *)
+
+val build : t -> S.builder -> unit
+(** Elaborate the graph into a builder (single use). *)
+
+val circuit : ?name:string -> t -> Hw.Circuit.t

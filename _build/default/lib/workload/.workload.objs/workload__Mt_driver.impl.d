@@ -1,0 +1,1 @@
+lib/workload/mt_driver.ml: Array Bits Hw List Queue

@@ -1,0 +1,1 @@
+lib/workload/mt_driver.mli: Bits Hw Queue

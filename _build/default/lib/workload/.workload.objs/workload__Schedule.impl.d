@@ -1,0 +1,1 @@
+lib/workload/schedule.ml: Bits Hw List Option Trace

@@ -1,0 +1,1 @@
+lib/workload/st_driver.ml: Bits Hw List Queue

@@ -1,0 +1,1 @@
+lib/workload/st_driver.mli: Bits Hw

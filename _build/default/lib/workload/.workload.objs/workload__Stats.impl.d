@@ -1,0 +1,1 @@
+lib/workload/stats.ml: Format Hashtbl Hw List Option String

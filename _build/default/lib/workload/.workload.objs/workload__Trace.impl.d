@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Bits Buffer Char Hashtbl List Option Printf String

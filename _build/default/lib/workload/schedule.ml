@@ -1,0 +1,56 @@
+(* Capture of Fig. 5-style schedules: for every cycle, which thread's
+   token crosses each probed multithreaded channel.
+
+   Channels are observed through the outputs installed by
+   [Mt_channel.probe] (or sink/source endpoints that export the same
+   <name>_fire / <name>_data signals). *)
+
+type cell = { thread : int; data : Bits.t }
+
+type probe_log = { probe : string; mutable cells : (int * cell) list }
+
+type t = {
+  sim : Hw.Sim.t;
+  threads : int;
+  logs : probe_log list;
+}
+
+let attach sim ~threads ~probes =
+  let logs = List.map (fun p -> { probe = p; cells = [] }) probes in
+  let t = { sim; threads; logs } in
+  Hw.Sim.on_cycle sim (fun sim ->
+      let c = Hw.Sim.cycle_no sim in
+      List.iter
+        (fun log ->
+          let fire = Hw.Sim.peek sim (log.probe ^ "_fire") in
+          let data = Hw.Sim.peek sim (log.probe ^ "_data") in
+          for i = 0 to threads - 1 do
+            if Bits.bit fire i then log.cells <- (c, { thread = i; data }) :: log.cells
+          done)
+        logs);
+  t
+
+let cell_at log c = List.assoc_opt c log.cells
+
+(* Fig. 5 rendering: rows = probed channels, columns = cycles, cells =
+   token tags ("A0", "B2", ...). *)
+let render t ~from_cycle ~to_cycle =
+  let rows =
+    List.map
+      (fun log ->
+        ( log.probe,
+          fun c ->
+            Option.map (fun cell -> Trace.tag_to_string cell.data) (cell_at log c) ))
+      t.logs
+  in
+  (* Re-base columns at [from_cycle]. *)
+  let rows =
+    List.map (fun (l, f) -> (l, fun c -> f (c + from_cycle))) rows
+  in
+  Trace.render_rows rows ~cycles:(to_cycle - from_cycle + 1)
+
+(* The sequence of tokens seen at one probe, oldest first. *)
+let tokens t ~probe =
+  match List.find_opt (fun l -> l.probe = probe) t.logs with
+  | None -> invalid_arg ("Schedule.tokens: unknown probe " ^ probe)
+  | Some log -> List.rev_map (fun (c, cell) -> (c, cell)) log.cells

@@ -1,0 +1,18 @@
+(** Capture of Fig. 5-style schedules: which thread's token crosses
+    each probed multithreaded channel at every cycle.
+
+    Channels are observed through the outputs installed by
+    {!Melastic.Mt_channel.probe} (sources/sinks export the same
+    [<name>_fire]/[<name>_data] signals). *)
+
+type cell = { thread : int; data : Bits.t }
+
+type t
+
+val attach : Hw.Sim.t -> threads:int -> probes:string list -> t
+
+val render : t -> from_cycle:int -> to_cycle:int -> string
+(** Rows = probes, columns = cycles, cells = token tags. *)
+
+val tokens : t -> probe:string -> (int * cell) list
+(** All tokens seen at one probe, oldest first, with their cycles. *)

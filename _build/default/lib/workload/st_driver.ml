@@ -1,0 +1,60 @@
+(* Host-side driver for a single-thread elastic pipeline built with
+   [Elastic.Channel.source] / [Elastic.Channel.sink].
+
+   Injection: the next pending item is offered whenever the source is
+   ready.  The sink's ready follows a per-cycle script, modelling
+   downstream stalls.  All transfers are logged with their cycle. *)
+
+type event = { cycle : int; data : Bits.t }
+
+type t = {
+  sim : Hw.Sim.t;
+  src : string;
+  snk : string;
+  width : int;
+  pending : Bits.t Queue.t;
+  mutable sink_ready : int -> bool;
+  mutable in_log : event list;
+  mutable out_log : event list;
+}
+
+let create sim ~src ~snk ~width =
+  { sim; src; snk; width; pending = Queue.create ();
+    sink_ready = (fun _ -> true); in_log = []; out_log = [] }
+
+let set_sink_ready t f = t.sink_ready <- f
+
+let push t data =
+  if Bits.width data <> t.width then invalid_arg "St_driver.push: width";
+  Queue.add data t.pending
+
+let push_int t n = push t (Bits.of_int ~width:t.width n)
+
+let step t =
+  let sim = t.sim in
+  let c = Hw.Sim.cycle_no sim in
+  Hw.Sim.poke sim (t.snk ^ "_ready") (Bits.of_bool (t.sink_ready c));
+  (* Offer the head item if any; the source's ready tells us whether it
+     will transfer this cycle. *)
+  (match Queue.peek_opt t.pending with
+   | Some d ->
+     Hw.Sim.poke sim (t.src ^ "_valid") Bits.vdd;
+     Hw.Sim.poke sim (t.src ^ "_data") d
+   | None -> Hw.Sim.poke sim (t.src ^ "_valid") Bits.gnd);
+  Hw.Sim.settle sim;
+  let in_fire =
+    Hw.Sim.peek_bool sim (t.src ^ "_ready") && not (Queue.is_empty t.pending)
+  in
+  if in_fire then begin
+    let d = Queue.pop t.pending in
+    t.in_log <- { cycle = c; data = d } :: t.in_log
+  end;
+  if Hw.Sim.peek_bool sim (t.snk ^ "_fire") then
+    t.out_log <- { cycle = c; data = Hw.Sim.peek sim (t.snk ^ "_data") } :: t.out_log;
+  Hw.Sim.cycle sim
+
+let run t n = for _ = 1 to n do step t done
+
+let inputs t = List.rev t.in_log
+let outputs t = List.rev t.out_log
+let output_data t = List.map (fun e -> e.data) (outputs t)

@@ -1,0 +1,27 @@
+(** Host-side driver for a single-thread elastic design built with
+    {!Elastic.Channel.source} / {!Elastic.Channel.sink}.
+
+    The next pending item is offered whenever the source is ready; the
+    sink's ready follows a per-cycle script.  All transfers are logged
+    with their cycle. *)
+
+type event = { cycle : int; data : Bits.t }
+
+type t
+
+val create : Hw.Sim.t -> src:string -> snk:string -> width:int -> t
+val set_sink_ready : t -> (int -> bool) -> unit
+val push : t -> Bits.t -> unit
+val push_int : t -> int -> unit
+
+val step : t -> unit
+(** Advance one cycle: script the sink, offer the head item, log
+    transfers, clock. *)
+
+val run : t -> int -> unit
+
+val inputs : t -> event list
+(** Accepted injections, oldest first. *)
+
+val outputs : t -> event list
+val output_data : t -> Bits.t list

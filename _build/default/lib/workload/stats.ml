@@ -1,0 +1,73 @@
+(* Channel and buffer statistics: per-cycle sampling of named signals
+   into histograms and utilization summaries.  Used by the benches to
+   report slot occupancy (the quantity the reduced MEB trades away)
+   and channel activity next to the Fig. 5 schedules. *)
+
+type series = {
+  name : string;
+  mutable samples : int list; (* reverse order *)
+}
+
+type t = {
+  sim : Hw.Sim.t;
+  series : series list;
+}
+
+(* Sample the named signals (ints) at the end of every cycle. *)
+let attach sim ~signals =
+  let series = List.map (fun name -> { name; samples = [] }) signals in
+  Hw.Sim.on_cycle sim (fun sim ->
+      List.iter
+        (fun s -> s.samples <- Hw.Sim.peek_int sim s.name :: s.samples)
+        series);
+  { sim; series }
+
+let find t name =
+  match List.find_opt (fun s -> s.name = name) t.series with
+  | Some s -> s
+  | None -> invalid_arg ("Stats: unknown series " ^ name)
+
+let samples t name = List.rev (find t name).samples
+
+let mean t name =
+  match (find t name).samples with
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let maximum t name = List.fold_left max 0 (find t name).samples
+
+(* Histogram as (value, count) pairs, ascending. *)
+let histogram t name =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    (find t name).samples;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+  |> List.sort compare
+
+(* Fraction of sampled cycles with a non-zero value — e.g. channel
+   utilization when sampling a fire signal. *)
+let utilization t name =
+  match (find t name).samples with
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.length (List.filter (fun v -> v <> 0) l))
+    /. float_of_int (List.length l)
+
+let pp_histogram fmt (t, name) =
+  Format.fprintf fmt "%s: mean %.2f, max %d@." name (mean t name) (maximum t name);
+  let h = histogram t name in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  List.iter
+    (fun (v, c) ->
+      let pct = 100.0 *. float_of_int c /. float_of_int total in
+      let bar = String.make (int_of_float (pct /. 2.0)) '#' in
+      Format.fprintf fmt "  %3d | %5.1f%% %s@." v pct bar)
+    h
+
+let report t =
+  Format.asprintf "%a"
+    (fun fmt () ->
+      List.iter (fun s -> pp_histogram fmt (t, s.name)) t.series)
+    ()

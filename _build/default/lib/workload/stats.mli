@@ -1,0 +1,21 @@
+(** Per-cycle sampling of named signals into histograms and
+    utilization summaries — the instrument behind the occupancy
+    figures next to the Fig. 5 schedules. *)
+
+type t
+
+val attach : Hw.Sim.t -> signals:string list -> t
+(** Sample each named signal (as an int) at the end of every cycle. *)
+
+val samples : t -> string -> int list
+val mean : t -> string -> float
+val maximum : t -> string -> int
+
+val histogram : t -> string -> (int * int) list
+(** (value, count) pairs, ascending by value. *)
+
+val utilization : t -> string -> float
+(** Fraction of cycles with a non-zero sample. *)
+
+val report : t -> string
+(** Text histograms for every series. *)

@@ -1,0 +1,21 @@
+(** Trace semantics of elastic systems (paper Fig. 1): circuits are
+    equivalent when, per thread, the sequences of data values at each
+    interface match — the cycles may differ. *)
+
+type tagged = { thread : int; value : Bits.t }
+
+val equivalent : reference:tagged list -> observed:tagged list -> bool
+
+val render_rows :
+  (string * (int -> string option)) list -> cycles:int -> string
+(** One row per interface, one column per cycle; a cell function
+    returns the token tag crossing at that cycle, if any. *)
+
+(** {1 Token tags}
+
+    The experiments encode tokens as [thread * 2^16 + seq] and render
+    them as ["A0"], ["B3"], ... *)
+
+val encode_tag : width:int -> thread:int -> seq:int -> Bits.t
+val decode_tag : Bits.t -> int * int
+val tag_to_string : Bits.t -> string

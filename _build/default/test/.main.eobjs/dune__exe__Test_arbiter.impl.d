@@ -1,0 +1,1 @@
+test/test_arbiter.ml: Alcotest Arbiter Array Hw List Printf QCheck QCheck_alcotest

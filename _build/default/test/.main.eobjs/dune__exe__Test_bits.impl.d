@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits List Printf QCheck QCheck_alcotest

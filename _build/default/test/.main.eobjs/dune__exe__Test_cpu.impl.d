@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Buffer Cpu Hashtbl Hw List Melastic Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cpu_programs.ml: Alcotest Array Buffer Cpu Hw List Melastic Printf

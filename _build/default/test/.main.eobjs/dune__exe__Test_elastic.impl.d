@@ -1,0 +1,1 @@
+test/test_elastic.ml: Alcotest Array Bits Elastic Hw List Printf QCheck QCheck_alcotest Queue Random String Workload

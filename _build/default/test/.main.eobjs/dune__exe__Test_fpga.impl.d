@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Fpga Hw List Melastic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bits Hashtbl Hw List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_md5.ml: Alcotest Array Bits Char Fun Hw List Md5 Melastic Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/test_melastic.ml: Alcotest Array Bits Fun Hw List Melastic Printf QCheck QCheck_alcotest Queue Random Workload

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Bits Hw List Melastic Printf Queue Workload

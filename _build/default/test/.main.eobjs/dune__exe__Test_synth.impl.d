@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Bits Hw List Melastic Printf String Synth Workload

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Cpu Fpga Hw List Md5 Melastic QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Bits Cpu Hashtbl Hw List Md5 Melastic String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bits Elastic Filename Hw List Melastic String Sys Workload

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "elastic_mt"
+    [ Test_bits.suite;
+      Test_hw.suite;
+      Test_arbiter.suite;
+      Test_elastic.suite;
+      Test_melastic.suite;
+      Test_md5.suite;
+      Test_cpu.suite;
+      Test_synth.suite;
+      Test_cpu_programs.suite;
+      Test_protocol.suite;
+      Test_transform.suite;
+      Test_fpga.suite;
+      Test_workload.suite;
+      Test_verilog.suite ]

@@ -1,0 +1,203 @@
+(* Tests for the circuit arbiters against exhaustive enumeration and
+   the pure reference models. *)
+
+module S = Hw.Signal
+
+let test_fixed_priority_exhaustive () =
+  let b = S.Builder.create () in
+  let req = S.input b "req" 4 in
+  ignore (S.output b "grant" (Arbiter.fixed_priority b req));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  for r = 0 to 15 do
+    Hw.Sim.poke_int sim "req" r;
+    Hw.Sim.settle sim;
+    let expected =
+      match Arbiter.Model.fixed_priority (Array.init 4 (fun i -> r land (1 lsl i) <> 0)) with
+      | Some i -> 1 lsl i
+      | None -> 0
+    in
+    Alcotest.(check int) (Printf.sprintf "req=%d" r) expected (Hw.Sim.peek_int sim "grant")
+  done
+
+let test_mask_ge () =
+  let b = S.Builder.create () in
+  let ptr = S.input b "ptr" 3 in
+  ignore (S.output b "mask" (Arbiter.mask_ge b ~width:6 ptr));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  for p = 0 to 5 do
+    Hw.Sim.poke_int sim "ptr" p;
+    Hw.Sim.settle sim;
+    let expected = (0b111111 lsr p) lsl p in
+    Alcotest.(check int) (Printf.sprintf "ptr=%d" p) expected (Hw.Sim.peek_int sim "mask")
+  done
+
+let make_rr_sim n =
+  let b = S.Builder.create () in
+  let req = S.input b "req" n in
+  let advance = S.input b "advance" 1 in
+  let rr = Arbiter.round_robin b ~advance req in
+  ignore (S.output b "grant" rr.Arbiter.grant);
+  ignore (S.output b "index" rr.Arbiter.grant_index);
+  ignore (S.output b "any" rr.Arbiter.any_grant);
+  Hw.Sim.create (Hw.Circuit.create b)
+
+let test_round_robin_rotates () =
+  let sim = make_rr_sim 4 in
+  (* All requesting, always advancing: grants must rotate 0,1,2,3,0... *)
+  Hw.Sim.poke_int sim "req" 0b1111;
+  Hw.Sim.poke_int sim "advance" 1;
+  let seen = ref [] in
+  for _ = 0 to 7 do
+    Hw.Sim.settle sim;
+    seen := Hw.Sim.peek_int sim "index" :: !seen;
+    Hw.Sim.cycle sim
+  done;
+  Alcotest.(check (list int)) "rotation" [ 0; 1; 2; 3; 0; 1; 2; 3 ] (List.rev !seen)
+
+let test_round_robin_skips_idle () =
+  let sim = make_rr_sim 4 in
+  Hw.Sim.poke_int sim "req" 0b1010;
+  Hw.Sim.poke_int sim "advance" 1;
+  let seen = ref [] in
+  for _ = 0 to 5 do
+    Hw.Sim.settle sim;
+    seen := Hw.Sim.peek_int sim "index" :: !seen;
+    Hw.Sim.cycle sim
+  done;
+  Alcotest.(check (list int)) "alternates 1,3" [ 1; 3; 1; 3; 1; 3 ] (List.rev !seen)
+
+let test_round_robin_no_advance_holds () =
+  let sim = make_rr_sim 4 in
+  Hw.Sim.poke_int sim "req" 0b1111;
+  Hw.Sim.poke_int sim "advance" 0;
+  for _ = 0 to 4 do
+    Hw.Sim.settle sim;
+    Alcotest.(check int) "held" 0 (Hw.Sim.peek_int sim "index");
+    Hw.Sim.cycle sim
+  done
+
+let test_round_robin_no_request () =
+  let sim = make_rr_sim 4 in
+  Hw.Sim.poke_int sim "req" 0;
+  Hw.Sim.poke_int sim "advance" 1;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "no grant" 0 (Hw.Sim.peek_int sim "grant");
+  Alcotest.(check bool) "any low" false (Hw.Sim.peek_bool sim "any")
+
+(* Property: the circuit RR matches the reference model over random
+   request streams (advance = a grant exists, i.e. rotate-on-grant). *)
+let prop_rr_matches_model =
+  let arb =
+    QCheck.make
+      ~print:(fun (n, reqs) ->
+        Printf.sprintf "n=%d steps=%d" n (List.length reqs))
+      QCheck.Gen.(
+        int_range 2 6 >>= fun n ->
+        list_size (int_range 1 60) (int_bound ((1 lsl n) - 1)) >>= fun reqs ->
+        return (n, reqs))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"round-robin matches reference model" arb
+       (fun (n, reqs) ->
+         let sim = make_rr_sim n in
+         let model = Arbiter.Model.make_rr n in
+         Hw.Sim.poke_int sim "advance" 1;
+         List.for_all
+           (fun r ->
+             Hw.Sim.poke_int sim "req" r;
+             Hw.Sim.settle sim;
+             let expected =
+               Arbiter.Model.rr_grant model (Array.init n (fun i -> r land (1 lsl i) <> 0))
+             in
+             let got =
+               if Hw.Sim.peek_bool sim "any" then Some (Hw.Sim.peek_int sim "index")
+               else None
+             in
+             (match expected with
+              | Some g -> Arbiter.Model.rr_advance model g
+              | None -> ());
+             Hw.Sim.cycle sim;
+             expected = got)
+           reqs))
+
+(* Fairness: under constant full request, every requester gets an equal
+   share over a window. *)
+let test_round_robin_fair () =
+  let sim = make_rr_sim 5 in
+  Hw.Sim.poke_int sim "req" 0b11111;
+  Hw.Sim.poke_int sim "advance" 1;
+  let counts = Array.make 5 0 in
+  for _ = 1 to 100 do
+    Hw.Sim.settle sim;
+    let i = Hw.Sim.peek_int sim "index" in
+    counts.(i) <- counts.(i) + 1;
+    Hw.Sim.cycle sim
+  done;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "thread %d share" i) 20 c)
+    counts
+
+let make_sticky_sim n quantum =
+  let b = S.Builder.create () in
+  let req = S.input b "req" n in
+  let advance = S.input b "advance" 1 in
+  let rr = Arbiter.sticky_round_robin b ~advance ~quantum req in
+  ignore (S.output b "grant" rr.Arbiter.grant);
+  ignore (S.output b "index" rr.Arbiter.grant_index);
+  ignore (S.output b "any" rr.Arbiter.any_grant);
+  Hw.Sim.create (Hw.Circuit.create b)
+
+let test_sticky_quantum () =
+  (* All threads request: the owner keeps the grant for [quantum]
+     cycles before the next thread is adopted. *)
+  let sim = make_sticky_sim 3 4 in
+  Hw.Sim.poke_int sim "req" 0b111;
+  Hw.Sim.poke_int sim "advance" 1;
+  let seen = ref [] in
+  for _ = 0 to 11 do
+    Hw.Sim.settle sim;
+    seen := Hw.Sim.peek_int sim "index" :: !seen;
+    Hw.Sim.cycle sim
+  done;
+  Alcotest.(check (list int)) "4-cycle quanta"
+    [ 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2 ]
+    (List.rev !seen)
+
+let test_sticky_releases_on_idle () =
+  (* The owner stops requesting before its quantum is up: the grant
+     moves on immediately. *)
+  let sim = make_sticky_sim 3 8 in
+  Hw.Sim.poke_int sim "advance" 1;
+  Hw.Sim.poke_int sim "req" 0b111;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "owner 0" 0 (Hw.Sim.peek_int sim "index");
+  Hw.Sim.cycle sim;
+  (* Thread 0 goes idle. *)
+  Hw.Sim.poke_int sim "req" 0b110;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "moves to 1" 1 (Hw.Sim.peek_int sim "index");
+  Hw.Sim.cycle sim;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "sticks with 1" 1 (Hw.Sim.peek_int sim "index")
+
+let test_sticky_no_request () =
+  let sim = make_sticky_sim 3 4 in
+  Hw.Sim.poke_int sim "req" 0;
+  Hw.Sim.poke_int sim "advance" 1;
+  Hw.Sim.settle sim;
+  Alcotest.(check bool) "no grant" false (Hw.Sim.peek_bool sim "any")
+
+let suite =
+  ( "arbiter",
+    [ Alcotest.test_case "fixed priority exhaustive" `Quick test_fixed_priority_exhaustive;
+      Alcotest.test_case "thermometer mask" `Quick test_mask_ge;
+      Alcotest.test_case "round robin rotates" `Quick test_round_robin_rotates;
+      Alcotest.test_case "round robin skips idle" `Quick test_round_robin_skips_idle;
+      Alcotest.test_case "round robin holds without advance" `Quick
+        test_round_robin_no_advance_holds;
+      Alcotest.test_case "round robin no request" `Quick test_round_robin_no_request;
+      Alcotest.test_case "round robin fair" `Quick test_round_robin_fair;
+      Alcotest.test_case "sticky quantum" `Quick test_sticky_quantum;
+      Alcotest.test_case "sticky releases on idle" `Quick test_sticky_releases_on_idle;
+      Alcotest.test_case "sticky no request" `Quick test_sticky_no_request;
+      prop_rr_matches_model ] )

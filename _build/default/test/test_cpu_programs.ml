@@ -1,0 +1,273 @@
+(* A suite of directed programs co-simulated on the pipeline against
+   the ISS, exercising the parts of the ISA the random generator
+   rarely composes: nested control flow, JAL/JR call/return, SLTU/LUI,
+   memory-dependent loops and cross-iteration state. *)
+
+module Isa = Cpu.Isa
+module Asm = Cpu.Asm
+module Iss = Cpu.Iss
+
+let cosim ?(threads = 2) ?(kind = Melastic.Meb.Reduced) ?start_pcs ~limit program =
+  let words = Asm.assemble_words program in
+  let start_pcs = match start_pcs with Some p -> p | None -> Array.make threads 0 in
+  let config =
+    { (Cpu.Mt_pipeline.default_config ~threads) with
+      Cpu.Mt_pipeline.kind; start_pcs; imem_size = 512; dmem_size = 512 }
+  in
+  let circuit, t = Cpu.Mt_pipeline.circuit config in
+  let sim = Hw.Sim.create circuit in
+  Cpu.Mt_pipeline.load_program sim t words;
+  Hw.Sim.settle sim;
+  let cycles = Cpu.Mt_pipeline.run_until_halted sim ~limit in
+  let imem = Array.make 512 0 in
+  List.iteri (fun i w -> imem.(i) <- w) words;
+  let iss = Iss.create ~imem ~dmem_size:512 ~threads ~start_pcs in
+  let iss_ok = Iss.run ~max_steps:500_000 iss in
+  Alcotest.(check bool) "iss halted" true iss_ok;
+  Alcotest.(check bool) "pipeline halted" true (cycles <> None);
+  (sim, t, iss)
+
+let check_regs_and_mem sim t iss ~threads =
+  for th = 0 to threads - 1 do
+    for r = 1 to Isa.num_regs - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "t%d r%d" th r)
+        (Iss.reg_value iss ~thread:th ~reg:r)
+        (Cpu.Mt_pipeline.read_reg sim t ~thread:th ~reg:r)
+    done
+  done;
+  for a = 0 to 511 do
+    Alcotest.(check int) (Printf.sprintf "dmem[%d]" a) (Iss.dmem_value iss a)
+      (Cpu.Mt_pipeline.read_dmem sim t a)
+  done
+
+let test_gcd () =
+  (* gcd(1071, 462) = 21, by repeated subtraction. *)
+  let program =
+    "addi r1, r0, 1071\n\
+     addi r2, r0, 462\n\
+     loop: beq r1, r2, done\n\
+     blt r1, r2, swap\n\
+     sub r1, r1, r2\n\
+     j loop\n\
+     swap: sub r2, r2, r1\n\
+     j loop\n\
+     done: halt\n"
+  in
+  let sim, t, iss = cosim ~threads:2 ~limit:30000 program in
+  check_regs_and_mem sim t iss ~threads:2;
+  Alcotest.(check int) "gcd = 21" 21 (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:1)
+
+let test_bubble_sort () =
+  (* Store 8 descending values, bubble-sort them in data memory. *)
+  let program =
+    "; fill dmem[base..base+7] with 80,70,...,10 (base = r10)\n\
+     addi r10, r0, 0\n\
+     addi r1, r0, 8\n\
+     addi r2, r0, 80\n\
+     mv r3, r10\n\
+     fill: sw r2, 0(r3)\n\
+     addi r2, r2, -10\n\
+     addi r3, r3, 1\n\
+     addi r1, r1, -1\n\
+     bne r1, r0, fill\n\
+     ; bubble sort\n\
+     addi r4, r0, 7          ; outer counter\n\
+     outer: mv r3, r10\n\
+     mv r5, r4\n\
+     inner: lw r6, 0(r3)\n\
+     lw r7, 1(r3)\n\
+     bge r7, r6, noswap\n\
+     sw r7, 0(r3)\n\
+     sw r6, 1(r3)\n\
+     noswap: addi r3, r3, 1\n\
+     addi r5, r5, -1\n\
+     bne r5, r0, inner\n\
+     addi r4, r4, -1\n\
+     bne r4, r0, outer\n\
+     halt\n"
+  in
+  let sim, t, iss = cosim ~threads:1 ~limit:60000 program in
+  check_regs_and_mem sim t iss ~threads:1;
+  for i = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "sorted[%d]" i)
+      ((i + 1) * 10)
+      (Cpu.Mt_pipeline.read_dmem sim t i)
+  done
+
+let test_call_return_chain () =
+  (* Two nested calls through JAL/JR with distinct link registers. *)
+  let program =
+    "jal r15, outer\n\
+     addi r9, r0, 3       ; after return\n\
+     halt\n\
+     outer: addi r1, r1, 1\n\
+     jal r14, inner\n\
+     addi r1, r1, 16\n\
+     jr r15\n\
+     inner: addi r1, r1, 4\n\
+     jr r14\n"
+  in
+  let sim, t, iss = cosim ~threads:2 ~limit:20000 program in
+  check_regs_and_mem sim t iss ~threads:2;
+  Alcotest.(check int) "r1 accumulated through calls" 21
+    (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:1);
+  Alcotest.(check int) "resumed after return" 3
+    (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:9)
+
+let test_lui_and_unsigned_compare () =
+  let program =
+    "lui r1, 8           ; r1 = 8 << 18 = 2097152\n\
+     ori r1, r1, 100\n\
+     addi r2, r0, -1     ; 0xffffffff\n\
+     sltu r3, r1, r2     ; unsigned: r1 < r2 -> 1\n\
+     slt r4, r2, r1      ; signed: -1 < big -> 1\n\
+     srl r5, r1, r0      ; shift by r0 = 0\n\
+     addi r6, r0, 4\n\
+     srl r7, r1, r6      ; (8<<18 | 100) >> 4\n\
+     halt\n"
+  in
+  let sim, t, iss = cosim ~threads:1 ~limit:10000 program in
+  check_regs_and_mem sim t iss ~threads:1;
+  Alcotest.(check int) "lui|ori" ((8 lsl 18) lor 100)
+    (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:1);
+  Alcotest.(check int) "sltu" 1 (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:3);
+  Alcotest.(check int) "slt" 1 (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:4)
+
+let test_shift_edge_cases () =
+  let program =
+    "addi r1, r0, -1      ; 0xffffffff\n\
+     addi r2, r0, 31\n\
+     sra r3, r1, r2       ; arithmetic: stays -1\n\
+     srl r4, r1, r2       ; logical: 1\n\
+     addi r5, r0, 1\n\
+     sll r6, r5, r2       ; 0x80000000\n\
+     sll r7, r6, r5       ; shifts out: 0\n\
+     halt\n"
+  in
+  let sim, t, iss = cosim ~threads:1 ~limit:10000 program in
+  check_regs_and_mem sim t iss ~threads:1;
+  Alcotest.(check int) "sra -1 >> 31" 0xffffffff
+    (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:3);
+  Alcotest.(check int) "srl -1 >> 31" 1 (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:4);
+  Alcotest.(check int) "1 << 31" 0x80000000
+    (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:6)
+
+let test_memcpy_threads () =
+  (* Each thread copies its own 8-word block; thread regions disjoint. *)
+  let threads = 4 in
+  let buf = Buffer.create 512 in
+  for t = 0 to threads - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "addi r10, r0, %d\naddi r11, r0, %d\nj main\n" (t * 32)
+         ((t * 32) + 16))
+  done;
+  Buffer.add_string buf
+    "main: addi r1, r0, 8\n\
+     mv r2, r10\n\
+     seed: sw r2, 0(r2)\n\
+     addi r2, r2, 1\n\
+     addi r1, r1, -1\n\
+     bne r1, r0, seed\n\
+     addi r1, r0, 8\n\
+     mv r2, r10\n\
+     mv r3, r11\n\
+     copy: lw r4, 0(r2)\n\
+     sw r4, 0(r3)\n\
+     addi r2, r2, 1\n\
+     addi r3, r3, 1\n\
+     addi r1, r1, -1\n\
+     bne r1, r0, copy\n\
+     halt\n";
+  let start_pcs = Array.init threads (fun t -> 3 * t) in
+  let sim, t, iss =
+    cosim ~threads ~start_pcs ~limit:60000 (Buffer.contents buf)
+  in
+  check_regs_and_mem sim t iss ~threads;
+  for th = 0 to threads - 1 do
+    for i = 0 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "thread %d copy[%d]" th i)
+        ((th * 32) + i)
+        (Cpu.Mt_pipeline.read_dmem sim t ((th * 32) + 16 + i))
+    done
+  done
+
+let test_full_meb_variant_matches () =
+  (* The same program must produce identical architectural state on
+     full and reduced pipelines. *)
+  let program =
+    "addi r1, r0, 10\n\
+     loop: mul r2, r1, r1\n\
+     add r3, r3, r2\n\
+     addi r1, r1, -1\n\
+     bne r1, r0, loop\n\
+     halt\n"
+  in
+  let regs kind =
+    let sim, t, _ = cosim ~threads:2 ~kind ~limit:30000 program in
+    List.init 15 (fun r -> Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:(r + 1))
+  in
+  Alcotest.(check (list int)) "full == reduced" (regs Melastic.Meb.Full)
+    (regs Melastic.Meb.Reduced)
+
+(* Every opcode individually: a minimal program per instruction,
+   co-simulated against the ISS.  Catches decode/execute wiring bugs
+   the bigger programs might mask. *)
+let single_opcode_programs =
+  [ ("NOP", "nop\nhalt\n");
+    ("ADD", "addi r1, r0, 5\naddi r2, r0, 9\nadd r3, r1, r2\nhalt\n");
+    ("SUB", "addi r1, r0, 5\naddi r2, r0, 9\nsub r3, r1, r2\nhalt\n");
+    ("AND", "addi r1, r0, 12\naddi r2, r0, 10\nand r3, r1, r2\nhalt\n");
+    ("OR", "addi r1, r0, 12\naddi r2, r0, 10\nor r3, r1, r2\nhalt\n");
+    ("XOR", "addi r1, r0, 12\naddi r2, r0, 10\nxor r3, r1, r2\nhalt\n");
+    ("SLT", "addi r1, r0, -3\naddi r2, r0, 2\nslt r3, r1, r2\nslt r4, r2, r1\nhalt\n");
+    ("SLTU", "addi r1, r0, -3\naddi r2, r0, 2\nsltu r3, r1, r2\nsltu r4, r2, r1\nhalt\n");
+    ("SLL", "addi r1, r0, 3\naddi r2, r0, 4\nsll r3, r1, r2\nhalt\n");
+    ("SRL", "addi r1, r0, -1\naddi r2, r0, 4\nsrl r3, r1, r2\nhalt\n");
+    ("SRA", "addi r1, r0, -16\naddi r2, r0, 2\nsra r3, r1, r2\nhalt\n");
+    ("MUL", "addi r1, r0, 123\naddi r2, r0, 77\nmul r3, r1, r2\nhalt\n");
+    ("ADDI", "addi r1, r0, -100\nhalt\n");
+    ("ANDI", "addi r1, r0, -1\nandi r2, r1, 4095\nhalt\n");
+    ("ORI", "ori r1, r0, 4095\nhalt\n");
+    ("XORI", "addi r1, r0, 255\nxori r2, r1, 4095\nhalt\n");
+    ("SLTI", "addi r1, r0, -5\nslti r2, r1, 0\nslti r3, r1, -10\nhalt\n");
+    ("LUI", "lui r1, 12345\nhalt\n");
+    ("LW/SW", "addi r1, r0, 42\nsw r1, 7(r0)\nlw r2, 7(r0)\nhalt\n");
+    ("BEQ", "addi r1, r0, 1\nbeq r1, r1, over\naddi r2, r0, 99\nover: halt\n");
+    ("BNE", "addi r1, r0, 1\nbne r1, r0, over\naddi r2, r0, 99\nover: halt\n");
+    ("BLT", "addi r1, r0, -1\nblt r1, r0, over\naddi r2, r0, 99\nover: halt\n");
+    ("BGE", "bge r0, r0, over\naddi r2, r0, 99\nover: halt\n");
+    ("J", "j over\naddi r2, r0, 99\nover: halt\n");
+    ("JAL/JR", "jal r15, f\nhalt\nf: addi r1, r0, 7\njr r15\n") ]
+
+let test_single_opcodes () =
+  List.iter
+    (fun (name, program) ->
+      let sim, t, iss = cosim ~threads:1 ~limit:5000 program in
+      for r = 1 to Isa.num_regs - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s r%d" name r)
+          (Iss.reg_value iss ~thread:0 ~reg:r)
+          (Cpu.Mt_pipeline.read_reg sim t ~thread:0 ~reg:r)
+      done;
+      for a = 0 to 15 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s dmem[%d]" name a)
+          (Iss.dmem_value iss a)
+          (Cpu.Mt_pipeline.read_dmem sim t a)
+      done)
+    single_opcode_programs
+
+let suite =
+  ( "cpu-programs",
+    [ Alcotest.test_case "every opcode vs ISS" `Quick test_single_opcodes;
+      Alcotest.test_case "gcd by subtraction" `Quick test_gcd;
+      Alcotest.test_case "bubble sort in dmem" `Quick test_bubble_sort;
+      Alcotest.test_case "call/return chain" `Quick test_call_return_chain;
+      Alcotest.test_case "lui and unsigned compare" `Quick test_lui_and_unsigned_compare;
+      Alcotest.test_case "shift edge cases" `Quick test_shift_edge_cases;
+      Alcotest.test_case "memcpy across threads" `Quick test_memcpy_threads;
+      Alcotest.test_case "full/reduced architectural equality" `Quick
+        test_full_meb_variant_matches ] )

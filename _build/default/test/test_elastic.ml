@@ -1,0 +1,279 @@
+(* Tests for the single-thread elastic layer: EB FIFO semantics,
+   throughput/capacity, and the control operators. *)
+
+module S = Hw.Signal
+
+let build_pipeline ~stages ~width =
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width in
+  let out, _ebs = Elastic.Eb.chain b ~n:stages src in
+  Elastic.Channel.sink b ~name:"snk" out;
+  Hw.Sim.create (Hw.Circuit.create b)
+
+let driver ~stages ~width =
+  let sim = build_pipeline ~stages ~width in
+  Workload.St_driver.create sim ~src:"src" ~snk:"snk" ~width
+
+let ints l = List.map (fun b -> Bits.to_int b) l
+
+let test_eb_passes_data () =
+  let d = driver ~stages:1 ~width:8 in
+  List.iter (Workload.St_driver.push_int d) [ 1; 2; 3; 4; 5 ];
+  Workload.St_driver.run d 20;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4; 5 ]
+    (ints (Workload.St_driver.output_data d))
+
+let test_eb_full_throughput () =
+  (* With an always-ready sink, a chain of EBs sustains one transfer
+     per cycle: n items exit in n + latency cycles. *)
+  let d = driver ~stages:3 ~width:8 in
+  for i = 1 to 20 do Workload.St_driver.push_int d i done;
+  Workload.St_driver.run d 40;
+  let out = Workload.St_driver.outputs d in
+  Alcotest.(check int) "all delivered" 20 (List.length out);
+  let cycles = List.map (fun e -> e.Workload.St_driver.cycle) out in
+  (* Consecutive outputs on consecutive cycles = 100% throughput. *)
+  let rec consecutive = function
+    | a :: (b :: _ as rest) -> a + 1 = b && consecutive rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "back-to-back" true (consecutive cycles)
+
+let test_eb_capacity_two () =
+  (* Sink never ready: a single EB absorbs exactly two items. *)
+  let d = driver ~stages:1 ~width:8 in
+  Workload.St_driver.set_sink_ready d (fun _ -> false);
+  for i = 1 to 10 do Workload.St_driver.push_int d i done;
+  Workload.St_driver.run d 20;
+  Alcotest.(check int) "accepted" 2 (List.length (Workload.St_driver.inputs d));
+  Alcotest.(check int) "none out" 0 (List.length (Workload.St_driver.outputs d))
+
+let test_eb_chain_capacity () =
+  (* n stalled EBs absorb 2n items. *)
+  let d = driver ~stages:4 ~width:8 in
+  Workload.St_driver.set_sink_ready d (fun _ -> false);
+  for i = 1 to 20 do Workload.St_driver.push_int d i done;
+  Workload.St_driver.run d 40;
+  Alcotest.(check int) "accepted" 8 (List.length (Workload.St_driver.inputs d))
+
+let test_eb_stall_recovery () =
+  let d = driver ~stages:2 ~width:8 in
+  (* Stall the sink for a window, then release. *)
+  Workload.St_driver.set_sink_ready d (fun c -> c < 3 || c >= 12);
+  for i = 1 to 10 do Workload.St_driver.push_int d i done;
+  Workload.St_driver.run d 40;
+  Alcotest.(check (list int)) "order preserved across stall"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (ints (Workload.St_driver.output_data d))
+
+(* Property: an EB chain under a random stall pattern is a FIFO. *)
+let prop_eb_fifo =
+  let arb =
+    QCheck.make
+      ~print:(fun (stages, data, seed) ->
+        Printf.sprintf "stages=%d data=[%s] seed=%d" stages
+          (String.concat ";" (List.map string_of_int data))
+          seed)
+      QCheck.Gen.(
+        int_range 1 4 >>= fun stages ->
+        list_size (int_range 1 30) (int_bound 255) >>= fun data ->
+        int_bound 10000 >>= fun seed -> return (stages, data, seed))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"EB chain is a FIFO under random stalls" arb
+       (fun (stages, data, seed) ->
+         let d = driver ~stages ~width:8 in
+         let st = Random.State.make [| seed |] in
+         let script = Array.init 500 (fun _ -> Random.State.bool st) in
+         Workload.St_driver.set_sink_ready d (fun c -> script.(c mod 500));
+         List.iter (Workload.St_driver.push_int d) data;
+         Workload.St_driver.run d (List.length data * 4 + 50);
+         ints (Workload.St_driver.output_data d) = data))
+
+let test_join_pairs () =
+  let b = S.Builder.create () in
+  let a = Elastic.Channel.source b ~name:"a" ~width:8 in
+  let c = Elastic.Channel.source b ~name:"c" ~width:8 in
+  let eb_a = Elastic.Eb.create ~name:"eba" b a in
+  let eb_c = Elastic.Eb.create ~name:"ebc" b c in
+  let j = Elastic.Join.create b eb_a.Elastic.Eb.out eb_c.Elastic.Eb.out in
+  Elastic.Channel.sink b ~name:"snk" j;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  (* Feed a faster than c; outputs must still be index-aligned pairs. *)
+  let qa = Queue.create () and qc = Queue.create () in
+  List.iter (fun x -> Queue.add x qa) [ 1; 2; 3; 4 ];
+  List.iter (fun x -> Queue.add x qc) [ 10; 20; 30; 40 ];
+  let outs = ref [] in
+  Hw.Sim.poke_int sim "snk_ready" 1;
+  for cyc = 0 to 29 do
+    (* c is throttled: only offered every third cycle. *)
+    (match Queue.peek_opt qa with
+     | Some x -> Hw.Sim.poke_int sim "a_valid" 1; Hw.Sim.poke_int sim "a_data" x
+     | None -> Hw.Sim.poke_int sim "a_valid" 0);
+    (match Queue.peek_opt qc with
+     | Some x when cyc mod 3 = 0 ->
+       Hw.Sim.poke_int sim "c_valid" 1; Hw.Sim.poke_int sim "c_data" x
+     | _ -> Hw.Sim.poke_int sim "c_valid" 0);
+    Hw.Sim.settle sim;
+    if Hw.Sim.peek_bool sim "a_ready" && not (Queue.is_empty qa)
+    then ignore (Queue.pop qa);
+    if Hw.Sim.peek_bool sim "c_ready" && cyc mod 3 = 0 && not (Queue.is_empty qc)
+    then ignore (Queue.pop qc);
+    if Hw.Sim.peek_bool sim "snk_fire" then
+      outs := Hw.Sim.peek_int sim "snk_data" :: !outs;
+    Hw.Sim.cycle sim
+  done;
+  let expected = List.map (fun (x, y) -> (x lsl 8) lor y) [ (1, 10); (2, 20); (3, 30); (4, 40) ] in
+  Alcotest.(check (list int)) "joined pairs" expected (List.rev !outs)
+
+let test_eager_fork_delivers_to_both () =
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let eb = Elastic.Eb.create b src in
+  (match Elastic.Fork.eager b eb.Elastic.Eb.out ~n:2 with
+   | [ o1; o2 ] ->
+     Elastic.Channel.sink b ~name:"s1" o1;
+     Elastic.Channel.sink b ~name:"s2" o2
+   | _ -> assert false);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let q = Queue.create () in
+  List.iter (fun x -> Queue.add x q) [ 5; 6; 7 ];
+  let o1 = ref [] and o2 = ref [] in
+  for cyc = 0 to 29 do
+    (* Sinks stall on different, interleaved patterns. *)
+    Hw.Sim.poke_int sim "s1_ready" (if cyc mod 2 = 0 then 1 else 0);
+    Hw.Sim.poke_int sim "s2_ready" (if cyc mod 3 = 0 then 1 else 0);
+    (match Queue.peek_opt q with
+     | Some x -> Hw.Sim.poke_int sim "src_valid" 1; Hw.Sim.poke_int sim "src_data" x
+     | None -> Hw.Sim.poke_int sim "src_valid" 0);
+    Hw.Sim.settle sim;
+    if Hw.Sim.peek_bool sim "src_ready" && not (Queue.is_empty q) then
+      ignore (Queue.pop q);
+    if Hw.Sim.peek_bool sim "s1_fire" then o1 := Hw.Sim.peek_int sim "s1_data" :: !o1;
+    if Hw.Sim.peek_bool sim "s2_fire" then o2 := Hw.Sim.peek_int sim "s2_data" :: !o2;
+    Hw.Sim.cycle sim
+  done;
+  Alcotest.(check (list int)) "sink1 got all" [ 5; 6; 7 ] (List.rev !o1);
+  Alcotest.(check (list int)) "sink2 got all" [ 5; 6; 7 ] (List.rev !o2)
+
+let test_lazy_fork_into_join_is_cyclic () =
+  (* The textbook combinational cycle: a lazy fork feeding a join. *)
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let eb = Elastic.Eb.create b src in
+  (match Elastic.Fork.lazy_ b eb.Elastic.Eb.out ~n:2 with
+   | [ o1; o2 ] ->
+     let j = Elastic.Join.create b o1 o2 in
+     Elastic.Channel.sink b ~name:"snk" j
+   | _ -> assert false);
+  (try
+     ignore (Hw.Circuit.create b);
+     Alcotest.fail "expected a combinational cycle"
+   with Hw.Circuit.Combinational_cycle _ -> ())
+
+let test_eager_fork_into_join_is_fine () =
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let eb = Elastic.Eb.create b src in
+  (match Elastic.Fork.eager b eb.Elastic.Eb.out ~n:2 with
+   | [ o1; o2 ] ->
+     let j = Elastic.Join.create b o1 o2 in
+     Elastic.Channel.sink b ~name:"snk" j
+   | _ -> assert false);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let q = Queue.create () in
+  List.iter (fun x -> Queue.add x q) [ 1; 2; 3 ];
+  let outs = ref [] in
+  Hw.Sim.poke_int sim "snk_ready" 1;
+  for _ = 0 to 19 do
+    (match Queue.peek_opt q with
+     | Some x -> Hw.Sim.poke_int sim "src_valid" 1; Hw.Sim.poke_int sim "src_data" x
+     | None -> Hw.Sim.poke_int sim "src_valid" 0);
+    Hw.Sim.settle sim;
+    if Hw.Sim.peek_bool sim "src_ready" && not (Queue.is_empty q) then
+      ignore (Queue.pop q);
+    if Hw.Sim.peek_bool sim "snk_fire" then
+      outs := Hw.Sim.peek_int sim "snk_data" :: !outs;
+    Hw.Sim.cycle sim
+  done;
+  let expected = List.map (fun x -> (x lsl 8) lor x) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "self-join" expected (List.rev !outs)
+
+let test_branch_merge_roundtrip () =
+  (* Route odd values through one path, even through the other, merge
+     back: the per-path order is preserved. *)
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let eb = Elastic.Eb.create b src in
+  let cond = S.bit b eb.Elastic.Eb.out.Elastic.Channel.data 0 in
+  let br = Elastic.Branch.create b eb.Elastic.Eb.out ~cond in
+  let odd = Elastic.Eb.create ~name:"odd" b br.Elastic.Branch.out_true in
+  let even = Elastic.Eb.create ~name:"even" b br.Elastic.Branch.out_false in
+  let merged = Elastic.Merge.create b odd.Elastic.Eb.out even.Elastic.Eb.out in
+  Elastic.Channel.sink b ~name:"snk" merged;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.St_driver.create sim ~src:"src" ~snk:"snk" ~width:8 in
+  let data = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  List.iter (Workload.St_driver.push_int d) data;
+  Workload.St_driver.run d 60;
+  let out = ints (Workload.St_driver.output_data d) in
+  Alcotest.(check int) "all out" 8 (List.length out);
+  let odds = List.filter (fun x -> x land 1 = 1) out in
+  let evens = List.filter (fun x -> x land 1 = 0) out in
+  Alcotest.(check (list int)) "odd order" [ 1; 3; 5; 7 ] odds;
+  Alcotest.(check (list int)) "even order" [ 2; 4; 6; 8 ] evens
+
+let test_varlat_fixed () =
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let v =
+    Elastic.Varlat.create b src ~latency:(Elastic.Varlat.Fixed 3)
+      ~f:(fun b d -> S.add b d (S.of_int b ~width:8 100))
+  in
+  Elastic.Channel.sink b ~name:"snk" v;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.St_driver.create sim ~src:"src" ~snk:"snk" ~width:8 in
+  List.iter (Workload.St_driver.push_int d) [ 1; 2; 3 ];
+  Workload.St_driver.run d 40;
+  let out = Workload.St_driver.outputs d in
+  Alcotest.(check (list int)) "computed" [ 101; 102; 103 ]
+    (ints (List.map (fun e -> e.Workload.St_driver.data) out));
+  (* Each token spends >= 3 cycles inside. *)
+  let in_cycles = List.map (fun e -> e.Workload.St_driver.cycle) (Workload.St_driver.inputs d) in
+  let out_cycles = List.map (fun e -> e.Workload.St_driver.cycle) out in
+  List.iter2
+    (fun i o -> Alcotest.(check bool) "latency >= 3" true (o - i >= 3))
+    in_cycles out_cycles
+
+let test_varlat_random_order_preserved () =
+  let b = S.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:8 in
+  let v =
+    Elastic.Varlat.create b src
+      ~latency:(Elastic.Varlat.Random { max_latency = 5; seed = 7 })
+  in
+  Elastic.Channel.sink b ~name:"snk" v;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.St_driver.create sim ~src:"src" ~snk:"snk" ~width:8 in
+  let data = List.init 15 (fun i -> i + 1) in
+  List.iter (Workload.St_driver.push_int d) data;
+  Workload.St_driver.run d 200;
+  Alcotest.(check (list int)) "order preserved" data
+    (ints (Workload.St_driver.output_data d))
+
+let suite =
+  ( "elastic",
+    [ Alcotest.test_case "EB passes data" `Quick test_eb_passes_data;
+      Alcotest.test_case "EB full throughput" `Quick test_eb_full_throughput;
+      Alcotest.test_case "EB capacity 2" `Quick test_eb_capacity_two;
+      Alcotest.test_case "EB chain capacity" `Quick test_eb_chain_capacity;
+      Alcotest.test_case "EB stall recovery" `Quick test_eb_stall_recovery;
+      prop_eb_fifo;
+      Alcotest.test_case "join pairs tokens" `Quick test_join_pairs;
+      Alcotest.test_case "eager fork" `Quick test_eager_fork_delivers_to_both;
+      Alcotest.test_case "lazy fork + join detected cyclic" `Quick
+        test_lazy_fork_into_join_is_cyclic;
+      Alcotest.test_case "eager fork + join works" `Quick test_eager_fork_into_join_is_fine;
+      Alcotest.test_case "branch/merge roundtrip" `Quick test_branch_merge_roundtrip;
+      Alcotest.test_case "varlat fixed" `Quick test_varlat_fixed;
+      Alcotest.test_case "varlat random order" `Quick test_varlat_random_order_preserved ] )

@@ -1,0 +1,295 @@
+(* Tests for the hw kernel: signal construction, elaboration (cycle
+   detection), and the cycle-accurate simulator. *)
+
+module S = Hw.Signal
+
+let build_and_sim b = Hw.Sim.create (Hw.Circuit.create b)
+
+let test_const_and_logic () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 and y = S.input b "y" 8 in
+  ignore (S.output b "and_" (S.land_ b x y));
+  ignore (S.output b "or_" (S.lor_ b x y));
+  ignore (S.output b "xor_" (S.lxor_ b x y));
+  ignore (S.output b "not_" (S.lnot b x));
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "x" 0b1100_1010;
+  Hw.Sim.poke_int sim "y" 0b1010_0110;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "and" 0b1000_0010 (Hw.Sim.peek_int sim "and_");
+  Alcotest.(check int) "or" 0b1110_1110 (Hw.Sim.peek_int sim "or_");
+  Alcotest.(check int) "xor" 0b0110_1100 (Hw.Sim.peek_int sim "xor_");
+  Alcotest.(check int) "not" 0b0011_0101 (Hw.Sim.peek_int sim "not_")
+
+let test_arith () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 and y = S.input b "y" 8 in
+  ignore (S.output b "sum" (S.add b x y));
+  ignore (S.output b "diff" (S.sub b x y));
+  ignore (S.output b "prod" (S.mul b x y));
+  ignore (S.output b "eq" (S.eq b x y));
+  ignore (S.output b "lt" (S.ult b x y));
+  ignore (S.output b "slt" (S.slt b x y));
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "x" 200;
+  Hw.Sim.poke_int sim "y" 100;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "sum wraps" ((200 + 100) land 255) (Hw.Sim.peek_int sim "sum");
+  Alcotest.(check int) "diff" 100 (Hw.Sim.peek_int sim "diff");
+  Alcotest.(check int) "prod" (200 * 100) (Hw.Sim.peek_int sim "prod");
+  Alcotest.(check bool) "eq" false (Hw.Sim.peek_bool sim "eq");
+  Alcotest.(check bool) "ult" false (Hw.Sim.peek_bool sim "lt");
+  (* 200 = -56 signed, so signed 200 < 100. *)
+  Alcotest.(check bool) "slt" true (Hw.Sim.peek_bool sim "slt")
+
+let test_mux () =
+  let b = S.Builder.create () in
+  let sel = S.input b "sel" 2 in
+  let cases = List.map (fun n -> S.of_int b ~width:8 n) [ 10; 20; 30 ] in
+  ignore (S.output b "out" (S.mux b sel cases));
+  let sim = build_and_sim b in
+  let expect sel_v out_v =
+    Hw.Sim.poke_int sim "sel" sel_v;
+    Hw.Sim.settle sim;
+    Alcotest.(check int) (Printf.sprintf "sel=%d" sel_v) out_v (Hw.Sim.peek_int sim "out")
+  in
+  expect 0 10; expect 1 20; expect 2 30;
+  (* Out of range selects the last case. *)
+  expect 3 30
+
+let test_counter () =
+  let b = S.Builder.create () in
+  let count = S.reg_fb b ~width:8 (fun q -> S.add b q (S.of_int b ~width:8 1)) in
+  ignore (S.output b "count" count);
+  let sim = build_and_sim b in
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "initial" 0 (Hw.Sim.peek_int sim "count");
+  Hw.Sim.cycles sim 5;
+  Alcotest.(check int) "after 5" 5 (Hw.Sim.peek_int sim "count");
+  Hw.Sim.cycles sim 251;
+  Alcotest.(check int) "wraps" 0 (Hw.Sim.peek_int sim "count")
+
+let test_reg_enable_clear () =
+  let b = S.Builder.create () in
+  let en = S.input b "en" 1 and clr = S.input b "clr" 1 and d = S.input b "d" 4 in
+  let q = S.reg b ~enable:en ~clear:clr ~clear_to:(Bits.of_int ~width:4 9) d in
+  ignore (S.output b "q" q);
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "d" 5;
+  Hw.Sim.poke_int sim "en" 0;
+  Hw.Sim.poke_int sim "clr" 0;
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "disabled holds" 0 (Hw.Sim.peek_int sim "q");
+  Hw.Sim.poke_int sim "en" 1;
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "enabled loads" 5 (Hw.Sim.peek_int sim "q");
+  Hw.Sim.poke_int sim "clr" 1;
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "clear wins" 9 (Hw.Sim.peek_int sim "q")
+
+let test_register_chain_no_shoot_through () =
+  (* Two back-to-back registers must behave as a 2-stage shift register:
+     data takes two cycles, not one. *)
+  let b = S.Builder.create () in
+  let d = S.input b "d" 8 in
+  let q1 = S.reg b d in
+  let q2 = S.reg b q1 in
+  ignore (S.output b "q2" q2);
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "d" 42;
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "after 1 cycle" 0 (Hw.Sim.peek_int sim "q2");
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "after 2 cycles" 42 (Hw.Sim.peek_int sim "q2")
+
+let test_swap_registers () =
+  (* Registers sample simultaneously: a swap must not lose a value. *)
+  let b = S.Builder.create () in
+  let wa = S.wire b 8 and wb = S.wire b 8 in
+  let qa = S.reg b ~init:(Bits.of_int ~width:8 1) wa in
+  let qb = S.reg b ~init:(Bits.of_int ~width:8 2) wb in
+  S.assign wa qb;
+  S.assign wb qa;
+  ignore (S.output b "a" qa);
+  ignore (S.output b "b" qb);
+  let sim = build_and_sim b in
+  Hw.Sim.cycle sim;
+  Alcotest.(check (pair int int)) "swapped" (2, 1)
+    (Hw.Sim.peek_int sim "a", Hw.Sim.peek_int sim "b");
+  Hw.Sim.cycle sim;
+  Alcotest.(check (pair int int)) "swapped back" (1, 2)
+    (Hw.Sim.peek_int sim "a", Hw.Sim.peek_int sim "b")
+
+let test_comb_cycle_detected () =
+  let b = S.Builder.create () in
+  let w = S.wire b 1 in
+  let x = S.lnot b w in
+  S.assign w x;
+  ignore (S.output b "w" w);
+  (try
+     ignore (Hw.Circuit.create b);
+     Alcotest.fail "expected Combinational_cycle"
+   with Hw.Circuit.Combinational_cycle _ -> ())
+
+let test_unassigned_wire_detected () =
+  let b = S.Builder.create () in
+  let w = S.wire b 4 in
+  ignore (S.output b "w" w);
+  (try
+     ignore (Hw.Circuit.create b);
+     Alcotest.fail "expected unassigned-wire error"
+   with Invalid_argument _ -> ())
+
+let test_memory () =
+  let b = S.Builder.create () in
+  let mem = S.Memory.create b ~name:"m" ~size:16 ~width:8 () in
+  let we = S.input b "we" 1 and waddr = S.input b "waddr" 4 in
+  let wdata = S.input b "wdata" 8 and raddr = S.input b "raddr" 4 in
+  S.Memory.write b mem ~we ~addr:waddr ~data:wdata;
+  ignore (S.output b "rdata" (S.Memory.read_async b mem ~addr:raddr));
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "we" 1;
+  Hw.Sim.poke_int sim "waddr" 3;
+  Hw.Sim.poke_int sim "wdata" 77;
+  Hw.Sim.poke_int sim "raddr" 3;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "before write" 0 (Hw.Sim.peek_int sim "rdata");
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "after write" 77 (Hw.Sim.peek_int sim "rdata");
+  Hw.Sim.poke_int sim "we" 0;
+  Hw.Sim.poke_int sim "waddr" 5;
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "we=0 does not write" 77 (Hw.Sim.peek_int sim "rdata")
+
+let test_memory_write_port_priority () =
+  let b = S.Builder.create () in
+  let mem = S.Memory.create b ~name:"m" ~size:4 ~width:8 () in
+  let vdd = S.vdd b and addr = S.of_int b ~width:2 1 in
+  S.Memory.write b mem ~we:vdd ~addr ~data:(S.of_int b ~width:8 11);
+  S.Memory.write b mem ~we:vdd ~addr ~data:(S.of_int b ~width:8 22);
+  ignore (S.output b "r" (S.Memory.read_async b mem ~addr));
+  let sim = build_and_sim b in
+  Hw.Sim.cycle sim;
+  Alcotest.(check int) "last-added write port wins" 22 (Hw.Sim.peek_int sim "r")
+
+let test_shifts_dyn () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 and amt = S.input b "amt" 3 in
+  ignore (S.output b "sll" (S.sll_dyn b x amt));
+  ignore (S.output b "srl" (S.srl_dyn b x amt));
+  ignore (S.output b "sra" (S.sra_dyn b x amt));
+  let sim = build_and_sim b in
+  for v = 0 to 255 do
+    if v mod 37 = 0 then
+      for k = 0 to 7 do
+        Hw.Sim.poke_int sim "x" v;
+        Hw.Sim.poke_int sim "amt" k;
+        Hw.Sim.settle sim;
+        Alcotest.(check int) "sll_dyn" ((v lsl k) land 255) (Hw.Sim.peek_int sim "sll");
+        Alcotest.(check int) "srl_dyn" (v lsr k) (Hw.Sim.peek_int sim "srl");
+        let signed = if v land 0x80 <> 0 then v - 256 else v in
+        Alcotest.(check int) "sra_dyn" ((signed asr k) land 255) (Hw.Sim.peek_int sim "sra")
+      done
+  done
+
+let test_rot_const () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  ignore (S.output b "rotl3" (S.rotl b x 3));
+  ignore (S.output b "rotr3" (S.rotr b x 3));
+  let sim = build_and_sim b in
+  Hw.Sim.poke_int sim "x" 0b1001_0110;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "rotl"
+    (Bits.to_int (Bits.rotate_left (Bits.of_int ~width:8 0b1001_0110) 3))
+    (Hw.Sim.peek_int sim "rotl3");
+  Alcotest.(check int) "rotr"
+    (Bits.to_int (Bits.rotate_right (Bits.of_int ~width:8 0b1001_0110) 3))
+    (Hw.Sim.peek_int sim "rotr3")
+
+let test_onehot () =
+  let b = S.Builder.create () in
+  let sel = S.input b "sel" 3 in
+  let oh = S.binary_to_onehot b ~size:5 sel in
+  ignore (S.output b "oh" oh);
+  ignore (S.output b "back" (S.onehot_to_binary b oh));
+  let sim = build_and_sim b in
+  for i = 0 to 4 do
+    Hw.Sim.poke_int sim "sel" i;
+    Hw.Sim.settle sim;
+    Alcotest.(check int) "onehot" (1 lsl i) (Hw.Sim.peek_int sim "oh");
+    Alcotest.(check int) "binary back" i (Hw.Sim.peek_int sim "back")
+  done
+
+let test_lfsr () =
+  let b = S.Builder.create () in
+  let l = Hw.Lfsr.create b ~width:8 ~seed:1 () in
+  ignore (S.output b "lfsr" l);
+  let sim = build_and_sim b in
+  let model = Hw.Lfsr.model ~width:8 ~seed:1 in
+  let seen = Hashtbl.create 256 in
+  for i = 0 to 254 do
+    Hw.Sim.settle sim;
+    let v = Hw.Sim.peek_int sim "lfsr" in
+    Alcotest.(check int) (Printf.sprintf "lfsr step %d" i) (model ()) v;
+    Alcotest.(check bool) "nonzero" true (v <> 0);
+    Hashtbl.replace seen v ();
+    Hw.Sim.cycle sim
+  done;
+  (* Maximal 8-bit LFSR visits all 255 non-zero states. *)
+  Alcotest.(check int) "period 255" 255 (Hashtbl.length seen)
+
+let test_reset () =
+  let b = S.Builder.create () in
+  let count = S.reg_fb b ~width:8 (fun q -> S.add b q (S.of_int b ~width:8 1)) in
+  ignore (S.output b "count" count);
+  let sim = build_and_sim b in
+  Hw.Sim.cycles sim 7;
+  Alcotest.(check int) "ran" 7 (Hw.Sim.peek_int sim "count");
+  Hw.Sim.reset sim;
+  Alcotest.(check int) "reset" 0 (Hw.Sim.peek_int sim "count");
+  Alcotest.(check int) "cycle_no reset" 0 (Hw.Sim.cycle_no sim)
+
+(* Property: a registered adder pipeline computes the same as Bits. *)
+let prop_adder_pipeline =
+  let arb =
+    QCheck.make
+      ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+      QCheck.Gen.(list_size (int_range 1 20) (int_bound 65535))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"registered accumulator matches model" arb
+       (fun inputs ->
+         let b = S.Builder.create () in
+         let d = S.input b "d" 16 in
+         let acc = S.reg_fb b ~width:16 (fun q -> S.add b q d) in
+         ignore (S.output b "acc" acc);
+         let sim = build_and_sim b in
+         let expected = ref 0 in
+         List.for_all
+           (fun v ->
+             Hw.Sim.poke_int sim "d" v;
+             Hw.Sim.cycle sim;
+             expected := (!expected + v) land 0xffff;
+             Hw.Sim.peek_int sim "acc" = !expected)
+           inputs))
+
+let suite =
+  ( "hw",
+    [ Alcotest.test_case "const and logic" `Quick test_const_and_logic;
+      Alcotest.test_case "arith" `Quick test_arith;
+      Alcotest.test_case "mux" `Quick test_mux;
+      Alcotest.test_case "counter" `Quick test_counter;
+      Alcotest.test_case "reg enable/clear" `Quick test_reg_enable_clear;
+      Alcotest.test_case "register chain" `Quick test_register_chain_no_shoot_through;
+      Alcotest.test_case "register swap" `Quick test_swap_registers;
+      Alcotest.test_case "comb cycle detected" `Quick test_comb_cycle_detected;
+      Alcotest.test_case "unassigned wire" `Quick test_unassigned_wire_detected;
+      Alcotest.test_case "memory" `Quick test_memory;
+      Alcotest.test_case "memory port priority" `Quick test_memory_write_port_priority;
+      Alcotest.test_case "dynamic shifts" `Quick test_shifts_dyn;
+      Alcotest.test_case "const rotates" `Quick test_rot_const;
+      Alcotest.test_case "onehot codecs" `Quick test_onehot;
+      Alcotest.test_case "lfsr" `Quick test_lfsr;
+      Alcotest.test_case "reset" `Quick test_reset;
+      prop_adder_pipeline ] )

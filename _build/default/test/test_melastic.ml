@@ -1,0 +1,708 @@
+(* Tests for the multithreaded elastic primitives: full and reduced
+   MEBs, the M-operators and the barrier. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+(* A source -> MEB pipeline -> sink testbench.  Also exports protocol
+   probes: <multi> flags a multiple-valid violation on any channel and
+   the reduced MEBs export their full-thread counters. *)
+let build_pipeline ?(policy = Melastic.Policy.Ready_aware) ~kind ~threads ~stages
+    ~width () =
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let violations = ref [ Mc.multi_valid b src ] in
+  let rec stage i ch =
+    if i >= stages then ch
+    else begin
+      let meb =
+        Melastic.Meb.create ~name:(Printf.sprintf "meb%d" i) ~policy ~kind b ch
+      in
+      ignore (S.output b (Printf.sprintf "occ%d" i) meb.Melastic.Meb.occupancy);
+      violations := Mc.multi_valid b meb.Melastic.Meb.out :: !violations;
+      stage (i + 1) meb.Melastic.Meb.out
+    end
+  in
+  let out = stage 0 src in
+  Mc.sink b ~name:"snk" out;
+  ignore (S.output b "multi" (S.or_reduce b !violations));
+  Hw.Sim.create (Hw.Circuit.create b)
+
+let driver ?policy ~kind ~threads ~stages ~width () =
+  let sim = build_pipeline ?policy ~kind ~threads ~stages ~width () in
+  (sim, Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width)
+
+let both_kinds = [ Melastic.Meb.Full; Melastic.Meb.Reduced ]
+
+let check_no_multi_valid sim =
+  Alcotest.(check bool) "at most one valid per channel" false
+    (Hw.Sim.peek_bool sim "multi")
+
+let ints l = List.map Bits.to_int l
+
+let test_fifo_per_thread kind () =
+  let sim, d = driver ~kind ~threads:3 ~stages:2 ~width:32 () in
+  let data t = List.init 5 (fun i -> (t * 100) + i) in
+  for t = 0 to 2 do
+    List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:t v) (data t)
+  done;
+  Workload.Mt_driver.run d 80;
+  check_no_multi_valid sim;
+  for t = 0 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d order" t)
+      (data t)
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_capacity kind () =
+  let threads = 4 in
+  let _sim, d = driver ~kind ~threads ~stages:1 ~width:32 () in
+  Workload.Mt_driver.set_sink_ready d (fun _ _ -> false);
+  for t = 0 to threads - 1 do
+    for i = 0 to 9 do
+      Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i)
+    done
+  done;
+  Workload.Mt_driver.run d 60;
+  let accepted = List.length (Workload.Mt_driver.inputs d) in
+  let expected = Melastic.Meb.capacity ~kind ~threads in
+  Alcotest.(check int)
+    (Printf.sprintf "%s MEB capacity" (Melastic.Meb.kind_to_string kind))
+    expected accepted;
+  Alcotest.(check int) "none delivered" 0 (List.length (Workload.Mt_driver.outputs d))
+
+let test_single_thread_full_throughput kind () =
+  (* M = 1: the lone active thread gets ~100% of the channel. *)
+  let _sim, d = driver ~kind ~threads:4 ~stages:2 ~width:32 () in
+  for i = 0 to 39 do Workload.Mt_driver.push_int d ~thread:2 i done;
+  Workload.Mt_driver.run d 60;
+  let tput = Workload.Mt_driver.throughput d ~thread:2 ~from_cycle:10 ~to_cycle:39 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: single-thread throughput ~1 (got %.2f)"
+       (Melastic.Meb.kind_to_string kind) tput)
+    true (tput > 0.95)
+
+let test_uniform_share kind () =
+  (* M = 2 active threads share the channel at 1/2 each. *)
+  let _sim, d = driver ~kind ~threads:4 ~stages:2 ~width:32 () in
+  for i = 0 to 39 do
+    Workload.Mt_driver.push_int d ~thread:0 i;
+    Workload.Mt_driver.push_int d ~thread:1 (100 + i)
+  done;
+  Workload.Mt_driver.run d 70;
+  let t0 = Workload.Mt_driver.throughput d ~thread:0 ~from_cycle:10 ~to_cycle:49 in
+  let t1 = Workload.Mt_driver.throughput d ~thread:1 ~from_cycle:10 ~to_cycle:49 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: threads share ~1/2 each (got %.2f / %.2f)"
+       (Melastic.Meb.kind_to_string kind) t0 t1)
+    true
+    (t0 > 0.45 && t0 < 0.55 && t1 > 0.45 && t1 < 0.55)
+
+(* The Section III.A scenario: thread B blocks at the sink long enough
+   for its backpressure to reach the source.  With full MEBs thread A
+   keeps ~100% of the channel; with reduced MEBs A drops to ~50%
+   because the shared slots hold B's stalled items. *)
+let blocked_thread_throughput kind =
+  let _sim, d = driver ~kind ~threads:2 ~stages:2 ~width:32 () in
+  for i = 0 to 79 do
+    Workload.Mt_driver.push_int d ~thread:0 i;
+    Workload.Mt_driver.push_int d ~thread:1 (1000 + i)
+  done;
+  (* B's sink stalls from cycle 6 onward. *)
+  Workload.Mt_driver.set_sink_ready d (fun c t -> t = 0 || c < 6);
+  Workload.Mt_driver.run d 80;
+  Workload.Mt_driver.throughput d ~thread:0 ~from_cycle:20 ~to_cycle:69
+
+let test_blocked_thread_full () =
+  let tput = blocked_thread_throughput Melastic.Meb.Full in
+  Alcotest.(check bool)
+    (Printf.sprintf "full MEB: A keeps full throughput (got %.2f)" tput)
+    true (tput > 0.9)
+
+let test_blocked_thread_reduced () =
+  let tput = blocked_thread_throughput Melastic.Meb.Reduced in
+  Alcotest.(check bool)
+    (Printf.sprintf "reduced MEB: A degrades to ~1/2 (got %.2f)" tput)
+    true (tput > 0.4 && tput < 0.6)
+
+let test_blocked_thread_recovers kind () =
+  (* B stalls for a window, then releases: every token still arrives,
+     in per-thread order. *)
+  let sim, d = driver ~kind ~threads:2 ~stages:2 ~width:32 () in
+  let per_thread = 20 in
+  for i = 0 to per_thread - 1 do
+    Workload.Mt_driver.push_int d ~thread:0 i;
+    Workload.Mt_driver.push_int d ~thread:1 (1000 + i)
+  done;
+  Workload.Mt_driver.set_sink_ready d (fun c t -> t = 0 || c < 5 || c > 40);
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:300 in
+  check_no_multi_valid sim;
+  Alcotest.(check bool) "drained" true drained;
+  Alcotest.(check (list int)) "A order" (List.init per_thread Fun.id)
+    (ints (Workload.Mt_driver.output_sequence d ~thread:0));
+  Alcotest.(check (list int)) "B order" (List.init per_thread (fun i -> 1000 + i))
+    (ints (Workload.Mt_driver.output_sequence d ~thread:1))
+
+(* Reduced MEB invariant: at most one thread in FULL per buffer. *)
+let test_reduced_single_full_invariant () =
+  let b = S.Builder.create () in
+  let threads = 3 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb_reduced.create ~name:"m0" b src in
+  let m1 = Melastic.Meb_reduced.create ~name:"m1" b m0.Melastic.Meb_reduced.out in
+  Mc.sink b ~name:"snk" m1.Melastic.Meb_reduced.out;
+  ignore (S.output b "fc0" m0.Melastic.Meb_reduced.full_count);
+  ignore (S.output b "fc1" m1.Melastic.Meb_reduced.full_count);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  let st = Random.State.make [| 42 |] in
+  for t = 0 to threads - 1 do
+    for i = 0 to 19 do Workload.Mt_driver.push_int d ~thread:t ((t * 1000) + i) done
+  done;
+  Workload.Mt_driver.set_sink_ready d (fun _ _ -> Random.State.bool st);
+  let violated = ref false in
+  Hw.Sim.on_cycle sim (fun sim ->
+      if Hw.Sim.peek_int sim "fc0" > 1 || Hw.Sim.peek_int sim "fc1" > 1 then
+        violated := true);
+  Workload.Mt_driver.run d 300;
+  Alcotest.(check bool) "at most one FULL thread" false !violated
+
+(* Property: random traffic and stalls never lose, duplicate or reorder
+   any thread's tokens, for both MEB kinds and both policies. *)
+let prop_mt_fifo =
+  let arb =
+    QCheck.make
+      ~print:(fun (kind, threads, stages, seed) ->
+        Printf.sprintf "kind=%s threads=%d stages=%d seed=%d"
+          (Melastic.Meb.kind_to_string
+             (if kind then Melastic.Meb.Full else Melastic.Meb.Reduced))
+          threads stages seed)
+      QCheck.Gen.(
+        bool >>= fun kind ->
+        int_range 2 4 >>= fun threads ->
+        int_range 1 3 >>= fun stages ->
+        int_bound 100000 >>= fun seed -> return (kind, threads, stages, seed))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"MEB pipelines preserve per-thread streams" arb
+       (fun (kind_b, threads, stages, seed) ->
+         let kind = if kind_b then Melastic.Meb.Full else Melastic.Meb.Reduced in
+         let st = Random.State.make [| seed |] in
+         let policy =
+           if Random.State.bool st then Melastic.Policy.Ready_aware
+           else Melastic.Policy.Valid_only
+         in
+         let sim, d = driver ~policy ~kind ~threads ~stages ~width:32 () in
+         let per_thread = 8 + Random.State.int st 8 in
+         for t = 0 to threads - 1 do
+           for i = 0 to per_thread - 1 do
+             Workload.Mt_driver.push_int d ~thread:t ((t * 1000) + i)
+           done
+         done;
+         let stall = Array.init threads (fun _ -> Random.State.int st 3) in
+         Workload.Mt_driver.set_sink_ready d (fun c t ->
+             (c + t) mod (stall.(t) + 1) = 0 || Random.State.bool st);
+         let ok = Workload.Mt_driver.run_until_drained d ~limit:2000 in
+         let streams_ok =
+           List.for_all
+             (fun t ->
+               ints (Workload.Mt_driver.output_sequence d ~thread:t)
+               = List.init per_thread (fun i -> (t * 1000) + i))
+             (List.init threads Fun.id)
+         in
+         ok && streams_ok && not (Hw.Sim.peek_bool sim "multi")))
+
+(* ---- M-operators ---- *)
+
+let test_m_join_pairs () =
+  (* Leader (valid-only) + follower (ready-aware) MEBs feeding M-Join. *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let sa = Mc.source b ~name:"sa" ~threads ~width in
+  let sc = Mc.source b ~name:"sc" ~threads ~width in
+  let ma = Melastic.Meb_full.create ~name:"ma" ~policy:Melastic.Policy.Valid_only b sa in
+  let mc = Melastic.Meb_full.create ~name:"mc" ~policy:Melastic.Policy.Ready_aware b sc in
+  let j = Melastic.M_join.create b ma.Melastic.Meb_full.out mc.Melastic.Meb_full.out in
+  Mc.sink b ~name:"snk" j;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let da = Workload.Mt_driver.create sim ~src:"sa" ~snk:"snk" ~threads ~width in
+  let dc = Workload.Mt_driver.create sim ~src:"sc" ~snk:"snk" ~threads ~width in
+  (* Drive manually: da handles injection on sa, dc on sc; outputs are
+     observed once through da's logging only. *)
+  for t = 0 to 1 do
+    for i = 0 to 4 do
+      Workload.Mt_driver.push_int da ~thread:t ((t * 100) + i);
+      Workload.Mt_driver.push_int dc ~thread:t ((t * 100) + i + 50)
+    done
+  done;
+  let outs = ref [] in
+  Hw.Sim.poke_int sim "snk_ready" 3;
+  for _ = 0 to 99 do
+    (* Injection for both sources, then one shared clock. *)
+    Hw.Sim.poke_int sim "sa_valid" 0;
+    Hw.Sim.poke_int sim "sc_valid" 0;
+    Hw.Sim.settle sim;
+    let inject (d : Workload.Mt_driver.t) src =
+      let ready = Hw.Sim.peek sim (src ^ "_ready") in
+      let chosen = ref None in
+      for k = 0 to threads - 1 do
+        let i = (d.Workload.Mt_driver.inject_ptr + k) mod threads in
+        if !chosen = None && Bits.bit ready i
+           && not (Queue.is_empty d.Workload.Mt_driver.pending.(i))
+        then chosen := Some i
+      done;
+      match !chosen with
+      | Some i ->
+        let v = Queue.pop d.Workload.Mt_driver.pending.(i) in
+        Hw.Sim.poke sim (src ^ "_valid") (Bits.set_bit (Bits.zero threads) i true);
+        Hw.Sim.poke sim (src ^ "_data") v;
+        d.Workload.Mt_driver.inject_ptr <- (i + 1) mod threads
+      | None -> ()
+    in
+    inject da "sa";
+    inject dc "sc";
+    Hw.Sim.settle sim;
+    let fire = Hw.Sim.peek sim "snk_fire" in
+    for t = 0 to threads - 1 do
+      if Bits.bit fire t then outs := (t, Hw.Sim.peek_int sim "snk_data") :: !outs
+    done;
+    Hw.Sim.cycle sim
+  done;
+  let outs = List.rev !outs in
+  let per_thread t =
+    List.filter_map (fun (th, v) -> if th = t then Some v else None) outs
+  in
+  List.iter
+    (fun t ->
+      let expected =
+        List.init 5 (fun i ->
+            let a = (t * 100) + i and c = (t * 100) + i + 50 in
+            (a lsl 16) lor c)
+      in
+      Alcotest.(check (list int)) (Printf.sprintf "thread %d pairs" t) expected
+        (per_thread t))
+    [ 0; 1 ]
+
+let test_m_join_ready_aware_both_is_cyclic () =
+  let b = S.Builder.create () in
+  let sa = Mc.source b ~name:"sa" ~threads:2 ~width:8 in
+  let sc = Mc.source b ~name:"sc" ~threads:2 ~width:8 in
+  let ma = Melastic.Meb_full.create ~name:"ma" ~policy:Melastic.Policy.Ready_aware b sa in
+  let mc = Melastic.Meb_full.create ~name:"mc" ~policy:Melastic.Policy.Ready_aware b sc in
+  let j = Melastic.M_join.create b ma.Melastic.Meb_full.out mc.Melastic.Meb_full.out in
+  Mc.sink b ~name:"snk" j;
+  (try
+     ignore (Hw.Circuit.create b);
+     Alcotest.fail "expected a combinational cycle"
+   with Hw.Circuit.Combinational_cycle _ -> ())
+
+let test_m_fork_delivers () =
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let meb = Melastic.Meb_full.create ~name:"m" b src in
+  (match Melastic.M_fork.eager b meb.Melastic.Meb_full.out ~n:2 with
+   | [ o1; o2 ] ->
+     Mc.sink b ~name:"s1" o1;
+     Mc.sink b ~name:"s2" o2
+   | _ -> assert false);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"s1" ~threads ~width in
+  for t = 0 to 1 do
+    for i = 0 to 4 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  (* s2 stalls oddly; log its transfers by observer. *)
+  let s2_log = ref [] in
+  Hw.Sim.on_cycle sim (fun sim ->
+      let fire = Hw.Sim.peek sim "s2_fire" in
+      for t = 0 to threads - 1 do
+        if Bits.bit fire t then
+          s2_log := (t, Hw.Sim.peek_int sim "s2_data") :: !s2_log
+      done);
+  Hw.Sim.poke_int sim "s2_ready" 0;
+  let cycle_hook c = if c mod 3 = 0 then 3 else 0 in
+  Workload.Mt_driver.set_sink_ready d (fun c _ -> c mod 2 = 0) ;
+  for c = 0 to 99 do
+    Hw.Sim.poke_int sim "s2_ready" (cycle_hook c);
+    Workload.Mt_driver.step d
+  done;
+  let expect t = List.init 5 (fun i -> (t * 100) + i) in
+  for t = 0 to 1 do
+    Alcotest.(check (list int)) (Printf.sprintf "s1 thread %d" t) (expect t)
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t));
+    let s2 =
+      List.filter_map (fun (th, v) -> if th = t then Some v else None)
+        (List.rev !s2_log)
+    in
+    Alcotest.(check (list int)) (Printf.sprintf "s2 thread %d" t) (expect t) s2
+  done
+
+let test_m_branch_merge_roundtrip () =
+  (* Tokens with bit 0 set go through path T, others through path F;
+     merged back, each thread's stream is complete and ordered within
+     each path. *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb_full.create ~name:"m0" ~policy:Melastic.Policy.Valid_only b src in
+  let cond = S.bit b m0.Melastic.Meb_full.out.Mc.data 0 in
+  let br = Melastic.M_branch.create b m0.Melastic.Meb_full.out ~cond in
+  let mt =
+    Melastic.Meb_full.create ~name:"mt" ~policy:Melastic.Policy.Valid_only b
+      br.Melastic.M_branch.out_true
+  in
+  let mf =
+    Melastic.Meb_full.create ~name:"mf" ~policy:Melastic.Policy.Valid_only b
+      br.Melastic.M_branch.out_false
+  in
+  let merged =
+    Melastic.M_merge.create b mt.Melastic.Meb_full.out mf.Melastic.Meb_full.out
+  in
+  Mc.sink b ~name:"snk" merged;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  let data t = List.init 8 (fun i -> (t * 256) + i) in
+  for t = 0 to 1 do
+    List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:t v) (data t)
+  done;
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:400 in
+  Alcotest.(check bool) "drained" true drained;
+  for t = 0 to 1 do
+    let out = ints (Workload.Mt_driver.output_sequence d ~thread:t) in
+    let path p = List.filter (fun v -> v land 1 = p) out in
+    Alcotest.(check (list int)) "odd path order"
+      (List.filter (fun v -> v land 1 = 1) (data t))
+      (path 1);
+    Alcotest.(check (list int)) "even path order"
+      (List.filter (fun v -> v land 1 = 0) (data t))
+      (path 0)
+  done
+
+let test_aligned_join_correct () =
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let sa = Mc.source b ~name:"sa" ~threads ~width in
+  let sc = Mc.source b ~name:"sc" ~threads ~width in
+  let aj = Melastic.Aligned.create b sa sc in
+  Mc.sink b ~name:"snk" aj.Melastic.Aligned.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  (* Drive both sources with simple one-thread-per-cycle injection. *)
+  let qa = Array.init threads (fun _ -> Queue.create ()) in
+  let qc = Array.init threads (fun _ -> Queue.create ()) in
+  for t = 0 to threads - 1 do
+    for i = 0 to 4 do
+      Queue.add ((t * 100) + i) qa.(t);
+      Queue.add ((t * 100) + i + 50) qc.(t)
+    done
+  done;
+  let outs = ref [] in
+  Hw.Sim.poke_int sim "snk_ready" 3;
+  let ptr_a = ref 0 and ptr_c = ref 0 in
+  for _ = 0 to 79 do
+    Hw.Sim.poke_int sim "sa_valid" 0;
+    Hw.Sim.poke_int sim "sc_valid" 0;
+    Hw.Sim.settle sim;
+    let inject src q ptr =
+      let ready = Hw.Sim.peek sim (src ^ "_ready") in
+      let chosen = ref None in
+      for k = 0 to threads - 1 do
+        let i = (!ptr + k) mod threads in
+        if !chosen = None && Bits.bit ready i && not (Queue.is_empty q.(i)) then
+          chosen := Some i
+      done;
+      match !chosen with
+      | Some i ->
+        Hw.Sim.poke sim (src ^ "_valid") (Bits.set_bit (Bits.zero threads) i true);
+        Hw.Sim.poke_int sim (src ^ "_data") (Queue.pop q.(i));
+        ptr := (i + 1) mod threads
+      | None -> ()
+    in
+    inject "sa" qa ptr_a;
+    inject "sc" qc ptr_c;
+    Hw.Sim.settle sim;
+    let fire = Hw.Sim.peek sim "snk_fire" in
+    for t = 0 to threads - 1 do
+      if Bits.bit fire t then outs := (t, Hw.Sim.peek_int sim "snk_data") :: !outs
+    done;
+    Hw.Sim.cycle sim
+  done;
+  let outs = List.rev !outs in
+  List.iter
+    (fun t ->
+      let got = List.filter_map (fun (th, v) -> if th = t then Some v else None) outs in
+      let expected =
+        List.init 5 (fun i ->
+            let a = (t * 100) + i and c = (t * 100) + i + 50 in
+            (a lsl 16) lor c)
+      in
+      Alcotest.(check (list int)) (Printf.sprintf "aligned thread %d pairs" t) expected
+        got)
+    [ 0; 1 ]
+
+let test_mt_varlat_single_context () =
+  (* The shared single-context unit serializes: with an always-ready
+     sink and latency 0 it still sustains full throughput via the
+     same-cycle handoff. *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb_full.create ~name:"m0" b src in
+  let vl =
+    Melastic.Mt_varlat.create b m0.Melastic.Meb_full.out
+      ~latency:(Melastic.Mt_varlat.Fixed 0)
+      ~f:(fun b d -> S.add b d (S.of_int b ~width 7))
+  in
+  let m1 = Melastic.Meb_full.create ~name:"m1" b vl.Melastic.Mt_varlat.out in
+  Mc.sink b ~name:"snk" m1.Melastic.Meb_full.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  for t = 0 to 1 do
+    for i = 0 to 9 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:200);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d computed" t)
+      (List.init 10 (fun i -> (t * 100) + i + 7))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done;
+  (* Full throughput: 20 tokens in well under 2x cycles. *)
+  Alcotest.(check bool) "fast enough" true (Hw.Sim.cycle_no sim < 40)
+
+let test_mt_varlat_per_thread_overlap () =
+  (* With per-thread contexts, two threads finish a fixed workload
+     much faster than twice the single-thread case. *)
+  let run threads =
+    let b = S.Builder.create () in
+    let width = 16 in
+    let src = Mc.source b ~name:"src" ~threads ~width in
+    let m0 = Melastic.Meb_full.create ~name:"m0" b src in
+    let vl =
+      Melastic.Mt_varlat.per_thread b m0.Melastic.Meb_full.out
+        ~latency:(Melastic.Mt_varlat.Fixed 3)
+    in
+    let m1 = Melastic.Meb_full.create ~name:"m1" b vl.Melastic.Mt_varlat.out in
+    Mc.sink b ~name:"snk" m1.Melastic.Meb_full.out;
+    let sim = Hw.Sim.create (Hw.Circuit.create b) in
+    let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+    for t = 0 to threads - 1 do
+      for i = 0 to 9 do Workload.Mt_driver.push_int d ~thread:t i done
+    done;
+    Alcotest.(check bool) "drained" true
+      (Workload.Mt_driver.run_until_drained d ~limit:1000);
+    Hw.Sim.cycle_no sim
+  in
+  let t1 = run 1 and t2 = run 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 threads overlap latencies (%d < 1.5 * %d)" t2 t1)
+    true
+    (float_of_int t2 < 1.5 *. float_of_int t1)
+
+let test_coarse_grained_bursts () =
+  (* With Coarse(3), a fully-loaded 2-thread MEB emits 3-token bursts
+     per thread instead of alternating. *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m =
+    Melastic.Meb.create ~kind:Melastic.Meb.Full
+      ~granularity:(Melastic.Policy.Coarse 3) b src
+  in
+  Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  (* Throttle the sink so the owner's buffer is always refilled before
+     its next grant — the steady state where the quantum is visible. *)
+  Workload.Mt_driver.set_sink_ready d (fun c _ -> c mod 2 = 0);
+  for t = 0 to 1 do
+    for i = 0 to 11 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:400);
+  (* Streams stay per-thread FIFO... *)
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d order" t)
+      (List.init 12 (fun i -> (t * 100) + i))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done;
+  (* ...and the interleaving is bursty: average run length over the
+     output thread sequence is close to the quantum. *)
+  let seq = List.map (fun e -> e.Workload.Mt_driver.thread) (Workload.Mt_driver.outputs d) in
+  let rec runs acc cur len = function
+    | [] -> List.rev (len :: acc)
+    | t :: rest ->
+      if t = cur then runs acc cur (len + 1) rest else runs (len :: acc) t 1 rest
+  in
+  (match seq with
+   | [] -> Alcotest.fail "no output"
+   | t0 :: rest ->
+     let rl = runs [] t0 1 rest in
+     let avg = float_of_int (List.fold_left ( + ) 0 rl) /. float_of_int (List.length rl) in
+     Alcotest.(check bool)
+       (Printf.sprintf "bursty (avg run %.1f >= 2.5)" avg)
+       true (avg >= 2.5))
+
+let test_fine_grained_alternates () =
+  (* Same setup with Fine granularity alternates (run length ~1). *)
+  let b = S.Builder.create () in
+  let threads = 2 and width = 16 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m = Melastic.Meb.create ~kind:Melastic.Meb.Full b src in
+  Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  for t = 0 to 1 do
+    for i = 0 to 11 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:200);
+  let seq = List.map (fun e -> e.Workload.Mt_driver.thread) (Workload.Mt_driver.outputs d) in
+  let alternations =
+    let rec count prev = function
+      | [] -> 0
+      | t :: rest -> (if t <> prev then 1 else 0) + count t rest
+    in
+    match seq with [] -> 0 | t0 :: rest -> count t0 rest
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly alternating (%d switches in %d)" alternations
+       (List.length seq))
+    true
+    (alternations >= List.length seq / 2)
+
+(* ---- Barrier ---- *)
+
+let build_barrier ?participants ~threads ~width () =
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let meb =
+    Melastic.Meb_full.create ~name:"m" ~policy:Melastic.Policy.Valid_only b src
+  in
+  let bar = Melastic.Barrier.create ?participants b meb.Melastic.Meb_full.out in
+  Mc.sink b ~name:"snk" bar.Melastic.Barrier.out;
+  ignore (S.output b "count" bar.Melastic.Barrier.count);
+  ignore (S.output b "go" bar.Melastic.Barrier.go);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  (sim, Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width)
+
+let test_barrier_blocks_until_all () =
+  let threads = 3 in
+  let _sim, d = build_barrier ~threads ~width:16 () in
+  (* Only threads 0 and 1 arrive at first: nothing may pass. *)
+  Workload.Mt_driver.push_int d ~thread:0 10;
+  Workload.Mt_driver.push_int d ~thread:1 11;
+  Workload.Mt_driver.run d 30;
+  Alcotest.(check int) "held" 0 (List.length (Workload.Mt_driver.outputs d));
+  (* The last thread arrives: all three are released. *)
+  Workload.Mt_driver.push_int d ~thread:2 12;
+  Workload.Mt_driver.run d 30;
+  let outs = Workload.Mt_driver.outputs d in
+  Alcotest.(check int) "all released" 3 (List.length outs);
+  let sorted =
+    List.sort compare (List.map (fun e -> e.Workload.Mt_driver.thread) outs)
+  in
+  Alcotest.(check (list int)) "each thread once" [ 0; 1; 2 ] sorted
+
+let test_barrier_multiple_episodes () =
+  let threads = 3 in
+  let _sim, d = build_barrier ~threads ~width:16 () in
+  for round = 0 to 3 do
+    for t = 0 to threads - 1 do
+      Workload.Mt_driver.push_int d ~thread:t ((round * 16) + t)
+    done
+  done;
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:600 in
+  Alcotest.(check bool) "drained" true drained;
+  (* Episode separation: every thread's round-r token leaves before any
+     thread's round-(r+1) token. *)
+  let outs = Workload.Mt_driver.outputs d in
+  let round_of e = Bits.to_int e.Workload.Mt_driver.data / 16 in
+  let rec non_decreasing_rounds last = function
+    | [] -> true
+    | e :: rest ->
+      let r = round_of e in
+      r >= last && non_decreasing_rounds r rest
+  in
+  Alcotest.(check bool) "rounds in order" true (non_decreasing_rounds 0 outs);
+  for t = 0 to threads - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d sequence" t)
+      (List.init 4 (fun r -> (r * 16) + t))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_barrier_participant_mask () =
+  let threads = 3 in
+  (* Thread 2 bypasses the barrier. *)
+  let participants = [| true; true; false |] in
+  let _sim, d = build_barrier ~participants ~threads ~width:16 () in
+  Workload.Mt_driver.push_int d ~thread:2 99;
+  Workload.Mt_driver.run d 20;
+  Alcotest.(check (list int)) "bypass flows" [ 99 ]
+    (ints (Workload.Mt_driver.output_sequence d ~thread:2));
+  Workload.Mt_driver.push_int d ~thread:0 1;
+  Workload.Mt_driver.run d 20;
+  Alcotest.(check int) "participant held" 0
+    (List.length (Workload.Mt_driver.output_sequence d ~thread:0));
+  Workload.Mt_driver.push_int d ~thread:1 2;
+  Workload.Mt_driver.run d 20;
+  Alcotest.(check (list int)) "released when both arrive" [ 1 ]
+    (ints (Workload.Mt_driver.output_sequence d ~thread:0))
+
+let test_barrier_with_stalled_sink () =
+  let threads = 2 in
+  let _sim, d = build_barrier ~threads ~width:16 () in
+  Workload.Mt_driver.set_sink_ready d (fun c _ -> c >= 25);
+  Workload.Mt_driver.push_int d ~thread:0 1;
+  Workload.Mt_driver.push_int d ~thread:1 2;
+  Workload.Mt_driver.run d 20;
+  Alcotest.(check int) "held by sink stall" 0
+    (List.length (Workload.Mt_driver.outputs d));
+  Workload.Mt_driver.run d 30;
+  Alcotest.(check int) "released after stall" 2
+    (List.length (Workload.Mt_driver.outputs d))
+
+let kind_cases name f =
+  List.map
+    (fun kind ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Melastic.Meb.kind_to_string kind))
+        `Quick (f kind))
+    both_kinds
+
+let suite =
+  ( "melastic",
+    kind_cases "per-thread FIFO" test_fifo_per_thread
+    @ kind_cases "capacity" test_capacity
+    @ kind_cases "single-thread full throughput" test_single_thread_full_throughput
+    @ kind_cases "uniform 1/M share" test_uniform_share
+    @ [ Alcotest.test_case "blocked thread: full keeps 100%" `Quick
+          test_blocked_thread_full;
+        Alcotest.test_case "blocked thread: reduced drops to 50%" `Quick
+          test_blocked_thread_reduced ]
+    @ kind_cases "blocked thread recovers" test_blocked_thread_recovers
+    @ [ Alcotest.test_case "reduced: single FULL invariant" `Quick
+          test_reduced_single_full_invariant;
+        prop_mt_fifo;
+        Alcotest.test_case "M-Join pairs per thread" `Quick test_m_join_pairs;
+        Alcotest.test_case "M-Join double ready-aware is cyclic" `Quick
+          test_m_join_ready_aware_both_is_cyclic;
+        Alcotest.test_case "M-Fork delivers to both" `Quick test_m_fork_delivers;
+        Alcotest.test_case "M-Branch/M-Merge roundtrip" `Quick
+          test_m_branch_merge_roundtrip;
+        Alcotest.test_case "aligned join pairs per thread" `Quick
+          test_aligned_join_correct;
+        Alcotest.test_case "Mt_varlat single context" `Quick
+          test_mt_varlat_single_context;
+        Alcotest.test_case "Mt_varlat per-thread overlap" `Quick
+          test_mt_varlat_per_thread_overlap;
+        Alcotest.test_case "coarse granularity bursts" `Quick
+          test_coarse_grained_bursts;
+        Alcotest.test_case "fine granularity alternates" `Quick
+          test_fine_grained_alternates;
+        Alcotest.test_case "barrier blocks until all" `Quick test_barrier_blocks_until_all;
+        Alcotest.test_case "barrier multiple episodes" `Quick
+          test_barrier_multiple_episodes;
+        Alcotest.test_case "barrier participant mask" `Quick test_barrier_participant_mask;
+        Alcotest.test_case "barrier with stalled sink" `Quick
+          test_barrier_with_stalled_sink ] )

@@ -1,0 +1,174 @@
+(* Protocol robustness and failure injection: what happens when a
+   producer violates the MT-elastic contract, how the checkers react,
+   and the quantitative advantage of the aligned join. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+
+let test_multi_valid_checker_fires () =
+  (* Failure injection: a rogue source asserts two valids at once; the
+     protocol checker must flag it. *)
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads:3 ~width:8 in
+  ignore (S.output b "violation" (Mc.multi_valid b src));
+  let m = Melastic.Meb.create ~kind:Melastic.Meb.Reduced b src in
+  Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  Hw.Sim.poke_int sim "snk_ready" 7;
+  Hw.Sim.poke_int sim "src_valid" 0b001;
+  Hw.Sim.settle sim;
+  Alcotest.(check bool) "single valid ok" false (Hw.Sim.peek_bool sim "violation");
+  Hw.Sim.poke_int sim "src_valid" 0b101;
+  Hw.Sim.settle sim;
+  Alcotest.(check bool) "double valid flagged" true (Hw.Sim.peek_bool sim "violation");
+  Hw.Sim.poke_int sim "src_valid" 0b111;
+  Hw.Sim.settle sim;
+  Alcotest.(check bool) "triple valid flagged" true (Hw.Sim.peek_bool sim "violation")
+
+let test_meb_output_never_multi_valid_under_rogue_input () =
+  (* Even with a rogue double-valid producer, the MEB's own output
+     channel keeps the single-valid invariant (its arbiter grants one
+     thread). *)
+  List.iter
+    (fun kind ->
+      let b = S.Builder.create () in
+      let src = Mc.source b ~name:"src" ~threads:3 ~width:8 in
+      let m = Melastic.Meb.create ~kind b src in
+      ignore (S.output b "out_violation" (Mc.multi_valid b m.Melastic.Meb.out));
+      Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+      let sim = Hw.Sim.create (Hw.Circuit.create b) in
+      Hw.Sim.poke_int sim "snk_ready" 7;
+      let seen = ref false in
+      Hw.Sim.on_cycle sim (fun sim ->
+          if Hw.Sim.peek_bool sim "out_violation" then seen := true);
+      for c = 0 to 19 do
+        Hw.Sim.poke_int sim "src_valid" (0b011 + (c mod 2));
+        Hw.Sim.poke_int sim "src_data" c;
+        Hw.Sim.cycle sim
+      done;
+      Alcotest.(check bool)
+        (Melastic.Meb.kind_to_string kind ^ ": output single-valid holds")
+        false !seen)
+    [ Melastic.Meb.Full; Melastic.Meb.Reduced ]
+
+let test_sink_never_ready_no_crash () =
+  (* Total downstream deadlock: the design must simply hold state (no
+     exceptions, no token loss once released). *)
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads:2 ~width:16 in
+  let out, _ = Melastic.Meb.pipeline ~kind:Melastic.Meb.Reduced b ~stages:3 src in
+  Mc.sink b ~name:"snk" out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads:2 ~width:16 in
+  for t = 0 to 1 do
+    for i = 0 to 9 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Workload.Mt_driver.set_sink_ready d (fun _ _ -> false);
+  Workload.Mt_driver.run d 100;
+  Alcotest.(check int) "nothing delivered" 0
+    (List.length (Workload.Mt_driver.outputs d));
+  (* Release: everything drains in order. *)
+  Workload.Mt_driver.set_sink_ready d (fun _ _ -> true);
+  Alcotest.(check bool) "drains" true (Workload.Mt_driver.run_until_drained d ~limit:300);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d intact" t)
+      (List.init 10 (fun i -> (t * 100) + i))
+      (List.map Bits.to_int (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+(* Aligned join vs leader/follower.  Under symmetric saturation the
+   follower trivially tracks the leader, so the scenario that matters
+   is asymmetric availability: input C receives its tokens in
+   per-thread bursts, so at any moment C's buffer holds only one
+   thread.  The leader/follower pair joins only when the leader's
+   rotating grant happens to match; the shared arbiter of the aligned
+   pair picks the common thread every cycle. *)
+let join_throughput ~aligned =
+  let threads = 4 and width = 16 in
+  let b = S.Builder.create () in
+  let sa = Mc.source b ~name:"sa" ~threads ~width in
+  let sc = Mc.source b ~name:"sc" ~threads ~width in
+  let joined =
+    if aligned then (Melastic.Aligned.create b sa sc).Melastic.Aligned.out
+    else begin
+      let ma = Melastic.Meb_full.create ~name:"ma" ~policy:Melastic.Policy.Valid_only b sa in
+      let mc = Melastic.Meb_full.create ~name:"mc" ~policy:Melastic.Policy.Ready_aware b sc in
+      Melastic.M_join.create b ma.Melastic.Meb_full.out mc.Melastic.Meb_full.out
+    end
+  in
+  Mc.sink b ~name:"snk" joined;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let qa = Array.init threads (fun _ -> Queue.create ()) in
+  let qc = Array.init threads (fun _ -> Queue.create ()) in
+  for t = 0 to threads - 1 do
+    for i = 0 to 49 do
+      Queue.add ((t * 100) + i) qa.(t);
+      Queue.add ((t * 100) + i) qc.(t)
+    done
+  done;
+  let delivered = ref 0 in
+  Hw.Sim.poke_int sim "snk_ready" 15;
+  let ptr_a = ref 0 in
+  let horizon = 200 in
+  for cycle = 1 to horizon do
+    Hw.Sim.poke_int sim "sa_valid" 0;
+    Hw.Sim.poke_int sim "sc_valid" 0;
+    Hw.Sim.settle sim;
+    (* A: round-robin over every thread with pending data. *)
+    let inject_rr src q ptr =
+      let ready = Hw.Sim.peek sim (src ^ "_ready") in
+      let chosen = ref None in
+      for k = 0 to threads - 1 do
+        let i = (!ptr + k) mod threads in
+        if !chosen = None && Bits.bit ready i && not (Queue.is_empty q.(i)) then
+          chosen := Some i
+      done;
+      match !chosen with
+      | Some i ->
+        Hw.Sim.poke sim (src ^ "_valid") (Bits.set_bit (Bits.zero threads) i true);
+        Hw.Sim.poke_int sim (src ^ "_data") (Queue.pop q.(i));
+        ptr := (i + 1) mod threads
+      | None -> ()
+    in
+    (* C: bursty — only the window's thread is offered. *)
+    let inject_bursty src q =
+      let w = cycle / 4 mod threads in
+      let ready = Hw.Sim.peek sim (src ^ "_ready") in
+      if Bits.bit ready w && not (Queue.is_empty q.(w)) then begin
+        Hw.Sim.poke sim (src ^ "_valid") (Bits.set_bit (Bits.zero threads) w true);
+        Hw.Sim.poke_int sim (src ^ "_data") (Queue.pop q.(w))
+      end
+    in
+    inject_rr "sa" qa ptr_a;
+    inject_bursty "sc" qc;
+    Hw.Sim.settle sim;
+    let fire = Hw.Sim.peek sim "snk_fire" in
+    for t = 0 to threads - 1 do
+      if Bits.bit fire t then incr delivered
+    done;
+    Hw.Sim.cycle sim
+  done;
+  float_of_int !delivered /. float_of_int horizon
+
+let test_aligned_join_beats_leader_follower () =
+  let aligned = join_throughput ~aligned:true in
+  let lf = join_throughput ~aligned:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "aligned %.2f > leader/follower %.2f" aligned lf)
+    true
+    (aligned > lf +. 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "aligned clearly better (%.2f)" aligned)
+    true (aligned > 0.5)
+
+let suite =
+  ( "protocol",
+    [ Alcotest.test_case "multi-valid checker fires" `Quick
+        test_multi_valid_checker_fires;
+      Alcotest.test_case "MEB output single-valid under rogue input" `Quick
+        test_meb_output_never_multi_valid_under_rogue_input;
+      Alcotest.test_case "total deadlock then drain" `Quick
+        test_sink_never_ready_no_crash;
+      Alcotest.test_case "aligned join beats leader/follower" `Quick
+        test_aligned_join_beats_leader_follower ] )

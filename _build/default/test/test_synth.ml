@@ -1,0 +1,230 @@
+(* Tests for the dataflow synthesis front-end: linear pipelines,
+   automatic fork insertion, join reconvergence, branch/merge routing,
+   feedback loops, barriers, variable latency, and graph validation. *)
+
+module S = Hw.Signal
+module D = Synth.Dataflow
+
+let const32 b n = S.of_int b ~width:32 n
+
+let driver circuit ~threads ~width =
+  let sim = Hw.Sim.create circuit in
+  (sim, Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width)
+
+let ints l = List.map Bits.to_int l
+
+let test_linear () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let y = D.func g ~width:32 (fun b d -> S.add b d (const32 b 1)) x in
+  let y = D.buffer g y in
+  let y = D.func g ~width:32 (fun b d -> S.sll b d 1) y in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:2 ~width:32 in
+  for t = 0 to 1 do
+    for i = 1 to 5 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:300);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d: 2*(x+1)" t)
+      (List.init 5 (fun i -> 2 * ((t * 100) + i + 1 + 1)))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_diamond_fork_join () =
+  (* y = 2x + (x + 3): one port consumed twice -> automatic M-Fork,
+     reconverging through func2's M-Join. *)
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let left = D.func g ~width:32 (fun b d -> S.sll b d 1) x in
+  let right = D.func g ~width:32 (fun b d -> S.add b d (const32 b 3)) x in
+  let y = D.func2 g ~width:32 (fun b u v -> S.add b u v) left right in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:2 ~width:32 in
+  for t = 0 to 1 do
+    for i = 1 to 6 do Workload.Mt_driver.push_int d ~thread:t ((t * 50) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:500);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d: 3x+3" t)
+      (List.init 6 (fun i -> (3 * ((t * 50) + i + 1)) + 3))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_branch_merge () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let odd, even = D.branch g ~cond:(fun b d -> S.bit b d 0) x in
+  let odd = D.buffer g odd in
+  let odd = D.func g ~width:32 (fun b d -> S.add b d (const32 b 1000)) odd in
+  let even = D.buffer g even in
+  let even = D.func g ~width:32 (fun b d -> S.add b d (const32 b 2000)) even in
+  let y = D.merge g odd even in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:2 ~width:32 in
+  let data = [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:0 v) data;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:500);
+  let out = ints (Workload.Mt_driver.output_sequence d ~thread:0) in
+  Alcotest.(check (list int)) "odd path order" [ 1001; 1003; 1005 ]
+    (List.filter (fun v -> v < 2000) out);
+  Alcotest.(check (list int)) "even path order" [ 2002; 2004; 2006 ]
+    (List.filter (fun v -> v >= 2000) out)
+
+(* Iterative doubling until >= 100, as a token loop:
+   x -> merge(x, back) -> buffer -> branch(v >= 100)
+   true  -> output
+   false -> double -> close the feedback. *)
+let doubling_graph ~threads =
+  let g = D.create ~threads () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let back, close = D.feedback g ~width:32 () in
+  let merged = D.merge g ~name:"loopmerge" back x in
+  let buffered = D.buffer g ~name:"loopbuf" merged in
+  let exit, again =
+    D.branch g ~cond:(fun b d -> S.lnot b (S.ult b d (const32 b 100))) buffered
+  in
+  let doubled = D.func g ~width:32 (fun b d -> S.sll b d 1) again in
+  close doubled;
+  D.output g ~name:"y" exit;
+  g
+
+let expected_doubling v =
+  let rec go v = if v >= 100 then v else go (2 * v) in
+  go v
+
+let test_loop () =
+  let _sim, d = driver (D.circuit (doubling_graph ~threads:2)) ~threads:2 ~width:32 in
+  let data t = List.init 4 (fun i -> (t * 7) + i + 3) in
+  for t = 0 to 1 do
+    List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:t v) (data t)
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:2000);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d doubling results" t)
+      (List.map expected_doubling (data t))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_loop_without_buffer_rejected () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let back, close = D.feedback g ~width:32 () in
+  let merged = D.merge g back x in
+  let exit, again = D.branch g ~cond:(fun b d -> S.bit b d 7) merged in
+  close again;
+  D.output g ~name:"y" exit;
+  (try
+     ignore (D.circuit g);
+     Alcotest.fail "expected Invalid_graph"
+   with D.Invalid_graph _ -> ())
+
+let test_unclosed_feedback_rejected () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let back, _close = D.feedback g ~width:32 () in
+  let merged = D.merge g back x in
+  D.output g ~name:"y" (D.buffer g merged);
+  (try
+     ignore (D.circuit g);
+     Alcotest.fail "expected Invalid_graph"
+   with D.Invalid_graph _ -> ())
+
+let test_barrier_node () =
+  let g = D.create ~threads:3 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let y = D.barrier g x in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:3 ~width:32 in
+  Workload.Mt_driver.push_int d ~thread:0 1;
+  Workload.Mt_driver.push_int d ~thread:1 2;
+  Workload.Mt_driver.run d 30;
+  Alcotest.(check int) "held until all arrive" 0
+    (List.length (Workload.Mt_driver.outputs d));
+  Workload.Mt_driver.push_int d ~thread:2 3;
+  Workload.Mt_driver.run d 40;
+  Alcotest.(check int) "released" 3 (List.length (Workload.Mt_driver.outputs d))
+
+let test_varlat_node () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let y =
+    D.varlat g ~per_thread:true
+      ~latency:(Melastic.Mt_varlat.Random { max_latency = 3; seed = 9 }) x
+  in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:2 ~width:32 in
+  for t = 0 to 1 do
+    for i = 0 to 9 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+  done;
+  Alcotest.(check bool) "drained" true (Workload.Mt_driver.run_until_drained d ~limit:1000);
+  for t = 0 to 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "thread %d order preserved" t)
+      (List.init 10 (fun i -> (t * 100) + i))
+      (ints (Workload.Mt_driver.output_sequence d ~thread:t))
+  done
+
+let test_func_width_mismatch_rejected () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let y = D.func g ~width:16 (fun b d -> S.add b d (const32 b 1)) x in
+  D.output g ~name:"y" (D.buffer g y);
+  (try
+     ignore (D.circuit g);
+     Alcotest.fail "expected Invalid_graph"
+   with D.Invalid_graph _ -> ())
+
+let test_double_build_rejected () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:8 in
+  D.output g ~name:"y" (D.buffer g x);
+  ignore (D.circuit g);
+  (try
+     ignore (D.circuit g);
+     Alcotest.fail "expected Invalid_graph"
+   with D.Invalid_graph _ -> ())
+
+let test_dot_export () =
+  let g = doubling_graph ~threads:2 in
+  let dot = D.to_dot g in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length dot && (String.sub dot i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph dataflow");
+  Alcotest.(check bool) "merge node" true (contains "loopmerge");
+  Alcotest.(check bool) "buffer node" true (contains "loopbuf");
+  Alcotest.(check bool) "edges" true (contains "->");
+  Alcotest.(check bool) "closes" true (contains "}")
+
+let suite =
+  ( "synth",
+    [ Alcotest.test_case "linear pipeline" `Quick test_linear;
+      Alcotest.test_case "diamond fork/join" `Quick test_diamond_fork_join;
+      Alcotest.test_case "branch/merge routing" `Quick test_branch_merge;
+      Alcotest.test_case "doubling loop" `Quick test_loop;
+      Alcotest.test_case "bufferless loop rejected" `Quick
+        test_loop_without_buffer_rejected;
+      Alcotest.test_case "unclosed feedback rejected" `Quick
+        test_unclosed_feedback_rejected;
+      Alcotest.test_case "barrier node" `Quick test_barrier_node;
+      Alcotest.test_case "varlat node" `Quick test_varlat_node;
+      Alcotest.test_case "func width mismatch rejected" `Quick
+        test_func_width_mismatch_rejected;
+      Alcotest.test_case "double build rejected" `Quick test_double_build_rejected;
+      Alcotest.test_case "dot export" `Quick test_dot_export ] )

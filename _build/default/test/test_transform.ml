@@ -1,0 +1,140 @@
+(* Netlist optimizer: directed folding cases plus the equivalence
+   property — random circuits simulate identically before and after
+   optimization. *)
+
+module S = Hw.Signal
+
+let les c = Fpga.Tech.les (Fpga.Tech.circuit_cost c)
+
+let test_constant_folding () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  (* (x & 0) | (3 + 4) -> const 7; mux with const sel folds away. *)
+  let zero = S.land_ b x (S.zero b 8) in
+  let seven = S.add b (S.of_int b ~width:8 3) (S.of_int b ~width:8 4) in
+  let v = S.lor_ b zero seven in
+  let m = S.mux b (S.of_int b ~width:1 1) [ x; v ] in
+  ignore (S.output b "y" m);
+  let c = Hw.Circuit.create b in
+  let c', stats = Hw.Transform.optimize c in
+  Alcotest.(check bool) "folded something" true (stats.Hw.Transform.folded > 0);
+  Alcotest.(check bool) "fewer nodes" true
+    (stats.Hw.Transform.nodes_after < stats.Hw.Transform.nodes_before);
+  (* The output is now exactly the constant 7. *)
+  let sim = Hw.Sim.create c' in
+  Hw.Sim.poke_int sim "x" 123;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "y = 7" 7 (Hw.Sim.peek_int sim "y");
+  Alcotest.(check int) "zero LEs left" 0 (les c')
+
+let test_identity_operands () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  let y1 = S.lxor_ b x (S.zero b 8) in
+  let y2 = S.add b y1 (S.zero b 8) in
+  let y3 = S.land_ b y2 (S.ones b 8) in
+  let y4 = S.lnot b (S.lnot b y3) in
+  ignore (S.output b "y" y4);
+  let c' , _ = Hw.Transform.optimize (Hw.Circuit.create b) in
+  Alcotest.(check int) "identities erased" 0 (les c');
+  let sim = Hw.Sim.create c' in
+  Hw.Sim.poke_int sim "x" 0xa5;
+  Hw.Sim.settle sim;
+  Alcotest.(check int) "passthrough" 0xa5 (Hw.Sim.peek_int sim "y")
+
+let test_dead_code_swept () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  (* A tower of unused logic. *)
+  let rec tower i acc = if i = 0 then acc else tower (i - 1) (S.add b acc acc) in
+  ignore (tower 10 x);
+  ignore (S.output b "y" (S.add b x x));
+  let c = Hw.Circuit.create b in
+  let c', stats = Hw.Transform.optimize c in
+  Alcotest.(check bool) "shrunk" true
+    (stats.Hw.Transform.nodes_after < stats.Hw.Transform.nodes_before / 2);
+  Alcotest.(check int) "one adder left" 8 (les c')
+
+let test_registers_and_memories_survive () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  let acc = S.reg_fb b ~width:8 (fun q -> S.add b q x) in
+  let mem = S.Memory.create b ~name:"m" ~size:4 ~width:8 () in
+  S.Memory.write b mem ~we:(S.vdd b) ~addr:(S.of_int b ~width:2 1) ~data:acc;
+  ignore (S.output b "r" (S.Memory.read_async b mem ~addr:(S.of_int b ~width:2 1)));
+  let c', _ = Hw.Transform.optimize (Hw.Circuit.create b) in
+  let sim = Hw.Sim.create c' in
+  Hw.Sim.poke_int sim "x" 5;
+  Hw.Sim.cycles sim 3;
+  (* acc: 0,5,10,15 -> mem[1] written each cycle with pre-edge acc. *)
+  Alcotest.(check int) "state machine preserved" 10 (Hw.Sim.peek_int sim "r")
+
+(* Equivalence property: a random DAG of operations with registers
+   simulates identically before and after optimization over a random
+   stimulus. *)
+let prop_equivalence =
+  let gen_circuit st =
+    let b = S.Builder.create () in
+    let x = S.input b "x" 8 and y = S.input b "y" 8 in
+    let pool = ref [ x; y; S.of_int b ~width:8 (Random.State.int st 256) ] in
+    let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+    for _ = 1 to 15 + Random.State.int st 20 do
+      let a = pick () and c = pick () in
+      let node =
+        match Random.State.int st 10 with
+        | 0 -> S.land_ b a c
+        | 1 -> S.lor_ b a c
+        | 2 -> S.lxor_ b a c
+        | 3 -> S.add b a c
+        | 4 -> S.sub b a c
+        | 5 -> S.lnot b a
+        | 6 -> S.mux2 b (S.bit b a 0) c a
+        | 7 -> S.reg b a
+        | 8 -> S.mux b (S.select b a ~hi:1 ~lo:0) [ a; c; pick () ]
+        | _ -> S.concat_msb b [ S.select b a ~hi:3 ~lo:0; S.select b c ~hi:7 ~lo:4 ]
+      in
+      pool := node :: !pool
+    done;
+    ignore (S.output b "o1" (pick ()));
+    ignore (S.output b "o2" (pick ()));
+    Hw.Circuit.create b
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"optimize preserves behaviour"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let st = Random.State.make [| seed |] in
+         let c = gen_circuit st in
+         let c', _ = Hw.Transform.optimize c in
+         let s1 = Hw.Sim.create c and s2 = Hw.Sim.create c' in
+         let ok = ref true in
+         for _ = 1 to 25 do
+           let vx = Random.State.int st 256 and vy = Random.State.int st 256 in
+           Hw.Sim.poke_int s1 "x" vx; Hw.Sim.poke_int s1 "y" vy;
+           Hw.Sim.poke_int s2 "x" vx; Hw.Sim.poke_int s2 "y" vy;
+           Hw.Sim.cycle s1; Hw.Sim.cycle s2;
+           if Hw.Sim.peek_int s1 "o1" <> Hw.Sim.peek_int s2 "o1"
+              || Hw.Sim.peek_int s1 "o2" <> Hw.Sim.peek_int s2 "o2"
+           then ok := false
+         done;
+         !ok))
+
+let test_big_designs_optimize () =
+  (* The Table I designs must survive optimization and shrink. *)
+  let md5 = Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~threads:8 () in
+  let md5', stats = Hw.Transform.optimize md5 in
+  Alcotest.(check bool) "md5 shrinks" true
+    (stats.Hw.Transform.nodes_after < stats.Hw.Transform.nodes_before);
+  Alcotest.(check bool) "md5 area not larger" true (les md5' <= les md5);
+  let cpu, _ = Cpu.Mt_pipeline.circuit (Cpu.Mt_pipeline.default_config ~threads:8) in
+  let cpu', _ = Hw.Transform.optimize cpu in
+  Alcotest.(check bool) "cpu area not larger" true (les cpu' <= les cpu)
+
+let suite =
+  ( "transform",
+    [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "identity operands" `Quick test_identity_operands;
+      Alcotest.test_case "dead code swept" `Quick test_dead_code_swept;
+      Alcotest.test_case "state survives" `Quick test_registers_and_memories_survive;
+      Alcotest.test_case "big designs optimize" `Quick test_big_designs_optimize;
+      prop_equivalence ] )

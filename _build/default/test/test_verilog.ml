@@ -1,0 +1,215 @@
+(* Verilog emission tests: structural lint of the generated text
+   (no Verilog simulator is available in the container, so we check
+   well-formedness and referential integrity instead). *)
+
+module S = Hw.Signal
+
+let small_circuit () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 and y = S.input b "y" 8 in
+  let sum = S.add b x y in
+  let q = S.reg b ~enable:(S.input b "en" 1) sum in
+  ignore (S.output b "q" q);
+  ignore (S.output b "lt" (S.ult b x y));
+  Hw.Circuit.create ~name:"adder" b
+
+(* Tokenize identifiers out of the Verilog text. *)
+let identifiers text =
+  let ids = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        && (let c = text.[!i] in
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '_')
+      do
+        incr i
+      done;
+      ids := String.sub text start (!i - start) :: !ids
+    end
+    else incr i
+  done;
+  List.rev !ids
+
+let verilog_keywords =
+  [ "module"; "endmodule"; "input"; "output"; "wire"; "reg"; "assign";
+    "always"; "posedge"; "clk"; "if"; "else"; "initial"; "begin"; "end";
+    "integer"; "for"; "signed" ]
+
+let contains text sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_header_and_ports () =
+  let v = Hw.Verilog.to_string ~module_name:"adder" (small_circuit ()) in
+  Alcotest.(check bool) "module header" true (contains v "module adder (");
+  Alcotest.(check bool) "clk port" true (contains v "input wire clk");
+  Alcotest.(check bool) "x port" true (contains v "input wire [7:0] x");
+  Alcotest.(check bool) "en 1-bit port" true (contains v "input wire en");
+  Alcotest.(check bool) "q output" true (contains v "output wire [7:0] q");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule")
+
+let test_referential_integrity () =
+  (* Every identifier used must be declared (as port, wire, reg, memory
+     or keyword).  Comment lines and binary literals are not
+     identifiers. *)
+  let v = Hw.Verilog.to_string (small_circuit ()) in
+  let v =
+    String.split_on_char '\n' v
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           not (String.length l >= 2 && String.sub l 0 2 = "//"))
+    |> String.concat "\n"
+  in
+  let decls = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace decls k ()) verilog_keywords;
+  String.split_on_char '\n' v
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         let add_decl prefix =
+           if String.length line > String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+           then
+             match identifiers line with
+             | _kw :: rest ->
+               (* last identifier before '=' / '[' / ';' is the name;
+                  simplest: declare every identifier on a decl line *)
+               List.iter (fun id -> Hashtbl.replace decls id ()) rest
+             | [] -> ()
+         in
+         add_decl "wire";
+         add_decl "reg";
+         add_decl "input";
+         add_decl "output";
+         add_decl "integer";
+         add_decl "module");
+  let binary_literal id =
+    String.length id > 1 && id.[0] = 'b'
+    && String.for_all (function '0' | '1' -> true | _ -> false)
+         (String.sub id 1 (String.length id - 1))
+  in
+  let undeclared =
+    identifiers v
+    |> List.filter (fun id -> not (Hashtbl.mem decls id) && not (binary_literal id))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "all identifiers declared" [] undeclared
+
+let test_balanced_module () =
+  let v = Hw.Verilog.to_string (small_circuit ()) in
+  let count sub =
+    let rec go i acc =
+      if i + String.length sub > String.length v then acc
+      else if String.sub v i (String.length sub) = sub then
+        go (i + String.length sub) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  (* "module" appears in "endmodule" too: 1 module header + 1 endmodule. *)
+  Alcotest.(check int) "one endmodule" 1 (count "endmodule")
+
+let test_register_semantics_text () =
+  let v = Hw.Verilog.to_string (small_circuit ()) in
+  Alcotest.(check bool) "registers use posedge clk" true
+    (contains v "always @(posedge clk)");
+  Alcotest.(check bool) "enable guards the update" true (contains v "if (en)")
+
+let test_memory_emission () =
+  let b = S.Builder.create () in
+  let mem = S.Memory.create b ~name:"ram" ~size:8 ~width:16 () in
+  let we = S.input b "we" 1 and addr = S.input b "addr" 3 in
+  let data = S.input b "data" 16 in
+  S.Memory.write b mem ~we ~addr ~data;
+  ignore (S.output b "q" (S.Memory.read_async b mem ~addr));
+  let v = Hw.Verilog.to_string (Hw.Circuit.create b) in
+  Alcotest.(check bool) "memory array declared" true (contains v "[0:7];");
+  Alcotest.(check bool) "write port clocked" true
+    (contains v "always @(posedge clk) if (we");
+  Alcotest.(check bool) "zero-initialised" true (contains v "initial for (")
+
+let test_emits_table1_designs () =
+  (* The two big designs must emit without raising, with plausible
+     size. *)
+  let md5 = Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~threads:8 () in
+  let v = Hw.Verilog.to_string ~module_name:"md5_top" md5 in
+  Alcotest.(check bool) "md5 emits > 100KB" true (String.length v > 100_000);
+  Alcotest.(check bool) "md5 has endmodule" true (contains v "endmodule");
+  let cfg = Cpu.Mt_pipeline.default_config ~threads:8 in
+  let cpu, _ = Cpu.Mt_pipeline.circuit cfg in
+  let v = Hw.Verilog.to_string ~module_name:"cpu_top" cpu in
+  Alcotest.(check bool) "cpu emits" true (contains v "module cpu_top");
+  Alcotest.(check bool) "regfile is a memory" true (contains v "regfile_m")
+
+let test_input_output_clash_handled () =
+  (* A source exports a data echo named like its input; the Verilog
+     back end must drop the clashing port, not emit it twice. *)
+  let b = S.Builder.create () in
+  let src = Melastic.Mt_channel.source b ~name:"src" ~threads:2 ~width:8 in
+  let meb = Melastic.Meb.create ~kind:Melastic.Meb.Reduced b src in
+  Melastic.Mt_channel.sink b ~name:"snk" meb.Melastic.Meb.out;
+  let v = Hw.Verilog.to_string (Hw.Circuit.create b) in
+  Alcotest.(check bool) "clash comment present" true
+    (contains v "omitted: name clashes");
+  (* src_data appears exactly once as a port declaration. *)
+  let count_ports =
+    String.split_on_char '\n' v
+    |> List.filter (fun l ->
+           contains l "put wire" && contains l " src_data")
+    |> List.length
+  in
+  Alcotest.(check int) "src_data declared once" 1 count_ports
+
+let test_testbench_generation () =
+  (* Record a short run of a small registered design and emit the
+     self-checking testbench. *)
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  let acc = S.reg_fb b ~width:8 (fun q -> S.add b q x) in
+  ignore (S.output b "acc" acc);
+  let circuit = Hw.Circuit.create b in
+  let sim = Hw.Sim.create circuit in
+  let tb = Hw.Verilog_tb.attach sim ~outputs:[ "acc" ] in
+  List.iter
+    (fun v -> Hw.Sim.poke_int sim "x" v; Hw.Sim.cycle sim)
+    [ 3; 5; 7; 11 ];
+  let text = Hw.Verilog_tb.to_string ~module_name:"accmod" tb in
+  Alcotest.(check bool) "instantiates dut" true (contains text "accmod dut (");
+  Alcotest.(check bool) "checks acc" true (contains text "check(\"acc\", acc,");
+  Alcotest.(check bool) "four stimulus cycles" true (contains text "// cycle 3");
+  Alcotest.(check bool) "pass message" true (contains text "TESTBENCH PASS (4 cycles)");
+  Alcotest.(check bool) "finishes" true (contains text "$finish");
+  (* The recorded expected values follow the accumulator: 0,3,8,15. *)
+  Alcotest.(check bool) "expected value 8 recorded" true
+    (contains text (Hw.Verilog.bits_literal (Bits.of_int ~width:8 8)));
+  (* clashing output names are skipped *)
+  let b2 = S.Builder.create () in
+  let src = Melastic.Mt_channel.source b2 ~name:"s" ~threads:2 ~width:8 in
+  let m = Melastic.Meb.create ~kind:Melastic.Meb.Reduced b2 src in
+  Melastic.Mt_channel.sink b2 ~name:"k" m.Melastic.Meb.out;
+  let sim2 = Hw.Sim.create (Hw.Circuit.create b2) in
+  let tb2 = Hw.Verilog_tb.attach sim2 ~outputs:[ "s_data"; "k_data" ] in
+  Hw.Sim.cycle sim2;
+  let text2 = Hw.Verilog_tb.to_string tb2 in
+  Alcotest.(check bool) "input-clashing output skipped" false
+    (contains text2 "check(\"s_data\"");
+  Alcotest.(check bool) "real output kept" true (contains text2 "check(\"k_data\"")
+
+let suite =
+  ( "verilog",
+    [ Alcotest.test_case "header and ports" `Quick test_header_and_ports;
+      Alcotest.test_case "referential integrity" `Quick test_referential_integrity;
+      Alcotest.test_case "balanced module" `Quick test_balanced_module;
+      Alcotest.test_case "register semantics" `Quick test_register_semantics_text;
+      Alcotest.test_case "memory emission" `Quick test_memory_emission;
+      Alcotest.test_case "table1 designs emit" `Quick test_emits_table1_designs;
+      Alcotest.test_case "input/output clash" `Quick test_input_output_clash_handled;
+      Alcotest.test_case "testbench generation" `Quick test_testbench_generation ] )
