@@ -4,12 +4,15 @@
 
    Usage:
      main.exe                 run everything
-     main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels
-     main.exe table1 --threads 16 *)
+     main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare
+     main.exe table1 --threads 16
+     main.exe --backend compiled   (simulator backend for all experiments) *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels] [--threads N]";
+    "usage: main.exe \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare] \
+     [--threads N] [--backend interp|compiled]";
   exit 2
 
 let () =
@@ -22,12 +25,26 @@ let () =
     in
     find args
   in
+  (* All experiments create simulators through Hw.Sim.create, so one
+     flag switches every run between the interpreter and the compiled
+     backend. *)
+  let rec find_backend = function
+    | "--backend" :: b :: _ ->
+      (try Hw.Sim.default_backend := Hw.Sim.backend_of_string b
+       with Invalid_argument _ -> usage ())
+    | _ :: rest -> find_backend rest
+    | [] -> ()
+  in
+  find_backend args;
   let cmds =
     List.filter (fun a -> String.length a > 0 && a.[0] <> '-') (List.tl args)
   in
   let cmds =
     List.filter
-      (fun a -> not (String.for_all (fun c -> c >= '0' && c <= '9') a))
+      (fun a ->
+        not (String.for_all (fun c -> c >= '0' && c <= '9') a)
+        && a <> Hw.Sim.backend_to_string !Hw.Sim.default_backend
+        && a <> "interpreter" && a <> "compile")
       cmds
   in
   match cmds with
@@ -50,4 +67,5 @@ let () =
   | [ "ipc" ] -> Exp_ipc.run ()
   | [ "granularity" ] -> Exp_granularity.run ()
   | [ "kernels" ] -> Bench_kernels.run ()
+  | [ "backend-compare" ] -> Exp_backend.run ()
   | _ -> usage ()

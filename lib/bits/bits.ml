@@ -344,9 +344,55 @@ let random st ~width:w =
   check_width w;
   let t = zero w in
   for i = 0 to Array.length t.limbs - 1 do
-    t.limbs.(i) <- Random.State.int st (1 lsl limb_bits)
+    (* [Random.State.int] only accepts bounds below 2^30 (and 2^32 does
+       not even fit an int on 32-bit platforms), so draw each 32-bit
+       limb as two independent 16-bit halves of [Random.State.bits]. *)
+    let lo = Random.State.bits st land 0xffff in
+    let hi = Random.State.bits st land 0xffff in
+    t.limbs.(i) <- (hi lsl 16) lor lo
   done;
   normalize t
+
+(* ---- Unboxed-int fast path (used by the compiled simulator) ----
+
+   Vectors of width <= [max_int_width] fit losslessly in a non-negative
+   OCaml int ([max_int_width] bits use at most bit positions
+   0 .. Sys.int_size - 2, so the sign bit is never touched). *)
+
+let max_int_width = Sys.int_size - 1
+
+let to_int_exn t =
+  if t.width > max_int_width then
+    invalid_arg
+      (Printf.sprintf "Bits.to_int_exn: width %d exceeds int fast path (%d)"
+         t.width max_int_width);
+  let acc = ref 0 in
+  for i = Array.length t.limbs - 1 downto 0 do
+    acc := (!acc lsl limb_bits) lor t.limbs.(i)
+  done;
+  !acc
+
+let select_int t ~hi ~lo =
+  if lo < 0 || hi >= t.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Bits.select_int: bad range [%d:%d] of width %d" hi lo t.width);
+  let w = hi - lo + 1 in
+  if w > max_int_width then
+    invalid_arg
+      (Printf.sprintf "Bits.select_int: slice width %d exceeds int fast path (%d)"
+         w max_int_width);
+  let r = ref 0 in
+  let pos = ref 0 in
+  while !pos < w do
+    let bit_index = lo + !pos in
+    let limb = t.limbs.(bit_index / limb_bits) in
+    let off = bit_index mod limb_bits in
+    let avail = min (limb_bits - off) (w - !pos) in
+    let chunk = (limb lsr off) land ((1 lsl avail) - 1) in
+    r := !r lor (chunk lsl !pos);
+    pos := !pos + avail
+  done;
+  !r
 
 let to_string t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
 let pp fmt t = Format.pp_print_string fmt (to_string t)

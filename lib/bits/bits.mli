@@ -132,9 +132,32 @@ val split_lsb : part_width:int -> t -> t list
 (** Split into [part_width]-wide pieces, least-significant first.
     Width must be a multiple of [part_width]. *)
 
+(** {1 Unboxed-int fast path}
+
+    Helpers for simulators that store narrow vectors as plain OCaml
+    ints.  A width of at most {!max_int_width} bits round-trips
+    losslessly through a non-negative [int]. *)
+
+val max_int_width : int
+(** Widest vector representable in the int fast path
+    ([Sys.int_size - 1]; 62 on 64-bit platforms). *)
+
+val to_int_exn : t -> int
+(** Exact non-negative integer value.  Unlike {!to_int} this never
+    truncates silently; raises [Invalid_argument] if
+    [width t > max_int_width]. *)
+
+val select_int : t -> hi:int -> lo:int -> int
+(** [select_int t ~hi ~lo] is [to_int_exn (select t ~hi ~lo)] without
+    allocating.  Raises [Invalid_argument] on a bad range or a slice
+    wider than {!max_int_width}. *)
+
 (** {1 Misc} *)
 
 val random : Random.State.t -> width:int -> t
+(** Uniformly random vector, normalized; safe for any width on all
+    platforms (never calls [Random.State.int] with an oversized
+    bound). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [<width>'h<hex>]. *)

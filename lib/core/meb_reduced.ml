@@ -113,7 +113,10 @@ let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
         m)
   in
   let data_out = S.mux b rr.Arbiter.grant_index (Array.to_list mains) in
-  let ow = S.clog2 ((2 * n) + 1) in
+  (* The reduced MEB holds at most S+1 words (S mains + the single
+     shared aux), so occupancy ranges over 0..n+1 — not 0..2n as in
+     the full MEB. *)
+  let ow = S.clog2 (n + 2) in
   let occupancy =
     S.reduce b S.add
       (List.init n (fun i ->

@@ -14,7 +14,7 @@ module S := Hw.Signal
 
 type t = {
   out : Mt_channel.t;
-  occupancy : S.t;
+  occupancy : S.t;  (** total buffered items, 0..S+1 ([clog2 (S+2)] bits) *)
   grant : S.t;
   shared_free : S.t;  (** probe: shared-slot FSM state *)
   full_count : S.t;  (** probe: threads in FULL (invariant: <= 1) *)

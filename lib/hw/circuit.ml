@@ -9,6 +9,8 @@ type t = {
   named : (string, Signal.t) Hashtbl.t; (* every named signal, incl. outputs *)
   memories : Signal.memory list;
   max_uid : int;
+  levels : int array; (* uid -> combinational level (0 = source), -1 = absent *)
+  depth : int; (* number of combinational levels (max level + 1) *)
 }
 
 exception Combinational_cycle of string
@@ -76,6 +78,25 @@ let topo_sort (nodes : Signal.t list) =
   List.iter (visit []) nodes;
   List.rev !order
 
+(* Levelization: sources (consts, inputs, register outputs) sit at
+   level 0; every other node one past its deepest combinational
+   operand.  The metadata drives the compiled simulator's evaluation
+   schedule and doubles as a logic-depth report. *)
+let levelize ~max_uid (order : Signal.t array) =
+  let levels = Array.make max_uid (-1) in
+  let depth = ref 0 in
+  Array.iter
+    (fun (s : Signal.t) ->
+      let l =
+        List.fold_left
+          (fun acc (d : Signal.t) -> max acc (levels.(d.uid) + 1))
+          0 (comb_deps s)
+      in
+      levels.(s.uid) <- l;
+      if l + 1 > !depth then depth := l + 1)
+    order;
+  (levels, !depth)
+
 let create ?(name = "circuit") (b : Signal.builder) =
   let nodes = List.rev b.Signal.Builder.nodes in
   let order = Array.of_list (topo_sort nodes) in
@@ -105,13 +126,16 @@ let create ?(name = "circuit") (b : Signal.builder) =
       | Some existing when existing == s -> ()
       | Some _ -> invalid_arg (Printf.sprintf "Circuit: duplicate signal name %s" n))
     b.Signal.Builder.outputs;
+  let levels, depth = levelize ~max_uid:b.Signal.Builder.next_uid order in
   { name;
     order;
     inputs;
     outputs = List.rev b.Signal.Builder.outputs;
     named;
     memories = List.rev b.Signal.Builder.memories;
-    max_uid = b.Signal.Builder.next_uid }
+    max_uid = b.Signal.Builder.next_uid;
+    levels;
+    depth }
 
 let find_named t n =
   match Hashtbl.find_opt t.named n with
@@ -122,6 +146,10 @@ let find_named t n =
      | None -> invalid_arg (Printf.sprintf "Circuit %s: no signal named %s" t.name n))
 
 let node_count t = Array.length t.order
+
+let level t (s : Signal.t) = t.levels.(s.uid)
+
+let depth t = t.depth
 
 let registers t =
   Array.to_list t.order

@@ -12,6 +12,11 @@ type t = {
   named : (string, Signal.t) Hashtbl.t;
   memories : Signal.memory list;
   max_uid : int;
+  levels : int array;
+      (** uid -> combinational level: 0 for sources (consts, inputs,
+          register outputs), [1 + max operand level] otherwise; [-1]
+          for uids with no node. *)
+  depth : int;  (** number of combinational levels (max level + 1) *)
 }
 
 exception Combinational_cycle of string
@@ -33,3 +38,9 @@ val find_named : t -> string -> Signal.t
 val node_count : t -> int
 val registers : t -> Signal.t list
 val iter_nodes : t -> (Signal.t -> unit) -> unit
+
+val level : t -> Signal.t -> int
+(** Combinational level of a node (see {!type-t.levels}). *)
+
+val depth : t -> int
+(** Number of combinational levels in the evaluation schedule. *)

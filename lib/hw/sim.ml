@@ -1,180 +1,56 @@
-(* Cycle-accurate two-phase simulator.
+(* Backend-agnostic simulator front end.
 
-   Phase 1 (settle): evaluate every combinational node in topological
-   order.  Phase 2 (commit): registers latch their sampled next values
-   and memory write ports take effect.  [cycle] = settle, run observers,
-   commit, settle again, so that peeking after [cycle] reflects the new
-   state.  Out-of-range memory reads return zero; out-of-range writes
-   are dropped. *)
+   A [t] packs a backend module (any implementation of [Sim_intf.S])
+   together with one of its instances behind a first-class module, so
+   every host-side driver, testbench and experiment can switch between
+   the reference interpreter ([Sim_interp]) and the compiled backend
+   ([Sim_compiled]) without source changes — either per call site via
+   [?backend] / [create_from], or globally via [default_backend]
+   (which e.g. [bench/main.ml --backend compiled] sets). *)
 
-type t = {
-  circuit : Circuit.t;
-  values : Bits.t array; (* indexed by uid; combinational values *)
-  reg_state : Bits.t array; (* indexed by uid, only Reg uids meaningful *)
-  input_values : Bits.t array;
-  mem_state : (int, Bits.t array) Hashtbl.t; (* mem_uid -> contents *)
-  regs : Signal.t array;
-  mutable cycle_no : int;
-  mutable observers : (t -> unit) list;
-}
+type backend = Interp | Compiled
 
-let mem_initial (m : Signal.memory) =
-  match m.Signal.init_contents with
-  | Some a -> Array.map (fun x -> x) a
-  | None -> Array.make m.Signal.size (Bits.zero m.Signal.mem_width)
+let backend_of_string = function
+  | "interp" | "interpreter" -> Interp
+  | "compiled" | "compile" -> Compiled
+  | s -> invalid_arg (Printf.sprintf "Sim.backend_of_string: %s" s)
 
-let create circuit =
-  let n = circuit.Circuit.max_uid in
-  let values = Array.make n (Bits.zero 1) in
-  let reg_state = Array.make n (Bits.zero 1) in
-  let input_values = Array.make n (Bits.zero 1) in
-  let mem_state = Hashtbl.create 8 in
-  List.iter
-    (fun (m : Signal.memory) -> Hashtbl.replace mem_state m.Signal.mem_uid (mem_initial m))
-    circuit.Circuit.memories;
-  let regs = Array.of_list (Circuit.registers circuit) in
-  Array.iter
-    (fun (s : Signal.t) ->
-      match s.Signal.op with
-      | Signal.Reg r -> reg_state.(s.Signal.uid) <- r.Signal.init
-      | _ -> ())
-    regs;
-  Circuit.iter_nodes circuit (fun (s : Signal.t) ->
-      match s.Signal.op with
-      | Signal.Input _ -> input_values.(s.Signal.uid) <- Bits.zero s.Signal.width
-      | _ -> ());
-  { circuit; values; reg_state; input_values; mem_state; regs; cycle_no = 0;
-    observers = [] }
+let backend_to_string = function Interp -> "interp" | Compiled -> "compiled"
 
-let eval_node t (s : Signal.t) =
-  let v x = t.values.(x.Signal.uid) in
-  let value =
-    match s.Signal.op with
-    | Signal.Const c -> c
-    | Signal.Input _ -> t.input_values.(s.Signal.uid)
-    | Signal.Wire { driver = Some d } -> v d
-    | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
-    | Signal.Not x -> Bits.lnot (v x)
-    | Signal.Binop (op, x, y) ->
-      (match op with
-       | Signal.And -> Bits.logand (v x) (v y)
-       | Signal.Or -> Bits.logor (v x) (v y)
-       | Signal.Xor -> Bits.logxor (v x) (v y)
-       | Signal.Add -> Bits.add (v x) (v y)
-       | Signal.Sub -> Bits.sub (v x) (v y)
-       | Signal.Mul -> Bits.mul (v x) (v y)
-       | Signal.Eq -> Bits.of_bool (Bits.equal (v x) (v y))
-       | Signal.Ult -> Bits.of_bool (Bits.ult (v x) (v y))
-       | Signal.Slt -> Bits.of_bool (Bits.slt (v x) (v y)))
-    | Signal.Mux (sel, cases) ->
-      let i = Bits.to_int_trunc (v sel) in
-      let i = if i >= Array.length cases then Array.length cases - 1 else i in
-      v cases.(i)
-    | Signal.Concat parts -> Bits.concat (List.map v parts)
-    | Signal.Select { hi; lo; arg } -> Bits.select (v arg) ~hi ~lo
-    | Signal.Reg _ -> t.reg_state.(s.Signal.uid)
-    | Signal.Mem_read { mem; addr } ->
-      let contents = Hashtbl.find t.mem_state mem.Signal.mem_uid in
-      let a = Bits.to_int_trunc (v addr) in
-      if a < mem.Signal.size then contents.(a) else Bits.zero mem.Signal.mem_width
-  in
-  t.values.(s.Signal.uid) <- value
+let default_backend = ref Interp
 
-let settle t = Array.iter (eval_node t) t.circuit.Circuit.order
+type t = T : (module Sim_intf.S with type t = 'a) * 'a -> t
 
-let commit t =
-  let v x = t.values.(x.Signal.uid) in
-  (* Sample every register's next value before writing any of them. *)
-  let nexts =
-    Array.map
-      (fun (s : Signal.t) ->
-        match s.Signal.op with
-        | Signal.Reg r ->
-          let clear = match r.Signal.clear with Some c -> Bits.to_bool (v c) | None -> false in
-          let enable = match r.Signal.enable with Some e -> Bits.to_bool (v e) | None -> true in
-          if clear then r.Signal.clear_to
-          else if enable then v r.Signal.d
-          else t.reg_state.(s.Signal.uid)
-        | _ -> assert false)
-      t.regs
-  in
-  Array.iteri
-    (fun i (s : Signal.t) -> t.reg_state.(s.Signal.uid) <- nexts.(i))
-    t.regs;
-  List.iter
-    (fun (m : Signal.memory) ->
-      let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
-      (* Ports were prepended as added; apply in creation order so the
-         last-added port wins on an address conflict. *)
-      List.iter
-        (fun (p : Signal.write_port) ->
-          if Bits.to_bool (v p.Signal.we) then begin
-            let a = Bits.to_int_trunc (v p.Signal.waddr) in
-            if a < m.Signal.size then contents.(a) <- v p.Signal.wdata
-          end)
-        (List.rev m.Signal.write_ports))
-    t.circuit.Circuit.memories
+let pack (type a) (module M : Sim_intf.S with type t = a) (s : a) = T ((module M), s)
 
-let cycle t =
-  settle t;
-  List.iter (fun f -> f t) (List.rev t.observers);
-  commit t;
-  t.cycle_no <- t.cycle_no + 1;
-  settle t
+let create_from (module M : Sim_intf.S) circuit = pack (module M) (M.create circuit)
 
-let cycles t n = for _ = 1 to n do cycle t done
+let module_of_backend : backend -> (module Sim_intf.S) = function
+  | Interp -> (module Sim_interp)
+  | Compiled -> (module Sim_compiled)
 
-let cycle_no t = t.cycle_no
+let create ?backend circuit =
+  let backend = match backend with Some b -> b | None -> !default_backend in
+  create_from (module_of_backend backend) circuit
 
-let circuit t = t.circuit
+let backend_name (T ((module M), _)) = M.name
 
-let on_cycle t f = t.observers <- f :: t.observers
+let settle (T ((module M), s)) = M.settle s
+let cycle (T ((module M), s)) = M.cycle s
+let cycles (T ((module M), s)) n = M.cycles s n
+let cycle_no (T ((module M), s)) = M.cycle_no s
+let circuit (T ((module M), s)) = M.circuit s
 
-let poke t name bits =
-  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
-  | None -> invalid_arg (Printf.sprintf "Sim.poke: no input named %s" name)
-  | Some s ->
-    if Bits.width bits <> s.Signal.width then
-      invalid_arg
-        (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
-           (Bits.width bits) s.Signal.width);
-    t.input_values.(s.Signal.uid) <- bits
+let on_cycle (T ((module M), s) as packed) f =
+  (* Observers see the packed simulator, whatever the backend. *)
+  M.on_cycle s (fun _ -> f packed)
 
-let poke_int t name n =
-  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
-  | None -> invalid_arg (Printf.sprintf "Sim.poke_int: no input named %s" name)
-  | Some s -> poke t name (Bits.of_int ~width:s.Signal.width n)
-
-let peek_signal t (s : Signal.t) = t.values.(s.Signal.uid)
-
-let peek t name = peek_signal t (Circuit.find_named t.circuit name)
-
-let peek_int t name = Bits.to_int (peek t name)
-
-let peek_bool t name = Bits.to_bool (peek t name)
-
-let reset t =
-  Array.iter
-    (fun (s : Signal.t) ->
-      match s.Signal.op with
-      | Signal.Reg r -> t.reg_state.(s.Signal.uid) <- r.Signal.init
-      | _ -> ())
-    t.regs;
-  List.iter
-    (fun (m : Signal.memory) ->
-      Hashtbl.replace t.mem_state m.Signal.mem_uid (mem_initial m))
-    t.circuit.Circuit.memories;
-  t.cycle_no <- 0;
-  settle t
-
-(* Direct memory access for testbenches (load programs, inspect data). *)
-let mem_read t (m : Signal.memory) addr =
-  let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
-  if addr < 0 || addr >= m.Signal.size then invalid_arg "Sim.mem_read: out of range";
-  contents.(addr)
-
-let mem_write t (m : Signal.memory) addr value =
-  let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
-  if addr < 0 || addr >= m.Signal.size then invalid_arg "Sim.mem_write: out of range";
-  if Bits.width value <> m.Signal.mem_width then invalid_arg "Sim.mem_write: width";
-  contents.(addr) <- value
+let poke (T ((module M), s)) name bits = M.poke s name bits
+let poke_int (T ((module M), s)) name n = M.poke_int s name n
+let peek (T ((module M), s)) name = M.peek s name
+let peek_int (T ((module M), s)) name = M.peek_int s name
+let peek_bool (T ((module M), s)) name = M.peek_bool s name
+let peek_signal (T ((module M), s)) signal = M.peek_signal s signal
+let reset (T ((module M), s)) = M.reset s
+let mem_read (T ((module M), s)) m addr = M.mem_read s m addr
+let mem_write (T ((module M), s)) m addr value = M.mem_write s m addr value

@@ -1,14 +1,43 @@
-(** Cycle-accurate two-phase simulator.
+(** Cycle-accurate two-phase simulator, backend-agnostic front end.
 
     Each {!cycle}: settle all combinational nodes in topological
     order, run observers, commit registers and memory writes, settle
     again (so peeks after [cycle] see the new state).  Poke inputs at
     any time; call {!settle} to observe their combinational effect
-    before committing. *)
+    before committing.
+
+    A {!t} packs one of the interchangeable backends behind a
+    first-class module:
+    - {!Sim_interp} ([Interp]) — the reference interpreter;
+    - {!Sim_compiled} ([Compiled]) — pre-compiled closures with an
+      unboxed-int fast path, several times faster per cycle.
+
+    Both are bit-identical (checked cycle-for-cycle by the test
+    suite); pick one per simulator via [?backend], plug in any other
+    implementation of {!Sim_intf.S} via {!create_from}, or flip the
+    process-wide {!default_backend}. *)
+
+type backend = Interp | Compiled
+
+val backend_of_string : string -> backend
+(** Accepts ["interp"]/["interpreter"] and ["compiled"]/["compile"];
+    raises [Invalid_argument] otherwise. *)
+
+val backend_to_string : backend -> string
+
+val default_backend : backend ref
+(** Backend used by {!create} when [?backend] is omitted.  [Interp]
+    initially. *)
 
 type t
 
-val create : Circuit.t -> t
+val create : ?backend:backend -> Circuit.t -> t
+
+val create_from : (module Sim_intf.S) -> Circuit.t -> t
+(** Instantiate an arbitrary backend implementation. *)
+
+val backend_name : t -> string
+(** Name of the packed backend ("interp", "compiled", ...). *)
 
 val settle : t -> unit
 (** Recompute all combinational values from current inputs/state. *)
@@ -40,7 +69,9 @@ val peek_bool : t -> string -> bool
 val peek_signal : t -> Signal.t -> Bits.t
 
 val reset : t -> unit
-(** Restore registers and memories to their initial contents. *)
+(** Restore registers and memories to their initial contents, and all
+    primary inputs to zero — a reset simulator matches a freshly
+    created one. *)
 
 val mem_read : t -> Signal.memory -> int -> Bits.t
 (** Direct testbench access to a memory's contents. *)

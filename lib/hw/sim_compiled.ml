@@ -1,0 +1,430 @@
+(* Compiled simulation backend.
+
+   At [create] time the levelized node order is compiled once into a
+   flat array of pre-resolved closures over mutable value storage, so
+   the per-cycle hot path does no polymorphic dispatch on node kinds
+   and — for narrow signals — no allocation at all:
+
+   - Signals of width <= [Bits.max_int_width] (62 on 64-bit hosts) live
+     in an unboxed [int array] indexed by uid; all of their operations
+     are plain integer arithmetic masked to the signal width.
+   - Wider signals (e.g. MD5's 128-bit digest bus) fall back to
+     [Bits.t] storage and the same operations the interpreter uses.
+   - Constants are written once at build time, primary inputs are
+     written by [poke], and register outputs hold the latched state
+     directly, so none of them occupy a slot in the settle schedule.
+
+   Semantics are bit-identical to [Sim_interp] (the test suite checks
+   this cycle-for-cycle on randomized circuits): two-phase
+   settle/commit, registers sampled before any write, memory write
+   ports applied in creation order (last-added wins), out-of-range
+   memory reads return zero, out-of-range writes are dropped, and
+   out-of-range mux selects clamp to the last case. *)
+
+let name = "compiled"
+
+let maxw = Bits.max_int_width
+
+(* Mask of the low [w] bits, w <= maxw.  For w = maxw the shift wraps
+   through the sign bit, so special-case it to [max_int]. *)
+let mask w = if w >= maxw then max_int else (1 lsl w) - 1
+
+type mem_store =
+  | Imem of { arr : int array; init : int array }
+  | Bmem of { arr : Bits.t array; init : Bits.t array }
+
+type reg_step = {
+  sample : unit -> unit; (* latch next value into scratch (phase a) *)
+  write : unit -> unit; (* scratch -> state slot (phase c) *)
+  reset_reg : unit -> unit; (* state slot <- init value *)
+}
+
+type t = {
+  circuit : Circuit.t;
+  ivals : int array; (* uid -> value, signals of width <= maxw *)
+  bvals : Bits.t array; (* uid -> value, wider signals *)
+  mem_state : (int, mem_store) Hashtbl.t; (* mem_uid -> contents *)
+  steps : (unit -> unit) array; (* settle schedule, levelized order *)
+  reg_steps : reg_step array;
+  mem_commits : (unit -> unit) array; (* write ports, phase b *)
+  input_resets : (unit -> unit) array;
+  mutable cycle_no : int;
+  mutable observers : (t -> unit) list;
+}
+
+let is_int (s : Signal.t) = s.Signal.width <= maxw
+
+let create circuit =
+  let n = circuit.Circuit.max_uid in
+  let ivals = Array.make n 0 in
+  let bvals = Array.make n (Bits.zero 1) in
+  let mem_state = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Signal.memory) ->
+      let init =
+        match m.Signal.init_contents with
+        | Some a -> a
+        | None -> Array.make m.Signal.size (Bits.zero m.Signal.mem_width)
+      in
+      let store =
+        if m.Signal.mem_width <= maxw then
+          let init = Array.map Bits.to_int_exn init in
+          Imem { arr = Array.copy init; init }
+        else Bmem { arr = Array.copy init; init }
+      in
+      Hashtbl.replace mem_state m.Signal.mem_uid store)
+    circuit.Circuit.memories;
+  (* Give every wide slot a correctly-sized zero so peeks before the
+     first settle already have the right width. *)
+  Circuit.iter_nodes circuit (fun (s : Signal.t) ->
+      if not (is_int s) then bvals.(s.Signal.uid) <- Bits.zero s.Signal.width);
+  (* Operand accessors, pre-resolved to a storage slot. *)
+  let get_int_of (x : Signal.t) =
+    (* Truncated int view of any operand (matches Bits.to_int_trunc). *)
+    let xi = x.Signal.uid in
+    if is_int x then fun () -> ivals.(xi) else fun () -> Bits.to_int_trunc bvals.(xi)
+  in
+  let get_bits_of (x : Signal.t) =
+    let xi = x.Signal.uid and xw = x.Signal.width in
+    if is_int x then fun () -> Bits.of_int ~width:xw ivals.(xi)
+    else fun () -> bvals.(xi)
+  in
+  let compile (s : Signal.t) : (unit -> unit) option =
+    let d = s.Signal.uid in
+    let w = s.Signal.width in
+    if is_int s then begin
+      let m = mask w in
+      match s.Signal.op with
+      | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> None
+      | Signal.Wire { driver = Some x } ->
+        let xi = x.Signal.uid in
+        Some (fun () -> ivals.(d) <- ivals.(xi))
+      | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
+      | Signal.Not x ->
+        let xi = x.Signal.uid in
+        Some (fun () -> ivals.(d) <- lnot ivals.(xi) land m)
+      | Signal.Binop (op, x, y) ->
+        let xi = x.Signal.uid and yi = y.Signal.uid in
+        (match op with
+         | Signal.And -> Some (fun () -> ivals.(d) <- ivals.(xi) land ivals.(yi))
+         | Signal.Or -> Some (fun () -> ivals.(d) <- ivals.(xi) lor ivals.(yi))
+         | Signal.Xor -> Some (fun () -> ivals.(d) <- ivals.(xi) lxor ivals.(yi))
+         | Signal.Add -> Some (fun () -> ivals.(d) <- (ivals.(xi) + ivals.(yi)) land m)
+         | Signal.Sub -> Some (fun () -> ivals.(d) <- (ivals.(xi) - ivals.(yi)) land m)
+         | Signal.Mul ->
+           (* Node width = sum of operand widths <= maxw: the product
+              cannot overflow, no mask needed. *)
+           Some (fun () -> ivals.(d) <- ivals.(xi) * ivals.(yi))
+         | Signal.Eq ->
+           if is_int x then Some (fun () -> ivals.(d) <- if ivals.(xi) = ivals.(yi) then 1 else 0)
+           else Some (fun () -> ivals.(d) <- if Bits.equal bvals.(xi) bvals.(yi) then 1 else 0)
+         | Signal.Ult ->
+           (* Int-path values are non-negative, so OCaml's (<) is an
+              unsigned compare. *)
+           if is_int x then Some (fun () -> ivals.(d) <- if ivals.(xi) < ivals.(yi) then 1 else 0)
+           else Some (fun () -> ivals.(d) <- if Bits.ult bvals.(xi) bvals.(yi) then 1 else 0)
+         | Signal.Slt ->
+           if is_int x then begin
+             (* Flipping the sign bit turns signed order into unsigned. *)
+             let sb = 1 lsl (x.Signal.width - 1) in
+             Some
+               (fun () ->
+                 ivals.(d) <- if ivals.(xi) lxor sb < ivals.(yi) lxor sb then 1 else 0)
+           end
+           else Some (fun () -> ivals.(d) <- if Bits.slt bvals.(xi) bvals.(yi) then 1 else 0))
+      | Signal.Mux (sel, cases) ->
+        let ncases = Array.length cases in
+        let case_uids = Array.map (fun (c : Signal.t) -> c.Signal.uid) cases in
+        let get_sel = get_int_of sel in
+        if ncases = 2 then begin
+          let u0 = case_uids.(0) and u1 = case_uids.(1) in
+          Some (fun () -> ivals.(d) <- if get_sel () = 0 then ivals.(u0) else ivals.(u1))
+        end
+        else
+          Some
+            (fun () ->
+              let i = get_sel () in
+              let i = if i >= ncases then ncases - 1 else i in
+              ivals.(d) <- ivals.(case_uids.(i)))
+      | Signal.Concat parts ->
+        (* Total width <= maxw, so every part is on the int path. *)
+        let us = Array.of_list (List.map (fun (p : Signal.t) -> p.Signal.uid) parts) in
+        let ws = Array.of_list (List.map (fun (p : Signal.t) -> p.Signal.width) parts) in
+        Some
+          (fun () ->
+            let acc = ref 0 in
+            for i = 0 to Array.length us - 1 do
+              acc := (!acc lsl ws.(i)) lor ivals.(us.(i))
+            done;
+            ivals.(d) <- !acc)
+      | Signal.Select { hi = _; lo; arg } when is_int arg ->
+        let ai = arg.Signal.uid in
+        Some (fun () -> ivals.(d) <- (ivals.(ai) lsr lo) land m)
+      | Signal.Select { hi; lo; arg } ->
+        let ai = arg.Signal.uid in
+        Some (fun () -> ivals.(d) <- Bits.select_int bvals.(ai) ~hi ~lo)
+      | Signal.Mem_read { mem; addr } ->
+        let size = mem.Signal.size in
+        let get_addr = get_int_of addr in
+        (match Hashtbl.find mem_state mem.Signal.mem_uid with
+         | Imem { arr; _ } ->
+           Some
+             (fun () ->
+               let a = get_addr () in
+               ivals.(d) <- if a < size then arr.(a) else 0)
+         | Bmem _ -> assert false (* store width = node width <= maxw *))
+    end
+    else begin
+      (* Wide fallback: same computations as the interpreter, over
+         [Bits.t] slots.  Narrow operands (e.g. a full multiplier's
+         factors) are boxed on the fly. *)
+      match s.Signal.op with
+      | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> None
+      | Signal.Wire { driver = Some x } ->
+        let xi = x.Signal.uid in
+        Some (fun () -> bvals.(d) <- bvals.(xi))
+      | Signal.Wire { driver = None } -> assert false
+      | Signal.Not x ->
+        let gx = get_bits_of x in
+        Some (fun () -> bvals.(d) <- Bits.lnot (gx ()))
+      | Signal.Binop (op, x, y) ->
+        let gx = get_bits_of x and gy = get_bits_of y in
+        let f =
+          match op with
+          | Signal.And -> Bits.logand
+          | Signal.Or -> Bits.logor
+          | Signal.Xor -> Bits.logxor
+          | Signal.Add -> Bits.add
+          | Signal.Sub -> Bits.sub
+          | Signal.Mul -> Bits.mul
+          | Signal.Eq | Signal.Ult | Signal.Slt ->
+            assert false (* comparisons are 1 bit wide: int path *)
+        in
+        Some (fun () -> bvals.(d) <- f (gx ()) (gy ()))
+      | Signal.Mux (sel, cases) ->
+        let ncases = Array.length cases in
+        let case_uids = Array.map (fun (c : Signal.t) -> c.Signal.uid) cases in
+        let get_sel = get_int_of sel in
+        Some
+          (fun () ->
+            let i = get_sel () in
+            let i = if i >= ncases then ncases - 1 else i in
+            bvals.(d) <- bvals.(case_uids.(i)))
+      | Signal.Concat parts ->
+        let getters = List.map get_bits_of parts in
+        Some (fun () -> bvals.(d) <- Bits.concat (List.map (fun g -> g ()) getters))
+      | Signal.Select { hi; lo; arg } ->
+        (* The slice is wider than maxw, so the argument is too. *)
+        let ai = arg.Signal.uid in
+        Some (fun () -> bvals.(d) <- Bits.select bvals.(ai) ~hi ~lo)
+      | Signal.Mem_read { mem; addr } ->
+        let size = mem.Signal.size in
+        let zero = Bits.zero mem.Signal.mem_width in
+        let get_addr = get_int_of addr in
+        (match Hashtbl.find mem_state mem.Signal.mem_uid with
+         | Bmem { arr; _ } ->
+           Some
+             (fun () ->
+               let a = get_addr () in
+               bvals.(d) <- if a < size then arr.(a) else zero)
+         | Imem _ -> assert false)
+    end
+  in
+  let steps = ref [] in
+  Circuit.iter_nodes circuit (fun s ->
+      (* Constants and initial register/input values are written into
+         their slots here; they need no settle step. *)
+      (match s.Signal.op with
+       | Signal.Const c ->
+         if is_int s then ivals.(s.Signal.uid) <- Bits.to_int_exn c
+         else bvals.(s.Signal.uid) <- c
+       | Signal.Reg r ->
+         if is_int s then ivals.(s.Signal.uid) <- Bits.to_int_exn r.Signal.init
+         else bvals.(s.Signal.uid) <- r.Signal.init
+       | _ -> ());
+      match compile s with Some f -> steps := f :: !steps | None -> ());
+  let steps = Array.of_list (List.rev !steps) in
+  (* Register commit: latch every next value before writing any state
+     slot, so simultaneous register-to-register exchanges are safe. *)
+  let compile_reg (s : Signal.t) =
+    match s.Signal.op with
+    | Signal.Reg r ->
+      let slot = s.Signal.uid in
+      let get_clear =
+        match r.Signal.clear with
+        | None -> fun () -> false
+        | Some c -> let ci = c.Signal.uid in fun () -> ivals.(ci) <> 0
+      in
+      let get_enable =
+        match r.Signal.enable with
+        | None -> fun () -> true
+        | Some e -> let ei = e.Signal.uid in fun () -> ivals.(ei) <> 0
+      in
+      if is_int s then begin
+        let di = r.Signal.d.Signal.uid in
+        let clear_to = Bits.to_int_exn r.Signal.clear_to in
+        let init = Bits.to_int_exn r.Signal.init in
+        let scratch = ref 0 in
+        { sample =
+            (fun () ->
+              scratch :=
+                if get_clear () then clear_to
+                else if get_enable () then ivals.(di)
+                else ivals.(slot));
+          write = (fun () -> ivals.(slot) <- !scratch);
+          reset_reg = (fun () -> ivals.(slot) <- init) }
+      end
+      else begin
+        let di = r.Signal.d.Signal.uid in
+        let scratch = ref r.Signal.init in
+        { sample =
+            (fun () ->
+              scratch :=
+                if get_clear () then r.Signal.clear_to
+                else if get_enable () then bvals.(di)
+                else bvals.(slot));
+          write = (fun () -> bvals.(slot) <- !scratch);
+          reset_reg = (fun () -> bvals.(slot) <- r.Signal.init) }
+      end
+    | _ -> assert false
+  in
+  let reg_steps =
+    Array.of_list (List.map compile_reg (Circuit.registers circuit))
+  in
+  (* Memory write ports, in creation order (last-added wins). *)
+  let compile_mem (m : Signal.memory) =
+    let size = m.Signal.size in
+    let store = Hashtbl.find mem_state m.Signal.mem_uid in
+    let ports =
+      List.map
+        (fun (p : Signal.write_port) ->
+          let wei = p.Signal.we.Signal.uid in
+          let get_addr = get_int_of p.Signal.waddr in
+          match store with
+          | Imem { arr; _ } ->
+            let di = p.Signal.wdata.Signal.uid in
+            fun () ->
+              if ivals.(wei) <> 0 then begin
+                let a = get_addr () in
+                if a < size then arr.(a) <- ivals.(di)
+              end
+          | Bmem { arr; _ } ->
+            let di = p.Signal.wdata.Signal.uid in
+            fun () ->
+              if ivals.(wei) <> 0 then begin
+                let a = get_addr () in
+                if a < size then arr.(a) <- bvals.(di)
+              end)
+        (List.rev m.Signal.write_ports)
+    in
+    let ports = Array.of_list ports in
+    fun () -> Array.iter (fun p -> p ()) ports
+  in
+  let mem_commits =
+    Array.of_list (List.map compile_mem circuit.Circuit.memories)
+  in
+  let input_resets =
+    let rs = ref [] in
+    Circuit.iter_nodes circuit (fun (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Input _ ->
+          let slot = s.Signal.uid and w = s.Signal.width in
+          let r =
+            if is_int s then fun () -> ivals.(slot) <- 0
+            else fun () -> bvals.(slot) <- Bits.zero w
+          in
+          rs := r :: !rs
+        | _ -> ());
+    Array.of_list !rs
+  in
+  { circuit; ivals; bvals; mem_state; steps; reg_steps; mem_commits;
+    input_resets; cycle_no = 0; observers = [] }
+
+let settle t =
+  let steps = t.steps in
+  for i = 0 to Array.length steps - 1 do
+    (Array.unsafe_get steps i) ()
+  done
+
+let commit t =
+  (* Phase a: sample every register's next value (old slot values).
+     Phase b: memory writes, which also read pre-commit slot values.
+     Phase c: registers latch. *)
+  Array.iter (fun r -> r.sample ()) t.reg_steps;
+  Array.iter (fun f -> f ()) t.mem_commits;
+  Array.iter (fun r -> r.write ()) t.reg_steps
+
+let cycle t =
+  settle t;
+  List.iter (fun f -> f t) (List.rev t.observers);
+  commit t;
+  t.cycle_no <- t.cycle_no + 1;
+  settle t
+
+let cycles t n = for _ = 1 to n do cycle t done
+
+let cycle_no t = t.cycle_no
+
+let circuit t = t.circuit
+
+let on_cycle t f = t.observers <- f :: t.observers
+
+let input_signal t fname name =
+  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
+  | None -> invalid_arg (Printf.sprintf "Sim.%s: no input named %s" fname name)
+  | Some s -> s
+
+let poke t name bits =
+  let s = input_signal t "poke" name in
+  if Bits.width bits <> s.Signal.width then
+    invalid_arg
+      (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
+         (Bits.width bits) s.Signal.width);
+  if is_int s then t.ivals.(s.Signal.uid) <- Bits.to_int_exn bits
+  else t.bvals.(s.Signal.uid) <- bits
+
+let poke_int t name n =
+  let s = input_signal t "poke_int" name in
+  poke t name (Bits.of_int ~width:s.Signal.width n)
+
+let peek_signal t (s : Signal.t) =
+  if is_int s then Bits.of_int ~width:s.Signal.width t.ivals.(s.Signal.uid)
+  else t.bvals.(s.Signal.uid)
+
+let peek t name = peek_signal t (Circuit.find_named t.circuit name)
+
+let peek_int t name =
+  let s = Circuit.find_named t.circuit name in
+  if is_int s then t.ivals.(s.Signal.uid) else Bits.to_int t.bvals.(s.Signal.uid)
+
+let peek_bool t name =
+  let s = Circuit.find_named t.circuit name in
+  if is_int s then t.ivals.(s.Signal.uid) <> 0 else Bits.to_bool t.bvals.(s.Signal.uid)
+
+let reset t =
+  Array.iter (fun r -> r.reset_reg ()) t.reg_steps;
+  Hashtbl.iter
+    (fun _ store ->
+      match store with
+      | Imem { arr; init } -> Array.blit init 0 arr 0 (Array.length arr)
+      | Bmem { arr; init } -> Array.blit init 0 arr 0 (Array.length arr))
+    t.mem_state;
+  Array.iter (fun f -> f ()) t.input_resets;
+  t.cycle_no <- 0;
+  settle t
+
+let find_store t (m : Signal.memory) fname addr =
+  if addr < 0 || addr >= m.Signal.size then
+    invalid_arg (Printf.sprintf "Sim.%s: out of range" fname);
+  Hashtbl.find t.mem_state m.Signal.mem_uid
+
+let mem_read t (m : Signal.memory) addr =
+  match find_store t m "mem_read" addr with
+  | Imem { arr; _ } -> Bits.of_int ~width:m.Signal.mem_width arr.(addr)
+  | Bmem { arr; _ } -> arr.(addr)
+
+let mem_write t (m : Signal.memory) addr value =
+  if Bits.width value <> m.Signal.mem_width then invalid_arg "Sim.mem_write: width";
+  match find_store t m "mem_write" addr with
+  | Imem { arr; _ } -> arr.(addr) <- Bits.to_int_exn value
+  | Bmem { arr; _ } -> arr.(addr) <- value

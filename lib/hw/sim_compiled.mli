@@ -1,0 +1,11 @@
+(** Compiled simulation backend.
+
+    [create] compiles the levelized node order once into a flat array
+    of pre-resolved closures over mutable value storage.  Signals of
+    width <= {!Bits.max_int_width} are stored as unboxed OCaml ints
+    (no limb arrays, no per-cycle allocation on the hot path); wider
+    signals fall back to [Bits.t].  Bit-identical to {!Sim_interp};
+    several times faster per simulated cycle.  Use through {!Sim}
+    unless backend-specific typing is needed. *)
+
+include Sim_intf.S

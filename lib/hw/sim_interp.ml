@@ -1,0 +1,193 @@
+(* Reference cycle-accurate two-phase interpreter.
+
+   Phase 1 (settle): evaluate every combinational node in topological
+   order.  Phase 2 (commit): registers latch their sampled next values
+   and memory write ports take effect.  [cycle] = settle, run observers,
+   commit, settle again, so that peeking after [cycle] reflects the new
+   state.  Out-of-range memory reads return zero; out-of-range writes
+   are dropped.
+
+   This backend walks the node array through polymorphic dispatch and
+   allocates fresh [Bits.t] per node per cycle; it is the simple,
+   obviously-correct oracle that [Sim_compiled] is checked against. *)
+
+let name = "interp"
+
+type t = {
+  circuit : Circuit.t;
+  values : Bits.t array; (* indexed by uid; combinational values *)
+  reg_state : Bits.t array; (* indexed by uid, only Reg uids meaningful *)
+  input_values : Bits.t array;
+  mem_state : (int, Bits.t array) Hashtbl.t; (* mem_uid -> contents *)
+  regs : Signal.t array;
+  mutable cycle_no : int;
+  mutable observers : (t -> unit) list;
+}
+
+let mem_initial (m : Signal.memory) =
+  match m.Signal.init_contents with
+  | Some a -> Array.map (fun x -> x) a
+  | None -> Array.make m.Signal.size (Bits.zero m.Signal.mem_width)
+
+let create circuit =
+  let n = circuit.Circuit.max_uid in
+  let values = Array.make n (Bits.zero 1) in
+  let reg_state = Array.make n (Bits.zero 1) in
+  let input_values = Array.make n (Bits.zero 1) in
+  let mem_state = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Signal.memory) -> Hashtbl.replace mem_state m.Signal.mem_uid (mem_initial m))
+    circuit.Circuit.memories;
+  let regs = Array.of_list (Circuit.registers circuit) in
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.op with
+      | Signal.Reg r -> reg_state.(s.Signal.uid) <- r.Signal.init
+      | _ -> ())
+    regs;
+  Circuit.iter_nodes circuit (fun (s : Signal.t) ->
+      match s.Signal.op with
+      | Signal.Input _ -> input_values.(s.Signal.uid) <- Bits.zero s.Signal.width
+      | _ -> ());
+  { circuit; values; reg_state; input_values; mem_state; regs; cycle_no = 0;
+    observers = [] }
+
+let eval_node t (s : Signal.t) =
+  let v x = t.values.(x.Signal.uid) in
+  let value =
+    match s.Signal.op with
+    | Signal.Const c -> c
+    | Signal.Input _ -> t.input_values.(s.Signal.uid)
+    | Signal.Wire { driver = Some d } -> v d
+    | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
+    | Signal.Not x -> Bits.lnot (v x)
+    | Signal.Binop (op, x, y) ->
+      (match op with
+       | Signal.And -> Bits.logand (v x) (v y)
+       | Signal.Or -> Bits.logor (v x) (v y)
+       | Signal.Xor -> Bits.logxor (v x) (v y)
+       | Signal.Add -> Bits.add (v x) (v y)
+       | Signal.Sub -> Bits.sub (v x) (v y)
+       | Signal.Mul -> Bits.mul (v x) (v y)
+       | Signal.Eq -> Bits.of_bool (Bits.equal (v x) (v y))
+       | Signal.Ult -> Bits.of_bool (Bits.ult (v x) (v y))
+       | Signal.Slt -> Bits.of_bool (Bits.slt (v x) (v y)))
+    | Signal.Mux (sel, cases) ->
+      let i = Bits.to_int_trunc (v sel) in
+      let i = if i >= Array.length cases then Array.length cases - 1 else i in
+      v cases.(i)
+    | Signal.Concat parts -> Bits.concat (List.map v parts)
+    | Signal.Select { hi; lo; arg } -> Bits.select (v arg) ~hi ~lo
+    | Signal.Reg _ -> t.reg_state.(s.Signal.uid)
+    | Signal.Mem_read { mem; addr } ->
+      let contents = Hashtbl.find t.mem_state mem.Signal.mem_uid in
+      let a = Bits.to_int_trunc (v addr) in
+      if a < mem.Signal.size then contents.(a) else Bits.zero mem.Signal.mem_width
+  in
+  t.values.(s.Signal.uid) <- value
+
+let settle t = Array.iter (eval_node t) t.circuit.Circuit.order
+
+let commit t =
+  let v x = t.values.(x.Signal.uid) in
+  (* Sample every register's next value before writing any of them. *)
+  let nexts =
+    Array.map
+      (fun (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Reg r ->
+          let clear = match r.Signal.clear with Some c -> Bits.to_bool (v c) | None -> false in
+          let enable = match r.Signal.enable with Some e -> Bits.to_bool (v e) | None -> true in
+          if clear then r.Signal.clear_to
+          else if enable then v r.Signal.d
+          else t.reg_state.(s.Signal.uid)
+        | _ -> assert false)
+      t.regs
+  in
+  Array.iteri
+    (fun i (s : Signal.t) -> t.reg_state.(s.Signal.uid) <- nexts.(i))
+    t.regs;
+  List.iter
+    (fun (m : Signal.memory) ->
+      let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
+      (* Ports were prepended as added; apply in creation order so the
+         last-added port wins on an address conflict. *)
+      List.iter
+        (fun (p : Signal.write_port) ->
+          if Bits.to_bool (v p.Signal.we) then begin
+            let a = Bits.to_int_trunc (v p.Signal.waddr) in
+            if a < m.Signal.size then contents.(a) <- v p.Signal.wdata
+          end)
+        (List.rev m.Signal.write_ports))
+    t.circuit.Circuit.memories
+
+let cycle t =
+  settle t;
+  List.iter (fun f -> f t) (List.rev t.observers);
+  commit t;
+  t.cycle_no <- t.cycle_no + 1;
+  settle t
+
+let cycles t n = for _ = 1 to n do cycle t done
+
+let cycle_no t = t.cycle_no
+
+let circuit t = t.circuit
+
+let on_cycle t f = t.observers <- f :: t.observers
+
+let poke t name bits =
+  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
+  | None -> invalid_arg (Printf.sprintf "Sim.poke: no input named %s" name)
+  | Some s ->
+    if Bits.width bits <> s.Signal.width then
+      invalid_arg
+        (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
+           (Bits.width bits) s.Signal.width);
+    t.input_values.(s.Signal.uid) <- bits
+
+let poke_int t name n =
+  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
+  | None -> invalid_arg (Printf.sprintf "Sim.poke_int: no input named %s" name)
+  | Some s -> poke t name (Bits.of_int ~width:s.Signal.width n)
+
+let peek_signal t (s : Signal.t) = t.values.(s.Signal.uid)
+
+let peek t name = peek_signal t (Circuit.find_named t.circuit name)
+
+let peek_int t name = Bits.to_int (peek t name)
+
+let peek_bool t name = Bits.to_bool (peek t name)
+
+let reset t =
+  Array.iter
+    (fun (s : Signal.t) ->
+      match s.Signal.op with
+      | Signal.Reg r -> t.reg_state.(s.Signal.uid) <- r.Signal.init
+      | _ -> ())
+    t.regs;
+  List.iter
+    (fun (m : Signal.memory) ->
+      Hashtbl.replace t.mem_state m.Signal.mem_uid (mem_initial m))
+    t.circuit.Circuit.memories;
+  (* Inputs return to zero too: a reset simulator must be
+     indistinguishable from a freshly created one, not retain stale
+     poked values. *)
+  Circuit.iter_nodes t.circuit (fun (s : Signal.t) ->
+      match s.Signal.op with
+      | Signal.Input _ -> t.input_values.(s.Signal.uid) <- Bits.zero s.Signal.width
+      | _ -> ());
+  t.cycle_no <- 0;
+  settle t
+
+(* Direct memory access for testbenches (load programs, inspect data). *)
+let mem_read t (m : Signal.memory) addr =
+  let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
+  if addr < 0 || addr >= m.Signal.size then invalid_arg "Sim.mem_read: out of range";
+  contents.(addr)
+
+let mem_write t (m : Signal.memory) addr value =
+  let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
+  if addr < 0 || addr >= m.Signal.size then invalid_arg "Sim.mem_write: out of range";
+  if Bits.width value <> m.Signal.mem_width then invalid_arg "Sim.mem_write: width";
+  contents.(addr) <- value

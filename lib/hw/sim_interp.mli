@@ -1,0 +1,8 @@
+(** Reference interpreter backend.
+
+    Walks the levelized node order through polymorphic dispatch every
+    cycle — simple and obviously correct, the oracle the compiled
+    backend ({!Sim_compiled}) is validated against.  Use through
+    {!Sim} unless backend-specific typing is needed. *)
+
+include Sim_intf.S

@@ -1,0 +1,55 @@
+(* Signature shared by every simulation backend.
+
+   A backend is a cycle-accurate two-phase simulator of an elaborated
+   [Circuit.t]: [settle] evaluates the combinational nodes, [cycle]
+   runs settle / observers / commit / settle (so peeks after [cycle]
+   reflect the newly latched state).  [Sim] packs any backend behind a
+   first-class module so host code is backend-agnostic. *)
+
+module type S = sig
+  type t
+
+  val create : Circuit.t -> t
+
+  val name : string
+  (** Human-readable backend name ("interp", "compiled", ...). *)
+
+  val settle : t -> unit
+  (** Recompute all combinational values from current inputs/state. *)
+
+  val cycle : t -> unit
+  (** One clock cycle (settle, observe, commit, settle). *)
+
+  val cycles : t -> int -> unit
+
+  val cycle_no : t -> int
+  (** Number of cycles since creation or {!reset}. *)
+
+  val circuit : t -> Circuit.t
+
+  val on_cycle : t -> (t -> unit) -> unit
+  (** Register an observer called once per cycle, after settle and
+      before the state commit (it sees the cycle's settled values). *)
+
+  val poke : t -> string -> Bits.t -> unit
+  (** Set a primary input; takes effect at the next {!settle}/{!cycle}. *)
+
+  val poke_int : t -> string -> int -> unit
+
+  val peek : t -> string -> Bits.t
+  (** Read a named signal, output or input (see {!Circuit.find_named}). *)
+
+  val peek_int : t -> string -> int
+  val peek_bool : t -> string -> bool
+  val peek_signal : t -> Signal.t -> Bits.t
+
+  val reset : t -> unit
+  (** Restore registers and memories to their initial contents and all
+      primary inputs to zero, so a reset simulator is indistinguishable
+      from a freshly created one. *)
+
+  val mem_read : t -> Signal.memory -> int -> Bits.t
+  (** Direct testbench access to a memory's contents. *)
+
+  val mem_write : t -> Signal.memory -> int -> Bits.t -> unit
+end

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "elastic_mt"
     [ Test_bits.suite;
       Test_hw.suite;
+      Test_sim_backends.suite;
       Test_arbiter.suite;
       Test_elastic.suite;
       Test_melastic.suite;

@@ -223,9 +223,62 @@ let properties =
         = Bits.popcount va + Bits.popcount vb - (2 * Bits.popcount (Bits.logand va vb)))
   ]
 
+let test_random () =
+  (* Regression: [random] used to raise [Invalid_argument] for any
+     multi-limb value because it asked [Random.State.int] for a full
+     2^32 bound (the limit is 2^30).  It must never raise, must return
+     values of the requested width, and must normalize (mask) the top
+     limb so structural equality works. *)
+  let st = Random.State.make [| 7 |] in
+  List.iter
+    (fun w ->
+      for _ = 1 to 20 do
+        let v = Bits.random st ~width:w in
+        Alcotest.(check int) "width" w (Bits.width v);
+        Alcotest.(check bool)
+          (Printf.sprintf "normalized at width %d" w)
+          true
+          (Bits.equal v (Bits.select v ~hi:(w - 1) ~lo:0))
+      done)
+    [ 1; 7; 30; 31; 32; 33; 62; 63; 64; 127; 128; 200 ];
+  (* Sanity that the draws are not degenerate: a 1-bit draw produces a
+     one, and a 128-bit draw populates the high limbs, within a few
+     hundred attempts. *)
+  let eventually p w =
+    let rec go n = n < 200 && (p (Bits.random st ~width:w) || go (n + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ones appear" true
+    (eventually (fun v -> Bits.to_int v = 1) 1);
+  Alcotest.(check bool) "high limbs populated" true
+    (eventually (fun v -> Bits.popcount (Bits.select v ~hi:127 ~lo:96) > 0) 128)
+
+let test_int_fast_path () =
+  (* [to_int_exn] and [select_int] back the compiled simulator's
+     unboxed-int value domain. *)
+  Alcotest.(check int) "to_int_exn" 0xdead_beef
+    (Bits.to_int_exn (Bits.of_int ~width:62 0xdead_beef));
+  Alcotest.(check bool) "to_int_exn rejects wide" true
+    (try
+       ignore (Bits.to_int_exn (Bits.zero 128));
+       false
+     with Invalid_argument _ -> true);
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 100 do
+    let v = Bits.random st ~width:150 in
+    let lo = Random.int 150 in
+    let hi = min 149 (lo + Random.int (Bits.max_int_width - 1)) in
+    Alcotest.(check int)
+      (Printf.sprintf "select_int [%d:%d]" hi lo)
+      (Bits.to_int_exn (Bits.select v ~hi ~lo))
+      (Bits.select_int v ~hi ~lo)
+  done
+
 let suite =
   ( "bits",
-    [ Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    [ Alcotest.test_case "random never raises" `Quick test_random;
+      Alcotest.test_case "int fast path" `Quick test_int_fast_path;
+      Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
       Alcotest.test_case "of_int_trunc" `Quick test_of_int_trunc;
       Alcotest.test_case "binary strings" `Quick test_binary_string;
       Alcotest.test_case "hex strings" `Quick test_hex_string;

@@ -250,6 +250,29 @@ let test_reset () =
   Alcotest.(check int) "reset" 0 (Hw.Sim.peek_int sim "count");
   Alcotest.(check int) "cycle_no reset" 0 (Hw.Sim.cycle_no sim)
 
+let test_reset_clears_inputs () =
+  (* Regression: [reset] restored registers and memories but left
+     poked input values behind, so a reset simulator diverged from a
+     fresh one.  Inputs must return to zero, on both backends. *)
+  let b = S.Builder.create () in
+  let x = S.input b "x" 8 in
+  ignore (S.output b "y" (S.add b x (S.of_int b ~width:8 1)));
+  let circuit = Hw.Circuit.create b in
+  List.iter
+    (fun backend ->
+      let sim = Hw.Sim.create ~backend circuit in
+      Hw.Sim.poke_int sim "x" 41;
+      Hw.Sim.cycle sim;
+      Alcotest.(check int) "poked" 42 (Hw.Sim.peek_int sim "y");
+      Hw.Sim.reset sim;
+      Alcotest.(check int)
+        (Hw.Sim.backend_to_string backend ^ ": input cleared")
+        0 (Hw.Sim.peek_int sim "x");
+      Alcotest.(check int)
+        (Hw.Sim.backend_to_string backend ^ ": comb resettled")
+        1 (Hw.Sim.peek_int sim "y"))
+    [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+
 (* Property: a registered adder pipeline computes the same as Bits. *)
 let prop_adder_pipeline =
   let arb =
@@ -292,4 +315,5 @@ let suite =
       Alcotest.test_case "onehot codecs" `Quick test_onehot;
       Alcotest.test_case "lfsr" `Quick test_lfsr;
       Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "reset clears inputs" `Quick test_reset_clears_inputs;
       prop_adder_pipeline ] )

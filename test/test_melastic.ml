@@ -168,6 +168,44 @@ let test_reduced_single_full_invariant () =
   Workload.Mt_driver.run d 300;
   Alcotest.(check bool) "at most one FULL thread" false !violated
 
+(* The reduced MEB stores at most S+1 words (S mains + one shared
+   aux), so its occupancy probe must be [clog2 (S+2)] bits and never
+   read above S+1 — it used to be sized for the full MEB's 2S. *)
+let test_reduced_occupancy_invariant () =
+  List.iter
+    (fun threads ->
+      let b = S.Builder.create () in
+      let width = 16 in
+      let src = Mc.source b ~name:"src" ~threads ~width in
+      let m = Melastic.Meb_reduced.create ~name:"m" b src in
+      Mc.sink b ~name:"snk" m.Melastic.Meb_reduced.out;
+      let occ = S.output b "occ" m.Melastic.Meb_reduced.occupancy in
+      Alcotest.(check int)
+        (Printf.sprintf "occupancy width for %d threads" threads)
+        (S.clog2 (threads + 2))
+        (S.width occ);
+      let sim = Hw.Sim.create (Hw.Circuit.create b) in
+      let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+      let st = Random.State.make [| 1234 + threads |] in
+      for t = 0 to threads - 1 do
+        for i = 0 to 19 do Workload.Mt_driver.push_int d ~thread:t ((t * 100) + i) done
+      done;
+      Workload.Mt_driver.set_sink_ready d (fun _ _ -> Random.State.bool st);
+      let max_occ = ref 0 in
+      Hw.Sim.on_cycle sim (fun sim ->
+          max_occ := max !max_occ (Hw.Sim.peek_int sim "occ"));
+      Workload.Mt_driver.run d 400;
+      if !max_occ > threads + 1 then
+        Alcotest.failf "occupancy reached %d with %d threads (max is S+1 = %d)"
+          !max_occ threads (threads + 1);
+      (* Under random stalls the buffer does fill: the shared slot
+         must actually be used, otherwise the bound is untested. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "occupancy reaches S+1 (%d threads)" threads)
+        true
+        (!max_occ = threads + 1))
+    [ 1; 2; 3; 4 ]
+
 (* Property: random traffic and stalls never lose, duplicate or reorder
    any thread's tokens, for both MEB kinds and both policies. *)
 let prop_mt_fifo =
@@ -683,6 +721,8 @@ let suite =
     @ kind_cases "blocked thread recovers" test_blocked_thread_recovers
     @ [ Alcotest.test_case "reduced: single FULL invariant" `Quick
           test_reduced_single_full_invariant;
+        Alcotest.test_case "reduced MEB occupancy <= S+1" `Quick
+          test_reduced_occupancy_invariant;
         prop_mt_fifo;
         Alcotest.test_case "M-Join pairs per thread" `Quick test_m_join_pairs;
         Alcotest.test_case "M-Join double ready-aware is cyclic" `Quick

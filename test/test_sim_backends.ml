@@ -1,0 +1,348 @@
+(* Cross-backend equivalence: the compiled backend (Sim_compiled) must
+   be bit-identical, cycle for cycle, to the reference interpreter
+   (Sim_interp) — on randomized circuits covering every node kind in
+   both the unboxed-int and wide (Bits.t) value domains, and on the
+   real tier-1 workloads (MD5 datapath, multithreaded CPU). *)
+
+module S = Hw.Signal
+
+let both circuit =
+  ( Hw.Sim.create ~backend:Hw.Sim.Interp circuit,
+    Hw.Sim.create ~backend:Hw.Sim.Compiled circuit )
+
+(* Compare every output of two simulators of the same circuit. *)
+let check_outputs tag si sc =
+  List.iter
+    (fun (name, _) ->
+      let vi = Hw.Sim.peek si name and vc = Hw.Sim.peek sc name in
+      if not (Bits.equal vi vc) then
+        Alcotest.failf "%s: output %S differs: interp=%s compiled=%s" tag name
+          (Bits.to_string vi) (Bits.to_string vc))
+    (Hw.Sim.circuit si).Hw.Circuit.outputs
+
+(* Drive both simulators with identical random input values for
+   [cycles] cycles, checking all outputs after every settle and every
+   cycle (so both combinational and committed state must agree). *)
+let drive_lockstep ?(cycles = 30) st si sc =
+  let inputs =
+    Hashtbl.fold
+      (fun name (s : S.t) acc -> (name, s.S.width) :: acc)
+      (Hw.Sim.circuit si).Hw.Circuit.inputs []
+  in
+  for c = 1 to cycles do
+    List.iter
+      (fun (name, w) ->
+        let v = Bits.random st ~width:w in
+        Hw.Sim.poke si name v;
+        Hw.Sim.poke sc name v)
+      inputs;
+    Hw.Sim.settle si;
+    Hw.Sim.settle sc;
+    check_outputs (Printf.sprintf "settle %d" c) si sc;
+    Hw.Sim.cycle si;
+    Hw.Sim.cycle sc;
+    check_outputs (Printf.sprintf "cycle %d" c) si sc
+  done
+
+(* Random feed-forward circuit generator.  Widths span 1..96 so both
+   the int fast path (<= Bits.max_int_width) and the wide Bits.t path
+   are exercised, including mixed-width nodes (int node over wide
+   operands and vice versa). *)
+let random_width st = 1 + Random.State.int st 96
+
+let random_circuit st =
+  let b = S.Builder.create () in
+  let n_inputs = 3 + Random.State.int st 3 in
+  let pool = ref [] in
+  let push s = if S.width s <= 160 then pool := s :: !pool in
+  for i = 0 to n_inputs - 1 do
+    push (S.input b (Printf.sprintf "in%d" i) (random_width st))
+  done;
+  (* A couple of constants, including boundary widths around the
+     int/wide split. *)
+  List.iter
+    (fun w -> push (S.const b (Bits.random st ~width:w)))
+    [ 1; Bits.max_int_width; Bits.max_int_width + 1; random_width st ];
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let pick_resized w = S.uresize b (pick ()) w in
+  (* A register with feedback, so state depends on history. *)
+  push
+    (S.reg_fb b ~width:(random_width st) (fun q ->
+         S.add b q (pick_resized (S.width q))));
+  for _ = 1 to 50 do
+    match Random.State.int st 13 with
+    | 0 -> push (S.lnot b (pick ()))
+    | 1 | 2 ->
+      let x = pick () in
+      let w = S.width x in
+      let y = pick_resized w in
+      let op =
+        match Random.State.int st 6 with
+        | 0 -> S.land_
+        | 1 -> S.lor_
+        | 2 -> S.lxor_
+        | 3 -> S.add
+        | 4 -> S.sub
+        | _ -> S.lxor_
+      in
+      push (op b x y)
+    | 3 ->
+      let x = pick () in
+      (* [mul] takes equal widths and doubles; keep products bounded. *)
+      if S.width x <= 75 then push (S.mul b x (pick_resized (S.width x)))
+    | 4 ->
+      let x = pick () in
+      let y = pick_resized (S.width x) in
+      let cmp =
+        match Random.State.int st 3 with 0 -> S.eq | 1 -> S.ult | _ -> S.slt
+      in
+      push (cmp b x y)
+    | 5 ->
+      (* Mux with fewer cases than the selector can address, so
+         out-of-range selects exercise clamp-to-last-case. *)
+      let sel = pick () in
+      (* The builder's case-count check computes [1 lsl sel.width],
+         which overflows for very wide selectors; keep them modest. *)
+      let sel = if S.width sel > 16 then S.select b sel ~hi:15 ~lo:0 else sel in
+      let n = 2 + Random.State.int st 3 in
+      let max_cases = if S.width sel >= 3 then n else 1 lsl S.width sel in
+      let n = min n max_cases in
+      let w = random_width st in
+      push (S.mux b sel (List.init n (fun _ -> pick_resized w)))
+    | 6 ->
+      let n = 1 + Random.State.int st 3 in
+      let parts = List.init n (fun _ -> pick ()) in
+      if List.fold_left (fun a s -> a + S.width s) 0 parts <= 160 then
+        push (S.concat_msb b parts)
+    | 7 ->
+      let x = pick () in
+      let w = S.width x in
+      let lo = Random.State.int st w in
+      let hi = lo + Random.State.int st (w - lo) in
+      push (S.select b x ~hi ~lo)
+    | 8 ->
+      let d = pick () in
+      let enable =
+        if Random.State.int st 2 = 0 then Some (pick_resized 1) else None
+      in
+      let clear =
+        if Random.State.int st 3 = 0 then Some (pick_resized 1) else None
+      in
+      push
+        (S.reg b ?enable ?clear
+           ~clear_to:(Bits.random st ~width:(S.width d))
+           ~init:(Bits.random st ~width:(S.width d))
+           d)
+    | 9 -> push (S.const b (Bits.random st ~width:(random_width st)))
+    | 10 ->
+      let x = pick () in
+      let k = Random.State.int st (S.width x) in
+      push ((if Random.State.int st 2 = 0 then S.rotl else S.rotr) b x k)
+    | 11 -> push (S.sresize b (pick ()) (random_width st))
+    | _ ->
+      let x = pick () in
+      push (S.srl_dyn b x (pick_resized (max 1 (S.clog2 (S.width x + 1)))))
+  done;
+  (* One memory with two write ports; narrow address space so writes
+     collide (port priority) and some addresses are out of range. *)
+  let mw = random_width st in
+  let mem = S.Memory.create b ~name:"m" ~size:6 ~width:mw () in
+  for _ = 1 to 2 do
+    S.Memory.write b mem ~we:(pick_resized 1) ~addr:(pick_resized 3)
+      ~data:(pick_resized mw)
+  done;
+  push (S.Memory.read_async b mem ~addr:(pick_resized 3));
+  push (S.Memory.read_sync b mem ~enable:(pick_resized 1) ~addr:(pick_resized 3) ());
+  (* Expose a sample of the pool (always including the most recently
+     created nodes, which transitively reference the rest). *)
+  List.iteri
+    (fun i s -> ignore (S.output b (Printf.sprintf "o%d" i) s))
+    (List.filteri (fun i _ -> i < 12) !pool);
+  Hw.Circuit.create b
+
+let test_random_circuits () =
+  let st = Random.State.make [| 0xbeef |] in
+  for _ = 1 to 25 do
+    let circuit = random_circuit st in
+    let si, sc = both circuit in
+    drive_lockstep st si sc
+  done
+
+let test_reset_equivalence () =
+  (* After reset, both backends must match a freshly created pair —
+     including inputs returning to zero. *)
+  let st = Random.State.make [| 0xf00d |] in
+  for _ = 1 to 5 do
+    let circuit = random_circuit st in
+    let si, sc = both circuit in
+    drive_lockstep ~cycles:10 st si sc;
+    Hw.Sim.reset si;
+    Hw.Sim.reset sc;
+    check_outputs "after reset" si sc;
+    let fi, fc = both circuit in
+    Hw.Sim.settle fi;
+    Hw.Sim.settle fc;
+    check_outputs "reset interp = fresh interp" si fi;
+    check_outputs "reset compiled = fresh compiled" sc fc;
+    (* And the reset pair must track a fresh pair cycle-for-cycle
+       under identical stimulus. *)
+    let st2 = Random.State.copy st in
+    drive_lockstep ~cycles:10 st si sc;
+    drive_lockstep ~cycles:10 st2 fi fc;
+    check_outputs "replay interp" si fi;
+    check_outputs "replay compiled" sc fc
+  done
+
+(* Directed: mux out-of-range clamping on the compiled backend, for an
+   int-width and a wide-width mux. *)
+let test_mux_clamp_compiled () =
+  List.iter
+    (fun w ->
+      let b = S.Builder.create () in
+      let sel = S.input b "sel" 4 in
+      let cases = List.map (fun n -> S.of_int b ~width:w n) [ 10; 20; 30 ] in
+      ignore (S.output b "out" (S.mux b sel cases));
+      let sim = Hw.Sim.create ~backend:Hw.Sim.Compiled (Hw.Circuit.create b) in
+      let expect sel_v out_v =
+        Hw.Sim.poke_int sim "sel" sel_v;
+        Hw.Sim.settle sim;
+        Alcotest.(check int)
+          (Printf.sprintf "w=%d sel=%d" w sel_v)
+          out_v
+          (Bits.to_int (Hw.Sim.peek sim "out"))
+      in
+      expect 0 10;
+      expect 1 20;
+      expect 2 30;
+      expect 3 30;
+      expect 15 30)
+    [ 8; 80 ]
+
+(* Directed: when two write ports hit the same address in the same
+   cycle, the last-added port wins — on both backends, for int-width
+   and wide memories. *)
+let test_mem_port_priority_compiled () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun backend ->
+          let b = S.Builder.create () in
+          let mem = S.Memory.create b ~name:"m" ~size:4 ~width:w () in
+          let vdd = S.vdd b and addr = S.of_int b ~width:2 1 in
+          S.Memory.write b mem ~we:vdd ~addr ~data:(S.of_int b ~width:w 11);
+          S.Memory.write b mem ~we:vdd ~addr ~data:(S.of_int b ~width:w 22);
+          ignore (S.output b "r" (S.Memory.read_async b mem ~addr));
+          let sim = Hw.Sim.create ~backend (Hw.Circuit.create b) in
+          Hw.Sim.cycle sim;
+          Alcotest.(check int)
+            (Printf.sprintf "%s w=%d last port wins"
+               (Hw.Sim.backend_to_string backend)
+               w)
+            22
+            (Bits.to_int (Hw.Sim.peek sim "r")))
+        [ Hw.Sim.Interp; Hw.Sim.Compiled ])
+    [ 8; 70 ]
+
+(* Wide datapath arithmetic spot-check on the compiled backend against
+   the Bits model (128-bit operands — MD5 digest territory). *)
+let test_wide_arith_compiled () =
+  let b = S.Builder.create () in
+  let x = S.input b "x" 128 and y = S.input b "y" 128 in
+  ignore (S.output b "sum" (S.add b x y));
+  ignore (S.output b "diff" (S.sub b x y));
+  ignore (S.output b "xor" (S.lxor_ b x y));
+  ignore (S.output b "ult" (S.ult b x y));
+  ignore (S.output b "hi" (S.select b x ~hi:127 ~lo:64));
+  let sim = Hw.Sim.create ~backend:Hw.Sim.Compiled (Hw.Circuit.create b) in
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let xv = Bits.random st ~width:128 and yv = Bits.random st ~width:128 in
+    Hw.Sim.poke sim "x" xv;
+    Hw.Sim.poke sim "y" yv;
+    Hw.Sim.settle sim;
+    Alcotest.(check bool) "sum" true (Bits.equal (Bits.add xv yv) (Hw.Sim.peek sim "sum"));
+    Alcotest.(check bool) "diff" true (Bits.equal (Bits.sub xv yv) (Hw.Sim.peek sim "diff"));
+    Alcotest.(check bool) "xor" true (Bits.equal (Bits.logxor xv yv) (Hw.Sim.peek sim "xor"));
+    Alcotest.(check bool) "ult" (Bits.ult xv yv) (Hw.Sim.peek_bool sim "ult");
+    Alcotest.(check bool) "select" true
+      (Bits.equal (Bits.select xv ~hi:127 ~lo:64) (Hw.Sim.peek sim "hi"))
+  done
+
+(* Run a real tier-1 workload on the compiled backend: the full MD5
+   multithreaded datapath, checked against the RFC 1321 reference. *)
+let test_md5_on_compiled () =
+  let msgs = [ "abc"; "message digest"; String.make 70 'a' ] in
+  let circuit =
+    Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced
+      ~threads:(List.length msgs) ()
+  in
+  let sim = Hw.Sim.create ~backend:Hw.Sim.Compiled circuit in
+  Alcotest.(check string) "backend" "compiled" (Hw.Sim.backend_name sim);
+  let digests = Md5.Md5_host.hash_messages ~limit:20000 sim msgs in
+  List.iter2
+    (fun msg got ->
+      Alcotest.(check string)
+        (Printf.sprintf "md5(%S) on compiled backend" msg)
+        (Md5.Md5_ref.digest msg) got)
+    msgs digests
+
+(* And the multithreaded CPU: run the same program on both backends
+   and compare cycle counts and final architectural state. *)
+let test_cpu_on_compiled () =
+  let threads = 2 in
+  let program =
+    "addi r1, r0, 1071\n\
+     addi r2, r0, 462\n\
+     loop: beq r1, r2, done\n\
+     blt r1, r2, swap\n\
+     sub r1, r1, r2\n\
+     j loop\n\
+     swap: sub r2, r2, r1\n\
+     j loop\n\
+     done: sw r1, 0(r0)\n\
+     halt\n"
+  in
+  let words = Cpu.Asm.assemble_words program in
+  let config =
+    { (Cpu.Mt_pipeline.default_config ~threads) with
+      Cpu.Mt_pipeline.imem_size = 64; dmem_size = 32 }
+  in
+  let run backend =
+    let circuit, t = Cpu.Mt_pipeline.circuit config in
+    let sim = Hw.Sim.create ~backend circuit in
+    Cpu.Mt_pipeline.load_program sim t words;
+    Hw.Sim.settle sim;
+    let cycles = Cpu.Mt_pipeline.run_until_halted sim ~limit:30000 in
+    Alcotest.(check bool)
+      (Hw.Sim.backend_to_string backend ^ " halted")
+      true (cycles <> None);
+    let regs =
+      List.init threads (fun th ->
+          List.init 4 (fun r -> Cpu.Mt_pipeline.read_reg sim t ~thread:th ~reg:r))
+    in
+    let mem = List.init 4 (fun a -> Cpu.Mt_pipeline.read_dmem sim t a) in
+    (regs, mem, cycles, Hw.Sim.peek_int sim "retired_total")
+  in
+  let ri = run Hw.Sim.Interp and rc = run Hw.Sim.Compiled in
+  let pp_state (regs, mem, cycles, retired) =
+    Printf.sprintf "regs=%s mem=%s cycles=%s retired=%d"
+      (String.concat "|"
+         (List.map (fun l -> String.concat "," (List.map string_of_int l)) regs))
+      (String.concat "," (List.map string_of_int mem))
+      (match cycles with Some c -> string_of_int c | None -> "-")
+      retired
+  in
+  Alcotest.(check string) "cpu state matches" (pp_state ri) (pp_state rc);
+  let _, _, _, retired = rc in
+  Alcotest.(check bool) "instructions retired" true (retired > 0)
+
+let suite =
+  ( "sim-backends",
+    [ Alcotest.test_case "random circuits lockstep" `Quick test_random_circuits;
+      Alcotest.test_case "reset equivalence" `Quick test_reset_equivalence;
+      Alcotest.test_case "mux clamp (compiled)" `Quick test_mux_clamp_compiled;
+      Alcotest.test_case "memory port priority (both)" `Quick
+        test_mem_port_priority_compiled;
+      Alcotest.test_case "wide arithmetic (compiled)" `Quick test_wide_arith_compiled;
+      Alcotest.test_case "md5 workload (compiled)" `Quick test_md5_on_compiled;
+      Alcotest.test_case "cpu cosim interp vs compiled" `Quick test_cpu_on_compiled ] )
