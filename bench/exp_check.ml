@@ -1,0 +1,321 @@
+(* Randomized protocol-monitor stress harness (the `check`
+   subcommand): drives every workload family — generic MEB pipelines,
+   the MD5 circuit, the MT processor and synthesized dataflow graphs —
+   under random sink backpressure, both arbitration policies, both MEB
+   kinds and both simulator backends, with the full set of
+   [Monitor] checkers attached (one-hot, stability, conservation,
+   watchdog, barrier).  Any violation makes [run] return non-zero, so
+   CI can gate on `main.exe check`. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+module D = Synth.Dataflow
+
+let kinds = [ Melastic.Meb.Full; Melastic.Meb.Reduced ]
+
+(* Deterministic random backpressure: each sink thread is ready with
+   probability [p] each cycle, keyed on (cycle, thread) so the script
+   is reproducible regardless of evaluation order. *)
+let random_backpressure st ~p =
+  let memo = Hashtbl.create 256 in
+  fun cycle thread ->
+    let key = (cycle, thread) in
+    match Hashtbl.find_opt memo key with
+    | Some b -> b
+    | None ->
+      let b = Random.State.float st 1.0 < p in
+      Hashtbl.add memo key b;
+      b
+
+let verdict label m failures =
+  Monitor.finalize m;
+  if Monitor.ok m then Printf.printf "  ok    %s\n%!" label
+  else begin
+    incr failures;
+    Printf.printf "  FAIL  %s\n%!" label;
+    print_string
+      (String.concat ""
+         (List.map
+            (fun v -> Format.asprintf "        %a@." Monitor.pp_violation v)
+            (Monitor.violations m)))
+  end
+
+let fail_if label cond failures =
+  if cond then begin
+    incr failures;
+    Printf.printf "  FAIL  %s\n%!" label
+  end
+
+(* ---- scenario 1: generic two-stage MEB pipeline ---- *)
+
+let meb_pipeline ~kind ~policy ~threads ~seed failures =
+  let st = Random.State.make [| seed; 11 |] in
+  let b = S.Builder.create () in
+  let width = 32 in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m0 = Melastic.Meb.create ~name:"MEB#0" ~policy ~kind b src in
+  let mid = Mc.probe b ~name:"mid" m0.Melastic.Meb.out in
+  let m1 = Melastic.Meb.create ~name:"MEB#1" ~policy ~kind b mid in
+  Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
+    [ "src"; "mid"; "snk" ];
+  (* The driver only injects when the source's ready is high, so the
+     endpoint never retracts: strict persistence must hold there.  At
+     the MEB outputs a Valid_only arbiter may legally rotate past a
+     stalled grant; Ready_aware only ever grants transferring threads,
+     so strict applies again. *)
+  Monitor.check_stability ~strict:true m ~name:"src" ~threads;
+  let strict = policy = Melastic.Policy.Ready_aware in
+  Monitor.check_stability ~strict m ~name:"mid" ~threads;
+  Monitor.check_stability ~strict m ~name:"snk" ~threads;
+  (* Tokens between the probes live in the two MEBs' slots: the
+     outstanding count can never exceed their summed capacity. *)
+  Monitor.check_conservation m ~src:"src" ~snk:"snk" ~threads
+    ~max_in_flight:(2 * Melastic.Meb.capacity ~kind ~threads)
+    ~expect_drained:true;
+  Monitor.check_watchdog ~timeout:500 m ~channels:[ "src"; "mid"; "snk" ]
+    ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  for t = 0 to threads - 1 do
+    for _ = 1 to 40 do
+      Workload.Mt_driver.push d ~thread:t (Bits.random st ~width)
+    done
+  done;
+  Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.6);
+  let label =
+    Printf.sprintf "meb-pipeline %s %s" (Melastic.Meb.kind_to_string kind)
+      (match policy with
+       | Melastic.Policy.Ready_aware -> "ready-aware"
+       | Melastic.Policy.Valid_only -> "valid-only")
+  in
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:4000 in
+  fail_if (label ^ " (not drained)") (not drained) failures;
+  verdict label m failures
+
+(* ---- scenario 2: MD5 ---- *)
+
+let md5 ~kind ~threads ~seed failures =
+  let st = Random.State.make [| seed; 23 |] in
+  let circuit = Md5.Md5_circuit.circuit ~kind ~probes:true ~threads () in
+  let sim = Hw.Sim.create circuit in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
+    [ "msg"; "digest"; "md5_dp"; "md5_bar_in" ];
+  Monitor.check_stability ~strict:true m ~name:"msg" ~threads;
+  List.iter (fun n -> Monitor.check_stability m ~name:n ~threads)
+    [ "md5_dp"; "md5_bar_in" ];
+  (* The exit channel sits behind the barrier's phase gate: the
+     Valid_only grant can rotate onto a phase-masked thread, legally
+     dropping every valid for a cycle. *)
+  Monitor.check_stability ~gated:true m ~name:"digest" ~threads;
+  (* The per-thread in-flight bit admits one block per thread into the
+     round loop; a successor block can enter while the finished digest
+     is still stalled at the sink, so the bound is two per thread. *)
+  Monitor.check_conservation m ~src:"msg" ~snk:"digest" ~threads
+    ~transform:Md5.Md5_circuit.reference_digest ~max_in_flight:(2 * threads)
+    ~expect_drained:true;
+  Monitor.check_barrier m ~name:"md5_barrier" ~threads;
+  Monitor.check_watchdog m ~channels:[ "msg"; "digest" ] ~threads;
+  let d =
+    Workload.Mt_driver.create sim ~src:"msg" ~snk:"digest" ~threads
+      ~width:Md5.Md5_circuit.input_width
+  in
+  let iv = Md5.Md5_ref.state_to_bits Md5.Md5_ref.iv in
+  for t = 0 to threads - 1 do
+    for _ = 1 to 2 do
+      let block = Bits.random st ~width:Md5.Md5_circuit.block_width in
+      Workload.Mt_driver.push d ~thread:t
+        (Md5.Md5_circuit.input_bits ~block ~iv)
+    done
+  done;
+  Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.5);
+  let label = Printf.sprintf "md5 %s" (Melastic.Meb.kind_to_string kind) in
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:20000 in
+  fail_if (label ^ " (not drained)") (not drained) failures;
+  verdict label m failures
+
+(* ---- scenario 3: MT processor ---- *)
+
+let cpu_program =
+  "addi r1, r0, 0\n\
+   addi r2, r0, 1\n\
+   addi r3, r0, 6\n\
+   loop: add r4, r1, r2\n\
+   mv r1, r2\n\
+   mv r2, r4\n\
+   sw r4, 0(r3)\n\
+   lw r5, 0(r3)\n\
+   addi r3, r3, -1\n\
+   bne r3, r0, loop\n\
+   halt\n"
+
+let cpu ~kind ~threads ~seed failures =
+  let config =
+    { (Cpu.Mt_pipeline.default_config ~threads) with
+      Cpu.Mt_pipeline.kind;
+      imem_size = 256;
+      dmem_size = 256;
+      imem_latency = Melastic.Mt_varlat.Random { max_latency = 2; seed };
+      exe_latency = Melastic.Mt_varlat.Random { max_latency = 3; seed = seed + 1 };
+      mem_latency = Melastic.Mt_varlat.Random { max_latency = 2; seed = seed + 2 } }
+  in
+  let circuit, t = Cpu.Mt_pipeline.circuit ~probes:true config in
+  let sim = Hw.Sim.create circuit in
+  let m = Monitor.create sim in
+  let chans = [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ] in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) chans;
+  List.iter (fun n -> Monitor.check_stability m ~name:n ~threads) chans;
+  (* The scoreboard keeps one instruction per thread in flight between
+     fetch and writeback; instruction words mutate through the stages,
+     so only counts and per-thread order are checked. *)
+  Monitor.check_conservation m ~src:"cpu_fetch" ~snk:"cpu_wb" ~threads
+    ~compare_data:false ~max_in_flight:threads ~expect_drained:true;
+  Monitor.check_watchdog ~timeout:500 m ~channels:chans ~threads
+    ~pending:(fun () -> not (Hw.Sim.peek_bool sim "halted_all"));
+  Cpu.Mt_pipeline.load_program sim t (Cpu.Asm.assemble_words cpu_program);
+  Hw.Sim.settle sim;
+  let cycles = Cpu.Mt_pipeline.run_until_halted sim ~limit:20000 in
+  let label = Printf.sprintf "cpu %s" (Melastic.Meb.kind_to_string kind) in
+  fail_if (label ^ " (did not halt)") (cycles = None) failures;
+  verdict label m failures
+
+(* ---- scenario 4: synthesized dataflow graphs ---- *)
+
+let dataflow_varlat ~threads ~seed failures =
+  let st = Random.State.make [| seed; 31 |] in
+  let g = D.create ~threads () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let y =
+    D.varlat g ~per_thread:true
+      ~latency:(Melastic.Mt_varlat.Random { max_latency = 3; seed }) x
+  in
+  let y = D.func g ~width:32 (fun b d -> S.add b (S.sll b d 1) (S.of_int b ~width:32 1)) y in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let sim = Hw.Sim.create (D.circuit g) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
+  Monitor.check_stability ~strict:true m ~name:"x" ~threads;
+  Monitor.check_stability m ~name:"y" ~threads;
+  Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads
+    ~transform:(fun v ->
+      Bits.of_int_trunc ~width:32 ((2 * Bits.to_int_exn v) + 1))
+    ~expect_drained:true;
+  Monitor.check_watchdog ~timeout:500 m ~channels:[ "x"; "y" ] ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:32 in
+  for t = 0 to threads - 1 do
+    for _ = 1 to 20 do
+      Workload.Mt_driver.push d ~thread:t (Bits.random st ~width:32)
+    done
+  done;
+  Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.6);
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:4000 in
+  fail_if "dataflow-varlat (not drained)" (not drained) failures;
+  verdict "dataflow-varlat" m failures
+
+(* Iterative doubling loop (merge/branch/feedback): iteration counts
+   differ per token so same-thread tokens may exit out of order —
+   conservation checks counts only. *)
+let dataflow_loop ~threads ~seed failures =
+  let st = Random.State.make [| seed; 37 |] in
+  let g = D.create ~threads () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let back, close = D.feedback g ~width:32 () in
+  (* Loopback admission priority: letting new tokens win the merge can
+     saturate the single loop buffer with recirculating tokens and
+     deadlock the ring (a real hazard, but not the one under test). *)
+  let merged =
+    D.merge g ~name:"loopmerge" ~fairness:Melastic.M_merge.Priority_a back x
+  in
+  let buffered = D.buffer g ~name:"loopbuf" merged in
+  let exit_, again =
+    D.branch g
+      ~cond:(fun b d -> S.lnot b (S.ult b d (S.of_int b ~width:32 100)))
+      buffered
+  in
+  let doubled = D.func g ~width:32 (fun b d -> S.sll b d 1) again in
+  close doubled;
+  D.output g ~name:"y" exit_;
+  let sim = Hw.Sim.create (D.circuit g) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
+  Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads ~compare_data:false
+    ~expect_drained:true;
+  Monitor.check_watchdog ~timeout:500 m ~channels:[ "x"; "y" ] ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:32 in
+  Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.7);
+  (* Wave injection — at most one token per thread in the ring at a
+     time.  M-Merge requires its two inputs to be per-thread exclusive
+     (they normally come from one M-Branch); a fresh token at [x]
+     colliding with the same thread's recirculating token would break
+     that precondition, which is a graph bug rather than a monitor
+     finding. *)
+  let drained = ref true in
+  for _ = 1 to 6 do
+    for t = 0 to threads - 1 do
+      Workload.Mt_driver.push_int d ~thread:t (1 + Random.State.int st 99)
+    done;
+    drained := !drained && Workload.Mt_driver.run_until_drained d ~limit:2000
+  done;
+  fail_if "dataflow-loop (not drained)" (not !drained) failures;
+  verdict "dataflow-loop" m failures
+
+let dataflow_barrier ~threads ~seed failures =
+  let st = Random.State.make [| seed; 41 |] in
+  let g = D.create ~threads () in
+  let x = D.input g ~name:"x" ~width:32 in
+  (* Node ids are allocated in construction order: input=0, buffer=1,
+     barrier=2 — the elaborated barrier is named "bar_n2". *)
+  let x = D.buffer g x in
+  let y = D.barrier g ~name:"bar" x in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let sim = Hw.Sim.create (D.circuit g) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
+  Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads ~expect_drained:true;
+  Monitor.check_barrier m ~name:"bar_n2" ~threads;
+  Monitor.check_watchdog ~timeout:500 m ~channels:[ "x"; "y" ] ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:32 in
+  for t = 0 to threads - 1 do
+    for _ = 1 to 8 do
+      Workload.Mt_driver.push d ~thread:t (Bits.random st ~width:32)
+    done
+  done;
+  Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.5);
+  let drained = Workload.Mt_driver.run_until_drained d ~limit:6000 in
+  fail_if "dataflow-barrier (not drained)" (not drained) failures;
+  verdict "dataflow-barrier" m failures
+
+(* ---- top level ---- *)
+
+let run ?(backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]) ?(threads = 4)
+    ?(seed = 0x5EED) () =
+  print_endline
+    "=== check: randomized protocol-monitor stress (one-hot, stability, \
+     conservation, watchdog, barrier) ===";
+  let failures = ref 0 in
+  let saved = !Hw.Sim.default_backend in
+  List.iter
+    (fun backend ->
+      Hw.Sim.default_backend := backend;
+      Printf.printf "--- backend %s ---\n%!" (Hw.Sim.backend_to_string backend);
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun policy -> meb_pipeline ~kind ~policy ~threads ~seed failures)
+            [ Melastic.Policy.Ready_aware; Melastic.Policy.Valid_only ];
+          md5 ~kind ~threads ~seed failures;
+          cpu ~kind ~threads ~seed failures)
+        kinds;
+      dataflow_varlat ~threads ~seed failures;
+      dataflow_loop ~threads ~seed failures;
+      dataflow_barrier ~threads ~seed failures)
+    backends;
+  Hw.Sim.default_backend := saved;
+  if !failures = 0 then print_endline "check: all scenarios clean"
+  else Printf.printf "check: %d scenario(s) FAILED\n" !failures;
+  !failures

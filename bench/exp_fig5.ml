@@ -17,7 +17,7 @@ let run_one kind =
   let threads = 2 and width = 32 in
   let src = Mc.source b ~name:"src" ~threads ~width in
   let m0 = Melastic.Meb.create ~name:"MEB#0" ~kind b src in
-  let mid = Mc.probe b m0.Melastic.Meb.out ~name:"mid" in
+  let mid = Mc.probe b ~name:"mid" m0.Melastic.Meb.out in
   let m1 = Melastic.Meb.create ~name:"MEB#1" ~kind b mid in
   ignore (S.output b "occ0" m0.Melastic.Meb.occupancy);
   ignore (S.output b "occ1" m1.Melastic.Meb.occupancy);

@@ -5,13 +5,14 @@
    Usage:
      main.exe                 run everything
      main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare
+     main.exe check           randomized protocol-monitor stress (non-zero exit on violation)
      main.exe table1 --threads 16
      main.exe --backend compiled   (simulator backend for all experiments) *)
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check] \
      [--threads N] [--backend interp|compiled]";
   exit 2
 
@@ -28,9 +29,12 @@ let () =
   (* All experiments create simulators through Hw.Sim.create, so one
      flag switches every run between the interpreter and the compiled
      backend. *)
+  let explicit_backend = ref false in
   let rec find_backend = function
     | "--backend" :: b :: _ ->
-      (try Hw.Sim.default_backend := Hw.Sim.backend_of_string b
+      (try
+         Hw.Sim.default_backend := Hw.Sim.backend_of_string b;
+         explicit_backend := true
        with Invalid_argument _ -> usage ())
     | _ :: rest -> find_backend rest
     | [] -> ()
@@ -68,4 +72,12 @@ let () =
   | [ "granularity" ] -> Exp_granularity.run ()
   | [ "kernels" ] -> Bench_kernels.run ()
   | [ "backend-compare" ] -> Exp_backend.run ()
+  | [ "check" ] ->
+    (* The stress harness covers both backends unless one was pinned
+       explicitly on the command line. *)
+    let backends =
+      if !explicit_backend then [ !Hw.Sim.default_backend ]
+      else [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+    in
+    exit (min 1 (Exp_check.run ~backends ~threads ()))
   | _ -> usage ()

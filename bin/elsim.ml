@@ -143,7 +143,7 @@ let vcd_cmd =
     let threads = 2 and width = 32 in
     let src = Mc.source b ~name:"src" ~threads ~width in
     let m0 = Melastic.Meb.create ~name:"meb0" ~kind b src in
-    let mid = Mc.probe b m0.Melastic.Meb.out ~name:"mid" in
+    let mid = Mc.probe b ~name:"mid" m0.Melastic.Meb.out in
     let m1 = Melastic.Meb.create ~name:"meb1" ~kind b mid in
     Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
     let circuit = Hw.Circuit.create b in

@@ -18,9 +18,15 @@
 
 module S = Hw.Signal
 
-let idle = 0
-let wait = 1
-let free = 2
+(* FSM encodings, exported so runtime monitors can decode the
+   <name>_state<i> probes. *)
+let state_idle = 0
+let state_wait = 1
+let state_free = 2
+
+let idle = state_idle
+let wait = state_wait
+let free = state_free
 
 type t = {
   out : Mt_channel.t;

@@ -27,4 +27,16 @@ val create :
   ?name:string -> ?participants:bool array ->
   S.builder -> Mt_channel.t -> t
 (** [participants] defaults to every thread; non-participants bypass
-    the barrier untouched. *)
+    the barrier untouched.
+
+    Named probes installed per participant [i]:
+    [<name>_state<i>] (FSM state), [<name>_lgo<i>], plus the shared
+    [<name>_count], [<name>_go] and [<name>_release]. *)
+
+(** {1 FSM state encodings}
+
+    Values of the [<name>_state<i>] probes, for runtime monitors. *)
+
+val state_idle : int
+val state_wait : int
+val state_free : int

@@ -55,6 +55,13 @@ let active_thread b t =
 (* Map the payload through a combinational function. *)
 let map b t ~f = { t with data = f b t.data }
 
+(* Endpoint/observation constructors.  All follow one convention —
+   builder first, labelled [~name] (and [~threads]/[~width] where the
+   channel is created here), channel last — and share one export
+   naming scheme, documented in the .mli:
+     <name>_valid / <name>_ready / <name>_fire   per-thread vectors
+     <name>_data                                 the shared word. *)
+
 (* Host-driven source: the testbench pokes <name>_valid (one bit per
    thread) and <name>_data, and reads the <name>_ready vector. *)
 let source b ~name ~threads ~width =
@@ -87,7 +94,7 @@ let sink b ~name t =
 
 (* Observe a channel mid-pipeline without consuming it: exports
    <name>_valid / <name>_ready / <name>_fire vectors and <name>_data. *)
-let probe b t ~name =
+let probe b ~name t =
   let n = threads t in
   ignore
     (S.output b (name ^ "_valid")
@@ -101,7 +108,7 @@ let probe b t ~name =
        (S.concat_msb b (List.rev (List.init n (fun i -> transfer b t i)))));
   t
 
-let label b t ~name =
+let label b ~name t =
   ignore
     (S.set_name
        (S.concat_msb b (List.rev (Array.to_list t.valids)))

@@ -32,6 +32,25 @@ val active_thread : S.builder -> t -> S.t
 
 val map : S.builder -> t -> f:(S.builder -> S.t -> S.t) -> t
 
+(** {1 Endpoints and observation points}
+
+    One argument convention for all of them: builder first, labelled
+    [~name] (plus [~threads]/[~width] where the channel is created
+    here), channel last.  [source], [probe] and [label] return the
+    channel so they compose in pipelines; [sink] terminates one.
+
+    One export naming scheme for all of them — this is the interface
+    the host-side instruments ({!Workload.Stats},
+    {!Workload.Schedule}, [Monitor]) sample:
+    - [<name>_valid] — per-thread valid vector (bit [i] = thread [i]);
+    - [<name>_ready] — per-thread ready vector;
+    - [<name>_fire]  — per-thread transfer vector
+      ([valid land ready]);
+    - [<name>_data]  — the shared data word.
+
+    [source] additionally makes [<name>_valid]/[<name>_data] pokeable
+    inputs, and [sink] makes [<name>_ready] a pokeable input. *)
+
 val source : S.builder -> name:string -> threads:int -> width:int -> t
 (** Host-driven producer: poke [<name>_valid] (one bit per thread) and
     [<name>_data]; read the [<name>_ready] vector.  Also exports
@@ -42,8 +61,12 @@ val sink : S.builder -> name:string -> t -> unit
 (** Host-driven consumer: poke the [<name>_ready] vector; read
     [<name>_valid]/[<name>_data]/[<name>_fire]. *)
 
-val probe : S.builder -> t -> name:string -> t
-(** Observe mid-pipeline without consuming: exports
-    [<name>_valid/_ready/_fire] vectors and [<name>_data]. *)
+val probe : S.builder -> name:string -> t -> t
+(** Observe mid-pipeline without consuming: exports the full
+    [<name>_valid/_ready/_fire/_data] scheme above and returns the
+    channel unchanged. *)
 
-val label : S.builder -> t -> name:string -> t
+val label : S.builder -> name:string -> t -> t
+(** Name the channel's valid vector and data word
+    ([<name>_valid]/[<name>_data]) for waveforms without creating
+    outputs; returns the channel unchanged. *)

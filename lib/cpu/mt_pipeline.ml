@@ -65,7 +65,7 @@ let is_op b op_field op = S.eq_const b op_field (Isa.opcode_value op)
 let is_any b op_field ops =
   S.or_reduce b (List.map (is_op b op_field) ops)
 
-let create ?(config_name = "cpu") b config =
+let create ?(config_name = "cpu") ?(probes = false) b config =
   ignore config_name;
   let n = config.threads in
   let tw = max 1 (S.clog2 n) in
@@ -104,6 +104,7 @@ let create ?(config_name = "cpu") b config =
   let pc_mux = S.mux b rr.Arbiter.grant_index (Array.to_list pcs) in
   Array.iteri (fun i v -> S.assign v fetch_fire.(i)) fetch_ch.Mc.valids;
   S.assign fetch_ch.Mc.data pc_mux;
+  if probes then ignore (Mc.probe b ~name:"cpu_fetch" fetch_ch);
   let meb0 = meb "meb0" fetch_ch in
   (* ---- IMEM: variable-latency instruction fetch ---- *)
   let imem_vl =
@@ -203,6 +204,8 @@ let create ?(config_name = "cpu") b config =
   let meb3 = meb "meb3" exe_vl.Melastic.Mt_varlat.out in
   (* ---- MEM: variable-latency data memory ---- *)
   let mem_in = meb3.Melastic.Meb.out in
+  (* Optional protocol-checker tap between EX and MEM. *)
+  let mem_in = if probes then Mc.probe b ~name:"cpu_mem" mem_in else mem_in in
   let mem_op = field b mem_in.Mc.data ~hi:(pc_w + 31) ~lo:(pc_w + 26) in
   let mem_alu = field b mem_in.Mc.data ~hi:(pc_w + 63) ~lo:(pc_w + 32) in
   let mem_store = field b mem_in.Mc.data ~hi:(pc_w + 95) ~lo:(pc_w + 64) in
@@ -228,6 +231,7 @@ let create ?(config_name = "cpu") b config =
   let meb4 = meb "meb4" mem_vl.Melastic.Mt_varlat.out in
   (* ---- WB: register write, PC update, scoreboard clear ---- *)
   let wb = meb4.Melastic.Meb.out in
+  let wb = if probes then Mc.probe b ~name:"cpu_wb" wb else wb in
   Array.iter (fun r -> S.assign r (S.vdd b)) wb.Mc.readys;
   let wb_any = Mc.any_valid b wb in
   let wb_thread = S.uresize b (Mc.active_thread b wb) tw in
@@ -289,9 +293,9 @@ let create ?(config_name = "cpu") b config =
   { config; imem; dmem; regfile }
 
 (* Elaborate a standalone processor circuit. *)
-let circuit config =
+let circuit ?probes config =
   let b = S.Builder.create () in
-  let t = create b config in
+  let t = create ?probes b config in
   (Hw.Circuit.create
      ~name:(Printf.sprintf "cpu_%s_%dt" (Melastic.Meb.kind_to_string config.kind)
               config.threads)

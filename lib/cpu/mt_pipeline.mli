@@ -34,8 +34,13 @@ type t = {
   regfile : S.memory;
 }
 
-val create : ?config_name:string -> S.builder -> config -> t
-val circuit : config -> Hw.Circuit.t * t
+val create : ?config_name:string -> ?probes:bool -> S.builder -> config -> t
+(** [probes] (default false) installs {!Melastic.Mt_channel.probe}
+    taps ["cpu_fetch"], ["cpu_mem"] and ["cpu_wb"] on the fetch,
+    EX→MEM and writeback channels for the runtime protocol
+    monitors. *)
+
+val circuit : ?probes:bool -> config -> Hw.Circuit.t * t
 
 (** {1 Testbench helpers} *)
 

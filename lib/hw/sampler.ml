@@ -1,0 +1,73 @@
+(* The shared "sample named signals once per cycle" core.
+
+   Every instrument that rides on a simulator — statistics, schedule
+   capture, protocol monitors — needs the same loop: peek a set of
+   named signals after each cycle settles and hand the values to some
+   per-instrument state machine.  A [Sampler.t] owns that loop: it
+   registers a single [Sim.on_cycle] observer, refreshes every watched
+   signal's value, optionally appends it to a per-signal history, and
+   then invokes the registered listeners in order.  [Workload.Stats],
+   [Workload.Schedule] and [Monitor] are all clients of this module
+   rather than three hand-rolled peek loops. *)
+
+type signal = {
+  signal_name : string;
+  mutable current : Bits.t;
+  mutable history : Bits.t list; (* newest first; only when recording *)
+  mutable recording : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  tbl : (string, signal) Hashtbl.t;
+  mutable order : signal list; (* newest first *)
+  mutable listeners : (t -> unit) list; (* newest first *)
+  mutable cycle : int;
+}
+
+let sim t = t.sim
+
+let watch t name =
+  if not (Hashtbl.mem t.tbl name) then begin
+    (* Resolve eagerly so a typo'd name fails at attach time (with the
+       backend's near-miss diagnostics), not mid-run. *)
+    let s = { signal_name = name; current = Sim.peek t.sim name;
+              history = []; recording = false }
+    in
+    Hashtbl.replace t.tbl name s;
+    t.order <- s :: t.order
+  end
+
+let record t name =
+  watch t name;
+  (Hashtbl.find t.tbl name).recording <- true
+
+let on_sample t f = t.listeners <- f :: t.listeners
+
+let attach ?(signals = []) sim =
+  let t = { sim; tbl = Hashtbl.create 16; order = []; listeners = []; cycle = 0 } in
+  Sim.on_cycle sim (fun sim ->
+      t.cycle <- Sim.cycle_no sim;
+      List.iter
+        (fun s ->
+          let v = Sim.peek sim s.signal_name in
+          s.current <- v;
+          if s.recording then s.history <- v :: s.history)
+        (List.rev t.order);
+      List.iter (fun f -> f t) (List.rev t.listeners));
+  List.iter (watch t) signals;
+  t
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None -> invalid_arg ("Sampler: unwatched signal " ^ name)
+
+let cycle t = t.cycle
+
+let value t name = (find t name).current
+let value_int t name = Bits.to_int (value t name)
+let value_bool t name = Bits.to_bool (value t name)
+
+let series t name = List.rev (find t name).history
+let series_int t name = List.rev_map Bits.to_int (find t name).history

@@ -1,0 +1,43 @@
+(** The shared "sample named signals once per cycle" core.
+
+    A sampler registers one {!Sim.on_cycle} observer.  After each
+    cycle settles it refreshes every watched signal's value, appends
+    it to the signal's history when recording is enabled, and invokes
+    the registered listeners in registration order.  Statistics
+    ({!Workload.Stats}), schedule capture ({!Workload.Schedule}) and
+    the protocol monitors ({!Monitor}) are all clients of this module
+    instead of maintaining private peek loops. *)
+
+type t
+
+val attach : ?signals:string list -> Sim.t -> t
+(** Attach a sampler to a simulator and watch [signals] (if any).
+    Works with any backend behind {!Sim.t}. *)
+
+val sim : t -> Sim.t
+
+val watch : t -> string -> unit
+(** Add a signal to the per-cycle sample set (idempotent).  Resolves
+    the name eagerly: an unknown name raises
+    {!Sim_intf.Unknown_signal} here, not mid-run. *)
+
+val record : t -> string -> unit
+(** {!watch} plus history retention, for {!series} queries. *)
+
+val on_sample : t -> (t -> unit) -> unit
+(** Register a listener called once per cycle after all watched
+    values have been refreshed; read them with {!value}/{!cycle}. *)
+
+val cycle : t -> int
+(** Cycle number of the current sample (valid inside listeners). *)
+
+val value : t -> string -> Bits.t
+(** Latest sampled value of a watched signal. *)
+
+val value_int : t -> string -> int
+val value_bool : t -> string -> bool
+
+val series : t -> string -> Bits.t list
+(** Recorded history of a {!record}ed signal, oldest first. *)
+
+val series_int : t -> string -> int list

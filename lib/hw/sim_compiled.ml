@@ -22,6 +22,7 @@
    out-of-range mux selects clamp to the last case. *)
 
 let name = "compiled"
+let name_ = name (* alias usable where [name] is shadowed by a parameter *)
 
 let maxw = Bits.max_int_width
 
@@ -370,9 +371,7 @@ let circuit t = t.circuit
 let on_cycle t f = t.observers <- f :: t.observers
 
 let input_signal t fname name =
-  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
-  | None -> invalid_arg (Printf.sprintf "Sim.%s: no input named %s" fname name)
-  | Some s -> s
+  Sim_intf.find_input ~backend:name_ ~op:fname t.circuit name
 
 let poke t name bits =
   let s = input_signal t "poke" name in
@@ -391,14 +390,15 @@ let peek_signal t (s : Signal.t) =
   if is_int s then Bits.of_int ~width:s.Signal.width t.ivals.(s.Signal.uid)
   else t.bvals.(s.Signal.uid)
 
-let peek t name = peek_signal t (Circuit.find_named t.circuit name)
+let peek t name =
+  peek_signal t (Sim_intf.find_named ~backend:name_ ~op:"peek" t.circuit name)
 
 let peek_int t name =
-  let s = Circuit.find_named t.circuit name in
+  let s = Sim_intf.find_named ~backend:name_ ~op:"peek_int" t.circuit name in
   if is_int s then t.ivals.(s.Signal.uid) else Bits.to_int t.bvals.(s.Signal.uid)
 
 let peek_bool t name =
-  let s = Circuit.find_named t.circuit name in
+  let s = Sim_intf.find_named ~backend:name_ ~op:"peek_bool" t.circuit name in
   if is_int s then t.ivals.(s.Signal.uid) <> 0 else Bits.to_bool t.bvals.(s.Signal.uid)
 
 let reset t =

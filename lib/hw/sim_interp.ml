@@ -12,6 +12,7 @@
    obviously-correct oracle that [Sim_compiled] is checked against. *)
 
 let name = "interp"
+let name_ = name (* alias usable where [name] is shadowed by a parameter *)
 
 type t = {
   circuit : Circuit.t;
@@ -137,23 +138,21 @@ let circuit t = t.circuit
 let on_cycle t f = t.observers <- f :: t.observers
 
 let poke t name bits =
-  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
-  | None -> invalid_arg (Printf.sprintf "Sim.poke: no input named %s" name)
-  | Some s ->
-    if Bits.width bits <> s.Signal.width then
-      invalid_arg
-        (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
-           (Bits.width bits) s.Signal.width);
-    t.input_values.(s.Signal.uid) <- bits
+  let s = Sim_intf.find_input ~backend:name_ ~op:"poke" t.circuit name in
+  if Bits.width bits <> s.Signal.width then
+    invalid_arg
+      (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
+         (Bits.width bits) s.Signal.width);
+  t.input_values.(s.Signal.uid) <- bits
 
 let poke_int t name n =
-  match Hashtbl.find_opt t.circuit.Circuit.inputs name with
-  | None -> invalid_arg (Printf.sprintf "Sim.poke_int: no input named %s" name)
-  | Some s -> poke t name (Bits.of_int ~width:s.Signal.width n)
+  let s = Sim_intf.find_input ~backend:name_ ~op:"poke_int" t.circuit name in
+  poke t name (Bits.of_int ~width:s.Signal.width n)
 
 let peek_signal t (s : Signal.t) = t.values.(s.Signal.uid)
 
-let peek t name = peek_signal t (Circuit.find_named t.circuit name)
+let peek t name =
+  peek_signal t (Sim_intf.find_named ~backend:name_ ~op:"peek" t.circuit name)
 
 let peek_int t name = Bits.to_int (peek t name)
 

@@ -1,10 +1,99 @@
-(* Signature shared by every simulation backend.
+(* Signature shared by every simulation backend, plus the structured
+   name-lookup errors both backends raise.
 
    A backend is a cycle-accurate two-phase simulator of an elaborated
    [Circuit.t]: [settle] evaluates the combinational nodes, [cycle]
    runs settle / observers / commit / settle (so peeks after [cycle]
    reflect the newly latched state).  [Sim] packs any backend behind a
    first-class module so host code is backend-agnostic. *)
+
+exception
+  Unknown_signal of {
+    backend : string;  (* "interp", "compiled", ... *)
+    op : string;  (* "peek", "poke", ... *)
+    name : string;  (* the name that failed to resolve *)
+    candidates : string list;  (* near-miss signal names, best first *)
+  }
+(* Raised by [peek]/[poke] (and friends) on a name the circuit does not
+   export.  [candidates] lists close matches so a typo'd probe name is
+   diagnosable from the error alone. *)
+
+(* Bounded Levenshtein distance, used only to rank near misses. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+(* Close matches to [name] among [names]: shared prefixes/suffixes and
+   small edit distances, ranked best-first, at most five. *)
+let near_misses ~names name =
+  let score n =
+    let d = edit_distance name n in
+    let affix =
+      let l = min (String.length n) (String.length name) in
+      (l > 2 && String.length name >= 3
+       && (String.sub n 0 (min 3 (String.length n))
+           = String.sub name 0 (min 3 (String.length name))))
+      || (String.length n > String.length name
+          && String.length name >= 3
+          &&
+          let tail = String.sub n (String.length n - String.length name)
+              (String.length name) in
+          tail = name)
+    in
+    let budget = 2 + (String.length name / 4) in
+    if d <= budget || affix then Some (d, n) else None
+  in
+  List.filter_map score names
+  |> List.sort compare
+  |> List.map snd
+  |> fun l -> List.filteri (fun i _ -> i < 5) l
+
+let unknown_signal ~backend ~op ~names name =
+  raise (Unknown_signal { backend; op; name; candidates = near_misses ~names name })
+
+(* All peekable names of a circuit: named signals, output aliases and
+   primary inputs. *)
+let peekable_names (c : Circuit.t) =
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) c.Circuit.named [] in
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) c.Circuit.inputs names in
+  List.sort_uniq compare names
+
+let pokeable_names (c : Circuit.t) =
+  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) c.Circuit.inputs [])
+
+(* Shared lookup helpers for the backends. *)
+let find_input ~backend ~op (c : Circuit.t) name =
+  match Hashtbl.find_opt c.Circuit.inputs name with
+  | Some s -> s
+  | None -> unknown_signal ~backend ~op ~names:(pokeable_names c) name
+
+let find_named ~backend ~op (c : Circuit.t) name =
+  match Hashtbl.find_opt c.Circuit.named name with
+  | Some s -> s
+  | None ->
+    (match Hashtbl.find_opt c.Circuit.inputs name with
+     | Some s -> s
+     | None -> unknown_signal ~backend ~op ~names:(peekable_names c) name)
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_signal { backend; op; name; candidates } ->
+      Some
+        (Printf.sprintf "Sim(%s).%s: no signal named %S%s" backend op name
+           (match candidates with
+            | [] -> ""
+            | l -> " (did you mean " ^ String.concat ", " l ^ "?)"))
+    | _ -> None)
 
 module type S = sig
   type t
@@ -32,12 +121,16 @@ module type S = sig
       before the state commit (it sees the cycle's settled values). *)
 
   val poke : t -> string -> Bits.t -> unit
-  (** Set a primary input; takes effect at the next {!settle}/{!cycle}. *)
+  (** Set a primary input; takes effect at the next {!settle}/{!cycle}.
+      Raises {!Unknown_signal} (with near-miss candidates) when no
+      input has that name. *)
 
   val poke_int : t -> string -> int -> unit
 
   val peek : t -> string -> Bits.t
-  (** Read a named signal, output or input (see {!Circuit.find_named}). *)
+  (** Read a named signal, output or input (see {!Circuit.find_named}).
+      Raises {!Unknown_signal} (with near-miss candidates) when the
+      name resolves to nothing. *)
 
   val peek_int : t -> string -> int
   val peek_bool : t -> string -> bool

@@ -99,7 +99,8 @@ type t = {
    - sink "digest" : width 128, the block's digest (state + chaining
      value), which is also the next block's chaining value.
    Probes: "round_counter", "sync_ok", barrier and MEB internals. *)
-let create ?(kind = Melastic.Meb.Reduced) ?participants b ~threads =
+let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
+    ~threads =
   let src = Mc.source b ~name:"msg" ~threads ~width:input_width in
   let src_block = S.select b src.Mc.data ~hi:(input_width - 1) ~lo:state_width in
   let src_iv = S.select b src.Mc.data ~hi:(state_width - 1) ~lo:0 in
@@ -171,6 +172,10 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants b ~threads =
       ~kind b merged
   in
   let dp_in = entry_meb.Melastic.Meb.out in
+  (* Optional protocol-checker taps on the loop channels (not
+     installed by default: the extra outputs would perturb the Table I
+     LE counts). *)
+  let dp_in = if probes then Mc.probe b ~name:"md5_dp" dp_in else dp_in in
   let active = Mc.active_thread b dp_in in
   let m = S.Memory.read_async b m_bank ~addr:(S.uresize b active tw) in
   let round_field =
@@ -187,9 +192,12 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants b ~threads =
     Melastic.Meb.create ~name:"md5_meb" ~policy:Melastic.Policy.Valid_only ~kind b
       to_meb
   in
+  let barrier_in =
+    if probes then Mc.probe b ~name:"md5_bar_in" out_meb.Melastic.Meb.out
+    else out_meb.Melastic.Meb.out
+  in
   let barrier =
-    Melastic.Barrier.create ~name:"md5_barrier" ?participants b
-      out_meb.Melastic.Meb.out
+    Melastic.Barrier.create ~name:"md5_barrier" ?participants b barrier_in
   in
   (* Shared round counter: advances when the barrier releases. *)
   let counter_reg =
@@ -239,9 +247,9 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants b ~threads =
   { builder = b; threads; kind }
 
 (* Convenience: elaborate a standalone MD5 circuit. *)
-let circuit ?(kind = Melastic.Meb.Reduced) ~threads () =
+let circuit ?(kind = Melastic.Meb.Reduced) ?probes ~threads () =
   let b = S.Builder.create () in
-  let _t = create ~kind b ~threads in
+  let _t = create ~kind ?probes b ~threads in
   Hw.Circuit.create ~name:(Printf.sprintf "md5_%s_%dt" (Melastic.Meb.kind_to_string kind) threads) b
 
 (* Pack a block and a chaining value for the "msg" source. *)
@@ -249,3 +257,16 @@ let input_bits ~block ~iv =
   if Bits.width block <> block_width || Bits.width iv <> state_width then
     invalid_arg "Md5_circuit.input_bits: widths";
   Bits.concat [ block; iv ]
+
+(* Golden transform for the conservation scoreboard: what the circuit
+   must emit at "digest" for a token injected at "msg". *)
+let reference_digest input =
+  if Bits.width input <> input_width then
+    invalid_arg "Md5_circuit.reference_digest: width";
+  let block = Bits.select input ~hi:(input_width - 1) ~lo:state_width in
+  let iv = Bits.select input ~hi:(state_width - 1) ~lo:0 in
+  let words =
+    Array.init 16 (fun i ->
+        Bits.select_int block ~hi:((32 * (i + 1)) - 1) ~lo:(32 * i))
+  in
+  Md5_ref.state_to_bits (Md5_ref.process_block (Md5_ref.state_of_bits iv) words)

@@ -43,8 +43,19 @@ type t = {
 }
 
 val create :
-  ?kind:Melastic.Meb.kind -> ?participants:bool array ->
+  ?kind:Melastic.Meb.kind -> ?participants:bool array -> ?probes:bool ->
   S.builder -> threads:int -> t
+(** [probes] (default false) installs {!Melastic.Mt_channel.probe}
+    taps ["md5_dp"] (datapath input) and ["md5_bar_in"] (barrier
+    input) for the runtime protocol monitors; off by default so the
+    extra outputs do not perturb the Table I LE counts. *)
 
-val circuit : ?kind:Melastic.Meb.kind -> threads:int -> unit -> Hw.Circuit.t
+val circuit :
+  ?kind:Melastic.Meb.kind -> ?probes:bool -> threads:int -> unit ->
+  Hw.Circuit.t
 (** Elaborate a standalone MD5 design. *)
+
+val reference_digest : Bits.t -> Bits.t
+(** Golden transform for the conservation scoreboard: the 128-bit
+    digest the circuit must emit at ["digest"] for a 640-bit token
+    injected at ["msg"] (RFC 1321 compression + final addition). *)

@@ -1,0 +1,349 @@
+(* Attachable runtime checkers for the MT-elastic protocol invariants.
+
+   The paper's correctness argument rests on a handful of invariants
+   that are otherwise implicit in the component implementations: at
+   most one valid(i) per cycle on a multithreaded channel (Section
+   III), per-thread persistence/stability of a stalled transfer, token
+   conservation and per-thread FIFO order through MEB pipelines
+   (Section IV — the reduced MEB is only correct if no thread ever
+   loses or duplicates a word), global progress, and barrier liveness
+   (Section V).  A [Monitor.t] rides on any simulator backend through
+   the shared [Hw.Sampler] per-cycle loop and watches the
+   [Mt_channel.probe]/[source]/[sink] export points
+   (<name>_valid/_ready/_fire/_data) plus the barrier's named state
+   probes; each violated invariant produces a structured report
+   (checker, cycle, channel, thread, expected/actual) instead of a
+   silent wrong answer.
+
+   Every existing workload becomes a correctness test by attaching a
+   monitor next to its driver — see [bench/exp_check.ml] and
+   [test/test_monitor.ml]. *)
+
+type violation = {
+  checker : string;
+  cycle : int;
+  channel : string;
+  thread : int option;
+  expected : string;
+  actual : string;
+}
+
+type t = {
+  sampler : Hw.Sampler.t;
+  max_reports : int; (* per checker instance; the rest are counted *)
+  mutable violations : violation list; (* newest first *)
+  mutable suppressed : int;
+  mutable finalizers : (unit -> unit) list;
+  mutable finalized : bool;
+}
+
+let create ?(max_reports = 10) sim =
+  { sampler = Hw.Sampler.attach sim;
+    max_reports;
+    violations = [];
+    suppressed = 0;
+    finalizers = [];
+    finalized = false }
+
+let sampler t = t.sampler
+
+(* Each checker instance gets its own budget counter so one noisy
+   checker cannot silence the others. *)
+let reporter t =
+  let count = ref 0 in
+  fun ~checker ~cycle ~channel ?thread ~expected ~actual () ->
+    incr count;
+    if !count <= t.max_reports then
+      t.violations <-
+        { checker; cycle; channel; thread; expected; actual } :: t.violations
+    else t.suppressed <- t.suppressed + 1
+
+let fired_threads v threads =
+  List.filter_map
+    (fun i -> if Bits.bit v i then Some i else None)
+    (List.init threads (fun i -> i))
+
+(* ---- (a) one-hot valid ---- *)
+
+(* Section III: the channel carries one data word, so at most one
+   thread may assert valid in any cycle. *)
+let check_one_hot t ~name ~threads =
+  let valid = name ^ "_valid" in
+  Hw.Sampler.watch t.sampler valid;
+  let report = reporter t in
+  Hw.Sampler.on_sample t.sampler (fun smp ->
+      let v = Hw.Sampler.value smp valid in
+      let asserted = ref 0 in
+      for i = 0 to threads - 1 do
+        if Bits.bit v i then incr asserted
+      done;
+      if !asserted > 1 then
+        report ~checker:"one-hot" ~cycle:(Hw.Sampler.cycle smp) ~channel:name
+          ~expected:"at most one valid(i) asserted"
+          ~actual:("valid = 0b" ^ Bits.to_binary_string v)
+          ())
+
+(* ---- (b) persistence / data stability under stall ---- *)
+
+(* Baseline elastic persistence: valid(i) high and ready(i) low means
+   the same thread must re-offer the same word next cycle.  On a
+   multithreaded channel behind a Valid_only arbiter the grant may
+   legally rotate to another waiting thread instead, so the default
+   (relaxed) rule is: the stalled thread either persists with stable
+   data or cedes the channel to some other valid thread.  [strict]
+   restores the single-thread rule (no retraction at all); [gated]
+   drops the cede requirement for channels whose valid is further
+   masked downstream of the arbiter (a barrier phase, a branch
+   condition): rotation onto a masked thread legally leaves the
+   channel with no valid at all, so only re-offer data stability is
+   checkable. *)
+let check_stability ?(strict = false) ?(gated = false) t ~name ~threads =
+  let valid = name ^ "_valid" and ready = name ^ "_ready" in
+  let data = name ^ "_data" in
+  Hw.Sampler.watch t.sampler valid;
+  Hw.Sampler.watch t.sampler ready;
+  Hw.Sampler.watch t.sampler data;
+  let report = reporter t in
+  let prev = ref None in
+  Hw.Sampler.on_sample t.sampler (fun smp ->
+      let v = Hw.Sampler.value smp valid in
+      let r = Hw.Sampler.value smp ready in
+      let d = Hw.Sampler.value smp data in
+      let cycle = Hw.Sampler.cycle smp in
+      (match !prev with
+       | None -> ()
+       | Some (pv, pr, pd) ->
+         for i = 0 to threads - 1 do
+           if Bits.bit pv i && not (Bits.bit pr i) then
+             (* Thread [i] was stalled last cycle. *)
+             if Bits.bit v i then begin
+               if not (Bits.equal d pd) then
+                 report ~checker:"stability" ~cycle ~channel:name ~thread:i
+                   ~expected:("stable data 0x" ^ Bits.to_hex_string pd)
+                   ~actual:("data changed to 0x" ^ Bits.to_hex_string d)
+                   ()
+             end
+             else if strict then
+               report ~checker:"stability" ~cycle ~channel:name ~thread:i
+                 ~expected:"valid(i) persists until ready(i)"
+                 ~actual:"valid retracted while stalled" ()
+             else if (not gated) && Bits.is_zero v then
+               report ~checker:"stability" ~cycle ~channel:name ~thread:i
+                 ~expected:"stalled valid persists or another thread is granted"
+                 ~actual:"all valids dropped with the token still untransferred"
+                 ()
+         done);
+      prev := Some (v, r, d))
+
+(* ---- (c) per-thread token conservation scoreboard ---- *)
+
+(* Watches a producer probe [src] and a consumer probe [snk]: every
+   token firing at [src] must fire at [snk] exactly once, per thread,
+   in order, optionally transformed by [transform] (the circuit's
+   reference function — identity for plain buffer pipelines, the RFC
+   1321 compression for MD5, ...).  [max_in_flight] cross-checks the
+   outstanding-token count against the slot capacity of the buffers
+   between the probes (see [Meb.capacity]). *)
+let check_conservation ?transform ?(compare_data = true) ?max_in_flight
+    ?(expect_drained = false) t ~src ~snk ~threads =
+  let transform = match transform with Some f -> f | None -> fun b -> b in
+  let src_fire = src ^ "_fire" and src_data = src ^ "_data" in
+  let snk_fire = snk ^ "_fire" and snk_data = snk ^ "_data" in
+  List.iter (Hw.Sampler.watch t.sampler) [ src_fire; src_data; snk_fire; snk_data ];
+  let report = reporter t in
+  let channel = src ^ "->" ^ snk in
+  let queues = Array.init threads (fun _ -> Queue.create ()) in
+  let over_bound = ref false in
+  Hw.Sampler.on_sample t.sampler (fun smp ->
+      let cycle = Hw.Sampler.cycle smp in
+      let sf = Hw.Sampler.value smp src_fire in
+      let sd = Hw.Sampler.value smp src_data in
+      List.iter
+        (fun i -> Queue.add (transform sd) queues.(i))
+        (fired_threads sf threads);
+      let kf = Hw.Sampler.value smp snk_fire in
+      let kd = Hw.Sampler.value smp snk_data in
+      List.iter
+        (fun i ->
+          if Queue.is_empty queues.(i) then
+            report ~checker:"conservation" ~cycle ~channel ~thread:i
+              ~expected:"every sink token matches an outstanding source token"
+              ~actual:"token delivered with an empty scoreboard (duplication)"
+              ()
+          else begin
+            let expected = Queue.pop queues.(i) in
+            if compare_data && not (Bits.equal kd expected) then
+              report ~checker:"conservation" ~cycle ~channel ~thread:i
+                ~expected:("0x" ^ Bits.to_hex_string expected ^ " (FIFO order)")
+                ~actual:("0x" ^ Bits.to_hex_string kd)
+                ()
+          end)
+        (fired_threads kf threads);
+      match max_in_flight with
+      | Some bound ->
+        let outstanding =
+          Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues
+        in
+        if outstanding > bound then begin
+          (* Report once per excursion above the bound, not per cycle. *)
+          if not !over_bound then
+            report ~checker:"conservation" ~cycle ~channel
+              ~expected:
+                (Printf.sprintf "at most %d tokens in flight (buffer capacity)"
+                   bound)
+              ~actual:(Printf.sprintf "%d outstanding" outstanding)
+              ();
+          over_bound := true
+        end
+        else over_bound := false
+      | None -> ());
+  t.finalizers <-
+    (fun () ->
+      if expect_drained then
+        Array.iteri
+          (fun i q ->
+            if not (Queue.is_empty q) then
+              report ~checker:"conservation"
+                ~cycle:(Hw.Sampler.cycle t.sampler) ~channel ~thread:i
+                ~expected:"all injected tokens delivered (drained run)"
+                ~actual:
+                  (Printf.sprintf "%d token(s) lost in flight" (Queue.length q))
+                ())
+          queues)
+    :: t.finalizers
+
+(* ---- (d) deadlock / starvation watchdog ---- *)
+
+(* No transfer on any watched channel for [timeout] cycles while
+   [pending] reports outstanding work is a deadlock; a single thread
+   making no transfer for [starvation_timeout] cycles while
+   [thread_pending] holds is starvation (the fairness the per-thread
+   handshakes are supposed to provide, Section III.A). *)
+let check_watchdog ?(timeout = 1000) ?starvation_timeout ?thread_pending
+    ?(pending = fun () -> true) t ~channels ~threads =
+  let fires = List.map (fun c -> c ^ "_fire") channels in
+  List.iter (Hw.Sampler.watch t.sampler) fires;
+  let report = reporter t in
+  let channel = String.concat "," channels in
+  let last_any = ref (-1) in
+  let last_thread = Array.make threads (-1) in
+  Hw.Sampler.on_sample t.sampler (fun smp ->
+      let cycle = Hw.Sampler.cycle smp in
+      let any = ref false in
+      List.iter
+        (fun f ->
+          let v = Hw.Sampler.value smp f in
+          if not (Bits.is_zero v) then begin
+            any := true;
+            for i = 0 to threads - 1 do
+              if Bits.bit v i then last_thread.(i) <- cycle
+            done
+          end)
+        fires;
+      if !any then last_any := cycle;
+      if cycle - !last_any >= timeout && pending () then begin
+        report ~checker:"watchdog" ~cycle ~channel
+          ~expected:
+            (Printf.sprintf "a transfer within %d cycles while work is pending"
+               timeout)
+          ~actual:
+            (Printf.sprintf "no transfer since cycle %d" (max 0 !last_any))
+          ();
+        last_any := cycle (* re-arm *)
+      end;
+      match (starvation_timeout, thread_pending) with
+      | Some st, Some tp ->
+        for i = 0 to threads - 1 do
+          if cycle - last_thread.(i) >= st && tp i then begin
+            report ~checker:"watchdog" ~cycle ~channel ~thread:i
+              ~expected:
+                (Printf.sprintf
+                   "thread transfers within %d cycles while it has work" st)
+              ~actual:
+                (Printf.sprintf "starved since cycle %d" (max 0 last_thread.(i)))
+              ();
+            last_thread.(i) <- cycle
+          end
+        done
+      | _ -> ())
+
+(* ---- (e) barrier liveness ---- *)
+
+(* Every participant entering WAIT must be released (see its FSM leave
+   WAIT) once all participants have arrived; a thread parked in WAIT
+   for [timeout] cycles means the episode can never complete
+   (Section V / Fig. 8). *)
+let check_barrier ?(timeout = 1000) ?participants t ~name ~threads =
+  let participates =
+    match participants with None -> Array.make threads true | Some p -> p
+  in
+  let state_name i = Printf.sprintf "%s_state%d" name i in
+  Array.iteri
+    (fun i p -> if p then Hw.Sampler.watch t.sampler (state_name i))
+    participates;
+  let report = reporter t in
+  let entered = Array.make threads (-1) in
+  Hw.Sampler.on_sample t.sampler (fun smp ->
+      let cycle = Hw.Sampler.cycle smp in
+      for i = 0 to threads - 1 do
+        if participates.(i) then begin
+          let st = Hw.Sampler.value_int smp (state_name i) in
+          if st = Melastic.Barrier.state_wait then begin
+            if entered.(i) < 0 then entered.(i) <- cycle
+            else if cycle - entered.(i) >= timeout then begin
+              report ~checker:"barrier" ~cycle ~channel:name ~thread:i
+                ~expected:
+                  (Printf.sprintf "release (go flip) within %d cycles of WAIT"
+                     timeout)
+                ~actual:
+                  (Printf.sprintf "in WAIT since cycle %d" entered.(i))
+                ();
+              entered.(i) <- cycle (* re-arm *)
+            end
+          end
+          else entered.(i) <- -1
+        end
+      done)
+
+(* ---- results ---- *)
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    List.iter (fun f -> f ()) (List.rev t.finalizers)
+  end
+
+let violations t =
+  finalize t;
+  List.rev t.violations
+
+let violation_count t =
+  finalize t;
+  List.length t.violations + t.suppressed
+
+let ok t = violation_count t = 0
+
+let exit_code t = if ok t then 0 else 1
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] cycle %d, channel %s%s: expected %s; got %s"
+    v.checker v.cycle v.channel
+    (match v.thread with
+     | Some i -> Printf.sprintf ", thread %d" i
+     | None -> "")
+    v.expected v.actual
+
+let summary t =
+  finalize t;
+  let buf = Buffer.create 256 in
+  let n = violation_count t in
+  Buffer.add_string buf
+    (if n = 0 then "monitor: all invariants held\n"
+     else Printf.sprintf "monitor: %d violation(s)%s\n" n
+         (if t.suppressed > 0 then
+            Printf.sprintf " (%d suppressed)" t.suppressed
+          else ""));
+  List.iter
+    (fun v -> Buffer.add_string buf (Format.asprintf "  %a@." pp_violation v))
+    (violations t);
+  Buffer.contents buf

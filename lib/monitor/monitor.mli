@@ -1,0 +1,130 @@
+(** Attachable runtime checkers for the MT-elastic protocol
+    invariants.
+
+    A monitor rides on any simulator backend (through
+    {!Hw.Sampler}'s shared per-cycle loop) and watches the
+    [<name>_valid/_ready/_fire/_data] export points installed by
+    {!Melastic.Mt_channel.probe}/[source]/[sink], plus the barrier's
+    named state probes.  Five checker classes cover the paper's
+    invariants:
+
+    - {!check_one_hot} — at most one [valid(i)] per cycle (Section
+      III);
+    - {!check_stability} — a stalled transfer persists with stable
+      data (baseline elastic persistence, relaxed for arbitrated
+      multithreaded channels);
+    - {!check_conservation} — per-thread token conservation, FIFO
+      order and in-flight capacity bounds through MEB pipelines
+      (Section IV);
+    - {!check_watchdog} — global progress and per-thread starvation;
+    - {!check_barrier} — barrier liveness: every thread entering WAIT
+      is eventually released (Section V / Fig. 8).
+
+    Violations are structured reports (checker, cycle, channel,
+    thread, expected/actual); {!summary} renders them and
+    {!exit_code} turns them into a process exit status.
+
+    Attaching in five lines:
+    {[
+      let sim = Hw.Sim.create circuit in
+      let m = Monitor.create sim in
+      Monitor.check_one_hot m ~name:"snk" ~threads;
+      Monitor.check_conservation m ~src:"src" ~snk:"snk" ~threads;
+      (* ... drive the workload ... *)
+      print_string (Monitor.summary m); exit (Monitor.exit_code m)
+    ]} *)
+
+type violation = {
+  checker : string;  (** checker class: ["one-hot"], ["stability"], ... *)
+  cycle : int;  (** cycle the violation was detected *)
+  channel : string;  (** probe/channel (or probe pair) being watched *)
+  thread : int option;  (** offending thread, when attributable *)
+  expected : string;
+  actual : string;
+}
+
+type t
+
+val create : ?max_reports:int -> Hw.Sim.t -> t
+(** Attach a monitor to a simulator.  Each checker instance keeps at
+    most [max_reports] (default 10) detailed reports; the rest are
+    counted as suppressed (and still fail {!ok}). *)
+
+val sampler : t -> Hw.Sampler.t
+(** The underlying shared sampler (to co-attach custom listeners). *)
+
+val check_one_hot : t -> name:string -> threads:int -> unit
+(** Protocol invariant (a): at most one [valid(i)] asserted per cycle
+    on the channel probed as [name]. *)
+
+val check_stability :
+  ?strict:bool -> ?gated:bool -> t -> name:string -> threads:int -> unit
+(** Protocol invariant (b): a thread stalled with [valid(i)] high and
+    [ready(i)] low must re-offer the same data next cycle — or, on an
+    arbitrated multithreaded channel, cede the cycle to another valid
+    thread (the Valid_only arbiter legally rotates past a stalled
+    grant).  [strict] forbids any retraction: use it on single-thread
+    channels and host-driven endpoints.  [gated] is for channels whose
+    valid is masked downstream of the arbiter (a barrier phase flip, a
+    branch condition): rotation onto a masked thread can legally leave
+    the channel with no valid at all, so only the re-offer
+    data-stability rule is enforced. *)
+
+val check_conservation :
+  ?transform:(Bits.t -> Bits.t) ->
+  ?compare_data:bool ->
+  ?max_in_flight:int ->
+  ?expect_drained:bool ->
+  t -> src:string -> snk:string -> threads:int -> unit
+(** Protocol invariant (c): per-thread token-conservation scoreboard
+    across a producer probe [src] and a consumer probe [snk] — no
+    loss, no duplication, per-thread FIFO order.  [transform] maps an
+    injected token to the value expected at the sink (default
+    identity; pass the circuit's reference function for computing
+    pipelines).  [compare_data:false] checks counts and order only.
+    [max_in_flight] cross-checks outstanding tokens against the slot
+    capacity of the buffers between the probes (see
+    {!Melastic.Meb.capacity}).  With [expect_drained], tokens still
+    outstanding at {!finalize} time are reported as lost. *)
+
+val check_watchdog :
+  ?timeout:int ->
+  ?starvation_timeout:int ->
+  ?thread_pending:(int -> bool) ->
+  ?pending:(unit -> bool) ->
+  t -> channels:string list -> threads:int -> unit
+(** Protocol invariant (d): progress.  No transfer on any of
+    [channels] (their [_fire] exports) for [timeout] cycles (default
+    1000) while [pending ()] holds is reported as deadlock.  When
+    [starvation_timeout] and [thread_pending] are given, a thread with
+    work that makes no transfer within the window is reported as
+    starved. *)
+
+val check_barrier :
+  ?timeout:int ->
+  ?participants:bool array ->
+  t -> name:string -> threads:int -> unit
+(** Protocol invariant (e): barrier liveness.  Watches the
+    [<name>_state<i>] probes of {!Melastic.Barrier}; a participant
+    parked in WAIT for [timeout] cycles (default 1000) is reported —
+    its episode can never complete. *)
+
+val finalize : t -> unit
+(** Run end-of-run checks (e.g. conservation drain).  Idempotent;
+    implied by {!violations}/{!ok}/{!summary}/{!exit_code}. *)
+
+val violations : t -> violation list
+(** Detailed reports, oldest first. *)
+
+val violation_count : t -> int
+(** Total violations including suppressed ones. *)
+
+val ok : t -> bool
+
+val exit_code : t -> int
+(** [0] when {!ok}, [1] otherwise. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val summary : t -> string
+(** Human-readable verdict plus every detailed report. *)

@@ -3,27 +3,34 @@
 
    Channels are observed through the outputs installed by
    [Mt_channel.probe] (or sink/source endpoints that export the same
-   <name>_fire / <name>_data signals). *)
+   <name>_fire / <name>_data signals).  The per-cycle peek loop is
+   [Hw.Sampler]'s; this module only keeps the per-probe token log. *)
 
 type cell = { thread : int; data : Bits.t }
 
 type probe_log = { probe : string; mutable cells : (int * cell) list }
 
 type t = {
-  sim : Hw.Sim.t;
+  sampler : Hw.Sampler.t;
   threads : int;
   logs : probe_log list;
 }
 
 let attach sim ~threads ~probes =
+  let sampler = Hw.Sampler.attach sim in
   let logs = List.map (fun p -> { probe = p; cells = [] }) probes in
-  let t = { sim; threads; logs } in
-  Hw.Sim.on_cycle sim (fun sim ->
-      let c = Hw.Sim.cycle_no sim in
+  List.iter
+    (fun p ->
+      Hw.Sampler.watch sampler (p ^ "_fire");
+      Hw.Sampler.watch sampler (p ^ "_data"))
+    probes;
+  let t = { sampler; threads; logs } in
+  Hw.Sampler.on_sample sampler (fun smp ->
+      let c = Hw.Sampler.cycle smp in
       List.iter
         (fun log ->
-          let fire = Hw.Sim.peek sim (log.probe ^ "_fire") in
-          let data = Hw.Sim.peek sim (log.probe ^ "_data") in
+          let fire = Hw.Sampler.value smp (log.probe ^ "_fire") in
+          let data = Hw.Sampler.value smp (log.probe ^ "_data") in
           for i = 0 to threads - 1 do
             if Bits.bit fire i then log.cells <- (c, { thread = i; data }) :: log.cells
           done)

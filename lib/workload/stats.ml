@@ -1,55 +1,48 @@
 (* Channel and buffer statistics: per-cycle sampling of named signals
    into histograms and utilization summaries.  Used by the benches to
    report slot occupancy (the quantity the reduced MEB trades away)
-   and channel activity next to the Fig. 5 schedules. *)
+   and channel activity next to the Fig. 5 schedules.
 
-type series = {
-  name : string;
-  mutable samples : int list; (* reverse order *)
-}
+   The per-cycle loop itself lives in [Hw.Sampler]; this module is one
+   of its clients (with [Schedule] and [Monitor]) and only adds the
+   summary arithmetic. *)
 
 type t = {
-  sim : Hw.Sim.t;
-  series : series list;
+  sampler : Hw.Sampler.t;
+  signals : string list;
 }
 
 (* Sample the named signals (ints) at the end of every cycle. *)
 let attach sim ~signals =
-  let series = List.map (fun name -> { name; samples = [] }) signals in
-  Hw.Sim.on_cycle sim (fun sim ->
-      List.iter
-        (fun s -> s.samples <- Hw.Sim.peek_int sim s.name :: s.samples)
-        series);
-  { sim; series }
+  let sampler = Hw.Sampler.attach sim in
+  List.iter (Hw.Sampler.record sampler) signals;
+  { sampler; signals }
 
-let find t name =
-  match List.find_opt (fun s -> s.name = name) t.series with
-  | Some s -> s
-  | None -> invalid_arg ("Stats: unknown series " ^ name)
-
-let samples t name = List.rev (find t name).samples
+let samples t name =
+  if not (List.mem name t.signals) then invalid_arg ("Stats: unknown series " ^ name);
+  Hw.Sampler.series_int t.sampler name
 
 let mean t name =
-  match (find t name).samples with
+  match samples t name with
   | [] -> 0.0
   | l ->
     float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
 
-let maximum t name = List.fold_left max 0 (find t name).samples
+let maximum t name = List.fold_left max 0 (samples t name)
 
 (* Histogram as (value, count) pairs, ascending. *)
 let histogram t name =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
-    (find t name).samples;
+    (samples t name);
   Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
   |> List.sort compare
 
 (* Fraction of sampled cycles with a non-zero value — e.g. channel
    utilization when sampling a fire signal. *)
 let utilization t name =
-  match (find t name).samples with
+  match samples t name with
   | [] -> 0.0
   | l ->
     float_of_int (List.length (List.filter (fun v -> v <> 0) l))
@@ -69,5 +62,5 @@ let pp_histogram fmt (t, name) =
 let report t =
   Format.asprintf "%a"
     (fun fmt () ->
-      List.iter (fun s -> pp_histogram fmt (t, s.name)) t.series)
+      List.iter (fun name -> pp_histogram fmt (t, name)) t.signals)
     ()

@@ -14,4 +14,5 @@ let () =
       Test_transform.suite;
       Test_fpga.suite;
       Test_workload.suite;
+      Test_monitor.suite;
       Test_verilog.suite ]

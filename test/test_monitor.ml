@@ -1,0 +1,315 @@
+(* Runtime protocol monitors: every checker stays green on correct
+   workloads (MD5, the MT processor, a barrier graph — on both
+   simulator backends), and each negative fixture trips exactly the
+   checker it targets. *)
+
+module S = Hw.Signal
+module Mc = Melastic.Mt_channel
+module D = Synth.Dataflow
+
+let backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+
+(* Distinct checker classes among a monitor's reports. *)
+let checker_classes m =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Monitor.checker) (Monitor.violations m))
+
+let check_clean tag m =
+  if not (Monitor.ok m) then
+    Alcotest.failf "%s:\n%s" tag (Monitor.summary m)
+
+let check_only tag checker m =
+  Alcotest.(check bool) (tag ^ ": violations found") true
+    (Monitor.violation_count m > 0);
+  Alcotest.(check (list string)) (tag ^ ": only " ^ checker) [ checker ]
+    (checker_classes m)
+
+(* ---- positive: real workloads stay green on both backends ---- *)
+
+let test_md5_clean () =
+  List.iter
+    (fun backend ->
+      let threads = 3 in
+      let circuit =
+        Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~probes:true
+          ~threads ()
+      in
+      let sim = Hw.Sim.create ~backend circuit in
+      let m = Monitor.create sim in
+      List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
+        [ "msg"; "digest"; "md5_dp"; "md5_bar_in" ];
+      Monitor.check_stability ~strict:true m ~name:"msg" ~threads;
+      Monitor.check_stability m ~name:"md5_dp" ~threads;
+      Monitor.check_stability m ~name:"md5_bar_in" ~threads;
+      Monitor.check_stability ~gated:true m ~name:"digest" ~threads;
+      Monitor.check_conservation m ~src:"msg" ~snk:"digest" ~threads
+        ~transform:Md5.Md5_circuit.reference_digest
+        ~max_in_flight:(2 * threads) ~expect_drained:true;
+      Monitor.check_barrier m ~name:"md5_barrier" ~threads;
+      Monitor.check_watchdog m ~channels:[ "msg"; "digest" ] ~threads;
+      let d =
+        Workload.Mt_driver.create sim ~src:"msg" ~snk:"digest" ~threads
+          ~width:Md5.Md5_circuit.input_width
+      in
+      let st = Random.State.make [| 5; 7 |] in
+      let iv = Md5.Md5_ref.state_to_bits Md5.Md5_ref.iv in
+      for t = 0 to threads - 1 do
+        Workload.Mt_driver.push d ~thread:t
+          (Md5.Md5_circuit.input_bits
+             ~block:(Bits.random st ~width:Md5.Md5_circuit.block_width)
+             ~iv)
+      done;
+      Alcotest.(check bool) "drained" true
+        (Workload.Mt_driver.run_until_drained d ~limit:5000);
+      check_clean ("md5 " ^ Hw.Sim.backend_to_string backend) m)
+    backends
+
+let test_cpu_clean () =
+  List.iter
+    (fun backend ->
+      let threads = 2 in
+      let config =
+        { (Cpu.Mt_pipeline.default_config ~threads) with
+          Cpu.Mt_pipeline.imem_size = 64;
+          dmem_size = 64;
+          exe_latency = Melastic.Mt_varlat.Random { max_latency = 2; seed = 3 } }
+      in
+      let circuit, t = Cpu.Mt_pipeline.circuit ~probes:true config in
+      let sim = Hw.Sim.create ~backend circuit in
+      let m = Monitor.create sim in
+      let chans = [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ] in
+      List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) chans;
+      List.iter (fun n -> Monitor.check_stability m ~name:n ~threads) chans;
+      Monitor.check_conservation m ~src:"cpu_fetch" ~snk:"cpu_wb" ~threads
+        ~compare_data:false ~max_in_flight:threads ~expect_drained:true;
+      Monitor.check_watchdog ~timeout:200 m ~channels:chans ~threads
+        ~pending:(fun () -> not (Hw.Sim.peek_bool sim "halted_all"));
+      let program =
+        "addi r1, r0, 5\n\
+         loop: addi r1, r1, -1\n\
+         sw r1, 0(r1)\n\
+         bne r1, r0, loop\n\
+         halt\n"
+      in
+      Cpu.Mt_pipeline.load_program sim t (Cpu.Asm.assemble_words program);
+      Hw.Sim.settle sim;
+      (match Cpu.Mt_pipeline.run_until_halted sim ~limit:5000 with
+       | Some _ -> ()
+       | None -> Alcotest.fail "cpu did not halt");
+      check_clean ("cpu " ^ Hw.Sim.backend_to_string backend) m)
+    backends
+
+(* Barrier workload: all participants arrive and are released, every
+   episode. *)
+let barrier_graph ~threads =
+  let g = D.create ~threads () in
+  let x = D.input g ~name:"x" ~width:16 in
+  (* ids in construction order: input=0, buffer=1, barrier=2. *)
+  let x = D.buffer g x in
+  let y = D.barrier g ~name:"bar" x in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  g
+
+let test_barrier_clean () =
+  List.iter
+    (fun backend ->
+      let threads = 3 in
+      let sim = Hw.Sim.create ~backend (D.circuit (barrier_graph ~threads)) in
+      let m = Monitor.create sim in
+      List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
+      Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads
+        ~expect_drained:true;
+      Monitor.check_barrier ~timeout:100 m ~name:"bar_n2" ~threads;
+      Monitor.check_watchdog ~timeout:100 m ~channels:[ "x"; "y" ] ~threads;
+      let d =
+        Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:16
+      in
+      for t = 0 to threads - 1 do
+        for i = 1 to 4 do Workload.Mt_driver.push_int d ~thread:t i done
+      done;
+      Alcotest.(check bool) "drained" true
+        (Workload.Mt_driver.run_until_drained d ~limit:1000);
+      check_clean ("barrier " ^ Hw.Sim.backend_to_string backend) m)
+    backends
+
+(* ---- negative: each fixture trips exactly its checker ---- *)
+
+(* (a) two valids asserted at once. *)
+let test_trip_one_hot () =
+  let b = S.Builder.create () in
+  ignore (S.output b "rogue_valid" (S.of_int b ~width:2 3));
+  ignore (S.output b "rogue_ready" (S.of_int b ~width:2 0));
+  ignore (S.output b "rogue_data" (S.of_int b ~width:8 0x42));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  Monitor.check_one_hot m ~name:"rogue" ~threads:2;
+  Monitor.check_stability m ~name:"rogue" ~threads:2;
+  Hw.Sim.cycles sim 5;
+  check_only "one-hot" "one-hot" m;
+  (match Monitor.violations m with
+   | v :: _ ->
+     Alcotest.(check string) "channel" "rogue" v.Monitor.channel;
+     Alcotest.(check int) "first at cycle 0" 0 v.Monitor.cycle
+   | [] -> Alcotest.fail "no violation")
+
+(* (b) data mutates under a stall. *)
+let test_trip_stability_data () =
+  let b = S.Builder.create () in
+  ignore (S.output b "u_valid" (S.of_int b ~width:1 1));
+  ignore (S.output b "u_ready" (S.of_int b ~width:1 0));
+  ignore
+    (S.output b "u_data"
+       (S.reg_fb b ~width:8 (fun q -> S.add b q (S.of_int b ~width:8 1))));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  Monitor.check_one_hot m ~name:"u" ~threads:1;
+  Monitor.check_stability m ~name:"u" ~threads:1;
+  Hw.Sim.cycles sim 5;
+  check_only "stability/data" "stability" m
+
+(* (b) strict: valid retracted before the transfer. *)
+let test_trip_stability_retraction () =
+  let b = S.Builder.create () in
+  let toggling = S.reg_fb b ~init:(Bits.of_int ~width:1 1) ~width:1 (fun q -> S.lnot b q) in
+  ignore (S.output b "u_valid" toggling);
+  ignore (S.output b "u_ready" (S.of_int b ~width:1 0));
+  ignore (S.output b "u_data" (S.of_int b ~width:8 0x42));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  Monitor.check_one_hot m ~name:"u" ~threads:1;
+  Monitor.check_stability ~strict:true m ~name:"u" ~threads:1;
+  Hw.Sim.cycles sim 6;
+  check_only "stability/retraction" "stability" m
+
+(* (c) a deliberately broken 1-slot buffer: its input is always ready,
+   so under backpressure an arriving token silently overwrites the
+   occupied slot — exactly the loss the conservation scoreboard must
+   catch. *)
+let broken_one_slot_buffer b (ch : Mc.t) =
+  let threads = Mc.threads ch in
+  let width = Mc.width ch in
+  let any_in = Mc.any_valid b ch in
+  Array.iter (fun r -> S.assign r (S.vdd b)) ch.Mc.readys;
+  let out = Mc.wires b ~threads ~width in
+  let out_fire = Mc.any_transfer b out in
+  let occupied =
+    S.reg_fb b ~width:1 (fun q ->
+        S.mux2 b any_in (S.vdd b) (S.mux2 b out_fire (S.gnd b) q))
+  in
+  let tid = S.reg b ~enable:any_in (Mc.active_thread b ch) in
+  let data = S.reg b ~enable:any_in ch.Mc.data in
+  Array.iteri
+    (fun i v ->
+      S.assign v (S.land_ b (S.bit b occupied 0) (S.eq_const b tid i)))
+    out.Mc.valids;
+  S.assign out.Mc.data data;
+  out
+
+let test_trip_conservation_loss () =
+  let threads = 2 and width = 16 in
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let out = broken_one_slot_buffer b src in
+  Mc.sink b ~name:"snk" out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
+    [ "src"; "snk" ];
+  Monitor.check_conservation m ~src:"src" ~snk:"snk" ~threads
+    ~expect_drained:true;
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  for t = 0 to threads - 1 do
+    for i = 1 to 5 do
+      Workload.Mt_driver.push_int d ~thread:t ((100 * t) + i)
+    done
+  done;
+  (* Accept only every third cycle: tokens pile up and get clobbered. *)
+  Workload.Mt_driver.set_sink_ready d (fun c _ -> c mod 3 = 0);
+  Workload.Mt_driver.run d 100;
+  check_only "conservation/loss" "conservation" m
+
+(* (c) duplication: a firing sink with no matching source token. *)
+let test_trip_conservation_duplication () =
+  let b = S.Builder.create () in
+  ignore (S.output b "src_fire" (S.of_int b ~width:1 0));
+  ignore (S.output b "src_data" (S.of_int b ~width:8 0));
+  ignore (S.output b "snk_fire" (S.of_int b ~width:1 1));
+  ignore (S.output b "snk_data" (S.of_int b ~width:8 7));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  Monitor.check_conservation m ~src:"src" ~snk:"snk" ~threads:1;
+  Hw.Sim.cycles sim 3;
+  check_only "conservation/duplication" "conservation" m
+
+(* (d) sink never ready with work pending. *)
+let test_trip_watchdog () =
+  let threads = 2 and width = 16 in
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let meb = Melastic.Meb.create ~name:"MEB" ~kind:Melastic.Meb.Full b src in
+  Mc.sink b ~name:"snk" meb.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
+    [ "src"; "snk" ];
+  Monitor.check_watchdog ~timeout:50 ~starvation_timeout:50
+    ~thread_pending:(fun _ -> true) m ~channels:[ "snk" ] ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  Workload.Mt_driver.push_int d ~thread:0 1;
+  Workload.Mt_driver.push_int d ~thread:1 2;
+  Workload.Mt_driver.set_sink_ready d (fun _ _ -> false);
+  Workload.Mt_driver.run d 150;
+  check_only "watchdog" "watchdog" m
+
+(* (e) one participant never shows up: the others park in WAIT. *)
+let test_trip_barrier () =
+  let threads = 3 in
+  let sim = Hw.Sim.create (D.circuit (barrier_graph ~threads)) in
+  let m = Monitor.create sim in
+  List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
+  Monitor.check_barrier ~timeout:60 m ~name:"bar_n2" ~threads;
+  let d = Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:16 in
+  Workload.Mt_driver.push_int d ~thread:0 1;
+  Workload.Mt_driver.push_int d ~thread:1 2;
+  (* thread 2 never arrives *)
+  Workload.Mt_driver.run d 200;
+  check_only "barrier" "barrier" m;
+  let stuck =
+    List.filter_map (fun v -> v.Monitor.thread) (Monitor.violations m)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "threads 0 and 1 parked in WAIT" [ 0; 1 ] stuck
+
+(* Report budget: a noisy checker is capped per instance and the
+   overflow is still counted. *)
+let test_report_budget () =
+  let b = S.Builder.create () in
+  ignore (S.output b "rogue_valid" (S.of_int b ~width:2 3));
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let m = Monitor.create ~max_reports:4 sim in
+  Monitor.check_one_hot m ~name:"rogue" ~threads:2;
+  Hw.Sim.cycles sim 10;
+  Alcotest.(check int) "detailed reports capped" 4
+    (List.length (Monitor.violations m));
+  Alcotest.(check int) "all occurrences counted" 10 (Monitor.violation_count m);
+  Alcotest.(check int) "exit code" 1 (Monitor.exit_code m)
+
+let suite =
+  ( "monitor",
+    [ Alcotest.test_case "md5 clean (both backends)" `Quick test_md5_clean;
+      Alcotest.test_case "cpu clean (both backends)" `Quick test_cpu_clean;
+      Alcotest.test_case "barrier clean (both backends)" `Quick
+        test_barrier_clean;
+      Alcotest.test_case "trip: one-hot" `Quick test_trip_one_hot;
+      Alcotest.test_case "trip: stability (data)" `Quick
+        test_trip_stability_data;
+      Alcotest.test_case "trip: stability (retraction)" `Quick
+        test_trip_stability_retraction;
+      Alcotest.test_case "trip: conservation (broken 1-slot buffer)" `Quick
+        test_trip_conservation_loss;
+      Alcotest.test_case "trip: conservation (duplication)" `Quick
+        test_trip_conservation_duplication;
+      Alcotest.test_case "trip: watchdog" `Quick test_trip_watchdog;
+      Alcotest.test_case "trip: barrier liveness" `Quick test_trip_barrier;
+      Alcotest.test_case "report budget" `Quick test_report_budget ] )

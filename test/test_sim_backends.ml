@@ -336,9 +336,53 @@ let test_cpu_on_compiled () =
   let _, _, _, retired = rc in
   Alcotest.(check bool) "instructions retired" true (retired > 0)
 
+(* Both backends must reject unknown peek/poke names with the shared
+   structured error, including near-miss suggestions. *)
+let test_unknown_signal () =
+  let b = S.Builder.create () in
+  let x = S.input b "enable" 1 in
+  ignore (S.output b "counter" (S.reg_fb b ~enable:x ~width:8 (fun q -> S.add b q (S.of_int b ~width:8 1))));
+  let circuit = Hw.Circuit.create b in
+  List.iter
+    (fun backend ->
+      let sim = Hw.Sim.create ~backend circuit in
+      let tag = Hw.Sim.backend_to_string backend in
+      (try
+         ignore (Hw.Sim.peek sim "countr");
+         Alcotest.failf "%s: peek of unknown name succeeded" tag
+       with Hw.Sim_intf.Unknown_signal { op; name; candidates; _ } ->
+         Alcotest.(check string) (tag ^ " op") "peek" op;
+         Alcotest.(check string) (tag ^ " name") "countr" name;
+         Alcotest.(check bool) (tag ^ " suggests counter") true
+           (List.mem "counter" candidates));
+      (try
+         Hw.Sim.poke sim "enabel" (Bits.of_int ~width:1 1);
+         Alcotest.failf "%s: poke of unknown name succeeded" tag
+       with Hw.Sim_intf.Unknown_signal { op; candidates; _ } ->
+         Alcotest.(check string) (tag ^ " poke op") "poke" op;
+         Alcotest.(check bool) (tag ^ " suggests enable") true
+           (List.mem "enable" candidates));
+      (* The registered printer renders the suggestions. *)
+      (try ignore (Hw.Sim.peek_int sim "countr")
+       with exn ->
+         let msg = Printexc.to_string exn in
+         let contains sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length msg
+             && (String.sub msg i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         Alcotest.(check bool) (tag ^ " printable") true
+           (contains "countr" && contains "counter")))
+    [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+
 let suite =
   ( "sim-backends",
     [ Alcotest.test_case "random circuits lockstep" `Quick test_random_circuits;
+      Alcotest.test_case "unknown signal error (both)" `Quick
+        test_unknown_signal;
       Alcotest.test_case "reset equivalence" `Quick test_reset_equivalence;
       Alcotest.test_case "mux clamp (compiled)" `Quick test_mux_clamp_compiled;
       Alcotest.test_case "memory port priority (both)" `Quick
