@@ -5,7 +5,13 @@
    kinds and both simulator backends, with the full set of
    [Monitor] checkers attached (one-hot, stability, conservation,
    watchdog, barrier).  Any violation makes [run] return non-zero, so
-   CI can gate on `main.exe check`. *)
+   CI can gate on `main.exe check`.
+
+   Scenarios are independent, so [run] fans them across domains with
+   [Parallel.map_list]: each scenario builds its own circuit and
+   simulator, draws randomness from its own seeded state, and reports
+   into a private buffer; results are printed in scenario order, so
+   the output is identical whatever the domain count. *)
 
 module S = Hw.Signal
 module Mc = Melastic.Mt_channel
@@ -27,28 +33,30 @@ let random_backpressure st ~p =
       Hashtbl.add memo key b;
       b
 
-let verdict label m failures =
+(* Scenarios run concurrently: all reporting goes through a
+   per-scenario buffer, printed by [run] in deterministic order. *)
+let verdict buf label m failures =
   Monitor.finalize m;
-  if Monitor.ok m then Printf.printf "  ok    %s\n%!" label
+  if Monitor.ok m then Buffer.add_string buf (Printf.sprintf "  ok    %s\n" label)
   else begin
     incr failures;
-    Printf.printf "  FAIL  %s\n%!" label;
-    print_string
+    Buffer.add_string buf (Printf.sprintf "  FAIL  %s\n" label);
+    Buffer.add_string buf
       (String.concat ""
          (List.map
             (fun v -> Format.asprintf "        %a@." Monitor.pp_violation v)
             (Monitor.violations m)))
   end
 
-let fail_if label cond failures =
+let fail_if buf label cond failures =
   if cond then begin
     incr failures;
-    Printf.printf "  FAIL  %s\n%!" label
+    Buffer.add_string buf (Printf.sprintf "  FAIL  %s\n" label)
   end
 
 (* ---- scenario 1: generic two-stage MEB pipeline ---- *)
 
-let meb_pipeline ~kind ~policy ~threads ~seed failures =
+let meb_pipeline ~backend ~kind ~policy ~threads ~seed buf failures =
   let st = Random.State.make [| seed; 11 |] in
   let b = S.Builder.create () in
   let width = 32 in
@@ -57,7 +65,7 @@ let meb_pipeline ~kind ~policy ~threads ~seed failures =
   let mid = Mc.probe b ~name:"mid" m0.Melastic.Meb.out in
   let m1 = Melastic.Meb.create ~name:"MEB#1" ~policy ~kind b mid in
   Mc.sink b ~name:"snk" m1.Melastic.Meb.out;
-  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let sim = Hw.Sim.create ~backend (Hw.Circuit.create b) in
   let m = Monitor.create sim in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
     [ "src"; "mid"; "snk" ];
@@ -91,15 +99,15 @@ let meb_pipeline ~kind ~policy ~threads ~seed failures =
        | Melastic.Policy.Valid_only -> "valid-only")
   in
   let drained = Workload.Mt_driver.run_until_drained d ~limit:4000 in
-  fail_if (label ^ " (not drained)") (not drained) failures;
-  verdict label m failures
+  fail_if buf (label ^ " (not drained)") (not drained) failures;
+  verdict buf label m failures
 
 (* ---- scenario 2: MD5 ---- *)
 
-let md5 ~kind ~threads ~seed failures =
+let md5 ~backend ~kind ~threads ~seed buf failures =
   let st = Random.State.make [| seed; 23 |] in
   let circuit = Md5.Md5_circuit.circuit ~kind ~probes:true ~threads () in
-  let sim = Hw.Sim.create circuit in
+  let sim = Hw.Sim.create ~backend circuit in
   let m = Monitor.create sim in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
     [ "msg"; "digest"; "md5_dp"; "md5_bar_in" ];
@@ -133,8 +141,8 @@ let md5 ~kind ~threads ~seed failures =
   Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.5);
   let label = Printf.sprintf "md5 %s" (Melastic.Meb.kind_to_string kind) in
   let drained = Workload.Mt_driver.run_until_drained d ~limit:20000 in
-  fail_if (label ^ " (not drained)") (not drained) failures;
-  verdict label m failures
+  fail_if buf (label ^ " (not drained)") (not drained) failures;
+  verdict buf label m failures
 
 (* ---- scenario 3: MT processor ---- *)
 
@@ -151,7 +159,7 @@ let cpu_program =
    bne r3, r0, loop\n\
    halt\n"
 
-let cpu ~kind ~threads ~seed failures =
+let cpu ~backend ~kind ~threads ~seed buf failures =
   let config =
     { (Cpu.Mt_pipeline.default_config ~threads) with
       Cpu.Mt_pipeline.kind;
@@ -162,7 +170,7 @@ let cpu ~kind ~threads ~seed failures =
       mem_latency = Melastic.Mt_varlat.Random { max_latency = 2; seed = seed + 2 } }
   in
   let circuit, t = Cpu.Mt_pipeline.circuit ~probes:true config in
-  let sim = Hw.Sim.create circuit in
+  let sim = Hw.Sim.create ~backend circuit in
   let m = Monitor.create sim in
   let chans = [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ] in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) chans;
@@ -178,12 +186,12 @@ let cpu ~kind ~threads ~seed failures =
   Hw.Sim.settle sim;
   let cycles = Cpu.Mt_pipeline.run_until_halted sim ~limit:20000 in
   let label = Printf.sprintf "cpu %s" (Melastic.Meb.kind_to_string kind) in
-  fail_if (label ^ " (did not halt)") (cycles = None) failures;
-  verdict label m failures
+  fail_if buf (label ^ " (did not halt)") (cycles = None) failures;
+  verdict buf label m failures
 
 (* ---- scenario 4: synthesized dataflow graphs ---- *)
 
-let dataflow_varlat ~threads ~seed failures =
+let dataflow_varlat ~backend ~threads ~seed buf failures =
   let st = Random.State.make [| seed; 31 |] in
   let g = D.create ~threads () in
   let x = D.input g ~name:"x" ~width:32 in
@@ -195,7 +203,7 @@ let dataflow_varlat ~threads ~seed failures =
   let y = D.func g ~width:32 (fun b d -> S.add b (S.sll b d 1) (S.of_int b ~width:32 1)) y in
   let y = D.buffer g y in
   D.output g ~name:"y" y;
-  let sim = Hw.Sim.create (D.circuit g) in
+  let sim = Hw.Sim.create ~backend (D.circuit g) in
   let m = Monitor.create sim in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
   Monitor.check_stability ~strict:true m ~name:"x" ~threads;
@@ -213,13 +221,13 @@ let dataflow_varlat ~threads ~seed failures =
   done;
   Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.6);
   let drained = Workload.Mt_driver.run_until_drained d ~limit:4000 in
-  fail_if "dataflow-varlat (not drained)" (not drained) failures;
-  verdict "dataflow-varlat" m failures
+  fail_if buf "dataflow-varlat (not drained)" (not drained) failures;
+  verdict buf "dataflow-varlat" m failures
 
 (* Iterative doubling loop (merge/branch/feedback): iteration counts
    differ per token so same-thread tokens may exit out of order —
    conservation checks counts only. *)
-let dataflow_loop ~threads ~seed failures =
+let dataflow_loop ~backend ~threads ~seed buf failures =
   let st = Random.State.make [| seed; 37 |] in
   let g = D.create ~threads () in
   let x = D.input g ~name:"x" ~width:32 in
@@ -239,7 +247,7 @@ let dataflow_loop ~threads ~seed failures =
   let doubled = D.func g ~width:32 (fun b d -> S.sll b d 1) again in
   close doubled;
   D.output g ~name:"y" exit_;
-  let sim = Hw.Sim.create (D.circuit g) in
+  let sim = Hw.Sim.create ~backend (D.circuit g) in
   let m = Monitor.create sim in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
   Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads ~compare_data:false
@@ -260,10 +268,10 @@ let dataflow_loop ~threads ~seed failures =
     done;
     drained := !drained && Workload.Mt_driver.run_until_drained d ~limit:2000
   done;
-  fail_if "dataflow-loop (not drained)" (not !drained) failures;
-  verdict "dataflow-loop" m failures
+  fail_if buf "dataflow-loop (not drained)" (not !drained) failures;
+  verdict buf "dataflow-loop" m failures
 
-let dataflow_barrier ~threads ~seed failures =
+let dataflow_barrier ~backend ~threads ~seed buf failures =
   let st = Random.State.make [| seed; 41 |] in
   let g = D.create ~threads () in
   let x = D.input g ~name:"x" ~width:32 in
@@ -273,7 +281,7 @@ let dataflow_barrier ~threads ~seed failures =
   let y = D.barrier g ~name:"bar" x in
   let y = D.buffer g y in
   D.output g ~name:"y" y;
-  let sim = Hw.Sim.create (D.circuit g) in
+  let sim = Hw.Sim.create ~backend (D.circuit g) in
   let m = Monitor.create sim in
   List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads) [ "x"; "y" ];
   Monitor.check_conservation m ~src:"x" ~snk:"y" ~threads ~expect_drained:true;
@@ -287,35 +295,57 @@ let dataflow_barrier ~threads ~seed failures =
   done;
   Workload.Mt_driver.set_sink_ready d (random_backpressure st ~p:0.5);
   let drained = Workload.Mt_driver.run_until_drained d ~limit:6000 in
-  fail_if "dataflow-barrier (not drained)" (not drained) failures;
-  verdict "dataflow-barrier" m failures
+  fail_if buf "dataflow-barrier (not drained)" (not drained) failures;
+  verdict buf "dataflow-barrier" m failures
 
 (* ---- top level ---- *)
 
+(* The scenario list for one backend, in report order. *)
+let scenarios ~backend ~threads ~seed =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun policy buf failures ->
+          meb_pipeline ~backend ~kind ~policy ~threads ~seed buf failures)
+        [ Melastic.Policy.Ready_aware; Melastic.Policy.Valid_only ]
+      @ [ (fun buf failures -> md5 ~backend ~kind ~threads ~seed buf failures);
+          (fun buf failures -> cpu ~backend ~kind ~threads ~seed buf failures) ])
+    kinds
+  @ [ (fun buf failures -> dataflow_varlat ~backend ~threads ~seed buf failures);
+      (fun buf failures -> dataflow_loop ~backend ~threads ~seed buf failures);
+      (fun buf failures -> dataflow_barrier ~backend ~threads ~seed buf failures) ]
+
 let run ?(backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]) ?(threads = 4)
-    ?(seed = 0x5EED) () =
+    ?(seed = 0x5EED) ?domains () =
   print_endline
     "=== check: randomized protocol-monitor stress (one-hot, stability, \
      conservation, watchdog, barrier) ===";
+  let tasks =
+    List.concat_map
+      (fun backend ->
+        List.map (fun f -> (backend, f)) (scenarios ~backend ~threads ~seed))
+      backends
+  in
+  let results =
+    Parallel.map_list ?domains
+      (fun (backend, f) ->
+        let buf = Buffer.create 256 in
+        let failures = ref 0 in
+        f buf failures;
+        (backend, Buffer.contents buf, !failures))
+      tasks
+  in
   let failures = ref 0 in
-  let saved = !Hw.Sim.default_backend in
+  let last_backend = ref None in
   List.iter
-    (fun backend ->
-      Hw.Sim.default_backend := backend;
-      Printf.printf "--- backend %s ---\n%!" (Hw.Sim.backend_to_string backend);
-      List.iter
-        (fun kind ->
-          List.iter
-            (fun policy -> meb_pipeline ~kind ~policy ~threads ~seed failures)
-            [ Melastic.Policy.Ready_aware; Melastic.Policy.Valid_only ];
-          md5 ~kind ~threads ~seed failures;
-          cpu ~kind ~threads ~seed failures)
-        kinds;
-      dataflow_varlat ~threads ~seed failures;
-      dataflow_loop ~threads ~seed failures;
-      dataflow_barrier ~threads ~seed failures)
-    backends;
-  Hw.Sim.default_backend := saved;
+    (fun (backend, out, f) ->
+      if !last_backend <> Some backend then begin
+        last_backend := Some backend;
+        Printf.printf "--- backend %s ---\n" (Hw.Sim.backend_to_string backend)
+      end;
+      print_string out;
+      failures := !failures + f)
+    results;
   if !failures = 0 then print_endline "check: all scenarios clean"
   else Printf.printf "check: %d scenario(s) FAILED\n" !failures;
   !failures

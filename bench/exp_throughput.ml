@@ -5,7 +5,10 @@
       active thread receives 1/M of the channel (both MEB kinds).
    2. When all threads but one are blocked long enough for their
       backpressure to fill the pipeline, the lone active thread
-      retains 100% with full MEBs but 50% with reduced MEBs. *)
+      retains 100% with full MEBs but 50% with reduced MEBs.
+
+   Every (kind, active/threads) sweep point builds and drives its own
+   pipeline, so the points fan across domains with [Parallel]. *)
 
 module S = Hw.Signal
 module Mc = Melastic.Mt_channel
@@ -48,32 +51,46 @@ let blocked_scenario ~kind ~threads =
   Workload.Mt_driver.run d 150;
   Workload.Mt_driver.throughput d ~thread:0 ~from_cycle:50 ~to_cycle:149
 
-let run () =
+let run ?domains () =
   print_endline "=== Sec. III.A: per-thread throughput of MT elastic channels ===";
   let threads = 8 in
+  let uniform_points =
+    List.concat_map
+      (fun kind -> List.map (fun m -> (kind, m)) [ 1; 2; 4; 8 ])
+      [ Melastic.Meb.Full; Melastic.Meb.Reduced ]
+  in
+  let uniform =
+    Parallel.map_list ?domains
+      (fun (kind, m) -> ((kind, m), uniform_share ~kind ~threads ~active:m))
+      uniform_points
+  in
   Printf.printf "%-10s %-8s %-12s %-12s %-12s\n" "kind" "active" "measured" "paper(1/M)"
     "abs err";
   List.iter
-    (fun kind ->
-      List.iter
-        (fun m ->
-          let got = uniform_share ~kind ~threads ~active:m in
-          let expect = 1.0 /. float_of_int m in
-          Printf.printf "%-10s %-8d %-12.3f %-12.3f %-12.3f\n"
-            (Melastic.Meb.kind_to_string kind) m got expect
-            (Float.abs (got -. expect)))
-        [ 1; 2; 4; 8 ])
-    [ Melastic.Meb.Full; Melastic.Meb.Reduced ];
+    (fun ((kind, m), got) ->
+      let expect = 1.0 /. float_of_int m in
+      Printf.printf "%-10s %-8d %-12.3f %-12.3f %-12.3f\n"
+        (Melastic.Meb.kind_to_string kind) m got expect
+        (Float.abs (got -. expect)))
+    uniform;
   print_newline ();
   print_endline "--- all-but-one-blocked scenario (lone thread's throughput) ---";
+  let blocked_points =
+    List.concat_map
+      (fun (kind, expect) ->
+        List.map (fun threads -> (kind, expect, threads)) [ 2; 4; 8 ])
+      [ (Melastic.Meb.Full, "~1.00"); (Melastic.Meb.Reduced, "~0.50") ]
+  in
+  let blocked =
+    Parallel.map_list ?domains
+      (fun (kind, expect, threads) ->
+        (kind, expect, threads, blocked_scenario ~kind ~threads))
+      blocked_points
+  in
   Printf.printf "%-10s %-10s %-12s %-12s\n" "kind" "threads" "measured" "paper";
   List.iter
-    (fun (kind, expect) ->
-      List.iter
-        (fun threads ->
-          let got = blocked_scenario ~kind ~threads in
-          Printf.printf "%-10s %-10d %-12.2f %-12s\n"
-            (Melastic.Meb.kind_to_string kind) threads got expect)
-        [ 2; 4; 8 ])
-    [ (Melastic.Meb.Full, "~1.00"); (Melastic.Meb.Reduced, "~0.50") ];
+    (fun (kind, expect, threads, got) ->
+      Printf.printf "%-10s %-10d %-12.2f %-12s\n"
+        (Melastic.Meb.kind_to_string kind) threads got expect)
+    blocked;
   print_newline ()

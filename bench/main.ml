@@ -6,14 +6,17 @@
      main.exe                 run everything
      main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare
      main.exe check           randomized protocol-monitor stress (non-zero exit on violation)
+     main.exe perf            simulation cycles/sec + parallel sweep scaling (BENCH_sim_perf.json)
+     main.exe perf --quick    shortened perf run, for CI smoke
      main.exe table1 --threads 16
+     main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
      main.exe --backend compiled   (simulator backend for all experiments) *)
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check] \
-     [--threads N] [--backend interp|compiled]";
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf] \
+     [--threads N] [--domains N] [--quick] [--backend interp|compiled]";
   exit 2
 
 let () =
@@ -26,6 +29,15 @@ let () =
     in
     find args
   in
+  let domains =
+    let rec find = function
+      | "--domains" :: n :: _ -> Some (int_of_string n)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let quick = List.mem "--quick" args in
   (* All experiments create simulators through Hw.Sim.create, so one
      flag switches every run between the interpreter and the compiled
      backend. *)
@@ -56,8 +68,8 @@ let () =
     Exp_fig1.run ();
     Exp_fig2.run ();
     Exp_fig5.run ();
-    Exp_throughput.run ();
-    Exp_table1.run_all ();
+    Exp_throughput.run ?domains ();
+    Exp_table1.run_all ?domains ();
     Exp_ablation.run ();
     Exp_ipc.run ();
     Exp_granularity.run ();
@@ -65,8 +77,8 @@ let () =
   | [ "fig1" ] -> Exp_fig1.run ()
   | [ "fig2" ] -> Exp_fig2.run ()
   | [ "fig5" ] -> Exp_fig5.run ()
-  | [ "throughput" ] -> Exp_throughput.run ()
-  | [ "table1" ] -> ignore (Exp_table1.run ~threads ())
+  | [ "throughput" ] -> Exp_throughput.run ?domains ()
+  | [ "table1" ] -> ignore (Exp_table1.run ~threads ?domains ())
   | [ "ablation" ] -> Exp_ablation.run ()
   | [ "ipc" ] -> Exp_ipc.run ()
   | [ "granularity" ] -> Exp_granularity.run ()
@@ -79,5 +91,6 @@ let () =
       if !explicit_backend then [ !Hw.Sim.default_backend ]
       else [ Hw.Sim.Interp; Hw.Sim.Compiled ]
     in
-    exit (min 1 (Exp_check.run ~backends ~threads ()))
+    exit (min 1 (Exp_check.run ~backends ~threads ?domains ()))
+  | [ "perf" ] -> Exp_perf.run ~quick ?domains ()
   | _ -> usage ()

@@ -110,12 +110,12 @@ let create ?(name = "circuit") (b : Signal.builder) =
            invalid_arg (Printf.sprintf "Circuit: duplicate input name %s" n);
          Hashtbl.replace inputs n s
        | _ -> ());
-      match s.name with
-      | Some n ->
-        if Hashtbl.mem named n then
-          invalid_arg (Printf.sprintf "Circuit: duplicate signal name %s" n);
-        Hashtbl.replace named n s
-      | None -> ())
+      List.iter
+        (fun n ->
+          if Hashtbl.mem named n then
+            invalid_arg (Printf.sprintf "Circuit: duplicate signal name %s" n);
+          Hashtbl.replace named n s)
+        (Signal.all_names s))
     nodes;
   (* Output names are peekable aliases even when the signal already
      carries an internal name. *)

@@ -11,6 +11,7 @@ type t = {
   uid : uid;
   width : int;
   mutable name : string option;
+  mutable aliases : string list; (* extra peekable names, newest first *)
   op : op;
 }
 
@@ -77,7 +78,7 @@ let check_width w = if w < 1 then invalid_arg "Signal: width must be >= 1"
 
 let make b width op =
   check_width width;
-  Builder.register b { uid = Builder.fresh b; width; name = None; op }
+  Builder.register b { uid = Builder.fresh b; width; name = None; aliases = []; op }
 
 let const b bits = make b (Bits.width bits) (Const bits)
 let of_int b ~width n = const b (Bits.of_int ~width n)
@@ -104,6 +105,16 @@ let ( <== ) = assign
 
 let set_name t n = t.name <- Some n; t
 let ( -- ) = set_name
+
+(* An alias is a secondary peekable name — used by the netlist
+   optimizer when folding maps a named node onto another node that
+   already carries a (different) name, so probes survive rewriting. *)
+let add_alias t n =
+  if t.name <> Some n && not (List.mem n t.aliases) then
+    t.aliases <- n :: t.aliases
+
+let all_names t =
+  (match t.name with Some n -> [ n ] | None -> []) @ List.rev t.aliases
 
 let same_width op a b =
   if a.width <> b.width then
@@ -270,7 +281,10 @@ let onehot_to_binary b t =
   or_reduce b terms
 
 module Memory = struct
-  let mem_uid = ref 0
+  (* Atomic: circuits may be elaborated concurrently from several
+     domains (the [Parallel] sweep pool); a plain ref could hand two
+     memories of one circuit the same uid under a lost update. *)
+  let mem_uid = Atomic.make 0
 
   let create b ~name ~size ~width ?init () =
     check_width width;
@@ -280,10 +294,9 @@ module Memory = struct
      | Some a when Array.exists (fun v -> Bits.width v <> width) a ->
        invalid_arg "Memory.create: init width"
      | _ -> ());
-    incr mem_uid;
     let m =
-      { mem_uid = !mem_uid; mem_name = name; size; mem_width = width;
-        write_ports = []; init_contents = init }
+      { mem_uid = 1 + Atomic.fetch_and_add mem_uid 1; mem_name = name;
+        size; mem_width = width; write_ports = []; init_contents = init }
     in
     b.Builder.memories <- m :: b.Builder.memories;
     m

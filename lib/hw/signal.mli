@@ -17,6 +17,8 @@ type t = {
   uid : uid;
   width : int;
   mutable name : string option;
+  mutable aliases : string list;
+      (** extra peekable names (see {!add_alias}), newest first *)
   op : op;
 }
 
@@ -98,6 +100,15 @@ val set_name : t -> string -> t
 (** Name a signal for waveforms and {!Sim.peek}. *)
 
 val ( -- ) : t -> string -> t
+
+val add_alias : t -> string -> unit
+(** Attach a secondary peekable name.  {!Circuit.create} indexes
+    aliases exactly like primary names; {!Transform.optimize} uses
+    them so a probe name survives when its node folds onto another
+    named node.  No-op when the signal already answers to [n]. *)
+
+val all_names : t -> string list
+(** Primary name (if any) followed by aliases, oldest first. *)
 
 (** {1 Combinational operators}
 

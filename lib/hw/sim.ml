@@ -6,7 +6,17 @@
    the reference interpreter ([Sim_interp]) and the compiled backend
    ([Sim_compiled]) without source changes — either per call site via
    [?backend] / [create_from], or globally via [default_backend]
-   (which e.g. [bench/main.ml --backend compiled] sets). *)
+   (which e.g. [bench/main.ml --backend compiled] sets).
+
+   [create ?optimize] (default: on for the compiled backend) runs
+   [Transform.optimize_with_map] over the circuit and simulates the
+   reduced netlist instead.  Handles the caller holds against the
+   ORIGINAL circuit — [peek_signal] nodes, [mem_read]/[mem_write]
+   memory handles (e.g. [Cpu.Mt_pipeline.load_program]'s instruction
+   memory) — are translated through the optimizer's remap, so
+   testbenches are oblivious to the rewrite.  Named probes survive
+   optimization by construction ([Transform] keeps the live cone of
+   every named signal and carries merged names as aliases). *)
 
 type backend = Interp | Compiled
 
@@ -19,9 +29,19 @@ let backend_to_string = function Interp -> "interp" | Compiled -> "compiled"
 
 let default_backend = ref Interp
 
-type t = T : (module Sim_intf.S with type t = 'a) * 'a -> t
+type packed = T : (module Sim_intf.S with type t = 'a) * 'a -> packed
 
-let pack (type a) (module M : Sim_intf.S with type t = a) (s : a) = T ((module M), s)
+type t = {
+  p : packed;
+  map_signal : Signal.t -> Signal.t;
+  (* original-circuit signal -> simulated-circuit signal *)
+  map_memory : Signal.memory -> Signal.memory;
+}
+
+let pack (type a) (module M : Sim_intf.S with type t = a) (s : a) =
+  { p = T ((module M), s);
+    map_signal = (fun s -> s);
+    map_memory = (fun m -> m) }
 
 let create_from (module M : Sim_intf.S) circuit = pack (module M) (M.create circuit)
 
@@ -29,28 +49,91 @@ let module_of_backend : backend -> (module Sim_intf.S) = function
   | Interp -> (module Sim_interp)
   | Compiled -> (module Sim_compiled)
 
-let create ?backend circuit =
+(* Remap wrapper for an optimized simulation.  A handle is used as-is
+   when it is physically a node of the optimized circuit (looked up by
+   uid, confirmed by physical equality — uid spaces of different
+   builders overlap); otherwise it is translated through the
+   optimizer's remap.  A handle whose node was swept as dead raises. *)
+let optimized_maps (c' : Circuit.t) (remap : Transform.remap) =
+  let own_sig : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  Circuit.iter_nodes c' (fun s -> Hashtbl.replace own_sig s.Signal.uid s);
+  let own_mem : (int, Signal.memory) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Signal.memory) -> Hashtbl.replace own_mem m.Signal.mem_uid m)
+    c'.Circuit.memories;
+  let map_signal (s : Signal.t) =
+    match Hashtbl.find_opt own_sig s.Signal.uid with
+    | Some s' when s' == s -> s
+    | _ ->
+      (match remap.Transform.signal_of s with
+       | Some s' -> s'
+       | None ->
+         invalid_arg
+           (Printf.sprintf
+              "Sim: signal #%d%s was optimized away (dead); name it or create \
+               the simulator with ~optimize:false"
+              s.Signal.uid
+              (match s.Signal.name with Some n -> " (" ^ n ^ ")" | None -> "")))
+  in
+  let map_memory (m : Signal.memory) =
+    (* mem_uids are globally unique (one atomic counter), so physical
+       identity and uid identity coincide. *)
+    match Hashtbl.find_opt own_mem m.Signal.mem_uid with
+    | Some m' -> m'
+    | None ->
+      (match remap.Transform.memory_of m with
+       | Some m' -> m'
+       | None ->
+         invalid_arg
+           (Printf.sprintf "Sim: memory %s is not part of this simulation"
+              m.Signal.mem_name))
+  in
+  (map_signal, map_memory)
+
+let create ?backend ?optimize circuit =
   let backend = match backend with Some b -> b | None -> !default_backend in
-  create_from (module_of_backend backend) circuit
+  let optimize =
+    match optimize with Some b -> b | None -> backend = Compiled
+  in
+  let (module M : Sim_intf.S) = module_of_backend backend in
+  if not optimize then create_from (module M) circuit
+  else begin
+    let c', _stats, remap =
+      Transform.optimize_with_map ~name:circuit.Circuit.name circuit
+    in
+    let map_signal, map_memory = optimized_maps c' remap in
+    { p = T ((module M), M.create c'); map_signal; map_memory }
+  end
 
-let backend_name (T ((module M), _)) = M.name
+let backend_name { p = T ((module M), _); _ } = M.name
 
-let settle (T ((module M), s)) = M.settle s
-let cycle (T ((module M), s)) = M.cycle s
-let cycles (T ((module M), s)) n = M.cycles s n
-let cycle_no (T ((module M), s)) = M.cycle_no s
-let circuit (T ((module M), s)) = M.circuit s
+let settle { p = T ((module M), s); _ } = M.settle s
+let cycle { p = T ((module M), s); _ } = M.cycle s
+let cycles { p = T ((module M), s); _ } n = M.cycles s n
+let cycle_no { p = T ((module M), s); _ } = M.cycle_no s
 
-let on_cycle (T ((module M), s) as packed) f =
+let circuit { p = T ((module M), s); _ } = M.circuit s
+(* For an optimized simulation this is the OPTIMIZED circuit (that is
+   what the backend runs); original-circuit handles are translated by
+   the accessors below. *)
+
+let on_cycle ({ p = T ((module M), s); _ } as packed) f =
   (* Observers see the packed simulator, whatever the backend. *)
   M.on_cycle s (fun _ -> f packed)
 
-let poke (T ((module M), s)) name bits = M.poke s name bits
-let poke_int (T ((module M), s)) name n = M.poke_int s name n
-let peek (T ((module M), s)) name = M.peek s name
-let peek_int (T ((module M), s)) name = M.peek_int s name
-let peek_bool (T ((module M), s)) name = M.peek_bool s name
-let peek_signal (T ((module M), s)) signal = M.peek_signal s signal
-let reset (T ((module M), s)) = M.reset s
-let mem_read (T ((module M), s)) m addr = M.mem_read s m addr
-let mem_write (T ((module M), s)) m addr value = M.mem_write s m addr value
+let poke { p = T ((module M), s); _ } name bits = M.poke s name bits
+let poke_int { p = T ((module M), s); _ } name n = M.poke_int s name n
+let peek { p = T ((module M), s); _ } name = M.peek s name
+let peek_int { p = T ((module M), s); _ } name = M.peek_int s name
+let peek_bool { p = T ((module M), s); _ } name = M.peek_bool s name
+
+let peek_signal ({ p = T ((module M), s); _ } as t) signal =
+  M.peek_signal s (t.map_signal signal)
+
+let reset { p = T ((module M), s); _ } = M.reset s
+
+let mem_read ({ p = T ((module M), s); _ } as t) m addr =
+  M.mem_read s (t.map_memory m) addr
+
+let mem_write ({ p = T ((module M), s); _ } as t) m addr value =
+  M.mem_write s (t.map_memory m) addr value

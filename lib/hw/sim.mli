@@ -31,7 +31,15 @@ val default_backend : backend ref
 
 type t
 
-val create : ?backend:backend -> Circuit.t -> t
+val create : ?backend:backend -> ?optimize:bool -> Circuit.t -> t
+(** [?optimize] (default: [true] for [Compiled], [false] for [Interp])
+    runs {!Transform.optimize_with_map} and simulates the reduced
+    netlist.  Transparent to callers: named probes survive (as names
+    or aliases), and {!peek_signal} / {!mem_read} / {!mem_write}
+    handles held against the original circuit are translated through
+    the optimizer's remap.  Peeking a signal that was swept as dead
+    raises [Invalid_argument]; keep it by naming it, or pass
+    [~optimize:false]. *)
 
 val create_from : (module Sim_intf.S) -> Circuit.t -> t
 (** Instantiate an arbitrary backend implementation. *)
@@ -51,6 +59,8 @@ val cycle_no : t -> int
 (** Number of cycles since creation or {!reset}. *)
 
 val circuit : t -> Circuit.t
+(** The circuit the backend actually runs — the optimized one when
+    [create ~optimize:true] rewrote it. *)
 
 val on_cycle : t -> (t -> unit) -> unit
 (** Register an observer called at the end of every cycle, before the

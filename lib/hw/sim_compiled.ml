@@ -13,6 +13,33 @@
    - Constants are written once at build time, primary inputs are
      written by [poke], and register outputs hold the latched state
      directly, so none of them occupy a slot in the settle schedule.
+   - Wires are resolved away at compile time: every operand accessor
+     chases the wire chain to the real driver, so wires (pervasive in
+     feedback-heavy elastic designs) cost nothing per cycle.  Peeks
+     chase the same chain, so named wires stay observable.
+
+   Activity gating: the settle schedule is partitioned by what can
+   invalidate a node — [steps_input] is the fan-out cone of the
+   primary inputs, [steps_state] the cone of registers and memory
+   reads (the two overlap; each is kept in topological order).  A
+   dirty flag tracks pokes ([poke]/[poke_int]/[mem_write] set it; a
+   settle clears it):
+
+   - [settle] is a no-op when nothing was poked, and otherwise runs
+     only the input cone;
+   - [cycle] skips its leading settle when the trailing settle of the
+     previous cycle already left the circuit consistent, and its
+     trailing settle runs only the state cone unless an observer
+     poked.
+
+   This removes the redundant full double-settle per cycle: a
+   free-running circuit pays one state-cone settle per cycle, and a
+   poke-per-cycle testbench pays one input-cone plus one state-cone
+   settle instead of two full passes.  Nodes that depend on neither
+   inputs nor state (constant cones) are evaluated once at [create]
+   and never again.
+
+   A fresh simulator is fully settled, exactly as after [reset].
 
    Semantics are bit-identical to [Sim_interp] (the test suite checks
    this cycle-for-cycle on randomized circuits): two-phase
@@ -40,20 +67,47 @@ type reg_step = {
   reset_reg : unit -> unit; (* state slot <- init value *)
 }
 
+(* Narrow registers without a clear — the overwhelming majority in the
+   real designs — commit through tight index-array loops instead of a
+   closure pair per register: the commit is a fixed cost paid every
+   cycle, so it is worth specializing.  [es.(i) = -1] marks a register
+   with no enable (always loads). *)
+type int_regs = {
+  slots : int array; (* uid of the register's state slot *)
+  ds : int array; (* uid of the data operand *)
+  es : int array; (* uid of the enable operand, -1 if none *)
+  scratch : int array; (* phase-a sample buffer *)
+  inits : int array; (* reset values *)
+}
+
 type t = {
   circuit : Circuit.t;
   ivals : int array; (* uid -> value, signals of width <= maxw *)
   bvals : Bits.t array; (* uid -> value, wider signals *)
   mem_state : (int, mem_store) Hashtbl.t; (* mem_uid -> contents *)
-  steps : (unit -> unit) array; (* settle schedule, levelized order *)
-  reg_steps : reg_step array;
+  steps : (unit -> unit) array; (* full settle schedule (input + state cones) *)
+  steps_input : (unit -> unit) array; (* fan-out cone of the primary inputs *)
+  steps_state : (unit -> unit) array; (* fan-out cone of registers/memories *)
+  int_regs : int_regs;
+  reg_steps : reg_step array; (* wide or cleared registers: closure path *)
   mem_commits : (unit -> unit) array; (* write ports, phase b *)
   input_resets : (unit -> unit) array;
+  mutable dirty : bool; (* an input was poked since the last settle *)
+  mutable mstale : bool; (* a memory was written from the testbench *)
   mutable cycle_no : int;
   mutable observers : (t -> unit) list;
 }
 
 let is_int (s : Signal.t) = s.Signal.width <= maxw
+
+(* Chase wire chains to the driving node: every operand access and
+   peek goes through the driver's slot, so wires need no settle step
+   of their own. *)
+let rec resolve (s : Signal.t) =
+  match s.Signal.op with
+  | Signal.Wire { driver = Some d } -> resolve d
+  | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
+  | _ -> s
 
 let create circuit =
   let n = circuit.Circuit.max_uid in
@@ -79,17 +133,35 @@ let create circuit =
      first settle already have the right width. *)
   Circuit.iter_nodes circuit (fun (s : Signal.t) ->
       if not (is_int s) then bvals.(s.Signal.uid) <- Bits.zero s.Signal.width);
+  (* Activity classification: which cones can a poke (input_dep) or a
+     state commit (state_dep) invalidate?  Flags propagate through the
+     topological order, wires included. *)
+  let input_dep = Array.make n false in
+  let state_dep = Array.make n false in
+  Circuit.iter_nodes circuit (fun (s : Signal.t) ->
+      (match s.Signal.op with
+       | Signal.Input _ -> input_dep.(s.Signal.uid) <- true
+       | Signal.Reg _ | Signal.Mem_read _ -> state_dep.(s.Signal.uid) <- true
+       | _ -> ());
+      List.iter
+        (fun (d : Signal.t) ->
+          if input_dep.(d.Signal.uid) then input_dep.(s.Signal.uid) <- true;
+          if state_dep.(d.Signal.uid) then state_dep.(s.Signal.uid) <- true)
+        (Circuit.comb_deps s));
   (* Operand accessors, pre-resolved to a storage slot. *)
   let get_int_of (x : Signal.t) =
     (* Truncated int view of any operand (matches Bits.to_int_trunc). *)
+    let x = resolve x in
     let xi = x.Signal.uid in
     if is_int x then fun () -> ivals.(xi) else fun () -> Bits.to_int_trunc bvals.(xi)
   in
   let get_bits_of (x : Signal.t) =
+    let x = resolve x in
     let xi = x.Signal.uid and xw = x.Signal.width in
     if is_int x then fun () -> Bits.of_int ~width:xw ivals.(xi)
     else fun () -> bvals.(xi)
   in
+  let iuid (x : Signal.t) = (resolve x).Signal.uid in
   let compile (s : Signal.t) : (unit -> unit) option =
     let d = s.Signal.uid in
     let w = s.Signal.width in
@@ -97,15 +169,13 @@ let create circuit =
       let m = mask w in
       match s.Signal.op with
       | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> None
-      | Signal.Wire { driver = Some x } ->
-        let xi = x.Signal.uid in
-        Some (fun () -> ivals.(d) <- ivals.(xi))
-      | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
+      | Signal.Wire _ -> None (* operands and peeks resolve through it *)
       | Signal.Not x ->
-        let xi = x.Signal.uid in
+        let xi = iuid x in
         Some (fun () -> ivals.(d) <- lnot ivals.(xi) land m)
       | Signal.Binop (op, x, y) ->
-        let xi = x.Signal.uid and yi = y.Signal.uid in
+        let rx = resolve x and ry = resolve y in
+        let xi = rx.Signal.uid and yi = ry.Signal.uid in
         (match op with
          | Signal.And -> Some (fun () -> ivals.(d) <- ivals.(xi) land ivals.(yi))
          | Signal.Or -> Some (fun () -> ivals.(d) <- ivals.(xi) lor ivals.(yi))
@@ -117,17 +187,17 @@ let create circuit =
               cannot overflow, no mask needed. *)
            Some (fun () -> ivals.(d) <- ivals.(xi) * ivals.(yi))
          | Signal.Eq ->
-           if is_int x then Some (fun () -> ivals.(d) <- if ivals.(xi) = ivals.(yi) then 1 else 0)
+           if is_int rx then Some (fun () -> ivals.(d) <- if ivals.(xi) = ivals.(yi) then 1 else 0)
            else Some (fun () -> ivals.(d) <- if Bits.equal bvals.(xi) bvals.(yi) then 1 else 0)
          | Signal.Ult ->
            (* Int-path values are non-negative, so OCaml's (<) is an
               unsigned compare. *)
-           if is_int x then Some (fun () -> ivals.(d) <- if ivals.(xi) < ivals.(yi) then 1 else 0)
+           if is_int rx then Some (fun () -> ivals.(d) <- if ivals.(xi) < ivals.(yi) then 1 else 0)
            else Some (fun () -> ivals.(d) <- if Bits.ult bvals.(xi) bvals.(yi) then 1 else 0)
          | Signal.Slt ->
-           if is_int x then begin
+           if is_int rx then begin
              (* Flipping the sign bit turns signed order into unsigned. *)
-             let sb = 1 lsl (x.Signal.width - 1) in
+             let sb = 1 lsl (rx.Signal.width - 1) in
              Some
                (fun () ->
                  ivals.(d) <- if ivals.(xi) lxor sb < ivals.(yi) lxor sb then 1 else 0)
@@ -135,21 +205,33 @@ let create circuit =
            else Some (fun () -> ivals.(d) <- if Bits.slt bvals.(xi) bvals.(yi) then 1 else 0))
       | Signal.Mux (sel, cases) ->
         let ncases = Array.length cases in
-        let case_uids = Array.map (fun (c : Signal.t) -> c.Signal.uid) cases in
-        let get_sel = get_int_of sel in
-        if ncases = 2 then begin
+        let case_uids = Array.map iuid cases in
+        let rsel = resolve sel in
+        if ncases = 2 && is_int rsel then begin
+          (* Fully inlined 2-case mux: no selector closure, direct
+             slot reads (the dominant mux shape in elastic control). *)
+          let si = rsel.Signal.uid in
           let u0 = case_uids.(0) and u1 = case_uids.(1) in
-          Some (fun () -> ivals.(d) <- if get_sel () = 0 then ivals.(u0) else ivals.(u1))
-        end
-        else
           Some
             (fun () ->
-              let i = get_sel () in
-              let i = if i >= ncases then ncases - 1 else i in
-              ivals.(d) <- ivals.(case_uids.(i)))
+              ivals.(d) <- if ivals.(si) = 0 then ivals.(u0) else ivals.(u1))
+        end
+        else begin
+          let get_sel = get_int_of sel in
+          if ncases = 2 then begin
+            let u0 = case_uids.(0) and u1 = case_uids.(1) in
+            Some (fun () -> ivals.(d) <- if get_sel () = 0 then ivals.(u0) else ivals.(u1))
+          end
+          else
+            Some
+              (fun () ->
+                let i = get_sel () in
+                let i = if i >= ncases then ncases - 1 else i in
+                ivals.(d) <- ivals.(case_uids.(i)))
+        end
       | Signal.Concat parts ->
         (* Total width <= maxw, so every part is on the int path. *)
-        let us = Array.of_list (List.map (fun (p : Signal.t) -> p.Signal.uid) parts) in
+        let us = Array.of_list (List.map iuid parts) in
         let ws = Array.of_list (List.map (fun (p : Signal.t) -> p.Signal.width) parts) in
         Some
           (fun () ->
@@ -158,12 +240,16 @@ let create circuit =
               acc := (!acc lsl ws.(i)) lor ivals.(us.(i))
             done;
             ivals.(d) <- !acc)
-      | Signal.Select { hi = _; lo; arg } when is_int arg ->
-        let ai = arg.Signal.uid in
-        Some (fun () -> ivals.(d) <- (ivals.(ai) lsr lo) land m)
       | Signal.Select { hi; lo; arg } ->
-        let ai = arg.Signal.uid in
-        Some (fun () -> ivals.(d) <- Bits.select_int bvals.(ai) ~hi ~lo)
+        let arg = resolve arg in
+        if is_int arg then begin
+          let ai = arg.Signal.uid in
+          Some (fun () -> ivals.(d) <- (ivals.(ai) lsr lo) land m)
+        end
+        else begin
+          let ai = arg.Signal.uid in
+          Some (fun () -> ivals.(d) <- Bits.select_int bvals.(ai) ~hi ~lo)
+        end
       | Signal.Mem_read { mem; addr } ->
         let size = mem.Signal.size in
         let get_addr = get_int_of addr in
@@ -181,10 +267,7 @@ let create circuit =
          factors) are boxed on the fly. *)
       match s.Signal.op with
       | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> None
-      | Signal.Wire { driver = Some x } ->
-        let xi = x.Signal.uid in
-        Some (fun () -> bvals.(d) <- bvals.(xi))
-      | Signal.Wire { driver = None } -> assert false
+      | Signal.Wire _ -> None
       | Signal.Not x ->
         let gx = get_bits_of x in
         Some (fun () -> bvals.(d) <- Bits.lnot (gx ()))
@@ -204,7 +287,7 @@ let create circuit =
         Some (fun () -> bvals.(d) <- f (gx ()) (gy ()))
       | Signal.Mux (sel, cases) ->
         let ncases = Array.length cases in
-        let case_uids = Array.map (fun (c : Signal.t) -> c.Signal.uid) cases in
+        let case_uids = Array.map iuid cases in
         let get_sel = get_int_of sel in
         Some
           (fun () ->
@@ -216,7 +299,7 @@ let create circuit =
         Some (fun () -> bvals.(d) <- Bits.concat (List.map (fun g -> g ()) getters))
       | Signal.Select { hi; lo; arg } ->
         (* The slice is wider than maxw, so the argument is too. *)
-        let ai = arg.Signal.uid in
+        let ai = iuid arg in
         Some (fun () -> bvals.(d) <- Bits.select bvals.(ai) ~hi ~lo)
       | Signal.Mem_read { mem; addr } ->
         let size = mem.Signal.size in
@@ -231,7 +314,7 @@ let create circuit =
          | Imem _ -> assert false)
     end
   in
-  let steps = ref [] in
+  let steps = ref [] in (* (closure, input_dep, state_dep), reverse topo *)
   Circuit.iter_nodes circuit (fun s ->
       (* Constants and initial register/input values are written into
          their slots here; they need no settle step. *)
@@ -243,10 +326,23 @@ let create circuit =
          if is_int s then ivals.(s.Signal.uid) <- Bits.to_int_exn r.Signal.init
          else bvals.(s.Signal.uid) <- r.Signal.init
        | _ -> ());
-      match compile s with Some f -> steps := f :: !steps | None -> ());
-  let steps = Array.of_list (List.rev !steps) in
+      match compile s with
+      | Some f ->
+        let u = s.Signal.uid in
+        steps := (f, input_dep.(u), state_dep.(u)) :: !steps
+      | None -> ());
+  let all = List.rev !steps in
+  (* Constant cones (neither input- nor state-dependent) are settled
+     exactly once, here, and never enter a schedule. *)
+  List.iter (fun (f, i, st) -> if (not i) && not st then f ()) all;
+  let pick p = Array.of_list (List.filter_map p all) in
+  let steps = pick (fun (f, i, st) -> if i || st then Some f else None) in
+  let steps_input = pick (fun (f, i, _) -> if i then Some f else None) in
+  let steps_state = pick (fun (f, _, st) -> if st then Some f else None) in
   (* Register commit: latch every next value before writing any state
-     slot, so simultaneous register-to-register exchanges are safe. *)
+     slot, so simultaneous register-to-register exchanges are safe.
+     Narrow clear-less registers go into the index-array fast path;
+     the rest compile to a closure triple. *)
   let compile_reg (s : Signal.t) =
     match s.Signal.op with
     | Signal.Reg r ->
@@ -254,15 +350,15 @@ let create circuit =
       let get_clear =
         match r.Signal.clear with
         | None -> fun () -> false
-        | Some c -> let ci = c.Signal.uid in fun () -> ivals.(ci) <> 0
+        | Some c -> let ci = iuid c in fun () -> ivals.(ci) <> 0
       in
       let get_enable =
         match r.Signal.enable with
         | None -> fun () -> true
-        | Some e -> let ei = e.Signal.uid in fun () -> ivals.(ei) <> 0
+        | Some e -> let ei = iuid e in fun () -> ivals.(ei) <> 0
       in
       if is_int s then begin
-        let di = r.Signal.d.Signal.uid in
+        let di = iuid r.Signal.d in
         let clear_to = Bits.to_int_exn r.Signal.clear_to in
         let init = Bits.to_int_exn r.Signal.init in
         let scratch = ref 0 in
@@ -276,22 +372,59 @@ let create circuit =
           reset_reg = (fun () -> ivals.(slot) <- init) }
       end
       else begin
-        let di = r.Signal.d.Signal.uid in
+        let di = iuid r.Signal.d in
         let scratch = ref r.Signal.init in
-        { sample =
-            (fun () ->
+        let sample =
+          (* Direct slot reads for the common clear-less shapes; the
+             generic closure pair only for cleared registers. *)
+          match (r.Signal.clear, r.Signal.enable) with
+          | None, None -> fun () -> scratch := bvals.(di)
+          | None, Some e ->
+            let ei = iuid e in
+            fun () ->
+              scratch := if ivals.(ei) <> 0 then bvals.(di) else bvals.(slot)
+          | Some _, _ ->
+            fun () ->
               scratch :=
                 if get_clear () then r.Signal.clear_to
                 else if get_enable () then bvals.(di)
-                else bvals.(slot));
+                else bvals.(slot)
+        in
+        { sample;
           write = (fun () -> bvals.(slot) <- !scratch);
           reset_reg = (fun () -> bvals.(slot) <- r.Signal.init) }
       end
     | _ -> assert false
   in
-  let reg_steps =
-    Array.of_list (List.map compile_reg (Circuit.registers circuit))
+  let fast, slow =
+    List.partition
+      (fun (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Reg r -> is_int s && r.Signal.clear = None
+        | _ -> false)
+      (Circuit.registers circuit)
   in
+  let int_regs =
+    let k = List.length fast in
+    let regs =
+      { slots = Array.make k 0; ds = Array.make k 0; es = Array.make k (-1);
+        scratch = Array.make k 0; inits = Array.make k 0 }
+    in
+    List.iteri
+      (fun i (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Reg r ->
+          regs.slots.(i) <- s.Signal.uid;
+          regs.ds.(i) <- iuid r.Signal.d;
+          (match r.Signal.enable with
+           | Some e -> regs.es.(i) <- iuid e
+           | None -> ());
+          regs.inits.(i) <- Bits.to_int_exn r.Signal.init
+        | _ -> assert false)
+      fast;
+    regs
+  in
+  let reg_steps = Array.of_list (List.map compile_reg slow) in
   (* Memory write ports, in creation order (last-added wins). *)
   let compile_mem (m : Signal.memory) =
     let size = m.Signal.size in
@@ -299,23 +432,40 @@ let create circuit =
     let ports =
       List.map
         (fun (p : Signal.write_port) ->
-          let wei = p.Signal.we.Signal.uid in
+          let wei = iuid p.Signal.we in
+          let ra = resolve p.Signal.waddr in
+          let ai = ra.Signal.uid in
+          let addr_is_int = is_int ra in
           let get_addr = get_int_of p.Signal.waddr in
           match store with
           | Imem { arr; _ } ->
-            let di = p.Signal.wdata.Signal.uid in
-            fun () ->
-              if ivals.(wei) <> 0 then begin
-                let a = get_addr () in
-                if a < size then arr.(a) <- ivals.(di)
-              end
+            let di = iuid p.Signal.wdata in
+            if addr_is_int then
+              (fun () ->
+                if ivals.(wei) <> 0 then begin
+                  let a = ivals.(ai) in
+                  if a < size then arr.(a) <- ivals.(di)
+                end)
+            else
+              (fun () ->
+                if ivals.(wei) <> 0 then begin
+                  let a = get_addr () in
+                  if a < size then arr.(a) <- ivals.(di)
+                end)
           | Bmem { arr; _ } ->
-            let di = p.Signal.wdata.Signal.uid in
-            fun () ->
-              if ivals.(wei) <> 0 then begin
-                let a = get_addr () in
-                if a < size then arr.(a) <- bvals.(di)
-              end)
+            let di = iuid p.Signal.wdata in
+            if addr_is_int then
+              (fun () ->
+                if ivals.(wei) <> 0 then begin
+                  let a = ivals.(ai) in
+                  if a < size then arr.(a) <- bvals.(di)
+                end)
+            else
+              (fun () ->
+                if ivals.(wei) <> 0 then begin
+                  let a = get_addr () in
+                  if a < size then arr.(a) <- bvals.(di)
+                end))
         (List.rev m.Signal.write_ports)
     in
     let ports = Array.of_list ports in
@@ -338,29 +488,80 @@ let create circuit =
         | _ -> ());
     Array.of_list !rs
   in
-  { circuit; ivals; bvals; mem_state; steps; reg_steps; mem_commits;
-    input_resets; cycle_no = 0; observers = [] }
+  let t =
+    { circuit; ivals; bvals; mem_state; steps; steps_input; steps_state;
+      int_regs; reg_steps; mem_commits; input_resets; dirty = false;
+      mstale = false; cycle_no = 0; observers = [] }
+  in
+  (* A fresh simulator is fully settled (same state as after [reset]). *)
+  Array.iter (fun f -> f ()) t.steps;
+  t
 
-let settle t =
-  let steps = t.steps in
+let run_steps (steps : (unit -> unit) array) =
   for i = 0 to Array.length steps - 1 do
     (Array.unsafe_get steps i) ()
   done
+
+(* Pokes invalidate the input cone; testbench memory writes invalidate
+   the state cone (async read fan-out).  [cycle] re-settles the state
+   cone after every commit, so with neither flag set every slot is
+   already consistent and settling is a no-op. *)
+let settle t =
+  if t.dirty && t.mstale then begin
+    run_steps t.steps;
+    t.dirty <- false;
+    t.mstale <- false
+  end
+  else if t.dirty then begin
+    run_steps t.steps_input;
+    t.dirty <- false
+  end
+  else if t.mstale then begin
+    run_steps t.steps_state;
+    t.mstale <- false
+  end
 
 let commit t =
   (* Phase a: sample every register's next value (old slot values).
      Phase b: memory writes, which also read pre-commit slot values.
      Phase c: registers latch. *)
+  let ir = t.int_regs and ivals = t.ivals in
+  for i = 0 to Array.length ir.slots - 1 do
+    let e = Array.unsafe_get ir.es i in
+    Array.unsafe_set ir.scratch i
+      (if e >= 0 && Array.unsafe_get ivals e = 0 then
+         Array.unsafe_get ivals (Array.unsafe_get ir.slots i)
+       else Array.unsafe_get ivals (Array.unsafe_get ir.ds i))
+  done;
   Array.iter (fun r -> r.sample ()) t.reg_steps;
   Array.iter (fun f -> f ()) t.mem_commits;
+  for i = 0 to Array.length ir.slots - 1 do
+    Array.unsafe_set ivals (Array.unsafe_get ir.slots i)
+      (Array.unsafe_get ir.scratch i)
+  done;
   Array.iter (fun r -> r.write ()) t.reg_steps
 
 let cycle t =
+  (* Leading settle: only needed if something was poked or written
+     since the last settle (the trailing settle below keeps everything
+     else fresh). *)
   settle t;
   List.iter (fun f -> f t) (List.rev t.observers);
   commit t;
   t.cycle_no <- t.cycle_no + 1;
-  settle t
+  (* Trailing settle: the commit invalidated the state cone.  If an
+     observer poked, the input cone is stale too — run the full
+     schedule (observer pokes take effect here, after the commit,
+     exactly as in the unpartitioned model). *)
+  if t.dirty then begin
+    run_steps t.steps;
+    t.dirty <- false;
+    t.mstale <- false
+  end
+  else begin
+    run_steps t.steps_state;
+    t.mstale <- false
+  end
 
 let cycles t n = for _ = 1 to n do cycle t done
 
@@ -380,13 +581,15 @@ let poke t name bits =
       (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
          (Bits.width bits) s.Signal.width);
   if is_int s then t.ivals.(s.Signal.uid) <- Bits.to_int_exn bits
-  else t.bvals.(s.Signal.uid) <- bits
+  else t.bvals.(s.Signal.uid) <- bits;
+  t.dirty <- true
 
 let poke_int t name n =
   let s = input_signal t "poke_int" name in
   poke t name (Bits.of_int ~width:s.Signal.width n)
 
 let peek_signal t (s : Signal.t) =
+  let s = resolve s in
   if is_int s then Bits.of_int ~width:s.Signal.width t.ivals.(s.Signal.uid)
   else t.bvals.(s.Signal.uid)
 
@@ -394,14 +597,18 @@ let peek t name =
   peek_signal t (Sim_intf.find_named ~backend:name_ ~op:"peek" t.circuit name)
 
 let peek_int t name =
-  let s = Sim_intf.find_named ~backend:name_ ~op:"peek_int" t.circuit name in
+  let s = resolve (Sim_intf.find_named ~backend:name_ ~op:"peek_int" t.circuit name) in
   if is_int s then t.ivals.(s.Signal.uid) else Bits.to_int t.bvals.(s.Signal.uid)
 
 let peek_bool t name =
-  let s = Sim_intf.find_named ~backend:name_ ~op:"peek_bool" t.circuit name in
+  let s = resolve (Sim_intf.find_named ~backend:name_ ~op:"peek_bool" t.circuit name) in
   if is_int s then t.ivals.(s.Signal.uid) <> 0 else Bits.to_bool t.bvals.(s.Signal.uid)
 
 let reset t =
+  let ir = t.int_regs in
+  for i = 0 to Array.length ir.slots - 1 do
+    t.ivals.(ir.slots.(i)) <- ir.inits.(i)
+  done;
   Array.iter (fun r -> r.reset_reg ()) t.reg_steps;
   Hashtbl.iter
     (fun _ store ->
@@ -411,7 +618,9 @@ let reset t =
     t.mem_state;
   Array.iter (fun f -> f ()) t.input_resets;
   t.cycle_no <- 0;
-  settle t
+  run_steps t.steps;
+  t.dirty <- false;
+  t.mstale <- false
 
 let find_store t (m : Signal.memory) fname addr =
   if addr < 0 || addr >= m.Signal.size then
@@ -425,6 +634,9 @@ let mem_read t (m : Signal.memory) addr =
 
 let mem_write t (m : Signal.memory) addr value =
   if Bits.width value <> m.Signal.mem_width then invalid_arg "Sim.mem_write: width";
-  match find_store t m "mem_write" addr with
-  | Imem { arr; _ } -> arr.(addr) <- Bits.to_int_exn value
-  | Bmem { arr; _ } -> arr.(addr) <- value
+  (match find_store t m "mem_write" addr with
+   | Imem { arr; _ } -> arr.(addr) <- Bits.to_int_exn value
+   | Bmem { arr; _ } -> arr.(addr) <- value);
+  (* Visible to async read cones at the next settle, like the
+     unpartitioned model. *)
+  t.mstale <- true

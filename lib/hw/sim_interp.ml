@@ -7,6 +7,12 @@
    state.  Out-of-range memory reads return zero; out-of-range writes
    are dropped.
 
+   A dirty flag (set by [poke]/[mem_write], cleared by a settle) makes
+   the redundant leading settle in [cycle] free when nothing was poked
+   since the previous cycle's trailing settle: back-to-back [cycles]
+   pay one settle per cycle instead of two.  A fresh simulator is
+   fully settled, exactly as after [reset].
+
    This backend walks the node array through polymorphic dispatch and
    allocates fresh [Bits.t] per node per cycle; it is the simple,
    obviously-correct oracle that [Sim_compiled] is checked against. *)
@@ -21,6 +27,7 @@ type t = {
   input_values : Bits.t array;
   mem_state : (int, Bits.t array) Hashtbl.t; (* mem_uid -> contents *)
   regs : Signal.t array;
+  mutable dirty : bool; (* poked or written since the last settle *)
   mutable cycle_no : int;
   mutable observers : (t -> unit) list;
 }
@@ -30,7 +37,7 @@ let mem_initial (m : Signal.memory) =
   | Some a -> Array.map (fun x -> x) a
   | None -> Array.make m.Signal.size (Bits.zero m.Signal.mem_width)
 
-let create circuit =
+let create_unsettled circuit =
   let n = circuit.Circuit.max_uid in
   let values = Array.make n (Bits.zero 1) in
   let reg_state = Array.make n (Bits.zero 1) in
@@ -50,8 +57,8 @@ let create circuit =
       match s.Signal.op with
       | Signal.Input _ -> input_values.(s.Signal.uid) <- Bits.zero s.Signal.width
       | _ -> ());
-  { circuit; values; reg_state; input_values; mem_state; regs; cycle_no = 0;
-    observers = [] }
+  { circuit; values; reg_state; input_values; mem_state; regs;
+    dirty = false; cycle_no = 0; observers = [] }
 
 let eval_node t (s : Signal.t) =
   let v x = t.values.(x.Signal.uid) in
@@ -87,7 +94,19 @@ let eval_node t (s : Signal.t) =
   in
   t.values.(s.Signal.uid) <- value
 
-let settle t = Array.iter (eval_node t) t.circuit.Circuit.order
+let settle_always t = Array.iter (eval_node t) t.circuit.Circuit.order
+
+(* A fresh simulator is fully settled (same state as after [reset]). *)
+let create circuit =
+  let t = create_unsettled circuit in
+  settle_always t;
+  t
+
+let settle t =
+  if t.dirty then begin
+    settle_always t;
+    t.dirty <- false
+  end
 
 let commit t =
   let v x = t.values.(x.Signal.uid) in
@@ -123,11 +142,16 @@ let commit t =
     t.circuit.Circuit.memories
 
 let cycle t =
+  (* Leading settle: skipped when the previous trailing settle already
+     left every value consistent. *)
   settle t;
   List.iter (fun f -> f t) (List.rev t.observers);
   commit t;
   t.cycle_no <- t.cycle_no + 1;
-  settle t
+  (* Trailing settle: the commit changed register/memory state.
+     Observer pokes take effect here too, as in the ungated model. *)
+  settle_always t;
+  t.dirty <- false
 
 let cycles t n = for _ = 1 to n do cycle t done
 
@@ -143,7 +167,8 @@ let poke t name bits =
     invalid_arg
       (Printf.sprintf "Sim.poke %s: width mismatch (%d vs %d)" name
          (Bits.width bits) s.Signal.width);
-  t.input_values.(s.Signal.uid) <- bits
+  t.input_values.(s.Signal.uid) <- bits;
+  t.dirty <- true
 
 let poke_int t name n =
   let s = Sim_intf.find_input ~backend:name_ ~op:"poke_int" t.circuit name in
@@ -177,7 +202,8 @@ let reset t =
       | Signal.Input _ -> t.input_values.(s.Signal.uid) <- Bits.zero s.Signal.width
       | _ -> ());
   t.cycle_no <- 0;
-  settle t
+  settle_always t;
+  t.dirty <- false
 
 (* Direct memory access for testbenches (load programs, inspect data). *)
 let mem_read t (m : Signal.memory) addr =
@@ -189,4 +215,5 @@ let mem_write t (m : Signal.memory) addr value =
   let contents = Hashtbl.find t.mem_state m.Signal.mem_uid in
   if addr < 0 || addr >= m.Signal.size then invalid_arg "Sim.mem_write: out of range";
   if Bits.width value <> m.Signal.mem_width then invalid_arg "Sim.mem_write: width";
-  contents.(addr) <- value
+  contents.(addr) <- value;
+  t.dirty <- true

@@ -1,35 +1,88 @@
-(* Netlist optimization passes: constant folding and dead-node
-   elimination.
+(* Netlist optimization: constant folding, algebraic rewriting,
+   hash-consing CSE and dead-node elimination, iterated to a fixpoint.
 
    The generators in this repository emit structural netlists with
    redundancies a synthesis tool would clean up — muxes with constant
-   selectors, gates against all-zeros/all-ones, logic whose output
-   nobody reads.  [optimize] rewrites a built netlist in place
-   semantically: it produces a NEW builder whose circuit is
-   behaviourally equivalent (same inputs, outputs, registers and
-   memories) but smaller.  The equivalence is checked in the test
-   suite by co-simulating random circuits before and after.
+   selectors, gates against all-zeros/all-ones, duplicated
+   subexpressions, select/concat indirection, logic whose output
+   nobody reads.  [optimize] rewrites a built netlist semantically: it
+   produces a NEW circuit that is behaviourally equivalent (same
+   inputs, outputs, named probes, register/memory state evolution) but
+   smaller.  Equivalence is checked in the test suite by co-simulating
+   both random circuits and the real designs (MD5, CPU, barrier)
+   before and after, on both simulation backends.
 
-   Folding rules (per node, applied bottom-up):
+   Each pass walks the live cone bottom-up and applies, per node:
+
+   Folding rules
    - operator with all-constant operands  -> Const
    - x & 0 -> 0;  x & 1..1 -> x;  x | 0 -> x;  x | 1..1 -> 1..1
    - x ^ 0 -> x;  x + 0 -> x;  x - 0 -> x
+   - x & x -> x;  x | x -> x;  x ^ x -> 0;  x - x -> 0
+   - x == x -> 1;  x < x -> 0 (both orders)
+   - eq of a 1-bit operand against a constant -> operand or its negation
+   - eq of a one-hot concat (bits of the form [sel == k_i], same [sel],
+     distinct [k_i]) against a one-hot constant -> the matching bit
    - mux with constant selector -> selected case
    - mux whose cases are all the same node -> that node
-   - not(not x) -> x
+   - nested muxes sharing one selector -> inner case hoisted out
+   - 1-bit mux2 over constants 0/1 -> selector (or its negation)
+   - not(not x) -> x;  not(const) -> const
    - select over the full width -> argument
+   - select of select -> one select;  select of constant -> constant
+   - select landing inside one concat part -> select of that part
+   - select covering whole adjacent concat parts -> concat of the parts
+   - concat of one part -> the part;  nested concats flattened
+   - concat of adjacent selects of one node -> merged select
    - wire -> its driver (wires vanish entirely)
+   - memory write port with constant-zero enable -> dropped
 
-   Dead-node elimination keeps only the cone of: outputs, registers'
-   inputs (enable/clear/d), and memory write ports. *)
+   Hash-consing CSE
+   - structurally identical combinational nodes (same op, same rebuilt
+     operands) are shared; commutative operators are canonicalized
+     first.  Registers are never merged (state identity is kept
+     1-to-1); memory reads merge only on the same port and address.
 
-module SMap = Map.Make (Int)
+   Dead-node elimination keeps the cone of: outputs, memory write
+   ports, primary inputs, and (by default) every named signal, so
+   probes attached for [Sampler]/[Monitor] survive optimization.
+   Registers live only when something in that cone reads them.
+
+   Names are never lost: when a named node folds onto a node that
+   already carries a different name, the folded name is attached as an
+   alias ([Signal.add_alias]) and remains peekable.
+
+   [optimize_with_map] additionally returns remap functions from the
+   ORIGINAL circuit's signals/memories to their optimized
+   counterparts, which [Sim.create ~optimize:true] uses so testbench
+   handles (e.g. [Cpu.Mt_pipeline.load_program]'s memories) keep
+   working against the optimized simulation. *)
 
 type stats = {
   nodes_before : int;
   nodes_after : int;
   folded : int;
+  cse_merged : int;
+  passes : int;
 }
+
+type remap = {
+  signal_of : Signal.t -> Signal.t option;
+  memory_of : Signal.memory -> Signal.memory option;
+}
+
+(* Structural key of a rebuilt combinational node, used for
+   hash-consing.  Operands are identified by their uid in the NEW
+   builder, so two keys collide exactly when the nodes compute the
+   same function of the same rebuilt operands. *)
+type key =
+  | Kconst of string
+  | Knot of int
+  | Kbinop of Signal.binop * int * int
+  | Kmux of int * int list
+  | Kconcat of int list
+  | Kselect of int * int * int
+  | Kmemread of int * int
 
 let is_const (s : Signal.t) =
   match s.Signal.op with Signal.Const _ -> true | _ -> false
@@ -37,12 +90,64 @@ let is_const (s : Signal.t) =
 let const_value (s : Signal.t) =
   match s.Signal.op with Signal.Const c -> Some c | _ -> None
 
-(* Rebuild the netlist bottom-up into [nb], folding as we go.  Returns
-   the mapping from old uid to new signal. *)
-let rebuild (c : Circuit.t) nb =
-  let map : Signal.t SMap.t ref = ref SMap.empty in
+let commutative = function
+  | Signal.And | Signal.Or | Signal.Xor | Signal.Add | Signal.Mul | Signal.Eq ->
+    true
+  | Signal.Sub | Signal.Ult | Signal.Slt -> false
+
+(* Live cone: outputs, memory write ports and primary inputs are
+   roots; named signals too when [keep_names] (the default), so probes
+   survive.  Registers are NOT unconditional roots — a register nobody
+   reads is dead state and is swept. *)
+let live_set ~keep_names (c : Circuit.t) =
+  let live = Hashtbl.create 1024 in
+  let rec mark (s : Signal.t) =
+    if not (Hashtbl.mem live s.Signal.uid) then begin
+      Hashtbl.replace live s.Signal.uid ();
+      List.iter mark (Circuit.comb_deps s);
+      match s.Signal.op with
+      | Signal.Reg r ->
+        mark r.Signal.d;
+        Option.iter mark r.Signal.enable;
+        Option.iter mark r.Signal.clear
+      | _ -> ()
+    end
+  in
+  List.iter (fun (_, s) -> mark s) c.Circuit.outputs;
+  Circuit.iter_nodes c (fun s ->
+      match s.Signal.op with
+      | Signal.Input _ -> mark s
+      | _ ->
+        if keep_names && (s.Signal.name <> None || s.Signal.aliases <> []) then
+          mark s);
+  List.iter
+    (fun (m : Signal.memory) ->
+      List.iter
+        (fun (p : Signal.write_port) ->
+          mark p.Signal.we; mark p.Signal.waddr; mark p.Signal.wdata)
+        m.Signal.write_ports)
+    c.Circuit.memories;
+  live
+
+type pass_out = {
+  pc : Circuit.t;
+  (* old uid -> new signal, for every live old node *)
+  psig : (int, Signal.t) Hashtbl.t;
+  (* old mem_uid -> new memory *)
+  pmem : (int, Signal.memory) Hashtbl.t;
+  pfolded : int;
+  pmerged : int;
+}
+
+(* One optimization pass: rebuild the live cone of [c] into a fresh
+   builder, folding, rewriting and hash-consing as we go. *)
+let pass ~name ~keep_names (c : Circuit.t) : pass_out =
+  let live = live_set ~keep_names c in
+  let nb = Signal.Builder.create () in
+  let map : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
   let folded = ref 0 in
-  let find (s : Signal.t) = SMap.find s.Signal.uid !map in
+  let merged = ref 0 in
+  let find (s : Signal.t) = Hashtbl.find map s.Signal.uid in
   (* Register data/enable/clear may come later in topological order
      (registers are state sources); wire them up after the sweep. *)
   let fixups : (Signal.t * Signal.t) list ref = ref [] in
@@ -61,6 +166,108 @@ let rebuild (c : Circuit.t) nb =
       in
       Hashtbl.replace mem_map m.Signal.mem_uid nm)
     c.Circuit.memories;
+  (* ---- hash-consing constructors ---- *)
+  let cse : (key, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let intern k thunk =
+    match Hashtbl.find_opt cse k with
+    | Some s -> incr merged; s
+    | None ->
+      let s = thunk () in
+      Hashtbl.replace cse k s;
+      s
+  in
+  let uid (s : Signal.t) = s.Signal.uid in
+  let mk_const v =
+    intern (Kconst (Bits.to_binary_string v)) (fun () -> Signal.const nb v)
+  in
+  let mk_not x = intern (Knot (uid x)) (fun () -> Signal.lnot nb x) in
+  let mk_binop op x y =
+    let a, b =
+      if commutative op && uid y < uid x then (y, x) else (x, y)
+    in
+    intern (Kbinop (op, uid a, uid b))
+      (fun () ->
+        let f =
+          match op with
+          | Signal.And -> Signal.land_ | Signal.Or -> Signal.lor_
+          | Signal.Xor -> Signal.lxor_ | Signal.Add -> Signal.add
+          | Signal.Sub -> Signal.sub | Signal.Mul -> Signal.mul
+          | Signal.Eq -> Signal.eq | Signal.Ult -> Signal.ult
+          | Signal.Slt -> Signal.slt
+        in
+        f nb a b)
+  in
+  let mk_mux sel cases =
+    intern (Kmux (uid sel, List.map uid cases))
+      (fun () -> Signal.mux nb sel cases)
+  in
+  let mk_concat parts =
+    intern (Kconcat (List.map uid parts))
+      (fun () -> Signal.concat_msb nb parts)
+  in
+  let mk_select arg ~hi ~lo =
+    if lo = 0 && hi = arg.Signal.width - 1 then arg
+    else
+      intern (Kselect (uid arg, hi, lo))
+        (fun () -> Signal.select nb arg ~hi ~lo)
+  in
+  let mk_memread nm addr =
+    intern (Kmemread (nm.Signal.mem_uid, uid addr))
+      (fun () -> Signal.Memory.read_async nb nm ~addr)
+  in
+  (* ---- rewrite rules ---- *)
+  (* Eq of a one-hot concat against a one-hot constant: if every part
+     is a 1-bit [sel == k_i] over one [sel] with pairwise-distinct
+     constants, the whole compare collapses to the bit matching the
+     constant's hot position (mutual exclusivity makes the other bits
+     zero exactly when that bit is one). *)
+  let eq_onehot parts cv =
+    let decode (p : Signal.t) =
+      if p.Signal.width <> 1 then None
+      else
+        match p.Signal.op with
+        | Signal.Binop (Signal.Eq, a, b) ->
+          (match const_value a, const_value b with
+           | Some k, None -> Some (uid b, Bits.to_int_trunc k)
+           | None, Some k -> Some (uid a, Bits.to_int_trunc k)
+           | _ -> None)
+        | _ -> None
+    in
+    match List.map decode parts with
+    | [] -> None
+    | decoded when List.exists Option.is_none decoded -> None
+    | decoded ->
+      let decoded = List.map Option.get decoded in
+      let sels = List.map fst decoded and ks = List.map snd decoded in
+      let same_sel = List.for_all (fun s -> s = List.hd sels) sels in
+      let distinct = List.length (List.sort_uniq compare ks) = List.length ks in
+      if not (same_sel && distinct) then None
+      else if Bits.popcount cv <> 1 then None
+      else begin
+        (* parts are MSB first: bit j of the value is part (n-1-j). *)
+        let n = List.length parts in
+        let rec hot j = if Bits.bit cv j then j else hot (j + 1) in
+        let j = hot 0 in
+        incr folded;
+        Some (List.nth parts (n - 1 - j))
+      end
+  in
+  let fold_eq x y width =
+    ignore width;
+    match const_value x, const_value y with
+    | Some _, Some _ -> None (* handled by the all-const rule *)
+    | Some c, None | None, Some c ->
+      let v = if const_value x = None then x else y in
+      if v.Signal.width = 1 then begin
+        incr folded;
+        Some (if Bits.to_bool c then v else mk_not v)
+      end
+      else (
+        match v.Signal.op with
+        | Signal.Concat parts -> eq_onehot parts c
+        | _ -> None)
+    | None, None -> None
+  in
   let fold_binop op (x : Signal.t) (y : Signal.t) width =
     let cx = const_value x and cy = const_value y in
     match op, cx, cy with
@@ -78,11 +285,19 @@ let rebuild (c : Circuit.t) nb =
         | Signal.Ult -> Bits.of_bool (Bits.ult a b)
         | Signal.Slt -> Bits.of_bool (Bits.slt a b)
       in
-      Some (Signal.const nb v)
+      Some (mk_const v)
+    | (Signal.And | Signal.Or), _, _ when x == y -> incr folded; Some x
+    | Signal.Xor, _, _ when x == y ->
+      incr folded; Some (mk_const (Bits.zero width))
+    | Signal.Sub, _, _ when x == y ->
+      incr folded; Some (mk_const (Bits.zero width))
+    | Signal.Eq, _, _ when x == y -> incr folded; Some (mk_const Bits.vdd)
+    | (Signal.Ult | Signal.Slt), _, _ when x == y ->
+      incr folded; Some (mk_const Bits.gnd)
     | Signal.And, Some a, _ when Bits.is_zero a ->
-      incr folded; Some (Signal.const nb (Bits.zero width))
+      incr folded; Some (mk_const (Bits.zero width))
     | Signal.And, _, Some b when Bits.is_zero b ->
-      incr folded; Some (Signal.const nb (Bits.zero width))
+      incr folded; Some (mk_const (Bits.zero width))
     | Signal.And, Some a, _ when Bits.equal a (Bits.ones width) ->
       incr folded; Some y
     | Signal.And, _, Some b when Bits.equal b (Bits.ones width) ->
@@ -90,231 +305,508 @@ let rebuild (c : Circuit.t) nb =
     | Signal.Or, Some a, _ when Bits.is_zero a -> incr folded; Some y
     | Signal.Or, _, Some b when Bits.is_zero b -> incr folded; Some x
     | Signal.Or, Some a, _ when Bits.equal a (Bits.ones width) ->
-      incr folded; Some (Signal.const nb (Bits.ones width))
+      incr folded; Some (mk_const (Bits.ones width))
     | Signal.Or, _, Some b when Bits.equal b (Bits.ones width) ->
-      incr folded; Some (Signal.const nb (Bits.ones width))
+      incr folded; Some (mk_const (Bits.ones width))
     | Signal.Xor, Some a, _ when Bits.is_zero a -> incr folded; Some y
     | Signal.Xor, _, Some b when Bits.is_zero b -> incr folded; Some x
     | (Signal.Add | Signal.Sub), _, Some b when Bits.is_zero b ->
       incr folded; Some x
     | Signal.Add, Some a, _ when Bits.is_zero a -> incr folded; Some y
+    | Signal.Eq, _, _ -> fold_eq x y width
     | _ -> None
   in
-  Circuit.iter_nodes c (fun (s : Signal.t) ->
-      let ns =
-        match s.Signal.op with
-        | Signal.Const v -> Signal.const nb v
-        | Signal.Input n -> Signal.input nb n s.Signal.width
-        | Signal.Wire { driver = Some d } ->
-          (* Wires vanish: map straight to the rebuilt driver.  (The
-             topological order guarantees the driver was rebuilt.) *)
-          find d
-        | Signal.Wire { driver = None } -> assert false
-        | Signal.Not x ->
-          let x' = find x in
-          (match x'.Signal.op with
-           | Signal.Const v -> incr folded; Signal.const nb (Bits.lnot v)
-           | Signal.Not y -> incr folded; y
-           | _ -> Signal.lnot nb x')
-        | Signal.Binop (op, x, y) ->
-          let x' = find x and y' = find y in
-          (match fold_binop op x' y' s.Signal.width with
-           | Some r -> r
-           | None ->
-             (match op with
-              | Signal.And -> Signal.land_ nb x' y'
-              | Signal.Or -> Signal.lor_ nb x' y'
-              | Signal.Xor -> Signal.lxor_ nb x' y'
-              | Signal.Add -> Signal.add nb x' y'
-              | Signal.Sub -> Signal.sub nb x' y'
-              | Signal.Mul -> Signal.mul nb x' y'
-              | Signal.Eq -> Signal.eq nb x' y'
-              | Signal.Ult -> Signal.ult nb x' y'
-              | Signal.Slt -> Signal.slt nb x' y'))
-        | Signal.Mux (sel, cases) ->
-          let sel' = find sel in
-          let cases' = Array.map find cases in
-          (match const_value sel' with
-           | Some v ->
-             incr folded;
-             let i = min (Bits.to_int_trunc v) (Array.length cases' - 1) in
-             cases'.(i)
-           | None ->
-             let first = cases'.(0) in
-             if Array.for_all (fun c -> c == first) cases' then begin
-               incr folded; first
-             end
-             else Signal.mux nb sel' (Array.to_list cases'))
-        | Signal.Concat parts ->
-          let parts' = List.map find parts in
-          if List.for_all is_const parts' then begin
-            incr folded;
-            Signal.const nb
-              (Bits.concat (List.filter_map const_value parts'))
-          end
-          else Signal.concat_msb nb parts'
-        | Signal.Select { hi; lo; arg } ->
-          let arg' = find arg in
-          if lo = 0 && hi = arg'.Signal.width - 1 then begin
-            incr folded; arg'
-          end
-          else (
-            match const_value arg' with
-            | Some v -> incr folded; Signal.const nb (Bits.select v ~hi ~lo)
-            | None -> Signal.select nb arg' ~hi ~lo)
-        | Signal.Reg r ->
-          Signal.reg nb
-            ?enable:(Option.map defer r.Signal.enable)
-            ?clear:(Option.map defer r.Signal.clear)
-            ~clear_to:r.Signal.clear_to ~init:r.Signal.init (defer r.Signal.d)
-        | Signal.Mem_read { mem; addr } ->
-          Signal.Memory.read_async nb
-            (Hashtbl.find mem_map mem.Signal.mem_uid)
-            ~addr:(find addr)
+  (* Select over a concat: if the range lands inside one part, select
+     that part; if it covers whole adjacent parts, concat them. *)
+  let select_of_concat parts ~hi ~lo =
+    let rev = List.rev parts (* LSB first *) in
+    let with_off, _ =
+      List.fold_left
+        (fun (acc, off) (p : Signal.t) ->
+          ((p, off) :: acc, off + p.Signal.width))
+        ([], 0) rev
+    in
+    (* with_off is MSB first again *)
+    let inside =
+      List.find_opt
+        (fun ((p : Signal.t), off) ->
+          lo >= off && hi <= off + p.Signal.width - 1)
+        with_off
+    in
+    match inside with
+    | Some (p, off) ->
+      incr folded;
+      Some (mk_select p ~hi:(hi - off) ~lo:(lo - off))
+    | None ->
+      (* Whole adjacent parts: lo at a part boundary, hi at another. *)
+      let covered =
+        List.filter
+          (fun ((p : Signal.t), off) ->
+            off >= lo && off + p.Signal.width - 1 <= hi)
+          with_off
       in
-      (match s.Signal.name with
-       | Some n when ns.Signal.name = None -> ignore (Signal.set_name ns n)
-       | _ -> ());
-      map := SMap.add s.Signal.uid ns !map);
-  List.iter (fun (w, old) -> Signal.assign w (find old)) !fixups;
-  (* Write ports. *)
-  List.iter
-    (fun (m : Signal.memory) ->
-      let nm = Hashtbl.find mem_map m.Signal.mem_uid in
-      List.iter
-        (fun (p : Signal.write_port) ->
-          Signal.Memory.write nb nm
-            ~we:(SMap.find p.Signal.we.Signal.uid !map)
-            ~addr:(SMap.find p.Signal.waddr.Signal.uid !map)
-            ~data:(SMap.find p.Signal.wdata.Signal.uid !map))
-        (List.rev m.Signal.write_ports))
-    c.Circuit.memories;
-  (* Outputs. *)
-  List.iter
-    (fun (n, (s : Signal.t)) ->
-      ignore (Signal.output nb n (SMap.find s.Signal.uid !map)))
-    c.Circuit.outputs;
-  !folded
-
-(* Dead-node elimination happens implicitly at elaboration time?  No —
-   the builder keeps every created node.  We sweep by rebuilding once
-   more, creating only nodes reachable from the roots. *)
-let live_set (c : Circuit.t) =
-  let live = Hashtbl.create 1024 in
-  let rec mark (s : Signal.t) =
-    if not (Hashtbl.mem live s.Signal.uid) then begin
-      Hashtbl.replace live s.Signal.uid ();
-      List.iter mark (Circuit.comb_deps s);
-      match s.Signal.op with
-      | Signal.Reg r ->
-        mark r.Signal.d;
-        Option.iter mark r.Signal.enable;
-        Option.iter mark r.Signal.clear
-      | _ -> ()
-    end
+      let covered_width =
+        List.fold_left (fun a ((p : Signal.t), _) -> a + p.Signal.width) 0 covered
+      in
+      if covered_width = hi - lo + 1 && covered <> [] then begin
+        incr folded;
+        Some (mk_concat (List.map fst covered))
+      end
+      else None
   in
-  List.iter (fun (_, s) -> mark s) c.Circuit.outputs;
-  (* Registers and memory write ports are roots because they carry
-     state the outputs may read later; primary inputs are kept so the
-     optimized circuit preserves the original interface. *)
-  Circuit.iter_nodes c (fun s ->
-      match s.Signal.op with
-      | Signal.Reg _ | Signal.Input _ -> mark s
-      | _ -> ());
-  List.iter
-    (fun (m : Signal.memory) ->
-      List.iter
-        (fun (p : Signal.write_port) ->
-          mark p.Signal.we; mark p.Signal.waddr; mark p.Signal.wdata)
-        m.Signal.write_ports)
-    c.Circuit.memories;
-  live
-
-(* Optimize: fold constants into a fresh builder, elaborate, then
-   report.  Dead nodes are those never rebuilt as dependencies of the
-   roots; the rebuild pass recreates every node, so we follow it with
-   a sweep pass that rebuilds only the live cone. *)
-let optimize ?(name = "optimized") (c : Circuit.t) =
-  (* Pass 1: fold. *)
-  let b1 = Signal.Builder.create () in
-  let folded = rebuild c b1 in
-  let c1 = Circuit.create ~name b1 in
-  (* Pass 2: sweep dead nodes by rebuilding only the live cone. *)
-  let live = live_set c1 in
-  let b2 = Signal.Builder.create () in
-  let map : Signal.t SMap.t ref = ref SMap.empty in
-  let mem_map : (int, Signal.memory) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (m : Signal.memory) ->
-      Hashtbl.replace mem_map m.Signal.mem_uid
-        (Signal.Memory.create b2 ~name:m.Signal.mem_name ~size:m.Signal.size
-           ~width:m.Signal.mem_width ?init:m.Signal.init_contents ()))
-    c1.Circuit.memories;
-  let fixups : (Signal.t * Signal.t) list ref = ref [] in
-  Circuit.iter_nodes c1 (fun (s : Signal.t) ->
-      if Hashtbl.mem live s.Signal.uid then begin
-        let find (x : Signal.t) = SMap.find x.Signal.uid !map in
-        let defer (old : Signal.t) =
-          let w = Signal.wire b2 old.Signal.width in
-          fixups := (w, old) :: !fixups;
-          w
+  (* Concat cleanup: flatten nested concats, then merge adjacent
+     selects of one argument (a part that is not a select counts as
+     the full-width select of itself, so [x[7:4]; x[3:0]] -> x). *)
+  let concat_parts parts =
+    let flat =
+      List.concat_map
+        (fun (p : Signal.t) ->
+          match p.Signal.op with
+          | Signal.Concat inner -> incr folded; inner
+          | _ -> [ p ])
+        parts
+    in
+    let view (p : Signal.t) =
+      match p.Signal.op with
+      | Signal.Select { hi; lo; arg } -> (arg, hi, lo)
+      | _ -> (p, p.Signal.width - 1, 0)
+    in
+    let emit (arg, hi, lo) =
+      if lo = 0 && hi = arg.Signal.width - 1 then arg
+      else mk_select arg ~hi ~lo
+    in
+    let rec merge acc = function
+      | [] -> List.rev_map emit acc
+      | p :: rest ->
+        let a, hi, lo = view p in
+        (match acc with
+         | (a', hi', lo') :: tl when a' == a && lo' = hi + 1 ->
+           incr folded;
+           merge ((a', hi', lo) :: tl) rest
+         | _ -> merge ((a, hi, lo) :: acc) rest)
+    in
+    merge [] flat
+  in
+  (* ---- word-level recognition of scalar bit-level idioms ----
+     The elaborators build reductions and priority chains bit by bit
+     (see [Arbiter.fixed_priority] / [Signal.or_reduce]); each scalar
+     node is cheap but together they dominate the control netlist.
+     Recognize the shapes and rebuild them as single word-level
+     operations, the same strength reduction the paper applies when it
+     maps priority logic onto the FPGA carry chain. *)
+  (* Leaves of a 1-bit and/or tree (flattening through the operator). *)
+  let rec reduction_leaves op (t : Signal.t) acc =
+    match t.Signal.op with
+    | Signal.Binop (o, a, b) when o = op && t.Signal.width = 1 ->
+      reduction_leaves op a (reduction_leaves op b acc)
+    | _ -> t :: acc
+  in
+  (* A leaf stands for a bit range of some vector: a single-bit select
+     is one bit, and an already-folded reduction (v[h:l] == 0 under a
+     Not for or-trees, v[h:l] == 1..1 for and-trees) is the whole
+     range [l..h] — so chains collapse incrementally as their bases
+     fold.  When every leaf is a range of ONE vector and the ranges
+     tile a contiguous span without overlap, return the vector and the
+     span. *)
+  let decode_eq_range ~ones (t : Signal.t) =
+    match t.Signal.op with
+    | Signal.Binop (Signal.Eq, a, b) ->
+      let pick k (v : Signal.t) =
+        let good =
+          if ones then Bits.equal k (Bits.ones (Bits.width k))
+          else Bits.is_zero k
         in
-        let ns =
+        if not good then None
+        else
+          match v.Signal.op with
+          | Signal.Select { hi; lo; arg } -> Some (arg, lo, hi)
+          | _ -> Some (v, 0, v.Signal.width - 1)
+      in
+      (match const_value a, const_value b with
+       | Some k, None -> pick k b
+       | None, Some k -> pick k a
+       | _ -> None)
+    | _ -> None
+  in
+  let decode_leaf op (l : Signal.t) =
+    match l.Signal.op with
+    | Signal.Select { hi; lo; arg } when hi = lo -> Some (arg, lo, hi)
+    | Signal.Not t when op = Signal.Or -> decode_eq_range ~ones:false t
+    | Signal.Binop (Signal.Eq, _, _) when op = Signal.And ->
+      decode_eq_range ~ones:true l
+    | _ -> None
+  in
+  let decode_bit_range op leaves =
+    match List.map (decode_leaf op) leaves with
+    | [] -> None
+    | ds when List.exists Option.is_none ds -> None
+    | ds ->
+      let ds = List.map Option.get ds in
+      let v0, _, _ = List.hd ds in
+      if List.exists (fun (v, _, _) -> v != v0) ds then None
+      else begin
+        let rs = List.sort (fun (_, a, _) (_, b, _) -> compare a b) ds in
+        let rec tile = function
+          | (_, _, h) :: ((_, l, _) :: _ as rest) ->
+            if l = h + 1 then tile rest else None
+          | [ (_, _, h) ] -> Some h
+          | [] -> None
+        in
+        let _, lo0, _ = List.hd rs in
+        match tile rs with
+        | Some hi -> Some (v0, lo0, hi)
+        | None -> None
+      end
+  in
+  (* or_reduce(x[lo..hi]) -> x[hi:lo] != 0;
+     and_reduce(x[lo..hi]) -> x[hi:lo] == 1..1. *)
+  let fold_reduction op x y =
+    match
+      decode_bit_range op (reduction_leaves op x (reduction_leaves op y []))
+    with
+    | Some (v, lo, hi) when hi - lo + 1 >= 3 ->
+      incr folded;
+      let sel = mk_select v ~hi ~lo in
+      let w = hi - lo + 1 in
+      (match op with
+       | Signal.Or -> Some (mk_not (mk_binop Signal.Eq sel (mk_const (Bits.zero w))))
+       | Signal.And -> Some (mk_binop Signal.Eq sel (mk_const (Bits.ones w)))
+       | _ -> None)
+    | _ -> None
+  in
+  (* Fixed-priority grant bit: x[i] & ~(x[0] | ... | x[i-1]) is bit i
+     of the isolated lowest set bit, x & (0 - x) — one subtract and
+     one AND shared by the whole grant vector (the arithmetic twin of
+     the carry-chain arbiter). *)
+  let fold_priority x y =
+    (* "No lower bit of v set", in either the scalar or-chain form
+       ~(v[0] | ... | v[hi]) or the form the reduction rule above
+       already folded it to, v[hi:0] == 0. *)
+    let decode_blocked (blocked : Signal.t) =
+      match blocked.Signal.op with
+      | Signal.Not t ->
+        (match decode_bit_range Signal.Or (reduction_leaves Signal.Or t []) with
+         | Some (v, 0, hi) -> Some (v, hi)
+         | _ -> None)
+      | Signal.Binop (Signal.Eq, a, b) ->
+        let sel_of (s : Signal.t) =
           match s.Signal.op with
-          | Signal.Const v -> Signal.const b2 v
-          | Signal.Input n -> Signal.input b2 n s.Signal.width
-          | Signal.Wire { driver = Some d } -> find d
-          | Signal.Wire { driver = None } -> assert false
-          | Signal.Not x -> Signal.lnot b2 (find x)
-          | Signal.Binop (op, x, y) ->
-            let f =
-              match op with
-              | Signal.And -> Signal.land_ | Signal.Or -> Signal.lor_
-              | Signal.Xor -> Signal.lxor_ | Signal.Add -> Signal.add
-              | Signal.Sub -> Signal.sub | Signal.Mul -> Signal.mul
-              | Signal.Eq -> Signal.eq | Signal.Ult -> Signal.ult
-              | Signal.Slt -> Signal.slt
-            in
-            f b2 (find x) (find y)
-          | Signal.Mux (sel, cases) ->
-            Signal.mux b2 (find sel) (List.map find (Array.to_list cases))
-          | Signal.Concat parts -> Signal.concat_msb b2 (List.map find parts)
-          | Signal.Select { hi; lo; arg } -> Signal.select b2 (find arg) ~hi ~lo
-          | Signal.Reg r ->
-            Signal.reg b2
-              ?enable:(Option.map defer r.Signal.enable)
-              ?clear:(Option.map defer r.Signal.clear)
-              ~clear_to:r.Signal.clear_to ~init:r.Signal.init (defer r.Signal.d)
-          | Signal.Mem_read { mem; addr } ->
-            Signal.Memory.read_async b2
-              (Hashtbl.find mem_map mem.Signal.mem_uid)
-              ~addr:(find addr)
+          | Signal.Select { hi; lo = 0; arg } -> Some (arg, hi)
+          | _ -> None
         in
-        (match s.Signal.name with
-         | Some n when ns.Signal.name = None -> ignore (Signal.set_name ns n)
-         | _ -> ());
-        map := SMap.add s.Signal.uid ns !map
+        (match const_value a, sel_of b, const_value b, sel_of a with
+         | Some z, Some (v, hi), _, _ when Bits.is_zero z -> Some (v, hi)
+         | _, _, Some z, Some (v, hi) when Bits.is_zero z -> Some (v, hi)
+         | _ -> None)
+      | _ -> None
+    in
+    let match_one (bit : Signal.t) (blocked : Signal.t) =
+      match bit.Signal.op with
+      | Signal.Select { hi = i; lo = i'; arg = v } when i = i' ->
+        (match decode_blocked blocked with
+         | Some (v2, hi2) when v2 == v && hi2 = i - 1 ->
+           incr folded;
+           let w = v.Signal.width in
+           let neg = mk_binop Signal.Sub (mk_const (Bits.zero w)) v in
+           Some (mk_select (mk_binop Signal.And v neg) ~hi:i ~lo:i)
+         | _ -> None)
+      | _ -> None
+    in
+    match match_one x y with Some r -> Some r | None -> match_one y x
+  in
+  (* ---- LUT tabulation ----
+     A combinational cone (not/binop/select/concat over constants)
+     whose only non-constant leaf is a single vector of at most
+     [max_lut_leaf_width] bits computes a function with at most 16
+     entries: tabulate it into one constant-case mux on that vector.
+     This collapses [Arbiter.mask_ge]'s thermometer decoder (2^k
+     comparators against constants) into a single lookup — the same
+     table the FPGA mapper would put in a LUT. *)
+  let max_lut_leaf_width = 4 in
+  let try_lut (root : Signal.t) =
+    let exception Not_lut in
+    try
+      let leaf = ref None in
+      let seen = Hashtbl.create 16 in
+      let ops = ref 0 in
+      let rec scan (t : Signal.t) =
+        if not (Hashtbl.mem seen t.Signal.uid) then begin
+          Hashtbl.replace seen t.Signal.uid ();
+          if !ops > 64 then raise Not_lut;
+          match t.Signal.op with
+          | Signal.Const _ -> ()
+          | Signal.Not a -> incr ops; scan a
+          | Signal.Binop (_, a, b) -> incr ops; scan a; scan b
+          | Signal.Select { arg; _ } -> incr ops; scan arg
+          | Signal.Concat parts -> incr ops; List.iter scan parts
+          | _ ->
+            if t.Signal.width > max_lut_leaf_width then raise Not_lut;
+            (match !leaf with
+             | None -> leaf := Some t
+             | Some l when l == t -> ()
+             | Some _ -> raise Not_lut)
+        end
+      in
+      scan root;
+      match !leaf with
+      | Some v when !ops >= 4 ->
+        let w = v.Signal.width in
+        (* Evaluate the cone for one value of the leaf, mirroring the
+           interpreter's semantics op for op. *)
+        let eval env =
+          let memo = Hashtbl.create 16 in
+          let rec go (t : Signal.t) =
+            if t == v then env
+            else
+              match Hashtbl.find_opt memo t.Signal.uid with
+              | Some b -> b
+              | None ->
+                let b =
+                  match t.Signal.op with
+                  | Signal.Const c -> c
+                  | Signal.Not a -> Bits.lnot (go a)
+                  | Signal.Binop (op, a, b) ->
+                    let a = go a and b = go b in
+                    (match op with
+                     | Signal.And -> Bits.logand a b
+                     | Signal.Or -> Bits.logor a b
+                     | Signal.Xor -> Bits.logxor a b
+                     | Signal.Add -> Bits.add a b
+                     | Signal.Sub -> Bits.sub a b
+                     | Signal.Mul -> Bits.mul a b
+                     | Signal.Eq -> Bits.of_bool (Bits.equal a b)
+                     | Signal.Ult -> Bits.of_bool (Bits.ult a b)
+                     | Signal.Slt -> Bits.of_bool (Bits.slt a b))
+                  | Signal.Select { hi; lo; arg } ->
+                    Bits.select (go arg) ~hi ~lo
+                  | Signal.Concat parts -> Bits.concat (List.map go parts)
+                  | _ -> assert false
+                in
+                Hashtbl.replace memo t.Signal.uid b;
+                b
+          in
+          go root
+        in
+        incr folded;
+        let cases =
+          List.init (1 lsl w) (fun i ->
+              mk_const (eval (Bits.of_int ~width:w i)))
+        in
+        Some (mk_mux v cases)
+      | _ -> None
+    with Not_lut -> None
+  in
+  let rebuild_node (s : Signal.t) =
+    match s.Signal.op with
+    | Signal.Const v -> mk_const v
+    | Signal.Input n -> Signal.input nb n s.Signal.width
+    | Signal.Wire { driver = Some d } ->
+      (* Wires vanish: map straight to the rebuilt driver.  (The
+         topological order guarantees the driver was rebuilt.) *)
+      find d
+    | Signal.Wire { driver = None } -> assert false (* rejected at elaboration *)
+    | Signal.Not x ->
+      let x' = find x in
+      (match x'.Signal.op with
+       | Signal.Const v -> incr folded; mk_const (Bits.lnot v)
+       | Signal.Not y -> incr folded; y
+       | _ -> mk_not x')
+    | Signal.Binop (op, x, y) ->
+      let x' = find x and y' = find y in
+      (match fold_binop op x' y' s.Signal.width with
+       | Some r -> r
+       | None ->
+         let word_level =
+           if s.Signal.width <> 1 then None
+           else
+             match op with
+             | Signal.Or -> fold_reduction Signal.Or x' y'
+             | Signal.And ->
+               (match fold_priority x' y' with
+                | Some r -> Some r
+                | None -> fold_reduction Signal.And x' y')
+             | _ -> None
+         in
+         (match word_level with
+          | Some r -> r
+          | None ->
+            let r = mk_binop op x' y' in
+            (match try_lut r with Some m -> m | None -> r)))
+    | Signal.Mux (sel, cases) ->
+      let sel' = find sel in
+      let cases' = Array.map find cases in
+      let ncases = Array.length cases' in
+      (* Nested-mux merging: a case that is itself a mux on the same
+         selector contributes only the sub-case this selector value
+         would pick. *)
+      Array.iteri
+        (fun i c ->
+          let rec hoist (c : Signal.t) =
+            match c.Signal.op with
+            | Signal.Mux (s2, ic) when s2 == sel' ->
+              incr folded;
+              hoist ic.(min i (Array.length ic - 1))
+            | _ -> c
+          in
+          cases'.(i) <- hoist c)
+        cases';
+      (match const_value sel' with
+       | Some v ->
+         incr folded;
+         let i = min (Bits.to_int_trunc v) (ncases - 1) in
+         cases'.(i)
+       | None ->
+         let first = cases'.(0) in
+         if Array.for_all (fun c -> c == first) cases' then begin
+           incr folded; first
+         end
+         else if
+           (* 1-bit mux2 over constants 0/1 is the selector itself. *)
+           ncases = 2 && s.Signal.width = 1 && sel'.Signal.width = 1
+           && is_const cases'.(0) && is_const cases'.(1)
+         then begin
+           let v0 = Bits.to_bool (Option.get (const_value cases'.(0)))
+           and v1 = Bits.to_bool (Option.get (const_value cases'.(1))) in
+           if (not v0) && v1 then begin incr folded; sel' end
+           else if v0 && not v1 then begin incr folded; mk_not sel' end
+           else mk_mux sel' (Array.to_list cases')
+         end
+         else mk_mux sel' (Array.to_list cases'))
+    | Signal.Concat parts ->
+      let parts' = concat_parts (List.map find parts) in
+      (match parts' with
+       | [ p ] -> incr folded; p
+       | _ ->
+         if List.for_all is_const parts' then begin
+           incr folded;
+           mk_const (Bits.concat (List.filter_map const_value parts'))
+         end
+         else begin
+           let r = mk_concat parts' in
+           match try_lut r with Some m -> m | None -> r
+         end)
+    | Signal.Select { hi; lo; arg } ->
+      let arg' = find arg in
+      if lo = 0 && hi = arg'.Signal.width - 1 then begin
+        incr folded; arg'
+      end
+      else (
+        match arg'.Signal.op with
+        | Signal.Const v -> incr folded; mk_const (Bits.select v ~hi ~lo)
+        | Signal.Select { lo = lo2; arg = a2; _ } ->
+          incr folded;
+          mk_select a2 ~hi:(hi + lo2) ~lo:(lo + lo2)
+        | Signal.Concat parts ->
+          (match select_of_concat parts ~hi ~lo with
+           | Some r -> r
+           | None -> mk_select arg' ~hi ~lo)
+        | _ -> mk_select arg' ~hi ~lo)
+    | Signal.Reg r ->
+      Signal.reg nb
+        ?enable:(Option.map defer r.Signal.enable)
+        ?clear:(Option.map defer r.Signal.clear)
+        ~clear_to:r.Signal.clear_to ~init:r.Signal.init (defer r.Signal.d)
+    | Signal.Mem_read { mem; addr } ->
+      mk_memread (Hashtbl.find mem_map mem.Signal.mem_uid) (find addr)
+  in
+  Circuit.iter_nodes c (fun (s : Signal.t) ->
+      if Hashtbl.mem live s.Signal.uid then begin
+        let ns = rebuild_node s in
+        (* Every name the old node answered to must survive: as the new
+           node's primary name if it is still unnamed, as an alias
+           otherwise. *)
+        List.iter
+          (fun n ->
+            match ns.Signal.name with
+            | None -> ignore (Signal.set_name ns n)
+            | Some existing when existing = n -> ()
+            | Some _ -> Signal.add_alias ns n)
+          (Signal.all_names s);
+        Hashtbl.replace map s.Signal.uid ns
       end);
-  List.iter
-    (fun (w, old) -> Signal.assign w (SMap.find old.Signal.uid !map))
-    !fixups;
+  List.iter (fun (w, old) -> Signal.assign w (find old)) !fixups;
+  (* Write ports, in creation order (last-added wins).  A port whose
+     rebuilt enable is constant zero can never fire and is dropped. *)
   List.iter
     (fun (m : Signal.memory) ->
       let nm = Hashtbl.find mem_map m.Signal.mem_uid in
       List.iter
         (fun (p : Signal.write_port) ->
-          Signal.Memory.write b2 nm
-            ~we:(SMap.find p.Signal.we.Signal.uid !map)
-            ~addr:(SMap.find p.Signal.waddr.Signal.uid !map)
-            ~data:(SMap.find p.Signal.wdata.Signal.uid !map))
+          let we = find p.Signal.we in
+          match const_value we with
+          | Some v when Bits.is_zero v -> incr folded
+          | _ ->
+            Signal.Memory.write nb nm ~we ~addr:(find p.Signal.waddr)
+              ~data:(find p.Signal.wdata))
         (List.rev m.Signal.write_ports))
-    c1.Circuit.memories;
+    c.Circuit.memories;
   List.iter
-    (fun (n, (s : Signal.t)) ->
-      ignore (Signal.output b2 n (SMap.find s.Signal.uid !map)))
-    c1.Circuit.outputs;
-  let c2 = Circuit.create ~name b2 in
-  ( c2,
-    { nodes_before = Circuit.node_count c;
-      nodes_after = Circuit.node_count c2;
-      folded } )
+    (fun (n, (s : Signal.t)) -> ignore (Signal.output nb n (find s)))
+    c.Circuit.outputs;
+  { pc = Circuit.create ~name nb;
+    psig = map;
+    pmem = mem_map;
+    pfolded = !folded;
+    pmerged = !merged }
+
+let max_passes = 8
+
+let optimize_with_map ?(name = "optimized") ?(keep_names = true) (c0 : Circuit.t) =
+  (* Accumulated remap: original uid / mem_uid -> current node. *)
+  let total_sig : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let total_mem : (int, Signal.memory) Hashtbl.t = Hashtbl.create 8 in
+  Circuit.iter_nodes c0 (fun s -> Hashtbl.replace total_sig s.Signal.uid s);
+  List.iter
+    (fun (m : Signal.memory) -> Hashtbl.replace total_mem m.Signal.mem_uid m)
+    c0.Circuit.memories;
+  let compose (p : pass_out) =
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun orig_uid (cur : Signal.t) ->
+        match Hashtbl.find_opt p.psig cur.Signal.uid with
+        | Some ns -> Hashtbl.replace total_sig orig_uid ns
+        | None -> stale := orig_uid :: !stale)
+      total_sig;
+    List.iter (Hashtbl.remove total_sig) !stale;
+    let stale_m = ref [] in
+    Hashtbl.iter
+      (fun orig_uid (cur : Signal.memory) ->
+        match Hashtbl.find_opt p.pmem cur.Signal.mem_uid with
+        | Some nm -> Hashtbl.replace total_mem orig_uid nm
+        | None -> stale_m := orig_uid :: !stale_m)
+      total_mem;
+    List.iter (Hashtbl.remove total_mem) !stale_m
+  in
+  let folded = ref 0 and merged = ref 0 and passes = ref 0 in
+  let cur = ref c0 in
+  let continue_ = ref true in
+  while !continue_ && !passes < max_passes do
+    let before = Circuit.node_count !cur in
+    let p = pass ~name ~keep_names !cur in
+    incr passes;
+    folded := !folded + p.pfolded;
+    merged := !merged + p.pmerged;
+    compose p;
+    cur := p.pc;
+    (* Iterate while progress is being made: either the netlist
+       shrank, or a rule fired (the word-level rewrites can leave a
+       dead scalar chain behind that only the NEXT pass sweeps, so a
+       momentarily non-shrinking pass with rewrites still converges). *)
+    continue_ := Circuit.node_count p.pc < before || p.pfolded > 0
+  done;
+  let stats =
+    { nodes_before = Circuit.node_count c0;
+      nodes_after = Circuit.node_count !cur;
+      folded = !folded;
+      cse_merged = !merged;
+      passes = !passes }
+  in
+  let remap =
+    { signal_of = (fun s -> Hashtbl.find_opt total_sig s.Signal.uid);
+      memory_of = (fun m -> Hashtbl.find_opt total_mem m.Signal.mem_uid) }
+  in
+  (!cur, stats, remap)
+
+let optimize ?name ?keep_names c =
+  let c', stats, _ = optimize_with_map ?name ?keep_names c in
+  (c', stats)

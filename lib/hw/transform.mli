@@ -1,21 +1,43 @@
-(** Netlist optimization: constant folding and dead-node elimination.
+(** Netlist optimization: constant folding, algebraic rewriting,
+    hash-consing CSE and dead-node elimination, iterated to a fixpoint.
 
     [optimize c] returns a behaviourally equivalent circuit — same
-    inputs, outputs, register/memory state evolution — with constants
-    propagated (operators over constants, identity/absorbing operands,
-    constant-selector muxes, double negation, full-width selects,
-    wire indirection) and everything outside the live cone of the
-    outputs, registers and memory write ports removed.  Primary inputs
-    are preserved even when unused, so testbenches keep working.
+    inputs, outputs, named probes, register/memory state evolution —
+    with constants propagated (operators over constants,
+    identity/absorbing/idempotent operands, constant-selector muxes,
+    double negation, select/concat fusion, nested-mux merging,
+    one-hot compare collapsing, wire indirection), structurally
+    duplicate combinational nodes shared, and everything outside the
+    live cone of the outputs, named signals and memory write ports
+    removed.  Primary inputs are preserved even when unused, so
+    testbenches keep working; named signals are preserved (and carried
+    as aliases when folding merges nodes) so [Sampler]/[Monitor]
+    probes survive — pass [~keep_names:false] to sweep them too.
 
     Equivalence is enforced by the property tests in
     [test/test_transform.ml] (random circuits co-simulated before and
-    after). *)
+    after) and by the real-design co-simulations in
+    [test/test_sim_backends.ml]. *)
 
 type stats = {
   nodes_before : int;
   nodes_after : int;
-  folded : int;  (** folding rewrites applied *)
+  folded : int;  (** folding/rewriting rules applied, summed over passes *)
+  cse_merged : int;  (** structurally duplicate nodes shared *)
+  passes : int;  (** rebuild passes until the fixpoint *)
 }
 
-val optimize : ?name:string -> Circuit.t -> Circuit.t * stats
+(** Remap from the ORIGINAL circuit's nodes to their optimized
+    counterparts.  [None] means the node was swept (dead).  Used by
+    [Sim.create ~optimize:true] so simulation handles held against the
+    original netlist ([peek_signal], [mem_read]/[mem_write] memory
+    handles) keep working against the optimized one. *)
+type remap = {
+  signal_of : Signal.t -> Signal.t option;
+  memory_of : Signal.memory -> Signal.memory option;
+}
+
+val optimize : ?name:string -> ?keep_names:bool -> Circuit.t -> Circuit.t * stats
+
+val optimize_with_map :
+  ?name:string -> ?keep_names:bool -> Circuit.t -> Circuit.t * stats * remap

@@ -1,0 +1,77 @@
+(* Bounded work-pool over OCaml 5 domains.
+
+   The bench experiments (Table I sweeps, throughput sweeps, the
+   [check] stress harness, the perf tracker) consist of many
+   independent sweep points — one circuit elaborated, simulated and
+   measured per point.  [map] fans those points out across a bounded
+   number of domains:
+
+   - Work distribution is a single atomic next-index counter, so
+     domains self-balance across points of very different cost (an
+     8-thread MD5 simulation next to a 1-thread MEB smoke).
+   - Results land in a pre-allocated slot per index: the output order
+     is the input order, whatever the completion order, so sweep
+     tables and JSON reports are deterministic.
+   - Determinism of the points themselves is the caller's job: seed
+     any randomness from the task index ([rng]), never from shared
+     mutable state.  Netlist construction is already safe — builders
+     are domain-local and the one global counter ([Signal.Memory]'s
+     mem_uid) is atomic.
+   - The first exception raised by any task is re-raised (with its
+     backtrace) from [map] after every domain has joined; remaining
+     tasks are abandoned (not started) once an exception is pending.
+
+   [map ~domains:1] (or on a 1-core host) degrades to a plain
+   sequential loop with no domain spawned, so single-core CI runs the
+   exact same code path the tests cover. *)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+(* Deterministic per-task RNG: independent of domain count and of the
+   order domains pick up tasks. *)
+let rng ~seed index = Random.State.make [| seed; index; 0x9e3779b9 |]
+
+let map ?domains (f : int -> 'a) (n : int) : 'a array =
+  if n < 0 then invalid_arg "Parallel.map: negative count";
+  let domains =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Parallel.map: domains must be >= 1"
+    | Some d -> min d n
+    | None -> min (recommended_domains ()) n
+  in
+  if n = 0 then [||]
+  else if domains <= 1 then Array.init n f
+  else begin
+    let results : 'a option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed <> None then continue_ := false
+        else
+          try results.(i) <- Some (f i)
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+      done
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map
+        (function Some v -> v | None -> assert false (* every slot filled *))
+        results
+  end
+
+let map_list ?domains f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map ?domains (fun i -> f arr.(i)) (Array.length arr))
+
+let iter ?domains f n = ignore (map ?domains (fun i -> f i; ()) n)

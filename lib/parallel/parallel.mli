@@ -1,0 +1,25 @@
+(** Bounded work-pool over OCaml 5 domains, for fanning independent
+    sweep points (bench experiments, stress scenarios) across cores.
+
+    Results are returned in task order regardless of completion order,
+    so sweeps stay deterministic; work distribution self-balances via
+    an atomic task counter.  With [~domains:1] (or on a single-core
+    host) no domain is spawned and the loop runs sequentially. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — usually the core count. *)
+
+val rng : seed:int -> int -> Random.State.t
+(** [rng ~seed index] — a deterministic per-task random state,
+    independent of the domain count and of scheduling order. *)
+
+val map : ?domains:int -> (int -> 'a) -> int -> 'a array
+(** [map ~domains f n] computes [[| f 0; ...; f (n-1) |]], running up
+    to [domains] tasks concurrently (default:
+    {!recommended_domains}).  [f] must not touch shared mutable state;
+    the first exception any task raises is re-raised after all domains
+    join, and pending tasks are abandoned. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val iter : ?domains:int -> (int -> unit) -> int -> unit

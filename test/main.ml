@@ -14,5 +14,6 @@ let () =
       Test_transform.suite;
       Test_fpga.suite;
       Test_workload.suite;
+      Test_parallel.suite;
       Test_monitor.suite;
       Test_verilog.suite ]

@@ -26,7 +26,7 @@ let check_only tag checker m =
 
 (* ---- positive: real workloads stay green on both backends ---- *)
 
-let test_md5_clean () =
+let md5_clean ?optimize () =
   List.iter
     (fun backend ->
       let threads = 3 in
@@ -34,7 +34,7 @@ let test_md5_clean () =
         Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~probes:true
           ~threads ()
       in
-      let sim = Hw.Sim.create ~backend circuit in
+      let sim = Hw.Sim.create ~backend ?optimize circuit in
       let m = Monitor.create sim in
       List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads)
         [ "msg"; "digest"; "md5_dp"; "md5_bar_in" ];
@@ -63,6 +63,14 @@ let test_md5_clean () =
         (Workload.Mt_driver.run_until_drained d ~limit:5000);
       check_clean ("md5 " ^ Hw.Sim.backend_to_string backend) m)
     backends
+
+let test_md5_clean () = md5_clean ()
+
+(* Every monitor attaches to probes by name ([md5_dp], [msg], …), so
+   this doubles as the name-preservation regression for the optimizer:
+   if [Transform.optimize] dropped or renamed a probe, monitor
+   creation (or its samplers) would fail on both backends here. *)
+let test_md5_clean_optimized () = md5_clean ~optimize:true ()
 
 let test_cpu_clean () =
   List.iter
@@ -298,6 +306,8 @@ let test_report_budget () =
 let suite =
   ( "monitor",
     [ Alcotest.test_case "md5 clean (both backends)" `Quick test_md5_clean;
+      Alcotest.test_case "md5 clean on optimized netlist (both backends)"
+        `Quick test_md5_clean_optimized;
       Alcotest.test_case "cpu clean (both backends)" `Quick test_cpu_clean;
       Alcotest.test_case "barrier clean (both backends)" `Quick
         test_barrier_clean;

@@ -1,0 +1,97 @@
+(* The domain work-pool: result ordering, determinism across domain
+   counts, per-task RNG stability, exception propagation, and the
+   degenerate sequential paths — the properties every bench sweep
+   (Table I, throughput, check, perf) relies on. *)
+
+let domain_counts = [ 1; 2; 4 ]
+
+let test_map_ordering () =
+  List.iter
+    (fun domains ->
+      let r = Parallel.map ~domains (fun i -> i * i) 17 in
+      Alcotest.(check (array int))
+        (Printf.sprintf "squares at %d domains" domains)
+        (Array.init 17 (fun i -> i * i))
+        r)
+    domain_counts;
+  Alcotest.(check (array int)) "n = 0" [||] (Parallel.map (fun i -> i) 0)
+
+(* The point of [Parallel.rng]: the per-task stream depends only on
+   (seed, index), so a sweep gives identical results at any domain
+   count — including a simulation-backed point. *)
+let test_determinism_across_domains () =
+  let point ~seed i =
+    let st = Parallel.rng ~seed i in
+    let b = Hw.Signal.Builder.create () in
+    let x = Hw.Signal.input b "x" 16 in
+    ignore
+      (Hw.Signal.output b "y"
+         (Hw.Signal.add b x (Hw.Signal.const b (Bits.random st ~width:16))));
+    let sim = Hw.Sim.create (Hw.Circuit.create b) in
+    Hw.Sim.poke sim "x" (Bits.random st ~width:16);
+    Hw.Sim.settle sim;
+    Hw.Sim.peek_int sim "y"
+  in
+  let reference = Parallel.map ~domains:1 (point ~seed:42) 9 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "same sweep at %d domains" domains)
+        reference
+        (Parallel.map ~domains (point ~seed:42) 9))
+    domain_counts;
+  (* Different seed, different sweep (sanity that the seed is used). *)
+  Alcotest.(check bool) "seed matters" false
+    (Parallel.map ~domains:2 (point ~seed:43) 9 = reference)
+
+let test_map_list () =
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "map_list at %d domains" domains)
+        [ "a!"; "b!"; "c!" ]
+        (Parallel.map_list ~domains (fun s -> s ^ "!") [ "a"; "b"; "c" ]))
+    domain_counts
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun domains ->
+      match
+        Parallel.map ~domains (fun i -> if i = 5 then raise (Boom i) else i) 8
+      with
+      | _ -> Alcotest.failf "no exception at %d domains" domains
+      | exception Boom 5 -> ()
+      | exception e ->
+        Alcotest.failf "wrong exception at %d domains: %s" domains
+          (Printexc.to_string e))
+    domain_counts
+
+let test_iter_and_validation () =
+  (* [iter] visits every index exactly once (atomic accumulator). *)
+  let hits = Array.make 11 (Atomic.make 0) in
+  Array.iteri (fun i _ -> hits.(i) <- Atomic.make 0) hits;
+  Parallel.iter ~domains:3 (fun i -> Atomic.incr hits.(i)) 11;
+  Array.iteri
+    (fun i a -> Alcotest.(check int) (Printf.sprintf "index %d" i) 1 (Atomic.get a))
+    hits;
+  (* Invalid arguments are rejected up front. *)
+  List.iter
+    (fun thunk ->
+      match thunk () with
+      | _ -> Alcotest.fail "invalid argument accepted"
+      | exception Invalid_argument _ -> ())
+    [ (fun () -> Parallel.map (fun i -> i) (-1));
+      (fun () -> Parallel.map ~domains:0 (fun i -> i) 3) ]
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "map ordering" `Quick test_map_ordering;
+      Alcotest.test_case "deterministic across domain counts" `Quick
+        test_determinism_across_domains;
+      Alcotest.test_case "map_list" `Quick test_map_list;
+      Alcotest.test_case "exception propagation" `Quick
+        test_exception_propagation;
+      Alcotest.test_case "iter + argument validation" `Quick
+        test_iter_and_validation ] )
