@@ -194,12 +194,24 @@ let run ?(quick = false) ?domains () =
     eq_cycles
     (if equivalent then "ok" else "FAILED");
   let seed = 0x51eed in
-  let t1, c1 = time_sweep ~tasks:sweep_tasks ~domains:1 ~seed in
-  let tn, cn = time_sweep ~tasks:sweep_tasks ~domains ~seed in
-  assert (c1 = cn) (* deterministic: same total cycles either way *);
-  Printf.printf
-    "sweep (%d MD5 points): %.2fs at 1 domain, %.2fs at %d domains (%.2fx, %d cores available)\n%!"
-    sweep_tasks t1 tn domains (t1 /. tn) cores;
+  (* A 1-vs-N scaling comparison is meaningless when only one core is
+     available: both runs would execute serially and the "speedup"
+     would just be timer noise. *)
+  let sweep =
+    if cores <= 1 && domains <= 1 then begin
+      Printf.printf "sweep: skipped (single core)\n%!";
+      None
+    end
+    else begin
+      let t1, c1 = time_sweep ~tasks:sweep_tasks ~domains:1 ~seed in
+      let tn, cn = time_sweep ~tasks:sweep_tasks ~domains ~seed in
+      assert (c1 = cn) (* deterministic: same total cycles either way *);
+      Printf.printf
+        "sweep (%d MD5 points): %.2fs at 1 domain, %.2fs at %d domains (%.2fx, %d cores available)\n%!"
+        sweep_tasks t1 tn domains (t1 /. tn) cores;
+      Some (t1, tn)
+    end
+  in
   let oc = open_out "BENCH_sim_perf.json" in
   let kernel_json l =
     Printf.sprintf
@@ -211,6 +223,21 @@ let run ?(quick = false) ?domains () =
       (opt_speedup l)
       (cps l "compiled" /. cps l "interp")
   in
+  let sweep_json =
+    match sweep with
+    | None -> "{ \"skipped\": \"single core\" }"
+    | Some (t1, tn) ->
+      Printf.sprintf
+        "{\n\
+        \    \"tasks\": %d,\n\
+        \    \"seconds_at_1_domain\": %.3f,\n\
+        \    \"seconds_at_n_domains\": %.3f,\n\
+        \    \"domains\": %d,\n\
+        \    \"speedup\": %.3f,\n\
+        \    \"cores_available\": %d\n\
+        \  }"
+        sweep_tasks t1 tn domains (t1 /. tn) cores
+  in
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"sim-perf\",\n\
@@ -220,17 +247,9 @@ let run ?(quick = false) ?domains () =
     \    \"cpu_4t\": %s\n\
     \  },\n\
     \  \"equivalence\": { \"cycles\": %d, \"ok\": %b },\n\
-    \  \"sweep\": {\n\
-    \    \"tasks\": %d,\n\
-    \    \"seconds_at_1_domain\": %.3f,\n\
-    \    \"seconds_at_n_domains\": %.3f,\n\
-    \    \"domains\": %d,\n\
-    \    \"speedup\": %.3f,\n\
-    \    \"cores_available\": %d\n\
-    \  }\n\
+    \  \"sweep\": %s\n\
      }\n"
-    quick (kernel_json md5) (kernel_json cpu) eq_cycles equivalent sweep_tasks
-    t1 tn domains (t1 /. tn) cores;
+    quick (kernel_json md5) (kernel_json cpu) eq_cycles equivalent sweep_json;
   close_out oc;
   print_endline "wrote BENCH_sim_perf.json";
   if not equivalent then exit 1

@@ -8,6 +8,8 @@
      main.exe check           randomized protocol-monitor stress (non-zero exit on violation)
      main.exe perf            simulation cycles/sec + parallel sweep scaling (BENCH_sim_perf.json)
      main.exe perf --quick    shortened perf run, for CI smoke
+     main.exe serve           continuous-batching serving benchmark (BENCH_serve.json)
+     main.exe serve --quick   shortened serving run, for CI smoke
      main.exe table1 --threads 16
      main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
      main.exe --backend compiled   (simulator backend for all experiments) *)
@@ -15,7 +17,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve] \
      [--threads N] [--domains N] [--quick] [--backend interp|compiled]";
   exit 2
 
@@ -93,4 +95,5 @@ let () =
     in
     exit (min 1 (Exp_check.run ~backends ~threads ?domains ()))
   | [ "perf" ] -> Exp_perf.run ~quick ?domains ()
+  | [ "serve" ] -> Exp_serve.run ~quick ?domains ()
   | _ -> usage ()

@@ -4,6 +4,7 @@
      elsim asm FILE            assemble to hex words
      elsim run FILE            assemble and run on the elastic pipeline
      elsim md5 MSG...          hash messages on the MT elastic MD5 circuit
+     elsim serve MSG...        serve messages via the continuous-batching engine
      elsim report              area/Fmax report for the Table I designs
      elsim vcd FILE            dump a VCD of the Fig. 5 stall scenario *)
 
@@ -102,6 +103,74 @@ let md5_cmd =
   Cmd.v
     (Cmd.info "md5" ~doc:"Hash messages (any length) on the MT elastic MD5 circuit.")
     Term.(ret (const run $ kind_arg $ msgs))
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let msgs = Arg.(non_empty & pos_all string [] & info [] ~docv:"MSG") in
+  let slots =
+    Arg.(value & opt int 8
+         & info [ "slots" ] ~docv:"S" ~doc:"Thread slots per replica.")
+  in
+  let replicas =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"R" ~doc:"Simulator replicas (sharded by job id).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"D" ~doc:"Domains to fan replicas over (default: cores).")
+  in
+  let rate =
+    Arg.(value & opt float 0.1
+         & info [ "rate" ] ~docv:"R" ~doc:"Poisson arrival rate, jobs/cycle.")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline" ] ~docv:"CYCLES" ~doc:"Per-job deadline in cycles.")
+  in
+  let monitor =
+    Arg.(value & flag
+         & info [ "monitor" ] ~doc:"Attach the runtime protocol monitors.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Arrival-process seed.")
+  in
+  let run kind msgs slots replicas domains rate deadline monitor seed =
+    let t =
+      Serve.Engine.create ~replicas
+        ~make_replica:(Serve.Md5_backend.make ~kind ~monitor ~slots ())
+        ()
+    in
+    let rng = Random.State.make [| seed |] in
+    let arrivals =
+      Serve.Engine.Load.poisson ~rng ~rate ~count:(List.length msgs)
+    in
+    List.iteri
+      (fun i m -> ignore (Serve.Engine.submit ~arrival:arrivals.(i) ?deadline t m))
+      msgs;
+    let report = Serve.Engine.run ?domains t in
+    List.iteri
+      (fun i m ->
+        match Serve.Engine.outcome t i with
+        | Serve.Engine.Completed { result; latency; replica; slot } ->
+          Printf.printf "%s  %S  (latency %d cyc, replica %d slot %d)\n" result
+            m latency replica slot
+        | Serve.Engine.Shed { at } -> Printf.printf "SHED @%d  %S\n" at m
+        | Serve.Engine.Timed_out { tries } ->
+          Printf.printf "TIMEOUT after %d tries  %S\n" tries m
+        | Serve.Engine.Failed why -> Printf.printf "FAILED (%s)  %S\n" why m
+        | Serve.Engine.Pending -> Printf.printf "PENDING  %S\n" m)
+      msgs;
+    print_string (Serve.Engine.summary report);
+    if Serve.Engine.violations report > 0 then `Error (false, "protocol violations")
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve messages through the continuous-batching MD5 request server.")
+    Term.(ret
+            (const run $ kind_arg $ msgs $ slots $ replicas $ domains $ rate
+             $ deadline $ monitor $ seed))
 
 (* --- report --- *)
 
@@ -239,4 +308,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "elsim" ~version:"1.0.0"
              ~doc:"Multithreaded elastic systems: simulator and tools.")
-          [ asm_cmd; run_cmd; md5_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))
+          [ asm_cmd; run_cmd; md5_cmd; serve_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))

@@ -65,7 +65,7 @@ let is_op b op_field op = S.eq_const b op_field (Isa.opcode_value op)
 let is_any b op_field ops =
   S.or_reduce b (List.map (is_op b op_field) ops)
 
-let create ?(config_name = "cpu") ?(probes = false) b config =
+let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
   ignore config_name;
   let n = config.threads in
   let tw = max 1 (S.clog2 n) in
@@ -85,6 +85,23 @@ let create ?(config_name = "cpu") ?(probes = false) b config =
   let busy = Array.init n (fun _ -> S.wire b 1) in
   let halted = Array.init n (fun _ -> S.wire b 1) in
   let pcs = Array.init n (fun _ -> S.wire b pc_w) in
+  (* Host job-control interface (the serving engine's slot lifecycle).
+     Absent by default so the Table I designs are unchanged.  [restart]
+     re-launches a thread at [restart_pc] (host contract: only while
+     the thread is halted and not busy — a racing writeback would
+     otherwise overwrite the loaded PC); [kill] parks a thread halted
+     so its slot can be reclaimed (any in-flight instruction drains
+     normally first).  In serve mode every thread powers on halted:
+     slots run only what the host launches. *)
+  let restart_in, kill_in, restart_pc_in =
+    if serve then
+      ( S.input b "restart" n,
+        S.input b "kill" n,
+        S.input b "restart_pc" pc_w )
+    else (S.zero b n, S.zero b n, S.zero b pc_w)
+  in
+  let restart_bit i = if serve then S.bit b restart_in i else S.gnd b in
+  let kill_bit i = if serve then S.bit b kill_in i else S.gnd b in
   (* The fetch channel's readys come from MEB0's per-thread buffer
      state; a thread competes for fetch only when it is idle, running,
      and its MEB0 slot can take the token. *)
@@ -255,9 +272,13 @@ let create ?(config_name = "cpu") ?(probes = false) b config =
     (fun i pc_wire ->
       let fire = wb.Mc.valids.(i) in
       let pc_reg =
-        S.reg b ~enable:(S.land_ b fire (S.lnot b is_halt))
+        (* [restart] wins over a (host-forbidden) same-cycle writeback:
+           its loaded PC is the slot's new program. *)
+        S.reg b
+          ~enable:
+            (S.lor_ b (restart_bit i) (S.land_ b fire (S.lnot b is_halt)))
           ~init:(Bits.of_int ~width:pc_w config.start_pcs.(i))
-          wb_next_pc
+          (S.mux2 b (restart_bit i) restart_pc_in wb_next_pc)
       in
       ignore (S.set_name pc_reg (Printf.sprintf "pc%d" i));
       S.assign pc_wire pc_reg;
@@ -268,7 +289,15 @@ let create ?(config_name = "cpu") ?(probes = false) b config =
       ignore (S.set_name busy_reg (Printf.sprintf "busy%d" i));
       S.assign busy.(i) busy_reg;
       let halted_reg =
-        S.reg_fb b ~width:1 (fun q -> S.lor_ b q (S.land_ b fire is_halt))
+        (* restart clears, kill sets, a retiring HALT sets; in serve
+           mode the power-on value is halted so unlaunched slots stay
+           quiescent instead of executing imem garbage from PC 0. *)
+        S.reg_fb b ~width:1
+          ~init:(Bits.of_int ~width:1 (if serve then 1 else 0))
+          (fun q ->
+            S.mux2 b (restart_bit i) (S.gnd b)
+              (S.lor_ b (kill_bit i)
+                 (S.lor_ b q (S.land_ b fire is_halt))))
       in
       ignore (S.set_name halted_reg (Printf.sprintf "halted%d" i));
       S.assign halted.(i) halted_reg;
@@ -284,6 +313,10 @@ let create ?(config_name = "cpu") ?(probes = false) b config =
   ignore
     (S.output b "halted_vec"
        (S.concat_msb b (List.rev (Array.to_list halted))));
+  if serve then
+    ignore
+      (S.output b "busy_vec"
+         (S.concat_msb b (List.rev (Array.to_list busy))));
   let total_retired =
     S.reg_fb b ~width:32 (fun q ->
         S.mux2 b wb_any (S.add b q (S.of_int b ~width:32 1)) q)
@@ -293,9 +326,9 @@ let create ?(config_name = "cpu") ?(probes = false) b config =
   { config; imem; dmem; regfile }
 
 (* Elaborate a standalone processor circuit. *)
-let circuit ?probes config =
+let circuit ?probes ?serve config =
   let b = S.Builder.create () in
-  let t = create ?probes b config in
+  let t = create ?probes ?serve b config in
   (Hw.Circuit.create
      ~name:(Printf.sprintf "cpu_%s_%dt" (Melastic.Meb.kind_to_string config.kind)
               config.threads)

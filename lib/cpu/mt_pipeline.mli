@@ -34,13 +34,26 @@ type t = {
   regfile : S.memory;
 }
 
-val create : ?config_name:string -> ?probes:bool -> S.builder -> config -> t
+val create :
+  ?config_name:string -> ?probes:bool -> ?serve:bool -> S.builder -> config -> t
 (** [probes] (default false) installs {!Melastic.Mt_channel.probe}
     taps ["cpu_fetch"], ["cpu_mem"] and ["cpu_wb"] on the fetch,
     EX→MEM and writeback channels for the runtime protocol
-    monitors. *)
+    monitors.
 
-val circuit : ?probes:bool -> config -> Hw.Circuit.t * t
+    [serve] (default false) adds the host job-control interface used
+    by the serving engine ({!Serve_cpu}): inputs ["restart"] /
+    ["kill"] (one bit per thread) and ["restart_pc"], plus a
+    ["busy_vec"] output mirroring the scoreboard.  In serve mode every
+    thread powers on halted; pulsing [restart(i)] for one cycle loads
+    [restart_pc] into the thread's PC and clears its halted bit, and
+    pulsing [kill(i)] parks the thread halted (in-flight instructions
+    drain normally).  Host contract: assert [restart(i)] only while
+    thread [i] is halted and not busy — otherwise a retiring
+    instruction's PC writeback races the load.  Off by default so the
+    Table I designs are unchanged. *)
+
+val circuit : ?probes:bool -> ?serve:bool -> config -> Hw.Circuit.t * t
 
 (** {1 Testbench helpers} *)
 

@@ -1,0 +1,180 @@
+(* CPU serving backend: each thread slot of the MT-elastic processor
+   is an execution context the host launches, harvests and — on
+   deadline — kills and relaunches, through the pipeline's serve
+   interface (restart/kill/restart_pc, see Mt_pipeline).
+
+   Slot lifecycle:
+
+     Free --start--> Launching --restart pulse--> Running
+       ^                                             |
+       |<------- halted (completion harvested) ------|
+       |<-- Draining <---- kill pulse (cancel) ------|
+                 (waits for the in-flight instruction)
+
+   The restart host contract (only pulse while halted and not busy) is
+   honoured by construction: Free follows either a halt or a drained
+   kill, and restart pulses are serialized one per cycle because
+   restart_pc is a single shared port. *)
+
+type job = { source : string; args : (int * int) list }
+type result = int array
+
+let dmem_base_reg = Cpu.Isa.num_regs - 1
+
+type slot_state = Free | Launching | Running | Draining
+
+let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 4)
+    ?(imem_size = 1024) ?(dmem_size = 1024) () _index :
+    (job, result) Engine.replica =
+  let config =
+    { (Cpu.Mt_pipeline.default_config ~threads:slots) with
+      Cpu.Mt_pipeline.kind;
+      imem_size;
+      dmem_size }
+  in
+  let circuit, t = Cpu.Mt_pipeline.circuit ~probes:monitor ~serve:true config in
+  let sim = Hw.Sim.create circuit in
+  let mon =
+    if not monitor then None
+    else begin
+      let m = Monitor.create sim in
+      let chans = [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ] in
+      List.iter (fun n -> Monitor.check_one_hot m ~name:n ~threads:slots) chans;
+      List.iter (fun n -> Monitor.check_stability m ~name:n ~threads:slots) chans;
+      (* Instructions are the tokens: every fetch of a thread retires
+         exactly once, in order, whatever the slot churn. *)
+      Monitor.check_conservation m ~src:"cpu_fetch" ~snk:"cpu_wb" ~threads:slots
+        ~compare_data:false;
+      Some m
+    end
+  in
+  let iregion = imem_size / slots in
+  let dregion = dmem_size / slots in
+  if iregion < 2 || dregion < 1 then
+    invalid_arg "Cpu_backend.make: memory regions too small for slot count";
+  let state = Array.make slots Free in
+  let kill_pending = Array.make slots false in
+  let pending_restart : (int * int) Queue.t = Queue.create () in
+  let pulsing = ref None in
+  let completions = ref [] in
+  let halted_bit i = Bits.bit (Hw.Sim.peek sim "halted_vec") i in
+  let busy_bit i = Bits.bit (Hw.Sim.peek sim "busy_vec") i in
+  let step () =
+    (* Drop last cycle's pulses before raising this cycle's. *)
+    Hw.Sim.poke_int sim "restart" 0;
+    Hw.Sim.poke_int sim "kill" 0;
+    let kill_mask = ref (Bits.zero slots) in
+    let any_kill = ref false in
+    Array.iteri
+      (fun i k ->
+        if k then begin
+          kill_pending.(i) <- false;
+          any_kill := true;
+          kill_mask := Bits.set_bit !kill_mask i true
+        end)
+      kill_pending;
+    if !any_kill then Hw.Sim.poke sim "kill" !kill_mask;
+    (* One restart per cycle (restart_pc is shared), and only once the
+       thread is halted with no instruction in flight. *)
+    (match Queue.peek_opt pending_restart with
+     | Some (slot, base) when halted_bit slot && not (busy_bit slot) ->
+       ignore (Queue.pop pending_restart);
+       Hw.Sim.poke sim "restart" (Bits.set_bit (Bits.zero slots) slot true);
+       Hw.Sim.poke_int sim "restart_pc" base;
+       pulsing := Some slot
+     | _ -> ());
+    Hw.Sim.cycle sim;
+    (match !pulsing with
+     | Some slot ->
+       state.(slot) <- Running;
+       pulsing := None
+     | None -> ());
+    for i = 0 to slots - 1 do
+      match state.(i) with
+      | Running when halted_bit i ->
+        let regs =
+          Array.init Cpu.Isa.num_regs (fun r ->
+              if r = 0 then 0
+              else Cpu.Mt_pipeline.read_reg sim t ~thread:i ~reg:r)
+        in
+        completions := (i, regs) :: !completions;
+        state.(i) <- Free
+      | Draining when not (busy_bit i) -> state.(i) <- Free
+      | _ -> ()
+    done
+  in
+  { Engine.slots;
+    slot_free = (fun i -> state.(i) = Free);
+    start =
+      (fun ~slot job ->
+        if state.(slot) <> Free then invalid_arg "Cpu_backend.start: slot not free";
+        let base = slot * iregion in
+        let words = Cpu.Asm.assemble_words ~origin:base job.source in
+        if List.length words > iregion then
+          invalid_arg "Cpu_backend.start: program overflows the slot's imem region";
+        List.iteri
+          (fun k w ->
+            Hw.Sim.mem_write sim t.Cpu.Mt_pipeline.imem (base + k)
+              (Bits.of_int ~width:32 (w land 0xffffffff)))
+          words;
+        (* Fresh architectural state: zeroed registers (determinism
+           across slot reuse and replica routing), the dmem-base
+           convention register, then the job's arguments. *)
+        let dbase = slot * dregion in
+        for r = 1 to Cpu.Isa.num_regs - 1 do
+          let v =
+            if r = dmem_base_reg then dbase
+            else 0
+          in
+          let v = match List.assoc_opt r job.args with Some a -> a | None -> v in
+          Hw.Sim.mem_write sim t.Cpu.Mt_pipeline.regfile
+            ((slot * Cpu.Isa.num_regs) + r)
+            (Bits.of_int_trunc ~width:32 v)
+        done;
+        for a = 0 to dregion - 1 do
+          Hw.Sim.mem_write sim t.Cpu.Mt_pipeline.dmem (dbase + a)
+            (Bits.zero 32)
+        done;
+        state.(slot) <- Launching;
+        Queue.add (slot, base) pending_restart);
+    cancel =
+      (fun ~slot ->
+        match state.(slot) with
+        | Launching ->
+          (* Not yet pulsed: just forget the queued restart. *)
+          let keep = Queue.create () in
+          Queue.iter (fun (s, b) -> if s <> slot then Queue.add (s, b) keep) pending_restart;
+          Queue.clear pending_restart;
+          Queue.transfer keep pending_restart;
+          state.(slot) <- Free
+        | Running ->
+          kill_pending.(slot) <- true;
+          state.(slot) <- Draining
+        | Draining | Free -> ());
+    step;
+    completions =
+      (fun () ->
+        let l = List.rev !completions in
+        completions := [];
+        l);
+    cycle_no = (fun () -> Hw.Sim.cycle_no sim);
+    finish =
+      (fun () ->
+        (* Kill leftovers and drain them so the conservation checker's
+           per-thread scoreboards end balanced. *)
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Running ->
+              kill_pending.(i) <- true;
+              state.(i) <- Draining
+            | Launching | Draining | Free -> ())
+          state;
+        let guard = ref 0 in
+        while Array.exists (fun s -> s = Draining) state && !guard < 10_000 do
+          step ();
+          incr guard
+        done;
+        match mon with Some m -> Monitor.finalize m | None -> ());
+    violations =
+      (fun () -> match mon with Some m -> Monitor.violation_count m | None -> 0) }

@@ -1,0 +1,413 @@
+(* Continuous-batching request server over the MT-elastic cores.
+
+   The engine owns the host side of serving: bounded per-class
+   admission queues, a per-cycle slot allocator that refills a thread
+   slot the moment the backend reports it free, deadline timeout with
+   cancel + retry budget, and N-replica sharding through [Parallel].
+
+   Everything is deterministic: jobs route as [id mod replicas], each
+   replica's serving loop depends only on its own job stream and its
+   own simulator, and [Parallel.map] returns results in replica order
+   — so the same submissions produce the same per-job outcomes at any
+   domain count, and an N-replica run returns the same results as a
+   1-replica run routed the same way. *)
+
+type class_config = { cname : string; capacity : int }
+
+let default_class = { cname = "default"; capacity = 64 }
+
+type 'res outcome =
+  | Pending
+  | Completed of { result : 'res; latency : int; replica : int; slot : int }
+  | Shed of { at : int }
+  | Timed_out of { tries : int }
+  | Failed of string
+
+type ('job, 'res) replica = {
+  slots : int;
+  slot_free : int -> bool;
+  start : slot:int -> 'job -> unit;
+  cancel : slot:int -> unit;
+  step : unit -> unit;
+  completions : unit -> (int * 'res) list;
+  cycle_no : unit -> int;
+  finish : unit -> unit;
+  violations : unit -> int;
+}
+
+(* One submitted job.  [arrival] is on the routed replica's clock;
+   [deadline] is a cycle budget from (re-)admission. *)
+type 'job job_rec = {
+  id : int;
+  cls : int;
+  arrival : int;
+  deadline : int option;
+  max_retries : int;
+  payload : 'job;
+}
+
+type ('job, 'res) t = {
+  classes : class_config array;
+  replicas : int;
+  make_replica : int -> ('job, 'res) replica;
+  mutable submissions : 'job job_rec list;  (* newest first *)
+  mutable next_id : int;
+  mutable results : 'res outcome array;
+  mutable ran : bool;
+}
+
+let create ?(classes = [ default_class ]) ?(replicas = 1) ~make_replica () =
+  if classes = [] then invalid_arg "Engine.create: empty class list";
+  if replicas < 1 then invalid_arg "Engine.create: replicas must be >= 1";
+  List.iter
+    (fun c ->
+      if c.capacity < 1 then invalid_arg "Engine.create: class capacity < 1")
+    classes;
+  { classes = Array.of_list classes;
+    replicas;
+    make_replica;
+    submissions = [];
+    next_id = 0;
+    results = [||];
+    ran = false }
+
+let class_index t name =
+  let rec go i =
+    if i >= Array.length t.classes then
+      invalid_arg (Printf.sprintf "Engine.submit: unknown class %S" name)
+    else if t.classes.(i).cname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let submit ?cls ?(arrival = 0) ?deadline ?(retries = 0) t payload =
+  if t.ran then invalid_arg "Engine.submit: engine already ran";
+  if arrival < 0 then invalid_arg "Engine.submit: negative arrival";
+  (match deadline with
+   | Some d when d < 1 -> invalid_arg "Engine.submit: deadline must be >= 1"
+   | _ -> ());
+  if retries < 0 then invalid_arg "Engine.submit: negative retries";
+  let cls =
+    match cls with None -> 0 | Some name -> class_index t name
+  in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.submissions <-
+    { id; cls; arrival; deadline; max_retries = retries; payload }
+    :: t.submissions;
+  id
+
+let job_count t = t.next_id
+let replica_count t = t.replicas
+let route t id = id mod t.replicas
+
+(* ---- per-replica serving loop ---- *)
+
+type replica_stats = {
+  r_replica : int;
+  r_slots : int;
+  r_cycles : int;
+  r_wall_seconds : float;
+  r_completed : int;
+  r_shed : int;
+  r_timed_out : int;
+  r_retries : int;
+  r_busy_slot_cycles : int;
+  r_queue_depth_sum : int;
+  r_queue_depth_max : int;
+  r_violations : int;
+  r_latencies : int array;
+}
+
+type report = { per_replica : replica_stats array; wall_seconds : float }
+
+(* A queue entry: the job plus its current admission time (reset on
+   retry) and attempt count. *)
+type 'job entry = { j : 'job job_rec; eff_arrival : int; tries : int }
+
+type 'job running = { e : 'job entry }
+
+let run_replica (type job res) ~index ~(classes : class_config array)
+    ~(replica : (job, res) replica) ~(jobs : job job_rec array) ~max_cycles :
+    (int * res outcome) list * replica_stats =
+  let t0 = Unix.gettimeofday () in
+  let n = Array.length jobs in
+  let nc = Array.length classes in
+  let queues = Array.init nc (fun _ -> Queue.create ()) in
+  let running : job running option array = Array.make replica.slots None in
+  let unresolved = ref n in
+  let out = ref [] in
+  let completed = ref 0 and shed = ref 0 and timed_out = ref 0 in
+  let retries = ref 0 in
+  let busy_slot_cycles = ref 0 in
+  let qd_sum = ref 0 and qd_max = ref 0 in
+  let latencies = ref [] in
+  let cycles = ref 0 in
+  let next_arrival = ref 0 in
+  let rr_cls = ref 0 in
+  let resolve id oc =
+    out := (id, oc) :: !out;
+    decr unresolved
+  in
+  (* Admission: a full class queue sheds the arrival. *)
+  let admit now entry =
+    let q = queues.(entry.j.cls) in
+    if Queue.length q >= classes.(entry.j.cls).capacity then begin
+      incr shed;
+      resolve entry.j.id (Shed { at = now })
+    end
+    else Queue.add entry q
+  in
+  (* Deadline expiry of a queued or cancelled-running entry: burn a
+     retry if the budget allows, else time the job out. *)
+  let expire now entry =
+    if entry.tries < entry.j.max_retries then begin
+      incr retries;
+      admit now { entry with eff_arrival = now; tries = entry.tries + 1 }
+    end
+    else begin
+      incr timed_out;
+      resolve entry.j.id (Timed_out { tries = entry.tries + 1 })
+    end
+  in
+  let expired now entry =
+    match entry.j.deadline with
+    | None -> false
+    | Some d -> now - entry.eff_arrival >= d
+  in
+  (* Next queued entry, round-robin across classes, FIFO within. *)
+  let pick () =
+    let rec go k =
+      if k >= nc then None
+      else
+        let ci = (!rr_cls + k) mod nc in
+        if Queue.is_empty queues.(ci) then go (k + 1)
+        else begin
+          rr_cls := (ci + 1) mod nc;
+          Some (Queue.pop queues.(ci))
+        end
+    in
+    go 0
+  in
+  while !unresolved > 0 && !cycles < max_cycles do
+    let now = replica.cycle_no () in
+    (* 1. admissions due this cycle *)
+    while !next_arrival < n && jobs.(!next_arrival).arrival <= now do
+      let j = jobs.(!next_arrival) in
+      incr next_arrival;
+      admit now { j; eff_arrival = max j.arrival now; tries = 0 }
+    done;
+    (* 2. queued-deadline expiry (whole queue, not just the head: a
+       deep queue must not hide an expired entry behind fresh ones) *)
+    Array.iter
+      (fun q ->
+        for _ = 1 to Queue.length q do
+          let e = Queue.pop q in
+          if expired now e then expire now e else Queue.add e q
+        done)
+      queues;
+    (* 3. refill free slots from the queues *)
+    for s = 0 to replica.slots - 1 do
+      if running.(s) = None && replica.slot_free s then
+        match pick () with
+        | Some e ->
+          replica.start ~slot:s e.j.payload;
+          running.(s) <- Some { e }
+        | None -> ()
+    done;
+    (* 4. running-deadline expiry: cancel the slot, recycle the job *)
+    Array.iteri
+      (fun s ro ->
+        match ro with
+        | Some r when expired now r.e ->
+          replica.cancel ~slot:s;
+          running.(s) <- None;
+          expire now r.e
+        | _ -> ())
+      running;
+    (* 5. sample occupancy / queue depth for this cycle *)
+    let busy = ref 0 in
+    Array.iter (function Some _ -> incr busy | None -> ()) running;
+    busy_slot_cycles := !busy_slot_cycles + !busy;
+    let qd = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
+    qd_sum := !qd_sum + qd;
+    if qd > !qd_max then qd_max := qd;
+    (* 6. one cycle of the design *)
+    replica.step ();
+    incr cycles;
+    (* 7. harvest completions *)
+    List.iter
+      (fun (s, res) ->
+        match running.(s) with
+        | Some r ->
+          let latency = replica.cycle_no () - r.e.j.arrival in
+          incr completed;
+          latencies := latency :: !latencies;
+          resolve r.e.j.id
+            (Completed { result = res; latency; replica = index; slot = s });
+          running.(s) <- None
+        | None ->
+          (* Completion on a slot the engine no longer tracks (e.g. a
+             cancelled occupancy the backend failed to swallow): drop
+             it rather than mis-attribute it. *)
+          ())
+      (replica.completions ())
+  done;
+  (* Cycle-limit safety valve: everything still unresolved fails. *)
+  if !unresolved > 0 then begin
+    let fail entry =
+      resolve entry.j.id
+        (Failed (Printf.sprintf "unresolved after %d cycles" !cycles))
+    in
+    Array.iter (fun q -> Queue.iter fail q) queues;
+    Array.iter (function Some r -> fail r.e | None -> ()) running;
+    for k = !next_arrival to n - 1 do
+      let j = jobs.(k) in
+      resolve j.id (Failed "never admitted: replica hit cycle limit")
+    done
+  end;
+  replica.finish ();
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  ( !out,
+    { r_replica = index;
+      r_slots = replica.slots;
+      r_cycles = !cycles;
+      r_wall_seconds = Unix.gettimeofday () -. t0;
+      r_completed = !completed;
+      r_shed = !shed;
+      r_timed_out = !timed_out;
+      r_retries = !retries;
+      r_busy_slot_cycles = !busy_slot_cycles;
+      r_queue_depth_sum = !qd_sum;
+      r_queue_depth_max = !qd_max;
+      r_violations = replica.violations ();
+      r_latencies = lat } )
+
+let run ?domains ?(max_cycles = 1_000_000) t =
+  if t.ran then invalid_arg "Engine.run: engine already ran";
+  t.ran <- true;
+  t.results <- Array.make t.next_id Pending;
+  (* Route: id mod replicas, each replica's stream sorted by arrival
+     (stable: submission order breaks ties, since ids are dense). *)
+  let per_replica = Array.make t.replicas [] in
+  List.iter
+    (fun j -> per_replica.(j.id mod t.replicas) <- j :: per_replica.(j.id mod t.replicas))
+    t.submissions (* newest first, so the result lists are oldest first *);
+  let job_arrays =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        (* stable sort keeps submission order within an arrival cycle *)
+        Array.stable_sort (fun x y -> compare x.arrival y.arrival) a;
+        a)
+      per_replica
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Parallel.map ?domains
+      (fun r ->
+        run_replica ~index:r ~classes:t.classes ~replica:(t.make_replica r)
+          ~jobs:job_arrays.(r) ~max_cycles)
+      t.replicas
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.iter
+    (fun (outs, _) -> List.iter (fun (id, oc) -> t.results.(id) <- oc) outs)
+    results;
+  { per_replica = Array.map snd results; wall_seconds = wall }
+
+let outcome t id =
+  if id < 0 || id >= Array.length t.results then
+    invalid_arg "Engine.outcome: unknown job id";
+  t.results.(id)
+
+let outcomes t = Array.copy t.results
+
+(* ---- report queries ---- *)
+
+let occupancy s =
+  if s.r_cycles = 0 || s.r_slots = 0 then 0.0
+  else float_of_int s.r_busy_slot_cycles /. float_of_int (s.r_cycles * s.r_slots)
+
+let mean_queue_depth s =
+  if s.r_cycles = 0 then 0.0
+  else float_of_int s.r_queue_depth_sum /. float_of_int s.r_cycles
+
+let sum_by f report =
+  Array.fold_left (fun acc s -> acc + f s) 0 report.per_replica
+
+let completed r = sum_by (fun s -> s.r_completed) r
+let shed r = sum_by (fun s -> s.r_shed) r
+let timed_out r = sum_by (fun s -> s.r_timed_out) r
+let violations r = sum_by (fun s -> s.r_violations) r
+let total_cycles r = sum_by (fun s -> s.r_cycles) r
+
+let mean_occupancy r =
+  let slot_cycles = sum_by (fun s -> s.r_cycles * s.r_slots) r in
+  if slot_cycles = 0 then 0.0
+  else
+    float_of_int (sum_by (fun s -> s.r_busy_slot_cycles) r)
+    /. float_of_int slot_cycles
+
+let latencies r =
+  let all =
+    Array.concat (Array.to_list (Array.map (fun s -> s.r_latencies) r.per_replica))
+  in
+  Array.sort compare all;
+  all
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+let jobs_per_second r =
+  if r.wall_seconds <= 0.0 then 0.0
+  else float_of_int (completed r) /. r.wall_seconds
+
+let cycles_per_job r =
+  let c = completed r in
+  if c = 0 then 0.0 else float_of_int (total_cycles r) /. float_of_int c
+
+let summary r =
+  let buf = Buffer.create 512 in
+  let lat = latencies r in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "served %d jobs (%d shed, %d timed out) in %.3fs wall — %.0f jobs/s, \
+        %.1f cycles/job, occupancy %.2f\n"
+       (completed r) (shed r) (timed_out r) r.wall_seconds (jobs_per_second r)
+       (cycles_per_job r) (mean_occupancy r));
+  Buffer.add_string buf
+    (Printf.sprintf "latency cycles: p50 %d  p95 %d  p99 %d  max %d\n"
+       (percentile lat 0.50) (percentile lat 0.95) (percentile lat 0.99)
+       (if Array.length lat = 0 then 0 else lat.(Array.length lat - 1)));
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  replica %d: %d jobs / %d cycles (occupancy %.2f, mean queue \
+            %.1f, max queue %d%s)\n"
+           s.r_replica s.r_completed s.r_cycles (occupancy s)
+           (mean_queue_depth s) s.r_queue_depth_max
+           (if s.r_violations = 0 then ""
+            else Printf.sprintf ", %d PROTOCOL VIOLATIONS" s.r_violations)))
+    r.per_replica;
+  Buffer.contents buf
+
+(* ---- open-loop load generation ---- *)
+
+module Load = struct
+  let poisson ~rng ~rate ~count =
+    if rate <= 0.0 then invalid_arg "Engine.Load.poisson: rate must be > 0";
+    if count < 0 then invalid_arg "Engine.Load.poisson: negative count";
+    let t = ref 0.0 in
+    Array.init count (fun _ ->
+        let u = Random.State.float rng 1.0 in
+        t := !t +. (-.log (1.0 -. u) /. rate);
+        int_of_float !t)
+end

@@ -1,0 +1,31 @@
+(** MD5 digest-serving backend: jobs are arbitrary-length messages,
+    results are lowercase hex digests.
+
+    One replica is one {!Md5.Md5_circuit} design with [slots] threads.
+    The shared round counter admits new blocks only while it sits at
+    round 0, and the barrier synchronizes every thread each episode —
+    so refill is pass-structured: a freed slot takes its next job
+    immediately, and the job's first block enters at the next round-0
+    admission window; threads with no real work contribute dummy
+    blocks (digests discarded) so the barrier episode always
+    completes.  Multi-block messages hold their slot across passes,
+    chaining digests in the host exactly like {!Md5.Md5_host}.
+
+    Cancellation marks the slot's in-flight block as abandoned; the
+    token still drains through the loop (tokens cannot be retracted
+    from the hardware) and the slot frees when its digest fires. *)
+
+val make :
+  ?kind:Melastic.Meb.kind ->
+  ?monitor:bool ->
+  ?slots:int ->
+  unit ->
+  int ->
+  (string, string) Engine.replica
+(** [make () index] builds replica [index] — partially applied, it
+    plugs straight into {!Engine.create}'s [make_replica].  [slots]
+    (default 8) is the thread count; [monitor] (default false)
+    elaborates with probes and attaches the runtime protocol monitors
+    (one-hot, stability, per-thread conservation against
+    {!Md5.Md5_circuit.reference_digest}, barrier liveness), reported
+    through the replica's [violations]. *)

@@ -87,14 +87,17 @@ let step t =
 let run t n = for _ = 1 to n do step t done
 
 (* Run until all pushed items have drained at the sink or [limit]
-   cycles elapse; returns true when drained. *)
+   cycles elapse; returns true when drained.  [total_pushed] is
+   re-derived every iteration (injections so far + still-queued items),
+   not snapshotted at entry, so items pushed from a sink-ready callback
+   or another observer while the loop runs are also waited for. *)
 let run_until_drained t ~limit =
   let injected () = Array.for_all Queue.is_empty t.pending in
-  let total_pushed =
-    List.length t.in_log
-    + Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.pending
-  in
   let rec go n =
+    let total_pushed =
+      List.length t.in_log
+      + Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.pending
+    in
     if injected () && List.length t.out_log >= total_pushed then true
     else if n >= limit then false
     else begin

@@ -39,7 +39,11 @@ val run : t -> int -> unit
 
 val run_until_drained : t -> limit:int -> bool
 (** Run until every pushed item has reached the sink, or [limit]
-    cycles; true when drained. *)
+    cycles; true when drained.  The pushed-item count is re-evaluated
+    each cycle (not snapshotted at entry), so items pushed mid-run by
+    simulation observers are waited for too.  An empty driver is
+    drained immediately — [true] without stepping, even at
+    [~limit:0]. *)
 
 val inputs : t -> event list
 val outputs : t -> event list

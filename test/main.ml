@@ -16,4 +16,5 @@ let () =
       Test_workload.suite;
       Test_parallel.suite;
       Test_monitor.suite;
+      Test_serve.suite;
       Test_verilog.suite ]

@@ -1,0 +1,150 @@
+(* Tests for the serving engine: slot refill under monitor
+   supervision, deadline timeout and slot reclamation, queue-full
+   shedding, and replica-count invariance. *)
+
+let md5_engine ?classes ?replicas ~monitor ~slots () =
+  Serve.Engine.create ?classes ?replicas
+    ~make_replica:(Serve.Md5_backend.make ~monitor ~slots ())
+    ()
+
+(* More jobs than slots, arrivals spread out, so slots are freed and
+   refilled mid-run; the conservation scoreboard (per-thread FIFO
+   against the reference digest) proves refill never loses, duplicates
+   or reorders a thread's block stream. *)
+let test_md5_refill_conserves () =
+  let t = md5_engine ~monitor:true ~slots:4 () in
+  let jobs =
+    Array.init 12 (fun i -> Printf.sprintf "message %d: %s" i (String.make (i * 7) 'x'))
+  in
+  Array.iteri (fun i m -> ignore (Serve.Engine.submit ~arrival:(i * 5) t m)) jobs;
+  let report = Serve.Engine.run ~domains:1 t in
+  Alcotest.(check int) "violations" 0 (Serve.Engine.violations report);
+  Alcotest.(check int) "completed" 12 (Serve.Engine.completed report);
+  Array.iteri
+    (fun i m ->
+      match Serve.Engine.outcome t i with
+      | Serve.Engine.Completed { result; _ } ->
+        Alcotest.(check string) "digest" (Md5.Md5_ref.digest m) result
+      | _ -> Alcotest.fail "expected completion")
+    jobs
+
+(* A runaway (non-halting) program blows its deadline; the engine
+   kills it and the very same slot must then serve another job to
+   completion. *)
+let test_cpu_deadline_frees_slot () =
+  let t =
+    Serve.Engine.create
+      ~make_replica:(Serve.Cpu_backend.make ~monitor:true ~slots:1 ())
+      ()
+  in
+  let runaway = { Serve.Cpu_backend.source = "loop: j loop"; args = [] } in
+  let good =
+    { Serve.Cpu_backend.source = "li r1, 41\n addi r1, r1, 1\n halt"; args = [] }
+  in
+  let id_bad = Serve.Engine.submit ~deadline:200 t runaway in
+  let id_good = Serve.Engine.submit t good in
+  let report = Serve.Engine.run ~domains:1 ~max_cycles:20_000 t in
+  (match Serve.Engine.outcome t id_bad with
+   | Serve.Engine.Timed_out { tries } -> Alcotest.(check int) "tries" 1 tries
+   | _ -> Alcotest.fail "runaway should time out");
+  (match Serve.Engine.outcome t id_good with
+   | Serve.Engine.Completed { result; slot; _ } ->
+     Alcotest.(check int) "slot reused" 0 slot;
+     Alcotest.(check int) "r1" 42 result.(1)
+   | _ -> Alcotest.fail "good job should complete in the reclaimed slot");
+  Alcotest.(check int) "violations" 0 (Serve.Engine.violations report)
+
+(* Retry budget: first attempt times out, re-admission succeeds (the
+   deadline is generous the second time only because the queue ahead
+   of it has drained). *)
+let test_retry_budget () =
+  let t =
+    Serve.Engine.create
+      ~make_replica:(Serve.Md5_backend.make ~monitor:false ~slots:1 ())
+      ()
+  in
+  (* Slot busy with a long multi-block message, so the short-deadline
+     job times out queued, then completes on retry. *)
+  ignore (Serve.Engine.submit t (String.make 300 'a'));
+  let id = Serve.Engine.submit ~deadline:40 ~retries:3 t "hello" in
+  ignore (Serve.Engine.run ~domains:1 t);
+  (match Serve.Engine.outcome t id with
+   | Serve.Engine.Completed { result; _ } ->
+     Alcotest.(check string) "digest" (Md5.Md5_ref.digest "hello") result
+   | Serve.Engine.Timed_out { tries } ->
+     Alcotest.(check int) "all retries burned" 4 tries
+   | _ -> Alcotest.fail "expected completion or exhausted retries")
+
+(* A capacity-1 class with simultaneous arrivals: one admitted, the
+   overflow shed at admission. *)
+let test_full_queue_sheds () =
+  let classes = [ { Serve.Engine.cname = "tiny"; capacity = 1 } ] in
+  let t = md5_engine ~classes ~monitor:false ~slots:1 () in
+  (* "a" is admitted at cycle 0 and refills the slot the same cycle;
+     at cycle 1 the slot is busy, so "b" occupies the queue and the
+     rest overflow. *)
+  let ids =
+    List.mapi
+      (fun i m ->
+        Serve.Engine.submit ~cls:"tiny" ~arrival:(min i 1) t m)
+      [ "a"; "b"; "c"; "d" ]
+  in
+  let report = Serve.Engine.run ~domains:1 t in
+  Alcotest.(check int) "shed" 2 (Serve.Engine.shed report);
+  Alcotest.(check int) "completed" 2 (Serve.Engine.completed report);
+  (match List.map (Serve.Engine.outcome t) ids with
+   | [ Completed _; Completed _; Shed _; Shed _ ] -> ()
+   | _ -> Alcotest.fail "first two admitted, rest shed")
+
+(* The replica-sharding invariant: N replicas return byte-identical
+   per-job outcomes to 1 replica (ids route deterministically and each
+   replica sees the same sub-stream it would see alone). *)
+let test_replica_invariance () =
+  let jobs = Array.init 10 (fun i -> Printf.sprintf "job-%d" i) in
+  let outcomes ~replicas =
+    let t = md5_engine ~replicas ~monitor:false ~slots:2 () in
+    Array.iteri (fun i m -> ignore (Serve.Engine.submit ~arrival:(i * 3) t m)) jobs;
+    ignore (Serve.Engine.run ~domains:1 t);
+    Array.map
+      (fun o ->
+        match o with
+        | Serve.Engine.Completed { result; _ } -> result
+        | _ -> "<unresolved>")
+      (Serve.Engine.outcomes t)
+  in
+  let one = outcomes ~replicas:1 in
+  let three = outcomes ~replicas:3 in
+  Alcotest.(check (array string)) "same results" one three;
+  Array.iteri
+    (fun i m -> Alcotest.(check string) "reference" (Md5.Md5_ref.digest m) one.(i))
+    jobs
+
+let test_poisson_load () =
+  let rng = Random.State.make [| 7 |] in
+  let arr = Serve.Engine.Load.poisson ~rng ~rate:0.05 ~count:200 in
+  Alcotest.(check int) "count" 200 (Array.length arr);
+  Array.iteri
+    (fun i a ->
+      if i > 0 then
+        Alcotest.(check bool) "non-decreasing" true (arr.(i - 1) <= a))
+    arr;
+  (* Mean inter-arrival should be near 1/rate = 20 cycles. *)
+  let span = float_of_int arr.(199) /. 199. in
+  Alcotest.(check bool) "mean inter-arrival sane" true (span > 10. && span < 40.)
+
+let test_percentile () =
+  let a = [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
+  Alcotest.(check int) "p50" 5 (Serve.Engine.percentile a 0.5);
+  Alcotest.(check int) "p95" 10 (Serve.Engine.percentile a 0.95);
+  Alcotest.(check int) "p0" 1 (Serve.Engine.percentile a 0.0);
+  Alcotest.(check int) "empty" 0 (Serve.Engine.percentile [||] 0.5)
+
+let suite =
+  ( "serve",
+    [ Alcotest.test_case "md5 refill conserves" `Quick test_md5_refill_conserves;
+      Alcotest.test_case "cpu deadline frees slot" `Quick test_cpu_deadline_frees_slot;
+      Alcotest.test_case "retry budget" `Quick test_retry_budget;
+      Alcotest.test_case "full queue sheds" `Quick test_full_queue_sheds;
+      Alcotest.test_case "replica invariance" `Quick test_replica_invariance;
+      Alcotest.test_case "poisson load" `Quick test_poisson_load;
+      Alcotest.test_case "percentile" `Quick test_percentile ] )

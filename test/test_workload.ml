@@ -167,6 +167,60 @@ let test_mt_driver_throughput_window () =
   let t = Workload.Mt_driver.throughput d ~thread:0 ~from_cycle:5 ~to_cycle:44 in
   Alcotest.(check (float 0.01)) "full throughput" 1.0 t
 
+(* A 2-deep MEB pipeline driven by Mt_driver, for the drain edge
+   cases. *)
+let make_meb_driver ~threads ~width =
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  let m = Melastic.Meb.create ~kind:Melastic.Meb.Reduced b src in
+  Mc.sink b ~name:"snk" m.Melastic.Meb.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width
+
+let test_drain_empty () =
+  let d = make_meb_driver ~threads:2 ~width:8 in
+  (* Nothing pushed: drained immediately, even with a zero budget. *)
+  Alcotest.(check bool) "empty drains at limit 0" true
+    (Workload.Mt_driver.run_until_drained d ~limit:0);
+  Alcotest.(check int) "no cycles consumed" 0
+    (Hw.Sim.cycle_no d.Workload.Mt_driver.sim);
+  Alcotest.(check bool) "still drained on re-entry" true
+    (Workload.Mt_driver.run_until_drained d ~limit:10)
+
+let test_drain_limit_reached () =
+  let d = make_meb_driver ~threads:2 ~width:8 in
+  for i = 0 to 5 do Workload.Mt_driver.push_int d ~thread:0 i done;
+  (* One MEB stage, 6 items: cannot possibly drain in 2 cycles. *)
+  Alcotest.(check bool) "limit reached" false
+    (Workload.Mt_driver.run_until_drained d ~limit:2);
+  Alcotest.(check bool) "work still outstanding" true
+    (Workload.Mt_driver.pending_count d ~thread:0 > 0
+     || List.length (Workload.Mt_driver.outputs d) < 6);
+  (* A second call with budget finishes the job and reports so. *)
+  Alcotest.(check bool) "drains with budget" true
+    (Workload.Mt_driver.run_until_drained d ~limit:100);
+  Alcotest.(check int) "all delivered" 6
+    (List.length (Workload.Mt_driver.output_sequence d ~thread:0))
+
+let test_drain_mid_run_push () =
+  let d = make_meb_driver ~threads:2 ~width:8 in
+  for i = 0 to 4 do Workload.Mt_driver.push_int d ~thread:0 i done;
+  (* A sink-ready callback pushes one extra item a few cycles in; the
+     drain loop must wait for it too (the pushed count is re-derived
+     every iteration, not snapshotted at entry). *)
+  let pushed_more = ref false in
+  Workload.Mt_driver.set_sink_ready d (fun c _ ->
+      if c = 2 && not !pushed_more then begin
+        pushed_more := true;
+        Workload.Mt_driver.push_int d ~thread:1 7
+      end;
+      true);
+  Alcotest.(check bool) "drains including mid-run push" true
+    (Workload.Mt_driver.run_until_drained d ~limit:100);
+  Alcotest.(check bool) "callback fired" true !pushed_more;
+  Alcotest.(check int) "late item delivered" 1
+    (List.length (Workload.Mt_driver.output_sequence d ~thread:1))
+
 let test_stats () =
   let b = S.Builder.create () in
   let count = S.reg_fb b ~width:4 (fun q -> S.add b q (S.of_int b ~width:4 1)) in
@@ -199,4 +253,7 @@ let suite =
       Alcotest.test_case "vcd output" `Quick test_vcd_output;
       Alcotest.test_case "st_driver logs" `Quick test_st_driver_logs;
       Alcotest.test_case "mt_driver throughput" `Quick test_mt_driver_throughput_window;
+      Alcotest.test_case "mt_driver drain empty" `Quick test_drain_empty;
+      Alcotest.test_case "mt_driver drain limit" `Quick test_drain_limit_reached;
+      Alcotest.test_case "mt_driver drain mid-run push" `Quick test_drain_mid_run_push;
       Alcotest.test_case "stats sampling" `Quick test_stats ] )
