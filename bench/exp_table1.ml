@@ -33,6 +33,31 @@ let cpu_report ~kind ~threads =
     ~label:(Printf.sprintf "CPU %s %dT" (Melastic.Meb.kind_to_string kind) threads)
     c
 
+(* The degeneracy row: at S = 1 the reduced MEB must cost what the
+   plain two-slot EB costs — the scalar layer is the unified core
+   specialized to one thread, so the shared-free gating and the
+   width-1 arbiter have to fold away to zero extra gates.  This is the
+   gate-level face of test_degeneracy's register-parity check; the
+   frozen pre-unification EB comes from lib/golden. *)
+let s1_report ~label build =
+  let b = Hw.Signal.Builder.create () in
+  let src = Elastic.Channel.source b ~name:"src" ~width:32 in
+  Elastic.Channel.sink b ~name:"snk" (build b src);
+  let c, _ = Hw.Transform.optimize (Hw.Circuit.create b) in
+  Fpga.Report.of_circuit ~label c
+
+let s1_eb_report () =
+  s1_report ~label:"EB S=1 (frozen)" (fun b src ->
+      (Golden.Eb.create b src).Golden.Eb.out)
+
+let s1_meb_report () =
+  s1_report ~label:"MEB red 1T" (fun b src ->
+      Elastic.Channel.of_mt
+        (Melastic.Meb_reduced.create ~name:"eb"
+           ~policy:Melastic.Policy.Valid_only b
+           (Elastic.Channel.to_mt src))
+          .Melastic.Meb_reduced.out)
+
 let savings_line ~design ~threads ~(full : Fpga.Report.row) ~(reduced : Fpga.Report.row) =
   Printf.printf
     "%-10s %2dT: LE saving %.1f%%  | Fmax ratio (reduced/full) %.2f\n" design threads
@@ -54,8 +79,14 @@ let run ?(threads = 8) ?domains () =
     | [ a; b; c; d ] -> (a, b, c, d)
     | _ -> assert false
   in
-  Fpga.Report.pp_table Format.std_formatter [ md5_full; md5_red; cpu_full; cpu_red ];
+  let eb_s1 = s1_eb_report () and meb_s1 = s1_meb_report () in
+  Fpga.Report.pp_table Format.std_formatter
+    [ md5_full; md5_red; cpu_full; cpu_red; eb_s1; meb_s1 ];
   print_newline ();
+  Printf.printf
+    "S=1 degeneracy: reduced MEB at one thread %d LEs / %d FFs vs frozen EB %d LEs / %d FFs\n"
+    meb_s1.Fpga.Report.les meb_s1.Fpga.Report.ffs eb_s1.Fpga.Report.les
+    eb_s1.Fpga.Report.ffs;
   print_endline "paper (8 threads):";
   List.iter
     (fun (design, (fle, fmhz), (rle, rmhz)) ->

@@ -8,13 +8,13 @@
    ready-aware arbitration, whose consumer is ready), so every grant
    joins and transfers.
 
-   The datapath instantiates two reduced or full MEB *storage* arrays
-   by reusing the existing implementations with their arbitration
-   driven from the shared grant: we build each MEB with Valid_only
-   policy and gate its downstream ready per thread with the join
-   transfer, which is exactly the baseline M-Join wiring — except the
-   shared requests feed one arbiter, so the two grants are identical
-   by construction. *)
+   Storage on each side is the same per-thread 2-slot store as the
+   full MEB: the reduced MEB specialized to one thread over a
+   [Mt_channel.thread_view], built with Valid_only policy so a store's
+   valid never depends on its downstream ready.  Only the arbitration
+   differs from two stock MEBs: the per-thread AND of both sides'
+   store valids feeds one shared arbiter, so the two grants are
+   identical by construction. *)
 
 module S = Hw.Signal
 
@@ -28,29 +28,21 @@ let create ?(name = "ajoin") ?(policy = Policy.Ready_aware)
     (in_a : Mt_channel.t) (in_b : Mt_channel.t) =
   let n = Mt_channel.threads in_a in
   if Mt_channel.threads in_b <> n then invalid_arg "Aligned.create: thread count";
-  (* Storage is the full-MEB datapath (one 2-slot EB per thread and
-     side); only the arbitration differs: one shared arbiter over the
-     per-thread AND of both stores' valids. *)
   let mk_store (input : Mt_channel.t) tag =
     Array.init n (fun i ->
-        let ch =
-          { Elastic.Channel.valid = input.Mt_channel.valids.(i);
-            data = input.Mt_channel.data;
-            ready = S.wire b 1 }
-        in
-        let eb =
-          Elastic.Eb.create ~name:(Printf.sprintf "%s_%s%d" name tag i) b ch
-        in
-        S.assign input.Mt_channel.readys.(i) ch.Elastic.Channel.ready;
-        eb)
+        let view = Mt_channel.thread_view b input i in
+        Meb_reduced.create
+          ~name:(Printf.sprintf "%s_%s%d" name tag i)
+          ~policy:Policy.Valid_only b view)
   in
   let store_a = mk_store in_a "a" in
   let store_b = mk_store in_b "b" in
+  let out_of (m : Meb_reduced.t) = m.Meb_reduced.out in
   let out_readys = Array.init n (fun _ -> S.wire b 1) in
   let req_bit i =
     let both =
-      S.land_ b store_a.(i).Elastic.Eb.out.Elastic.Channel.valid
-        store_b.(i).Elastic.Eb.out.Elastic.Channel.valid
+      S.land_ b (out_of store_a.(i)).Mt_channel.valids.(0)
+        (out_of store_b.(i)).Mt_channel.valids.(0)
     in
     match policy with
     | Policy.Valid_only -> both
@@ -60,21 +52,20 @@ let create ?(name = "ajoin") ?(policy = Policy.Ready_aware)
   let advance = S.wire b 1 in
   let rr = Arbiter.round_robin b ~advance req in
   S.assign advance rr.Arbiter.any_grant;
-  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let grant = S.set_name rr.Arbiter.grant (Names.signal name "grant") in
   let out_valids = Array.init n (fun i -> S.bit b grant i) in
-  Array.iteri
-    (fun i (eb : Elastic.Eb.t) ->
-      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
-        (S.land_ b out_valids.(i) out_readys.(i)))
-    store_a;
-  Array.iteri
-    (fun i (eb : Elastic.Eb.t) ->
-      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
-        (S.land_ b out_valids.(i) out_readys.(i)))
-    store_b;
+  let dequeue store =
+    Array.iteri
+      (fun i m ->
+        S.assign (out_of m).Mt_channel.readys.(0)
+          (S.land_ b out_valids.(i) out_readys.(i)))
+      store
+  in
+  dequeue store_a;
+  dequeue store_b;
   let mux_store store =
     S.mux b rr.Arbiter.grant_index
-      (List.init n (fun i -> store.(i).Elastic.Eb.out.Elastic.Channel.data))
+      (List.init n (fun i -> (out_of store.(i)).Mt_channel.data))
   in
   let data = combine b (mux_store store_a) (mux_store store_b) in
   { out = { Mt_channel.valids = out_valids; readys = out_readys; data };

@@ -69,7 +69,7 @@ let create ?(name = "barrier") ?participants b (input : Mt_channel.t) =
       (* lgo: the phase at arrival time; the thread is released when
          the global phase has moved past it. *)
       let lgo = S.reg b ~enable:arrival go in
-      ignore (S.set_name lgo (Printf.sprintf "%s_lgo%d" name i));
+      ignore (S.set_name lgo (Names.indexed name "lgo" i));
       let differs = S.lxor_ b lgo go in
       let fire = S.land_ b (S.land_ b vin (is free)) out_readys.(i) in
       let next =
@@ -82,7 +82,7 @@ let create ?(name = "barrier") ?participants b (input : Mt_channel.t) =
             S.mux2 b fire (S.of_int b ~width:2 idle) (S.of_int b ~width:2 free) ]
       in
       let reg = S.reg b next in
-      ignore (S.set_name reg (Printf.sprintf "%s_state%d" name i));
+      ignore (S.set_name reg (Names.state name i));
       S.assign state reg;
       states.(i) <- reg;
       out_valids.(i) <- S.land_ b vin (is free);
@@ -103,12 +103,12 @@ let create ?(name = "barrier") ?participants b (input : Mt_channel.t) =
       (S.mux2 b any_arrival (S.add b count (S.of_int b ~width:cnt_w 1)) count)
   in
   let count_reg = S.reg b count_next in
-  ignore (S.set_name count_reg (name ^ "_count"));
+  ignore (S.set_name count_reg (Names.signal name "count"));
   S.assign count count_reg;
   let go_reg = S.reg_fb b ~width:1 (fun q -> S.mux2 b last_arrival (S.lnot b q) q) in
-  ignore (S.set_name go_reg (name ^ "_go"));
+  ignore (S.set_name go_reg (Names.signal name "go"));
   S.assign go go_reg;
-  ignore (S.set_name last_arrival (name ^ "_release"));
+  ignore (S.set_name last_arrival (Names.signal name "release"));
   { out = { Mt_channel.valids = out_valids; readys = out_readys;
             data = input.Mt_channel.data };
     count = count_reg;

@@ -1,0 +1,54 @@
+(* Generic composition over multithreaded elastic channels.
+
+   Every protocol operator is, from the outside, a channel transformer
+   — a [stage].  Circuit builders (Synth.Dataflow, the MD5 loop, the
+   CPU pipeline, the serve backends' circuits) used to carry their own
+   private wiring helpers for the same three moves: drop a buffer in,
+   tap a probe, thread a channel through a list of transformations.
+   This module is that API, once.
+
+   Operators that return a record richer than a channel (MEB
+   occupancy, varlat busy, ...) are lifted with [wrap]; the caller
+   recovers the record through the [notify] callback when it needs the
+   extra fields, and ignores it otherwise. *)
+
+module S = Hw.Signal
+
+type stage = S.builder -> Mt_channel.t -> Mt_channel.t
+
+let id : stage = fun _b ch -> ch
+
+(* Left-to-right composition: [pipe b [s1; s2; s3] ch] is s3(s2(s1 ch)). *)
+let pipe b stages ch = List.fold_left (fun ch (st : stage) -> st b ch) ch stages
+
+(* Lift an operator returning a record into a stage. [project] picks
+   the output channel; [notify] hands the full record back to the
+   caller (for occupancy probes, monitors, ...). *)
+let wrap ?notify create project : stage =
+ fun b ch ->
+  let t = create b ch in
+  (match notify with Some f -> f t | None -> ());
+  project t
+
+let map ?name f : stage =
+ fun b ch ->
+  let ch = Mt_channel.map b ch ~f in
+  match name with None -> ch | Some name -> Mt_channel.label b ~name ch
+
+let probe ~name : stage = fun b ch -> Mt_channel.probe b ~name ch
+
+(* Conditional probe — the common "?probes flag" idiom of the MD5 and
+   CPU builders. *)
+let probe_if cond ~name : stage = if cond then probe ~name else id
+
+let label ~name : stage = fun b ch -> Mt_channel.label b ~name ch
+
+(* An MEB stage of either kind. *)
+let buffer ?name ?policy ?granularity ?(kind = Meb.Reduced) ?notify () : stage =
+  wrap ?notify (fun b ch -> Meb.create ?name ?policy ?granularity ~kind b ch)
+    (fun (m : Meb.t) -> m.Meb.out)
+
+(* A variable-latency unit stage (single-context). *)
+let varlat ?name ?f ~latency ?notify () : stage =
+  wrap ?notify (fun b ch -> Mt_varlat.create ?name ?f b ch ~latency)
+    (fun (v : Mt_varlat.t) -> v.Mt_varlat.out)

@@ -1,0 +1,49 @@
+(** Generic composition over multithreaded elastic channels.
+
+    A {!stage} is any channel transformer; {!pipe} threads a channel
+    through a list of them.  The circuit builders ([Synth.Dataflow],
+    the MD5 loop, the CPU pipeline, the serve backends) compose their
+    datapaths from these stages instead of private ad-hoc wiring
+    helpers.  Operators with a richer result than a channel are lifted
+    with {!wrap}, which hands the full record to the caller via
+    [notify]. *)
+
+module S := Hw.Signal
+
+type stage = S.builder -> Mt_channel.t -> Mt_channel.t
+
+val id : stage
+
+val pipe : S.builder -> stage list -> Mt_channel.t -> Mt_channel.t
+(** [pipe b [s1; s2] ch] is [s2 b (s1 b ch)]. *)
+
+val wrap :
+  ?notify:('a -> unit) ->
+  (S.builder -> Mt_channel.t -> 'a) -> ('a -> Mt_channel.t) -> stage
+(** [wrap ?notify create project] lifts an operator returning a record
+    into a stage; [project] selects its output channel and [notify]
+    receives the whole record (occupancy, busy flags, ...). *)
+
+val map : ?name:string -> (S.builder -> S.t -> S.t) -> stage
+(** Combinational payload transform; with [?name] the result channel
+    is labelled. *)
+
+val probe : name:string -> stage
+(** Export the channel's [<name>_valid/_ready/_fire/_data] scheme and
+    pass it through. *)
+
+val probe_if : bool -> name:string -> stage
+(** {!probe} when the flag is set, {!id} otherwise — the ["?probes"]
+    idiom of the MD5/CPU builders. *)
+
+val label : name:string -> stage
+
+val buffer :
+  ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
+  ?kind:Meb.kind -> ?notify:(Meb.t -> unit) -> unit -> stage
+(** An MEB of either kind (default [Reduced]) as a stage. *)
+
+val varlat :
+  ?name:string -> ?f:(S.builder -> S.t -> S.t) ->
+  latency:Mt_varlat.latency -> ?notify:(Mt_varlat.t -> unit) -> unit -> stage
+(** A single-context variable-latency unit as a stage. *)

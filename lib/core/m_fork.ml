@@ -29,7 +29,7 @@ let eager ?(name = "mfork") b (input : Mt_channel.t) ~n =
         S.land_ b (S.lor_ b done_wires.(k) transfer_k) (S.lnot b in_transfer)
       in
       let d = S.reg b next in
-      ignore (S.set_name d (Printf.sprintf "%s_done_o%d_t%d" name k t));
+      ignore (S.set_name d (Names.indexed (Names.sub name t) "done" k));
       S.assign done_wires.(k) d;
       out_valids.(k).(t) <- S.land_ b vin (S.lnot b done_wires.(k))
     done
@@ -38,3 +38,33 @@ let eager ?(name = "mfork") b (input : Mt_channel.t) ~n =
       { Mt_channel.valids = out_valids.(k);
         readys = out_readys.(k);
         data = input.Mt_channel.data })
+
+(* Lazy M-Fork: stateless — per thread, all outputs fire in the same
+   cycle, so each output's valid requires every *sibling* output's
+   ready and the input ready is the AND of all of them.  Like the
+   scalar lazy fork this couples the branches combinationally: feeding
+   a downstream join creates the textbook valid/ready combinational
+   cycle (rejected at elaboration), so it exists for completeness and
+   negative tests. *)
+let lazy_ b (input : Mt_channel.t) ~n =
+  if n < 2 then invalid_arg "M_fork.lazy_: need at least 2 outputs";
+  let threads = Mt_channel.threads input in
+  let out_readys = Array.init n (fun _ -> Array.init threads (fun _ -> S.wire b 1)) in
+  Array.iteri
+    (fun t r ->
+      S.assign r
+        (S.and_reduce b (List.init n (fun k -> out_readys.(k).(t)))))
+    input.Mt_channel.readys;
+  List.init n (fun k ->
+      let valids =
+        Array.init threads (fun t ->
+            let others =
+              List.filteri (fun j _ -> j <> k)
+                (List.init n (fun j -> out_readys.(j).(t)))
+            in
+            let others_ready =
+              match others with [] -> S.vdd b | l -> S.and_reduce b l
+            in
+            S.land_ b input.Mt_channel.valids.(t) others_ready)
+      in
+      { Mt_channel.valids; readys = out_readys.(k); data = input.Mt_channel.data })

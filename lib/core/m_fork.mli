@@ -7,3 +7,9 @@ module S := Hw.Signal
 
 val eager :
   ?name:string -> S.builder -> Mt_channel.t -> n:int -> Mt_channel.t list
+
+val lazy_ : S.builder -> Mt_channel.t -> n:int -> Mt_channel.t list
+(** Stateless fork: per thread, all outputs fire in the same cycle.
+    Couples the branches combinationally (composing with a join makes
+    a combinational cycle, rejected at elaboration) — for completeness
+    and negative tests, like the scalar [Fork.lazy_]. *)

@@ -39,9 +39,20 @@ let create ?(fairness = Fair) b (a : Mt_channel.t) (c : Mt_channel.t) =
     Array.init n (fun i ->
         S.mux2 b sel_a a.Mt_channel.valids.(i) c.Mt_channel.valids.(i))
   in
-  Array.iteri
-    (fun i r -> S.assign r (S.land_ b sel_a out_readys.(i)))
-    a.Mt_channel.readys;
+  (* Under Priority_a, [sel_a = any_a]: whenever A presents a token it
+     is the selected path, so gating A's ready with the selector would
+     only make ready depend on A's own valid — which a ready-aware
+     producer (or an eager fork upstream) may in turn derive from
+     ready, a combinational cycle.  Leave A's ready ungated, exactly
+     like the scalar priority merge.  Under Fair the selector is
+     history-dependent, so the gate is required. *)
+  (match fairness with
+   | Priority_a ->
+     Array.iteri (fun i r -> S.assign r out_readys.(i)) a.Mt_channel.readys
+   | Fair ->
+     Array.iteri
+       (fun i r -> S.assign r (S.land_ b sel_a out_readys.(i)))
+       a.Mt_channel.readys);
   Array.iteri
     (fun i r -> S.assign r (S.land_ b (S.lnot b sel_a) out_readys.(i)))
     c.Mt_channel.readys;

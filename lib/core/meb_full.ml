@@ -1,7 +1,14 @@
-(* The full multithreaded elastic buffer (Fig. 4): one 2-slot EB per
-   thread, an output arbiter and a data multiplexer.  Capacity is 2S
-   slots for S threads — the expensive baseline the reduced MEB
-   improves on. *)
+(* The full multithreaded elastic buffer (Fig. 4): one 2-slot buffer
+   per thread, an output arbiter and a data multiplexer.  Capacity is
+   2S slots for S threads — the expensive baseline the reduced MEB
+   improves on.
+
+   The per-thread store is not a separate implementation: it is the
+   reduced MEB specialized to one thread (which *is* the baseline
+   2-slot EB — one EMPTY/HALF/FULL FSM over a main and an aux
+   register), instantiated over a [Mt_channel.thread_view] of the
+   input.  Valid_only policy keeps each store's output valid
+   independent of its downstream ready, as an EB's must be. *)
 
 module S = Hw.Signal
 
@@ -14,25 +21,17 @@ type t = {
 let create ?(name = "meb") ?(policy = Policy.Ready_aware)
     ?(granularity = Policy.Fine) b (input : Mt_channel.t) =
   let n = Mt_channel.threads input in
-  let w = Mt_channel.width input in
-  (* One private 2-slot EB per thread; each sees the shared data bus and
-     its own valid. *)
-  let ebs =
+  (* One private 2-slot store per thread; each sees the shared data bus
+     and its own handshake pair. *)
+  let stores =
     Array.init n (fun i ->
-        let ch =
-          { Elastic.Channel.valid = input.Mt_channel.valids.(i);
-            data = input.Mt_channel.data;
-            ready = S.wire b 1 }
-        in
-        let eb = Elastic.Eb.create ~name:(Printf.sprintf "%s_t%d" name i) b ch in
-        (* The EB assigned ch.ready; surface it as this thread's
-           upstream ready. *)
-        S.assign input.Mt_channel.readys.(i) ch.Elastic.Channel.ready;
-        eb)
+        let view = Mt_channel.thread_view b input i in
+        Meb_reduced.create ~name:(Names.sub name i) ~policy:Policy.Valid_only b view)
   in
+  let store_out i = (stores.(i) : Meb_reduced.t).Meb_reduced.out in
   let out_readys = Array.init n (fun _ -> S.wire b 1) in
   let req_bit i =
-    let v = ebs.(i).Elastic.Eb.out.Elastic.Channel.valid in
+    let v = (store_out i).Mt_channel.valids.(0) in
     match policy with
     | Policy.Valid_only -> v
     | Policy.Ready_aware -> S.land_ b v out_readys.(i)
@@ -44,15 +43,15 @@ let create ?(name = "meb") ?(policy = Policy.Ready_aware)
     | Policy.Fine -> Arbiter.round_robin b ~advance req
     | Policy.Coarse quantum -> Arbiter.sticky_round_robin b ~advance ~quantum req
   in
-  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let grant = S.set_name rr.Arbiter.grant (Names.signal name "grant") in
   let out_valids = Array.init n (fun i -> S.bit b grant i) in
-  (* Dequeue an EB when its thread is granted and the consumer is
+  (* Dequeue a store when its thread is granted and the consumer is
      ready. *)
   Array.iteri
-    (fun i (eb : Elastic.Eb.t) ->
-      S.assign eb.Elastic.Eb.out.Elastic.Channel.ready
+    (fun i _ ->
+      S.assign (store_out i).Mt_channel.readys.(0)
         (S.land_ b out_valids.(i) out_readys.(i)))
-    ebs;
+    stores;
   (* Rotate past the granted thread every cycle a grant exists (not
      only on transfer): under Valid_only a granted-but-stalled thread
      must not pin the pointer, or threads behind it would never be
@@ -62,14 +61,13 @@ let create ?(name = "meb") ?(policy = Policy.Ready_aware)
   S.assign advance rr.Arbiter.any_grant;
   let data_out =
     S.mux b rr.Arbiter.grant_index
-      (List.init n (fun i -> ebs.(i).Elastic.Eb.out.Elastic.Channel.data))
+      (List.init n (fun i -> (store_out i).Mt_channel.data))
   in
   let occupancy =
     let ow = S.clog2 ((2 * n) + 1) in
     S.reduce b S.add
-      (List.init n (fun i -> S.uresize b ebs.(i).Elastic.Eb.occupancy ow))
+      (List.init n (fun i -> S.uresize b stores.(i).Meb_reduced.occupancy ow))
   in
-  ignore w;
   { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_out };
     occupancy;
     grant }

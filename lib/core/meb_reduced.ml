@@ -2,15 +2,23 @@
 
    S main registers (one per thread) plus ONE auxiliary register shared
    dynamically by all threads: S + 1 slots instead of the full MEB's
-   2S.  Each thread runs the 3-state EB FSM (EMPTY/HALF/FULL); a
-   2-state FSM on the shared slot emits [shared_free], which gates the
+   2S.  Each thread runs the 3-state EB FSM (EMPTY/HALF/FULL);
+   [shared_free] — high iff no thread currently holds FULL — gates the
    HALF->FULL transition so that at most one thread is FULL at a time.
 
    Per the paper: threads in HALF accept new data only while no thread
    holds the shared slot; when the FULL thread is read, its main
    register refills from the shared slot and the freed slot becomes
    visible upstream one cycle later (the ready signals derive from
-   registered state). *)
+   registered state — [shared_free] is combinational in the FULL
+   states, which themselves are registers).
+
+   At S = 1 this *is* the baseline 2-slot EB: one EMPTY/HALF/FULL FSM,
+   one main and one aux register, ready = !FULL, valid = !EMPTY, and
+   the width-1 arbiter degenerates to wires.  `Elastic.Eb` is an alias
+   of this module at one thread (see test/test_degeneracy.ml for the
+   cycle-accurate proof and bench table1 for the zero-gate-delta
+   check). *)
 
 module S = Hw.Signal
 
@@ -22,8 +30,9 @@ type t = {
   out : Mt_channel.t;
   occupancy : S.t;
   grant : S.t;
-  shared_free : S.t; (* probe: shared-slot FSM state *)
+  shared_free : S.t; (* probe: shared-slot status (no thread in FULL) *)
   full_count : S.t; (* probe: number of threads in FULL (invariant: <= 1) *)
+  states : S.t array; (* per-thread 2-bit EMPTY/HALF/FULL state registers *)
 }
 
 let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
@@ -53,7 +62,7 @@ let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
     | Policy.Fine -> Arbiter.round_robin b ~advance req
     | Policy.Coarse quantum -> Arbiter.sticky_round_robin b ~advance ~quantum req
   in
-  let grant = S.set_name rr.Arbiter.grant (name ^ "_grant") in
+  let grant = S.set_name rr.Arbiter.grant (Names.signal name "grant") in
   let out_valids = Array.init n (fun i -> S.bit b grant i) in
   let rd = Array.init n (fun i -> S.land_ b out_valids.(i) out_readys.(i)) in
   (* Rotate past the grant every cycle (see Meb_full): required for
@@ -76,26 +85,27 @@ let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
             S.mux2 b rd.(i) (S.of_int b ~width:2 half) (S.of_int b ~width:2 full) ]
       in
       let reg = S.reg b next in
-      ignore (S.set_name reg (Printf.sprintf "%s_state%d" name i));
+      ignore (S.set_name reg (Names.state name i));
       S.assign state reg)
     states;
-  (* Shared-slot FSM: occupied by the single HALF->FULL writer, freed
-     when the FULL thread is read. *)
+  (* Shared-slot status: the slot is held exactly while some thread is
+     FULL, so [shared_free] is combinational in the registered FULL
+     states — no separate 2-state FSM register is needed (and at S = 1
+     this makes ready = !FULL, exactly the baseline EB).  Upstream
+     visibility is unchanged: a freeing read flips the thread's state
+     register at the clock edge, so the freed slot still appears one
+     cycle later. *)
   let goes_full =
     Array.init n (fun i -> S.land_ b (is i half) (S.land_ b wr.(i) (S.lnot b rd.(i))))
   in
   let frees = Array.init n (fun i -> S.land_ b (is i full) rd.(i)) in
   let any_goes_full = S.or_reduce b (Array.to_list goes_full) in
-  let any_frees = S.or_reduce b (Array.to_list frees) in
-  let shared_free_reg =
-    S.reg_fb b ~init:Bits.vdd ~width:1 (fun q ->
-        S.mux2 b any_goes_full (S.gnd b) (S.mux2 b any_frees (S.vdd b) q))
-  in
-  ignore (S.set_name shared_free_reg (name ^ "_shared_free"));
-  S.assign shared_free shared_free_reg;
+  let any_full = S.or_reduce b (List.init n (fun i -> is i full)) in
+  let shared_free_sig = S.set_name (S.lnot b any_full) (Names.signal name "shared_free") in
+  S.assign shared_free shared_free_sig;
   (* Shared auxiliary register: written by the thread going FULL. *)
   let aux = S.reg b ~enable:any_goes_full input.Mt_channel.data in
-  ignore (S.set_name aux (name ^ "_aux"));
+  ignore (S.set_name aux (Names.signal name "aux"));
   (* Main register per thread: loads fresh data on a write in EMPTY (or
      a simultaneous read+write in HALF) and refills from the shared
      slot when read in FULL. *)
@@ -109,7 +119,7 @@ let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
                (S.land_ b (is i half) (S.land_ b wr.(i) rd.(i))))
         in
         let m = S.reg b ~enable:en (S.mux2 b refill aux input.Mt_channel.data) in
-        ignore (S.set_name m (Printf.sprintf "%s_main%d" name i));
+        ignore (S.set_name m (Names.main name i));
         m)
   in
   let data_out = S.mux b rr.Arbiter.grant_index (Array.to_list mains) in
@@ -131,8 +141,9 @@ let create ?(name = "rmeb") ?(policy = Policy.Ready_aware)
   { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_out };
     occupancy;
     grant;
-    shared_free = shared_free_reg;
-    full_count }
+    shared_free = shared_free_sig;
+    full_count;
+    states }
 
 let pipeline ?(name = "rmeb") ?policy ?granularity ?f b ~stages (input : Mt_channel.t) =
   let rec go i ch acc =

@@ -8,7 +8,10 @@
     is FULL at a time.  Threads in HALF accept data only while the
     shared slot is free; when the FULL thread is read, its main
     register refills from the shared slot and the freed slot becomes
-    visible upstream one cycle later. *)
+    visible upstream one cycle later.
+
+    At [S = 1] this is exactly the baseline 2-slot EB — {!Elastic.Eb}
+    is an alias of this module at one thread. *)
 
 module S := Hw.Signal
 
@@ -16,8 +19,9 @@ type t = {
   out : Mt_channel.t;
   occupancy : S.t;  (** total buffered items, 0..S+1 ([clog2 (S+2)] bits) *)
   grant : S.t;
-  shared_free : S.t;  (** probe: shared-slot FSM state *)
+  shared_free : S.t;  (** probe: shared-slot status (high iff no thread FULL) *)
   full_count : S.t;  (** probe: threads in FULL (invariant: <= 1) *)
+  states : S.t array;  (** per-thread 2-bit EMPTY/HALF/FULL state registers *)
 }
 
 val create :

@@ -55,27 +55,38 @@ let active_thread b t =
 (* Map the payload through a combinational function. *)
 let map b t ~f = { t with data = f b t.data }
 
+(* View thread [i] of a channel as its own single-thread channel: the
+   shared data bus carries over, the handshake pair is thread [i]'s.
+   The view gets a fresh ready wire forwarded to [t.readys.(i)], so a
+   consumer of the view assigns ready exactly once, as usual.  This is
+   how the full MEB and the aligned join buffer instantiate their
+   per-thread 2-slot stores from the reduced MEB at S = 1. *)
+let thread_view b t i =
+  let r = S.wire b 1 in
+  S.assign t.readys.(i) r;
+  { valids = [| t.valids.(i) |]; readys = [| r |]; data = t.data }
+
 (* Endpoint/observation constructors.  All follow one convention —
    builder first, labelled [~name] (and [~threads]/[~width] where the
-   channel is created here), channel last — and share one export
-   naming scheme, documented in the .mli:
+   channel is created here), channel last — and share the [Names]
+   export scheme:
      <name>_valid / <name>_ready / <name>_fire   per-thread vectors
      <name>_data                                 the shared word. *)
 
 (* Host-driven source: the testbench pokes <name>_valid (one bit per
    thread) and <name>_data, and reads the <name>_ready vector. *)
 let source b ~name ~threads ~width =
-  let valid_vec = S.input b (name ^ "_valid") threads in
-  let data = S.input b (name ^ "_data") width in
+  let valid_vec = S.input b (Names.valid name) threads in
+  let data = S.input b (Names.data name) width in
   let readys = Array.init threads (fun _ -> S.wire b 1) in
-  ignore (S.output b (name ^ "_ready") (S.concat_msb b (List.rev (Array.to_list readys))));
+  ignore (S.output b (Names.ready name) (S.concat_msb b (List.rev (Array.to_list readys))));
   let t = { valids = Array.init threads (fun i -> S.bit b valid_vec i); readys; data } in
   (* Fire/data echoes so schedule captures can treat a source like any
      probed channel. *)
   ignore
-    (S.output b (name ^ "_fire")
+    (S.output b (Names.fire name)
        (S.concat_msb b (List.rev (List.init threads (fun i -> transfer b t i)))));
-  ignore (S.output b (name ^ "_data") data);
+  ignore (S.output b (Names.data name) data);
   t
 
 (* Host-driven sink: the testbench pokes the <name>_ready vector and
@@ -83,13 +94,13 @@ let source b ~name ~threads ~width =
 let sink b ~name t =
   let n = threads t in
   ignore
-    (S.output b (name ^ "_valid")
+    (S.output b (Names.valid name)
        (S.concat_msb b (List.rev (Array.to_list t.valids))));
-  ignore (S.output b (name ^ "_data") t.data);
-  let ready_vec = S.input b (name ^ "_ready") n in
+  ignore (S.output b (Names.data name) t.data);
+  let ready_vec = S.input b (Names.ready name) n in
   Array.iteri (fun i r -> S.assign r (S.bit b ready_vec i)) t.readys;
   ignore
-    (S.output b (name ^ "_fire")
+    (S.output b (Names.fire name)
        (S.concat_msb b (List.rev (List.init n (fun i -> transfer b t i)))))
 
 (* Observe a channel mid-pipeline without consuming it: exports
@@ -97,14 +108,14 @@ let sink b ~name t =
 let probe b ~name t =
   let n = threads t in
   ignore
-    (S.output b (name ^ "_valid")
+    (S.output b (Names.valid name)
        (S.concat_msb b (List.rev (Array.to_list t.valids))));
   ignore
-    (S.output b (name ^ "_ready")
+    (S.output b (Names.ready name)
        (S.concat_msb b (List.rev (Array.to_list t.readys))));
-  ignore (S.output b (name ^ "_data") t.data);
+  ignore (S.output b (Names.data name) t.data);
   ignore
-    (S.output b (name ^ "_fire")
+    (S.output b (Names.fire name)
        (S.concat_msb b (List.rev (List.init n (fun i -> transfer b t i)))));
   t
 
@@ -112,6 +123,10 @@ let label b ~name t =
   ignore
     (S.set_name
        (S.concat_msb b (List.rev (Array.to_list t.valids)))
-       (name ^ "_valid"));
-  ignore (S.set_name t.data (name ^ "_data"));
+       (Names.valid name));
+  ignore
+    (S.set_name
+       (S.concat_msb b (List.rev (Array.to_list t.readys)))
+       (Names.ready name));
+  ignore (S.set_name t.data (Names.data name));
   t

@@ -32,6 +32,13 @@ val active_thread : S.builder -> t -> S.t
 
 val map : S.builder -> t -> f:(S.builder -> S.t -> S.t) -> t
 
+val thread_view : S.builder -> t -> int -> t
+(** [thread_view b t i] is thread [i] of [t] as its own single-thread
+    channel sharing the data bus; the view's ready is forwarded to
+    [t.readys.(i)].  Per-thread sub-structures (the full MEB's 2-slot
+    stores, the aligned join buffer) are built by instantiating the
+    S=1 specialization of an operator over such views. *)
+
 (** {1 Endpoints and observation points}
 
     One argument convention for all of them: builder first, labelled
@@ -67,6 +74,6 @@ val probe : S.builder -> name:string -> t -> t
     channel unchanged. *)
 
 val label : S.builder -> name:string -> t -> t
-(** Name the channel's valid vector and data word
-    ([<name>_valid]/[<name>_data]) for waveforms without creating
-    outputs; returns the channel unchanged. *)
+(** Name the channel's valid/ready vectors and data word
+    ([<name>_valid]/[<name>_ready]/[<name>_data]) for waveforms
+    without creating outputs; returns the channel unchanged. *)

@@ -61,14 +61,21 @@ let create ?(name = "mtvl") ?(f = fun _b d -> d) b (input : Mt_channel.t) ~laten
   let vin_any = Mt_channel.any_valid b input in
   let accept = S.land_ b vin_any in_ready in
   let accept_thread = Mt_channel.active_thread b input in
-  let owner_reg = S.reg b ~enable:accept accept_thread in
-  ignore (S.set_name owner_reg (name ^ "_owner"));
-  S.assign owner owner_reg;
+  (* At one thread there is nothing to remember about the owner — the
+     sole thread owns every token — so the register (and its mux into
+     the output valids) vanishes and the unit degenerates to the
+     scalar Varlat with zero extra gates. *)
+  (if n = 1 then S.assign owner (S.zero b thread_w)
+   else begin
+     let owner_reg = S.reg b ~enable:accept accept_thread in
+     ignore (S.set_name owner_reg (Names.signal name "owner"));
+     S.assign owner owner_reg
+   end);
   let occ_reg =
     S.reg_fb b ~width:1 (fun q ->
         S.mux2 b accept (S.vdd b) (S.mux2 b out_transfer (S.gnd b) q))
   in
-  ignore (S.set_name occ_reg (name ^ "_occupied"));
+  ignore (S.set_name occ_reg (Names.signal name "occupied"));
   S.assign occupied occ_reg;
   let lat = sample () in
   let counter_next =
@@ -79,7 +86,7 @@ let create ?(name = "mtvl") ?(f = fun _b d -> d) b (input : Mt_channel.t) ~laten
   in
   S.assign counter (S.reg b counter_next);
   let data_reg = S.reg b ~enable:accept (f b input.Mt_channel.data) in
-  ignore (S.set_name data_reg (name ^ "_data"));
+  ignore (S.set_name data_reg (Names.data name));
 
   { out = { Mt_channel.valids = out_valids; readys = out_readys; data = data_reg };
     accept;
@@ -133,7 +140,7 @@ let per_thread ?(name = "mtvlp") ?(f = fun _b d -> d) b (input : Mt_channel.t)
         S.reg_fb b ~width:1 (fun q ->
             S.mux2 b accept (S.vdd b) (S.mux2 b leaving (S.gnd b) q))
       in
-      ignore (S.set_name occ_reg (Printf.sprintf "%s_occ%d" name i));
+      ignore (S.set_name occ_reg (Names.indexed name "occ" i));
       S.assign occupied occ_reg;
       let counter_next =
         S.mux2 b accept lat

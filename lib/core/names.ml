@@ -1,0 +1,30 @@
+(* The single naming scheme for every exported or probed signal in the
+   protocol layer: "<inst>_<signal>", with a numeric suffix for
+   per-thread or per-output instances ("<inst>_<signal><i>") and
+   "<inst>_t<i>" for per-thread sub-instances.
+
+   Before the layers were unified, `lib/elastic` and `lib/core` had
+   drifted apart (e.g. "eb_state" vs "meb_state0", "fork_done0" vs
+   "mfork_done_o0_t0"); the monitor, the workload drivers and the two
+   serve backends each re-derived names by string concatenation.  All
+   of them now go through these helpers, so a channel probed as "msg"
+   is always observable as msg_valid / msg_ready / msg_fire /
+   msg_data, whichever layer created it.
+
+   Dots would be the natural separator for instance paths, but OCaml
+   identifiers on the host side and Verilog identifiers on the RTL
+   side both reject them, so the scheme flattens with underscores. *)
+
+let signal inst s = inst ^ "_" ^ s
+let indexed inst s i = Printf.sprintf "%s_%s%d" inst s i
+let sub inst i = Printf.sprintf "%s_t%d" inst i
+
+(* The four channel-endpoint exports (source / sink / probe). *)
+let valid inst = signal inst "valid"
+let ready inst = signal inst "ready"
+let fire inst = signal inst "fire"
+let data inst = signal inst "data"
+
+(* Common internal probes. *)
+let state inst i = indexed inst "state" i
+let main inst i = indexed inst "main" i

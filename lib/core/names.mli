@@ -1,0 +1,30 @@
+(** The single probe/label naming scheme of the unified protocol
+    layer: every exported or named signal is ["<inst>_<signal>"], with
+    ["<inst>_<signal><i>"] for per-thread/per-output instances and
+    ["<inst>_t<i>"] for per-thread sub-components.  Circuit builders,
+    the monitor, the workload drivers and the serve backends all
+    derive names through these helpers rather than ad-hoc
+    concatenation. *)
+
+val signal : string -> string -> string
+(** [signal inst s] is ["<inst>_<s>"]. *)
+
+val indexed : string -> string -> int -> string
+(** [indexed inst s i] is ["<inst>_<s><i>"]. *)
+
+val sub : string -> int -> string
+(** [sub inst i] is ["<inst>_t<i>"] — the name of instance [inst]'s
+    per-thread sub-component for thread [i]. *)
+
+val valid : string -> string
+val ready : string -> string
+val fire : string -> string
+val data : string -> string
+(** Channel-endpoint exports: [<inst>_valid] / [_ready] / [_fire] are
+    per-thread vectors, [<inst>_data] the shared word. *)
+
+val state : string -> int -> string
+(** [state inst i] is ["<inst>_state<i>"] — thread [i]'s FSM state. *)
+
+val main : string -> int -> string
+(** [main inst i] is ["<inst>_main<i>"] — thread [i]'s main register. *)

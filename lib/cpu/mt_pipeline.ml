@@ -69,9 +69,15 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
   ignore config_name;
   let n = config.threads in
   let tw = max 1 (S.clog2 n) in
-  let meb name ch =
-    Melastic.Meb.create ~name ~policy:Melastic.Policy.Ready_aware ~kind:config.kind b ch
+  (* Pipeline stages are Component stages: every pipeline register is
+     an MEB, probes are probe_if taps, and the variable-latency units
+     are wrapped operators — the stage plan above is then literally a
+     [Component.pipe]. *)
+  let meb name =
+    Melastic.Component.buffer ~name ~policy:Melastic.Policy.Ready_aware
+      ~kind:config.kind ()
   in
+  let tap name = Melastic.Component.probe_if probes ~name in
   let imem =
     S.Memory.create b ~name:"imem" ~size:config.imem_size ~width:32 ()
   in
@@ -121,19 +127,23 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
   let pc_mux = S.mux b rr.Arbiter.grant_index (Array.to_list pcs) in
   Array.iteri (fun i v -> S.assign v fetch_fire.(i)) fetch_ch.Mc.valids;
   S.assign fetch_ch.Mc.data pc_mux;
-  if probes then ignore (Mc.probe b ~name:"cpu_fetch" fetch_ch);
-  let meb0 = meb "meb0" fetch_ch in
   (* ---- IMEM: variable-latency instruction fetch ---- *)
-  let imem_vl =
-    Melastic.Mt_varlat.create ~name:"imem_vl" b meb0.Melastic.Meb.out
-      ~latency:config.imem_latency
-      ~f:(fun b pc ->
-        let addr = S.uresize b pc (S.clog2 config.imem_size) in
-        S.concat_msb b [ S.Memory.read_async b imem ~addr; pc ])
+  let imem_stage =
+    Melastic.Component.wrap
+      (fun b ch ->
+        Melastic.Mt_varlat.create ~name:"imem_vl" b ch
+          ~latency:config.imem_latency
+          ~f:(fun b pc ->
+            let addr = S.uresize b pc (S.clog2 config.imem_size) in
+            S.concat_msb b [ S.Memory.read_async b imem ~addr; pc ]))
+      (fun v -> v.Melastic.Mt_varlat.out)
   in
-  let meb1 = meb "meb1" imem_vl.Melastic.Mt_varlat.out in
+  let d_in =
+    Melastic.Component.pipe b
+      [ tap "cpu_fetch"; meb "meb0"; imem_stage; meb "meb1" ]
+      fetch_ch
+  in
   (* ---- DECODE: field extraction + register-file read ---- *)
-  let d_in = meb1.Melastic.Meb.out in
   let d_pc = field b d_in.Mc.data ~hi:(pc_w - 1) ~lo:0 in
   let d_instr = field b d_in.Mc.data ~hi:(pc_w + 31) ~lo:pc_w in
   let d_thread = S.uresize b (Mc.active_thread b d_in) tw in
@@ -149,12 +159,13 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
   let decode_out =
     { d_in with Mc.data = S.concat_msb b [ d_bv; d_a; d_instr; d_pc ] }
   in
-  let meb2 = meb "meb2" decode_out in
   (* ---- EX: ALU, branch resolution, next-PC ---- *)
-  let exe_vl =
-    Melastic.Mt_varlat.create ~name:"exe_vl" b meb2.Melastic.Meb.out
-      ~latency:config.exe_latency
-      ~f:(fun b data ->
+  let exe_stage =
+    Melastic.Component.wrap
+      (fun b ch ->
+        Melastic.Mt_varlat.create ~name:"exe_vl" b ch
+          ~latency:config.exe_latency
+          ~f:(fun b data ->
         let pc = field b data ~hi:(pc_w - 1) ~lo:0 in
         let instr = field b data ~hi:(pc_w + 31) ~lo:pc_w in
         let a = field b data ~hi:(pc_w + 63) ~lo:(pc_w + 32) in
@@ -216,13 +227,16 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
                (S.uresize b a pc_w)
                (S.mux2 b taken branch_target pc_plus1))
         in
-        S.concat_msb b [ bv; alu; instr; next_pc ])
+            S.concat_msb b [ bv; alu; instr; next_pc ]))
+      (fun v -> v.Melastic.Mt_varlat.out)
   in
-  let meb3 = meb "meb3" exe_vl.Melastic.Mt_varlat.out in
-  (* ---- MEM: variable-latency data memory ---- *)
-  let mem_in = meb3.Melastic.Meb.out in
-  (* Optional protocol-checker tap between EX and MEM. *)
-  let mem_in = if probes then Mc.probe b ~name:"cpu_mem" mem_in else mem_in in
+  (* ---- MEM: variable-latency data memory (protocol-checker tap
+     between EX and MEM) ---- *)
+  let mem_in =
+    Melastic.Component.pipe b
+      [ meb "meb2"; exe_stage; meb "meb3"; tap "cpu_mem" ]
+      decode_out
+  in
   let mem_op = field b mem_in.Mc.data ~hi:(pc_w + 31) ~lo:(pc_w + 26) in
   let mem_alu = field b mem_in.Mc.data ~hi:(pc_w + 63) ~lo:(pc_w + 32) in
   let mem_store = field b mem_in.Mc.data ~hi:(pc_w + 95) ~lo:(pc_w + 64) in
@@ -245,10 +259,12 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
     ~we:(S.land_ b mem_vl.Melastic.Mt_varlat.accept (is_op b mem_op Isa.SW))
     ~addr:(S.uresize b mem_alu daddr_w)
     ~data:mem_store;
-  let meb4 = meb "meb4" mem_vl.Melastic.Mt_varlat.out in
   (* ---- WB: register write, PC update, scoreboard clear ---- *)
-  let wb = meb4.Melastic.Meb.out in
-  let wb = if probes then Mc.probe b ~name:"cpu_wb" wb else wb in
+  let wb =
+    Melastic.Component.pipe b
+      [ meb "meb4"; tap "cpu_wb" ]
+      mem_vl.Melastic.Mt_varlat.out
+  in
   Array.iter (fun r -> S.assign r (S.vdd b)) wb.Mc.readys;
   let wb_any = Mc.any_valid b wb in
   let wb_thread = S.uresize b (Mc.active_thread b wb) tw in

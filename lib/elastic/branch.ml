@@ -1,20 +1,11 @@
 (* Branch (Fig. 3): routes the input token to output A when [cond] is
-   high, to output B otherwise.  [cond] is combinational in the input
-   data (an "if-then-else" steering flag). *)
-
-module S = Hw.Signal
+   high, to output B otherwise — an alias of the M-Branch at one
+   thread.  [cond] is combinational in the input data (an
+   "if-then-else" steering flag). *)
 
 type t = { out_true : Channel.t; out_false : Channel.t }
 
 let create b (input : Channel.t) ~cond =
-  if S.width cond <> 1 then invalid_arg "Branch.create: cond must be 1 bit";
-  let ready_t = S.wire b 1 and ready_f = S.wire b 1 in
-  S.assign input.Channel.ready (S.mux2 b cond ready_t ready_f);
-  { out_true =
-      { Channel.valid = S.land_ b input.Channel.valid cond;
-        data = input.Channel.data;
-        ready = ready_t };
-    out_false =
-      { Channel.valid = S.land_ b input.Channel.valid (S.lnot b cond);
-        data = input.Channel.data;
-        ready = ready_f } }
+  let m = Melastic.M_branch.create b (Channel.to_mt input) ~cond in
+  { out_true = Channel.of_mt m.Melastic.M_branch.out_true;
+    out_false = Channel.of_mt m.Melastic.M_branch.out_false }

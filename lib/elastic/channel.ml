@@ -2,12 +2,19 @@
    of Fig. 2 of the paper.  A transfer happens on a cycle where both
    [valid] and [ready] are high.
 
+   A scalar channel IS the multithreaded channel of `lib/core` at one
+   thread: [to_mt]/[of_mt] repack the record with no gates, and the
+   endpoint constructors delegate to [Melastic.Mt_channel], so scalar
+   and multithreaded endpoints share one export naming scheme
+   (<name>_valid / _ready / _fire / _data via [Melastic.Names]).
+
    Convention: the producer of a channel drives [valid] and [data] and
    creates [ready] as an unassigned wire; the consumer assigns [ready].
    Operators consume their input channels (assigning the input's
    [ready]) and produce fresh output channels. *)
 
 module S = Hw.Signal
+module Mc = Melastic.Mt_channel
 
 type t = { valid : S.t; data : S.t; ready : S.t }
 
@@ -30,27 +37,27 @@ let transfer b t = S.land_ b t.valid t.ready
    through untouched. *)
 let map b t ~f = { t with data = f b t.data }
 
+(* Pure repacking between the scalar record and the 1-thread
+   multithreaded channel — the ready obligation carries over: whoever
+   consumes the converted channel assigns the same wire. *)
+let to_mt t = { Mc.valids = [| t.valid |]; readys = [| t.ready |]; data = t.data }
+
+let of_mt (m : Mc.t) =
+  if Array.length m.Mc.valids <> 1 then
+    invalid_arg "Channel.of_mt: not a single-thread channel";
+  { valid = m.Mc.valids.(0); data = m.Mc.data; ready = m.Mc.readys.(0) }
+
 (* Host-driven source: the testbench pokes <name>_valid / <name>_data
    and reads <name>_ready. *)
-let source b ~name ~width =
-  let valid = S.input b (name ^ "_valid") 1 in
-  let data = S.input b (name ^ "_data") width in
-  let ready = S.wire b 1 in
-  ignore (S.output b (name ^ "_ready") ready);
-  { valid; data; ready }
+let source b ~name ~width = of_mt (Mc.source b ~name ~threads:1 ~width)
 
 (* Host-driven sink: the testbench pokes <name>_ready and reads
-   <name>_valid / <name>_data. *)
-let sink b ~name t =
-  ignore (S.output b (name ^ "_valid") t.valid);
-  ignore (S.output b (name ^ "_data") t.data);
-  let ready = S.input b (name ^ "_ready") 1 in
-  S.assign t.ready ready;
-  ignore (S.output b (name ^ "_fire") (S.land_ b t.valid ready))
+   <name>_valid / <name>_data / <name>_fire. *)
+let sink b ~name t = Mc.sink b ~name (to_mt t)
 
 (* Name the channel's signals for waveforms and peeking. *)
 let label t ~name =
-  ignore (S.set_name t.valid (name ^ "_valid"));
-  ignore (S.set_name t.data (name ^ "_data"));
-  ignore (S.set_name t.ready (name ^ "_ready"));
+  ignore (S.set_name t.valid (Melastic.Names.valid name));
+  ignore (S.set_name t.data (Melastic.Names.data name));
+  ignore (S.set_name t.ready (Melastic.Names.ready name));
   t

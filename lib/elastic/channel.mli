@@ -26,9 +26,17 @@ val transfer : S.builder -> t -> S.t
 val map : S.builder -> t -> f:(S.builder -> S.t -> S.t) -> t
 (** Combinationally transform the payload; handshake untouched. *)
 
+val to_mt : t -> Melastic.Mt_channel.t
+val of_mt : Melastic.Mt_channel.t -> t
+(** A scalar channel is the 1-thread multithreaded channel: both
+    conversions are pure repacking (no gates).  [of_mt] rejects
+    channels with more than one thread. *)
+
 val source : S.builder -> name:string -> width:int -> t
 (** Host-driven producer: poke [<name>_valid] / [<name>_data], read
-    [<name>_ready]. *)
+    [<name>_ready].  Like every endpoint this delegates to
+    {!Melastic.Mt_channel} at one thread, so it also exports the
+    [<name>_fire]/[<name>_data] echoes of the unified scheme. *)
 
 val sink : S.builder -> name:string -> t -> unit
 (** Host-driven consumer: poke [<name>_ready], read [<name>_valid] /

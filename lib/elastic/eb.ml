@@ -1,20 +1,22 @@
-(* The baseline 2-slot elastic buffer (EB) of Section II.
+(* The baseline 2-slot elastic buffer (EB) of Section II — an alias.
 
    One-cycle forward and backward handshake latency requires a minimum
    capacity of two items [Carloni et al.]; the buffer is a 3-state FSM
-   (EMPTY / HALF / FULL) over a main and an auxiliary register:
+   (EMPTY / HALF / FULL) over a main and an auxiliary register.  That
+   FSM lives in `lib/core`: the reduced MEB at S = 1 *is* this buffer
+   (one main register, the shared aux slot, ready = !FULL,
+   valid = !EMPTY), and its width-1 output arbiter degenerates to
+   plain wires.  Valid_only policy keeps valid independent of ready,
+   as an EB's must be (both derive from registered state only, so
+   chains of EBs have no combinational handshake paths — the
+   elasticization property the paper relies on).
 
-     EMPTY --write--> HALF --write--> FULL --read--> HALF --read--> EMPTY
-
-   [valid] (downstream) and [ready] (upstream) depend only on the state
-   register, so chains of EBs have no combinational handshake paths --
-   the elasticization property the paper relies on. *)
+   The cycle-accurate equivalence against the pre-unification scalar
+   FSM is locked down by test/test_degeneracy.ml; the zero-gate-delta
+   claim by the S=1 row of bench table1. *)
 
 module S = Hw.Signal
-
-let empty = 0
-let half = 1
-let full = 2
+module M = Melastic
 
 type t = {
   out : Channel.t;
@@ -23,50 +25,12 @@ type t = {
 }
 
 let create ?(name = "eb") b (input : Channel.t) =
-  let _w = Channel.width input in
-  let state = S.wire b 2 in
-  let in_ready = S.lnot b (S.eq_const b state full) in
-  let out_valid = S.lnot b (S.eq_const b state empty) in
-  let out_ready = S.wire b 1 in
-  S.assign input.Channel.ready in_ready;
-  let wr = S.land_ b input.Channel.valid in_ready in
-  let rd = S.land_ b out_valid out_ready in
-  (* Next-state logic. *)
-  let is s = S.eq_const b state s in
-  let next =
-    S.mux b state
-      [ (* EMPTY *) S.mux2 b wr (S.of_int b ~width:2 half) (S.of_int b ~width:2 empty);
-        (* HALF *)
-        S.mux b (S.concat_msb b [ wr; rd ])
-          [ S.of_int b ~width:2 half; (* no wr, no rd *)
-            S.of_int b ~width:2 empty; (* rd only *)
-            S.of_int b ~width:2 full; (* wr only *)
-            S.of_int b ~width:2 half (* wr and rd *) ];
-        (* FULL *) S.mux2 b rd (S.of_int b ~width:2 half) (S.of_int b ~width:2 full) ]
+  let m =
+    M.Meb_reduced.create ~name ~policy:M.Policy.Valid_only b (Channel.to_mt input)
   in
-  let state_reg = S.reg b next in
-  S.assign state state_reg;
-  ignore (S.set_name state_reg (name ^ "_state"));
-  (* Datapath: main holds the head; aux holds the second item. *)
-  let aux_en = S.land_ b (is half) (S.land_ b wr (S.lnot b rd)) in
-  let aux = S.reg b ~enable:aux_en input.Channel.data in
-  let refill = S.land_ b (is full) rd in
-  let main_en =
-    S.lor_ b refill
-      (S.lor_ b
-         (S.land_ b (is empty) wr)
-         (S.land_ b (is half) (S.land_ b wr rd)))
-  in
-  let main = S.reg b ~enable:main_en (S.mux2 b refill aux input.Channel.data) in
-  ignore (S.set_name main (name ^ "_main"));
-  let occupancy =
-    S.mux b state
-      [ S.of_int b ~width:2 0; S.of_int b ~width:2 1; S.of_int b ~width:2 2;
-        S.of_int b ~width:2 0 ]
-  in
-  { out = { Channel.valid = out_valid; data = main; ready = out_ready };
-    state = state_reg;
-    occupancy }
+  { out = Channel.of_mt m.M.Meb_reduced.out;
+    state = m.M.Meb_reduced.states.(0);
+    occupancy = m.M.Meb_reduced.occupancy }
 
 (* A chain of [n] EBs, optionally applying a combinational function
    between consecutive stages. *)

@@ -1,4 +1,5 @@
-(* Fork (Fig. 3): replicates one input token to every output.
+(* Fork (Fig. 3): replicates one input token to every output — an
+   alias of the M-Fork at one thread.
 
    The eager variant delivers to each output as soon as that output is
    ready, remembering which branches were already served with one
@@ -10,52 +11,8 @@
    The lazy variant fires all outputs in the same cycle and is provided
    for completeness (and for the cycle-detection tests). *)
 
-module S = Hw.Signal
-
 let eager ?(name = "fork") b (input : Channel.t) ~n =
-  if n < 2 then invalid_arg "Fork.eager: need at least 2 outputs";
-  let out_readys = Array.init n (fun _ -> S.wire b 1) in
-  let done_wires = Array.init n (fun _ -> S.wire b 1) in
-  (* in.ready must not depend on in.valid (a ready-aware producer's
-     valid may depend on this ready): branch i is satisfied when it was
-     already served or its consumer is ready right now. *)
-  let satisfied =
-    Array.init n (fun i -> S.lor_ b done_wires.(i) out_readys.(i))
-  in
-  let in_ready = S.and_reduce b (Array.to_list satisfied) in
-  let in_transfer = S.land_ b input.Channel.valid in_ready in
-  S.assign input.Channel.ready in_ready;
-  for i = 0 to n - 1 do
-    let transfer_i =
-      S.land_ b input.Channel.valid
-        (S.land_ b (S.lnot b done_wires.(i)) out_readys.(i))
-    in
-    let next =
-      S.land_ b (S.lor_ b done_wires.(i) transfer_i) (S.lnot b in_transfer)
-    in
-    let d = S.reg b next in
-    ignore (S.set_name d (Printf.sprintf "%s_done%d" name i));
-    S.assign done_wires.(i) d
-  done;
-  Array.to_list
-    (Array.init n (fun i ->
-         { Channel.valid = S.land_ b input.Channel.valid (S.lnot b done_wires.(i));
-           data = input.Channel.data;
-           ready = out_readys.(i) }))
+  List.map Channel.of_mt (Melastic.M_fork.eager ~name b (Channel.to_mt input) ~n)
 
 let lazy_ b (input : Channel.t) ~n =
-  if n < 2 then invalid_arg "Fork.lazy_: need at least 2 outputs";
-  let out_readys = Array.init n (fun _ -> S.wire b 1) in
-  let all_ready = S.and_reduce b (Array.to_list out_readys) in
-  S.assign input.Channel.ready all_ready;
-  Array.to_list
-    (Array.init n (fun i ->
-         let others =
-           List.filteri (fun j _ -> j <> i) (Array.to_list out_readys)
-         in
-         let others_ready =
-           match others with [] -> S.vdd b | l -> S.and_reduce b l
-         in
-         { Channel.valid = S.land_ b input.Channel.valid others_ready;
-           data = input.Channel.data;
-           ready = out_readys.(i) }))
+  List.map Channel.of_mt (Melastic.M_fork.lazy_ b (Channel.to_mt input) ~n)

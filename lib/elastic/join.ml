@@ -1,18 +1,12 @@
 (* Lazy join (Fig. 3): the output fires only when every input carries
    valid data; each input's ready requires the output ready and all
-   sibling valids, so tokens are consumed simultaneously. *)
+   sibling valids, so tokens are consumed simultaneously.  An alias of
+   the M-Join at one thread (the M-Join is one baseline join per
+   thread; at S = 1 that is exactly this operator). *)
 
-module S = Hw.Signal
-
-let create ?(combine = fun b a c -> S.concat_msb b [ a; c ]) b
-    (a : Channel.t) (c : Channel.t) =
-  let out_valid = S.land_ b a.Channel.valid c.Channel.valid in
-  let out_ready = S.wire b 1 in
-  S.assign a.Channel.ready (S.land_ b out_ready c.Channel.valid);
-  S.assign c.Channel.ready (S.land_ b out_ready a.Channel.valid);
-  { Channel.valid = out_valid;
-    data = combine b a.Channel.data c.Channel.data;
-    ready = out_ready }
+let create ?combine b (a : Channel.t) (c : Channel.t) =
+  Channel.of_mt
+    (Melastic.M_join.create ?combine b (Channel.to_mt a) (Channel.to_mt c))
 
 let create_list ?combine b channels =
   match channels with

@@ -1,17 +1,14 @@
-(* Merge (Fig. 3): funnels two channels into one.  In circuits
+(* Merge (Fig. 3): funnels two channels into one — an alias of the
+   M-Merge at one thread with [Priority_a] fairness.  In circuits
    synthesized from if-then-else control flow the two inputs are
-   mutually exclusive by construction; this implementation is
-   nevertheless safe when both present tokens — input A has priority
-   and B waits, so no token is ever dropped or duplicated. *)
-
-module S = Hw.Signal
+   mutually exclusive by construction; the priority scheme is
+   nevertheless safe when both present tokens — input A is selected
+   and B waits, so no token is ever dropped or duplicated, and A's
+   ready never depends on A's valid. *)
 
 let create b (a : Channel.t) (c : Channel.t) =
   if Channel.width a <> Channel.width c then
     invalid_arg "Merge.create: width mismatch";
-  let out_ready = S.wire b 1 in
-  S.assign a.Channel.ready out_ready;
-  S.assign c.Channel.ready (S.land_ b out_ready (S.lnot b a.Channel.valid));
-  { Channel.valid = S.lor_ b a.Channel.valid c.Channel.valid;
-    data = S.mux2 b a.Channel.valid a.Channel.data c.Channel.data;
-    ready = out_ready }
+  Channel.of_mt
+    (Melastic.M_merge.create ~fairness:Melastic.M_merge.Priority_a b
+       (Channel.to_mt a) (Channel.to_mt c))

@@ -1,65 +1,19 @@
-(* A variable-latency elastic computation unit.
+(* A variable-latency elastic computation unit — an alias of the
+   multithreaded unit at one thread.
 
    The unit holds at most one token.  When a token is accepted, a
    latency is sampled — either from an in-circuit LFSR (bounded by
    [max_latency]) or from a fixed value — and the output becomes valid
-   once the down-counter expires.  This models the paper's
-   variable-latency memories and functional units: the handshake hides
-   the latency from the rest of the circuit. *)
+   once the down-counter expires.  At one thread the unit's owner
+   register vanishes (the sole thread owns every token), leaving
+   exactly the scalar occupied/counter/data datapath.  This models the
+   paper's variable-latency memories and functional units: the
+   handshake hides the latency from the rest of the circuit. *)
 
-module S = Hw.Signal
-
-type latency_source =
+type latency_source = Melastic.Mt_varlat.latency =
   | Fixed of int
   | Random of { max_latency : int; seed : int }
 
-let create ?(name = "varlat") ?(f = fun _b d -> d) b (input : Channel.t) ~latency =
-  let cnt_w, sample =
-    match latency with
-    | Fixed n ->
-      if n < 0 then invalid_arg "Varlat: negative latency";
-      let cw = max 1 (S.clog2 (n + 1)) in
-      (cw, fun () -> S.of_int b ~width:cw n)
-    | Random { max_latency; seed } ->
-      if max_latency < 1 then invalid_arg "Varlat: max_latency must be >= 1";
-      let cw = max 3 (S.clog2 (max_latency + 1)) in
-      ( cw,
-        fun () ->
-          (* LFSR value folded into [0, max_latency]: a cheap mod via
-             comparison against the bound (values above it wrap by
-             subtracting). *)
-          let lf = Hw.Lfsr.create b ~width:(max cw 3) ~seed () in
-          let lf = S.uresize b lf cw in
-          let bound = S.of_int b ~width:cw (max_latency + 1) in
-          let wrapped = S.sub b lf bound in
-          S.mux2 b (S.ult b lf bound) lf wrapped )
-  in
-  let occupied = S.wire b 1 in
-  let counter = S.wire b cnt_w in
-  let out_ready = S.wire b 1 in
-  let done_ = S.eq_const b counter 0 in
-  let out_valid = S.land_ b occupied done_ in
-  let out_transfer = S.land_ b out_valid out_ready in
-  (* Accept a new token when idle, or in the same cycle the old one
-     leaves. *)
-  let in_ready = S.lor_ b (S.lnot b occupied) out_transfer in
-  S.assign input.Channel.ready in_ready;
-  let in_transfer = S.land_ b input.Channel.valid in_ready in
-  let occupied_next =
-    S.lor_ b in_transfer (S.land_ b occupied (S.lnot b out_transfer))
-  in
-  let occ_reg = S.reg b occupied_next in
-  ignore (S.set_name occ_reg (name ^ "_occupied"));
-  S.assign occupied occ_reg;
-  let lat = sample () in
-  let counter_next =
-    S.mux2 b in_transfer lat
-      (S.mux2 b (S.land_ b occupied (S.lnot b done_))
-         (S.sub b counter (S.of_int b ~width:cnt_w 1))
-         counter)
-  in
-  let cnt_reg = S.reg b counter_next in
-  S.assign counter cnt_reg;
-  let data_reg = S.reg b ~enable:in_transfer (f b input.Channel.data) in
-  ignore (S.set_name data_reg (name ^ "_data"));
-  { Channel.valid = out_valid; data = data_reg; ready = out_ready }
+let create ?(name = "varlat") ?f b (input : Channel.t) ~latency =
+  let v = Melastic.Mt_varlat.create ~name ?f b (Channel.to_mt input) ~latency in
+  Channel.of_mt v.Melastic.Mt_varlat.out

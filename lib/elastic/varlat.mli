@@ -5,7 +5,7 @@
 
 module S := Hw.Signal
 
-type latency_source =
+type latency_source = Melastic.Mt_varlat.latency =
   | Fixed of int
   | Random of { max_latency : int; seed : int }
 

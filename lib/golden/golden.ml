@@ -1,0 +1,222 @@
+(* Frozen pre-unification scalar operators, kept verbatim as golden
+   references.
+
+   `lib/elastic` is now a thin alias layer over the multithreaded core
+   (`lib/core` at S = 1).  These copies of the retired hand-written
+   scalar FSMs exist for exactly two purposes:
+
+   - test/test_degeneracy.ml drives each of them in lockstep against
+     the unified operator's S=1 specialization and checks
+     cycle-accurate equality of every observable signal, on both
+     simulation backends;
+   - bench table1's S=1 row compares their post-optimization cost
+     against the unified operators in Fpga.Report units (the
+     "zero extra gates" claim).
+
+   Do not use them in new designs; the alias layer is the API. *)
+
+module S = Hw.Signal
+module Channel = Elastic.Channel
+
+(* The baseline 2-slot elastic buffer: a 3-state FSM (EMPTY/HALF/FULL)
+   over a main and an auxiliary register. *)
+module Eb = struct
+  let empty = 0
+  let half = 1
+  let full = 2
+
+  type t = {
+    out : Channel.t;
+    state : S.t;
+    occupancy : S.t;
+  }
+
+  let create ?(name = "eb") b (input : Channel.t) =
+    let state = S.wire b 2 in
+    let in_ready = S.lnot b (S.eq_const b state full) in
+    let out_valid = S.lnot b (S.eq_const b state empty) in
+    let out_ready = S.wire b 1 in
+    S.assign input.Channel.ready in_ready;
+    let wr = S.land_ b input.Channel.valid in_ready in
+    let rd = S.land_ b out_valid out_ready in
+    let is s = S.eq_const b state s in
+    let next =
+      S.mux b state
+        [ S.mux2 b wr (S.of_int b ~width:2 half) (S.of_int b ~width:2 empty);
+          S.mux b (S.concat_msb b [ wr; rd ])
+            [ S.of_int b ~width:2 half;
+              S.of_int b ~width:2 empty;
+              S.of_int b ~width:2 full;
+              S.of_int b ~width:2 half ];
+          S.mux2 b rd (S.of_int b ~width:2 half) (S.of_int b ~width:2 full) ]
+    in
+    let state_reg = S.reg b next in
+    S.assign state state_reg;
+    ignore (S.set_name state_reg (name ^ "_state"));
+    let aux_en = S.land_ b (is half) (S.land_ b wr (S.lnot b rd)) in
+    let aux = S.reg b ~enable:aux_en input.Channel.data in
+    let refill = S.land_ b (is full) rd in
+    let main_en =
+      S.lor_ b refill
+        (S.lor_ b
+           (S.land_ b (is empty) wr)
+           (S.land_ b (is half) (S.land_ b wr rd)))
+    in
+    let main = S.reg b ~enable:main_en (S.mux2 b refill aux input.Channel.data) in
+    ignore (S.set_name main (name ^ "_main"));
+    let occupancy =
+      S.mux b state
+        [ S.of_int b ~width:2 0; S.of_int b ~width:2 1; S.of_int b ~width:2 2;
+          S.of_int b ~width:2 0 ]
+    in
+    { out = { Channel.valid = out_valid; data = main; ready = out_ready };
+      state = state_reg;
+      occupancy }
+end
+
+(* Eager/lazy fork over one scalar channel. *)
+module Fork = struct
+  let eager ?(name = "fork") b (input : Channel.t) ~n =
+    if n < 2 then invalid_arg "Golden.Fork.eager: need at least 2 outputs";
+    let out_readys = Array.init n (fun _ -> S.wire b 1) in
+    let done_wires = Array.init n (fun _ -> S.wire b 1) in
+    let satisfied =
+      Array.init n (fun i -> S.lor_ b done_wires.(i) out_readys.(i))
+    in
+    let in_ready = S.and_reduce b (Array.to_list satisfied) in
+    let in_transfer = S.land_ b input.Channel.valid in_ready in
+    S.assign input.Channel.ready in_ready;
+    for i = 0 to n - 1 do
+      let transfer_i =
+        S.land_ b input.Channel.valid
+          (S.land_ b (S.lnot b done_wires.(i)) out_readys.(i))
+      in
+      let next =
+        S.land_ b (S.lor_ b done_wires.(i) transfer_i) (S.lnot b in_transfer)
+      in
+      let d = S.reg b next in
+      ignore (S.set_name d (Printf.sprintf "%s_done%d" name i));
+      S.assign done_wires.(i) d
+    done;
+    Array.to_list
+      (Array.init n (fun i ->
+           { Channel.valid = S.land_ b input.Channel.valid (S.lnot b done_wires.(i));
+             data = input.Channel.data;
+             ready = out_readys.(i) }))
+
+  let lazy_ b (input : Channel.t) ~n =
+    if n < 2 then invalid_arg "Golden.Fork.lazy_: need at least 2 outputs";
+    let out_readys = Array.init n (fun _ -> S.wire b 1) in
+    let all_ready = S.and_reduce b (Array.to_list out_readys) in
+    S.assign input.Channel.ready all_ready;
+    Array.to_list
+      (Array.init n (fun i ->
+           let others =
+             List.filteri (fun j _ -> j <> i) (Array.to_list out_readys)
+           in
+           let others_ready =
+             match others with [] -> S.vdd b | l -> S.and_reduce b l
+           in
+           { Channel.valid = S.land_ b input.Channel.valid others_ready;
+             data = input.Channel.data;
+             ready = out_readys.(i) }))
+end
+
+(* Lazy join: fires when both inputs are valid. *)
+module Join = struct
+  let create ?(combine = fun b a c -> S.concat_msb b [ a; c ]) b
+      (a : Channel.t) (c : Channel.t) =
+    let out_valid = S.land_ b a.Channel.valid c.Channel.valid in
+    let out_ready = S.wire b 1 in
+    S.assign a.Channel.ready (S.land_ b out_ready c.Channel.valid);
+    S.assign c.Channel.ready (S.land_ b out_ready a.Channel.valid);
+    { Channel.valid = out_valid;
+      data = combine b a.Channel.data c.Channel.data;
+      ready = out_ready }
+end
+
+(* Priority merge: input A wins, B waits. *)
+module Merge = struct
+  let create b (a : Channel.t) (c : Channel.t) =
+    if Channel.width a <> Channel.width c then
+      invalid_arg "Golden.Merge.create: width mismatch";
+    let out_ready = S.wire b 1 in
+    S.assign a.Channel.ready out_ready;
+    S.assign c.Channel.ready (S.land_ b out_ready (S.lnot b a.Channel.valid));
+    { Channel.valid = S.lor_ b a.Channel.valid c.Channel.valid;
+      data = S.mux2 b a.Channel.valid a.Channel.data c.Channel.data;
+      ready = out_ready }
+end
+
+(* Condition-steered branch. *)
+module Branch = struct
+  type t = { out_true : Channel.t; out_false : Channel.t }
+
+  let create b (input : Channel.t) ~cond =
+    if S.width cond <> 1 then invalid_arg "Golden.Branch.create: cond must be 1 bit";
+    let ready_t = S.wire b 1 and ready_f = S.wire b 1 in
+    S.assign input.Channel.ready (S.mux2 b cond ready_t ready_f);
+    { out_true =
+        { Channel.valid = S.land_ b input.Channel.valid cond;
+          data = input.Channel.data;
+          ready = ready_t };
+      out_false =
+        { Channel.valid = S.land_ b input.Channel.valid (S.lnot b cond);
+          data = input.Channel.data;
+          ready = ready_f } }
+end
+
+(* Single-token variable-latency unit. *)
+module Varlat = struct
+  type latency_source =
+    | Fixed of int
+    | Random of { max_latency : int; seed : int }
+
+  let create ?(name = "varlat") ?(f = fun _b d -> d) b (input : Channel.t)
+      ~latency =
+    let cnt_w, sample =
+      match latency with
+      | Fixed n ->
+        if n < 0 then invalid_arg "Golden.Varlat: negative latency";
+        let cw = max 1 (S.clog2 (n + 1)) in
+        (cw, fun () -> S.of_int b ~width:cw n)
+      | Random { max_latency; seed } ->
+        if max_latency < 1 then
+          invalid_arg "Golden.Varlat: max_latency must be >= 1";
+        let cw = max 3 (S.clog2 (max_latency + 1)) in
+        ( cw,
+          fun () ->
+            let lf = Hw.Lfsr.create b ~width:(max cw 3) ~seed () in
+            let lf = S.uresize b lf cw in
+            let bound = S.of_int b ~width:cw (max_latency + 1) in
+            let wrapped = S.sub b lf bound in
+            S.mux2 b (S.ult b lf bound) lf wrapped )
+    in
+    let occupied = S.wire b 1 in
+    let counter = S.wire b cnt_w in
+    let out_ready = S.wire b 1 in
+    let done_ = S.eq_const b counter 0 in
+    let out_valid = S.land_ b occupied done_ in
+    let out_transfer = S.land_ b out_valid out_ready in
+    let in_ready = S.lor_ b (S.lnot b occupied) out_transfer in
+    S.assign input.Channel.ready in_ready;
+    let in_transfer = S.land_ b input.Channel.valid in_ready in
+    let occupied_next =
+      S.lor_ b in_transfer (S.land_ b occupied (S.lnot b out_transfer))
+    in
+    let occ_reg = S.reg b occupied_next in
+    ignore (S.set_name occ_reg (name ^ "_occupied"));
+    S.assign occupied occ_reg;
+    let lat = sample () in
+    let counter_next =
+      S.mux2 b in_transfer lat
+        (S.mux2 b (S.land_ b occupied (S.lnot b done_))
+           (S.sub b counter (S.of_int b ~width:cnt_w 1))
+           counter)
+    in
+    let cnt_reg = S.reg b counter_next in
+    S.assign counter cnt_reg;
+    let data_reg = S.reg b ~enable:in_transfer (f b input.Channel.data) in
+    ignore (S.set_name data_reg (name ^ "_data"));
+    { Channel.valid = out_valid; data = data_reg; ready = out_ready }
+end

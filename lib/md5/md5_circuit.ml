@@ -167,15 +167,16 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
      guarantees the message bank is written a cycle before the thread's
      token reaches the datapath, so no bank-forwarding path is
      needed. *)
-  let entry_meb =
-    Melastic.Meb.create ~name:"md5_entry_meb" ~policy:Melastic.Policy.Valid_only
-      ~kind b merged
-  in
-  let dp_in = entry_meb.Melastic.Meb.out in
-  (* Optional protocol-checker taps on the loop channels (not
+  (* (The optional probe_if taps on the loop channels are not
      installed by default: the extra outputs would perturb the Table I
-     LE counts). *)
-  let dp_in = if probes then Mc.probe b ~name:"md5_dp" dp_in else dp_in in
+     LE counts.) *)
+  let dp_in =
+    Melastic.Component.pipe b
+      [ Melastic.Component.buffer ~name:"md5_entry_meb"
+          ~policy:Melastic.Policy.Valid_only ~kind ();
+        Melastic.Component.probe_if probes ~name:"md5_dp" ]
+      merged
+  in
   let active = Mc.active_thread b dp_in in
   let m = S.Memory.read_async b m_bank ~addr:(S.uresize b active tw) in
   let round_field =
@@ -188,13 +189,12 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
       [ S.add b round_field (S.of_int b ~width:round_field_width 1); computed ]
   in
   let to_meb = { dp_in with Mc.data = next_token } in
-  let out_meb =
-    Melastic.Meb.create ~name:"md5_meb" ~policy:Melastic.Policy.Valid_only ~kind b
-      to_meb
-  in
   let barrier_in =
-    if probes then Mc.probe b ~name:"md5_bar_in" out_meb.Melastic.Meb.out
-    else out_meb.Melastic.Meb.out
+    Melastic.Component.pipe b
+      [ Melastic.Component.buffer ~name:"md5_meb"
+          ~policy:Melastic.Policy.Valid_only ~kind ();
+        Melastic.Component.probe_if probes ~name:"md5_bar_in" ]
+      to_meb
   in
   let barrier =
     Melastic.Barrier.create ~name:"md5_barrier" ?participants b barrier_in

@@ -68,7 +68,7 @@ let fired_threads v threads =
 (* Section III: the channel carries one data word, so at most one
    thread may assert valid in any cycle. *)
 let check_one_hot t ~name ~threads =
-  let valid = name ^ "_valid" in
+  let valid = Melastic.Names.valid name in
   Hw.Sampler.watch t.sampler valid;
   let report = reporter t in
   Hw.Sampler.on_sample t.sampler (fun smp ->
@@ -98,8 +98,8 @@ let check_one_hot t ~name ~threads =
    channel with no valid at all, so only re-offer data stability is
    checkable. *)
 let check_stability ?(strict = false) ?(gated = false) t ~name ~threads =
-  let valid = name ^ "_valid" and ready = name ^ "_ready" in
-  let data = name ^ "_data" in
+  let valid = Melastic.Names.valid name and ready = Melastic.Names.ready name in
+  let data = Melastic.Names.data name in
   Hw.Sampler.watch t.sampler valid;
   Hw.Sampler.watch t.sampler ready;
   Hw.Sampler.watch t.sampler data;
@@ -147,8 +147,8 @@ let check_stability ?(strict = false) ?(gated = false) t ~name ~threads =
 let check_conservation ?transform ?(compare_data = true) ?max_in_flight
     ?(expect_drained = false) t ~src ~snk ~threads =
   let transform = match transform with Some f -> f | None -> fun b -> b in
-  let src_fire = src ^ "_fire" and src_data = src ^ "_data" in
-  let snk_fire = snk ^ "_fire" and snk_data = snk ^ "_data" in
+  let src_fire = Melastic.Names.fire src and src_data = Melastic.Names.data src in
+  let snk_fire = Melastic.Names.fire snk and snk_data = Melastic.Names.data snk in
   List.iter (Hw.Sampler.watch t.sampler) [ src_fire; src_data; snk_fire; snk_data ];
   let report = reporter t in
   let channel = src ^ "->" ^ snk in
@@ -221,7 +221,7 @@ let check_conservation ?transform ?(compare_data = true) ?max_in_flight
    handshakes are supposed to provide, Section III.A). *)
 let check_watchdog ?(timeout = 1000) ?starvation_timeout ?thread_pending
     ?(pending = fun () -> true) t ~channels ~threads =
-  let fires = List.map (fun c -> c ^ "_fire") channels in
+  let fires = List.map Melastic.Names.fire channels in
   List.iter (Hw.Sampler.watch t.sampler) fires;
   let report = reporter t in
   let channel = String.concat "," channels in
@@ -277,7 +277,7 @@ let check_barrier ?(timeout = 1000) ?participants t ~name ~threads =
   let participates =
     match participants with None -> Array.make threads true | Some p -> p
   in
-  let state_name i = Printf.sprintf "%s_state%d" name i in
+  let state_name i = Melastic.Names.state name i in
   Array.iteri
     (fun i p -> if p then Hw.Sampler.watch t.sampler (state_name i))
     participates;

@@ -65,7 +65,7 @@ let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 8) ()
   let inj_window = Array.make slots (-1) in
   let inject_ptr = ref 0 in
   let completions = ref [] in
-  Hw.Sim.poke sim "digest_ready" (Bits.ones slots);
+  Hw.Sim.poke sim (Melastic.Names.ready "digest") (Bits.ones slots);
   let real_pending i =
     match slot.(i) with
     | Busy b -> (not b.cancelled) && not b.injected
@@ -85,9 +85,9 @@ let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 8) ()
   in
   let step () =
     (* Clear valids, settle, observe which threads could enter. *)
-    Hw.Sim.poke sim "msg_valid" (Bits.zero slots);
+    Hw.Sim.poke sim (Melastic.Names.valid "msg") (Bits.zero slots);
     Hw.Sim.settle sim;
-    let ready = Hw.Sim.peek sim "msg_ready" in
+    let ready = Hw.Sim.peek sim (Melastic.Names.ready "msg") in
     (* Round-robin: one injection per cycle at most. *)
     let chosen = ref None in
     for k = 0 to slots - 1 do
@@ -107,15 +107,15 @@ let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 8) ()
              ~iv:b.chain
          | _ -> dummy_input ()
        in
-       Hw.Sim.poke sim "msg_valid" (Bits.set_bit (Bits.zero slots) i true);
-       Hw.Sim.poke sim "msg_data" data;
+       Hw.Sim.poke sim (Melastic.Names.valid "msg") (Bits.set_bit (Bits.zero slots) i true);
+       Hw.Sim.poke sim (Melastic.Names.data "msg") data;
        hw_busy.(i) <- true;
        inj_window.(i) <- !window;
        inject_ptr := (i + 1) mod slots
      | None -> ());
     Hw.Sim.settle sim;
-    let fire = Hw.Sim.peek sim "digest_fire" in
-    let digest = Hw.Sim.peek sim "digest_data" in
+    let fire = Hw.Sim.peek sim (Melastic.Names.fire "digest") in
+    let digest = Hw.Sim.peek sim (Melastic.Names.data "digest") in
     for i = 0 to slots - 1 do
       if Bits.bit fire i then begin
         hw_busy.(i) <- false;

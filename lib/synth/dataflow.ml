@@ -282,12 +282,15 @@ let build g b =
         drive (id, 0) src
       | Output { name; arg } -> Mc.sink b ~name (consume arg)
       | Func { f; arg; width_out; name } ->
-        let ch = consume arg in
-        let data = f b ch.Mc.data in
-        if data.S.width <> width_out then
-          fail "func %s: body produced width %d, declared %d" name data.S.width
-            width_out;
-        drive (id, 0) { ch with Mc.data = data }
+        let stage =
+          Melastic.Component.map (fun b d ->
+              let data = f b d in
+              if data.S.width <> width_out then
+                fail "func %s: body produced width %d, declared %d" name
+                  data.S.width width_out;
+              data)
+        in
+        drive (id, 0) (stage b (consume arg))
       | Func2 { f; arg_a; arg_b; width_out; name } ->
         let a = consume arg_a and c = consume arg_b in
         let joined =
@@ -304,8 +307,8 @@ let build g b =
       | Buffer { name; kind; policy; arg } ->
         let kind = Option.value ~default:g.default_kind kind in
         let name = Printf.sprintf "%s_n%d" name id in
-        let meb = Melastic.Meb.create ~name ~policy ~kind b (consume arg) in
-        drive (id, 0) meb.Melastic.Meb.out
+        let stage = Melastic.Component.buffer ~name ~policy ~kind () in
+        drive (id, 0) (stage b (consume arg))
       | Branch { name = _; cond; arg } ->
         let ch = consume arg in
         let br = Melastic.M_branch.create b ch ~cond:(cond b ch.Mc.data) in
@@ -320,9 +323,14 @@ let build g b =
         drive (id, 0) bar.Melastic.Barrier.out
       | Varlat { name; latency; per_thread; f; width_out = _; arg } ->
         let name = Printf.sprintf "%s_n%d" name id in
-        let make = if per_thread then Melastic.Mt_varlat.per_thread else Melastic.Mt_varlat.create in
-        let vl = make ~name ?f b (consume arg) ~latency in
-        drive (id, 0) vl.Melastic.Mt_varlat.out
+        let stage =
+          if per_thread then
+            Melastic.Component.wrap
+              (fun b ch -> Melastic.Mt_varlat.per_thread ~name ?f b ch ~latency)
+              (fun v -> v.Melastic.Mt_varlat.out)
+          else Melastic.Component.varlat ~name ?f ~latency ()
+        in
+        drive (id, 0) (stage b (consume arg))
       | Feedback { tied = Some p; _ } -> drive (id, 0) (consume p)
       | Feedback { tied = None; name; _ } -> fail "feedback %s was never closed" name)
     nodes

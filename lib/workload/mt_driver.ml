@@ -54,11 +54,11 @@ let vec_of_pred t f =
 let step t =
   let sim = t.sim in
   let c = Hw.Sim.cycle_no sim in
-  Hw.Sim.poke sim (t.snk ^ "_ready") (vec_of_pred t (fun i -> t.sink_ready c i));
+  Hw.Sim.poke sim (Melastic.Names.ready t.snk) (vec_of_pred t (fun i -> t.sink_ready c i));
   (* Clear valids, settle, observe upstream readiness. *)
-  Hw.Sim.poke sim (t.src ^ "_valid") (Bits.zero t.threads);
+  Hw.Sim.poke sim (Melastic.Names.valid t.src) (Bits.zero t.threads);
   Hw.Sim.settle sim;
-  let ready = Hw.Sim.peek sim (t.src ^ "_ready") in
+  let ready = Hw.Sim.peek sim (Melastic.Names.ready t.src) in
   (* Round-robin over threads that can inject this cycle. *)
   let chosen = ref None in
   for k = 0 to t.threads - 1 do
@@ -69,17 +69,17 @@ let step t =
   (match !chosen with
    | Some i ->
      let d = Queue.pop t.pending.(i) in
-     Hw.Sim.poke sim (t.src ^ "_valid") (Bits.set_bit (Bits.zero t.threads) i true);
-     Hw.Sim.poke sim (t.src ^ "_data") d;
+     Hw.Sim.poke sim (Melastic.Names.valid t.src) (Bits.set_bit (Bits.zero t.threads) i true);
+     Hw.Sim.poke sim (Melastic.Names.data t.src) d;
      t.inject_ptr <- (i + 1) mod t.threads;
      t.in_log <- { cycle = c; thread = i; data = d } :: t.in_log
    | None -> ());
   Hw.Sim.settle sim;
-  let fire = Hw.Sim.peek sim (t.snk ^ "_fire") in
+  let fire = Hw.Sim.peek sim (Melastic.Names.fire t.snk) in
   for i = 0 to t.threads - 1 do
     if Bits.bit fire i then
       t.out_log <-
-        { cycle = c; thread = i; data = Hw.Sim.peek sim (t.snk ^ "_data") }
+        { cycle = c; thread = i; data = Hw.Sim.peek sim (Melastic.Names.data t.snk) }
         :: t.out_log
   done;
   Hw.Sim.cycle sim

@@ -21,16 +21,16 @@ let attach sim ~threads ~probes =
   let logs = List.map (fun p -> { probe = p; cells = [] }) probes in
   List.iter
     (fun p ->
-      Hw.Sampler.watch sampler (p ^ "_fire");
-      Hw.Sampler.watch sampler (p ^ "_data"))
+      Hw.Sampler.watch sampler (Melastic.Names.fire p);
+      Hw.Sampler.watch sampler (Melastic.Names.data p))
     probes;
   let t = { sampler; threads; logs } in
   Hw.Sampler.on_sample sampler (fun smp ->
       let c = Hw.Sampler.cycle smp in
       List.iter
         (fun log ->
-          let fire = Hw.Sampler.value smp (log.probe ^ "_fire") in
-          let data = Hw.Sampler.value smp (log.probe ^ "_data") in
+          let fire = Hw.Sampler.value smp (Melastic.Names.fire log.probe) in
+          let data = Hw.Sampler.value smp (Melastic.Names.data log.probe) in
           for i = 0 to threads - 1 do
             if Bits.bit fire i then log.cells <- (c, { thread = i; data }) :: log.cells
           done)

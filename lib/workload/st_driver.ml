@@ -33,24 +33,24 @@ let push_int t n = push t (Bits.of_int ~width:t.width n)
 let step t =
   let sim = t.sim in
   let c = Hw.Sim.cycle_no sim in
-  Hw.Sim.poke sim (t.snk ^ "_ready") (Bits.of_bool (t.sink_ready c));
+  Hw.Sim.poke sim (Melastic.Names.ready t.snk) (Bits.of_bool (t.sink_ready c));
   (* Offer the head item if any; the source's ready tells us whether it
      will transfer this cycle. *)
   (match Queue.peek_opt t.pending with
    | Some d ->
-     Hw.Sim.poke sim (t.src ^ "_valid") Bits.vdd;
-     Hw.Sim.poke sim (t.src ^ "_data") d
-   | None -> Hw.Sim.poke sim (t.src ^ "_valid") Bits.gnd);
+     Hw.Sim.poke sim (Melastic.Names.valid t.src) Bits.vdd;
+     Hw.Sim.poke sim (Melastic.Names.data t.src) d
+   | None -> Hw.Sim.poke sim (Melastic.Names.valid t.src) Bits.gnd);
   Hw.Sim.settle sim;
   let in_fire =
-    Hw.Sim.peek_bool sim (t.src ^ "_ready") && not (Queue.is_empty t.pending)
+    Hw.Sim.peek_bool sim (Melastic.Names.ready t.src) && not (Queue.is_empty t.pending)
   in
   if in_fire then begin
     let d = Queue.pop t.pending in
     t.in_log <- { cycle = c; data = d } :: t.in_log
   end;
-  if Hw.Sim.peek_bool sim (t.snk ^ "_fire") then
-    t.out_log <- { cycle = c; data = Hw.Sim.peek sim (t.snk ^ "_data") } :: t.out_log;
+  if Hw.Sim.peek_bool sim (Melastic.Names.fire t.snk) then
+    t.out_log <- { cycle = c; data = Hw.Sim.peek sim (Melastic.Names.data t.snk) } :: t.out_log;
   Hw.Sim.cycle sim
 
 let run t n = for _ = 1 to n do step t done

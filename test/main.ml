@@ -6,6 +6,7 @@ let () =
       Test_arbiter.suite;
       Test_elastic.suite;
       Test_melastic.suite;
+      Test_degeneracy.suite;
       Test_md5.suite;
       Test_cpu.suite;
       Test_synth.suite;

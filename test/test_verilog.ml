@@ -203,6 +203,48 @@ let test_testbench_generation () =
     (contains text2 "check(\"s_data\"");
   Alcotest.(check bool) "real output kept" true (contains text2 "check(\"k_data\"")
 
+let test_meb_s1_testbench () =
+  (* The unified buffer at one thread: drive handshake traffic (bursts,
+     stalls, backpressure) through the reduced MEB specialized to
+     S = 1 and emit the recorded run as a self-checking testbench over
+     its RTL. *)
+  let b = S.Builder.create () in
+  let src = Melastic.Mt_channel.source b ~name:"src" ~threads:1 ~width:8 in
+  let m =
+    Melastic.Meb_reduced.create ~name:"eb" ~policy:Melastic.Policy.Valid_only b
+      src
+  in
+  Melastic.Mt_channel.sink b ~name:"snk" m.Melastic.Meb_reduced.out;
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let tb =
+    Hw.Verilog_tb.attach sim
+      ~outputs:[ "snk_valid"; "snk_data"; "snk_fire"; "src_ready" ]
+  in
+  let stim =
+    (* (src_valid, src_data, snk_ready): fill, stall until FULL, drain. *)
+    [ (1, 3, 0); (1, 5, 0); (1, 5, 0); (0, 0, 1); (0, 0, 1); (1, 7, 1);
+      (1, 9, 0); (1, 9, 1); (0, 0, 1); (0, 0, 1) ]
+  in
+  List.iter
+    (fun (v, d, r) ->
+      Hw.Sim.poke_int sim "src_valid" v;
+      Hw.Sim.poke_int sim "src_data" d;
+      Hw.Sim.poke_int sim "snk_ready" r;
+      Hw.Sim.cycle sim)
+    stim;
+  let text = Hw.Verilog_tb.to_string ~module_name:"meb_s1" tb in
+  Alcotest.(check bool) "instantiates dut" true (contains text "meb_s1 dut (");
+  Alcotest.(check bool) "checks snk_valid" true
+    (contains text "check(\"snk_valid\"");
+  Alcotest.(check bool) "checks snk_data" true
+    (contains text "check(\"snk_data\"");
+  Alcotest.(check bool) "first word recorded" true
+    (contains text (Hw.Verilog.bits_literal (Bits.of_int ~width:8 3)));
+  Alcotest.(check bool) "pass message" true
+    (contains text
+       (Printf.sprintf "TESTBENCH PASS (%d cycles)" (List.length stim)));
+  Alcotest.(check bool) "finishes" true (contains text "$finish")
+
 let suite =
   ( "verilog",
     [ Alcotest.test_case "header and ports" `Quick test_header_and_ports;
@@ -212,4 +254,6 @@ let suite =
       Alcotest.test_case "memory emission" `Quick test_memory_emission;
       Alcotest.test_case "table1 designs emit" `Quick test_emits_table1_designs;
       Alcotest.test_case "input/output clash" `Quick test_input_output_clash_handled;
-      Alcotest.test_case "testbench generation" `Quick test_testbench_generation ] )
+      Alcotest.test_case "testbench generation" `Quick test_testbench_generation;
+      Alcotest.test_case "reduced MEB at S=1 testbench" `Quick
+        test_meb_s1_testbench ] )
