@@ -87,4 +87,12 @@ let run () =
     kernel_name eq_cycles equivalent interp compiled speedup;
   close_out oc;
   print_endline "wrote BENCH_backend.json";
-  if not equivalent then exit 1
+  if not equivalent then begin
+    Printf.eprintf
+      "FAIL backend-compare: kernel=%S backends=interp,compiled cycles=%d \
+       expected=bit-identical outputs got=mismatches (see MISMATCH lines \
+       above)\n\
+       %!"
+      kernel_name eq_cycles;
+    exit 1
+  end

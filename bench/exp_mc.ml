@@ -1,0 +1,133 @@
+(* Bounded model checking of the MT-elastic protocol (BENCH_mc.json).
+
+   Two sections:
+
+   - "verdicts": every spec of [Mc.suite] explored exhaustively in
+     Reduced mode — states, edges, BFS radius, per-property violation
+     counts and the ok verdict (hazard specs are ok exactly when the
+     documented counterexample class fires; everything else must be
+     clean).
+   - "reduction": the [Mc.naive_comparable] subset explored in both
+     Naive and Reduced modes; the headline reduction factor is
+     total-naive-states / total-reduced-states and must clear 5x.
+
+   Exit is nonzero (via the returned failure count) when any spec
+   misses its verdict or the reduction factor collapses. *)
+
+let spec_json (o : Mc.outcome) =
+  let props =
+    String.concat ", "
+      (List.map
+         (fun (p, c) -> Printf.sprintf "\"%s\": %d" p c)
+         o.Mc.props)
+  in
+  Printf.sprintf
+    "{ \"spec\": \"%s\", \"mode\": \"%s\", \"backend\": \"%s\", \"states\": \
+     %d, \"edges\": %d, \"max_depth\": %d, \"data_collapsed\": %b, \
+     \"truncated\": %b, \"props\": { %s }, \"clean\": %b, \"ok\": %b }"
+    o.Mc.spec_label
+    (Mc.mode_to_string o.Mc.mode)
+    o.Mc.backend o.Mc.stats.Mc.states o.Mc.stats.Mc.edges
+    o.Mc.stats.Mc.max_depth o.Mc.stats.Mc.data_collapsed
+    o.Mc.stats.Mc.truncated props o.Mc.clean o.Mc.ok
+
+let run ?(quick = false) () =
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "== model checker: protocol invariants ==\n%!";
+  let verdicts =
+    List.map
+      (fun spec ->
+        let o = Mc.run spec in
+        let verdict =
+          if o.Mc.ok then "ok"
+          else begin
+            incr failures;
+            "FAIL"
+          end
+        in
+        Printf.printf
+          "  %-28s %7d states %8d edges  depth %3d%s%s  [%s]\n%!"
+          o.Mc.spec_label o.Mc.stats.Mc.states o.Mc.stats.Mc.edges
+          o.Mc.stats.Mc.max_depth
+          (if o.Mc.stats.Mc.data_collapsed then "  (data/1)" else "")
+          (match Mc.expected_violation spec with
+          | Some c -> Printf.sprintf "  expects %s" c
+          | None -> "")
+          verdict;
+        if (not o.Mc.ok) && o.Mc.reports <> [] then begin
+          List.iter
+            (fun v ->
+              Printf.printf "    %s\n" (Format.asprintf "%a" Monitor.pp_violation v))
+            o.Mc.reports;
+          List.iter (fun l -> Printf.printf "      %s\n" l) o.Mc.trace
+        end;
+        o)
+      (Mc.suite ~quick ())
+  in
+  Printf.printf "== model checker: partial-order reduction ==\n%!";
+  let pairs =
+    List.map
+      (fun spec ->
+        let naive = Mc.run ~mode:Mc.Naive spec in
+        let reduced = Mc.run ~mode:Mc.Reduced spec in
+        Printf.printf "  %-28s naive %7d -> reduced %6d states (%.1fx)\n%!"
+          naive.Mc.spec_label naive.Mc.stats.Mc.states
+          reduced.Mc.stats.Mc.states
+          (float_of_int naive.Mc.stats.Mc.states
+          /. float_of_int (max 1 reduced.Mc.stats.Mc.states));
+        if naive.Mc.clean <> reduced.Mc.clean then begin
+          (* The reductions are sound: both modes must agree. *)
+          Printf.printf "    FAIL: naive and reduced verdicts disagree\n%!";
+          incr failures
+        end;
+        (naive, reduced))
+      (Mc.naive_comparable ~quick ())
+  in
+  let tot f = List.fold_left (fun acc (n, r) -> acc + f n r) 0 pairs in
+  let naive_states = tot (fun n _ -> n.Mc.stats.Mc.states) in
+  let reduced_states = tot (fun _ r -> r.Mc.stats.Mc.states) in
+  let factor =
+    float_of_int naive_states /. float_of_int (max 1 reduced_states)
+  in
+  Printf.printf "  reduction factor: %d / %d = %.1fx\n%!" naive_states
+    reduced_states factor;
+  if factor < 5.0 then begin
+    Printf.printf "  FAIL: reduction factor below 5x\n%!";
+    incr failures
+  end;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let oc = open_out "BENCH_mc.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mc\",\n\
+    \  \"quick\": %b,\n\
+    \  \"elapsed_s\": %.2f,\n\
+    \  \"verdicts\": [\n\
+    \    %s\n\
+    \  ],\n\
+    \  \"reduction\": {\n\
+    \    \"naive_states\": %d,\n\
+    \    \"reduced_states\": %d,\n\
+    \    \"factor\": %.2f,\n\
+    \    \"pairs\": [\n\
+    \      %s\n\
+    \    ]\n\
+    \  },\n\
+    \  \"failures\": %d\n\
+     }\n"
+    quick elapsed
+    (String.concat ",\n    " (List.map spec_json verdicts))
+    naive_states reduced_states factor
+    (String.concat ",\n      "
+       (List.map
+          (fun (n, r) ->
+            Printf.sprintf "{ \"naive\": %s,\n        \"reduced\": %s }"
+              (spec_json n) (spec_json r))
+          pairs))
+    !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_mc.json (%.1fs, %d failure%s)\n%!" elapsed
+    !failures
+    (if !failures = 1 then "" else "s");
+  !failures

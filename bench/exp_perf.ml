@@ -195,12 +195,17 @@ let run ?(quick = false) ?domains () =
     (if equivalent then "ok" else "FAILED");
   let seed = 0x51eed in
   (* A 1-vs-N scaling comparison is meaningless when only one core is
-     available: both runs would execute serially and the "speedup"
-     would just be timer noise. *)
+     available (both runs execute serially and the "speedup" is timer
+     noise), but the sequential sweep time still is: always measure it,
+     and keep "skipped" as a flag on the degraded path. *)
+  let sequential = cores <= 1 && domains <= 1 in
   let sweep =
-    if cores <= 1 && domains <= 1 then begin
-      Printf.printf "sweep: skipped (single core)\n%!";
-      None
+    if sequential then begin
+      Printf.printf "sweep: single core, timing sequential run only\n%!";
+      let t1, _ = time_sweep ~tasks:sweep_tasks ~domains:1 ~seed in
+      Printf.printf "sweep (%d MD5 points): %.2fs at 1 domain\n%!" sweep_tasks
+        t1;
+      (t1, t1)
     end
     else begin
       let t1, c1 = time_sweep ~tasks:sweep_tasks ~domains:1 ~seed in
@@ -209,7 +214,7 @@ let run ?(quick = false) ?domains () =
       Printf.printf
         "sweep (%d MD5 points): %.2fs at 1 domain, %.2fs at %d domains (%.2fx, %d cores available)\n%!"
         sweep_tasks t1 tn domains (t1 /. tn) cores;
-      Some (t1, tn)
+      (t1, tn)
     end
   in
   let oc = open_out "BENCH_sim_perf.json" in
@@ -224,19 +229,19 @@ let run ?(quick = false) ?domains () =
       (cps l "compiled" /. cps l "interp")
   in
   let sweep_json =
-    match sweep with
-    | None -> "{ \"skipped\": \"single core\" }"
-    | Some (t1, tn) ->
-      Printf.sprintf
-        "{\n\
-        \    \"tasks\": %d,\n\
-        \    \"seconds_at_1_domain\": %.3f,\n\
-        \    \"seconds_at_n_domains\": %.3f,\n\
-        \    \"domains\": %d,\n\
-        \    \"speedup\": %.3f,\n\
-        \    \"cores_available\": %d\n\
-        \  }"
-        sweep_tasks t1 tn domains (t1 /. tn) cores
+    let t1, tn = sweep in
+    Printf.sprintf
+      "{\n\
+      %s\
+      \    \"tasks\": %d,\n\
+      \    \"seconds_at_1_domain\": %.3f,\n\
+      \    \"seconds_at_n_domains\": %.3f,\n\
+      \    \"domains\": %d,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"cores_available\": %d\n\
+      \  }"
+      (if sequential then "    \"skipped\": \"single core\",\n" else "")
+      sweep_tasks t1 tn domains (t1 /. tn) cores
   in
   Printf.fprintf oc
     "{\n\
@@ -252,4 +257,12 @@ let run ?(quick = false) ?domains () =
     quick (kernel_json md5) (kernel_json cpu) eq_cycles equivalent sweep_json;
   close_out oc;
   print_endline "wrote BENCH_sim_perf.json";
-  if not equivalent then exit 1
+  if not equivalent then begin
+    Printf.eprintf
+      "FAIL perf: kernel=md5-reduced-8t backends=interp,compiled_optimize \
+       cycles=%d expected=bit-identical outputs+probes got=mismatches (see \
+       MISMATCH lines above)\n\
+       %!"
+      eq_cycles;
+    exit 1
+  end

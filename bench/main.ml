@@ -10,6 +10,8 @@
      main.exe perf --quick    shortened perf run, for CI smoke
      main.exe serve           continuous-batching serving benchmark (BENCH_serve.json)
      main.exe serve --quick   shortened serving run, for CI smoke
+     main.exe mc              exhaustive protocol model checking (BENCH_mc.json, non-zero exit on violation)
+     main.exe mc --quick      trimmed spec list, for CI
      main.exe table1 --threads 16
      main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
      main.exe --backend compiled   (simulator backend for all experiments) *)
@@ -17,7 +19,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|mc] \
      [--threads N] [--domains N] [--quick] [--backend interp|compiled]";
   exit 2
 
@@ -96,4 +98,5 @@ let () =
     exit (min 1 (Exp_check.run ~backends ~threads ?domains ()))
   | [ "perf" ] -> Exp_perf.run ~quick ?domains ()
   | [ "serve" ] -> Exp_serve.run ~quick ?domains ()
+  | [ "mc" ] -> exit (min 1 (Exp_mc.run ~quick ()))
   | _ -> usage ()

@@ -130,6 +130,12 @@ let peek_bool { p = T ((module M), s); _ } name = M.peek_bool s name
 let peek_signal ({ p = T ((module M), s); _ } as t) signal =
   M.peek_signal s (t.map_signal signal)
 
+let snapshot { p = T ((module M), s); _ } = M.snapshot s
+let restore { p = T ((module M), s); _ } snap = M.restore s snap
+(* Snapshots are taken from / restored into the RUNNING circuit (the
+   optimized one under [~optimize:true]); they are opaque to callers
+   and only portable between simulators of that same circuit. *)
+
 let reset { p = T ((module M), s); _ } = M.reset s
 
 let mem_read ({ p = T ((module M), s); _ } as t) m addr =

@@ -78,6 +78,19 @@ val peek_int : t -> string -> int
 val peek_bool : t -> string -> bool
 val peek_signal : t -> Signal.t -> Bits.t
 
+val snapshot : t -> Bits.t array
+(** Current register state of the running circuit, one entry per
+    register in [Circuit.registers] order.  Opaque (but structurally
+    comparable/hashable): use it as a state-space key or {!restore} it
+    into a simulator of the same circuit, backend and optimization
+    setting.  Memories are not captured. *)
+
+val restore : t -> Bits.t array -> unit
+(** Overwrite register state with a {!snapshot}.  Like {!poke}, takes
+    effect at the next {!settle}/{!cycle}; inputs, memories and
+    {!cycle_no} are untouched.  Raises [Invalid_argument] on a
+    mismatched snapshot. *)
+
 val reset : t -> unit
 (** Restore registers and memories to their initial contents, and all
     primary inputs to zero — a reset simulator matches a freshly

@@ -92,6 +92,7 @@ type t = {
   reg_steps : reg_step array; (* wide or cleared registers: closure path *)
   mem_commits : (unit -> unit) array; (* write ports, phase b *)
   input_resets : (unit -> unit) array;
+  snap_regs : Signal.t array; (* Circuit.registers order, for snapshot/restore *)
   mutable dirty : bool; (* an input was poked since the last settle *)
   mutable mstale : bool; (* a memory was written from the testbench *)
   mutable cycle_no : int;
@@ -488,10 +489,11 @@ let create circuit =
         | _ -> ());
     Array.of_list !rs
   in
+  let snap_regs = Array.of_list (Circuit.registers circuit) in
   let t =
     { circuit; ivals; bvals; mem_state; steps; steps_input; steps_state;
-      int_regs; reg_steps; mem_commits; input_resets; dirty = false;
-      mstale = false; cycle_no = 0; observers = [] }
+      int_regs; reg_steps; mem_commits; input_resets; snap_regs;
+      dirty = false; mstale = false; cycle_no = 0; observers = [] }
   in
   (* A fresh simulator is fully settled (same state as after [reset]). *)
   Array.iter (fun f -> f ()) t.steps;
@@ -603,6 +605,35 @@ let peek_int t name =
 let peek_bool t name =
   let s = resolve (Sim_intf.find_named ~backend:name_ ~op:"peek_bool" t.circuit name) in
   if is_int s then t.ivals.(s.Signal.uid) <> 0 else Bits.to_bool t.bvals.(s.Signal.uid)
+
+(* Register-state save/restore, in canonical [Circuit.registers] order
+   (NOT the fast/slow commit partition).  Register outputs hold the
+   latched state directly in their uid slot, so a snapshot is a plain
+   slot read and a restore a plain slot write; restoring invalidates
+   the state cone exactly like a testbench memory write. *)
+let snapshot t =
+  Array.map
+    (fun (s : Signal.t) ->
+      let u = s.Signal.uid in
+      if is_int s then Bits.of_int ~width:s.Signal.width t.ivals.(u)
+      else t.bvals.(u))
+    t.snap_regs
+
+let restore t snap =
+  if Array.length snap <> Array.length t.snap_regs then
+    invalid_arg
+      (Printf.sprintf "Sim.restore: %d registers, snapshot has %d entries"
+         (Array.length t.snap_regs) (Array.length snap));
+  Array.iteri
+    (fun i (s : Signal.t) ->
+      if Bits.width snap.(i) <> s.Signal.width then
+        invalid_arg
+          (Printf.sprintf "Sim.restore: register %d width mismatch (%d vs %d)"
+             i (Bits.width snap.(i)) s.Signal.width);
+      if is_int s then t.ivals.(s.Signal.uid) <- Bits.to_int_exn snap.(i)
+      else t.bvals.(s.Signal.uid) <- snap.(i))
+    t.snap_regs;
+  t.mstale <- true
 
 let reset t =
   let ir = t.int_regs in

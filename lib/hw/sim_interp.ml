@@ -183,6 +183,28 @@ let peek_int t name = Bits.to_int (peek t name)
 
 let peek_bool t name = Bits.to_bool (peek t name)
 
+(* Register-state save/restore, in [Circuit.registers] order ([t.regs]
+   is exactly that).  Restore marks the simulator dirty rather than
+   settling eagerly, so a restore/poke/cycle sequence — the model
+   checker's hot loop — pays a single settle. *)
+let snapshot t =
+  Array.map (fun (s : Signal.t) -> t.reg_state.(s.Signal.uid)) t.regs
+
+let restore t snap =
+  if Array.length snap <> Array.length t.regs then
+    invalid_arg
+      (Printf.sprintf "Sim.restore: %d registers, snapshot has %d entries"
+         (Array.length t.regs) (Array.length snap));
+  Array.iteri
+    (fun i (s : Signal.t) ->
+      if Bits.width snap.(i) <> s.Signal.width then
+        invalid_arg
+          (Printf.sprintf "Sim.restore: register %d width mismatch (%d vs %d)"
+             i (Bits.width snap.(i)) s.Signal.width);
+      t.reg_state.(s.Signal.uid) <- snap.(i))
+    t.regs;
+  t.dirty <- true
+
 let reset t =
   Array.iter
     (fun (s : Signal.t) ->

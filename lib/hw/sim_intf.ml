@@ -136,6 +136,20 @@ module type S = sig
   val peek_bool : t -> string -> bool
   val peek_signal : t -> Signal.t -> Bits.t
 
+  val snapshot : t -> Bits.t array
+  (** Current register state, one entry per register of the simulated
+      circuit in [Circuit.registers] order.  Treat the array as opaque
+      (but structurally comparable/hashable): its only valid uses are
+      state-space keys and {!restore} into a simulator running the
+      same circuit.  Memories are not captured. *)
+
+  val restore : t -> Bits.t array -> unit
+  (** Overwrite register state with a {!snapshot} taken from a
+      simulator of the same circuit.  Like {!poke}, takes effect at
+      the next {!settle}/{!cycle}; primary inputs, memories and
+      {!cycle_no} are untouched.  Raises [Invalid_argument] on an
+      array whose length or entry widths do not match. *)
+
   val reset : t -> unit
   (** Restore registers and memories to their initial contents and all
       primary inputs to zero, so a reset simulator is indistinguishable

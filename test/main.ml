@@ -18,4 +18,5 @@ let () =
       Test_parallel.suite;
       Test_monitor.suite;
       Test_serve.suite;
+      Test_mc.suite;
       Test_verilog.suite ]

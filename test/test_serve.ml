@@ -119,6 +119,86 @@ let test_replica_invariance () =
     (fun i m -> Alcotest.(check string) "reference" (Md5.Md5_ref.digest m) one.(i))
     jobs
 
+(* Whole-queue deadline scan: an expired entry sitting BEHIND a fresh
+   one, in more than one class queue at once, must still be found and
+   timed out (engine step 2 scans every entry, not just the head). *)
+let test_queued_expiry_mid_queue () =
+  let classes =
+    [ { Serve.Engine.cname = "a"; capacity = 8 };
+      { Serve.Engine.cname = "b"; capacity = 8 } ]
+  in
+  let t = md5_engine ~classes ~monitor:true ~slots:1 () in
+  (* Pin the only slot with a long multi-block job... *)
+  ignore (Serve.Engine.submit ~cls:"a" t (String.make 300 'x'));
+  (* ...then queue, per class, a patient job followed by a job whose
+     deadline expires while it waits behind the patient one. *)
+  let keep_a = Serve.Engine.submit ~cls:"a" ~arrival:1 t "keep-a" in
+  let dead_a = Serve.Engine.submit ~cls:"a" ~arrival:2 ~deadline:5 t "dead-a" in
+  let keep_b = Serve.Engine.submit ~cls:"b" ~arrival:1 t "keep-b" in
+  let dead_b = Serve.Engine.submit ~cls:"b" ~arrival:2 ~deadline:5 t "dead-b" in
+  let report = Serve.Engine.run ~domains:1 t in
+  List.iter
+    (fun id ->
+      match Serve.Engine.outcome t id with
+      | Serve.Engine.Timed_out { tries } -> Alcotest.(check int) "tries" 1 tries
+      | _ -> Alcotest.fail "mid-queue entry should expire")
+    [ dead_a; dead_b ];
+  List.iter
+    (fun (id, m) ->
+      match Serve.Engine.outcome t id with
+      | Serve.Engine.Completed { result; _ } ->
+        Alcotest.(check string) "digest" (Md5.Md5_ref.digest m) result
+      | _ -> Alcotest.fail "patient job should complete")
+    [ (keep_a, "keep-a"); (keep_b, "keep-b") ];
+  Alcotest.(check int) "timed out" 2 (Serve.Engine.timed_out report);
+  Alcotest.(check int) "violations" 0 (Serve.Engine.violations report)
+
+(* A retry re-admission can race shed-when-full: the running job blows
+   its deadline, has retry budget left, but its class queue filled up
+   behind it — the retry is shed at admission, not timed out, and the
+   job that filled the queue is served. *)
+let test_retry_races_shed () =
+  let classes = [ { Serve.Engine.cname = "tiny"; capacity = 1 } ] in
+  let t = md5_engine ~classes ~monitor:true ~slots:1 () in
+  let racer =
+    Serve.Engine.submit ~cls:"tiny" ~deadline:20 ~retries:1 t
+      (String.make 300 'r')
+  in
+  let filler = Serve.Engine.submit ~cls:"tiny" ~arrival:1 t "filler" in
+  let report = Serve.Engine.run ~domains:1 t in
+  (match Serve.Engine.outcome t racer with
+   | Serve.Engine.Shed { at } -> Alcotest.(check int) "shed at expiry" 20 at
+   | _ -> Alcotest.fail "retry into a full queue should shed");
+  (match Serve.Engine.outcome t filler with
+   | Serve.Engine.Completed { result; _ } ->
+     Alcotest.(check string) "digest" (Md5.Md5_ref.digest "filler") result
+   | _ -> Alcotest.fail "queue occupant should complete");
+  Alcotest.(check int) "shed" 1 (Serve.Engine.shed report);
+  Alcotest.(check int) "timed out" 0 (Serve.Engine.timed_out report);
+  Alcotest.(check int) "violations" 0 (Serve.Engine.violations report)
+
+(* deadline=1 boundary: 0 is rejected outright; 1 means "complete
+   within a cycle of admission", which no multi-cycle job can — every
+   attempt (queued or running) expires on the next cycle, burning the
+   whole retry budget, and the engine keeps serving afterwards. *)
+let test_deadline_one_boundary () =
+  let t = md5_engine ~monitor:true ~slots:1 () in
+  Alcotest.check_raises "deadline 0 rejected"
+    (Invalid_argument "Engine.submit: deadline must be >= 1") (fun () ->
+      ignore (Serve.Engine.submit ~deadline:0 t "no"));
+  let hopeless = Serve.Engine.submit ~deadline:1 ~retries:2 t "hopeless" in
+  let after = Serve.Engine.submit ~arrival:1 t "after" in
+  let report = Serve.Engine.run ~domains:1 t in
+  (match Serve.Engine.outcome t hopeless with
+   | Serve.Engine.Timed_out { tries } ->
+     Alcotest.(check int) "all attempts burned" 3 tries
+   | _ -> Alcotest.fail "deadline=1 job should exhaust its budget");
+  (match Serve.Engine.outcome t after with
+   | Serve.Engine.Completed { result; _ } ->
+     Alcotest.(check string) "digest" (Md5.Md5_ref.digest "after") result
+   | _ -> Alcotest.fail "engine should keep serving after the churn");
+  Alcotest.(check int) "violations" 0 (Serve.Engine.violations report)
+
 let test_poisson_load () =
   let rng = Random.State.make [| 7 |] in
   let arr = Serve.Engine.Load.poisson ~rng ~rate:0.05 ~count:200 in
@@ -145,6 +225,11 @@ let suite =
       Alcotest.test_case "cpu deadline frees slot" `Quick test_cpu_deadline_frees_slot;
       Alcotest.test_case "retry budget" `Quick test_retry_budget;
       Alcotest.test_case "full queue sheds" `Quick test_full_queue_sheds;
+      Alcotest.test_case "queued expiry mid-queue" `Quick
+        test_queued_expiry_mid_queue;
+      Alcotest.test_case "retry races shed" `Quick test_retry_races_shed;
+      Alcotest.test_case "deadline=1 boundary" `Quick
+        test_deadline_one_boundary;
       Alcotest.test_case "replica invariance" `Quick test_replica_invariance;
       Alcotest.test_case "poisson load" `Quick test_poisson_load;
       Alcotest.test_case "percentile" `Quick test_percentile ] )
