@@ -298,6 +298,48 @@ let dataflow_barrier ~backend ~threads ~seed buf failures =
   fail_if buf "dataflow-barrier (not drained)" (not drained) failures;
   verdict buf "dataflow-barrier" m failures
 
+(* ---- scenario 5: 2x2-mesh NoC fabric ---- *)
+
+(* Random all-to-all traffic through the generated mesh with the
+   per-link monitors attached (one-hot, gated stability, FIFO
+   conservation with the chain-capacity bound): every injected token
+   must eject exactly once, at its destination, payload intact — and
+   every link must stay protocol-clean while doing so. *)
+let noc_mesh ~backend ~seed buf failures =
+  let st = Random.State.make [| seed; 43 |] in
+  let d = Noc.Driver.create ~backend ~monitor:true ~payload_width:12 (Noc.Mesh { x = 2; y = 2 }) in
+  let n = Noc.Driver.terminals d in
+  let expected = Hashtbl.create 64 and got = Hashtbl.create 64 in
+  for wave = 0 to 15 do
+    for src = 0 to n - 1 do
+      let dst = Random.State.int st n in
+      let payload = (wave lsl 4) lor ((src lsl 2) lor dst) in
+      Hashtbl.replace expected (dst, src, payload)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt expected (dst, src, payload)));
+      Noc.Driver.inject d ~src ~dst payload
+    done
+  done;
+  List.iter
+    (fun (t, s, p) ->
+      Hashtbl.replace got (t, s, p)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt got (t, s, p))))
+    (Noc.Driver.drain d);
+  let delivered =
+    Hashtbl.length got = Hashtbl.length expected
+    && Hashtbl.fold
+         (fun k v acc -> acc && Hashtbl.find_opt got k = Some v)
+         expected true
+  in
+  fail_if buf "noc-mesh-2x2 (delivery mismatch)" (not delivered) failures;
+  Noc.Driver.finish d;
+  let v = Noc.Driver.violations d in
+  if v = 0 then Buffer.add_string buf "  ok    noc-mesh-2x2\n"
+  else begin
+    incr failures;
+    Buffer.add_string buf
+      (Printf.sprintf "  FAIL  noc-mesh-2x2 (%d monitor violations)\n" v)
+  end
+
 (* ---- top level ---- *)
 
 (* The scenario list for one backend, in report order. *)
@@ -313,7 +355,8 @@ let scenarios ~backend ~threads ~seed =
     kinds
   @ [ (fun buf failures -> dataflow_varlat ~backend ~threads ~seed buf failures);
       (fun buf failures -> dataflow_loop ~backend ~threads ~seed buf failures);
-      (fun buf failures -> dataflow_barrier ~backend ~threads ~seed buf failures) ]
+      (fun buf failures -> dataflow_barrier ~backend ~threads ~seed buf failures);
+      (fun buf failures -> noc_mesh ~backend ~seed buf failures) ]
 
 let run ?(backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]) ?(threads = 4)
     ?(seed = 0x5EED) ?domains () =

@@ -12,6 +12,8 @@
      main.exe serve --quick   shortened serving run, for CI smoke
      main.exe mc              exhaustive protocol model checking (BENCH_mc.json, non-zero exit on violation)
      main.exe mc --quick      trimmed spec list, for CI
+     main.exe noc             fabric topology sweep at equal core count (BENCH_noc.json, non-zero exit on violation or < 2x speedup)
+     main.exe noc --quick     shortened sweep, for CI smoke
      main.exe table1 --threads 16
      main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
      main.exe --backend compiled   (simulator backend for all experiments) *)
@@ -19,7 +21,7 @@
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|mc] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|mc|noc] \
      [--threads N] [--domains N] [--quick] [--backend interp|compiled]";
   exit 2
 
@@ -99,4 +101,5 @@ let () =
   | [ "perf" ] -> Exp_perf.run ~quick ?domains ()
   | [ "serve" ] -> Exp_serve.run ~quick ?domains ()
   | [ "mc" ] -> exit (min 1 (Exp_mc.run ~quick ()))
+  | [ "noc" ] -> Exp_noc.run ~quick ?domains ()
   | _ -> usage ()

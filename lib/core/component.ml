@@ -52,3 +52,64 @@ let buffer ?name ?policy ?granularity ?(kind = Meb.Reduced) ?notify () : stage =
 let varlat ?name ?f ~latency ?notify () : stage =
   wrap ?notify (fun b ch -> Mt_varlat.create ?name ?f b ch ~latency)
     (fun (v : Mt_varlat.t) -> v.Mt_varlat.out)
+
+(* N-way steering and arbitration.  These are not [stage]s (the shape
+   is 1 -> N and N -> 1), but they complete the same composition
+   vocabulary: a NoC router is [fanout] per input port and [collect]
+   per output port, and [Synth.Dataflow]'s N-way nodes elaborate
+   through them instead of ad-hoc branch/merge chains. *)
+
+(* [fanout ~n ~sel b ch] splits a channel N ways: [sel b data] maps
+   the payload to an output index, and a chain of M-Branches on
+   [index = i] peels output [i] off; indices >= n-1 land on the last
+   output.  [n = 1] is the identity. *)
+let fanout ?name ~n ~sel b ch =
+  if n < 1 then invalid_arg "Component.fanout: n must be >= 1";
+  let outs =
+    if n = 1 then [| ch |]
+    else begin
+      let idx = sel b ch.Mt_channel.data in
+      let outs = Array.make n ch in
+      let rest = ref ch in
+      for i = 0 to n - 2 do
+        (* The data bus passes through every branch unchanged, so the
+           index computed on the original payload steers every level. *)
+        let br = M_branch.create b !rest ~cond:(S.eq_const b idx i) in
+        outs.(i) <- br.M_branch.out_true;
+        rest := br.M_branch.out_false
+      done;
+      outs.(n - 1) <- !rest;
+      outs
+    end
+  in
+  (match name with
+   | Some nm ->
+     Array.iteri
+       (fun i o -> ignore (Mt_channel.label b ~name:(Names.indexed nm "o" i) o))
+       outs
+   | None -> ());
+  outs
+
+(* [collect b chans] funnels N channels into one through a balanced
+   tree of M-Merges (default [Fair], selectable — see the Priority_a
+   offer-order hazard in docs/PROTOCOL.md §8: inputs of a fabric
+   merge are not per-thread exclusive, so priority arbitration can
+   invert a thread's stream; Fair still interleaves but never
+   starves).  [collect] of one channel is the identity. *)
+let collect ?name ?fairness b chans =
+  if Array.length chans = 0 then invalid_arg "Component.collect: no channels";
+  let rec reduce chans =
+    match Array.length chans with
+    | 1 -> chans.(0)
+    | len ->
+      let half = (len + 1) / 2 in
+      reduce
+        (Array.init half (fun i ->
+             if (2 * i) + 1 < len then
+               M_merge.create ?fairness b chans.(2 * i) chans.((2 * i) + 1)
+             else chans.(2 * i)))
+  in
+  let out = reduce chans in
+  match name with
+  | Some nm -> Mt_channel.label b ~name:nm out
+  | None -> out

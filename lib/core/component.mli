@@ -47,3 +47,24 @@ val varlat :
   ?name:string -> ?f:(S.builder -> S.t -> S.t) ->
   latency:Mt_varlat.latency -> ?notify:(Mt_varlat.t -> unit) -> unit -> stage
 (** A single-context variable-latency unit as a stage. *)
+
+val fanout :
+  ?name:string -> n:int -> sel:(S.builder -> S.t -> S.t) ->
+  S.builder -> Mt_channel.t -> Mt_channel.t array
+(** N-way steering: [sel b data] computes an output index from the
+    payload, and a chain of {!M_branch}es peels output [i] off on
+    [index = i] (indices [>= n-1] take the last output).  The shape is
+    1 -> N, so this is not a {!stage}, but it shares the vocabulary: a
+    router input port is a [fanout], and [Synth.Dataflow]'s N-way
+    branch elaborates through it.  With [?name], output [i] is
+    labelled [<name>_o<i>]. *)
+
+val collect :
+  ?name:string -> ?fairness:M_merge.fairness ->
+  S.builder -> Mt_channel.t array -> Mt_channel.t
+(** N-way arbitration: a balanced tree of {!M_merge}s (default
+    [Fair]).  A router output port is a [collect] over the input
+    ports' fanout arms.  Note the composition rule: fabric inputs are
+    generally not per-thread exclusive, so [Priority_a] here can
+    invert a thread's token order (the pinned PR 6 hazard) — [Fair]
+    still interleaves streams but cannot starve one. *)

@@ -1232,6 +1232,78 @@ let branch ~threads =
     one_hot = [ "mid"; "snkt"; "snkf" ];
     full_groups = [ ("m0", threads) ] }
 
+(* The NoC router node (lib/noc): 2-in/2-out, input-buffered — each
+   input's MEB feeds an M-Branch steered by the data bit (the
+   destination field), and each output port collects both arms through
+   an M-Merge.
+
+   Merge policy: [Fair].  A fabric merge's inputs are not per-thread
+   exclusive in general (one thread's tokens can converge on a router
+   from different routes), and the pinned Priority_a offer-order
+   hazard ([merge_unordered]) shows priority arbitration inverting one
+   thread's stream across converging paths — besides starving the low
+   side under load.  The checker model keeps the per-thread
+   exclusivity assumption the fabric's deterministic single-path
+   routes give each (source, destination) stream; what it proves is
+   that the router itself never duplicates, drops, misroutes or
+   deadlocks a token, with occupancy decoded from the two input
+   MEBs. *)
+let router ~threads =
+  let s =
+    base ~label:(Printf.sprintf "router-S%d" threads) ~threads
+      ~build:(fun b ->
+        let sa = Ch.source b ~name:"srca" ~threads ~width:1 in
+        let sc = Ch.source b ~name:"srcc" ~threads ~width:1 in
+        let ma =
+          Meb.create ~name:"ma" ~policy:Policy.Valid_only ~kind:Meb.Reduced b sa
+        in
+        let mc =
+          Meb.create ~name:"mc" ~policy:Policy.Valid_only ~kind:Meb.Reduced b sc
+        in
+        let ina = Ch.probe b ~name:"mida" ma.Meb.out in
+        let inc = Ch.probe b ~name:"midc" mc.Meb.out in
+        let ba = M_branch.create b ina ~cond:ina.Ch.data in
+        let bc = M_branch.create b inc ~cond:inc.Ch.data in
+        let out0 =
+          M_merge.create ~fairness:M_merge.Fair b ba.M_branch.out_false
+            bc.M_branch.out_false
+        in
+        let out1 =
+          M_merge.create ~fairness:M_merge.Fair b ba.M_branch.out_true
+            bc.M_branch.out_true
+        in
+        Ch.sink b ~name:"snk0" (Ch.probe b ~name:"out0" out0);
+        Ch.sink b ~name:"snk1" (Ch.probe b ~name:"out1" out1))
+  in
+  (* Unlike the bare [merge] spec, each source feeds an input MEB
+     (whose valid input is read only under its ready), so both sources
+     are gated; what the merges read outside ready is the MEB
+     *outputs*, which are circuit state, not environment offers.
+     Steering is BY data, so the data quotient refuses itself (as in
+     [branch]) and routing is checked through the accept fields. *)
+  { s with
+    srcs = [ gated "srca"; gated "srcc" ];
+    snks = [ "snk0"; "snk1" ];
+    flows =
+      (* The flows share both sinks, so they must form one
+         conservation group (a sink fire is attributed within the
+         group); the group decoder sums both input buffers.  Per-flow
+         pop attribution stays unambiguous because exclusivity keeps a
+         thread's in-flight tokens in one input buffer at a time. *)
+      (let both pi t =
+         meb_tokens ~kind:Meb.Reduced ~inst:"ma" pi t
+         + meb_tokens ~kind:Meb.Reduced ~inst:"mc" pi t
+       in
+       [ { from_ = "srca";
+           into = [ sref ~accept:0 "snk0"; sref ~accept:1 "snk1" ];
+           tokens = both; lo = 0; hi = 2; grp = Some "rtr" };
+         { from_ = "srcc";
+           into = [ sref ~accept:0 "snk0"; sref ~accept:1 "snk1" ];
+           tokens = both; lo = 0; hi = 2; grp = Some "rtr" } ]);
+    one_hot = [ "mida"; "midc"; "out0"; "out1"; "snk0"; "snk1" ];
+    full_groups = [ ("ma", threads); ("mc", threads) ];
+    exclusive = [ [ "srca"; "srcc" ] ] }
+
 let varlat ~threads =
   let s =
     base ~label:(Printf.sprintf "varlat-S%d" threads) ~threads
@@ -1342,6 +1414,7 @@ let suite ?(quick = false) () =
       merge ~fairness:M_merge.Fair ~threads:2;
       merge_unordered ~threads:2;
       branch ~threads:2;
+      router ~threads:2;
       varlat ~threads:2;
       varlat_per_thread ~threads:2;
       aligned ~policy:Policy.Ready_aware ~threads:2 ]

@@ -109,6 +109,17 @@ val branch : threads:int -> spec
 (** source -> MEB -> M-Branch (condition = the data bit) -> two sinks;
     data-dependent control, so the data quotient must refuse itself. *)
 
+val router : threads:int -> spec
+(** The NoC router node (lib/noc): two input ports, each an MEB
+    feeding an M-Branch steered by the data bit, collected per output
+    port by a [Fair] M-Merge — [Fair] because fabric merge inputs are
+    not per-thread exclusive in general and the pinned [Priority_a]
+    offer-order hazard ({!merge_unordered}) would let priority
+    arbitration invert a thread's stream across converging routes.
+    The model keeps the exclusivity the fabric's deterministic routes
+    provide and proves the node itself never duplicates, drops,
+    misroutes or deadlocks a token. *)
+
 val varlat : threads:int -> spec
 (** source -> shared fixed-latency unit -> sink. *)
 

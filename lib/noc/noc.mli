@@ -1,0 +1,164 @@
+(** Elastic NoC generator: declarative topologies of MT-elastic
+    routers over the paper's primitives.
+
+    One {!topology} value elaborates to a fabric of input-buffered
+    routers — {!Melastic.M_branch} steering by a destination-id field
+    in the data word, {!Melastic.M_merge} arbitration per output port
+    (fairness selectable), {!Melastic.Meb} pipelining on every link —
+    with one injection {!Melastic.Mt_channel.source} and one ejection
+    sink per terminal.
+
+    A token is one data word [payload | dest]: the low {!dest_width}
+    bits address a terminal.  Thread index = source terminal, so each
+    source's stream is one protocol thread and the per-link monitors
+    check P1 one-hot plus per-source FIFO token conservation.
+
+    Routing is table-driven: dimension-order (XY) on the mesh — the
+    deadlock-freedom argument of DESIGN.md §9 — and BFS shortest-path
+    with deterministic tie-breaking on the other shapes, whose routes
+    are up*/down* through an acyclic hierarchy (or a single hop). *)
+
+module S := Hw.Signal
+
+type topology =
+  | Star of { leaves : int }  (** one hub router, [leaves] terminals *)
+  | Tree of { arity : int; depth : int }
+      (** internal routers; the [arity^depth] leaves are terminals *)
+  | Butterfly of { k : int; n : int }
+      (** k-ary n-fly: [k^n] terminals, [n] stages of [k^(n-1)] routers *)
+  | Fully_connected of int  (** one router per terminal, all-to-all links *)
+  | Mesh of { x : int; y : int }  (** 2-D mesh, one terminal per router *)
+
+val topology_to_string : topology -> string
+
+val terminals : topology -> int
+(** Number of injection/ejection terminals (= compute-core slots of a
+    serve fabric).  Raises [Invalid_argument] on a malformed shape. *)
+
+(** {1 The plan: graph + routing tables} *)
+
+type plan = {
+  topology : topology;
+  n_terminals : int;
+  n_routers : int;
+  locals : int array array;  (** router -> attached terminals, ascending *)
+  neighbors : int array array;  (** router -> neighbor routers, ascending *)
+  term_router : int array;  (** terminal -> its router *)
+  next_hop : int array array;  (** router -> dest terminal -> output port *)
+}
+(** Port numbering at router [r]: ports [0 .. |locals r| - 1] are the
+    terminal links (in [locals] order), then the neighbor links (in
+    [neighbors] order). *)
+
+val plan : topology -> plan
+
+val ports : plan -> int -> int
+(** Port count of a router. *)
+
+val max_ports : plan -> int
+
+val path : plan -> src:int -> dst:int -> int list
+(** The router sequence a (src, dst) token traverses per the routing
+    tables; raises on a routing loop (a malformed table). *)
+
+val dest_width : plan -> int
+(** Width of the destination field (low bits of the data word). *)
+
+val probe_names : plan -> string list
+(** Every channel name a monitored fabric exports ([inj<t>], [ej<t>],
+    [t<t>_rx]/[t<t>_tx], [l<a>_<b>_tx]/[l<a>_<b>_rx]) — what a
+    violation report's channel refers back to. *)
+
+(** {1 Hardware elaboration} *)
+
+val build :
+  ?kind:Melastic.Meb.kind ->
+  ?fairness:Melastic.M_merge.fairness ->
+  ?link_slots:int ->
+  ?probes:bool ->
+  payload_width:int ->
+  plan ->
+  S.builder ->
+  unit
+(** Elaborate the fabric: per terminal [t] a source [inj<t>] and sink
+    [ej<t>] (threads = terminals, width = dest + payload), MEB chains
+    of [link_slots] stages (default 1, Valid_only) on every link, and
+    one crossbar (fanout + collect) per router.  [fairness] (default
+    [Fair]) selects every router's merge policy — [Priority_a] is
+    legal but subject to the documented offer-order hazard, see
+    {!Melastic.Component.collect}.  With [probes], every link endpoint
+    is exported: [t<t>_rx]/[t<t>_tx] around each router's terminal
+    ports and [l<a>_<b>_tx]/[l<a>_<b>_rx] around each router-router
+    link. *)
+
+val circuit :
+  ?kind:Melastic.Meb.kind ->
+  ?fairness:Melastic.M_merge.fairness ->
+  ?link_slots:int ->
+  ?probes:bool ->
+  ?name:string ->
+  payload_width:int ->
+  plan ->
+  Hw.Circuit.t
+
+val router_circuit :
+  ?kind:Melastic.Meb.kind ->
+  ?fairness:Melastic.M_merge.fairness ->
+  ?link_slots:int ->
+  ?router:int ->
+  payload_width:int ->
+  plan ->
+  int * Hw.Circuit.t
+(** One router as a standalone netlist with its input-side link
+    buffering, for Table-I-style area rows.  [router] defaults to the
+    widest router of the plan; returns [(router_index, circuit)]. *)
+
+(** {1 Host-side fabric driver} *)
+
+module Driver : sig
+  type t
+
+  val create :
+    ?backend:Hw.Sim.backend ->
+    ?kind:Melastic.Meb.kind ->
+    ?fairness:Melastic.M_merge.fairness ->
+    ?link_slots:int ->
+    ?monitor:bool ->
+    ?payload_width:int ->
+    topology ->
+    t
+  (** Elaborate and simulate a fabric.  [monitor] (default false)
+      elaborates with probes and attaches the per-link protocol
+      monitors (one-hot, gated stability, FIFO conservation with the
+      chain capacity bound).  [payload_width] defaults to 16, max 30
+      (payloads are host ints). *)
+
+  val plan : t -> plan
+  val terminals : t -> int
+  val payload_width : t -> int
+  val sim : t -> Hw.Sim.t
+  val cycle_no : t -> int
+
+  val inject : t -> src:int -> dst:int -> int -> unit
+  (** Queue a token at terminal [src]; at most one enters the fabric
+      per terminal per cycle (when the injection channel is ready). *)
+
+  val step : t -> (int * int * int) list
+  (** One fabric cycle; returns this cycle's ejections as
+      [(terminal, src, payload)]. *)
+
+  val in_flight : t -> int
+  (** Tokens queued plus tokens inside the fabric. *)
+
+  val idle : t -> bool
+
+  val drain : ?limit:int -> t -> (int * int * int) list
+  (** Step until {!idle}; raises if tokens are still stuck after
+      [limit] (default 100_000) cycles. *)
+
+  val finish : t -> unit
+  (** {!drain} (discarding leftovers) then finalize the monitors, so
+      the conservation scoreboards see every token accounted for. *)
+
+  val violations : t -> int
+end

@@ -1,0 +1,68 @@
+(* The serving backend interface.
+
+   A backend is whatever can stand behind the engine's per-cycle
+   serving loop: a single simulated core (Md5_backend, Cpu_backend) or
+   a whole fabric of them behind a NoC (Noc_backend).  The engine only
+   ever sees the [replica] record — slot refill, job control, one
+   cycle of progress, completion harvest — so it is polymorphic in the
+   backend; the module type packages a backend as a first-class value
+   ([Engine.create_b]) while keeping the record available for closures
+   built inline (the original [Engine.create ~make_replica] path).
+
+   The record lives here, not in [Engine], so backends depend on the
+   interface and the engine depends on both — no cycle; [Engine]
+   re-exports it as an equation so every existing [Engine.replica]
+   annotation keeps typechecking unchanged. *)
+
+(* One replica = one simulated design with [slots] thread slots.  The
+   engine calls, each cycle: [slot_free]/[start] to refill, [cancel]
+   to abandon a deadline-expired job, [step] to advance one cycle,
+   then [completions] to harvest finished slots.  Contract: after
+   [cancel ~slot], the backend must eventually report the slot free
+   again and must not emit a completion for the cancelled
+   occupancy. *)
+type ('job, 'res) replica = {
+  slots : int;
+  slot_free : int -> bool;
+  start : slot:int -> 'job -> unit;
+  cancel : slot:int -> unit;
+  step : unit -> unit;
+  completions : unit -> (int * 'res) list;
+  cycle_no : unit -> int;
+  finish : unit -> unit;
+  violations : unit -> int;
+}
+
+module type S = sig
+  type job
+  type result
+
+  val name : string
+  (** Short backend identifier (["md5"], ["cpu"], ["noc-mesh2x2"], ...)
+      for reports and benchmarks. *)
+
+  val probes : string list
+  (** The probed channel names the backend's monitors watch when
+      elaborated with monitoring on — what a violation report's
+      [channel] field refers back to. *)
+
+  val make_replica : int -> (job, result) replica
+  (** [make_replica i] builds replica [i]; called inside the replica's
+      domain when the engine fans out. *)
+end
+
+(* A backend packed as a value, the argument of [Engine.create_b]. *)
+type ('job, 'res) t =
+  (module S with type job = 'job and type result = 'res)
+
+let name (type j r) (m : (j, r) t) =
+  let module B = (val m) in
+  B.name
+
+let probes (type j r) (m : (j, r) t) =
+  let module B = (val m) in
+  B.probes
+
+let make_replica (type j r) (m : (j, r) t) index : (j, r) replica =
+  let module B = (val m) in
+  B.make_replica index

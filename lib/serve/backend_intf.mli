@@ -1,0 +1,60 @@
+(** The serving-backend interface: what {!Engine} needs from a design
+    to serve jobs on it.
+
+    The {!replica} record is the whole contract — slot refill
+    ([slot_free]/[start]), job control ([cancel]), one cycle of
+    progress ([step]), completion harvest — so the engine is
+    polymorphic in the backend.  {!S} packages a backend (job/result
+    types, probe names, replica factory) as a first-class module for
+    {!Engine.create_b}; closures built inline still plug into
+    {!Engine.create}'s [make_replica] directly.
+
+    {!Engine.replica} is a re-export of {!replica}, so both spellings
+    are interchangeable. *)
+
+(** One replica = one simulated design with [slots] thread slots.  The
+    engine calls, each cycle: [slot_free]/[start] to refill, [cancel]
+    to abandon a deadline-expired job, [step] to advance one cycle,
+    then [completions] to harvest finished slots.  Contract: after
+    [cancel ~slot], the backend must eventually report the slot free
+    again and must not emit a completion for the cancelled occupancy.
+    [finish] runs end-of-run checks (e.g. {!Monitor.finalize});
+    [violations] reports protocol-monitor violations (0 when no
+    monitor is attached). *)
+type ('job, 'res) replica = {
+  slots : int;
+  slot_free : int -> bool;
+  start : slot:int -> 'job -> unit;
+  cancel : slot:int -> unit;
+  step : unit -> unit;
+  completions : unit -> (int * 'res) list;
+  cycle_no : unit -> int;
+  finish : unit -> unit;
+  violations : unit -> int;
+}
+
+module type S = sig
+  type job
+  type result
+
+  val name : string
+  (** Short backend identifier for reports and benchmarks. *)
+
+  val probes : string list
+  (** Probed channel names the backend's monitors watch (when
+      elaborated with monitoring) — what a violation report's
+      [channel] field refers back to. *)
+
+  val make_replica : int -> (job, result) replica
+  (** [make_replica i] builds replica [i]; called inside the
+      replica's domain when the engine fans out. *)
+end
+
+type ('job, 'res) t =
+  (module S with type job = 'job and type result = 'res)
+(** A backend packed as a value — the argument of
+    {!Engine.create_b}. *)
+
+val name : ('job, 'res) t -> string
+val probes : ('job, 'res) t -> string list
+val make_replica : ('job, 'res) t -> int -> ('job, 'res) replica

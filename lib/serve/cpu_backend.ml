@@ -178,3 +178,20 @@ let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 4)
         match mon with Some m -> Monitor.finalize m | None -> ());
     violations =
       (fun () -> match mon with Some m -> Monitor.violation_count m | None -> 0) }
+
+let monitored_probes = [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ]
+
+(* The same backend packed as a first-class module, for
+   [Engine.create_b] and for composition inside [Noc_backend]. *)
+let backend ?kind ?monitor ?slots ?imem_size ?dmem_size () :
+    (job, result) Backend_intf.t =
+  (module struct
+    type nonrec job = job
+    type nonrec result = result
+
+    let name = "cpu"
+    let probes = monitored_probes
+
+    let make_replica index =
+      make ?kind ?monitor ?slots ?imem_size ?dmem_size () index
+  end)

@@ -27,6 +27,21 @@ val dmem_base_reg : int
 (** The register preloaded with the slot's dmem base address
     (the highest register, r15). *)
 
+val monitored_probes : string list
+(** The probed channel names the monitors watch (the backend's
+    {!Backend_intf.S.probes}). *)
+
+val backend :
+  ?kind:Melastic.Meb.kind ->
+  ?monitor:bool ->
+  ?slots:int ->
+  ?imem_size:int ->
+  ?dmem_size:int ->
+  unit ->
+  (job, result) Backend_intf.t
+(** {!make} packed as a first-class backend module, for
+    {!Engine.create_b} and for composition inside {!Noc_backend}. *)
+
 val make :
   ?kind:Melastic.Meb.kind ->
   ?monitor:bool ->

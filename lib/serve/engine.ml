@@ -23,7 +23,10 @@ type 'res outcome =
   | Timed_out of { tries : int }
   | Failed of string
 
-type ('job, 'res) replica = {
+(* The replica record is owned by [Backend_intf] (backends implement
+   it, the engine consumes it); the equation keeps every existing
+   [Engine.replica] annotation and field access valid. *)
+type ('job, 'res) replica = ('job, 'res) Backend_intf.replica = {
   slots : int;
   slot_free : int -> bool;
   start : slot:int -> 'job -> unit;
@@ -70,6 +73,11 @@ let create ?(classes = [ default_class ]) ?(replicas = 1) ~make_replica () =
     next_id = 0;
     results = [||];
     ran = false }
+
+(* Backend-polymorphic creation: any packed [Backend_intf.t] serves
+   through the same engine. *)
+let create_b ?classes ?replicas ~backend () =
+  create ?classes ?replicas ~make_replica:(Backend_intf.make_replica backend) ()
 
 let class_index t name =
   let rec go i =

@@ -56,17 +56,13 @@ type 'res outcome =
 
 (** {1 Backend replica interface}
 
-    One replica = one simulated design with [slots] thread slots.  The
-    engine calls, each cycle: [slot_free]/[start] to refill,
-    [cancel] to abandon a deadline-expired job, [step] to advance one
-    cycle, then [completions] to harvest finished slots.  Contract:
-    after [cancel ~slot], the backend must eventually report the slot
-    free again and must not emit a completion for the cancelled
-    occupancy.  [finish] runs end-of-run checks (e.g.
-    {!Monitor.finalize}); [violations] reports protocol-monitor
-    violations (0 when no monitor is attached). *)
+    The record is owned by {!Backend_intf} (see its documentation for
+    the per-cycle contract); the equation below re-exports it so both
+    [Engine.replica] and [Backend_intf.replica] spell the same type.
+    Backends either hand the engine a [make_replica] closure
+    ({!create}) or a packed {!Backend_intf.t} module ({!create_b}). *)
 
-type ('job, 'res) replica = {
+type ('job, 'res) replica = ('job, 'res) Backend_intf.replica = {
   slots : int;
   slot_free : int -> bool;
   start : slot:int -> 'job -> unit;
@@ -91,6 +87,16 @@ val create :
 (** [make_replica i] is called once per replica — inside the replica's
     domain when {!run} fans out — so simulators are built where they
     run.  [replicas] defaults to 1. *)
+
+val create_b :
+  ?classes:class_config list ->
+  ?replicas:int ->
+  backend:('job, 'res) Backend_intf.t ->
+  unit ->
+  ('job, 'res) t
+(** {!create} over a packed backend module ({!Md5_backend.backend},
+    {!Cpu_backend.backend}, {!Noc_backend.backend}) — the
+    backend-polymorphic entry point. *)
 
 val submit :
   ?cls:string ->

@@ -13,6 +13,8 @@
    occupancy measures how much of the datapath's S-way time-sharing
    the offered load actually uses. *)
 
+let monitored_probes = [ "msg"; "digest"; "md5_dp"; "md5_bar_in"; "md5_barrier" ]
+
 type busy = {
   mutable blocks : int array list;  (* remaining blocks of the message *)
   mutable chain : Bits.t;  (* 128-bit chaining value *)
@@ -189,3 +191,15 @@ let make ?(kind = Melastic.Meb.Reduced) ?(monitor = false) ?(slots = 8) ()
         match mon with Some m -> Monitor.finalize m | None -> ());
     violations =
       (fun () -> match mon with Some m -> Monitor.violation_count m | None -> 0) }
+
+(* The same backend packed as a first-class module, for
+   [Engine.create_b] and for composition inside [Noc_backend]. *)
+let backend ?kind ?monitor ?slots () : (string, string) Backend_intf.t =
+  (module struct
+    type job = string
+    type result = string
+
+    let name = "md5"
+    let probes = monitored_probes
+    let make_replica index = make ?kind ?monitor ?slots () index
+  end)

@@ -15,6 +15,19 @@
     token still drains through the loop (tokens cannot be retracted
     from the hardware) and the slot frees when its digest fires. *)
 
+val monitored_probes : string list
+(** The probed channel names the monitors watch (the backend's
+    {!Backend_intf.S.probes}). *)
+
+val backend :
+  ?kind:Melastic.Meb.kind ->
+  ?monitor:bool ->
+  ?slots:int ->
+  unit ->
+  (string, string) Backend_intf.t
+(** {!make} packed as a first-class backend module, for
+    {!Engine.create_b} and for composition inside {!Noc_backend}. *)
+
 val make :
   ?kind:Melastic.Meb.kind ->
   ?monitor:bool ->

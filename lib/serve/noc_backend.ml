@@ -1,0 +1,195 @@
+(* Serving through the elastic fabric.
+
+   [Noc_backend] wraps a whole [Noc] of compute cores as one
+   [Backend_intf] replica: the engine sees [terminals * per-core]
+   slots behind the usual record, while underneath every request
+   crosses the fabric as a token and every response crosses back.
+
+   Layout.  Each terminal hosts one core replica (built from the inner
+   backend); the serving front-end is co-located at terminal 0.  Outer
+   slot [s] maps to core [s / per_core], inner slot [s mod per_core].
+
+   Tokens.  The fabric payload is [kind(1) | tag]: the tag is the
+   outer slot, the kind bit distinguishes a request from a response
+   (both can surface at terminal 0, which hosts core 0 as well as the
+   front-end).  Job payloads and results never enter the netlist —
+   they travel by side table, keyed by the tag; what the fabric
+   carries (and what its monitors check) is the token stream itself.
+
+   Flow.  start = inject a request token [0 -> core terminal]; when it
+   ejects, the core slot starts from the side table.  A core
+   completion injects a response token [core terminal -> 0]; when it
+   ejects, the engine's completion is emitted.  So an outer slot walks
+   Free -> Request_in_flight -> Running -> Response_in_flight -> Free,
+   and the engine's measured latency includes real fabric transit.
+
+   Cancellation.  A cancelled in-flight token is dropped at ejection
+   (the fabric cannot retract a token already launched — cf. the
+   non-retracting fork); a cancelled running slot forwards cancel to
+   the core and holds the outer slot until the core reports the inner
+   slot free, per the [Backend_intf] contract. *)
+
+type state =
+  | Free
+  | Request_in_flight of { cancelled : bool }
+  | Running of { cancelled : bool }
+  | Response_in_flight of { cancelled : bool }
+
+let make (type j r) ?backend ?kind ?fairness ?link_slots ?(monitor = false)
+    ~topology (core : (j, r) Backend_intf.t) index : (j, r) Engine.replica =
+  let n_term = Noc.terminals topology in
+  let cores =
+    Array.init n_term (fun c ->
+        Backend_intf.make_replica core ((index * n_term) + c))
+  in
+  let per_core = cores.(0).Backend_intf.slots in
+  Array.iter
+    (fun (c : (j, r) Backend_intf.replica) ->
+      if c.Backend_intf.slots <> per_core then
+        invalid_arg "Noc_backend: cores must have equal slot counts")
+    cores;
+  let outer_slots = n_term * per_core in
+  let tag_w = max 1 (Hw.Signal.clog2 outer_slots) in
+  let resp_bit = 1 lsl tag_w in
+  let d =
+    Noc.Driver.create ?backend ?kind ?fairness ?link_slots ~monitor
+      ~payload_width:(tag_w + 1) topology
+  in
+  let states = Array.make outer_slots Free in
+  let pending : j option array = Array.make outer_slots None in
+  let results : r option array = Array.make outer_slots None in
+  let completions_buf = ref [] in
+  let core_of s = s / per_core in
+  let inner_of s = s mod per_core in
+  let slot_free s =
+    states.(s) = Free && cores.(core_of s).Backend_intf.slot_free (inner_of s)
+  in
+  let start ~slot job =
+    (match states.(slot) with
+     | Free -> ()
+     | _ -> invalid_arg "Noc_backend: start on a busy slot");
+    pending.(slot) <- Some job;
+    states.(slot) <- Request_in_flight { cancelled = false };
+    Noc.Driver.inject d ~src:0 ~dst:(core_of slot) slot
+  in
+  let cancel ~slot =
+    match states.(slot) with
+    | Free -> ()
+    | Request_in_flight _ ->
+      pending.(slot) <- None;
+      states.(slot) <- Request_in_flight { cancelled = true }
+    | Running { cancelled = false } ->
+      cores.(core_of slot).Backend_intf.cancel ~slot:(inner_of slot);
+      states.(slot) <- Running { cancelled = true }
+    | Running { cancelled = true } -> ()
+    | Response_in_flight _ ->
+      results.(slot) <- None;
+      states.(slot) <- Response_in_flight { cancelled = true }
+  in
+  let step () =
+    (* 1. one fabric cycle; deliver this cycle's ejections *)
+    List.iter
+      (fun (term, _src, payload) ->
+        let tag = payload land (resp_bit - 1) in
+        if tag >= outer_slots then failwith "Noc_backend: corrupt token tag";
+        if payload land resp_bit <> 0 then begin
+          (* A response surfaces at the front-end. *)
+          if term <> 0 then failwith "Noc_backend: response misrouted";
+          match states.(tag) with
+          | Response_in_flight { cancelled } ->
+            (if not cancelled then
+               match results.(tag) with
+               | Some res -> completions_buf := (tag, res) :: !completions_buf
+               | None -> failwith "Noc_backend: response without a result");
+            results.(tag) <- None;
+            states.(tag) <- Free
+          | _ -> failwith "Noc_backend: unexpected response token"
+        end
+        else begin
+          (* A request surfaces at its core's terminal. *)
+          if term <> core_of tag then failwith "Noc_backend: request misrouted";
+          match states.(tag) with
+          | Request_in_flight { cancelled = true } ->
+            pending.(tag) <- None;
+            states.(tag) <- Free
+          | Request_in_flight { cancelled = false } -> (
+            match pending.(tag) with
+            | Some job ->
+              pending.(tag) <- None;
+              cores.(term).Backend_intf.start ~slot:(inner_of tag) job;
+              states.(tag) <- Running { cancelled = false }
+            | None -> failwith "Noc_backend: request without a job")
+          | _ -> failwith "Noc_backend: unexpected request token"
+        end)
+      (Noc.Driver.step d);
+    (* 2. one cycle per core; turn completions into response tokens *)
+    Array.iteri
+      (fun c (core : (j, r) Backend_intf.replica) ->
+        core.Backend_intf.step ();
+        List.iter
+          (fun (inner, res) ->
+            let outer = (c * per_core) + inner in
+            match states.(outer) with
+            | Running { cancelled = false } ->
+              results.(outer) <- Some res;
+              states.(outer) <- Response_in_flight { cancelled = false };
+              Noc.Driver.inject d ~src:c ~dst:0 (resp_bit lor outer)
+            | _ ->
+              (* a completion for an occupancy we cancelled: drop it *)
+              ())
+          (core.Backend_intf.completions ()))
+      cores;
+    (* 3. reclaim cancelled-running slots once the core slot drains *)
+    Array.iteri
+      (fun s st ->
+        match st with
+        | Running { cancelled = true } ->
+          if cores.(core_of s).Backend_intf.slot_free (inner_of s) then
+            states.(s) <- Free
+        | _ -> ())
+      states
+  in
+  let completions () =
+    let l = List.rev !completions_buf in
+    completions_buf := [];
+    l
+  in
+  let finish () =
+    Noc.Driver.finish d;
+    Array.iter (fun (c : (j, r) Backend_intf.replica) -> c.Backend_intf.finish ())
+      cores
+  in
+  let violations () =
+    Array.fold_left
+      (fun acc (c : (j, r) Backend_intf.replica) ->
+        acc + c.Backend_intf.violations ())
+      (Noc.Driver.violations d)
+      cores
+  in
+  { Engine.slots = outer_slots;
+    slot_free;
+    start;
+    cancel;
+    step;
+    completions;
+    cycle_no = (fun () -> Noc.Driver.cycle_no d);
+    finish;
+    violations }
+
+let backend (type j r) ?backend ?kind ?fairness ?link_slots ?monitor ~topology
+    (core : (j, r) Backend_intf.t) : (j, r) Backend_intf.t =
+  ignore (Noc.terminals topology) (* reject malformed shapes eagerly *);
+  (module struct
+    type job = j
+    type result = r
+
+    let name =
+      Printf.sprintf "noc-%s-%s"
+        (Noc.topology_to_string topology)
+        (Backend_intf.name core)
+
+    let probes = Noc.probe_names (Noc.plan topology) @ Backend_intf.probes core
+
+    let make_replica index =
+      make ?backend ?kind ?fairness ?link_slots ?monitor ~topology core index
+  end)

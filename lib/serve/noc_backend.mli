@@ -1,0 +1,49 @@
+(** Serving through the elastic fabric: a whole {!Noc} of compute
+    cores behind one {!Backend_intf} replica.
+
+    Each terminal of the topology hosts one replica of the inner
+    backend; the serving front-end is co-located at terminal 0.  The
+    engine sees [terminals * per-core-slots] slots; outer slot [s]
+    maps to core [s / per_core], inner slot [s mod per_core].
+
+    Every request crosses the fabric as a token [kind(1) | tag] (tag =
+    outer slot) from terminal 0 to the core's terminal, and every
+    result crosses back — job payloads and results travel by host-side
+    table, so the netlist carries (and its monitors check) the token
+    streams themselves.  Engine latencies therefore include real
+    fabric transit, and a saturation run exercises every router.
+
+    Cancellation: in-flight tokens are dropped at ejection (a launched
+    token cannot be retracted); a cancelled running slot forwards
+    [cancel] to its core and is reclaimed once the core reports the
+    inner slot free. *)
+
+val make :
+  ?backend:Hw.Sim.backend ->
+  ?kind:Melastic.Meb.kind ->
+  ?fairness:Melastic.M_merge.fairness ->
+  ?link_slots:int ->
+  ?monitor:bool ->
+  topology:Noc.topology ->
+  ('job, 'res) Backend_intf.t ->
+  int ->
+  ('job, 'res) Engine.replica
+(** [make ~topology core index] builds one fabric replica: a monitored
+    (if [monitor], default false) {!Noc.Driver} plus one [core]
+    replica per terminal (inner replica indices are
+    [index * terminals + c], so probe state stays distinct across
+    engine replicas).  [kind] / [fairness] / [link_slots] configure
+    the fabric as in {!Noc.build}. *)
+
+val backend :
+  ?backend:Hw.Sim.backend ->
+  ?kind:Melastic.Meb.kind ->
+  ?fairness:Melastic.M_merge.fairness ->
+  ?link_slots:int ->
+  ?monitor:bool ->
+  topology:Noc.topology ->
+  ('job, 'res) Backend_intf.t ->
+  ('job, 'res) Backend_intf.t
+(** {!make} packed as a first-class backend — the name is
+    ["noc-<topology>-<core>"], the probes are the fabric's link
+    channels plus the core's own.  Raises on a malformed topology. *)

@@ -36,6 +36,10 @@ type node =
   | Branch of { name : string; cond : S.builder -> S.t -> S.t; arg : port }
   | Merge of { name : string; fairness : Melastic.M_merge.fairness;
                arg_a : port; arg_b : port }
+  | Merge_n of { name : string; fairness : Melastic.M_merge.fairness;
+                 args : port list }
+  | Branch_n of { name : string; n : int;
+                  sel : S.builder -> S.t -> S.t; arg : port }
   | Barrier of { name : string; participants : bool array option; arg : port }
   | Varlat of { name : string; latency : Melastic.Mt_varlat.latency;
                 per_thread : bool; f : (S.builder -> S.t -> S.t) option;
@@ -93,6 +97,26 @@ let merge g ?(name = "mrg") ?(fairness = Melastic.M_merge.Fair) arg_a arg_b =
   let id = add g (Merge { name; fairness; arg_a; arg_b }) in
   out_port g id ~slot:0 ~width:arg_a.width
 
+(* N-way nodes map straight onto the [Component.collect] /
+   [Component.fanout] combinators — a balanced M-Merge tree and an
+   M-Branch chain — so graphs no longer hand-wire reduction trees out
+   of binary [merge] / [branch] nodes. *)
+let merge_n g ?(name = "mrgn") ?(fairness = Melastic.M_merge.Fair) args =
+  match args with
+  | [] -> fail "merge_n %s: needs at least one input" name
+  | a :: rest ->
+    List.iter
+      (fun (p : port) ->
+        if p.width <> a.width then fail "merge_n %s: width mismatch" name)
+      rest;
+    let id = add g (Merge_n { name; fairness; args }) in
+    out_port g id ~slot:0 ~width:a.width
+
+let branch_n g ?(name = "brn") ~n ~sel arg =
+  if n < 1 then fail "branch_n %s: n must be >= 1" name;
+  let id = add g (Branch_n { name; n; sel; arg }) in
+  Array.init n (fun slot -> out_port g id ~slot ~width:arg.width)
+
 let barrier g ?(name = "bar") ?participants arg =
   let id = add g (Barrier { name; participants; arg }) in
   out_port g id ~slot:0 ~width:arg.width
@@ -122,8 +146,9 @@ let feedback g ?(name = "fb") ~width () =
 let node_args = function
   | Input _ -> []
   | Output { arg; _ } | Func { arg; _ } | Buffer { arg; _ } | Branch { arg; _ }
-  | Barrier { arg; _ } | Varlat { arg; _ } -> [ arg ]
+  | Barrier { arg; _ } | Varlat { arg; _ } | Branch_n { arg; _ } -> [ arg ]
   | Func2 { arg_a; arg_b; _ } | Merge { arg_a; arg_b; _ } -> [ arg_a; arg_b ]
+  | Merge_n { args; _ } -> args
   | Feedback { tied = Some p; name = _; width = _ } -> [ p ]
   | Feedback { tied = None; name; _ } ->
     fail "feedback %s was never closed" name
@@ -131,6 +156,7 @@ let node_args = function
 let node_name = function
   | Input { name } | Output { name; _ } | Func { name; _ } | Func2 { name; _ }
   | Buffer { name; _ } | Branch { name; _ } | Merge { name; _ }
+  | Merge_n { name; _ } | Branch_n { name; _ }
   | Barrier { name; _ } | Varlat { name; _ } | Feedback { name; _ } -> name
 
 (* Every cycle must contain a Buffer (a Varlat also registers its
@@ -138,8 +164,8 @@ let node_name = function
 let check_cycles_have_buffers nodes =
   let sequential = function
     | Buffer _ | Varlat _ -> true
-    | Input _ | Output _ | Func _ | Func2 _ | Branch _ | Merge _ | Barrier _
-    | Feedback _ -> false
+    | Input _ | Output _ | Func _ | Func2 _ | Branch _ | Merge _ | Merge_n _
+    | Branch_n _ | Barrier _ | Feedback _ -> false
   in
   let tbl = Hashtbl.create 16 in
   List.iter (fun (id, n) -> Hashtbl.replace tbl id n) nodes;
@@ -227,11 +253,14 @@ let build g b =
         match n with
         | Output _ -> []
         | Branch _ -> [ (0, (List.hd (node_args n)).width); (1, (List.hd (node_args n)).width) ]
+        | Branch_n { n = arms; arg; _ } ->
+          List.init arms (fun slot -> (slot, arg.width))
         | Input { name = _ } -> [ (0, -1) ] (* width resolved below *)
         | Func { width_out; _ } | Func2 { width_out; _ }
         | Varlat { width_out; _ } -> [ (0, width_out) ]
         | Buffer { arg; _ } | Barrier { arg; _ } -> [ (0, arg.width) ]
         | Merge { arg_a; _ } -> [ (0, arg_a.width) ]
+        | Merge_n { args; _ } -> [ (0, (List.hd args).width) ]
         | Feedback { width; _ } -> [ (0, width) ]
       in
       List.iter
@@ -315,8 +344,22 @@ let build g b =
         drive (id, 0) br.Melastic.M_branch.out_true;
         drive (id, 1) br.Melastic.M_branch.out_false
       | Merge { fairness; arg_a; arg_b; name = _ } ->
-        let m = Melastic.M_merge.create ~fairness b (consume arg_a) (consume arg_b) in
+        (* The binary node is the two-element case of the same
+           reduction [Component.collect] elaborates. *)
+        let m =
+          Melastic.Component.collect ~fairness b
+            [| consume arg_a; consume arg_b |]
+        in
         drive (id, 0) m
+      | Merge_n { fairness; args; name = _ } ->
+        let m =
+          Melastic.Component.collect ~fairness b
+            (Array.of_list (List.map consume args))
+        in
+        drive (id, 0) m
+      | Branch_n { n; sel; arg; name = _ } ->
+        let outs = Melastic.Component.fanout ~n ~sel b (consume arg) in
+        Array.iteri (fun slot ch -> drive (id, slot) ch) outs
       | Barrier { name; participants; arg } ->
         let name = Printf.sprintf "%s_n%d" name id in
         let bar = Melastic.Barrier.create ~name ?participants b (consume arg) in
@@ -343,7 +386,8 @@ let to_dot g =
   let shape = function
     | Input _ -> "invhouse" | Output _ -> "house"
     | Buffer _ -> "box3d" | Varlat _ -> "component"
-    | Branch _ -> "diamond" | Merge _ -> "invtriangle"
+    | Branch _ | Branch_n _ -> "diamond"
+    | Merge _ | Merge_n _ -> "invtriangle"
     | Barrier _ -> "octagon" | Feedback _ -> "cds"
     | Func _ | Func2 _ -> "ellipse"
   in

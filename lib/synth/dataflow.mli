@@ -66,6 +66,23 @@ val branch :
 
 val merge :
   t -> ?name:string -> ?fairness:Melastic.M_merge.fairness -> port -> port -> port
+(** Binary merge — the two-element case of {!merge_n}.  For wider
+    reductions use {!merge_n} rather than hand-wiring a tree of binary
+    nodes. *)
+
+val merge_n :
+  t -> ?name:string -> ?fairness:Melastic.M_merge.fairness -> port list -> port
+(** N-way merge: a balanced tree of M-Merges
+    ({!Melastic.Component.collect}).  All inputs must share a width.
+    [fairness] defaults to [Fair]; see the {!Melastic.Component.collect}
+    note on the [Priority_a] offer-order hazard before overriding. *)
+
+val branch_n :
+  t -> ?name:string -> n:int -> sel:(S.builder -> S.t -> S.t) -> port ->
+  port array
+(** N-way branch: a chain of M-Branches steered by [sel] (payload ->
+    output index; {!Melastic.Component.fanout}).  Out-of-range indices
+    land on the last output. *)
 
 val barrier : t -> ?name:string -> ?participants:bool array -> port -> port
 

@@ -19,4 +19,5 @@ let () =
       Test_monitor.suite;
       Test_serve.suite;
       Test_mc.suite;
+      Test_noc.suite;
       Test_verilog.suite ]

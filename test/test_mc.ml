@@ -125,6 +125,21 @@ let branch_keeps_data () =
   let o = Mc.run (Mc.meb ~kind:Meb.Reduced ~policy:Policy.Valid_only ~threads:2) in
   Alcotest.(check bool) "meb collapses data" true o.Mc.stats.Mc.data_collapsed
 
+(* The NoC router node: steering is by data (the destination bit), so
+   the quotient must keep the data domain, and the node must verify
+   clean — no duplicated, dropped, misrouted or deadlocked token.
+   The expensive S=2 exploration already runs once via
+   [quick_suite_clean] (the router is part of the quick zoo); here we
+   pin the quotient refusal and the verdict on the cheap S=1 instance
+   rather than exploring the S=2 product space a second time. *)
+let router_node_clean () =
+  let o = Mc.run (Mc.router ~threads:1) in
+  Alcotest.(check bool) "router keeps data domain" false
+    o.Mc.stats.Mc.data_collapsed;
+  Alcotest.(check bool) "router clean" true o.Mc.clean;
+  Alcotest.(check bool) "router ok" true o.Mc.ok;
+  Alcotest.(check bool) "not truncated" false o.Mc.stats.Mc.truncated
+
 (* Pinned counterexamples for the documented composition hazards
    (modeling artifacts, not RTL bugs — see docs/PROTOCOL.md): the
    checker must keep finding each one, with a minimal trace. *)
@@ -166,6 +181,7 @@ let suite =
       Alcotest.test_case "reductions sound" `Quick reductions_sound;
       Alcotest.test_case "quick suite clean" `Quick quick_suite_clean;
       Alcotest.test_case "branch keeps data" `Quick branch_keeps_data;
+      Alcotest.test_case "router node clean" `Quick router_node_clean;
       Alcotest.test_case "fork retraction pinned" `Quick fork_retract_pinned;
       Alcotest.test_case "merge inversion pinned" `Quick merge_unordered_pinned;
       Alcotest.test_case "join anti-phase pinned" `Quick join_unaligned_pinned ] )

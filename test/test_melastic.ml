@@ -700,6 +700,53 @@ let test_barrier_with_stalled_sink () =
   Alcotest.(check int) "released after stall" 2
     (List.length (Workload.Mt_driver.outputs d))
 
+(* Component.fanout / collect: scatter by a payload field, tag each
+   arm, gather — every token comes back exactly once carrying its
+   arm's tag, and out-of-range indices fall through to the last arm. *)
+let test_fanout_collect () =
+  let threads = 2 and width = 16 in
+  let n = 3 in
+  let b = S.Builder.create () in
+  let src = Mc.source b ~name:"src" ~threads ~width in
+  (* Input-buffer the source, as every fanout/collect user does (the
+     NoC router, Dataflow): a merge only raises ready toward a valid
+     input, and the driver only asserts valid under ready, so wiring
+     the source straight into the network would deadlock. *)
+  let buffered =
+    Melastic.Component.buffer ~name:"inbuf"
+      ~policy:Melastic.Policy.Valid_only () b src
+  in
+  let arms =
+    Melastic.Component.fanout ~name:"fan" ~n
+      ~sel:(fun b d -> S.select b d ~hi:1 ~lo:0)
+      b buffered
+  in
+  let tagged =
+    Array.mapi
+      (fun i ch ->
+        Melastic.Component.map
+          (fun b d -> S.add b d (S.of_int b ~width ((i + 1) * 1000)))
+          b ch)
+      arms
+  in
+  Mc.sink b ~name:"snk" (Melastic.Component.collect ~name:"col" b tagged);
+  let sim = Hw.Sim.create (Hw.Circuit.create b) in
+  let d = Workload.Mt_driver.create sim ~src:"src" ~snk:"snk" ~threads ~width in
+  let inputs = List.init 12 (fun i -> i) in
+  List.iteri
+    (fun i v -> Workload.Mt_driver.push_int d ~thread:(i mod threads) v)
+    inputs;
+  Workload.Mt_driver.run d 200;
+  let expect v = v + (1000 * (1 + min (v land 3) (n - 1))) in
+  let expected = List.sort compare (List.map expect inputs) in
+  let got =
+    List.sort compare
+      (List.map
+         (fun (e : Workload.Mt_driver.event) -> Bits.to_int e.Workload.Mt_driver.data)
+         (Workload.Mt_driver.outputs d))
+  in
+  Alcotest.(check (list int)) "tokens tagged by arm, exactly once" expected got
+
 let kind_cases name f =
   List.map
     (fun kind ->
@@ -730,6 +777,8 @@ let suite =
         Alcotest.test_case "M-Fork delivers to both" `Quick test_m_fork_delivers;
         Alcotest.test_case "M-Branch/M-Merge roundtrip" `Quick
           test_m_branch_merge_roundtrip;
+        Alcotest.test_case "fanout/collect scatter-gather" `Quick
+          test_fanout_collect;
         Alcotest.test_case "aligned join pairs per thread" `Quick
           test_aligned_join_correct;
         Alcotest.test_case "Mt_varlat single context" `Quick

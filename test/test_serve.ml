@@ -212,6 +212,56 @@ let test_poisson_load () =
   let span = float_of_int arr.(199) /. 199. in
   Alcotest.(check bool) "mean inter-arrival sane" true (span > 10. && span < 40.)
 
+(* The packed-module path (create_b over Backend_intf.t) must be
+   observationally identical to the closure path (create over
+   make_replica): same job set, same per-job results. *)
+let test_create_b_matches_create () =
+  let jobs =
+    Array.init 10 (fun i -> Printf.sprintf "job %d %s" i (String.make (i * 3) 'y'))
+  in
+  let run t =
+    Array.iteri (fun i m -> ignore (Serve.Engine.submit ~arrival:(i * 3) t m)) jobs;
+    ignore (Serve.Engine.run ~domains:1 t);
+    Array.init (Array.length jobs) (fun i ->
+        match Serve.Engine.outcome t i with
+        | Serve.Engine.Completed { result; latency; _ } -> (result, latency)
+        | _ -> Alcotest.fail "expected completion")
+  in
+  let via_closure = run (md5_engine ~monitor:false ~slots:2 ()) in
+  let via_module =
+    run
+      (Serve.Engine.create_b
+         ~backend:(Serve.Md5_backend.backend ~monitor:false ~slots:2 ())
+         ())
+  in
+  Array.iteri
+    (fun i (r, l) ->
+      let r', l' = via_module.(i) in
+      Alcotest.(check string) "result" r r';
+      Alcotest.(check int) "latency" l l')
+    via_closure
+
+(* Packed backends carry their identity and monitor surface: the name
+   reflects the composition, and the probe list of a fabric-wrapped
+   backend is the fabric's channels plus the core's. *)
+let test_packed_backend_surface () =
+  let core = Serve.Md5_backend.backend ~slots:2 () in
+  Alcotest.(check string) "core name" "md5" (Serve.Backend_intf.name core);
+  Alcotest.(check (list string)) "core probes"
+    Serve.Md5_backend.monitored_probes
+    (Serve.Backend_intf.probes core);
+  let topology = Noc.Mesh { x = 2; y = 2 } in
+  let noc = Serve.Noc_backend.backend ~topology core in
+  Alcotest.(check string) "composed name" "noc-mesh2x2-md5"
+    (Serve.Backend_intf.name noc);
+  Alcotest.(check (list string)) "composed probes"
+    (Noc.probe_names (Noc.plan topology) @ Serve.Md5_backend.monitored_probes)
+    (Serve.Backend_intf.probes noc);
+  Alcotest.check_raises "malformed topology rejected"
+    (Invalid_argument "Noc: mesh sides must be >= 1")
+    (fun () ->
+      ignore (Serve.Noc_backend.backend ~topology:(Noc.Mesh { x = 0; y = 2 }) core))
+
 let test_percentile () =
   let a = [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
   Alcotest.(check int) "p50" 5 (Serve.Engine.percentile a 0.5);
@@ -231,5 +281,9 @@ let suite =
       Alcotest.test_case "deadline=1 boundary" `Quick
         test_deadline_one_boundary;
       Alcotest.test_case "replica invariance" `Quick test_replica_invariance;
+      Alcotest.test_case "create_b matches create" `Quick
+        test_create_b_matches_create;
+      Alcotest.test_case "packed backend surface" `Quick
+        test_packed_backend_surface;
       Alcotest.test_case "poisson load" `Quick test_poisson_load;
       Alcotest.test_case "percentile" `Quick test_percentile ] )

@@ -178,6 +178,81 @@ let test_varlat_node () =
       (ints (Workload.Mt_driver.output_sequence d ~thread:t))
   done
 
+(* 4-way scatter/gather through the N-way nodes: branch_n steers by
+   the low two payload bits, each arm tags its tokens, merge_n gathers.
+   Per-arm order must survive (each arm is one FIFO path). *)
+let test_branch_n_merge_n () =
+  let g = D.create ~threads:2 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let arms = D.branch_n g ~n:4 ~sel:(fun b d -> S.select b d ~hi:1 ~lo:0) x in
+  let arms =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           let p = D.buffer g p in
+           D.func g ~width:32
+             (fun b d -> S.add b d (const32 b ((i + 1) * 1000)))
+             p)
+         arms)
+  in
+  let y = D.merge_n g arms in
+  let y = D.buffer g y in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:2 ~width:32 in
+  let data = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:0 v) data;
+  Alcotest.(check bool) "drained" true
+    (Workload.Mt_driver.run_until_drained d ~limit:500);
+  let out = ints (Workload.Mt_driver.output_sequence d ~thread:0) in
+  for arm = 0 to 3 do
+    let base = (arm + 1) * 1000 in
+    Alcotest.(check (list int))
+      (Printf.sprintf "arm %d order" arm)
+      [ base + arm; base + arm + 4 ]
+      (List.filter (fun v -> v >= base && v < base + 1000) out)
+  done
+
+(* An out-of-range steer index lands on the last arm (the fanout
+   chain's fall-through). *)
+let test_branch_n_fall_through () =
+  let g = D.create ~threads:1 () in
+  let x = D.input g ~name:"x" ~width:32 in
+  let x = D.buffer g x in
+  let arms = D.branch_n g ~n:3 ~sel:(fun b d -> S.select b d ~hi:1 ~lo:0) x in
+  let arms =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           D.func g ~width:32
+             (fun b d -> S.add b d (const32 b ((i + 1) * 100)))
+             (D.buffer g p))
+         arms)
+  in
+  let y = D.buffer g (D.merge_n g arms) in
+  D.output g ~name:"y" y;
+  let _sim, d = driver (D.circuit g) ~threads:1 ~width:32 in
+  List.iter (fun v -> Workload.Mt_driver.push_int d ~thread:0 v) [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "drained" true
+    (Workload.Mt_driver.run_until_drained d ~limit:300);
+  let out = ints (Workload.Mt_driver.output_sequence d ~thread:0) in
+  (* index 3 exceeds the 3 arms and falls through to arm 2 *)
+  Alcotest.(check (list int)) "last arm gets 2 and 3" [ 302; 303 ]
+    (List.filter (fun v -> v >= 300) out)
+
+let test_merge_n_validation () =
+  let g = D.create ~threads:1 () in
+  (try
+     ignore (D.merge_n g []);
+     Alcotest.fail "empty merge_n should be rejected"
+   with D.Invalid_graph _ -> ());
+  let a = D.input g ~name:"a" ~width:8 in
+  let c = D.input g ~name:"c" ~width:16 in
+  (try
+     ignore (D.merge_n g [ a; c ]);
+     Alcotest.fail "width mismatch should be rejected"
+   with D.Invalid_graph _ -> ())
+
 let test_func_width_mismatch_rejected () =
   let g = D.create ~threads:2 () in
   let x = D.input g ~name:"x" ~width:32 in
@@ -222,6 +297,11 @@ let suite =
         test_loop_without_buffer_rejected;
       Alcotest.test_case "unclosed feedback rejected" `Quick
         test_unclosed_feedback_rejected;
+      Alcotest.test_case "branch_n/merge_n scatter-gather" `Quick
+        test_branch_n_merge_n;
+      Alcotest.test_case "branch_n fall-through" `Quick
+        test_branch_n_fall_through;
+      Alcotest.test_case "merge_n validation" `Quick test_merge_n_validation;
       Alcotest.test_case "barrier node" `Quick test_barrier_node;
       Alcotest.test_case "varlat node" `Quick test_varlat_node;
       Alcotest.test_case "func width mismatch rejected" `Quick
