@@ -358,8 +358,13 @@ let scenarios ~backend ~threads ~seed =
       (fun buf failures -> dataflow_barrier ~backend ~threads ~seed buf failures);
       (fun buf failures -> noc_mesh ~backend ~seed buf failures) ]
 
-let run ?(backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]) ?(threads = 4)
+let run ?backends ?(threads = 4)
     ?(seed = 0x5EED) ?domains () =
+  (* Default: every registered backend, so a new backend is stressed
+     by `check` the moment it lands in the registry. *)
+  let backends =
+    match backends with Some b -> b | None -> Hw.Sim.all_backends ()
+  in
   print_endline
     "=== check: randomized protocol-monitor stress (one-hot, stability, \
      conservation, watchdog, barrier) ===";

@@ -1,12 +1,15 @@
 (* Simulation-performance tracker (the `perf` subcommand): measures
-   cycles/second of the three simulation configurations — interpreter,
-   compiled, compiled + optimizer — on the two real kernels (MD5
-   reduced-MEB 8T and the MT processor), verifies cycle-for-cycle
-   equivalence of the optimized compiled simulation against the
-   interpreter under random stimulus, and measures the wall-clock
-   scaling of a [Parallel]-fanned sweep at 1 vs N domains.  Results go
-   to stdout and BENCH_sim_perf.json so the perf trajectory is tracked
-   across PRs.
+   cycles/second of every simulation configuration — one mode per
+   registered backend plus the optimizer and forced-fallback variants —
+   on the two real kernels (MD5 reduced-MEB 8T and the MT processor),
+   reports per-mode construction latency (for the JIT: codegen,
+   compile and load, and which cache layer supplied the kernel),
+   verifies a kernel x backend equivalence matrix against the
+   interpreter under random stimulus, measures cold-vs-warm JIT kernel
+   cache behaviour, and measures the wall-clock scaling of a
+   [Parallel]-fanned sweep at 1 vs N domains.  Results go to stdout
+   and BENCH_sim_perf.json so the perf trajectory is tracked across
+   PRs.
 
    All timings use wall clock ([Unix.gettimeofday]), not CPU time:
    CPU time would count every domain of the parallel sweep and make
@@ -14,12 +17,49 @@
 
 let wall () = Unix.gettimeofday ()
 
-type mode = { mlabel : string; backend : Hw.Sim.backend; optimize : bool }
+type mode = {
+  mlabel : string;
+  backend : Hw.Sim.backend;
+  optimize : bool;
+  fallback : bool;  (* pin the JIT to its threaded-code specializer *)
+}
 
-let modes =
-  [ { mlabel = "interp"; backend = Hw.Sim.Interp; optimize = false };
-    { mlabel = "compiled"; backend = Hw.Sim.Compiled; optimize = false };
-    { mlabel = "compiled_optimize"; backend = Hw.Sim.Compiled; optimize = true } ]
+(* Derived from the backend registry, so a newly registered backend
+   shows up in the perf table (and the JSON) without touching this
+   file.  The compiled backend gets an extra optimizer-on mode and the
+   JIT an extra forced-fallback mode, because those deltas are the
+   ratios the tracker exists to watch. *)
+let modes () =
+  List.concat_map
+    (fun backend ->
+      let name = Hw.Sim.backend_to_string backend in
+      let m ?(suffix = "") ?(optimize = false) ?(fallback = false) () =
+        { mlabel = name ^ suffix; backend; optimize; fallback }
+      in
+      match backend with
+      | Hw.Sim.Interp -> [ m () ]
+      | Hw.Sim.Compiled -> [ m (); m ~suffix:"_optimize" ~optimize:true () ]
+      | Hw.Sim.Jit ->
+        [ m ~optimize:true ();
+          m ~suffix:"_fallback" ~optimize:true ~fallback:true () ])
+    (Hw.Sim.all_backends ())
+
+let with_fallback fb f =
+  let saved = !Hw.Sim_jit.force_fallback in
+  Hw.Sim_jit.force_fallback := fb;
+  Fun.protect ~finally:(fun () -> Hw.Sim_jit.force_fallback := saved) f
+
+(* Construct one mode's simulator, timing the construction (for the
+   JIT this is where codegen + ocamlopt + Dynlink happen) and
+   capturing the JIT build statistics when applicable. *)
+let create_timed make mode =
+  let t0 = wall () in
+  let sim = with_fallback mode.fallback (fun () -> make mode) in
+  let create_seconds = wall () -. t0 in
+  let build =
+    if mode.backend = Hw.Sim.Jit then Hw.Sim_jit.last_build () else None
+  in
+  (sim, create_seconds, build)
 
 (* ---- kernel free-run timing ---- *)
 
@@ -48,6 +88,13 @@ let cpu_sim { backend; optimize; _ } =
   Cpu.Mt_pipeline.load_program sim t program;
   sim
 
+type timed = {
+  tmode : mode;
+  cps : float;
+  create_seconds : float;
+  build : Hw.Sim_jit.build_stats option;
+}
+
 (* Time every mode of one kernel, interleaved: each measurement round
    runs one short window per mode, and each mode reports its best
    window.  Two deliberate choices for noisy shared machines:
@@ -57,15 +104,15 @@ let cpu_sim { backend; optimize; _ } =
      simulator's true speed;
    - interleaving means a slow phase of the machine degrades some
      window of EVERY mode rather than the whole measurement of one,
-     so the compiled/optimized ratio is not skewed either way. *)
+     so the cross-mode ratios are not skewed either way. *)
 let time_modes make ~min_seconds =
   let sims =
     List.map
       (fun mode ->
-        let sim = make mode in
+        let sim, create_seconds, build = create_timed make mode in
         Hw.Sim.cycles sim 100 (* warm-up *);
-        (mode, sim, ref 0.0))
-      modes
+        (mode, sim, create_seconds, build, ref 0.0))
+      (modes ())
   in
   (* Collect the garbage of construction and warm-up, so every mode is
      timed on a clean heap (the interpreter allocates heavily; its
@@ -76,7 +123,7 @@ let time_modes make ~min_seconds =
   let window_seconds = min_seconds /. float_of_int windows in
   for _ = 1 to windows do
     List.iter
-      (fun (_, sim, best) ->
+      (fun (_, sim, _, _, best) ->
         let cycles = ref 0 in
         let t0 = wall () in
         while wall () -. t0 < window_seconds do
@@ -87,53 +134,115 @@ let time_modes make ~min_seconds =
         if cps > !best then best := cps)
       sims
   done;
-  List.map (fun (mode, _, best) -> (mode, !best)) sims
+  List.map
+    (fun (tmode, _, create_seconds, build, best) ->
+      { tmode; cps = !best; create_seconds; build })
+    sims
 
-(* ---- equivalence: optimized compiled vs interpreter ---- *)
+(* ---- equivalence matrix: each fast backend vs the interpreter ---- *)
 
-let check_equivalence ~cycles =
-  let make backend optimize =
-    let sim =
-      Hw.Sim.create ~backend ~optimize
-        (Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~probes:true
-           ~threads:8 ())
-    in
-    sim
+(* The four real kernels: the MD5 datapath, the MT processor, a
+   barrier dataflow graph, and a NoC router (crossbar + link MEBs).
+   Each entry builds a ready-to-run simulator for a given backend;
+   extra watch names are probes that must survive the optimizer. *)
+let eq_kernels () =
+  let cpu_config =
+    { (Cpu.Mt_pipeline.default_config ~threads:4) with
+      Cpu.Mt_pipeline.imem_size = 64; dmem_size = 32 }
   in
-  let si = make Hw.Sim.Interp false in
-  let sc = make Hw.Sim.Compiled true in
+  let cpu_program =
+    Cpu.Asm.assemble_words
+      "addi r1, r0, 1\nloop: add r2, r2, r1\nsw r2, 0(r1)\nlw r3, 0(r1)\n\
+       bne r3, r0, loop\nhalt\n"
+  in
+  [ ( "md5_reduced_8t",
+      (fun ~backend ~optimize ->
+        Hw.Sim.create ~backend ~optimize
+          (Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~probes:true
+             ~threads:8 ())),
+      (* Probes as well as outputs: name preservation through the
+         optimizer is part of what is being verified. *)
+      [ "round_counter"; "sync_ok" ] );
+    ( "cpu_4t",
+      (fun ~backend ~optimize ->
+        let circuit, t = Cpu.Mt_pipeline.circuit cpu_config in
+        let sim = Hw.Sim.create ~backend ~optimize circuit in
+        Cpu.Mt_pipeline.load_program sim t cpu_program;
+        sim),
+      [] );
+    ( "barrier_3t",
+      (fun ~backend ~optimize ->
+        let module D = Synth.Dataflow in
+        let g = D.create ~threads:3 () in
+        let x = D.input g ~name:"x" ~width:16 in
+        let x = D.buffer g x in
+        let y = D.barrier g ~name:"bar" x in
+        let y = D.buffer g y in
+        D.output g ~name:"y" y;
+        Hw.Sim.create ~backend ~optimize (D.circuit g)),
+      [] );
+    ( "noc_router_2x2",
+      (fun ~backend ~optimize ->
+        let _idx, circuit =
+          Noc.router_circuit ~payload_width:16
+            (Noc.plan (Noc.Mesh { x = 2; y = 2 }))
+        in
+        Hw.Sim.create ~backend ~optimize circuit),
+      [] ) ]
+
+let eq_backends = [ ("compiled_optimize", Hw.Sim.Compiled); ("jit", Hw.Sim.Jit) ]
+
+(* Drive the candidate and a fresh interpreter in lockstep under
+   identical random input traffic, comparing every output (plus the
+   extra probes) after every cycle. *)
+let lockstep_ok ~cycles ~seed ~kname ~blabel make extra_watch backend =
+  let si = make ~backend:Hw.Sim.Interp ~optimize:false in
+  let sx = make ~backend ~optimize:true in
   let circuit = Hw.Sim.circuit si in
   let inputs =
     Hashtbl.fold
       (fun name (s : Hw.Signal.t) acc -> (name, s.Hw.Signal.width) :: acc)
       circuit.Hw.Circuit.inputs []
   in
-  (* Probes as well as outputs: name preservation through the
-     optimizer is part of what is being verified. *)
-  let watched =
-    List.map fst circuit.Hw.Circuit.outputs
-    @ [ "round_counter"; "sync_ok" ]
-  in
-  let st = Random.State.make [| 0x0b5e55ed |] in
+  let watched = List.map fst circuit.Hw.Circuit.outputs @ extra_watch in
+  let st = Random.State.make [| seed |] in
   let ok = ref true in
   for _ = 1 to cycles do
     List.iter
       (fun (name, w) ->
         let v = Bits.random st ~width:w in
         Hw.Sim.poke si name v;
-        Hw.Sim.poke sc name v)
+        Hw.Sim.poke sx name v)
       inputs;
     Hw.Sim.cycle si;
-    Hw.Sim.cycle sc;
+    Hw.Sim.cycle sx;
     List.iter
       (fun name ->
-        if not (Bits.equal (Hw.Sim.peek si name) (Hw.Sim.peek sc name)) then begin
+        if not (Bits.equal (Hw.Sim.peek si name) (Hw.Sim.peek sx name))
+        then begin
           ok := false;
-          Printf.printf "MISMATCH at cycle %d on %S\n" (Hw.Sim.cycle_no si) name
+          Printf.printf "MISMATCH %s/%s at cycle %d on %S\n" kname blabel
+            (Hw.Sim.cycle_no si) name
         end)
       watched
   done;
   !ok
+
+let check_equivalence ~cycles =
+  List.concat_map
+    (fun (kname, make, extra_watch) ->
+      List.map
+        (fun (blabel, backend) ->
+          let ok =
+            lockstep_ok ~cycles ~seed:0x0b5e55ed ~kname ~blabel make
+              extra_watch backend
+          in
+          Printf.printf "equivalence %-16s %-18s vs interp over %d cycles: %s\n%!"
+            kname blabel cycles
+            (if ok then "ok" else "FAILED");
+          (kname, blabel, ok))
+        eq_backends)
+    (eq_kernels ())
 
 (* ---- parallel sweep scaling ---- *)
 
@@ -163,11 +272,52 @@ let time_sweep ~tasks ~domains ~seed =
   let cycles = Parallel.map ~domains (sweep_point ~seed) tasks in
   (wall () -. t0, Array.fold_left ( + ) 0 cycles)
 
+(* ---- JSON fragments ---- *)
+
+let json_opt_string = function
+  | None -> "null"
+  | Some s -> Printf.sprintf "%S" s
+
+let build_json (b : Hw.Sim_jit.build_stats) =
+  let mode_s, reason =
+    match b.Hw.Sim_jit.bmode with
+    | Hw.Sim_jit.Native -> ("native", None)
+    | Hw.Sim_jit.Fallback r -> ("fallback", Some r)
+  in
+  Printf.sprintf
+    "{ \"mode\": %S, \"fallback_reason\": %s, \"hash\": %S, \
+     \"process_cache_hit\": %b, \"disk_cache_hit\": %b, \
+     \"codegen_seconds\": %.4f, \"compile_seconds\": %.4f, \
+     \"load_seconds\": %.4f, \"emitted_nodes\": %d, \"closure_nodes\": %d, \
+     \"inlined_nodes\": %d, \"state_parts\": %d }"
+    mode_s (json_opt_string reason) b.hash b.process_cache_hit b.disk_cache_hit
+    b.codegen_seconds b.compile_seconds b.load_seconds b.emitted_nodes
+    b.closure_nodes b.inlined_nodes b.state_parts
+
+let mode_json t =
+  Printf.sprintf "{ \"cycles_per_sec\": %.1f, \"create_seconds\": %.4f%s }"
+    t.cps t.create_seconds
+    (match t.build with
+    | None -> ""
+    | Some b -> ", \"build\": " ^ build_json b)
+
 (* ---- top level ---- *)
 
-let run ?(quick = false) ?domains () =
-  Printf.printf "=== perf: simulation cycles/sec + parallel sweep scaling%s ===\n%!"
+let cps_of l name = (List.find (fun t -> t.tmode.mlabel = name) l).cps
+
+let build_of l name =
+  (List.find (fun t -> t.tmode.mlabel = name) l).build
+
+let run ?(quick = false) ?domains ?(clear_cache = false)
+    ?(expect_warm = false) () =
+  Printf.printf
+    "=== perf: simulation cycles/sec + JIT cache + parallel sweep scaling%s ===\n%!"
     (if quick then " (quick)" else "");
+  if clear_cache then begin
+    Hw.Sim_jit.clear_disk_cache ();
+    Printf.printf "cleared JIT kernel cache (%s)\n%!" (Hw.Sim_jit.cache_dir ())
+  end;
+  Hw.Sim_jit.reset_cache_counters ();
   let min_seconds = if quick then 0.15 else 1.0 in
   let eq_cycles = if quick then 100 else 300 in
   let sweep_tasks = if quick then 4 else 8 in
@@ -175,24 +325,99 @@ let run ?(quick = false) ?domains () =
   let domains = match domains with Some d -> max 1 d | None -> cores in
   let time kernel make =
     List.map
-      (fun (mode, cps) ->
-        Printf.printf "%-16s %-18s %10.0f cycles/s\n%!" kernel mode.mlabel cps;
-        (mode.mlabel, cps))
+      (fun t ->
+        Printf.printf "%-16s %-18s %10.0f cycles/s   (create %6.3fs)\n%!"
+          kernel t.tmode.mlabel t.cps t.create_seconds;
+        (match t.build with
+        | Some b ->
+          let mode_s, reason =
+            match b.Hw.Sim_jit.bmode with
+            | Hw.Sim_jit.Native -> ("native", "")
+            | Hw.Sim_jit.Fallback r -> ("fallback", " (" ^ r ^ ")")
+          in
+          Printf.printf
+            "  %-14s kernel: %s%s hash=%s codegen=%.3fs compile=%.3fs \
+             load=%.3fs emitted=%d closures=%d inlined=%d parts=%d cache=%s\n%!"
+            t.tmode.mlabel mode_s reason
+            (String.sub b.Hw.Sim_jit.hash 0 12)
+            b.Hw.Sim_jit.codegen_seconds b.Hw.Sim_jit.compile_seconds
+            b.Hw.Sim_jit.load_seconds b.Hw.Sim_jit.emitted_nodes
+            b.Hw.Sim_jit.closure_nodes b.Hw.Sim_jit.inlined_nodes
+            b.Hw.Sim_jit.state_parts
+            (if b.Hw.Sim_jit.process_cache_hit then "process"
+             else if b.Hw.Sim_jit.disk_cache_hit then "disk"
+             else "miss")
+        | None -> ());
+        t)
       (time_modes make ~min_seconds)
   in
   let md5 = time "md5-reduced-8t" md5_sim in
   let cpu = time "cpu-4t" cpu_sim in
-  let cps l name = List.assoc name l in
-  let opt_speedup l = cps l "compiled_optimize" /. cps l "compiled" in
-  Printf.printf "md5 optimize speedup (compiled_optimize/compiled): %.2fx\n"
-    (opt_speedup md5);
-  Printf.printf "cpu optimize speedup (compiled_optimize/compiled): %.2fx\n%!"
-    (opt_speedup cpu);
-  let equivalent = check_equivalence ~cycles:eq_cycles in
+  let ratio l a b = cps_of l a /. cps_of l b in
+  List.iter
+    (fun (kernel, l) ->
+      Printf.printf
+        "%s: optimize %.2fx, compiled/interp %.2fx, jit/compiled_optimize \
+         %.2fx, jit_fallback/compiled_optimize %.2fx\n%!"
+        kernel
+        (ratio l "compiled_optimize" "compiled")
+        (ratio l "compiled" "interp")
+        (ratio l "jit" "compiled_optimize")
+        (ratio l "jit_fallback" "compiled_optimize"))
+    [ ("md5-reduced-8t", md5); ("cpu-4t", cpu) ];
+  (* Equivalence matrix: every fast backend against the interpreter on
+     every kernel, random traffic, bit-exact or the run fails. *)
+  let matrix = check_equivalence ~cycles:eq_cycles in
+  let equivalent = List.for_all (fun (_, _, ok) -> ok) matrix in
+  (* Cold-vs-warm kernel cache: the counters so far cover every JIT
+     create above (cold when this invocation compiled, disk hits when
+     a previous invocation's cache supplied the kernel); then drop the
+     process cache and re-create the bench kernels, which must all
+     come back from disk. *)
+  let first_hits, first_misses = Hw.Sim_jit.cache_counters () in
+  Hw.Sim_jit.clear_process_cache ();
+  Hw.Sim_jit.reset_cache_counters ();
+  let jit_mode =
+    { mlabel = "jit"; backend = Hw.Sim.Jit; optimize = true; fallback = false }
+  in
+  let warm_creates =
+    List.map
+      (fun (label, make) ->
+        let _sim, s, _ = create_timed make jit_mode in
+        (label, s))
+      [ ("md5_reduced_8t", md5_sim); ("cpu_4t", cpu_sim) ]
+  in
+  let warm_hits, warm_misses = Hw.Sim_jit.cache_counters () in
+  let jit_native =
+    match build_of md5 "jit" with
+    | Some { Hw.Sim_jit.bmode = Hw.Sim_jit.Native; _ } -> true
+    | _ -> false
+  in
+  let warm_all_hits = jit_native && warm_misses = 0 && warm_hits > 0 in
   Printf.printf
-    "optimized-compiled vs interpreter equivalence over %d cycles: %s\n%!"
-    eq_cycles
-    (if equivalent then "ok" else "FAILED");
+    "jit cache: first run %d disk hits / %d misses; warm re-create %d hits / \
+     %d misses (%s)\n%!"
+    first_hits first_misses warm_hits warm_misses
+    (String.concat ", "
+       (List.map (fun (l, s) -> Printf.sprintf "%s %.3fs" l s) warm_creates));
+  (* Headline gate: the native JIT must clear 1M cycles/sec on the MD5
+     kernel; when only the fallback specializer is available the gate
+     is its speedup over the closure backend instead, with the reason
+     recorded. *)
+  let jit_cps = cps_of md5 "jit" in
+  let fallback_reason =
+    match build_of md5 "jit" with
+    | Some { Hw.Sim_jit.bmode = Hw.Sim_jit.Fallback r; _ } -> Some r
+    | _ -> None
+  in
+  let headline_met =
+    if jit_native then jit_cps >= 1_000_000.0
+    else ratio md5 "jit" "compiled_optimize" >= 2.0
+  in
+  Printf.printf "headline: md5_reduced_8t jit (%s) %.0f cycles/s — %s\n%!"
+    (if jit_native then "native" else "fallback")
+    jit_cps
+    (if headline_met then "target met" else "BELOW TARGET");
   let seed = 0x51eed in
   (* A 1-vs-N scaling comparison is meaningless when only one core is
      available (both runs execute serially and the "speedup" is timer
@@ -219,29 +444,43 @@ let run ?(quick = false) ?domains () =
   in
   let oc = open_out "BENCH_sim_perf.json" in
   let kernel_json l =
-    Printf.sprintf
-      "{ \"interp_cycles_per_sec\": %.1f, \"compiled_cycles_per_sec\": %.1f, \
-       \"compiled_optimize_cycles_per_sec\": %.1f, \"optimize_speedup\": %.3f, \
-       \"compiled_speedup_over_interp\": %.3f }"
-      (cps l "interp") (cps l "compiled")
-      (cps l "compiled_optimize")
-      (opt_speedup l)
-      (cps l "compiled" /. cps l "interp")
-  in
-  let sweep_json =
-    let t1, tn = sweep in
+    let modes_s =
+      String.concat ",\n"
+        (List.map
+           (fun t ->
+             Printf.sprintf "        %S: %s" t.tmode.mlabel (mode_json t))
+           l)
+    in
     Printf.sprintf
       "{\n\
-      %s\
-      \    \"tasks\": %d,\n\
-      \    \"seconds_at_1_domain\": %.3f,\n\
-      \    \"seconds_at_n_domains\": %.3f,\n\
-      \    \"domains\": %d,\n\
-      \    \"speedup\": %.3f,\n\
-      \    \"cores_available\": %d\n\
-      \  }"
-      (if sequential then "    \"skipped\": \"single core\",\n" else "")
-      sweep_tasks t1 tn domains (t1 /. tn) cores
+      \      \"modes\": {\n\
+       %s\n\
+      \      },\n\
+      \      \"optimize_speedup\": %.3f,\n\
+      \      \"compiled_speedup_over_interp\": %.3f,\n\
+      \      \"jit_speedup_over_compiled_optimize\": %.3f,\n\
+      \      \"jit_fallback_speedup_over_compiled_optimize\": %.3f\n\
+      \    }"
+      modes_s
+      (ratio l "compiled_optimize" "compiled")
+      (ratio l "compiled" "interp")
+      (ratio l "jit" "compiled_optimize")
+      (ratio l "jit_fallback" "compiled_optimize")
+  in
+  let matrix_json =
+    String.concat ",\n"
+      (List.map
+         (fun (kname, blabel, ok) ->
+           Printf.sprintf
+             "      { \"kernel\": %S, \"backend\": %S, \"ok\": %b }" kname
+             blabel ok)
+         matrix)
+  in
+  let warm_creates_json =
+    String.concat ", "
+      (List.map
+         (fun (l, s) -> Printf.sprintf "%S: %.4f" l s)
+         warm_creates)
   in
   Printf.fprintf oc
     "{\n\
@@ -251,18 +490,63 @@ let run ?(quick = false) ?domains () =
     \    \"md5_reduced_8t\": %s,\n\
     \    \"cpu_4t\": %s\n\
     \  },\n\
-    \  \"equivalence\": { \"cycles\": %d, \"ok\": %b },\n\
+    \  \"headline\": { \"kernel\": \"md5_reduced_8t\", \"jit_mode\": %S, \
+     \"fallback_reason\": %s, \"jit_cycles_per_sec\": %.1f, \
+     \"target\": %s, \"met\": %b },\n\
+    \  \"equivalence\": {\n\
+    \    \"cycles\": %d,\n\
+    \    \"ok\": %b,\n\
+    \    \"matrix\": [\n\
+     %s\n\
+    \    ]\n\
+    \  },\n\
+    \  \"jit_cache\": {\n\
+    \    \"first_run\": { \"disk_hits\": %d, \"disk_misses\": %d },\n\
+    \    \"warm_rerun\": { \"disk_hits\": %d, \"disk_misses\": %d, \
+     \"create_seconds\": { %s }, \"all_hits\": %b }\n\
+    \  },\n\
     \  \"sweep\": %s\n\
      }\n"
-    quick (kernel_json md5) (kernel_json cpu) eq_cycles equivalent sweep_json;
+    quick (kernel_json md5) (kernel_json cpu)
+    (if jit_native then "native" else "fallback")
+    (json_opt_string fallback_reason)
+    jit_cps
+    (if jit_native then "\"1000000 cycles/sec\""
+     else "\"2x over compiled_optimize\"")
+    headline_met eq_cycles equivalent matrix_json first_hits first_misses
+    warm_hits warm_misses warm_creates_json warm_all_hits
+    (let t1, tn = sweep in
+     Printf.sprintf
+       "{\n\
+       %s\
+       \    \"tasks\": %d,\n\
+       \    \"seconds_at_1_domain\": %.3f,\n\
+       \    \"seconds_at_n_domains\": %.3f,\n\
+       \    \"domains\": %d,\n\
+       \    \"speedup\": %.3f,\n\
+       \    \"cores_available\": %d\n\
+       \  }"
+       (if sequential then "    \"skipped\": \"single core\",\n" else "")
+       sweep_tasks t1 tn domains (t1 /. tn) cores);
   close_out oc;
   print_endline "wrote BENCH_sim_perf.json";
   if not equivalent then begin
     Printf.eprintf
-      "FAIL perf: kernel=md5-reduced-8t backends=interp,compiled_optimize \
-       cycles=%d expected=bit-identical outputs+probes got=mismatches (see \
-       MISMATCH lines above)\n\
+      "FAIL perf: equivalence matrix has mismatching cells (see MISMATCH \
+       lines above): %s\n\
        %!"
-      eq_cycles;
+      (String.concat ", "
+         (List.filter_map
+            (fun (k, b, ok) -> if ok then None else Some (k ^ "/" ^ b))
+            matrix));
+    exit 1
+  end;
+  if expect_warm && (first_misses > 0 || not jit_native) then begin
+    Printf.eprintf
+      "FAIL perf --expect-warm: expected every JIT kernel to load from the \
+       disk cache, got %d hits / %d misses (mode %s)\n\
+       %!"
+      first_hits first_misses
+      (if jit_native then "native" else "fallback");
     exit 1
   end

@@ -6,8 +6,10 @@
      main.exe                 run everything
      main.exe fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare
      main.exe check           randomized protocol-monitor stress (non-zero exit on violation)
-     main.exe perf            simulation cycles/sec + parallel sweep scaling (BENCH_sim_perf.json)
+     main.exe perf            simulation cycles/sec + JIT cache + parallel sweep scaling (BENCH_sim_perf.json)
      main.exe perf --quick    shortened perf run, for CI smoke
+     main.exe perf --clear-cache   drop the JIT kernel disk cache first
+     main.exe perf --expect-warm   fail unless every JIT kernel loads from the disk cache
      main.exe serve           continuous-batching serving benchmark (BENCH_serve.json)
      main.exe serve --quick   shortened serving run, for CI smoke
      main.exe mc              exhaustive protocol model checking (BENCH_mc.json, non-zero exit on violation)
@@ -16,60 +18,53 @@
      main.exe noc --quick     shortened sweep, for CI smoke
      main.exe table1 --threads 16
      main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
-     main.exe --backend compiled   (simulator backend for all experiments) *)
+     main.exe --backend jit   simulator backend for all experiments
+                              (names and aliases from the backend registry) *)
 
 let usage () =
-  prerr_endline
+  Printf.eprintf
     "usage: main.exe \
      [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|mc|noc] \
-     [--threads N] [--domains N] [--quick] [--backend interp|compiled]";
+     [--threads N] [--domains N] [--quick] [--backend %s]\n\
+     perf flags: --clear-cache (drop the JIT kernel disk cache first), \
+     --expect-warm (fail unless every JIT kernel loads from the disk cache)\n\
+     backends:\n\
+     %s"
+    (String.concat "|" (Hw.Sim.backend_names ()))
+    (Hw.Sim.backend_help ());
   exit 2
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let threads =
-    let rec find = function
-      | "--threads" :: n :: _ -> int_of_string n
-      | _ :: rest -> find rest
-      | [] -> 8
-    in
-    find args
-  in
-  let domains =
-    let rec find = function
-      | "--domains" :: n :: _ -> Some (int_of_string n)
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
-  let quick = List.mem "--quick" args in
+  let threads = ref 8 in
+  let domains = ref None in
+  let quick = ref false in
+  let clear_cache = ref false in
+  let expect_warm = ref false in
   (* All experiments create simulators through Hw.Sim.create, so one
-     flag switches every run between the interpreter and the compiled
-     backend. *)
+     flag switches every run between the registered backends. *)
   let explicit_backend = ref false in
-  let rec find_backend = function
-    | "--backend" :: b :: _ ->
+  let cmds = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threads" :: n :: rest -> threads := int_of_string n; parse rest
+    | "--domains" :: n :: rest -> domains := Some (int_of_string n); parse rest
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--clear-cache" :: rest -> clear_cache := true; parse rest
+    | "--expect-warm" :: rest -> expect_warm := true; parse rest
+    | "--backend" :: b :: rest ->
       (try
          Hw.Sim.default_backend := Hw.Sim.backend_of_string b;
          explicit_backend := true
-       with Invalid_argument _ -> usage ())
-    | _ :: rest -> find_backend rest
-    | [] -> ()
+       with Invalid_argument msg -> prerr_endline msg; usage ());
+      parse rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+      Printf.eprintf "unknown flag %s\n" a;
+      usage ()
+    | a :: rest -> cmds := a :: !cmds; parse rest
   in
-  find_backend args;
-  let cmds =
-    List.filter (fun a -> String.length a > 0 && a.[0] <> '-') (List.tl args)
-  in
-  let cmds =
-    List.filter
-      (fun a ->
-        not (String.for_all (fun c -> c >= '0' && c <= '9') a)
-        && a <> Hw.Sim.backend_to_string !Hw.Sim.default_backend
-        && a <> "interpreter" && a <> "compile")
-      cmds
-  in
-  match cmds with
+  parse (List.tl (Array.to_list Sys.argv));
+  let domains = !domains and threads = !threads and quick = !quick in
+  match List.rev !cmds with
   | [] ->
     Exp_fig1.run ();
     Exp_fig2.run ();
@@ -91,14 +86,16 @@ let () =
   | [ "kernels" ] -> Bench_kernels.run ()
   | [ "backend-compare" ] -> Exp_backend.run ()
   | [ "check" ] ->
-    (* The stress harness covers both backends unless one was pinned
-       explicitly on the command line. *)
+    (* The stress harness covers every registered backend unless one
+       was pinned explicitly on the command line. *)
     let backends =
       if !explicit_backend then [ !Hw.Sim.default_backend ]
-      else [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+      else Hw.Sim.all_backends ()
     in
     exit (min 1 (Exp_check.run ~backends ~threads ?domains ()))
-  | [ "perf" ] -> Exp_perf.run ~quick ?domains ()
+  | [ "perf" ] ->
+    Exp_perf.run ~quick ?domains ~clear_cache:!clear_cache
+      ~expect_warm:!expect_warm ()
   | [ "serve" ] -> Exp_serve.run ~quick ?domains ()
   | [ "mc" ] -> exit (min 1 (Exp_mc.run ~quick ()))
   | [ "noc" ] -> Exp_noc.run ~quick ?domains ()

@@ -25,6 +25,34 @@ let kind_arg =
 let threads_arg =
   Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Number of threads.")
 
+(* Simulator backend, straight from the registry: names, aliases and
+   the per-backend doc lines all come from Hw.Sim, so a backend added
+   there shows up here without edits. *)
+let backend_conv =
+  let parse s =
+    match Hw.Sim.backend_of_string s with
+    | b -> Ok b
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt b -> Format.pp_print_string fmt (Hw.Sim.backend_to_string b))
+
+let backend_arg =
+  let doc =
+    Printf.sprintf "Simulator backend (%s). %s"
+      (String.concat "|" (Hw.Sim.backend_names ()))
+      (String.concat " "
+         (List.map
+            (fun b ->
+              Printf.sprintf "%s: %s." (Hw.Sim.backend_to_string b)
+                (Hw.Sim.backend_doc b))
+            (Hw.Sim.all_backends ())))
+  in
+  Arg.(value & opt (some backend_conv) None
+       & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let set_backend = Option.iter (fun b -> Hw.Sim.default_backend := b)
+
 let read_file path =
   let ic = open_in path in
   let n = in_channel_length ic in
@@ -55,7 +83,8 @@ let run_cmd =
   let limit =
     Arg.(value & opt int 100000 & info [ "limit" ] ~docv:"CYCLES" ~doc:"Cycle budget.")
   in
-  let run file threads kind limit =
+  let run backend file threads kind limit =
+    set_backend backend;
     match Cpu.Asm.assemble_words (read_file file) with
     | exception Cpu.Asm.Error msg ->
       Printf.eprintf "assembly error: %s\n" msg;
@@ -87,13 +116,14 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Assemble and run a program on the MT elastic pipeline.")
-    Term.(ret (const run $ file $ threads_arg $ kind_arg $ limit))
+    Term.(ret (const run $ backend_arg $ file $ threads_arg $ kind_arg $ limit))
 
 (* --- md5 --- *)
 
 let md5_cmd =
   let msgs = Arg.(non_empty & pos_all string [] & info [] ~docv:"MSG") in
-  let run kind msgs =
+  let run backend kind msgs =
+    set_backend backend;
     let threads = List.length msgs in
     let sim = Hw.Sim.create (Md5.Md5_circuit.circuit ~kind ~threads ()) in
     let digests = Md5.Md5_host.hash_messages sim msgs in
@@ -102,7 +132,7 @@ let md5_cmd =
   in
   Cmd.v
     (Cmd.info "md5" ~doc:"Hash messages (any length) on the MT elastic MD5 circuit.")
-    Term.(ret (const run $ kind_arg $ msgs))
+    Term.(ret (const run $ backend_arg $ kind_arg $ msgs))
 
 (* --- serve --- *)
 
@@ -135,7 +165,8 @@ let serve_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Arrival-process seed.")
   in
-  let run kind msgs slots replicas domains rate deadline monitor seed =
+  let run backend kind msgs slots replicas domains rate deadline monitor seed =
+    set_backend backend;
     let t =
       Serve.Engine.create ~replicas
         ~make_replica:(Serve.Md5_backend.make ~kind ~monitor ~slots ())
@@ -169,8 +200,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve messages through the continuous-batching MD5 request server.")
     Term.(ret
-            (const run $ kind_arg $ msgs $ slots $ replicas $ domains $ rate
-             $ deadline $ monitor $ seed))
+            (const run $ backend_arg $ kind_arg $ msgs $ slots $ replicas
+             $ domains $ rate $ deadline $ monitor $ seed))
 
 (* --- report --- *)
 
@@ -205,7 +236,8 @@ let report_cmd =
 
 let vcd_cmd =
   let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
-  let run kind out =
+  let run backend kind out =
+    set_backend backend;
     let module S = Hw.Signal in
     let module Mc = Melastic.Mt_channel in
     let b = S.Builder.create () in
@@ -240,14 +272,15 @@ let vcd_cmd =
   in
   Cmd.v
     (Cmd.info "vcd" ~doc:"Dump a VCD waveform of the Fig. 5 stall scenario.")
-    Term.(const run $ kind_arg $ out)
+    Term.(const run $ backend_arg $ kind_arg $ out)
 
 (* --- tb: DUT + self-checking testbench from a recorded run --- *)
 
 let tb_cmd =
   let dut = Arg.(required & pos 0 (some string) None & info [] ~docv:"DUT.v") in
   let tbf = Arg.(required & pos 1 (some string) None & info [] ~docv:"TB.v") in
-  let run kind dut tbf =
+  let run backend kind dut tbf =
+    set_backend backend;
     (* Record the Fig. 5 stall scenario and emit DUT + testbench. *)
     let module S = Hw.Signal in
     let module Mc = Melastic.Mt_channel in
@@ -274,7 +307,7 @@ let tb_cmd =
   Cmd.v
     (Cmd.info "tb"
        ~doc:"Emit a DUT and self-checking testbench from a recorded simulation.")
-    Term.(const run $ kind_arg $ dut $ tbf)
+    Term.(const run $ backend_arg $ kind_arg $ dut $ tbf)
 
 (* --- verilog --- *)
 

@@ -269,30 +269,73 @@ let select t ~hi ~lo =
       (Printf.sprintf "Bits.select: bad range [%d:%d] of width %d" hi lo t.width);
   let w = hi - lo + 1 in
   let r = zero w in
-  for i = 0 to w - 1 do
-    if bit t (lo + i) then
-      r.limbs.(i / limb_bits) <- r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  (* Limb-wise: each result limb is one source limb shifted down, plus
+     the spill-over of the next. *)
+  let off = lo / limb_bits and sh = lo mod limb_bits in
+  let ns = Array.length t.limbs in
+  for i = 0 to Array.length r.limbs - 1 do
+    let v = t.limbs.(off + i) lsr sh in
+    let v =
+      if sh > 0 && off + i + 1 < ns then
+        v lor ((t.limbs.(off + i + 1) lsl (limb_bits - sh)) land limb_mask)
+      else v
+    in
+    r.limbs.(i) <- v
   done;
-  r
+  normalize r
 
 let concat = function
   | [] -> invalid_arg "Bits.concat: empty list"
   | parts ->
     let w = List.fold_left (fun acc p -> acc + p.width) 0 parts in
     let r = zero w in
-    (* Walk from the least-significant part (last in list) upwards. *)
+    (* Walk from the least-significant part (last in list) upwards,
+       OR-ing each part's limbs in at its bit offset. *)
     let pos = ref 0 in
     List.iter
       (fun p ->
-        for i = 0 to p.width - 1 do
-          if bit p i then begin
-            let j = !pos + i in
-            r.limbs.(j / limb_bits) <- r.limbs.(j / limb_bits) lor (1 lsl (j mod limb_bits))
-          end
-        done;
+        let off = !pos / limb_bits and sh = !pos mod limb_bits in
+        let nr = Array.length r.limbs in
+        Array.iteri
+          (fun i v ->
+            r.limbs.(off + i) <- r.limbs.(off + i) lor ((v lsl sh) land limb_mask);
+            if sh > 0 && off + i + 1 < nr then
+              r.limbs.(off + i + 1) <-
+                r.limbs.(off + i + 1) lor (v lsr (limb_bits - sh)))
+          p.limbs;
         pos := !pos + p.width)
       (List.rev parts);
     r
+
+(* In-place field builders: OR a value into an all-zero region of [t]
+   at bit offset [pos].  These exist for the simulator backends, which
+   assemble wide concatenations field-by-field without boxing each
+   narrow part as a [t] first; the result must not escape to callers
+   until every field is in place (our [t]s are immutable by
+   convention). *)
+
+let or_int_into t ~pos ~width v =
+  let off = pos / limb_bits and sh = pos mod limb_bits in
+  let v = v land ((1 lsl width) - 1) in
+  t.limbs.(off) <- t.limbs.(off) lor ((v lsl sh) land limb_mask);
+  let v = ref (v lsr (limb_bits - sh)) in
+  let off = ref off in
+  while !v <> 0 do
+    incr off;
+    t.limbs.(!off) <- t.limbs.(!off) lor (!v land limb_mask);
+    v := !v lsr limb_bits
+  done
+
+let or_bits_into t ~pos src =
+  let off = pos / limb_bits and sh = pos mod limb_bits in
+  let nr = Array.length t.limbs in
+  Array.iteri
+    (fun i v ->
+      t.limbs.(off + i) <- t.limbs.(off + i) lor ((v lsl sh) land limb_mask);
+      if sh > 0 && off + i + 1 < nr then
+        t.limbs.(off + i + 1) <-
+          t.limbs.(off + i + 1) lor (v lsr (limb_bits - sh)))
+    src.limbs
 
 let uresize t w =
   check_width w;
@@ -381,18 +424,27 @@ let select_int t ~hi ~lo =
     invalid_arg
       (Printf.sprintf "Bits.select_int: slice width %d exceeds int fast path (%d)"
          w max_int_width);
-  let r = ref 0 in
-  let pos = ref 0 in
-  while !pos < w do
-    let bit_index = lo + !pos in
-    let limb = t.limbs.(bit_index / limb_bits) in
-    let off = bit_index mod limb_bits in
-    let avail = min (limb_bits - off) (w - !pos) in
-    let chunk = (limb lsr off) land ((1 lsl avail) - 1) in
-    r := !r lor (chunk lsl !pos);
-    pos := !pos + avail
-  done;
-  !r
+  (* At most three limbs cover a [max_int_width]-bit slice; gather them
+     directly.  [got2 = 2 * limb_bits - sh] is only reached when
+     [w > got2], which (with [w <= max_int_width]) bounds the shift
+     below [Sys.int_size]. *)
+  let off = lo / limb_bits and sh = lo mod limb_bits in
+  let v = ref (t.limbs.(off) lsr sh) in
+  let got = limb_bits - sh in
+  if w > got then begin
+    v := !v lor (t.limbs.(off + 1) lsl got);
+    let got2 = got + limb_bits in
+    if w > got2 then v := !v lor (t.limbs.(off + 2) lsl got2)
+  end;
+  !v land ((1 lsl w) - 1)
+
+let limb_width = limb_bits
+
+(* Raw limb read, no bounds check: generated simulator kernels lower
+   limb-aligned lane extracts (the dominant select shape on 32-bit
+   datapaths) to a single load through this.  [i] must be within the
+   limb array; the value is exact because limbs are kept normalized. *)
+let get_limb t i = Array.unsafe_get t.limbs i
 
 let to_string t = Printf.sprintf "%d'h%s" t.width (to_hex_string t)
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -119,6 +119,19 @@ val concat : t list -> t
 val select : t -> hi:int -> lo:int -> t
 (** Bits [hi..lo] inclusive, as a vector of width [hi - lo + 1]. *)
 
+val or_int_into : t -> pos:int -> width:int -> int -> unit
+(** [or_int_into t ~pos ~width v] ORs the low [width] bits of [v] into
+    [t] at bit offset [pos].  In-place builder for the simulator
+    backends, which assemble wide concatenations field-by-field: the
+    target region must be zero (start from {!zero}) and the result
+    must not escape until every field is in place — [t]s are immutable
+    by convention everywhere else.  [width] must be at most
+    {!max_int_width} and [pos + width] within [t]. *)
+
+val or_bits_into : t -> pos:int -> t -> unit
+(** [or_bits_into t ~pos src] ORs [src] into [t] at bit offset [pos];
+    same contract as {!or_int_into}. *)
+
 val uresize : t -> int -> t
 (** Zero-extend or truncate to the given width. *)
 
@@ -151,6 +164,16 @@ val select_int : t -> hi:int -> lo:int -> int
 (** [select_int t ~hi ~lo] is [to_int_exn (select t ~hi ~lo)] without
     allocating.  Raises [Invalid_argument] on a bad range or a slice
     wider than {!max_int_width}. *)
+
+val limb_width : int
+(** Bits per storage limb (32). *)
+
+val get_limb : t -> int -> int
+(** Raw read of the [i]-th {!limb_width}-bit limb (limb 0 is least
+    significant), exact because limbs are kept normalized.  No bounds
+    check — [i] must be below [limbs_for (width t)].  For simulator
+    kernels lowering limb-aligned lane extracts to a single load;
+    everything else should use {!select_int}. *)
 
 (** {1 Misc} *)
 

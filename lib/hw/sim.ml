@@ -18,14 +18,61 @@
    optimization by construction ([Transform] keeps the live cone of
    every named signal and carries merged names as aliases). *)
 
-type backend = Interp | Compiled
+type backend = Interp | Compiled | Jit
 
-let backend_of_string = function
-  | "interp" | "interpreter" -> Interp
-  | "compiled" | "compile" -> Compiled
-  | s -> invalid_arg (Printf.sprintf "Sim.backend_of_string: %s" s)
+(* The one backend registry.  The dispatcher, [backend_of_string], the
+   bench/CLI flag parsers and the help text are all derived from this
+   list, so a new backend added here is automatically accepted and
+   documented everywhere. *)
+type backend_info = {
+  backend : backend;
+  bname : string; (* canonical flag name *)
+  aliases : string list;
+  doc : string;
+  impl : (module Sim_intf.S);
+  optimize_default : bool; (* [create ?optimize] default *)
+}
 
-let backend_to_string = function Interp -> "interp" | Compiled -> "compiled"
+let backends : backend_info list =
+  [ { backend = Interp; bname = "interp"; aliases = [ "interpreter" ];
+      doc = "reference interpreter (slow, zero setup cost)";
+      impl = (module Sim_interp); optimize_default = false };
+    { backend = Compiled; bname = "compiled"; aliases = [ "compile" ];
+      doc = "pre-compiled closures with an unboxed-int fast path";
+      impl = (module Sim_compiled); optimize_default = true };
+    { backend = Jit; bname = "jit"; aliases = [];
+      doc =
+        "native code: cones emitted as OCaml, compiled and dynlinked \
+         (threaded-code fallback when the toolchain is unavailable)";
+      impl = (module Sim_jit); optimize_default = true } ]
+
+let backend_info b = List.find (fun i -> i.backend = b) backends
+
+let backend_of_string s =
+  match
+    List.find_opt (fun i -> i.bname = s || List.mem s i.aliases) backends
+  with
+  | Some i -> i.backend
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sim.backend_of_string: %S (expected %s)" s
+         (String.concat "|"
+            (List.concat_map (fun i -> i.bname :: i.aliases) backends)))
+
+let backend_to_string b = (backend_info b).bname
+let backend_doc b = (backend_info b).doc
+let backend_names () = List.map (fun i -> i.bname) backends
+let all_backends () = List.map (fun i -> i.backend) backends
+
+let backend_help () =
+  String.concat "\n"
+    (List.map
+       (fun i ->
+         Printf.sprintf "  %-10s %s%s" i.bname i.doc
+           (match i.aliases with
+            | [] -> ""
+            | l -> Printf.sprintf " (alias: %s)" (String.concat ", " l)))
+       backends)
 
 let default_backend = ref Interp
 
@@ -45,9 +92,7 @@ let pack (type a) (module M : Sim_intf.S with type t = a) (s : a) =
 
 let create_from (module M : Sim_intf.S) circuit = pack (module M) (M.create circuit)
 
-let module_of_backend : backend -> (module Sim_intf.S) = function
-  | Interp -> (module Sim_interp)
-  | Compiled -> (module Sim_compiled)
+let module_of_backend b = (backend_info b).impl
 
 (* Remap wrapper for an optimized simulation.  A handle is used as-is
    when it is physically a node of the optimized circuit (looked up by
@@ -93,7 +138,9 @@ let optimized_maps (c' : Circuit.t) (remap : Transform.remap) =
 let create ?backend ?optimize circuit =
   let backend = match backend with Some b -> b | None -> !default_backend in
   let optimize =
-    match optimize with Some b -> b | None -> backend = Compiled
+    match optimize with
+    | Some b -> b
+    | None -> (backend_info backend).optimize_default
   in
   let (module M : Sim_intf.S) = module_of_backend backend in
   if not optimize then create_from (module M) circuit

@@ -10,20 +10,42 @@
     first-class module:
     - {!Sim_interp} ([Interp]) — the reference interpreter;
     - {!Sim_compiled} ([Compiled]) — pre-compiled closures with an
-      unboxed-int fast path, several times faster per cycle.
+      unboxed-int fast path, several times faster per cycle;
+    - {!Sim_jit} ([Jit]) — combinational cones emitted as OCaml
+      source, natively compiled and dynlinked (with an automatic
+      threaded-code fallback), fastest per cycle.
 
-    Both are bit-identical (checked cycle-for-cycle by the test
+    All are bit-identical (checked cycle-for-cycle by the test
     suite); pick one per simulator via [?backend], plug in any other
     implementation of {!Sim_intf.S} via {!create_from}, or flip the
-    process-wide {!default_backend}. *)
+    process-wide {!default_backend}.
 
-type backend = Interp | Compiled
+    The backend list is data-driven: {!backend_of_string},
+    {!backend_names}, {!backend_help} and the per-backend defaults all
+    derive from one registry, so flag parsers and usage text stay in
+    sync with the dispatcher by construction. *)
+
+type backend = Interp | Compiled | Jit
 
 val backend_of_string : string -> backend
-(** Accepts ["interp"]/["interpreter"] and ["compiled"]/["compile"];
-    raises [Invalid_argument] otherwise. *)
+(** Accepts every registered canonical name and alias (["interp"] /
+    ["interpreter"], ["compiled"] / ["compile"], ["jit"]); raises
+    [Invalid_argument] listing the accepted names otherwise. *)
 
 val backend_to_string : backend -> string
+
+val backend_doc : backend -> string
+(** One-line description, for usage text. *)
+
+val backend_names : unit -> string list
+(** Canonical names, registry order. *)
+
+val all_backends : unit -> backend list
+(** Registered backends, registry order. *)
+
+val backend_help : unit -> string
+(** Multi-line summary (name, description, aliases) of every
+    registered backend, for [--help] text. *)
 
 val default_backend : backend ref
 (** Backend used by {!create} when [?backend] is omitted.  [Interp]
@@ -32,7 +54,8 @@ val default_backend : backend ref
 type t
 
 val create : ?backend:backend -> ?optimize:bool -> Circuit.t -> t
-(** [?optimize] (default: [true] for [Compiled], [false] for [Interp])
+(** [?optimize] (default: [true] for [Compiled] and [Jit], [false]
+    for [Interp])
     runs {!Transform.optimize_with_map} and simulates the reduced
     netlist.  Transparent to callers: named probes survive (as names
     or aliases), and {!peek_signal} / {!mem_read} / {!mem_write}

@@ -80,16 +80,34 @@ type int_regs = {
   inits : int array; (* reset values *)
 }
 
+(* Same specialization for wide clear-less registers: samples and
+   writes are pointer moves through index arrays, no closures. *)
+type wide_regs = {
+  wslots : int array;
+  wds : int array;
+  wes : int array; (* -1 if none *)
+  wscratch : Bits.t array;
+  winits : Bits.t array;
+}
+
 type t = {
   circuit : Circuit.t;
   ivals : int array; (* uid -> value, signals of width <= maxw *)
   bvals : Bits.t array; (* uid -> value, wider signals *)
   mem_state : (int, mem_store) Hashtbl.t; (* mem_uid -> contents *)
-  steps : (unit -> unit) array; (* full settle schedule (input + state cones) *)
-  steps_input : (unit -> unit) array; (* fan-out cone of the primary inputs *)
-  steps_state : (unit -> unit) array; (* fan-out cone of registers/memories *)
+  mutable steps : (unit -> unit) array;
+  (* full settle schedule (input + state cones); mutable so Sim_jit
+     can swap in compiled kernels for the three schedules *)
+  mutable steps_input : (unit -> unit) array; (* fan-out cone of the primary inputs *)
+  mutable steps_state : (unit -> unit) array; (* fan-out cone of registers/memories *)
+  step_nodes : (Signal.t * (unit -> unit)) array;
+  (* the full schedule with its nodes, in topological order — the raw
+     material Sim_jit lowers to straight-line code *)
+  input_dep : bool array; (* uid -> in the fan-out cone of an input *)
+  state_dep : bool array; (* uid -> in the fan-out cone of state *)
   int_regs : int_regs;
-  reg_steps : reg_step array; (* wide or cleared registers: closure path *)
+  wide_regs : wide_regs;
+  reg_steps : reg_step array; (* cleared registers: closure path *)
   mem_commits : (unit -> unit) array; (* write ports, phase b *)
   input_resets : (unit -> unit) array;
   snap_regs : Signal.t array; (* Circuit.registers order, for snapshot/restore *)
@@ -97,6 +115,19 @@ type t = {
   mutable mstale : bool; (* a memory was written from the testbench *)
   mutable cycle_no : int;
   mutable observers : (t -> unit) list;
+  mutable commit_jit : ((unit -> unit) -> unit) option;
+  (* Sim_jit's generated commit: samples the clear-less registers into
+     locals, calls its argument (the slow middle below), then writes.
+     Replaces the index-array loops of [commit] when set. *)
+  mutable commit_mid : unit -> unit;
+  (* the phases between sample and write: cleared registers' sample
+     and the memory write ports, both of which must read pre-commit
+     slot values *)
+  mutable run_jit : (int -> bool) option;
+  (* Sim_jit's batched free-run: n x {commit; state settle} as one
+     native loop.  [cycles] engages it when no observer is registered;
+     a [false] return means the kernel declined (e.g. multi-domain
+     settle is on) and the host must loop cycle by cycle. *)
 }
 
 let is_int (s : Signal.t) = s.Signal.width <= maxw
@@ -296,8 +327,29 @@ let create circuit =
             let i = if i >= ncases then ncases - 1 else i in
             bvals.(d) <- bvals.(case_uids.(i)))
       | Signal.Concat parts ->
-        let getters = List.map get_bits_of parts in
-        Some (fun () -> bvals.(d) <- Bits.concat (List.map (fun g -> g ()) getters))
+        (* Assemble the result's limbs directly: narrow fields OR in
+           from their int slots without boxing each as a [Bits.t],
+           wide fields limb-wise.  This is the hottest wide shape by
+           far (datapath buses are concatenations of 32-bit lanes). *)
+        let fields =
+          let pos = ref w in
+          Array.of_list
+            (List.map
+               (fun (p : Signal.t) ->
+                 pos := !pos - p.Signal.width;
+                 let x = resolve p in
+                 (!pos, x.Signal.width, x.Signal.uid, is_int x))
+               parts)
+        in
+        Some
+          (fun () ->
+            let r = Bits.zero w in
+            Array.iter
+              (fun (pos, pw, u, int_path) ->
+                if int_path then Bits.or_int_into r ~pos ~width:pw ivals.(u)
+                else Bits.or_bits_into r ~pos bvals.(u))
+              fields;
+            bvals.(d) <- r)
       | Signal.Select { hi; lo; arg } ->
         (* The slice is wider than maxw, so the argument is too. *)
         let ai = iuid arg in
@@ -315,7 +367,7 @@ let create circuit =
          | Imem _ -> assert false)
     end
   in
-  let steps = ref [] in (* (closure, input_dep, state_dep), reverse topo *)
+  let steps = ref [] in (* (node, closure, input_dep, state_dep), reverse topo *)
   Circuit.iter_nodes circuit (fun s ->
       (* Constants and initial register/input values are written into
          their slots here; they need no settle step. *)
@@ -330,16 +382,19 @@ let create circuit =
       match compile s with
       | Some f ->
         let u = s.Signal.uid in
-        steps := (f, input_dep.(u), state_dep.(u)) :: !steps
+        steps := (s, f, input_dep.(u), state_dep.(u)) :: !steps
       | None -> ());
   let all = List.rev !steps in
   (* Constant cones (neither input- nor state-dependent) are settled
      exactly once, here, and never enter a schedule. *)
-  List.iter (fun (f, i, st) -> if (not i) && not st then f ()) all;
+  List.iter (fun (_, f, i, st) -> if (not i) && not st then f ()) all;
   let pick p = Array.of_list (List.filter_map p all) in
-  let steps = pick (fun (f, i, st) -> if i || st then Some f else None) in
-  let steps_input = pick (fun (f, i, _) -> if i then Some f else None) in
-  let steps_state = pick (fun (f, _, st) -> if st then Some f else None) in
+  let steps = pick (fun (_, f, i, st) -> if i || st then Some f else None) in
+  let steps_input = pick (fun (_, f, i, _) -> if i then Some f else None) in
+  let steps_state = pick (fun (_, f, _, st) -> if st then Some f else None) in
+  let step_nodes =
+    pick (fun (s, f, i, st) -> if i || st then Some (s, f) else None)
+  in
   (* Register commit: latch every next value before writing any state
      slot, so simultaneous register-to-register exchanges are safe.
      Narrow clear-less registers go into the index-array fast path;
@@ -397,14 +452,15 @@ let create circuit =
       end
     | _ -> assert false
   in
-  let fast, slow =
+  let clearless, slow =
     List.partition
       (fun (s : Signal.t) ->
         match s.Signal.op with
-        | Signal.Reg r -> is_int s && r.Signal.clear = None
+        | Signal.Reg r -> r.Signal.clear = None
         | _ -> false)
       (Circuit.registers circuit)
   in
+  let fast, fast_wide = List.partition is_int clearless in
   let int_regs =
     let k = List.length fast in
     let regs =
@@ -423,6 +479,27 @@ let create circuit =
           regs.inits.(i) <- Bits.to_int_exn r.Signal.init
         | _ -> assert false)
       fast;
+    regs
+  in
+  let wide_regs =
+    let k = List.length fast_wide in
+    let dummy = Bits.zero 1 in
+    let regs =
+      { wslots = Array.make k 0; wds = Array.make k 0; wes = Array.make k (-1);
+        wscratch = Array.make k dummy; winits = Array.make k dummy }
+    in
+    List.iteri
+      (fun i (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Reg r ->
+          regs.wslots.(i) <- s.Signal.uid;
+          regs.wds.(i) <- iuid r.Signal.d;
+          (match r.Signal.enable with
+           | Some e -> regs.wes.(i) <- iuid e
+           | None -> ());
+          regs.winits.(i) <- r.Signal.init
+        | _ -> assert false)
+      fast_wide;
     regs
   in
   let reg_steps = Array.of_list (List.map compile_reg slow) in
@@ -492,8 +569,15 @@ let create circuit =
   let snap_regs = Array.of_list (Circuit.registers circuit) in
   let t =
     { circuit; ivals; bvals; mem_state; steps; steps_input; steps_state;
-      int_regs; reg_steps; mem_commits; input_resets; snap_regs;
-      dirty = false; mstale = false; cycle_no = 0; observers = [] }
+      step_nodes; input_dep; state_dep;
+      int_regs; wide_regs; reg_steps; mem_commits; input_resets; snap_regs;
+      dirty = false; mstale = false; cycle_no = 0; observers = [];
+      commit_jit = None;
+      run_jit = None;
+      commit_mid =
+        (fun () ->
+          Array.iter (fun r -> r.sample ()) reg_steps;
+          Array.iter (fun f -> f ()) mem_commits) }
   in
   (* A fresh simulator is fully settled (same state as after [reset]). *)
   Array.iter (fun f -> f ()) t.steps;
@@ -523,7 +607,7 @@ let settle t =
     t.mstale <- false
   end
 
-let commit t =
+let commit_generic t =
   (* Phase a: sample every register's next value (old slot values).
      Phase b: memory writes, which also read pre-commit slot values.
      Phase c: registers latch. *)
@@ -535,13 +619,37 @@ let commit t =
          Array.unsafe_get ivals (Array.unsafe_get ir.slots i)
        else Array.unsafe_get ivals (Array.unsafe_get ir.ds i))
   done;
+  let wr = t.wide_regs and bvals = t.bvals in
+  for i = 0 to Array.length wr.wslots - 1 do
+    let e = Array.unsafe_get wr.wes i in
+    Array.unsafe_set wr.wscratch i
+      (if e >= 0 && Array.unsafe_get ivals e = 0 then
+         Array.unsafe_get bvals (Array.unsafe_get wr.wslots i)
+       else Array.unsafe_get bvals (Array.unsafe_get wr.wds i))
+  done;
   Array.iter (fun r -> r.sample ()) t.reg_steps;
   Array.iter (fun f -> f ()) t.mem_commits;
   for i = 0 to Array.length ir.slots - 1 do
     Array.unsafe_set ivals (Array.unsafe_get ir.slots i)
       (Array.unsafe_get ir.scratch i)
   done;
+  for i = 0 to Array.length wr.wslots - 1 do
+    Array.unsafe_set bvals (Array.unsafe_get wr.wslots i)
+      (Array.unsafe_get wr.wscratch i)
+  done;
   Array.iter (fun r -> r.write ()) t.reg_steps
+
+let commit t =
+  match t.commit_jit with
+  | Some f ->
+    (* Generated commit: straight-line samples into locals, the slow
+       middle (cleared registers' sample + memory ports) via the
+       argument, straight-line writes.  Cleared registers still latch
+       host-side, after the generated writes (write order among
+       registers is immaterial — every sample already happened). *)
+    f t.commit_mid;
+    Array.iter (fun r -> r.write ()) t.reg_steps
+  | None -> commit_generic t
 
 let cycle t =
   (* Leading settle: only needed if something was poked or written
@@ -565,7 +673,20 @@ let cycle t =
     t.mstale <- false
   end
 
-let cycles t n = for _ = 1 to n do cycle t done
+let cycles t n =
+  match t.run_jit with
+  | Some run when (match t.observers with [] -> true | _ -> false) && n > 0 ->
+    (* Flush pending pokes/testbench writes, then hand the whole batch
+       to the generated loop.  It leaves every slot settled (its last
+       action per cycle is the state-cone settle), so both staleness
+       flags end false — identical observable state to n x [cycle]. *)
+    settle t;
+    if run n then begin
+      t.cycle_no <- t.cycle_no + n;
+      t.mstale <- false
+    end
+    else for _ = 1 to n do cycle t done
+  | _ -> for _ = 1 to n do cycle t done
 
 let cycle_no t = t.cycle_no
 
@@ -640,6 +761,10 @@ let reset t =
   for i = 0 to Array.length ir.slots - 1 do
     t.ivals.(ir.slots.(i)) <- ir.inits.(i)
   done;
+  let wr = t.wide_regs in
+  for i = 0 to Array.length wr.wslots - 1 do
+    t.bvals.(wr.wslots.(i)) <- wr.winits.(i)
+  done;
   Array.iter (fun r -> r.reset_reg ()) t.reg_steps;
   Hashtbl.iter
     (fun _ store ->
@@ -671,3 +796,58 @@ let mem_write t (m : Signal.memory) addr value =
   (* Visible to async read cones at the next settle, like the
      unpartitioned model. *)
   t.mstale <- true
+
+(* ---- hooks for the native-JIT backend (Sim_jit) ----
+
+   Sim_jit reuses this backend's entire instance machinery — storage
+   layout, register/memory commit, peek/poke, snapshot/restore,
+   activity flags — and only replaces the three settle schedules with
+   compiled kernels.  Everything it needs is exposed here rather than
+   duplicated there. *)
+module Jit_support = struct
+  let is_int = is_int
+  let resolve = resolve
+  let mask = mask
+  let max_int_width = maxw
+
+  let step_nodes t = t.step_nodes
+  let is_input_dep t uid = t.input_dep.(uid)
+  let is_state_dep t uid = t.state_dep.(uid)
+  let ivals t = t.ivals
+  let bvals t = t.bvals
+
+  (* The mutable int contents of a narrow memory (the array aliases
+     the live store: in-place writes by ports/reset stay visible), or
+     [None] for a wide memory. *)
+  let imem t (m : Signal.memory) =
+    match Hashtbl.find_opt t.mem_state m.Signal.mem_uid with
+    | Some (Imem { arr; _ }) -> Some arr
+    | Some (Bmem _) | None -> None
+
+  (* Same for a wide memory's [Bits.t] contents. *)
+  let bmem t (m : Signal.memory) =
+    match Hashtbl.find_opt t.mem_state m.Signal.mem_uid with
+    | Some (Bmem { arr; _ }) -> Some arr
+    | Some (Imem _) | None -> None
+
+  let set_schedules t ~full ~input ~state =
+    t.steps <- full;
+    t.steps_input <- input;
+    t.steps_state <- state
+
+  (* The clear-less registers' (state slot, data uid, enable uid or -1)
+     triples, in commit order — the raw material for a generated
+     commit. *)
+  let int_reg_commits t =
+    let ir = t.int_regs in
+    Array.init (Array.length ir.slots) (fun i ->
+        (ir.slots.(i), ir.ds.(i), ir.es.(i)))
+
+  let wide_reg_commits t =
+    let wr = t.wide_regs in
+    Array.init (Array.length wr.wslots) (fun i ->
+        (wr.wslots.(i), wr.wds.(i), wr.wes.(i)))
+
+  let set_commit t f = t.commit_jit <- Some f
+  let set_run t f = t.run_jit <- Some f
+end

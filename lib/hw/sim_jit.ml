@@ -1,0 +1,1515 @@
+(* Native-JIT simulation backend.
+
+   The compiled backend ([Sim_compiled]) already stores narrow signals
+   in an unboxed int array and pre-resolves every operand, but it
+   still *walks a schedule of closures*: every settled node pays an
+   indirect call, and every slot access a bounds check.  This backend
+   removes that last layer of dispatch: the settled combinational
+   cones are pretty-printed as straight-line OCaml source over the
+   same slot arrays, compiled with the native toolchain
+   ([ocamlfind ocamlopt -shared], or plain [ocamlopt]), loaded with
+   [Dynlink], and swapped in as the instance's settle schedules.
+   Everything else — storage layout, register and memory commit,
+   peek/poke, snapshot/restore, activity gating, observers — is
+   [Sim_compiled]'s machinery, reused through
+   [Sim_compiled.Jit_support], so the two backends cannot drift.
+
+   Codegen ([generate_module]):
+   - Every int-path node whose operands are int-path becomes one
+     assignment [iv.(d) <- ...] with operand slots as literal indices
+     and the width mask folded in.  The kernel is compiled [-unsafe],
+     so slot accesses are raw loads/stores.
+   - A node with exactly one consumer and no other observer (no name,
+     no alias, not an output, not read by a register/memory commit or
+     by a kept closure) is *register-allocated*: its expression is
+     inlined into its consumer and its slot is never written.  This
+     collapses single-use chains — the bulk of a datapath — into
+     expressions ocamlopt keeps in machine registers.  [peek_signal]
+     on such a node raises (name the signal to pin it); named probes
+     are always materialized.
+   - Wide ([Bits.t]) nodes and int nodes with wide operands are also
+     emitted natively, as calls into the [Bits] limb-wise kernels over
+     the instance's [bv] slot array (concatenations assemble their
+     limbs in place via [Bits.or_int_into]/[or_bits_into], muxes are
+     pointer moves), so a 512-bit MD5 datapath pays no closure
+     dispatch either.  The [Sim_compiled] closure table is still
+     passed in as a safety net for any shape the emitter does not
+     cover.
+   - The three activity cones (full, input fan-out, state fan-out) are
+     emitted as separate functions, preserving the dirty-flag gating.
+   - The state cone is additionally split into its weakly-connected
+     combinational components (cores that only talk through registered
+     links land in different components), grouped into at most
+     [partition_target] parts; [set_domains] runs them on a persistent
+     [Parallel.Pool] every settle.
+
+   Kernels are cached at two levels: an in-process table keyed by the
+   canonical netlist hash (N replicas of one circuit link the same
+   code once), and an on-disk cache ([cache_dir], default [_jit_cache/]
+   under the working directory, override with [ELASTIC_JIT_CACHE])
+   holding the generated source and the compiled [.cmxs], so repeated
+   runs of the same circuit skip codegen and compilation entirely.
+
+   When native loading is impossible — bytecode host, toolchain or the
+   library's .cmi directory unavailable, compile failure — [create]
+   falls back to a self-contained threaded-code specializer: the same
+   emit plan lowered to a flat int-array program run by one dispatch
+   loop, which still beats the closure walk (no per-node indirect
+   call) without shelling out.  The selection is automatic and
+   recorded in [last_build] for the bench JSON. *)
+
+module J = Sim_compiled.Jit_support
+
+let name = "jit"
+
+(* ---- configuration ---- *)
+
+let codegen_version = "jitv5"
+let partition_target = 4
+let max_inline_depth = 120
+
+let cache_dir_override : string option ref = ref None
+
+let cache_dir () =
+  match !cache_dir_override with
+  | Some d -> d
+  | None ->
+    (match Sys.getenv_opt "ELASTIC_JIT_CACHE" with
+     | Some d when d <> "" -> d
+     | _ -> Filename.concat (Sys.getcwd ()) "_jit_cache")
+
+let set_cache_dir d = cache_dir_override := Some d
+
+let force_fallback = ref false
+
+let domains_ref = ref 1
+
+(* ---- build stats (read by the perf bench) ---- *)
+
+type mode = Native | Fallback of string
+
+type build_stats = {
+  bmode : mode;
+  hash : string;
+  process_cache_hit : bool; (* kernel reused from the in-process table *)
+  disk_cache_hit : bool; (* .cmxs found on disk; codegen+compile skipped *)
+  codegen_seconds : float;
+  compile_seconds : float;
+  load_seconds : float;
+  emitted_nodes : int; (* int-pure nodes lowered to source/bytecode *)
+  closure_nodes : int; (* wide/mixed nodes kept as closures *)
+  inlined_nodes : int; (* register-allocated (native only) *)
+  state_parts : int;
+}
+
+let last_build_ref : build_stats option ref = ref None
+let last_build () = !last_build_ref
+
+let disk_hits = ref 0
+let disk_misses = ref 0
+let cache_counters () = (!disk_hits, !disk_misses)
+let reset_cache_counters () = disk_hits := 0; disk_misses := 0
+
+(* ---- kernel ABI (what generated plugins register) ---- *)
+
+(* iv slots, bv (wide) slots, narrow- and wide-memory contents
+   (circuit memory order, [[||]] in the list the memory is not part
+   of), closure table -> (full, input, commit, run, state parts).
+   The commit (None from the fallback, which keeps the host's loops)
+   samples the clear-less registers into locals, runs its argument —
+   the host-side middle that must read pre-commit slots — then
+   writes.  The run, when the circuit qualifies (no cleared
+   registers), is the batched free-run: n x {commit incl. memory
+   write ports; state-cone settle} as one native loop with no
+   per-cycle dispatch. *)
+type maker =
+  int array -> Bits.t array -> int array array -> Bits.t array array ->
+  (unit -> unit) array ->
+  (unit -> unit) * (unit -> unit) * ((unit -> unit) -> unit) option
+  * (int -> unit) option * (unit -> unit) array
+
+let pending_kernel : maker option ref = ref None
+let register_kernel m = pending_kernel := Some m
+
+(* A native code unit can be dynlinked only once per process, so
+   loaded makers are retained for the process lifetime in [loaded].
+   [seen] is the droppable layer: clearing it ([clear_process_cache])
+   makes the next [create] go back through cache-hit accounting, for
+   honest cold/warm measurements without re-linking. *)
+let loaded : (string, maker) Hashtbl.t = Hashtbl.create 16
+let seen : (string, unit) Hashtbl.t = Hashtbl.create 16
+let clear_process_cache () = Hashtbl.reset seen
+
+let clear_disk_cache () =
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm (cache_dir ())
+
+(* ---- emit plan ----
+
+   Walks the full settle schedule once and classifies every node:
+   [Emit] (int-pure, lowered to source/bytecode) or [Closure k] (keeps
+   its Sim_compiled closure, called as entry [k] of the instance's
+   closure table). *)
+
+type emitted =
+  | Enot of { x : int; m : int }
+  | Ebin of { op : Signal.binop; x : int; y : int; m : int; sb : int }
+  | Emux of { sel : int; cases : int array }
+  | Econcat of { parts : (int * int) array } (* (uid, width), MSB first *)
+  | Eselect of { a : int; lo : int; m : int }
+  | Ememrd of { mi : int; a : int; size : int }
+
+type step_plan =
+  | Emit of emitted
+  | Closure of int (* index into the instance closure table *)
+
+type plan = {
+  circuit : Circuit.t;
+  sched : (Signal.t * step_plan) array; (* schedule in topological order *)
+  n_closures : int;
+  mem_index : (int, int) Hashtbl.t; (* mem_uid -> position in circuit.memories *)
+  materialized : bool array; (* uid -> slot is written when settled *)
+  defn : (int, emitted) Hashtbl.t; (* uid -> emitted op, for inlining *)
+  part_of : int array; (* uid -> state partition, -1 outside the state cone *)
+  n_parts : int;
+  (* When set, slot reads of these uids render as the given local
+     variable instead of iv.(u)/bv.(u).  Active only while the batched
+     free-run body is being emitted: there, register values and
+     state-cone intermediates live in OCaml locals across the loop and
+     the slots are refreshed once at batch exit. *)
+  mutable rename : (int, string) Hashtbl.t option;
+}
+
+let resolve_uid s = (J.resolve s).Signal.uid
+
+(* Comb operands of a node, wire chains chased. *)
+let operands (s : Signal.t) =
+  let r = J.resolve in
+  match s.Signal.op with
+  | Signal.Const _ | Signal.Input _ | Signal.Reg _ | Signal.Wire _ -> []
+  | Signal.Not x -> [ r x ]
+  | Signal.Binop (_, x, y) -> [ r x; r y ]
+  | Signal.Mux (sel, cases) -> r sel :: Array.to_list (Array.map r cases)
+  | Signal.Concat parts -> List.map r parts
+  | Signal.Select { arg; _ } -> [ r arg ]
+  | Signal.Mem_read { addr; _ } -> [ r addr ]
+
+let classify mem_index (s : Signal.t) : emitted option =
+  if not (J.is_int s) then None
+  else begin
+    let m = J.mask s.Signal.width in
+    let int_op x = J.is_int (J.resolve x) in
+    match s.Signal.op with
+    | Signal.Const _ | Signal.Input _ | Signal.Reg _ | Signal.Wire _ -> None
+    | Signal.Not x when int_op x -> Some (Enot { x = resolve_uid x; m })
+    | Signal.Not _ -> None
+    | Signal.Binop (op, x, y) when int_op x && int_op y ->
+      let sb =
+        match op with
+        | Signal.Slt -> 1 lsl ((J.resolve x).Signal.width - 1)
+        | _ -> 0
+      in
+      Some (Ebin { op; x = resolve_uid x; y = resolve_uid y; m; sb })
+    | Signal.Binop _ -> None
+    | Signal.Mux (sel, cases) when int_op sel ->
+      (* cases have the node's width, hence are int too *)
+      Some (Emux { sel = resolve_uid sel; cases = Array.map resolve_uid cases })
+    | Signal.Mux _ -> None
+    | Signal.Concat parts ->
+      (* total width fits an int, so every part does *)
+      Some
+        (Econcat
+           { parts =
+               Array.of_list
+                 (List.map
+                    (fun p ->
+                      let rp = J.resolve p in
+                      (rp.Signal.uid, rp.Signal.width))
+                    parts) })
+    | Signal.Select { lo; arg; _ } when int_op arg ->
+      Some (Eselect { a = resolve_uid arg; lo; m })
+    | Signal.Select _ -> None
+    | Signal.Mem_read { mem; addr }
+      when mem.Signal.mem_width <= J.max_int_width && int_op addr ->
+      Some
+        (Ememrd
+           { mi = Hashtbl.find mem_index mem.Signal.mem_uid;
+             a = resolve_uid addr;
+             size = mem.Signal.size })
+    | Signal.Mem_read _ -> None
+  end
+
+let build_plan (base : Sim_compiled.t) (circuit : Circuit.t) =
+  let n = circuit.Circuit.max_uid in
+  let mem_index = Hashtbl.create 8 in
+  List.iteri
+    (fun i (m : Signal.memory) -> Hashtbl.replace mem_index m.Signal.mem_uid i)
+    circuit.Circuit.memories;
+  let step_nodes = J.step_nodes base in
+  let scheduled = Array.make n false in
+  Array.iter
+    (fun ((s : Signal.t), _) -> scheduled.(s.Signal.uid) <- true)
+    step_nodes;
+  let defn = Hashtbl.create 256 in
+  let n_closures = ref 0 in
+  let sched =
+    Array.map
+      (fun ((s : Signal.t), _) ->
+        match classify mem_index s with
+        | Some e ->
+          Hashtbl.replace defn s.Signal.uid e;
+          (s, Emit e)
+        | None ->
+          let k = !n_closures in
+          incr n_closures;
+          (s, Closure k))
+      step_nodes
+  in
+  (* Materialization: a node's slot must be written unless its value
+     is only ever read by inlining it into its single emitted
+     consumer.  Forced: anything peekable by name, anything the commit
+     phase reads (register d/enable/clear, memory-port operands),
+     anything a kept closure reads, outputs, and multi-use nodes. *)
+  let force = Array.make n false in
+  let uses = Array.make n 0 in
+  let force_sig s = force.(resolve_uid s) <- true in
+  Circuit.iter_nodes circuit (fun (s : Signal.t) ->
+      (match s.Signal.op with
+       | Signal.Reg r ->
+         force_sig r.Signal.d;
+         Option.iter force_sig r.Signal.enable;
+         Option.iter force_sig r.Signal.clear
+       | _ -> ());
+      if s.Signal.name <> None || s.Signal.aliases <> [] then
+        force.(resolve_uid s) <- true);
+  List.iter
+    (fun (m : Signal.memory) ->
+      List.iter
+        (fun (p : Signal.write_port) ->
+          force_sig p.Signal.we;
+          force_sig p.Signal.waddr;
+          force_sig p.Signal.wdata)
+        m.Signal.write_ports)
+    circuit.Circuit.memories;
+  List.iter (fun (_, s) -> force_sig s) circuit.Circuit.outputs;
+  Array.iter
+    (fun ((s : Signal.t), p) ->
+      let ops = operands s in
+      match p with
+      | Emit _ ->
+        List.iter
+          (fun (d : Signal.t) -> uses.(d.Signal.uid) <- uses.(d.Signal.uid) + 1)
+          ops
+      | Closure _ ->
+        List.iter (fun (d : Signal.t) -> force.(d.Signal.uid) <- true) ops)
+    sched;
+  let materialized = Array.make n true in
+  Array.iter
+    (fun ((s : Signal.t), p) ->
+      match p with
+      | Emit _ ->
+        let u = s.Signal.uid in
+        materialized.(u) <- force.(u) || uses.(u) > 1
+      | Closure _ -> ())
+    sched;
+  (* Depth cap: a chain of thousands of single-use nodes must not
+     become one expression; rematerialize where the tree gets deep. *)
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun ((s : Signal.t), p) ->
+      match p with
+      | Emit _ ->
+        let u = s.Signal.uid in
+        let d =
+          1
+          + List.fold_left
+              (fun acc (op : Signal.t) ->
+                let ou = op.Signal.uid in
+                if scheduled.(ou) && not materialized.(ou) then
+                  max acc depth.(ou)
+                else acc)
+              0 (operands s)
+        in
+        if d > max_inline_depth && not materialized.(u) then begin
+          materialized.(u) <- true;
+          depth.(u) <- 1
+        end
+        else depth.(u) <- d
+      | Closure _ -> ())
+    sched;
+  (* State-cone partition: weakly-connected components of the
+     combinational graph restricted to state-scheduled nodes. *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  let in_state (s : Signal.t) = J.is_state_dep base s.Signal.uid in
+  Array.iter
+    (fun ((s : Signal.t), _) ->
+      if in_state s then
+        List.iter
+          (fun (d : Signal.t) ->
+            if scheduled.(d.Signal.uid) && in_state d then
+              union s.Signal.uid d.Signal.uid)
+          (operands s))
+    sched;
+  let weight = Hashtbl.create 16 in
+  Array.iter
+    (fun ((s : Signal.t), _) ->
+      if in_state s then begin
+        let r = find s.Signal.uid in
+        Hashtbl.replace weight r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt weight r))
+      end)
+    sched;
+  let comps =
+    Hashtbl.fold (fun r w acc -> (r, w) :: acc) weight []
+    |> List.sort (fun (ra, a) (rb, b) ->
+           if a = b then compare ra rb else compare b a)
+  in
+  let n_parts = max 1 (min partition_target (List.length comps)) in
+  let part_weights = Array.make n_parts 0 in
+  let comp_part = Hashtbl.create 16 in
+  List.iter
+    (fun (r, w) ->
+      let best = ref 0 in
+      for i = 1 to n_parts - 1 do
+        if part_weights.(i) < part_weights.(!best) then best := i
+      done;
+      part_weights.(!best) <- part_weights.(!best) + w;
+      Hashtbl.replace comp_part r !best)
+    comps;
+  let part_of = Array.make n (-1) in
+  Array.iter
+    (fun ((s : Signal.t), _) ->
+      if in_state s then
+        part_of.(s.Signal.uid) <- Hashtbl.find comp_part (find s.Signal.uid))
+    sched;
+  { circuit; sched; n_closures = !n_closures; mem_index; materialized; defn;
+    part_of; n_parts; rename = None }
+
+(* ---- canonical netlist hash (the kernel cache key) ----
+
+   Everything the generated code depends on: node structure with raw
+   uids (the code indexes slots by uid), widths, constants, names
+   (they decide materialization), register/memory shapes, and the
+   codegen-relevant knobs.  Memories are keyed by their per-circuit
+   position — [mem_uid] is a process-global counter and would defeat
+   cross-run caching. *)
+let canonical_hash (plan : plan) =
+  let b = Buffer.create 65536 in
+  let add = Buffer.add_string b in
+  let addi i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ','
+  in
+  add codegen_version;
+  add Sys.ocaml_version;
+  addi Sys.int_size;
+  addi partition_target;
+  addi max_inline_depth;
+  addi plan.circuit.Circuit.max_uid;
+  Circuit.iter_nodes plan.circuit (fun (s : Signal.t) ->
+      addi s.Signal.uid;
+      addi s.Signal.width;
+      (match s.Signal.name with Some n -> add n | None -> ());
+      List.iter add s.Signal.aliases;
+      match s.Signal.op with
+      | Signal.Const c -> add "C"; add (Bits.to_hex_string c)
+      | Signal.Input nm -> add "I"; add nm
+      | Signal.Wire { driver = Some d } -> add "W"; addi d.Signal.uid
+      | Signal.Wire { driver = None } -> add "W?"
+      | Signal.Not x -> add "N"; addi x.Signal.uid
+      | Signal.Binop (op, x, y) ->
+        add "B";
+        addi
+          (match op with
+           | Signal.And -> 0 | Signal.Or -> 1 | Signal.Xor -> 2
+           | Signal.Add -> 3 | Signal.Sub -> 4 | Signal.Mul -> 5
+           | Signal.Eq -> 6 | Signal.Ult -> 7 | Signal.Slt -> 8);
+        addi x.Signal.uid;
+        addi y.Signal.uid
+      | Signal.Mux (sel, cases) ->
+        add "M";
+        addi sel.Signal.uid;
+        Array.iter (fun (c : Signal.t) -> addi c.Signal.uid) cases
+      | Signal.Concat parts ->
+        add "K";
+        List.iter (fun (p : Signal.t) -> addi p.Signal.uid) parts
+      | Signal.Select { hi; lo; arg } ->
+        add "S"; addi hi; addi lo; addi arg.Signal.uid
+      | Signal.Reg r ->
+        add "R";
+        addi r.Signal.d.Signal.uid;
+        (match r.Signal.enable with
+         | Some e -> addi e.Signal.uid
+         | None -> add "-");
+        (match r.Signal.clear with
+         | Some c -> addi c.Signal.uid
+         | None -> add "-");
+        add (Bits.to_hex_string r.Signal.clear_to);
+        add (Bits.to_hex_string r.Signal.init)
+      | Signal.Mem_read { mem; addr } ->
+        add "G";
+        addi (Hashtbl.find plan.mem_index mem.Signal.mem_uid);
+        addi addr.Signal.uid);
+  List.iteri
+    (fun i (m : Signal.memory) ->
+      add "mem";
+      addi i;
+      addi m.Signal.size;
+      addi m.Signal.mem_width;
+      List.iter
+        (fun (p : Signal.write_port) ->
+          addi p.Signal.we.Signal.uid;
+          addi p.Signal.waddr.Signal.uid;
+          addi p.Signal.wdata.Signal.uid)
+        m.Signal.write_ports)
+    plan.circuit.Circuit.memories;
+  List.iter
+    (fun (nm, (s : Signal.t)) -> add "out"; add nm; addi s.Signal.uid)
+    plan.circuit.Circuit.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ---- native codegen ---- *)
+
+let int_literal i = if i = max_int then "max_int" else Printf.sprintf "0x%x" i
+
+(* Slot reads, honouring the batch-body rename table: a renamed uid is
+   a loop-carried local (register value or state-cone intermediate),
+   everything else reads its slot. *)
+let int_slot (plan : plan) (uid : int) =
+  match plan.rename with
+  | Some t ->
+    (match Hashtbl.find_opt t uid with
+     | Some name -> name
+     | None -> Printf.sprintf "iv.(%d)" uid)
+  | None -> Printf.sprintf "iv.(%d)" uid
+
+let wide_slot (plan : plan) (uid : int) =
+  match plan.rename with
+  | Some t ->
+    (match Hashtbl.find_opt t uid with
+     | Some name -> name
+     | None -> Printf.sprintf "bv.(%d)" uid)
+  | None -> Printf.sprintf "bv.(%d)" uid
+
+(* The expression for an operand slot, or the full expression of a
+   register-allocated (inlined) node. *)
+let rec operand_expr (plan : plan) (uid : int) =
+  if plan.materialized.(uid) then int_slot plan uid
+  else expr_of plan (Hashtbl.find plan.defn uid)
+
+and expr_of plan (e : emitted) =
+  let op = operand_expr plan in
+  match e with
+  | Enot { x; m } -> Printf.sprintf "((lnot %s) land %s)" (op x) (int_literal m)
+  | Ebin { op = bop; x; y; m; sb } ->
+    (match bop with
+     | Signal.And -> Printf.sprintf "(%s land %s)" (op x) (op y)
+     | Signal.Or -> Printf.sprintf "(%s lor %s)" (op x) (op y)
+     | Signal.Xor -> Printf.sprintf "(%s lxor %s)" (op x) (op y)
+     | Signal.Add ->
+       Printf.sprintf "((%s + %s) land %s)" (op x) (op y) (int_literal m)
+     | Signal.Sub ->
+       Printf.sprintf "((%s - %s) land %s)" (op x) (op y) (int_literal m)
+     | Signal.Mul -> Printf.sprintf "(%s * %s)" (op x) (op y)
+     | Signal.Eq -> Printf.sprintf "(if %s = %s then 1 else 0)" (op x) (op y)
+     | Signal.Ult -> Printf.sprintf "(if %s < %s then 1 else 0)" (op x) (op y)
+     | Signal.Slt ->
+       Printf.sprintf "(if %s lxor %s < %s lxor %s then 1 else 0)" (op x)
+         (int_literal sb) (op y) (int_literal sb))
+  | Emux { sel; cases } ->
+    let nc = Array.length cases in
+    if nc = 1 then op cases.(0)
+    else if nc = 2 then
+      Printf.sprintf "(if %s = 0 then %s else %s)" (op sel) (op cases.(0))
+        (op cases.(1))
+    else begin
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (Printf.sprintf "(match %s with " (op sel));
+      for i = 0 to nc - 2 do
+        Buffer.add_string buf (Printf.sprintf "| %d -> %s " i (op cases.(i)))
+      done;
+      Buffer.add_string buf (Printf.sprintf "| _ -> %s)" (op cases.(nc - 1)));
+      Buffer.contents buf
+    end
+  | Econcat { parts } ->
+    let acc = ref (op (fst parts.(0))) in
+    for i = 1 to Array.length parts - 1 do
+      let u, w = parts.(i) in
+      acc := Printf.sprintf "((%s lsl %d) lor %s)" !acc w (op u)
+    done;
+    !acc
+  | Eselect { a; lo; m } ->
+    if lo = 0 then Printf.sprintf "(%s land %s)" (op a) (int_literal m)
+    else Printf.sprintf "((%s lsr %d) land %s)" (op a) lo (int_literal m)
+  | Ememrd { mi; a; size } ->
+    Printf.sprintf "(let a__ = %s in if a__ < %d then jm%d.(a__) else 0)"
+      (op a) size mi
+
+(* ---- native emission of wide steps ----
+
+   Every [Closure]-classified shape has a [Bits]-API equivalent, so
+   the native kernel computes wide nodes too, without indirect calls:
+   binops call the limb-wise kernels, muxes are pointer moves through
+   [bv], concatenations assemble their limbs in place, memory reads
+   index the live store arrays.  Narrow operands are boxed on the fly
+   ([Bits.of_int]); all operands of these nodes are forced
+   materialized by the plan, so slot reads are always valid.  Returns
+   [None] for a shape the emitter does not cover — the step then goes
+   through the closure table as before. *)
+
+let bits_operand (plan : plan) (x : Signal.t) =
+  let x = J.resolve x in
+  if J.is_int x then
+    Printf.sprintf "(Bits.of_int ~width:%d %s)" x.Signal.width
+      (int_slot plan x.Signal.uid)
+  else wide_slot plan x.Signal.uid
+
+(* Truncated int view of an operand (matches Bits.to_int_trunc). *)
+let int_operand (plan : plan) (x : Signal.t) =
+  let x = J.resolve x in
+  if J.is_int x then int_slot plan x.Signal.uid
+  else Printf.sprintf "(Bits.to_int_trunc %s)" (wide_slot plan x.Signal.uid)
+
+(* Muxes with many cases index a per-node uid array bound in the
+   prologue instead of expanding to a [match]. *)
+let mux_inline_cases = 8
+
+let wide_stmt_of (plan : plan) (s : Signal.t) : string option =
+  let d = s.Signal.uid in
+  let dest_int = J.is_int s in
+  match s.Signal.op with
+  | Signal.Const _ | Signal.Input _ | Signal.Reg _ | Signal.Wire _ -> None
+  | Signal.Not x ->
+    Some (Printf.sprintf "bv.(%d) <- Bits.lnot %s" d (bits_operand plan x))
+  | Signal.Binop (op, x, y) ->
+    let bx = bits_operand plan x and by = bits_operand plan y in
+    (match (op, dest_int) with
+     | Signal.Eq, true ->
+       Some
+         (Printf.sprintf "iv.(%d) <- (if Bits.equal %s %s then 1 else 0)" d bx
+            by)
+     | Signal.Ult, true ->
+       Some
+         (Printf.sprintf "iv.(%d) <- (if Bits.ult %s %s then 1 else 0)" d bx by)
+     | Signal.Slt, true ->
+       Some
+         (Printf.sprintf "iv.(%d) <- (if Bits.slt %s %s then 1 else 0)" d bx by)
+     | (Signal.And | Signal.Or | Signal.Xor | Signal.Add | Signal.Sub
+       | Signal.Mul), false ->
+       let f =
+         match op with
+         | Signal.And -> "logand" | Signal.Or -> "logor"
+         | Signal.Xor -> "logxor" | Signal.Add -> "add"
+         | Signal.Sub -> "sub" | Signal.Mul -> "mul"
+         | _ -> assert false
+       in
+       Some (Printf.sprintf "bv.(%d) <- Bits.%s %s %s" d f bx by)
+     | _ -> None)
+  | Signal.Mux (sel, cases) ->
+    let arr = if dest_int then "iv" else "bv" in
+    let rd u = if dest_int then int_slot plan u else wide_slot plan u in
+    let us = Array.map resolve_uid cases in
+    let nc = Array.length us in
+    let sel_e = int_operand plan sel in
+    if nc = 1 then Some (Printf.sprintf "%s.(%d) <- %s" arr d (rd us.(0)))
+    else if nc = 2 then
+      Some
+        (Printf.sprintf "%s.(%d) <- (if %s = 0 then %s else %s)" arr d sel_e
+           (rd us.(0)) (rd us.(1)))
+    else if nc <= mux_inline_cases || plan.rename <> None then begin
+      (* In the batch body case values may be loop locals, so the
+         uid-array indirection below is unavailable: always expand. *)
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf
+        (Printf.sprintf "%s.(%d) <- (match %s with " arr d sel_e);
+      for i = 0 to nc - 2 do
+        Buffer.add_string buf (Printf.sprintf "| %d -> %s " i (rd us.(i)))
+      done;
+      Buffer.add_string buf (Printf.sprintf "| _ -> %s)" (rd us.(nc - 1)));
+      Some (Buffer.contents buf)
+    end
+    else
+      Some
+        (Printf.sprintf
+           "%s.(%d) <- Array.unsafe_get %s (Array.unsafe_get mxc%d (let i__ = \
+            %s in if i__ >= %d then %d else i__))"
+           arr d arr d sel_e nc (nc - 1))
+  | Signal.Concat parts when not dest_int ->
+    let w = s.Signal.width in
+    let pos = ref w in
+    let fields =
+      List.map
+        (fun p ->
+          let p = J.resolve p in
+          pos := !pos - p.Signal.width;
+          if J.is_int p then
+            Printf.sprintf "Bits.or_int_into r__ ~pos:%d ~width:%d %s" !pos
+              p.Signal.width (int_slot plan p.Signal.uid)
+          else
+            Printf.sprintf "Bits.or_bits_into r__ ~pos:%d %s" !pos
+              (wide_slot plan p.Signal.uid))
+        parts
+    in
+    Some
+      (Printf.sprintf "bv.(%d) <- (let r__ = Bits.zero %d in %s; r__)" d w
+         (String.concat "; " fields))
+  | Signal.Concat _ -> None (* narrow concats are always Emit-classified *)
+  | Signal.Select { hi; lo; arg } ->
+    let a = resolve_uid arg in
+    if dest_int then begin
+      let lb = Bits.limb_width in
+      if hi / lb = lo / lb then begin
+        (* Same-limb slice — the dominant shape on 32-bit datapaths
+           (lane extracts from a 512-bit block): one raw load. *)
+        let k = lo / lb and sh = lo mod lb in
+        let e = Printf.sprintf "Bits.get_limb %s %d" (wide_slot plan a) k in
+        let e = if sh = 0 then e else Printf.sprintf "(%s lsr %d)" e sh in
+        let e =
+          (* No mask needed when the slice reaches the limb's top bit:
+             nothing sits above it after the shift. *)
+          if hi mod lb = lb - 1 then e
+          else
+            Printf.sprintf "(%s land %s)" e
+              (int_literal (J.mask (hi - lo + 1)))
+        in
+        Some (Printf.sprintf "iv.(%d) <- %s" d e)
+      end
+      else
+        Some
+          (Printf.sprintf "iv.(%d) <- Bits.select_int %s ~hi:%d ~lo:%d" d
+             (wide_slot plan a) hi lo)
+    end
+    else
+      Some
+        (Printf.sprintf "bv.(%d) <- Bits.select %s ~hi:%d ~lo:%d" d
+           (wide_slot plan a) hi lo)
+  | Signal.Mem_read { mem; addr } ->
+    let mi = Hashtbl.find plan.mem_index mem.Signal.mem_uid in
+    let size = mem.Signal.size in
+    let a = int_operand plan addr in
+    if mem.Signal.mem_width <= J.max_int_width then
+      Some
+        (Printf.sprintf
+           "iv.(%d) <- (let a__ = %s in if a__ < %d then jm%d.(a__) else 0)" d
+           a size mi)
+    else
+      Some
+        (Printf.sprintf
+           "bv.(%d) <- (let a__ = %s in if a__ < %d then Array.unsafe_get \
+            bm%d a__ else z%d)"
+           d a size mi mem.Signal.mem_width)
+
+let generate_module (base : Sim_compiled.t) (plan : plan) ~hash =
+  let buf = Buffer.create (1 lsl 16) in
+  let add = Buffer.add_string buf in
+  add "(* generated by Hw.Sim_jit -- do not edit *)\n";
+  add
+    (Printf.sprintf "(* netlist hash %s, circuit %S *)\n" hash
+       plan.circuit.Circuit.name);
+  add "let make iv bv mems bmems wide =\n";
+  add "  ignore iv; ignore bv; ignore mems; ignore bmems; ignore wide;\n";
+  List.iteri
+    (fun i (m : Signal.memory) ->
+      if m.Signal.mem_width <= J.max_int_width then
+        add (Printf.sprintf "  let jm%d = mems.(%d) in\n  ignore jm%d;\n" i i i)
+      else
+        add
+          (Printf.sprintf "  let bm%d = bmems.(%d) in\n  ignore bm%d;\n" i i i))
+    plan.circuit.Circuit.memories;
+  (* Prologue bindings the wide statements refer to: default values
+     for out-of-range wide memory reads, case-uid arrays for muxes too
+     big to expand to a [match]. *)
+  let zero_widths = Hashtbl.create 4 in
+  Array.iter
+    (fun ((s : Signal.t), p) ->
+      match p with
+      | Emit _ -> ()
+      | Closure _ ->
+        (match s.Signal.op with
+         | Signal.Mem_read { mem; _ }
+           when mem.Signal.mem_width > J.max_int_width ->
+           Hashtbl.replace zero_widths mem.Signal.mem_width ()
+         | Signal.Mux (_, cases)
+           when Array.length cases > mux_inline_cases ->
+           add
+             (Printf.sprintf "  let mxc%d = [| %s |] in\n" s.Signal.uid
+                (String.concat "; "
+                   (Array.to_list
+                      (Array.map
+                         (fun c -> string_of_int (resolve_uid c))
+                         cases))))
+         | _ -> ()))
+    plan.sched;
+  Hashtbl.iter
+    (fun w () -> add (Printf.sprintf "  let z%d = Bits.zero %d in\n" w w))
+    zero_widths;
+  let emit_fn fname keep =
+    add (Printf.sprintf "  let %s () =\n" fname);
+    Array.iter
+      (fun ((s : Signal.t), p) ->
+        if keep s then
+          match p with
+          | Emit e ->
+            let u = s.Signal.uid in
+            if plan.materialized.(u) then
+              add (Printf.sprintf "    iv.(%d) <- %s;\n" u (expr_of plan e))
+          | Closure k ->
+            (match wide_stmt_of plan s with
+             | Some stmt -> add (Printf.sprintf "    %s;\n" stmt)
+             | None -> add (Printf.sprintf "    wide.(%d) ();\n" k)))
+      plan.sched;
+    add "    ()\n";
+    add "  in\n"
+  in
+  emit_fn "jit_full" (fun _ -> true);
+  emit_fn "jit_input" (fun s -> J.is_input_dep base s.Signal.uid);
+  for p = 0 to plan.n_parts - 1 do
+    emit_fn
+      (Printf.sprintf "jit_state_%d" p)
+      (fun s -> plan.part_of.(s.Signal.uid) = p)
+  done;
+  (* The register commit, straight-line: sample every clear-less
+     register into a local (constant slot indices, enable folded in),
+     run the host middle (cleared registers' sample + memory write
+     ports, which read pre-commit slots), then write the locals back.
+     The locals live across the [mid__ ()] call — they spill to the
+     stack, which is still far cheaper than the host's index-array
+     loops (no per-register index loads, no enable test for the
+     enable-less majority). *)
+  let irc = J.int_reg_commits base and wrc = J.wide_reg_commits base in
+  let emit_samples ind =
+    Array.iteri
+      (fun i (q, d, e) ->
+        if e >= 0 then
+          add
+            (Printf.sprintf
+               "%slet r%d = if iv.(%d) = 0 then iv.(%d) else iv.(%d) in\n" ind
+               i e q d)
+        else add (Printf.sprintf "%slet r%d = iv.(%d) in\n" ind i d))
+      irc;
+    Array.iteri
+      (fun i (q, d, e) ->
+        if e >= 0 then
+          add
+            (Printf.sprintf
+               "%slet w%d = if iv.(%d) = 0 then bv.(%d) else bv.(%d) in\n" ind
+               i e q d)
+        else add (Printf.sprintf "%slet w%d = bv.(%d) in\n" ind i d))
+      wrc
+  in
+  let emit_writes ind =
+    Array.iteri
+      (fun i (q, _, _) -> add (Printf.sprintf "%siv.(%d) <- r%d;\n" ind q i))
+      irc;
+    Array.iteri
+      (fun i (q, _, _) -> add (Printf.sprintf "%sbv.(%d) <- w%d;\n" ind q i))
+      wrc
+  in
+  add "  let jit_commit mid__ =\n";
+  emit_samples "    ";
+  add "    mid__ ();\n";
+  emit_writes "    ";
+  add "    ()\n";
+  add "  in\n";
+  (* Batched free-run: when no register has a clear (none of the real
+     kernels do), the whole cycle — commit including the memory write
+     ports, then the state-cone settle — can loop inside the plugin
+     with no per-cycle dispatch at all.  The host engages it from
+     [cycles] when there are no observers. *)
+  let has_cleared =
+    List.exists
+      (fun (s : Signal.t) ->
+        match s.Signal.op with
+        | Signal.Reg r -> r.Signal.clear <> None
+        | _ -> false)
+      (Circuit.registers plan.circuit)
+  in
+  (* Write ports read pre-commit values; creation order, so the
+     last-added port wins, as in the host's commit.  Rename-aware: in
+     the locals body the operands are loop locals, otherwise slots. *)
+  let emit_ports out ind =
+    List.iteri
+      (fun mi (m : Signal.memory) ->
+        let narrow = m.Signal.mem_width <= J.max_int_width in
+        List.iter
+          (fun (p : Signal.write_port) ->
+            let we = int_slot plan (resolve_uid p.Signal.we) in
+            let addr = int_operand plan p.Signal.waddr in
+            let di = resolve_uid p.Signal.wdata in
+            let data = if narrow then int_slot plan di else wide_slot plan di in
+            Buffer.add_string out
+              (Printf.sprintf
+                 "%sif %s <> 0 then begin let a__ = %s in if a__ < %d then \
+                  %s.(a__) <- %s end;\n"
+                 ind we addr m.Signal.size
+                 (if narrow then Printf.sprintf "jm%d" mi
+                  else Printf.sprintf "bm%d" mi)
+                 data))
+          (List.rev m.Signal.write_ports))
+      plan.circuit.Circuit.memories
+  in
+  (* Locals body of the batched free-run: register values and
+     state-cone intermediates are loop-carried OCaml locals — no slot
+     traffic on the hot path; the slots are written back and settled
+     once at batch exit.  [None] when the state cone contains a node
+     the native emitter does not cover (kept closure): closures read
+     raw slots, so that cone must stay slot-based. *)
+  let locals_body () =
+    let body = Buffer.create 4096 in
+    let addb = Buffer.add_string body in
+    let t = Hashtbl.create 64 in
+    Array.iteri
+      (fun i (q, _, _) -> Hashtbl.replace t q (Printf.sprintf "q%d" i))
+      irc;
+    Array.iteri
+      (fun i (q, _, _) -> Hashtbl.replace t q (Printf.sprintf "p%d" i))
+      wrc;
+    Array.iter
+      (fun ((s : Signal.t), p) ->
+        match p with
+        | Emit _
+          when plan.part_of.(s.Signal.uid) >= 0
+               && plan.materialized.(s.Signal.uid) ->
+          Hashtbl.replace t s.Signal.uid (Printf.sprintf "x%d" s.Signal.uid)
+        | _ -> ())
+      plan.sched;
+    plan.rename <- Some t;
+    Fun.protect
+      ~finally:(fun () -> plan.rename <- None)
+      (fun () ->
+        match
+          Array.iter
+            (fun ((s : Signal.t), p) ->
+              if plan.part_of.(s.Signal.uid) >= 0 then
+                match p with
+                | Emit e ->
+                  if plan.materialized.(s.Signal.uid) then
+                    addb
+                      (Printf.sprintf "        let x%d = %s in\n" s.Signal.uid
+                         (expr_of plan e))
+                | Closure _ ->
+                  (match wide_stmt_of plan s with
+                   | Some stmt -> addb (Printf.sprintf "        %s;\n" stmt)
+                   | None -> raise Exit))
+            plan.sched
+        with
+        | () ->
+          (* Samples: enable folded in, the pre-commit register values
+             are still bound as the loop parameters. *)
+          Array.iteri
+            (fun i (_, dd, e) ->
+              if e >= 0 then
+                addb
+                  (Printf.sprintf "        let s%d = if %s = 0 then q%d else \
+                                   %s in\n"
+                     i (operand_expr plan e) i (operand_expr plan dd))
+              else
+                addb
+                  (Printf.sprintf "        let s%d = %s in\n" i
+                     (operand_expr plan dd)))
+            irc;
+          Array.iteri
+            (fun i (_, dd, e) ->
+              if e >= 0 then
+                addb
+                  (Printf.sprintf "        let t%d = if %s = 0 then p%d else \
+                                   %s in\n"
+                     i (operand_expr plan e) i (wide_slot plan dd))
+              else
+                addb
+                  (Printf.sprintf "        let t%d = %s in\n" i
+                     (wide_slot plan dd)))
+            wrc;
+          emit_ports body "        ";
+          addb "        jit_chunk (k__ - 1)";
+          Array.iteri (fun i _ -> addb (Printf.sprintf " s%d" i)) irc;
+          Array.iteri (fun i _ -> addb (Printf.sprintf " t%d" i)) wrc;
+          addb "\n";
+          Some (Buffer.contents body)
+        | exception Exit -> None)
+  in
+  if not has_cleared then begin
+    match locals_body () with
+    | Some body ->
+      let params = Buffer.create 64 in
+      Array.iteri
+        (fun i _ -> Buffer.add_string params (Printf.sprintf " q%d" i))
+        irc;
+      Array.iteri
+        (fun i _ -> Buffer.add_string params (Printf.sprintf " p%d" i))
+        wrc;
+      add "  let jit_run n__ =\n";
+      add (Printf.sprintf "    let rec jit_chunk k__%s =\n"
+             (Buffer.contents params));
+      add "      if k__ = 0 then begin\n";
+      Array.iteri
+        (fun i (q, _, _) -> add (Printf.sprintf "        iv.(%d) <- q%d;\n" q i))
+        irc;
+      Array.iteri
+        (fun i (q, _, _) -> add (Printf.sprintf "        bv.(%d) <- p%d;\n" q i))
+        wrc;
+      for p = 0 to plan.n_parts - 1 do
+        add (Printf.sprintf "        jit_state_%d ();\n" p)
+      done;
+      add "        ()\n";
+      add "      end else begin\n";
+      add body;
+      add "      end\n";
+      add "    in\n";
+      (* Chunked driver: self-calls whose arguments spill to the stack
+         are not tail-eliminated on every target, so bound the depth
+         and round-trip the registers through their slots between
+         chunks (one extra settle per 1024 cycles). *)
+      add "    let left__ = ref n__ in\n";
+      add "    while !left__ > 0 do\n";
+      add "      let c__ = if !left__ > 1024 then 1024 else !left__ in\n";
+      add "      jit_chunk c__";
+      Array.iter (fun (q, _, _) -> add (Printf.sprintf " iv.(%d)" q)) irc;
+      Array.iter (fun (q, _, _) -> add (Printf.sprintf " bv.(%d)" q)) wrc;
+      add ";\n";
+      add "      left__ := !left__ - c__\n";
+      add "    done\n";
+      add "  in\n"
+    | None ->
+      add "  let jit_run n__ =\n";
+      add "    for _ = 1 to n__ do\n";
+      emit_samples "      ";
+      emit_ports buf "      ";
+      emit_writes "      ";
+      for p = 0 to plan.n_parts - 1 do
+        add (Printf.sprintf "      jit_state_%d ();\n" p)
+      done;
+      add "    done\n";
+      add "  in\n"
+  end;
+  add
+    (Printf.sprintf "  (jit_full, jit_input, Some jit_commit, %s, [| "
+       (if has_cleared then "None" else "Some jit_run"));
+  for p = 0 to plan.n_parts - 1 do
+    add (Printf.sprintf "jit_state_%d; " p)
+  done;
+  add "|])\n";
+  add "\nlet () = Hw.Sim_jit.register_kernel make\n";
+  Buffer.contents buf
+
+(* ---- toolchain: locate cmi dirs, compile, dynlink ---- *)
+
+exception Fell_back of string
+
+let find_include_dirs () =
+  match Sys.getenv_opt "ELASTIC_JIT_INCLUDES" with
+  | Some s when s <> "" -> Some (String.split_on_char ':' s)
+  | _ ->
+    let probe root =
+      let hw = Filename.concat root "lib/hw/.hw.objs/byte" in
+      if Sys.file_exists (Filename.concat hw "hw.cmi") then
+        (* The native dirs carry the .cmx files: with them visible,
+           ocamlopt can inline the small Bits kernels (select_int,
+           or_int_into, ...) straight into the generated code. *)
+        Some
+          (hw
+          :: List.filter Sys.file_exists
+               [ Filename.concat root "lib/hw/.hw.objs/native";
+                 Filename.concat root "lib/bits/.bits.objs/byte";
+                 Filename.concat root "lib/bits/.bits.objs/native" ])
+      else None
+    in
+    let rec walk dir depth =
+      if depth > 10 then None
+      else
+        match probe dir with
+        | Some dirs -> Some dirs
+        | None ->
+          (match probe (Filename.concat dir "_build/default") with
+           | Some dirs -> Some dirs
+           | None ->
+             let parent = Filename.dirname dir in
+             if parent = dir then None else walk parent (depth + 1))
+    in
+    let from_exe =
+      let d = Filename.dirname Sys.executable_name in
+      if Filename.is_relative d then None else walk d 0
+    in
+    (match from_exe with
+     | Some dirs -> Some dirs
+     | None -> walk (Sys.getcwd ()) 0)
+
+(* The generated plugin is compiled against hw.cmi and bits.cmi; a
+   kernel built against different interfaces would be rejected by
+   [Dynlink] at load time.  Mixing the cmi digests into the cache key
+   turns that rejection into an honest cache miss instead. *)
+let iface_fingerprint =
+  lazy
+    (match find_include_dirs () with
+     | None -> "no-cmi"
+     | Some dirs ->
+       String.concat ";"
+         (List.concat_map
+            (fun d ->
+              List.filter_map
+                (fun f ->
+                  let p = Filename.concat d f in
+                  match Digest.file p with
+                  | dg -> Some (Digest.to_hex dg)
+                  | exception Sys_error _ -> None)
+                (* cmx too: with cross-module inlining the generated
+                   code bakes in implementation details, not just the
+                   interfaces *)
+                [ "hw.cmi"; "bits.cmi"; "hw.cmx"; "bits.cmx" ])
+            dirs))
+
+let compiler_command =
+  lazy
+    (let probe cmd = Sys.command (cmd ^ " -version > /dev/null 2>&1") = 0 in
+     if probe "ocamlfind ocamlopt" then Some "ocamlfind ocamlopt"
+     else if probe "ocamlopt.opt" then Some "ocamlopt.opt"
+     else if probe "ocamlopt" then Some "ocamlopt"
+     else None)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let load_cmxs path =
+  pending_kernel := None;
+  (try Dynlink.loadfile_private path with
+   | Dynlink.Error e ->
+     raise (Fell_back ("dynlink: " ^ Dynlink.error_message e))
+   | Sys_error e -> raise (Fell_back ("dynlink: " ^ e)));
+  match !pending_kernel with
+  | Some m -> m
+  | None -> raise (Fell_back "plugin did not register a kernel")
+
+(* Compile [src] (already on disk) to [out]; raises [Fell_back]. *)
+let compile_cmxs ~incs ~src ~out =
+  let compiler =
+    match Lazy.force compiler_command with
+    | Some c -> c
+    | None -> raise (Fell_back "no native OCaml compiler on PATH")
+  in
+  let q = Filename.quote in
+  let log = src ^ ".log" in
+  let inc_flags = String.concat " " (List.map (fun d -> "-I " ^ q d) incs) in
+  let attempt flags =
+    Sys.command
+      (Printf.sprintf "%s -shared %s %s -o %s %s > %s 2>&1" compiler flags
+         inc_flags (q out) (q src) (q log))
+  in
+  (* -O2 is flambda-only; retry without it on a non-flambda switch. *)
+  let rc = attempt "-unsafe -O2 -inline 100 -w -a" in
+  let rc = if rc = 0 then 0 else attempt "-unsafe -inline 100 -w -a" in
+  if rc <> 0 then
+    raise (Fell_back (Printf.sprintf "compile failed (exit %d, log %s)" rc log))
+
+(* ---- fallback: threaded-code specializer ----
+
+   The same emit plan lowered to a flat int-array program run by one
+   dispatch loop: no per-node closure call, explicit unsafe accesses —
+   but no inlining, every emitted node keeps its slot. *)
+
+let op_not = 0
+and op_and = 1
+and op_or = 2
+and op_xor = 3
+and op_add = 4
+and op_sub = 5
+and op_mul = 6
+and op_eq = 7
+and op_ult = 8
+and op_slt = 9
+and op_mux2 = 10
+and op_muxn = 11
+and op_concat = 12
+and op_select = 13
+and op_memrd = 14
+and op_wide = 15
+
+let bytecode_of (plan : plan) keep =
+  let code = ref [] in
+  let push i = code := i :: !code in
+  Array.iter
+    (fun ((s : Signal.t), p) ->
+      if keep s then
+        match p with
+        | Closure k -> push op_wide; push k
+        | Emit e ->
+          let d = s.Signal.uid in
+          (match e with
+           | Enot { x; m } -> push op_not; push d; push x; push m
+           | Ebin { op; x; y; m; sb } ->
+             (match op with
+              | Signal.And -> push op_and; push d; push x; push y
+              | Signal.Or -> push op_or; push d; push x; push y
+              | Signal.Xor -> push op_xor; push d; push x; push y
+              | Signal.Add -> push op_add; push d; push x; push y; push m
+              | Signal.Sub -> push op_sub; push d; push x; push y; push m
+              | Signal.Mul -> push op_mul; push d; push x; push y
+              | Signal.Eq -> push op_eq; push d; push x; push y
+              | Signal.Ult -> push op_ult; push d; push x; push y
+              | Signal.Slt -> push op_slt; push d; push x; push y; push sb)
+           | Emux { sel; cases } ->
+             let nc = Array.length cases in
+             if nc = 2 then begin
+               push op_mux2; push d; push sel;
+               push cases.(0); push cases.(1)
+             end
+             else begin
+               push op_muxn; push d; push sel; push nc;
+               Array.iter push cases
+             end
+           | Econcat { parts } ->
+             push op_concat; push d; push (Array.length parts);
+             Array.iter (fun (u, w) -> push u; push w) parts
+           | Eselect { a; lo; m } ->
+             push op_select; push d; push a; push lo; push m
+           | Ememrd { mi; a; size } ->
+             push op_memrd; push d; push mi; push a; push size))
+    plan.sched;
+  Array.of_list (List.rev !code)
+
+let exec_bytecode (code : int array) (iv : int array)
+    (mems : int array array) (wide : (unit -> unit) array) =
+  let n = Array.length code in
+  let g i = Array.unsafe_get code i in
+  let rd i = Array.unsafe_get iv i in
+  let wr i v = Array.unsafe_set iv i v in
+  let pc = ref 0 in
+  while !pc < n do
+    let p = !pc in
+    match g p with
+    | 0 (* not *) ->
+      wr (g (p + 1)) (lnot (rd (g (p + 2))) land g (p + 3));
+      pc := p + 4
+    | 1 (* and *) ->
+      wr (g (p + 1)) (rd (g (p + 2)) land rd (g (p + 3)));
+      pc := p + 4
+    | 2 (* or *) ->
+      wr (g (p + 1)) (rd (g (p + 2)) lor rd (g (p + 3)));
+      pc := p + 4
+    | 3 (* xor *) ->
+      wr (g (p + 1)) (rd (g (p + 2)) lxor rd (g (p + 3)));
+      pc := p + 4
+    | 4 (* add *) ->
+      wr (g (p + 1)) ((rd (g (p + 2)) + rd (g (p + 3))) land g (p + 4));
+      pc := p + 5
+    | 5 (* sub *) ->
+      wr (g (p + 1)) ((rd (g (p + 2)) - rd (g (p + 3))) land g (p + 4));
+      pc := p + 5
+    | 6 (* mul *) ->
+      wr (g (p + 1)) (rd (g (p + 2)) * rd (g (p + 3)));
+      pc := p + 4
+    | 7 (* eq *) ->
+      wr (g (p + 1)) (if rd (g (p + 2)) = rd (g (p + 3)) then 1 else 0);
+      pc := p + 4
+    | 8 (* ult *) ->
+      wr (g (p + 1)) (if rd (g (p + 2)) < rd (g (p + 3)) then 1 else 0);
+      pc := p + 4
+    | 9 (* slt *) ->
+      let sb = g (p + 4) in
+      wr (g (p + 1))
+        (if rd (g (p + 2)) lxor sb < rd (g (p + 3)) lxor sb then 1 else 0);
+      pc := p + 5
+    | 10 (* mux2 *) ->
+      wr (g (p + 1))
+        (if rd (g (p + 2)) = 0 then rd (g (p + 3)) else rd (g (p + 4)));
+      pc := p + 5
+    | 11 (* muxn *) ->
+      let nc = g (p + 3) in
+      let i = rd (g (p + 2)) in
+      let i = if i >= nc then nc - 1 else i in
+      wr (g (p + 1)) (rd (g (p + 4 + i)));
+      pc := p + 4 + nc
+    | 12 (* concat *) ->
+      let np = g (p + 2) in
+      let acc = ref 0 in
+      for i = 0 to np - 1 do
+        acc := (!acc lsl g (p + 4 + (2 * i))) lor rd (g (p + 3 + (2 * i)))
+      done;
+      wr (g (p + 1)) !acc;
+      pc := p + 3 + (2 * np)
+    | 13 (* select *) ->
+      wr (g (p + 1)) ((rd (g (p + 2)) lsr g (p + 3)) land g (p + 4));
+      pc := p + 5
+    | 14 (* memrd *) ->
+      let a = rd (g (p + 3)) in
+      wr (g (p + 1))
+        (if a < g (p + 4) then
+           Array.unsafe_get (Array.unsafe_get mems (g (p + 2))) a
+         else 0);
+      pc := p + 5
+    | _ (* wide *) ->
+      (Array.unsafe_get wide (g (p + 1))) ();
+      pc := p + 2
+  done
+
+let fallback_maker (base : Sim_compiled.t) (plan : plan) : maker =
+  let full = bytecode_of plan (fun _ -> true) in
+  let input = bytecode_of plan (fun s -> J.is_input_dep base s.Signal.uid) in
+  let state = bytecode_of plan (fun s -> J.is_state_dep base s.Signal.uid) in
+  fun iv _bv mems _bmems wide ->
+    ( (fun () -> exec_bytecode full iv mems wide),
+      (fun () -> exec_bytecode input iv mems wide),
+      None (* keep the host's commit loops *),
+      None (* no batched free-run: per-cycle dispatch via the host *),
+      [| (fun () -> exec_bytecode state iv mems wide) |] )
+
+(* ---- the shared settle-parallelism pool ---- *)
+
+let pool : Parallel.Pool.t option ref = ref None
+
+let set_domains n =
+  if n < 1 then invalid_arg "Sim_jit.set_domains: must be >= 1";
+  domains_ref := n;
+  (match !pool with Some p -> Parallel.Pool.shutdown p | None -> ());
+  pool := None
+
+let domains () = !domains_ref
+
+let get_pool () =
+  match !pool with
+  | Some p when Parallel.Pool.size p = !domains_ref -> p
+  | Some p ->
+    Parallel.Pool.shutdown p;
+    let p = Parallel.Pool.create !domains_ref in
+    pool := Some p;
+    p
+  | None ->
+    let p = Parallel.Pool.create !domains_ref in
+    pool := Some p;
+    p
+
+(* ---- backend instance ---- *)
+
+type t = {
+  base : Sim_compiled.t;
+  inlined : bool array; (* uid -> register-allocated (slot never written) *)
+}
+
+let obtain_maker (base : Sim_compiled.t) (plan : plan) ~hash =
+  let now = Unix.gettimeofday in
+  let t0 = now () in
+  let finish bmode maker ~process_hit ~disk_hit ~cg ~cc =
+    let load_s =
+      match bmode with Native -> now () -. t0 -. cg -. cc | Fallback _ -> 0.0
+    in
+    let emitted, closures, inl =
+      Array.fold_left
+        (fun (e, c, i) ((s : Signal.t), p) ->
+          match p with
+          | Emit _ ->
+            (e + 1, c, if plan.materialized.(s.Signal.uid) then i else i + 1)
+          | Closure _ ->
+            (* Wide steps the native codegen covers count as emitted;
+               the fallback always runs them through the table. *)
+            (match bmode with
+             | Native when wide_stmt_of plan s <> None -> (e + 1, c, i)
+             | _ -> (e, c + 1, i)))
+        (0, 0, 0) plan.sched
+    in
+    last_build_ref :=
+      Some
+        { bmode; hash; process_cache_hit = process_hit;
+          disk_cache_hit = disk_hit; codegen_seconds = cg; compile_seconds = cc;
+          load_seconds = load_s; emitted_nodes = emitted;
+          closure_nodes = closures;
+          inlined_nodes = (match bmode with Native -> inl | Fallback _ -> 0);
+          state_parts =
+            (match bmode with Native -> plan.n_parts | Fallback _ -> 1) };
+    maker
+  in
+  if !force_fallback then
+    (* Checked before every cache layer: a kernel this process already
+       linked must not leak through when the fallback is forced. *)
+    finish
+      (Fallback "forced by configuration")
+      (fallback_maker base plan)
+      ~process_hit:false ~disk_hit:false ~cg:0.0 ~cc:0.0
+  else if Hashtbl.mem seen hash && Hashtbl.mem loaded hash then
+    finish Native (Hashtbl.find loaded hash) ~process_hit:true ~disk_hit:false
+      ~cg:0.0 ~cc:0.0
+  else begin
+    Hashtbl.replace seen hash ();
+    match Hashtbl.find_opt loaded hash with
+    | Some m ->
+      (* linked earlier in this process; equivalent to a disk hit *)
+      incr disk_hits;
+      finish Native m ~process_hit:false ~disk_hit:true ~cg:0.0 ~cc:0.0
+    | None ->
+      (try
+         if not Dynlink.is_native then raise (Fell_back "bytecode host");
+         let incs =
+           match find_include_dirs () with
+           | Some dirs -> dirs
+           | None -> raise (Fell_back "library .cmi directory not found")
+         in
+         let dir = Filename.concat (cache_dir ()) hash in
+         let modname = "elastic_jit_" ^ String.sub hash 0 12 in
+         let cmxs = Filename.concat dir (modname ^ ".cmxs") in
+         let compile_fresh () =
+           mkdir_p dir;
+           let src = Filename.concat dir (modname ^ ".ml") in
+           let text = generate_module base plan ~hash in
+           let oc = open_out src in
+           output_string oc text;
+           close_out oc;
+           let t1 = now () in
+           compile_cmxs ~incs ~src ~out:cmxs;
+           let t2 = now () in
+           let m = load_cmxs cmxs in
+           Hashtbl.replace loaded hash m;
+           finish Native m ~process_hit:false ~disk_hit:false ~cg:(t1 -. t0)
+             ~cc:(t2 -. t1)
+         in
+         if Sys.file_exists cmxs then begin
+           match load_cmxs cmxs with
+           | m ->
+             incr disk_hits;
+             Hashtbl.replace loaded hash m;
+             finish Native m ~process_hit:false ~disk_hit:true ~cg:0.0 ~cc:0.0
+           | exception Fell_back _ ->
+             (* Corrupt or stale entry (the interface fingerprint in
+                the key makes this rare): rebuild it in place. *)
+             (try Sys.remove cmxs with Sys_error _ -> ());
+             incr disk_misses;
+             compile_fresh ()
+         end
+         else begin
+           incr disk_misses;
+           compile_fresh ()
+         end
+       with Fell_back reason ->
+         finish (Fallback reason)
+           (fallback_maker base plan)
+           ~process_hit:false ~disk_hit:false ~cg:0.0 ~cc:0.0)
+  end
+
+let mode_of_stats () =
+  match !last_build_ref with
+  | Some { bmode; _ } -> bmode
+  | None -> Fallback "no build yet"
+
+let create circuit =
+  let base = Sim_compiled.create circuit in
+  let plan = build_plan base circuit in
+  let hash =
+    Digest.to_hex
+      (Digest.string (canonical_hash plan ^ Lazy.force iface_fingerprint))
+  in
+  let maker = obtain_maker base plan ~hash in
+  let mode = mode_of_stats () in
+  (* Per-instance closure table, in the same schedule order the
+     codegen assigned indices. *)
+  let wide = Array.make (max 1 plan.n_closures) (fun () -> ()) in
+  let k = ref 0 in
+  Array.iter2
+    (fun ((_ : Signal.t), p) ((_ : Signal.t), f) ->
+      match p with
+      | Closure _ ->
+        wide.(!k) <- f;
+        incr k
+      | Emit _ -> ())
+    plan.sched (J.step_nodes base);
+  let mems =
+    Array.of_list
+      (List.map
+         (fun (m : Signal.memory) ->
+           match J.imem base m with Some arr -> arr | None -> [||])
+         circuit.Circuit.memories)
+  in
+  let bmems =
+    Array.of_list
+      (List.map
+         (fun (m : Signal.memory) ->
+           match J.bmem base m with Some arr -> arr | None -> [||])
+         circuit.Circuit.memories)
+  in
+  let full, input, commit, run, state_parts =
+    maker (J.ivals base) (J.bvals base) mems bmems wide
+  in
+  let state =
+    if Array.length state_parts = 1 then state_parts.(0)
+    else
+      fun () ->
+        if !domains_ref > 1 then
+          Parallel.Pool.run (get_pool ())
+            (fun i -> state_parts.(i) ())
+            (Array.length state_parts)
+        else Array.iter (fun f -> f ()) state_parts
+  in
+  J.set_schedules base ~full:[| full |] ~input:[| input |] ~state:[| state |];
+  Option.iter (J.set_commit base) commit;
+  (* The batched free-run bypasses the partitioned-parallel state
+     settle, so it stands down (returns false -> host loops cycle by
+     cycle) while multi-domain settle is on. *)
+  Option.iter
+    (fun r ->
+      J.set_run base (fun n ->
+          if !domains_ref > 1 then false
+          else begin
+            r n;
+            true
+          end))
+    run;
+  let inlined = Array.make (max 1 circuit.Circuit.max_uid) false in
+  (match mode with
+   | Native ->
+     Array.iter
+       (fun ((s : Signal.t), p) ->
+         match p with
+         | Emit _ ->
+           if not plan.materialized.(s.Signal.uid) then
+             inlined.(s.Signal.uid) <- true
+         | Closure _ -> ())
+       plan.sched
+   | Fallback _ -> ());
+  { base; inlined }
+
+let settle t = Sim_compiled.settle t.base
+let cycle t = Sim_compiled.cycle t.base
+let cycles t n = Sim_compiled.cycles t.base n
+let cycle_no t = Sim_compiled.cycle_no t.base
+let circuit t = Sim_compiled.circuit t.base
+let on_cycle t f = Sim_compiled.on_cycle t.base (fun _ -> f t)
+let poke t nm bits = Sim_compiled.poke t.base nm bits
+let poke_int t nm n = Sim_compiled.poke_int t.base nm n
+let peek t nm = Sim_compiled.peek t.base nm
+let peek_int t nm = Sim_compiled.peek_int t.base nm
+let peek_bool t nm = Sim_compiled.peek_bool t.base nm
+
+let peek_signal t (s : Signal.t) =
+  let r = J.resolve s in
+  if r.Signal.uid < Array.length t.inlined && t.inlined.(r.Signal.uid) then
+    invalid_arg
+      (Printf.sprintf
+         "Sim(jit).peek_signal: signal #%d was register-allocated by the JIT \
+          (its slot is never written); name it to keep it observable, or use \
+          the compiled backend"
+         r.Signal.uid)
+  else Sim_compiled.peek_signal t.base s
+
+let snapshot t = Sim_compiled.snapshot t.base
+let restore t snap = Sim_compiled.restore t.base snap
+let reset t = Sim_compiled.reset t.base
+let mem_read t m addr = Sim_compiled.mem_read t.base m addr
+let mem_write t m addr v = Sim_compiled.mem_write t.base m addr v

@@ -75,3 +75,119 @@ let map_list ?domains f xs =
   Array.to_list (map ?domains (fun i -> f arr.(i)) (Array.length arr))
 
 let iter ?domains f n = ignore (map ?domains (fun i -> f i; ()) n)
+
+(* Persistent spin-synchronized pool, for latency-critical fan-out.
+
+   [map] pays a Domain.spawn/join per call — microseconds at best —
+   which is fine for sweep points that run for milliseconds but
+   hopeless for a simulator that wants to fan a settle schedule out
+   every simulated cycle.  A [Pool.t] keeps its worker domains alive
+   between batches and synchronizes through two atomics:
+
+   - [epoch] is bumped by [run] to release the workers on a new batch;
+     workers spin (with [Domain.cpu_relax]) until they observe the
+     bump, grab task indices from the shared counter, and
+   - [done_count] is bumped once per finished task; [run] spins until
+     every task of the batch is accounted for.
+
+   The batch tasks are stored in a mutable slot read only after the
+   epoch bump (release/acquire through the atomics).  Exceptions in a
+   task are caught per-task and re-raised from [run] after the batch
+   completes, so the pool itself never wedges.  [Pool.create 1] (or on
+   a 1-core host) spawns nothing and [run] degrades to a sequential
+   loop. *)
+module Pool = struct
+  (* Each [run] allocates a fresh batch record with its own task
+     counter and completion counter.  Workers read the current batch
+     through a single pointer after observing an epoch bump, so a
+     worker that wakes up late (or re-checks after finishing) can only
+     ever touch the batch it read: a stale batch's counter is
+     exhausted, making the worker a no-op rather than a hazard.  This
+     is what makes the pool safe to drive at per-simulated-cycle
+     frequency. *)
+  type batch = {
+    bf : int -> unit;
+    bn : int;
+    bnext : int Atomic.t;
+    bdone : int Atomic.t;
+    bfailed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  }
+
+  type t = {
+    mutable workers : unit Domain.t array;
+    epoch : int Atomic.t;
+    stop : bool Atomic.t;
+    mutable current : batch;
+  }
+
+  let empty_batch =
+    { bf = (fun _ -> ()); bn = 0; bnext = Atomic.make 0;
+      bdone = Atomic.make 0; bfailed = Atomic.make None }
+
+  let help (b : batch) =
+    let continue_ = ref true in
+    while !continue_ do
+      let i = Atomic.fetch_and_add b.bnext 1 in
+      if i >= b.bn then continue_ := false
+      else begin
+        (try b.bf i
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set b.bfailed None (Some (e, bt))));
+        Atomic.incr b.bdone
+      end
+    done
+
+  let worker t =
+    let seen = ref (Atomic.get t.epoch) in
+    let running = ref true in
+    while !running do
+      if Atomic.get t.stop then running := false
+      else begin
+        let e = Atomic.get t.epoch in
+        if e = !seen then Domain.cpu_relax ()
+        else begin
+          seen := e;
+          help t.current
+        end
+      end
+    done
+
+  let create size =
+    if size < 1 then invalid_arg "Parallel.Pool.create: size must be >= 1";
+    let t =
+      { workers = [||]; epoch = Atomic.make 0; stop = Atomic.make false;
+        current = empty_batch }
+    in
+    t.workers <-
+      Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let size t = Array.length t.workers + 1
+
+  let run t f n =
+    if n < 0 then invalid_arg "Parallel.Pool.run: negative count";
+    if n = 0 then ()
+    else if Array.length t.workers = 0 then
+      for i = 0 to n - 1 do f i done
+    else begin
+      let b =
+        { bf = f; bn = n; bnext = Atomic.make 0; bdone = Atomic.make 0;
+          bfailed = Atomic.make None }
+      in
+      t.current <- b;
+      Atomic.incr t.epoch (* release the workers on the new batch *);
+      help b (* the caller's domain participates too *);
+      while Atomic.get b.bdone < n do
+        Domain.cpu_relax ()
+      done;
+      match Atomic.get b.bfailed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+  let shutdown t =
+    Atomic.set t.stop true;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+end

@@ -23,3 +23,30 @@ val map : ?domains:int -> (int -> 'a) -> int -> 'a array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?domains:int -> (int -> unit) -> int -> unit
+
+(** Persistent spin-synchronized worker pool, for fan-out whose batch
+    latency must stay in the microsecond range (e.g. a simulator
+    splitting independent combinational cones across cores every
+    cycle).  Unlike {!map}, no domain is spawned per batch: workers
+    stay alive between {!Pool.run} calls and spin (with
+    [Domain.cpu_relax]) while idle, so keep pools small, shut them
+    down when done, and prefer {!map} for coarse work. *)
+module Pool : sig
+  type t
+
+  val create : int -> t
+  (** [create size] spawns [size - 1] worker domains ([create 1]
+      spawns none and {!run} degrades to a sequential loop). *)
+
+  val size : t -> int
+  (** Total parallelism including the calling domain. *)
+
+  val run : t -> (int -> unit) -> int -> unit
+  (** [run t f n] executes [f 0 .. f (n-1)] across the pool (the
+      calling domain participates) and returns when all have
+      finished.  Tasks must be independent.  The first exception any
+      task raised is re-raised after the batch completes. *)
+
+  val shutdown : t -> unit
+  (** Join the workers.  The pool must not be used afterwards. *)
+end

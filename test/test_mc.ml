@@ -68,17 +68,27 @@ let restore_rejects_mismatch () =
      Alcotest.fail "width mismatch accepted"
    with Invalid_argument _ -> ())
 
-(* Both backends run the same unoptimized netlist, so the explored
-   graph must match exactly. *)
+(* All backends run the same unoptimized netlist, so the explored
+   graph must match exactly.  The checker drives exploration through
+   snapshot/restore, so agreement on the JIT backend proves its
+   snapshot/restore bit-exact against the interpreter's. *)
 let backends_agree () =
   List.iter
     (fun spec ->
       let a = Mc.run ~backend:Hw.Sim.Interp spec in
-      let b = Mc.run ~backend:Hw.Sim.Compiled spec in
       let label = Mc.spec_label spec in
-      Alcotest.(check int) (label ^ " states") a.Mc.stats.Mc.states b.Mc.stats.Mc.states;
-      Alcotest.(check int) (label ^ " edges") a.Mc.stats.Mc.edges b.Mc.stats.Mc.edges;
-      Alcotest.(check bool) (label ^ " clean") a.Mc.clean b.Mc.clean)
+      List.iter
+        (fun backend ->
+          let b = Mc.run ~backend spec in
+          let tag =
+            Printf.sprintf "%s (%s)" label (Hw.Sim.backend_to_string backend)
+          in
+          Alcotest.(check int) (tag ^ " states") a.Mc.stats.Mc.states
+            b.Mc.stats.Mc.states;
+          Alcotest.(check int) (tag ^ " edges") a.Mc.stats.Mc.edges
+            b.Mc.stats.Mc.edges;
+          Alcotest.(check bool) (tag ^ " clean") a.Mc.clean b.Mc.clean)
+        [ Hw.Sim.Compiled; Hw.Sim.Jit ])
     [ Mc.meb ~kind:Meb.Reduced ~policy:Policy.Ready_aware ~threads:2;
       Mc.varlat ~threads:2;
       Mc.fork ~threads:2 ]
@@ -173,6 +183,8 @@ let suite =
   ( "mc",
     [ Alcotest.test_case "snapshot roundtrip (interp)" `Quick
         (roundtrip Hw.Sim.Interp);
+      Alcotest.test_case "snapshot roundtrip (jit)" `Quick
+        (roundtrip Hw.Sim.Jit);
       Alcotest.test_case "snapshot roundtrip (compiled)" `Quick
         (roundtrip Hw.Sim.Compiled);
       Alcotest.test_case "restore rejects mismatch" `Quick

@@ -7,7 +7,7 @@ module S = Hw.Signal
 module Mc = Melastic.Mt_channel
 module D = Synth.Dataflow
 
-let backends = [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+let backends = [ Hw.Sim.Interp; Hw.Sim.Compiled; Hw.Sim.Jit ]
 
 (* Distinct checker classes among a monitor's reports. *)
 let checker_classes m =

@@ -1,14 +1,21 @@
-(* Cross-backend equivalence: the compiled backend (Sim_compiled) must
-   be bit-identical, cycle for cycle, to the reference interpreter
-   (Sim_interp) — on randomized circuits covering every node kind in
-   both the unboxed-int and wide (Bits.t) value domains, and on the
-   real tier-1 workloads (MD5 datapath, multithreaded CPU). *)
+(* Cross-backend equivalence: the compiled backend (Sim_compiled) and
+   the native-JIT backend (Sim_jit) must be bit-identical, cycle for
+   cycle, to the reference interpreter (Sim_interp) — on randomized
+   circuits covering every node kind in both the unboxed-int and wide
+   (Bits.t) value domains, and on the real tier-1 workloads (MD5
+   datapath, multithreaded CPU). *)
 
 module S = Hw.Signal
 
 let both circuit =
   ( Hw.Sim.create ~backend:Hw.Sim.Interp circuit,
     Hw.Sim.create ~backend:Hw.Sim.Compiled circuit )
+
+(* Run [f] with the JIT pinned to its threaded-code specializer. *)
+let with_forced_fallback f =
+  let saved = !Hw.Sim_jit.force_fallback in
+  Hw.Sim_jit.force_fallback := true;
+  Fun.protect ~finally:(fun () -> Hw.Sim_jit.force_fallback := saved) f
 
 (* Compare every output of two simulators of the same circuit. *)
 let check_outputs tag si sc =
@@ -240,7 +247,7 @@ let test_mem_port_priority_compiled () =
                w)
             22
             (Bits.to_int (Hw.Sim.peek sim "r")))
-        [ Hw.Sim.Interp; Hw.Sim.Compiled ])
+        [ Hw.Sim.Interp; Hw.Sim.Compiled; Hw.Sim.Jit ])
     [ 8; 70 ]
 
 (* Wide datapath arithmetic spot-check on the compiled backend against
@@ -489,7 +496,94 @@ let test_unknown_signal () =
          in
          Alcotest.(check bool) (tag ^ " printable") true
            (contains "countr" && contains "counter")))
-    [ Hw.Sim.Interp; Hw.Sim.Compiled ]
+    [ Hw.Sim.Interp; Hw.Sim.Compiled; Hw.Sim.Jit ]
+
+(* ---- native JIT backend ---- *)
+
+(* Same randomized lockstep as the compiled backend, with the JIT as
+   the device under test.  Fewer circuits than the compiled run: each
+   distinct netlist is a real ocamlopt invocation on a cold cache
+   (kernels are cached on disk afterwards). *)
+let test_jit_random_circuits () =
+  let st = Random.State.make [| 0x217 |] in
+  for _ = 1 to 4 do
+    let circuit = random_circuit st in
+    let si = Hw.Sim.create ~backend:Hw.Sim.Interp circuit in
+    let sj = Hw.Sim.create ~backend:Hw.Sim.Jit circuit in
+    drive_lockstep ~cycles:20 st si sj
+  done
+
+(* The threaded-code specializer (the no-toolchain fallback) must be
+   just as bit-exact; it is cheap to build, so cover more circuits. *)
+let test_jit_fallback_equivalence () =
+  with_forced_fallback (fun () ->
+      let st = Random.State.make [| 0x3ab |] in
+      for _ = 1 to 8 do
+        let circuit = random_circuit st in
+        let si = Hw.Sim.create ~backend:Hw.Sim.Interp circuit in
+        let sj = Hw.Sim.create ~backend:Hw.Sim.Jit circuit in
+        drive_lockstep ~cycles:20 st si sj
+      done)
+
+let md5_jit_circuit () =
+  Md5.Md5_circuit.circuit ~kind:Melastic.Meb.Reduced ~probes:true ~threads:2 ()
+
+(* End-to-end digest check on the JIT backend against RFC 1321. *)
+let test_md5_on_jit () =
+  let msgs = [ "abc"; "message digest" ] in
+  let sim = Hw.Sim.create ~backend:Hw.Sim.Jit (md5_jit_circuit ()) in
+  let digests = Md5.Md5_host.hash_messages ~limit:20000 sim msgs in
+  List.iter2
+    (fun msg got ->
+      Alcotest.(check string)
+        (Printf.sprintf "md5(%S) on jit backend" msg)
+        (Md5.Md5_ref.digest msg) got)
+    msgs digests
+
+(* The batched free-run ([Hw.Sim.cycles] with no observers) must be
+   bit-identical to stepping [cycle] in a loop — across the generated
+   loop's internal chunk boundary (1024) — and must leave the instance
+   consistent for further stepping.  With a multi-domain settle the
+   JIT declines the batch and the host loops [cycle]; that path, and
+   the partitioned-parallel settle itself, must agree too. *)
+let test_jit_cycles_batching () =
+  let watch = [ "round_counter"; "sync_ok" ] in
+  let run ~domains =
+    let circuit = md5_jit_circuit () in
+    let sj = Hw.Sim.create ~backend:Hw.Sim.Jit circuit in
+    let sc = Hw.Sim.create ~backend:Hw.Sim.Compiled circuit in
+    Hw.Sim_jit.set_domains domains;
+    Fun.protect
+      ~finally:(fun () -> Hw.Sim_jit.set_domains 1)
+      (fun () ->
+        let tag = Printf.sprintf "domains=%d" domains in
+        let compare_watch phase =
+          List.iter
+            (fun name ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s: probe %s" tag phase name)
+                true
+                (Bits.equal (Hw.Sim.peek sc name) (Hw.Sim.peek sj name)))
+            watch
+        in
+        List.iter
+          (fun s ->
+            Hw.Sim.poke_int s "msg_valid" 3;
+            Hw.Sim.poke_int s "digest_ready" 3)
+          [ sj; sc ];
+        Hw.Sim.cycles sj 1100;
+        for _ = 1 to 1100 do Hw.Sim.cycle sc done;
+        check_outputs (tag ^ " batched vs stepped") sc sj;
+        compare_watch "batched";
+        (* The instance must keep working after the batch. *)
+        List.iter (fun s -> Hw.Sim.poke_int s "msg_valid" 0) [ sj; sc ];
+        Hw.Sim.cycles sj 7;
+        for _ = 1 to 7 do Hw.Sim.cycle sc done;
+        check_outputs (tag ^ " post-batch stepping") sc sj;
+        compare_watch "post-batch")
+  in
+  run ~domains:1;
+  run ~domains:2
 
 let suite =
   ( "sim-backends",
@@ -506,4 +600,11 @@ let suite =
       Alcotest.test_case "optimizer cosim on real designs" `Quick
         test_optimizer_cosim_real_designs;
       Alcotest.test_case "settle dirty-flag boundaries (both)" `Quick
-        test_settle_dirty_boundaries ] )
+        test_settle_dirty_boundaries;
+      Alcotest.test_case "jit random circuits lockstep" `Quick
+        test_jit_random_circuits;
+      Alcotest.test_case "jit fallback specializer lockstep" `Quick
+        test_jit_fallback_equivalence;
+      Alcotest.test_case "md5 workload (jit)" `Quick test_md5_on_jit;
+      Alcotest.test_case "jit batched cycles vs stepping" `Quick
+        test_jit_cycles_batching ] )
