@@ -12,6 +12,8 @@
      main.exe perf --expect-warm   fail unless every JIT kernel loads from the disk cache
      main.exe serve           continuous-batching serving benchmark (BENCH_serve.json)
      main.exe serve --quick   shortened serving run, for CI smoke
+     main.exe fleet           multi-host fleet benchmark: dedup + stealing vs baseline (BENCH_fleet.json, non-zero exit on a failed gate)
+     main.exe fleet --quick   shortened fleet run, for CI smoke
      main.exe mc              exhaustive protocol model checking (BENCH_mc.json, non-zero exit on violation)
      main.exe mc --quick      trimmed spec list, for CI
      main.exe noc             fabric topology sweep at equal core count (BENCH_noc.json, non-zero exit on violation or < 2x speedup)
@@ -24,7 +26,7 @@
 let usage () =
   Printf.eprintf
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|mc|noc] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|fleet|mc|noc] \
      [--threads N] [--domains N] [--quick] [--backend %s]\n\
      perf flags: --clear-cache (drop the JIT kernel disk cache first), \
      --expect-warm (fail unless every JIT kernel loads from the disk cache)\n\
@@ -97,6 +99,7 @@ let () =
     Exp_perf.run ~quick ?domains ~clear_cache:!clear_cache
       ~expect_warm:!expect_warm ()
   | [ "serve" ] -> Exp_serve.run ~quick ?domains ()
+  | [ "fleet" ] -> Exp_fleet.run ~quick ?domains ()
   | [ "mc" ] -> exit (min 1 (Exp_mc.run ~quick ()))
   | [ "noc" ] -> Exp_noc.run ~quick ?domains ()
   | _ -> usage ()

@@ -5,6 +5,7 @@
      elsim run FILE            assemble and run on the elastic pipeline
      elsim md5 MSG...          hash messages on the MT elastic MD5 circuit
      elsim serve MSG...        serve messages via the continuous-batching engine
+     elsim fleet               serve a trace on a simulated fleet of elastic hosts
      elsim report              area/Fmax report for the Table I designs
      elsim vcd FILE            dump a VCD of the Fig. 5 stall scenario *)
 
@@ -203,6 +204,106 @@ let serve_cmd =
             (const run $ backend_arg $ kind_arg $ msgs $ slots $ replicas
              $ domains $ rate $ deadline $ monitor $ seed))
 
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let preset =
+    let names = List.map fst Fleet.Trace.presets in
+    let doc =
+      Printf.sprintf "Trace preset (%s). %s"
+        (String.concat "|" names)
+        (String.concat " "
+           (List.map
+              (fun (n, d) -> Printf.sprintf "%s: %s." n d)
+              Fleet.Trace.presets))
+    in
+    Arg.(value & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+         & info [ "preset" ] ~docv:"NAME" ~doc)
+  in
+  let trace_file =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Trace file ('arrival payload [class]' per line); \
+                   overrides $(b,--preset).")
+  in
+  let hosts =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let slots =
+    Arg.(value & opt int 8
+         & info [ "slots" ] ~docv:"S" ~doc:"Thread slots per host.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "scale" ] ~docv:"X" ~doc:"Preset rate multiplier.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Trace and kqueue seed.")
+  in
+  let kq_segments =
+    Arg.(value & opt int 64
+         & info [ "kq-segments" ] ~docv:"N" ~doc:"Relaxed-queue segments.")
+  in
+  let kq_k =
+    Arg.(value & opt int 4
+         & info [ "kq-k" ] ~docv:"K"
+             ~doc:"Relaxed-queue segment width (relaxation bound K-1).")
+  in
+  let no_dedup =
+    Arg.(value & flag
+         & info [ "no-dedup" ] ~doc:"Disable the result cache and coalescing.")
+  in
+  let no_steal =
+    Arg.(value & flag & info [ "no-steal" ] ~doc:"Disable work stealing.")
+  in
+  let monitor =
+    Arg.(value & flag
+         & info [ "monitor" ] ~doc:"Attach the runtime protocol monitors.")
+  in
+  let run backend kind preset trace_file hosts slots scale seed kq_segments
+      kq_k no_dedup no_steal monitor =
+    set_backend backend;
+    let trace =
+      match trace_file with
+      | Some path -> Fleet.Trace.of_file path
+      | None ->
+        let name = Option.value preset ~default:"steady" in
+        Fleet.Trace.generate ~seed
+          ~phases:(Fleet.Trace.preset ~scale name)
+          ()
+    in
+    let config =
+      { Fleet.Frontend.default_config with
+        n_hosts = hosts;
+        kq_segments;
+        kq_k;
+        seed;
+        dedup = not no_dedup;
+        stealing = not no_steal }
+    in
+    let t =
+      Fleet.Frontend.create ~config
+        ~make_host:(Serve.Md5_backend.make ~kind ~monitor ~slots ())
+        ~key:Fun.id ()
+    in
+    Fleet.Frontend.submit_trace t trace;
+    let s = Fleet.Frontend.run t in
+    print_string (Fleet.Frontend.summary s);
+    if Fleet.Frontend.violations s > 0 then
+      `Error (false, "fleet violations (kqueue relaxation or protocol monitors)")
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Serve a trace on a simulated fleet of elastic MD5 hosts \
+             (consistent-hash routing, result dedup, relaxed k-queues, \
+             work stealing).")
+    Term.(ret
+            (const run $ backend_arg $ kind_arg $ preset $ trace_file $ hosts
+             $ slots $ scale $ seed $ kq_segments $ kq_k $ no_dedup $ no_steal
+             $ monitor))
+
 (* --- report --- *)
 
 let report_cmd =
@@ -341,4 +442,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "elsim" ~version:"1.0.0"
              ~doc:"Multithreaded elastic systems: simulator and tools.")
-          [ asm_cmd; run_cmd; md5_cmd; serve_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))
+          [ asm_cmd; run_cmd; md5_cmd; serve_cmd; fleet_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))

@@ -1,0 +1,75 @@
+(* LRU: Hashtbl keyed by payload + doubly linked recency list with a
+   permanent sentinel node; sentinel.next is MRU, sentinel.prev is LRU. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v option; (* None only on the sentinel *)
+  mutable prev : 'v node;
+  mutable next : 'v node;
+}
+
+type 'v t = {
+  cap : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  sentinel : 'v node;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  let rec sentinel =
+    { key = ""; value = None; prev = sentinel; next = sentinel }
+  in
+  { cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    sentinel;
+    n_hits = 0;
+    n_misses = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.n_hits <- t.n_hits + 1;
+      unlink n;
+      push_front t n;
+      n.value
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let add t key v =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- Some v;
+      unlink n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then begin
+        let lru = t.sentinel.prev in
+        unlink lru;
+        Hashtbl.remove t.tbl lru.key
+      end;
+      let n =
+        { key; value = Some v; prev = t.sentinel; next = t.sentinel }
+      in
+      push_front t n;
+      Hashtbl.replace t.tbl key n
+
+let hits t = t.n_hits
+let misses t = t.n_misses

@@ -1,0 +1,29 @@
+(** LRU result cache for the fleet front-end.
+
+    Maps request payload keys to computed results, evicting the least
+    recently used entry at capacity.  A hit short-circuits the whole
+    host path — the cached result is returned without consuming a
+    thread slot anywhere in the fleet.  [find] refreshes recency;
+    [add] inserts or refreshes.  O(1) per operation (hash table plus
+    intrusive doubly linked recency list). *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : 'v t -> string -> bool
+(** Lookup without touching recency. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert (evicting the LRU entry at capacity) or overwrite. *)
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+(** Cumulative {!find} outcomes. *)

@@ -1,0 +1,130 @@
+(* k-segment relaxed FIFO.
+
+   Segments are age-ordered: enqueues always land in the youngest
+   segment, so every item in segment i is older than every item in
+   segment j > i.  A dequeue serves any occupied slot of the oldest
+   segment, which bounds the relaxation distance by k - 1 — the other
+   occupants of that segment are the only older items it can overtake.
+   Slot choice is a seeded draw among the free (enqueue) or occupied
+   (dequeue) slots, standing in for whichever concurrent CAS would
+   have won in the lock-free original, so a given seed replays the
+   same interleaving. *)
+
+type 'a segment = {
+  slots : (int * 'a) option array; (* (enqueue sequence number, item) *)
+  mutable occupied : int;
+}
+
+type 'a t = {
+  seg_count : int;
+  k : int;
+  name : string;
+  rng : Random.State.t;
+  segs : 'a segment Queue.t; (* oldest first; youngest is the tail *)
+  mutable next_seq : int;
+  mutable len : int;
+  mutable n_dequeues : int;
+  mutable max_obs : int;
+  mutable viols : Monitor.violation list;
+}
+
+let create ?(seed = 0) ?(name = "kqueue") ~segments ~k () =
+  if segments < 1 then invalid_arg "Kqueue.create: segments < 1";
+  if k < 1 then invalid_arg "Kqueue.create: k < 1";
+  { seg_count = segments;
+    k;
+    name;
+    rng = Random.State.make [| seed; segments; k |];
+    segs = Queue.create ();
+    next_seq = 0;
+    len = 0;
+    n_dequeues = 0;
+    max_obs = 0;
+    viols = [] }
+
+let capacity t = t.seg_count * t.k
+let bound t = t.k - 1
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* nth free/occupied slot index; caller guarantees it exists *)
+let pick_slot seg ~occupied:want n =
+  let seen = ref 0 and found = ref (-1) in
+  Array.iteri
+    (fun i s ->
+      if !found < 0 && (s <> None) = want then begin
+        if !seen = n then found := i;
+        incr seen
+      end)
+    seg.slots;
+  !found
+
+let enqueue t x =
+  (* youngest segment: Queue iterates oldest-first, keep the last *)
+  let tail = Queue.fold (fun _ s -> Some s) None t.segs in
+  let seg =
+    match tail with
+    | Some s when s.occupied < t.k -> Some s
+    | _ ->
+        if Queue.length t.segs < t.seg_count then begin
+          let s = { slots = Array.make t.k None; occupied = 0 } in
+          Queue.add s t.segs;
+          Some s
+        end
+        else None
+  in
+  match seg with
+  | None -> false
+  | Some seg ->
+      let free = t.k - seg.occupied in
+      let slot = pick_slot seg ~occupied:false (Random.State.int t.rng free) in
+      seg.slots.(slot) <- Some (t.next_seq, x);
+      t.next_seq <- t.next_seq + 1;
+      seg.occupied <- seg.occupied + 1;
+      t.len <- t.len + 1;
+      true
+
+let dequeue t =
+  if Queue.is_empty t.segs then None
+  else begin
+    let seg = Queue.peek t.segs in
+    assert (seg.occupied > 0);
+    let slot =
+      pick_slot seg ~occupied:true (Random.State.int t.rng seg.occupied)
+    in
+    let seq, x =
+      match seg.slots.(slot) with Some p -> p | None -> assert false
+    in
+    seg.slots.(slot) <- None;
+    seg.occupied <- seg.occupied - 1;
+    if seg.occupied = 0 then ignore (Queue.pop t.segs);
+    t.len <- t.len - 1;
+    (* Observed relaxation distance: older items still queued.  Only
+       the head segment can hold them (later segments are strictly
+       younger), and after removal they are exactly its occupants with
+       a smaller sequence number. *)
+    let dist =
+      if seg.occupied = 0 then 0
+      else
+        Array.fold_left
+          (fun acc s ->
+            match s with Some (q, _) when q < seq -> acc + 1 | _ -> acc)
+          0 seg.slots
+    in
+    t.n_dequeues <- t.n_dequeues + 1;
+    if dist > t.max_obs then t.max_obs <- dist;
+    if dist > t.k - 1 then
+      t.viols <-
+        { Monitor.checker = "kqueue-relaxation";
+          cycle = t.n_dequeues;
+          channel = t.name;
+          thread = None;
+          expected = Printf.sprintf "distance <= %d" (t.k - 1);
+          actual = string_of_int dist }
+        :: t.viols;
+    Some (x, dist)
+  end
+
+let max_observed t = t.max_obs
+let dequeues t = t.n_dequeues
+let violations t = List.rev t.viols

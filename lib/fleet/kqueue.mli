@@ -1,0 +1,53 @@
+(** Bounded-relaxation k-segment FIFO queue (von Geijer & Tsigas,
+    "How to Relax Instantly").
+
+    A strict FIFO serializes every enqueue on one tail slot; a
+    k-segment queue widens the tail into segments of [k] slots so
+    concurrent producers land in distinct slots of the same segment
+    without contending.  The price is bounded reordering: a dequeue
+    serves any occupied slot of the {e head} segment, so an item can
+    overtake at most the [k - 1] older items sharing its segment —
+    the relaxation distance is bounded by [k - 1], a monitorable
+    invariant exactly like the token-conservation bound the protocol
+    monitors already check.
+
+    This is the host-side simulation of that structure, used as the
+    fleet front-end's admission queue: slot choice inside a segment is
+    a seeded deterministic rotation (standing in for "whichever CAS
+    wins"), so runs are reproducible.  Every dequeue measures the
+    {e observed} relaxation distance — how many older items it
+    overtook — and the scoreboard records a {!Monitor.violation}-style
+    report if the bound is ever exceeded. *)
+
+type 'a t
+
+val create : ?seed:int -> ?name:string -> segments:int -> k:int -> unit -> 'a t
+(** Holds at most [segments * k] items, relaxation bound [k - 1].  [name]
+    labels the scoreboard's violation reports (default ["kqueue"]).
+    Raises [Invalid_argument] unless [segments >= 1] and [k >= 1]. *)
+
+val capacity : 'a t -> int
+val bound : 'a t -> int
+(** The relaxation bound, [k - 1] ([0] = strict FIFO). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] when every segment is full (the arrival is shed). *)
+
+val dequeue : 'a t -> ('a * int) option
+(** The served item plus its observed relaxation distance (the number
+    of older items still queued behind it). *)
+
+(** {1 Relaxation scoreboard} *)
+
+val max_observed : 'a t -> int
+(** Largest relaxation distance any dequeue has exhibited. *)
+
+val dequeues : 'a t -> int
+
+val violations : 'a t -> Monitor.violation list
+(** One report per dequeue whose distance exceeded {!bound} — with a
+    correct queue, always empty; the scoreboard exists so the bound is
+    {e checked}, not assumed, on every run. *)

@@ -1,0 +1,46 @@
+(* Consistent hashing: hosts -> sorted array of (point, host); lookup
+   is a binary search for the successor point.  The hash of a string
+   is the first 8 bytes of its MD5 digest as a non-negative int —
+   stable across processes, unlike Hashtbl.hash. *)
+
+type t = { n_hosts : int; points : (int * int) array (* hash, host *) }
+
+let hash_string s =
+  let d = Digest.string s in
+  let b i = Char.code d.[i] in
+  let v =
+    (b 0 lsl 56) lor (b 1 lsl 48) lor (b 2 lsl 40) lor (b 3 lsl 32)
+    lor (b 4 lsl 24) lor (b 5 lsl 16) lor (b 6 lsl 8) lor b 7
+  in
+  v land max_int
+
+let create ?(virtual_nodes = 64) ~hosts () =
+  if hosts < 1 then invalid_arg "Ring.create: hosts < 1";
+  if virtual_nodes < 1 then invalid_arg "Ring.create: virtual_nodes < 1";
+  let points = Array.make (hosts * virtual_nodes) (0, 0) in
+  for h = 0 to hosts - 1 do
+    for v = 0 to virtual_nodes - 1 do
+      points.((h * virtual_nodes) + v) <-
+        (hash_string (Printf.sprintf "host-%d#vnode-%d" h v), h)
+    done
+  done;
+  Array.sort compare points;
+  { n_hosts = hosts; points }
+
+let hosts t = t.n_hosts
+
+let route t key =
+  let h = hash_string key in
+  let n = Array.length t.points in
+  (* first point with hash >= h, else wrap to points.(0) *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) >= h then hi := mid else lo := mid + 1
+  done;
+  snd t.points.(if !lo = n then 0 else !lo)
+
+let shares t ~keys =
+  let counts = Array.make t.n_hosts 0 in
+  List.iter (fun k -> counts.(route t k) <- counts.(route t k) + 1) keys;
+  counts

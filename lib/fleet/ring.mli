@@ -1,0 +1,28 @@
+(** Consistent-hash ring for front-end request routing.
+
+    Each host owns [virtual_nodes] points on a hash ring; a key routes
+    to the host owning the first point at or after the key's hash
+    (wrapping).  Virtual nodes smooth the per-host share, and adding
+    or removing one host moves only the keys in the arcs it owned —
+    the property the tests pin down.  Hashing is MD5 over strings
+    (stdlib [Digest]), so placement is stable across runs and OCaml
+    versions: the same key always lands on the same host. *)
+
+type t
+
+val hash_string : string -> int
+(** The ring's hash: first 8 bytes of the MD5 digest as a
+    non-negative int.  Exposed for other fleet components that need a
+    process-stable string hash ({!Trace} payload sizing). *)
+
+val create : ?virtual_nodes:int -> hosts:int -> unit -> t
+(** [virtual_nodes] defaults to 64 points per host.  Raises
+    [Invalid_argument] if [hosts < 1] or [virtual_nodes < 1]. *)
+
+val hosts : t -> int
+
+val route : t -> string -> int
+(** Host index in [0, hosts) owning the key. *)
+
+val shares : t -> keys:string list -> int array
+(** How many of [keys] route to each host — for balance checks. *)

@@ -1,9 +1,9 @@
 (* Continuous-batching request server over the MT-elastic cores.
 
-   The engine owns the host side of serving: bounded per-class
-   admission queues, a per-cycle slot allocator that refills a thread
-   slot the moment the backend reports it free, deadline timeout with
-   cancel + retry budget, and N-replica sharding through [Parallel].
+   The per-replica serving loop lives in [Host] (bounded per-class
+   admission queues, slot refill, deadline/retry, metrics); the engine
+   adds arrival scheduling, outcome bookkeeping and N-replica sharding
+   through [Parallel].
 
    Everything is deterministic: jobs route as [id mod replicas], each
    replica's serving loop depends only on its own job stream and its
@@ -12,9 +12,9 @@
    domain count, and an N-replica run returns the same results as a
    1-replica run routed the same way. *)
 
-type class_config = { cname : string; capacity : int }
+type class_config = Host.class_config = { cname : string; capacity : int }
 
-let default_class = { cname = "default"; capacity = 64 }
+let default_class = Host.default_class
 
 type 'res outcome =
   | Pending
@@ -124,159 +124,70 @@ type replica_stats = {
   r_queue_depth_sum : int;
   r_queue_depth_max : int;
   r_violations : int;
-  r_latencies : int array;
+  r_latency : Workload.Histogram.t;
 }
 
 type report = { per_replica : replica_stats array; wall_seconds : float }
-
-(* A queue entry: the job plus its current admission time (reset on
-   retry) and attempt count. *)
-type 'job entry = { j : 'job job_rec; eff_arrival : int; tries : int }
-
-type 'job running = { e : 'job entry }
 
 let run_replica (type job res) ~index ~(classes : class_config array)
     ~(replica : (job, res) replica) ~(jobs : job job_rec array) ~max_cycles :
     (int * res outcome) list * replica_stats =
   let t0 = Unix.gettimeofday () in
+  let host = Host.create ~classes:(Array.to_list classes) replica in
   let n = Array.length jobs in
-  let nc = Array.length classes in
-  let queues = Array.init nc (fun _ -> Queue.create ()) in
-  let running : job running option array = Array.make replica.slots None in
   let unresolved = ref n in
   let out = ref [] in
   let completed = ref 0 and shed = ref 0 and timed_out = ref 0 in
-  let retries = ref 0 in
-  let busy_slot_cycles = ref 0 in
-  let qd_sum = ref 0 and qd_max = ref 0 in
-  let latencies = ref [] in
+  let latency = Workload.Histogram.create () in
   let cycles = ref 0 in
   let next_arrival = ref 0 in
-  let rr_cls = ref 0 in
   let resolve id oc =
     out := (id, oc) :: !out;
     decr unresolved
   in
-  (* Admission: a full class queue sheds the arrival. *)
-  let admit now entry =
-    let q = queues.(entry.j.cls) in
-    if Queue.length q >= classes.(entry.j.cls).capacity then begin
-      incr shed;
-      resolve entry.j.id (Shed { at = now })
-    end
-    else Queue.add entry q
-  in
-  (* Deadline expiry of a queued or cancelled-running entry: burn a
-     retry if the budget allows, else time the job out. *)
-  let expire now entry =
-    if entry.tries < entry.j.max_retries then begin
-      incr retries;
-      admit now { entry with eff_arrival = now; tries = entry.tries + 1 }
-    end
-    else begin
-      incr timed_out;
-      resolve entry.j.id (Timed_out { tries = entry.tries + 1 })
-    end
-  in
-  let expired now entry =
-    match entry.j.deadline with
-    | None -> false
-    | Some d -> now - entry.eff_arrival >= d
-  in
-  (* Next queued entry, round-robin across classes, FIFO within. *)
-  let pick () =
-    let rec go k =
-      if k >= nc then None
-      else
-        let ci = (!rr_cls + k) mod nc in
-        if Queue.is_empty queues.(ci) then go (k + 1)
-        else begin
-          rr_cls := (ci + 1) mod nc;
-          Some (Queue.pop queues.(ci))
-        end
-    in
-    go 0
-  in
   while !unresolved > 0 && !cycles < max_cycles do
-    let now = replica.cycle_no () in
-    (* 1. admissions due this cycle *)
+    let now = Host.cycle_no host in
+    (* admissions due this cycle; a full class queue sheds *)
     while !next_arrival < n && jobs.(!next_arrival).arrival <= now do
       let j = jobs.(!next_arrival) in
       incr next_arrival;
-      admit now { j; eff_arrival = max j.arrival now; tries = 0 }
+      if
+        not
+          (Host.admit host ~cls:j.cls ?deadline:j.deadline
+             ~retries:j.max_retries ~id:j.id ~arrival:j.arrival j.payload)
+      then begin
+        incr shed;
+        resolve j.id (Shed { at = now })
+      end
     done;
-    (* 2. queued-deadline expiry (whole queue, not just the head: a
-       deep queue must not hide an expired entry behind fresh ones) *)
-    Array.iter
-      (fun q ->
-        for _ = 1 to Queue.length q do
-          let e = Queue.pop q in
-          if expired now e then expire now e else Queue.add e q
-        done)
-      queues;
-    (* 3. refill free slots from the queues *)
-    for s = 0 to replica.slots - 1 do
-      if running.(s) = None && replica.slot_free s then
-        match pick () with
-        | Some e ->
-          replica.start ~slot:s e.j.payload;
-          running.(s) <- Some { e }
-        | None -> ()
-    done;
-    (* 4. running-deadline expiry: cancel the slot, recycle the job *)
-    Array.iteri
-      (fun s ro ->
-        match ro with
-        | Some r when expired now r.e ->
-          replica.cancel ~slot:s;
-          running.(s) <- None;
-          expire now r.e
-        | _ -> ())
-      running;
-    (* 5. sample occupancy / queue depth for this cycle *)
-    let busy = ref 0 in
-    Array.iter (function Some _ -> incr busy | None -> ()) running;
-    busy_slot_cycles := !busy_slot_cycles + !busy;
-    let qd = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
-    qd_sum := !qd_sum + qd;
-    if qd > !qd_max then qd_max := qd;
-    (* 6. one cycle of the design *)
-    replica.step ();
-    incr cycles;
-    (* 7. harvest completions *)
+    (* one serving cycle: expiry, refill, step, harvest *)
     List.iter
-      (fun (s, res) ->
-        match running.(s) with
-        | Some r ->
-          let latency = replica.cycle_no () - r.e.j.arrival in
+      (function
+        | Host.Completed { id; result; latency = l; slot } ->
           incr completed;
-          latencies := latency :: !latencies;
-          resolve r.e.j.id
-            (Completed { result = res; latency; replica = index; slot = s });
-          running.(s) <- None
-        | None ->
-          (* Completion on a slot the engine no longer tracks (e.g. a
-             cancelled occupancy the backend failed to swallow): drop
-             it rather than mis-attribute it. *)
-          ())
-      (replica.completions ())
+          Workload.Histogram.add latency l;
+          resolve id (Completed { result; latency = l; replica = index; slot })
+        | Host.Timed_out { id; tries } ->
+          incr timed_out;
+          resolve id (Timed_out { tries })
+        | Host.Shed { id; at } ->
+          incr shed;
+          resolve id (Shed { at }))
+      (Host.step host);
+    incr cycles
   done;
   (* Cycle-limit safety valve: everything still unresolved fails. *)
   if !unresolved > 0 then begin
-    let fail entry =
-      resolve entry.j.id
-        (Failed (Printf.sprintf "unresolved after %d cycles" !cycles))
-    in
-    Array.iter (fun q -> Queue.iter fail q) queues;
-    Array.iter (function Some r -> fail r.e | None -> ()) running;
+    List.iter
+      (fun id ->
+        resolve id (Failed (Printf.sprintf "unresolved after %d cycles" !cycles)))
+      (Host.outstanding host);
     for k = !next_arrival to n - 1 do
-      let j = jobs.(k) in
-      resolve j.id (Failed "never admitted: replica hit cycle limit")
+      resolve jobs.(k).id (Failed "never admitted: replica hit cycle limit")
     done
   end;
-  replica.finish ();
-  let lat = Array.of_list !latencies in
-  Array.sort compare lat;
+  Host.finish host;
+  let m = Host.metrics host in
   ( !out,
     { r_replica = index;
       r_slots = replica.slots;
@@ -285,12 +196,12 @@ let run_replica (type job res) ~index ~(classes : class_config array)
       r_completed = !completed;
       r_shed = !shed;
       r_timed_out = !timed_out;
-      r_retries = !retries;
-      r_busy_slot_cycles = !busy_slot_cycles;
-      r_queue_depth_sum = !qd_sum;
-      r_queue_depth_max = !qd_max;
-      r_violations = replica.violations ();
-      r_latencies = lat } )
+      r_retries = m.Host.m_retries;
+      r_busy_slot_cycles = m.Host.m_busy_slot_cycles;
+      r_queue_depth_sum = m.Host.m_queue_depth_sum;
+      r_queue_depth_max = m.Host.m_queue_depth_max;
+      r_violations = Host.violations host;
+      r_latency = latency } )
 
 let run ?domains ?(max_cycles = 1_000_000) t =
   if t.ran then invalid_arg "Engine.run: engine already ran";
@@ -358,20 +269,12 @@ let mean_occupancy r =
     float_of_int (sum_by (fun s -> s.r_busy_slot_cycles) r)
     /. float_of_int slot_cycles
 
-let latencies r =
-  let all =
-    Array.concat (Array.to_list (Array.map (fun s -> s.r_latencies) r.per_replica))
-  in
-  Array.sort compare all;
+let latency r =
+  let all = Workload.Histogram.create () in
+  Array.iter
+    (fun s -> Workload.Histogram.merge_into ~into:all s.r_latency)
+    r.per_replica;
   all
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0
-  else begin
-    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) rank))
-  end
 
 let jobs_per_second r =
   if r.wall_seconds <= 0.0 then 0.0
@@ -383,7 +286,7 @@ let cycles_per_job r =
 
 let summary r =
   let buf = Buffer.create 512 in
-  let lat = latencies r in
+  let lat = latency r in
   Buffer.add_string buf
     (Printf.sprintf
        "served %d jobs (%d shed, %d timed out) in %.3fs wall — %.0f jobs/s, \
@@ -392,8 +295,10 @@ let summary r =
        (cycles_per_job r) (mean_occupancy r));
   Buffer.add_string buf
     (Printf.sprintf "latency cycles: p50 %d  p95 %d  p99 %d  max %d\n"
-       (percentile lat 0.50) (percentile lat 0.95) (percentile lat 0.99)
-       (if Array.length lat = 0 then 0 else lat.(Array.length lat - 1)));
+       (Workload.Histogram.percentile lat 0.50)
+       (Workload.Histogram.percentile lat 0.95)
+       (Workload.Histogram.percentile lat 0.99)
+       (Workload.Histogram.max_value lat));
   Array.iter
     (fun s ->
       Buffer.add_string buf

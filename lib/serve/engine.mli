@@ -30,9 +30,14 @@
     A backend ({!Md5_backend}, {!Cpu_backend}) supplies the replica as a
     record of closures over a running {!Hw.Sim} design. *)
 
-(** {1 Job classes} *)
+(** {1 Job classes}
 
-type class_config = {
+    The per-replica serving loop itself (queues, slot refill,
+    deadlines, metrics) lives in {!Host}, steppable one cycle at a
+    time; the engine drives one host per replica to completion.  The
+    class record is owned by {!Host} and re-exported here. *)
+
+type class_config = Host.class_config = {
   cname : string;
   capacity : int;  (** max queued jobs; arrivals beyond it are shed *)
 }
@@ -139,7 +144,8 @@ type replica_stats = {
   r_queue_depth_sum : int;
   r_queue_depth_max : int;
   r_violations : int;
-  r_latencies : int array;  (** completed-job latencies, sorted *)
+  r_latency : Workload.Histogram.t;
+      (** completed-job latencies, streamed into fixed log buckets *)
 }
 
 type report = {
@@ -177,12 +183,9 @@ val total_cycles : report -> int
 val mean_occupancy : report -> float
 (** Cycle-weighted mean of the per-replica occupancies. *)
 
-val latencies : report -> int array
-(** All completed-job latencies across replicas, sorted. *)
-
-val percentile : int array -> float -> int
-(** Nearest-rank percentile of a sorted array ([p] in [0, 1]); 0 when
-    empty. *)
+val latency : report -> Workload.Histogram.t
+(** All completed-job latencies across replicas, merged into one
+    histogram (use {!Workload.Histogram.percentile} for quantiles). *)
 
 val jobs_per_second : report -> float
 (** Completed jobs over the fan-out wall clock. *)

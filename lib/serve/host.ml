@@ -1,0 +1,256 @@
+(* One steppable serving host: the per-replica loop of [Engine]
+   factored into a layer the fleet front-end can interleave.
+
+   State: bounded per-class FIFO queues of [queued] entries, one
+   [queued] per busy slot, and the per-cycle metrics counters.  The
+   step order replicates the original engine loop exactly — queued
+   expiry, refill, running expiry, metrics, replica step, harvest —
+   so [Engine.run] rebuilt on this layer serves byte-identically. *)
+
+type class_config = { cname : string; capacity : int }
+
+let default_class = { cname = "default"; capacity = 64 }
+
+type 'job queued = {
+  q_id : int;
+  q_cls : int;
+  q_payload : 'job;
+  q_arrival : int;
+  q_eff_arrival : int;
+  q_deadline : int option;
+  q_retries : int;
+  q_tries : int;
+}
+
+type 'res event =
+  | Completed of { id : int; result : 'res; latency : int; slot : int }
+  | Timed_out of { id : int; tries : int }
+  | Shed of { id : int; at : int }
+
+type ('job, 'res) t = {
+  classes : class_config array;
+  replica : ('job, 'res) Backend_intf.replica;
+  queues : 'job queued Queue.t array;
+  running : 'job queued option array;
+  mutable rr_cls : int;
+  mutable steps : int;
+  mutable busy_slot_cycles : int;
+  mutable qd_sum : int;
+  mutable qd_max : int;
+  mutable retries : int;
+}
+
+let create ?(classes = [ default_class ]) replica =
+  if classes = [] then invalid_arg "Host.create: empty class list";
+  List.iter
+    (fun c ->
+      if c.capacity < 1 then invalid_arg "Host.create: class capacity < 1")
+    classes;
+  let classes = Array.of_list classes in
+  { classes;
+    replica;
+    queues = Array.map (fun _ -> Queue.create ()) classes;
+    running = Array.make replica.slots None;
+    rr_cls = 0;
+    steps = 0;
+    busy_slot_cycles = 0;
+    qd_sum = 0;
+    qd_max = 0;
+    retries = 0 }
+
+let classes t = t.classes
+
+let class_index t name =
+  let rec go i =
+    if i >= Array.length t.classes then
+      invalid_arg (Printf.sprintf "Host.class_index: unknown class %S" name)
+    else if t.classes.(i).cname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let slots t = t.replica.slots
+
+let busy_slots t =
+  Array.fold_left (fun n s -> if s = None then n else n + 1) 0 t.running
+
+let cycle_no t = t.replica.cycle_no ()
+
+let queue_depth t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let enqueue t entry =
+  let q = t.queues.(entry.q_cls) in
+  if Queue.length q >= t.classes.(entry.q_cls).capacity then false
+  else begin
+    Queue.add entry q;
+    true
+  end
+
+let admit ?(cls = 0) ?deadline ?(retries = 0) t ~id ~arrival payload =
+  if cls < 0 || cls >= Array.length t.classes then
+    invalid_arg "Host.admit: class index out of range";
+  enqueue t
+    { q_id = id;
+      q_cls = cls;
+      q_payload = payload;
+      q_arrival = arrival;
+      q_eff_arrival = t.replica.cycle_no ();
+      q_deadline = deadline;
+      q_retries = retries;
+      q_tries = 0 }
+
+let admit_queued t entry =
+  if entry.q_cls < 0 || entry.q_cls >= Array.length t.classes then
+    invalid_arg "Host.admit_queued: class index out of range";
+  enqueue t entry
+
+let steal t =
+  let deepest = ref (-1) and depth = ref 0 in
+  Array.iteri
+    (fun i q ->
+      if Queue.length q > !depth then begin
+        deepest := i;
+        depth := Queue.length q
+      end)
+    t.queues;
+  if !deepest < 0 then None
+  else begin
+    (* Rotate the FIFO once: re-adding the first n-1 entries preserves
+       their order and leaves the youngest in hand. *)
+    let q = t.queues.(!deepest) in
+    let n = Queue.length q in
+    let taken = ref None in
+    for i = 1 to n do
+      let e = Queue.pop q in
+      if i = n then taken := Some e else Queue.add e q
+    done;
+    !taken
+  end
+
+let complete_external t ~id =
+  let found = ref false in
+  Array.iter
+    (fun q ->
+      for _ = 1 to Queue.length q do
+        let e = Queue.pop q in
+        if e.q_id = id then found := true else Queue.add e q
+      done)
+    t.queues;
+  !found
+
+let expired now entry =
+  match entry.q_deadline with
+  | None -> false
+  | Some d -> now - entry.q_eff_arrival >= d
+
+(* Deadline expiry: burn a retry if the budget allows (the deadline
+   baseline restarts, the attempt count ticks), else time out. *)
+let expire t now entry events =
+  if entry.q_tries < entry.q_retries then begin
+    t.retries <- t.retries + 1;
+    let entry = { entry with q_eff_arrival = now; q_tries = entry.q_tries + 1 } in
+    if not (enqueue t entry) then
+      events := Shed { id = entry.q_id; at = now } :: !events
+  end
+  else events := Timed_out { id = entry.q_id; tries = entry.q_tries + 1 } :: !events
+
+let pick t =
+  let nc = Array.length t.classes in
+  let rec go k =
+    if k >= nc then None
+    else
+      let ci = (t.rr_cls + k) mod nc in
+      if Queue.is_empty t.queues.(ci) then go (k + 1)
+      else begin
+        t.rr_cls <- (ci + 1) mod nc;
+        Some (Queue.pop t.queues.(ci))
+      end
+  in
+  go 0
+
+let step t =
+  let events = ref [] in
+  let now = t.replica.cycle_no () in
+  (* 1. queued-deadline expiry (whole queue, not just the head: a deep
+     queue must not hide an expired entry behind fresh ones) *)
+  Array.iter
+    (fun q ->
+      for _ = 1 to Queue.length q do
+        let e = Queue.pop q in
+        if expired now e then expire t now e events else Queue.add e q
+      done)
+    t.queues;
+  (* Arrival-instant gauge sample: the backlog as refill sees it, so a
+     job that transits the queue within this very cycle (a fresh
+     arrival, a retry re-admission) still registers. *)
+  let qd_at_refill = queue_depth t in
+  (* 2. refill free slots from the queues *)
+  for s = 0 to t.replica.slots - 1 do
+    if t.running.(s) = None && t.replica.slot_free s then
+      match pick t with
+      | Some e ->
+        t.replica.start ~slot:s e.q_payload;
+        t.running.(s) <- Some e
+      | None -> ()
+  done;
+  (* 3. running-deadline expiry: cancel the slot, recycle the job *)
+  Array.iteri
+    (fun s ro ->
+      match ro with
+      | Some e when expired now e ->
+        t.replica.cancel ~slot:s;
+        t.running.(s) <- None;
+        expire t now e events
+      | _ -> ())
+    t.running;
+  (* 4. metrics: occupancy, and the peak backlog seen this cycle *)
+  t.busy_slot_cycles <- t.busy_slot_cycles + busy_slots t;
+  let qd = max qd_at_refill (queue_depth t) in
+  t.qd_sum <- t.qd_sum + qd;
+  if qd > t.qd_max then t.qd_max <- qd;
+  (* 5. one cycle of the design *)
+  t.replica.step ();
+  t.steps <- t.steps + 1;
+  (* 6. harvest completions *)
+  List.iter
+    (fun (s, res) ->
+      match t.running.(s) with
+      | Some e ->
+        let latency = t.replica.cycle_no () - e.q_arrival in
+        events :=
+          Completed { id = e.q_id; result = res; latency; slot = s } :: !events;
+        t.running.(s) <- None
+      | None ->
+        (* A completion on a slot the host no longer tracks (e.g. a
+           cancelled occupancy the backend failed to swallow): drop it
+           rather than mis-attribute it. *)
+        ())
+    (t.replica.completions ());
+  List.rev !events
+
+let outstanding t =
+  let ids = ref [] in
+  Array.iter (fun q -> Queue.iter (fun e -> ids := e.q_id :: !ids) q) t.queues;
+  Array.iter
+    (function Some e -> ids := e.q_id :: !ids | None -> ())
+    t.running;
+  List.sort compare !ids
+
+type metrics = {
+  m_steps : int;
+  m_busy_slot_cycles : int;
+  m_queue_depth_sum : int;
+  m_queue_depth_max : int;
+  m_retries : int;
+}
+
+let metrics t =
+  { m_steps = t.steps;
+    m_busy_slot_cycles = t.busy_slot_cycles;
+    m_queue_depth_sum = t.qd_sum;
+    m_queue_depth_max = t.qd_max;
+    m_retries = t.retries }
+
+let finish t = t.replica.finish ()
+let violations t = t.replica.violations ()

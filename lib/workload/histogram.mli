@@ -1,0 +1,43 @@
+(** Streaming latency histogram with fixed logarithmic buckets
+    (HDR-histogram style).
+
+    Samples are folded into a fixed array of counters the moment they
+    are recorded — memory is constant no matter how many samples
+    arrive, so the instrument survives 100x-load serving sweeps where
+    keeping every latency in a list would not.  Values up to 63 are
+    recorded exactly; above that, buckets are power-of-two octaves
+    split into 32 sub-buckets, bounding the relative quantization
+    error of any reported quantile at ~3 %.
+
+    Used by {!Serve.Engine}'s service metrics and the fleet layer's
+    tail-latency reports. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample.  Negative samples are clamped to 0. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold every recorded sample of the second histogram into [into]
+    (bucket-wise; exact counts, quantized values). *)
+
+val count : t -> int
+(** Samples recorded. *)
+
+val is_empty : t -> bool
+
+val max_value : t -> int
+(** Largest recorded sample, exact (0 when empty). *)
+
+val mean : t -> float
+(** Exact mean of the recorded samples (0 when empty). *)
+
+val percentile : t -> float -> int
+(** Nearest-rank percentile ([p] in [0, 1]); 0 when empty.  Returns
+    the upper edge of the bucket holding that rank — exact for values
+    up to 63, within ~3 % above. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(upper_edge_value, count)], ascending. *)

@@ -18,6 +18,7 @@ let () =
       Test_parallel.suite;
       Test_monitor.suite;
       Test_serve.suite;
+      Test_fleet.suite;
       Test_mc.suite;
       Test_noc.suite;
       Test_verilog.suite ]

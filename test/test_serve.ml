@@ -262,12 +262,48 @@ let test_packed_backend_surface () =
     (fun () ->
       ignore (Serve.Noc_backend.backend ~topology:(Noc.Mesh { x = 0; y = 2 }) core))
 
-let test_percentile () =
-  let a = [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
-  Alcotest.(check int) "p50" 5 (Serve.Engine.percentile a 0.5);
-  Alcotest.(check int) "p95" 10 (Serve.Engine.percentile a 0.95);
-  Alcotest.(check int) "p0" 1 (Serve.Engine.percentile a 0.0);
-  Alcotest.(check int) "empty" 0 (Serve.Engine.percentile [||] 0.5)
+let test_latency_histogram () =
+  (* The engine's latency metric is a streaming histogram: the merged
+     report view must agree with the per-replica counts and yield
+     sane quantiles. *)
+  let t = md5_engine ~monitor:false ~slots:2 () in
+  let jobs = Array.init 8 (fun i -> Printf.sprintf "lat-%d" i) in
+  Array.iteri (fun i m -> ignore (Serve.Engine.submit ~arrival:(i * 4) t m)) jobs;
+  let report = Serve.Engine.run ~domains:1 t in
+  let lat = Serve.Engine.latency report in
+  Alcotest.(check int) "one sample per completion" 8
+    (Workload.Histogram.count lat);
+  let p50 = Workload.Histogram.percentile lat 0.5 in
+  let p99 = Workload.Histogram.percentile lat 0.99 in
+  Alcotest.(check bool) "p50 positive" true (p50 > 0);
+  Alcotest.(check bool) "quantiles ordered" true (p50 <= p99);
+  Alcotest.(check bool) "p99 bounded by max" true
+    (p99 <= Workload.Histogram.max_value lat)
+
+(* Regression: the queue-depth gauge samples the per-cycle PEAK
+   backlog, so a job that transits the queue within a single cycle
+   (admitted and refilled before the sample point) still registers —
+   the gauge used to read 0 for an unloaded host, hiding retry
+   re-admissions that race the refill the same way. *)
+let test_queue_depth_gauge_counts_transients () =
+  let t = md5_engine ~monitor:false ~slots:1 () in
+  ignore (Serve.Engine.submit t "solo");
+  let report = Serve.Engine.run ~domains:1 t in
+  let s = report.Serve.Engine.per_replica.(0) in
+  Alcotest.(check int) "transit registers in the gauge" 1
+    s.Serve.Engine.r_queue_depth_max;
+  (* And a retry re-admission is gauged like a fresh arrival: with the
+     slot pinned, the retried job re-enters the queue and the gauge
+     must see both it and the occupant's own queueing. *)
+  let t = md5_engine ~monitor:false ~slots:1 () in
+  ignore (Serve.Engine.submit t (String.make 300 'p'));
+  ignore (Serve.Engine.submit ~deadline:30 ~retries:2 t "retry-me");
+  let report = Serve.Engine.run ~domains:1 t in
+  let s = report.Serve.Engine.per_replica.(0) in
+  Alcotest.(check bool) "re-admissions counted" true
+    (s.Serve.Engine.r_retries >= 1);
+  Alcotest.(check bool) "gauge saw the retried job" true
+    (s.Serve.Engine.r_queue_depth_max >= 1)
 
 let suite =
   ( "serve",
@@ -286,4 +322,6 @@ let suite =
       Alcotest.test_case "packed backend surface" `Quick
         test_packed_backend_surface;
       Alcotest.test_case "poisson load" `Quick test_poisson_load;
-      Alcotest.test_case "percentile" `Quick test_percentile ] )
+      Alcotest.test_case "latency histogram" `Quick test_latency_histogram;
+      Alcotest.test_case "queue-depth gauge transients" `Quick
+        test_queue_depth_gauge_counts_transients ] )
