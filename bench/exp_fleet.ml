@@ -229,9 +229,23 @@ let run ?(quick = false) ?domains () =
         let seconds = wall () -. t0 in
         Option.iter Parallel.Pool.shutdown pool;
         let jps = float_of_int s.Fleet.Frontend.s_completed /. seconds in
-        Printf.printf "hosts %d: %4d jobs in %6.2fs = %8.1f jobs/s\n%!" n
-          s.Fleet.Frontend.s_completed seconds jps;
-        (n, s.Fleet.Frontend.s_completed, seconds, jps))
+        (* Queue-depth percentiles across the point's hosts, merged
+           from each host's "queue_depth" profile gauge — reported
+           whether the sweep ran in parallel or sequentially. *)
+        let qd = Workload.Histogram.create () in
+        Array.iter
+          (fun h ->
+            Workload.Histogram.merge_into ~into:qd
+              h.Fleet.Frontend.h_queue_depth)
+          s.Fleet.Frontend.s_per_host;
+        let qd_p p = Workload.Histogram.percentile qd p in
+        Printf.printf
+          "hosts %d: %4d jobs in %6.2fs = %8.1f jobs/s  queue p50/p95/p99 \
+           %d/%d/%d\n\
+           %!"
+          n s.Fleet.Frontend.s_completed seconds jps (qd_p 0.50) (qd_p 0.95)
+          (qd_p 0.99);
+        (n, s.Fleet.Frontend.s_completed, seconds, jps, (qd_p 0.50, qd_p 0.95, qd_p 0.99)))
       [ 1; 2; 4; 8 ]
   in
   (* gates *)
@@ -257,11 +271,12 @@ let run ?(quick = false) ?domains () =
       Printf.sprintf "[ %s ]"
         (String.concat ", "
            (List.map
-              (fun (n, jobs, s, jps) ->
+              (fun (n, jobs, s, jps, (p50, p95, p99)) ->
                 Printf.sprintf
                   "{ \"hosts\": %d, \"completed\": %d, \"seconds\": %.3f, \
-                   \"jobs_per_second\": %.1f }"
-                  n jobs s jps)
+                   \"jobs_per_second\": %.1f, \"queue_depth_p50\": %d, \
+                   \"queue_depth_p95\": %d, \"queue_depth_p99\": %d }"
+                  n jobs s jps p50 p95 p99)
               scaling))
     in
     if sequential then

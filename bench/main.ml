@@ -18,6 +18,8 @@
      main.exe mc --quick      trimmed spec list, for CI
      main.exe noc             fabric topology sweep at equal core count (BENCH_noc.json, non-zero exit on violation or < 2x speedup)
      main.exe noc --quick     shortened sweep, for CI smoke
+     main.exe retime          profile-guided buffer placement gate: profiled vs uniform throughput-per-LE on MD5 + CPU (BENCH_retime.json, non-zero exit on any failed gate)
+     main.exe retime --quick  shortened run, for CI smoke
      main.exe table1 --threads 16
      main.exe --domains 4     domains for Parallel-fanned sweeps (default: cores)
      main.exe --backend jit   simulator backend for all experiments
@@ -26,7 +28,7 @@
 let usage () =
   Printf.eprintf
     "usage: main.exe \
-     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|fleet|mc|noc] \
+     [fig1|fig2|fig5|throughput|table1|ablation|ipc|granularity|kernels|backend-compare|check|perf|serve|fleet|mc|noc|retime] \
      [--threads N] [--domains N] [--quick] [--backend %s]\n\
      perf flags: --clear-cache (drop the JIT kernel disk cache first), \
      --expect-warm (fail unless every JIT kernel loads from the disk cache)\n\
@@ -102,4 +104,5 @@ let () =
   | [ "fleet" ] -> Exp_fleet.run ~quick ?domains ()
   | [ "mc" ] -> exit (min 1 (Exp_mc.run ~quick ()))
   | [ "noc" ] -> Exp_noc.run ~quick ?domains ()
+  | [ "retime" ] -> Exp_retime.run ~quick ?domains ()
   | _ -> usage ()

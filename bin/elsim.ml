@@ -7,6 +7,7 @@
      elsim serve MSG...        serve messages via the continuous-batching engine
      elsim fleet               serve a trace on a simulated fleet of elastic hosts
      elsim report              area/Fmax report for the Table I designs
+     elsim profile WORKLOAD    run a canned workload, dump the channel profile as JSON
      elsim vcd FILE            dump a VCD of the Fig. 5 stall scenario *)
 
 open Cmdliner
@@ -333,6 +334,139 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Area / Fmax report for the Table I designs.")
     Term.(const run $ threads_arg)
 
+(* --- profile: canned workloads dumped as channel-profile JSON --- *)
+
+let profile_md5 ~kind ~threads =
+  let circuit = Md5.Md5_circuit.circuit ~kind ~probes:true ~threads () in
+  let sim = Hw.Sim.create circuit in
+  let profile = Melastic.Profile.attach (Hw.Sampler.attach sim) in
+  List.iter
+    (fun n -> Melastic.Profile.watch_channel profile ~name:n ~threads)
+    [ "msg"; "digest"; "md5_dp"; "md5_bar_in" ];
+  List.iter
+    (fun (s : Melastic.Placement.site) ->
+      Melastic.Profile.watch_channel ~occupancy:true profile
+        ~name:s.Melastic.Placement.s_name ~threads)
+    Md5.Md5_circuit.retime_sites;
+  let d =
+    Workload.Mt_driver.create sim ~src:"msg" ~snk:"digest" ~threads
+      ~width:Md5.Md5_circuit.input_width
+  in
+  let iv = Md5.Md5_ref.state_to_bits Md5.Md5_ref.iv in
+  for t = 0 to threads - 1 do
+    for k = 0 to 2 do
+      let msg = Printf.sprintf "profile t%d block %d" t k in
+      Workload.Mt_driver.push d ~thread:t
+        (Md5.Md5_circuit.input_bits
+           ~block:(Md5.Md5_ref.block_to_bits (Md5.Md5_ref.single_block_words msg))
+           ~iv)
+    done
+  done;
+  ignore (Workload.Mt_driver.run_until_drained d ~limit:100_000);
+  profile
+
+let profile_cpu ~kind ~threads =
+  let config =
+    { (Cpu.Mt_pipeline.default_config ~threads) with
+      Cpu.Mt_pipeline.kind;
+      imem_size = 64;
+      dmem_size = 64 }
+  in
+  let circuit, t = Cpu.Mt_pipeline.circuit ~probes:true config in
+  let sim = Hw.Sim.create circuit in
+  let profile = Melastic.Profile.attach (Hw.Sampler.attach sim) in
+  List.iter
+    (fun n -> Melastic.Profile.watch_channel profile ~name:n ~threads)
+    [ "cpu_fetch"; "cpu_mem"; "cpu_wb" ];
+  List.iter
+    (fun (s : Melastic.Placement.site) ->
+      Melastic.Profile.watch_channel ~occupancy:true profile
+        ~name:s.Melastic.Placement.s_name ~threads)
+    Cpu.Mt_pipeline.retime_sites;
+  let program =
+    "addi r1, r0, 16\n\
+     loop: addi r1, r1, -1\n\
+     sw r1, 0(r1)\n\
+     lw r2, 0(r1)\n\
+     add r3, r3, r2\n\
+     bne r1, r0, loop\n\
+     halt\n"
+  in
+  Cpu.Mt_pipeline.load_program sim t (Cpu.Asm.assemble_words program);
+  Hw.Sim.settle sim;
+  ignore (Cpu.Mt_pipeline.run_until_halted sim ~limit:100_000);
+  profile
+
+let profile_dataflow ~kind ~threads =
+  let g = Synth.Dataflow.create ~kind ~threads () in
+  let x = Synth.Dataflow.input g ~name:"x" ~width:16 in
+  let x = Synth.Dataflow.buffer g x in
+  let y = Synth.Dataflow.barrier g ~name:"bar" x in
+  let y = Synth.Dataflow.buffer g y in
+  Synth.Dataflow.output g ~name:"y" y;
+  let sim = Hw.Sim.create (Synth.Dataflow.circuit g) in
+  let profile = Melastic.Profile.attach (Hw.Sampler.attach sim) in
+  List.iter
+    (fun n -> Melastic.Profile.watch_channel profile ~name:n ~threads)
+    [ "x"; "y" ];
+  let d = Workload.Mt_driver.create sim ~src:"x" ~snk:"y" ~threads ~width:16 in
+  for t = 0 to threads - 1 do
+    for i = 1 to 16 do Workload.Mt_driver.push_int d ~thread:t i done
+  done;
+  ignore (Workload.Mt_driver.run_until_drained d ~limit:10_000);
+  profile
+
+let profile_noc ~kind =
+  let t = Noc.Driver.create ~kind ~monitor:true (Noc.Star { leaves = 4 }) in
+  let n = Noc.Driver.terminals t in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then Noc.Driver.inject t ~src ~dst ((src * 16) + dst)
+    done
+  done;
+  Noc.Driver.finish t;
+  Option.get (Noc.Driver.profile t)
+
+let profile_cmd =
+  let workload =
+    Arg.(required
+         & pos 0
+             (some (enum
+                      [ ("md5", `Md5); ("cpu", `Cpu); ("dataflow", `Dataflow);
+                        ("noc", `Noc) ]))
+             None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Canned workload to profile: md5, cpu, dataflow or noc.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the profile JSON to FILE (default: stdout).")
+  in
+  let run backend kind threads workload out =
+    set_backend backend;
+    let profile =
+      match workload with
+      | `Md5 -> profile_md5 ~kind ~threads
+      | `Cpu -> profile_cpu ~kind ~threads
+      | `Dataflow -> profile_dataflow ~kind ~threads
+      | `Noc -> profile_noc ~kind (* 4-leaf star; per-link channels *)
+    in
+    (match out with
+     | Some path ->
+       Melastic.Profile.save profile path;
+       Printf.printf "wrote %s (%d cycles, %d channels)\n" path
+         (Melastic.Profile.cycles profile)
+         (List.length (Melastic.Profile.channel_names profile))
+     | None -> print_endline (Melastic.Profile.to_json profile));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a canned workload and dump its per-channel profile \
+             (fires, stalls, backpressure, occupancy histograms) as JSON.")
+    Term.(ret (const run $ backend_arg $ kind_arg $ threads_arg $ workload $ out))
+
 (* --- vcd --- *)
 
 let vcd_cmd =
@@ -442,4 +576,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "elsim" ~version:"1.0.0"
              ~doc:"Multithreaded elastic systems: simulator and tools.")
-          [ asm_cmd; run_cmd; md5_cmd; serve_cmd; fleet_cmd; report_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))
+          [ asm_cmd; run_cmd; md5_cmd; serve_cmd; fleet_cmd; report_cmd;
+            profile_cmd; vcd_cmd; verilog_cmd; tb_cmd ]))

@@ -43,9 +43,21 @@ let probe_if cond ~name : stage = if cond then probe ~name else id
 
 let label ~name : stage = fun b ch -> Mt_channel.label b ~name ch
 
-(* An MEB stage of either kind. *)
-let buffer ?name ?policy ?granularity ?(kind = Meb.Reduced) ?notify () : stage =
-  wrap ?notify (fun b ch -> Meb.create ?name ?policy ?granularity ~kind b ch)
+(* An MEB stage of either kind.  [export_occupancy] names the buffer's
+   occupancy count as an output ([<name>_occupancy]) so Profile can
+   histogram it; off by default because extra output ports perturb the
+   Table-I area rows. *)
+let buffer ?name ?policy ?granularity ?(kind = Meb.Reduced)
+    ?(export_occupancy = false) ?notify () : stage =
+  wrap ?notify
+    (fun b ch ->
+      let m = Meb.create ?name ?policy ?granularity ~kind b ch in
+      if export_occupancy then begin
+        match name with
+        | Some n -> ignore (S.output b (Names.occupancy n) m.Meb.occupancy)
+        | None -> invalid_arg "Component.buffer: export_occupancy requires ~name"
+      end;
+      m)
     (fun (m : Meb.t) -> m.Meb.out)
 
 (* A variable-latency unit stage (single-context). *)

@@ -40,8 +40,12 @@ val label : name:string -> stage
 
 val buffer :
   ?name:string -> ?policy:Policy.t -> ?granularity:Policy.granularity ->
-  ?kind:Meb.kind -> ?notify:(Meb.t -> unit) -> unit -> stage
-(** An MEB of either kind (default [Reduced]) as a stage. *)
+  ?kind:Meb.kind -> ?export_occupancy:bool -> ?notify:(Meb.t -> unit) ->
+  unit -> stage
+(** An MEB of either kind (default [Reduced]) as a stage.  With
+    [export_occupancy] (requires [~name]) the buffer's token count is
+    exported as [<name>_occupancy] for {!Profile} to histogram — off
+    by default, since extra output ports perturb Table-I area. *)
 
 val varlat :
   ?name:string -> ?f:(S.builder -> S.t -> S.t) ->

@@ -1,0 +1,101 @@
+(* Fixed log-bucket streaming histogram (HDR style).
+
+   Layout: values 0..63 map to buckets 0..63 (unit width, exact).
+   Larger values live in octaves of 32 sub-buckets: a value whose
+   most significant bit is e (e >= 6) lands in bucket
+   [(e - 4) * 32 + ((v >> (e - 5)) land 31)], giving every octave 32
+   equal-width sub-buckets and <= 1/32 relative quantization error.
+   The whole int range fits in a fixed array, so recording is O(1)
+   and memory is constant regardless of sample count. *)
+
+let sub_bits = 5 (* 32 sub-buckets per octave *)
+let sub = 1 lsl sub_bits
+let max_exp = 62
+let n_buckets = ((max_exp - sub_bits) * sub) + (2 * sub)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+let create () = { counts = Array.make n_buckets 0; total = 0; sum = 0; max_v = 0 }
+
+let msb v =
+  let e = ref 0 in
+  while v lsr !e > 1 do
+    incr e
+  done;
+  !e
+
+let index v =
+  if v < 2 * sub then v
+  else
+    let e = msb v in
+    ((e - sub_bits + 1) * sub) + ((v lsr (e - sub_bits)) land (sub - 1))
+
+(* Upper edge of a bucket: the largest value mapping to it. *)
+let bucket_upper i =
+  if i < 2 * sub then i
+  else
+    let octave = (i / sub) - 1 in
+    let lo = (sub + (i land (sub - 1))) lsl octave in
+    lo + (1 lsl octave) - 1
+
+let add t v =
+  let v = max 0 v in
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v
+
+let merge_into ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.total <- into.total + t.total;
+  into.sum <- into.sum + t.sum;
+  if t.max_v > into.max_v then into.max_v <- t.max_v
+
+let count t = t.total
+let is_empty t = t.total = 0
+let max_value t = t.max_v
+let sum t = t.sum
+let nonzero t = t.total - t.counts.(0) (* bucket 0 holds exactly the zeros *)
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let rank = max 1 (min t.total (int_of_float (ceil (p *. float_of_int t.total)))) in
+    let seen = ref 0 in
+    let i = ref 0 in
+    while !seen < rank && !i < n_buckets do
+      seen := !seen + t.counts.(!i);
+      incr i
+    done;
+    (* The true maximum is exact; don't report a bucket edge past it. *)
+    min (bucket_upper (!i - 1)) t.max_v
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_upper i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let of_buckets ?sum ?max_value bs =
+  let t = create () in
+  List.iter
+    (fun (edge, c) ->
+      if c > 0 then begin
+        let i = index (max 0 edge) in
+        t.counts.(i) <- t.counts.(i) + c;
+        t.total <- t.total + c;
+        t.sum <- t.sum + (max 0 edge * c);
+        if edge > t.max_v then t.max_v <- edge
+      end)
+    bs;
+  (match sum with Some s -> t.sum <- s | None -> ());
+  (match max_value with Some m -> t.max_v <- m | None -> ());
+  t

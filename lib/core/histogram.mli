@@ -9,7 +9,8 @@
     split into 32 sub-buckets, bounding the relative quantization
     error of any reported quantile at ~3 %.
 
-    Used by {!Serve.Engine}'s service metrics and the fleet layer's
+    Used by {!Profile}'s per-channel occupancy/latency gauges,
+    {!Serve.Engine}'s service metrics and the fleet layer's
     tail-latency reports. *)
 
 type t
@@ -31,6 +32,13 @@ val is_empty : t -> bool
 val max_value : t -> int
 (** Largest recorded sample, exact (0 when empty). *)
 
+val sum : t -> int
+(** Exact sum of the recorded samples (0 when empty). *)
+
+val nonzero : t -> int
+(** Number of recorded samples that were strictly positive — exact,
+    since bucket 0 holds exactly the zeros. *)
+
 val mean : t -> float
 (** Exact mean of the recorded samples (0 when empty). *)
 
@@ -41,3 +49,10 @@ val percentile : t -> float -> int
 
 val buckets : t -> (int * int) list
 (** Non-empty buckets as [(upper_edge_value, count)], ascending. *)
+
+val of_buckets : ?sum:int -> ?max_value:int -> (int * int) list -> t
+(** Rebuild a histogram from a [buckets] dump.  Counts are exact;
+    without the optional exact [sum]/[max_value] they are approximated
+    from the bucket edges (a round trip through [buckets t] with both
+    options supplied reproduces [mean], [max_value], [percentile] and
+    [buckets] exactly). *)

@@ -28,3 +28,4 @@ let data inst = signal inst "data"
 (* Common internal probes. *)
 let state inst i = indexed inst "state" i
 let main inst i = indexed inst "main" i
+let occupancy inst = signal inst "occupancy"

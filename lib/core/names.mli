@@ -28,3 +28,7 @@ val state : string -> int -> string
 
 val main : string -> int -> string
 (** [main inst i] is ["<inst>_main<i>"] — thread [i]'s main register. *)
+
+val occupancy : string -> string
+(** [occupancy inst] is ["<inst>_occupancy"] — a buffer's total token
+    count, exported when occupancy profiling is requested. *)

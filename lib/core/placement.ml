@@ -1,0 +1,55 @@
+(* A buffer placement: which MEB kind and how many pipeline stages
+   each named buffer site of a circuit should get.  Circuits that can
+   be retimed take one of these as a parameter; Synth.Retime produces
+   them from workload profiles.  The representation is a plain
+   default + overrides table so a placement can be printed, diffed and
+   embedded in bench JSON. *)
+
+type buffer_cfg = { kind : Meb.kind; stages : int }
+
+type t = { default : buffer_cfg option; overrides : (string * buffer_cfg) list }
+
+let empty = { default = None; overrides = [] }
+let uniform ?(stages = 1) kind = { default = Some { kind; stages }; overrides = [] }
+
+let set t name cfg =
+  { t with overrides = (name, cfg) :: List.remove_assoc name t.overrides }
+
+let of_list ?default overrides =
+  List.fold_left (fun t (n, c) -> set t n c) { default; overrides = [] } overrides
+
+let find t ~name ~default =
+  match List.assoc_opt name t.overrides with
+  | Some cfg -> cfg
+  | None -> ( match t.default with Some cfg -> cfg | None -> default)
+
+let to_list t = List.rev t.overrides
+
+(* A retimable buffer site, as declared by a circuit: the legal moves
+   the retiming pass may make there.  Circuits publish their sites
+   (Md5_circuit.retime_sites, Mt_pipeline.retime_sites) and
+   Synth.Retime picks a [buffer_cfg] per site within these bounds —
+   it may never invent a site, so monitor probes and protocol-bearing
+   channels stay untouched by construction. *)
+type site = {
+  s_name : string;
+  s_kinds : Meb.kind list;  (* allowed MEB kinds *)
+  s_min_stages : int;  (* 0 = the buffer may be removed entirely *)
+  s_max_stages : int;
+}
+
+let site ?(kinds = [ Meb.Reduced; Meb.Full ]) ?(min_stages = 1) ?(max_stages = 4)
+    name =
+  if kinds = [] then invalid_arg "Placement.site: no allowed kinds";
+  if min_stages < 0 || max_stages < min_stages then
+    invalid_arg "Placement.site: bad stage bounds";
+  { s_name = name; s_kinds = kinds; s_min_stages = min_stages; s_max_stages = max_stages }
+
+let cfg_to_string c = Printf.sprintf "%s/%d" (Meb.kind_to_string c.kind) c.stages
+
+let to_string t =
+  let d = match t.default with None -> "inherit" | Some c -> cfg_to_string c in
+  let ov =
+    List.map (fun (n, c) -> Printf.sprintf "%s=%s" n (cfg_to_string c)) (to_list t)
+  in
+  String.concat " " (("default=" ^ d) :: ov)

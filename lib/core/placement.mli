@@ -1,0 +1,53 @@
+(** Buffer placements: the decision variable of profile-guided
+    retiming.
+
+    A placement assigns each named buffer site of a circuit a
+    {!buffer_cfg} — which MEB kind to instantiate and how many
+    pipeline stages ([stages = 0] removes the buffer where the circuit
+    allows it).  Retimable circuits ({!Md5.Md5_circuit},
+    {!Cpu.Mt_pipeline}, {!Noc} link chains) consult the placement at
+    build time through {!find}, falling back to their historical
+    hand-placed configuration, so an absent placement is always
+    behavior-identical to the pre-retiming code. *)
+
+type buffer_cfg = { kind : Meb.kind; stages : int }
+
+type t
+
+val empty : t
+(** No default, no overrides — every site keeps its built-in config. *)
+
+val uniform : ?stages:int -> Meb.kind -> t
+(** Every site gets [kind] with [stages] (default 1) unless
+    overridden. *)
+
+val set : t -> string -> buffer_cfg -> t
+(** Override one named site (replaces any previous override). *)
+
+val of_list : ?default:buffer_cfg -> (string * buffer_cfg) list -> t
+
+val find : t -> name:string -> default:buffer_cfg -> buffer_cfg
+(** Site lookup: explicit override, else the placement default, else
+    the circuit's own [default]. *)
+
+val to_list : t -> (string * buffer_cfg) list
+(** Overrides in insertion order (without the default). *)
+
+type site = {
+  s_name : string;
+  s_kinds : Meb.kind list;  (** allowed MEB kinds *)
+  s_min_stages : int;  (** 0 = the buffer may be removed entirely *)
+  s_max_stages : int;
+}
+(** A retimable buffer site as declared by its circuit — the legal
+    moves a retiming pass may make there.  The pass picks one
+    {!buffer_cfg} per declared site and may never invent a site, so
+    monitor probes and protocol-bearing channels are untouchable by
+    construction. *)
+
+val site :
+  ?kinds:Meb.kind list -> ?min_stages:int -> ?max_stages:int -> string -> site
+(** Declare a site (defaults: both kinds allowed, 1..4 stages). *)
+
+val cfg_to_string : buffer_cfg -> string
+val to_string : t -> string

@@ -1,0 +1,498 @@
+(* The single channel-profile spine.
+
+   Every layer that used to keep private measurement loops — the
+   monitor's scoreboard sampling, Workload.Stats, the serve engine's
+   queue gauges, the NoC driver's per-link counters — now records into
+   one of these.  A profile has two halves sharing one representation:
+
+   - a hardware half, attached to an {!Hw.Sampler}: watched channels
+     (valid/ready/fire vectors named through {!Names}, optional data
+     word and occupancy export) are folded into per-channel activity /
+     stall / backpressure counters and occupancy histograms in a
+     single registered per-cycle listener;
+
+   - a host half: named gauges, each a {!Histogram}, fed by [observe]
+     from plain software (queue depths, busy slots, in-flight...).
+
+   Either half serializes to the same JSON schema, so a profile taken
+   from a workload run can be saved, inspected offline (`elsim
+   profile`) and handed to {!Synth.Retime} as the input of the
+   buffer-placement pass. *)
+
+module H = Histogram
+
+type channel_stats = {
+  cs_threads : int;
+  mutable cs_fires : int;
+  cs_fires_per_thread : int array;
+  mutable cs_active_cycles : int;
+  mutable cs_stall_cycles : int;
+  mutable cs_backpressure_cycles : int;
+  mutable cs_idle_cycles : int;
+  cs_occupancy : H.t option;
+}
+
+(* Which endpoint exports the channel actually has: hand-built test
+   netlists legally export a subset (a poked valid with no fire, a
+   fire/data pair with no ready), so the watcher records what resolved
+   and the per-cycle update computes only the statistics those signals
+   support (deriving fire = valid & ready when both exist). *)
+type chan = {
+  ch_stats : channel_stats;
+  ch_occ_signal : string option;
+  ch_has_valid : bool;
+  ch_has_ready : bool;
+  ch_has_fire : bool;
+}
+
+type t = {
+  sampler : Hw.Sampler.t option;
+  mutable cycles : int;
+  channels : (string, chan) Hashtbl.t;
+  mutable channel_order : string list; (* reversed *)
+  gauges : (string, H.t) Hashtbl.t;
+  mutable gauge_order : string list; (* reversed *)
+}
+
+let make sampler =
+  {
+    sampler;
+    cycles = 0;
+    channels = Hashtbl.create 16;
+    channel_order = [];
+    gauges = Hashtbl.create 16;
+    gauge_order = [];
+  }
+
+let create () = make None
+
+(* ---------- hardware half ---------- *)
+
+let require_sampler t =
+  match t.sampler with
+  | Some s -> s
+  | None -> invalid_arg "Profile: host-only profile has no sampler"
+
+let sampler t = t.sampler
+let cycles t = t.cycles
+
+let update_channel s name ch =
+  let st = ch.ch_stats in
+  let v =
+    if ch.ch_has_valid then Some (Hw.Sampler.value s (Names.valid name)) else None
+  in
+  let r =
+    if ch.ch_has_ready then Some (Hw.Sampler.value s (Names.ready name)) else None
+  in
+  let f =
+    if ch.ch_has_fire then Some (Hw.Sampler.value s (Names.fire name))
+    else
+      match (v, r) with
+      | Some v, Some r when Bits.width v = Bits.width r ->
+        Some (Bits.logand v r)
+      | _ -> None
+  in
+  let nf = match f with Some f -> Bits.popcount f | None -> 0 in
+  (match f with
+  | Some f when nf > 0 ->
+    st.cs_fires <- st.cs_fires + nf;
+    st.cs_active_cycles <- st.cs_active_cycles + 1;
+    for i = 0 to min (st.cs_threads - 1) (Bits.width f - 1) do
+      if Bits.bit f i then
+        st.cs_fires_per_thread.(i) <- st.cs_fires_per_thread.(i) + 1
+    done
+  | _ -> ());
+  (match v with
+  | Some v ->
+    if Bits.is_zero v then st.cs_idle_cycles <- st.cs_idle_cycles + 1
+    else if nf = 0 then st.cs_stall_cycles <- st.cs_stall_cycles + 1
+  | None -> ());
+  (match (v, r) with
+  | Some v, Some r ->
+    let bp = ref false in
+    for i = 0 to min (min (st.cs_threads - 1) (Bits.width v - 1)) (Bits.width r - 1) do
+      if Bits.bit v i && not (Bits.bit r i) then bp := true
+    done;
+    if !bp then st.cs_backpressure_cycles <- st.cs_backpressure_cycles + 1
+  | _ -> ());
+  match (ch.ch_occ_signal, st.cs_occupancy) with
+  | Some sig_name, Some hist -> H.add hist (Hw.Sampler.value_int s sig_name)
+  | _ -> ()
+
+let attach s =
+  let t = make (Some s) in
+  Hw.Sampler.on_sample s (fun s ->
+      t.cycles <- t.cycles + 1;
+      List.iter
+        (fun name -> update_channel s name (Hashtbl.find t.channels name))
+        (List.rev t.channel_order));
+  t
+
+let try_watch s name =
+  match Hw.Sampler.watch s name with
+  | () -> true
+  | exception Hw.Sim_intf.Unknown_signal _ -> false
+
+let watch_channel ?(data = false) ?(occupancy = false) t ~name ~threads =
+  let s = require_sampler t in
+  if not (Hashtbl.mem t.channels name) then begin
+    let has_valid = try_watch s (Names.valid name) in
+    let has_ready = try_watch s (Names.ready name) in
+    let has_fire = try_watch s (Names.fire name) in
+    (* [data]/[occupancy] are explicit requests, so a missing export is
+       an eager error (with the backend's near-miss diagnostics), not
+       a silent degradation. *)
+    if data then Hw.Sampler.watch s (Names.data name);
+    let occ_signal =
+      if occupancy then begin
+        let n = Names.occupancy name in
+        Hw.Sampler.watch s n;
+        Some n
+      end
+      else None
+    in
+    let stats =
+      {
+        cs_threads = threads;
+        cs_fires = 0;
+        cs_fires_per_thread = Array.make threads 0;
+        cs_active_cycles = 0;
+        cs_stall_cycles = 0;
+        cs_backpressure_cycles = 0;
+        cs_idle_cycles = 0;
+        cs_occupancy = (if occupancy then Some (H.create ()) else None);
+      }
+    in
+    Hashtbl.add t.channels name
+      { ch_stats = stats; ch_occ_signal = occ_signal; ch_has_valid = has_valid;
+        ch_has_ready = has_ready; ch_has_fire = has_fire };
+    t.channel_order <- name :: t.channel_order
+  end
+  else if data then
+    (* idempotent upgrade: a later watcher may also need the data word *)
+    Hw.Sampler.watch s (Names.data name)
+
+let on_sample t f =
+  let s = require_sampler t in
+  Hw.Sampler.on_sample s (fun _ -> f t)
+
+let cycle t = Hw.Sampler.cycle (require_sampler t)
+let cycle_valid t name = Hw.Sampler.value (require_sampler t) (Names.valid name)
+let cycle_ready t name = Hw.Sampler.value (require_sampler t) (Names.ready name)
+let cycle_fire t name = Hw.Sampler.value (require_sampler t) (Names.fire name)
+let cycle_data t name = Hw.Sampler.value (require_sampler t) (Names.data name)
+
+(* ---------- channel statistics ---------- *)
+
+let channel_names t = List.rev t.channel_order
+
+let channel t name =
+  match Hashtbl.find_opt t.channels name with
+  | Some ch -> Some ch.ch_stats
+  | None -> None
+
+let activity t cs =
+  if t.cycles = 0 then 0.0
+  else float_of_int cs.cs_active_cycles /. float_of_int t.cycles
+
+let throughput t cs =
+  if t.cycles = 0 then 0.0 else float_of_int cs.cs_fires /. float_of_int t.cycles
+
+let peak_occupancy cs =
+  match cs.cs_occupancy with Some h -> H.max_value h | None -> 0
+
+(* ---------- host gauges ---------- *)
+
+let gauge_hist t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some h -> h
+  | None ->
+    let h = H.create () in
+    Hashtbl.add t.gauges name h;
+    t.gauge_order <- name :: t.gauge_order;
+    h
+
+let observe t name v = H.add (gauge_hist t name) v
+let gauge_names t = List.rev t.gauge_order
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+(* ---------- JSON ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let hist_to_json h =
+  let bs =
+    H.buckets h
+    |> List.map (fun (edge, c) -> Printf.sprintf "[%d,%d]" edge c)
+    |> String.concat ","
+  in
+  Printf.sprintf {|{"count":%d,"sum":%d,"max":%d,"buckets":[%s]}|} (H.count h)
+    (H.sum h) (H.max_value h) bs
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\n  \"cycles\": %d,\n  \"channels\": [" t.cycles);
+  let first = ref true in
+  List.iter
+    (fun name ->
+      let cs = (Hashtbl.find t.channels name).ch_stats in
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      let fpt =
+        Array.to_list cs.cs_fires_per_thread
+        |> List.map string_of_int |> String.concat ","
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"name\":\"%s\",\"threads\":%d,\"fires\":%d,\"fires_per_thread\":[%s],\"active_cycles\":%d,\"stall_cycles\":%d,\"backpressure_cycles\":%d,\"idle_cycles\":%d,\"occupancy\":%s}"
+           (escape name) cs.cs_threads cs.cs_fires fpt cs.cs_active_cycles
+           cs.cs_stall_cycles cs.cs_backpressure_cycles cs.cs_idle_cycles
+           (match cs.cs_occupancy with
+           | Some h -> hist_to_json h
+           | None -> "null")))
+    (channel_names t);
+  Buffer.add_string b "\n  ],\n  \"gauges\": [";
+  first := true;
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find t.gauges name in
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"name\":\"%s\",\"hist\":%s}" (escape name)
+           (hist_to_json h)))
+    (gauge_names t);
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+(* Minimal JSON reader — just enough for the schema [to_json] emits
+   (objects, arrays, strings, integers, null).  Keeping it local
+   avoids a parsing dependency the container doesn't have. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Profile.load: %s at offset %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "bad escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+          pos := !pos + 4;
+          Buffer.add_char b (Char.chr (code land 0xff))
+        | c -> Buffer.add_char b c);
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_string (parse_string ())
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then (incr pos; J_obj [])
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          let k = (skip_ws (); parse_string ()) in
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; members ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        J_obj (List.rev !fields)
+      end
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then (incr pos; J_list [])
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; elements ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        J_list (List.rev !items)
+      end
+    | Some 't' -> pos := !pos + 4; J_bool true
+    | Some 'f' -> pos := !pos + 5; J_bool false
+    | Some 'n' -> pos := !pos + 4; J_null
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then fail "unexpected character";
+      let lit = String.sub s start (!pos - start) in
+      (try J_int (int_of_string lit)
+       with _ -> J_int (int_of_float (float_of_string lit)))
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let j_field name = function
+  | J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let j_int ?(default = 0) j = match j with Some (J_int i) -> i | _ -> default
+
+let j_hist j =
+  match j with
+  | Some (J_obj _ as o) ->
+    let buckets =
+      match j_field "buckets" o with
+      | Some (J_list items) ->
+        List.filter_map
+          (function J_list [ J_int e; J_int c ] -> Some (e, c) | _ -> None)
+          items
+      | _ -> []
+    in
+    Some
+      (H.of_buckets
+         ~sum:(j_int (j_field "sum" o))
+         ~max_value:(j_int (j_field "max" o))
+         buckets)
+  | _ -> None
+
+let of_json str =
+  let j = parse_json str in
+  let t = create () in
+  t.cycles <- j_int (j_field "cycles" j);
+  (match j_field "channels" j with
+  | Some (J_list chans) ->
+    List.iter
+      (fun c ->
+        match j_field "name" c with
+        | Some (J_string name) ->
+          let threads = j_int ~default:1 (j_field "threads" c) in
+          let fpt =
+            match j_field "fires_per_thread" c with
+            | Some (J_list items) ->
+              let a = Array.make (max threads (List.length items)) 0 in
+              List.iteri (fun i v -> a.(i) <- j_int (Some v)) items;
+              a
+            | _ -> Array.make threads 0
+          in
+          let stats =
+            {
+              cs_threads = threads;
+              cs_fires = j_int (j_field "fires" c);
+              cs_fires_per_thread = fpt;
+              cs_active_cycles = j_int (j_field "active_cycles" c);
+              cs_stall_cycles = j_int (j_field "stall_cycles" c);
+              cs_backpressure_cycles = j_int (j_field "backpressure_cycles" c);
+              cs_idle_cycles = j_int (j_field "idle_cycles" c);
+              cs_occupancy = j_hist (j_field "occupancy" c);
+            }
+          in
+          Hashtbl.add t.channels name
+            { ch_stats = stats; ch_occ_signal = None; ch_has_valid = false;
+              ch_has_ready = false; ch_has_fire = false };
+          t.channel_order <- name :: t.channel_order
+        | _ -> ())
+      chans
+  | _ -> ());
+  (match j_field "gauges" j with
+  | Some (J_list gs) ->
+    List.iter
+      (fun g ->
+        match (j_field "name" g, j_hist (j_field "hist" g)) with
+        | Some (J_string name), Some h ->
+          Hashtbl.add t.gauges name h;
+          t.gauge_order <- name :: t.gauge_order
+        | _ -> ())
+      gs
+  | _ -> ());
+  t
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let str = really_input_string ic len in
+  close_in ic;
+  of_json str
+
+(* Fold the hardware channels and host gauges of [src] into [into]'s
+   gauges, prefixing channel-derived gauges — used by the fleet layer
+   to aggregate per-host profiles. *)
+let merge_gauges ~into src =
+  List.iter
+    (fun name ->
+      match gauge src name with
+      | Some h -> H.merge_into ~into:(gauge_hist into name) h
+      | None -> ())
+    (gauge_names src)

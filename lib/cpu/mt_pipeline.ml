@@ -36,6 +36,7 @@ type config = {
   exe_latency : Melastic.Mt_varlat.latency;
   mem_latency : Melastic.Mt_varlat.latency;
   start_pcs : int array;
+  placement : Melastic.Placement.t option;
 }
 
 let default_config ~threads =
@@ -46,7 +47,17 @@ let default_config ~threads =
     imem_latency = Melastic.Mt_varlat.Fixed 0;
     exe_latency = Melastic.Mt_varlat.Fixed 0;
     mem_latency = Melastic.Mt_varlat.Fixed 0;
-    start_pcs = Array.make threads 0 }
+    start_pcs = Array.make threads 0;
+    placement = None }
+
+(* The five pipeline-register sites of the stage plan.  Each needs at
+   least one stage: MEB0's per-thread buffer state is the fetch
+   arbiter's ready, and the others keep the variable-latency units
+   decoupled.  Probes and the scoreboard/halt machinery are
+   protocol-bearing, not sites. *)
+let retime_sites =
+  List.init 5 (fun i ->
+      Melastic.Placement.site ~min_stages:1 (Printf.sprintf "meb%d" i))
 
 type t = {
   config : config;
@@ -73,9 +84,24 @@ let create ?(config_name = "cpu") ?(probes = false) ?(serve = false) b config =
      an MEB, probes are probe_if taps, and the variable-latency units
      are wrapped operators — the stage plan above is then literally a
      [Component.pipe]. *)
+  (* A pipeline-register site elaborates per the config's placement
+     (kind + stage count; stage 0 keeps the site name).  Occupancy
+     exports ride the probes flag, as in the MD5 loop. *)
   let meb name =
-    Melastic.Component.buffer ~name ~policy:Melastic.Policy.Ready_aware
-      ~kind:config.kind ()
+    let default = { Melastic.Placement.kind = config.kind; stages = 1 } in
+    let cfg =
+      match config.placement with
+      | None -> default
+      | Some p -> Melastic.Placement.find p ~name ~default
+    in
+    fun bb ch ->
+      Melastic.Component.pipe bb
+        (List.init (max 1 cfg.Melastic.Placement.stages) (fun k ->
+             Melastic.Component.buffer
+               ~name:(if k = 0 then name else Printf.sprintf "%s_s%d" name k)
+               ~policy:Melastic.Policy.Ready_aware
+               ~kind:cfg.Melastic.Placement.kind ~export_occupancy:probes ()))
+        ch
   in
   let tap name = Melastic.Component.probe_if probes ~name in
   let imem =

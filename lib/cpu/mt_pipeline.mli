@@ -21,11 +21,20 @@ type config = {
   exe_latency : Melastic.Mt_varlat.latency;
   mem_latency : Melastic.Mt_varlat.latency;
   start_pcs : int array;
+  placement : Melastic.Placement.t option;
+      (** overrides kind/stages of the {!retime_sites} (default: one
+          stage of [kind] each — the historical uniform placement) *)
 }
 
 val default_config : threads:int -> config
 (** Reduced MEBs, 1 Ki-word memories, fixed single-cycle units, all
-    threads starting at PC 0. *)
+    threads starting at PC 0, no placement overrides. *)
+
+val retime_sites : Melastic.Placement.site list
+(** The five pipeline-register sites (["meb0"].. ["meb4"]; min 1 stage
+    each — MEB0's buffer state is the fetch arbiter's ready signal and
+    the rest decouple the variable-latency units).  Probes and the
+    scoreboard machinery are protocol-bearing and are not sites. *)
 
 type t = {
   config : config;

@@ -112,6 +112,7 @@ type host_stats = {
   h_busy_slot_cycles : int;
   h_queue_depth_sum : int;
   h_queue_depth_max : int;
+  h_queue_depth : Workload.Histogram.t;
   h_admitted : int;
   h_violations : int;
 }
@@ -478,6 +479,8 @@ let run ?pool ?(max_cycles = 1_000_000) t =
           h_busy_slot_cycles = m.Serve.Host.m_busy_slot_cycles;
           h_queue_depth_sum = m.Serve.Host.m_queue_depth_sum;
           h_queue_depth_max = m.Serve.Host.m_queue_depth_max;
+          h_queue_depth =
+            Melastic.Profile.gauge_hist (Serve.Host.profile h) "queue_depth";
           h_admitted = r.admitted.(i);
           h_violations = Serve.Host.violations h })
       r.hosts

@@ -111,6 +111,9 @@ type host_stats = {
   h_busy_slot_cycles : int;
   h_queue_depth_sum : int;
   h_queue_depth_max : int;
+  h_queue_depth : Workload.Histogram.t;
+      (** the host's ["queue_depth"] profile gauge — per-cycle peak
+          backlog, queryable for percentiles *)
   h_admitted : int;  (** jobs dispatched or stolen onto this host *)
   h_violations : int;  (** protocol monitor reports on this host *)
 }

@@ -99,8 +99,17 @@ type t = {
    - sink "digest" : width 128, the block's digest (state + chaining
      value), which is also the next block's chaining value.
    Probes: "round_counter", "sync_ok", barrier and MEB internals. *)
-let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
-    ~threads =
+(* The two retimable buffer sites of the loop.  Both sit inside the
+   round loop, so neither may drop to zero stages (the loop needs its
+   pipeline registers: the entry MEB also times the message-bank
+   write).  Everything else — the probes, the barrier, the merge and
+   branch — is protocol-bearing and not a site. *)
+let retime_sites =
+  [ Melastic.Placement.site ~min_stages:1 "md5_entry_meb";
+    Melastic.Placement.site ~min_stages:1 "md5_meb" ]
+
+let create ?(kind = Melastic.Meb.Reduced) ?placement ?participants
+    ?(probes = false) b ~threads =
   let src = Mc.source b ~name:"msg" ~threads ~width:input_width in
   let src_block = S.select b src.Mc.data ~hi:(input_width - 1) ~lo:state_width in
   let src_iv = S.select b src.Mc.data ~hi:(state_width - 1) ~lo:0 in
@@ -170,11 +179,27 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
   (* (The optional probe_if taps on the loop channels are not
      installed by default: the extra outputs would perturb the Table I
      LE counts.) *)
+  (* A buffer site elaborates per the placement (stage count + MEB
+     kind); stage 0 keeps the site name, later stages get [_s<k>].
+     Occupancy is exported only alongside the probes — the extra
+     output ports would otherwise perturb the Table I LE counts. *)
+  let site_stages name =
+    let default = { Melastic.Placement.kind; stages = 1 } in
+    let cfg =
+      match placement with
+      | None -> default
+      | Some p -> Melastic.Placement.find p ~name ~default
+    in
+    List.init (max 1 cfg.Melastic.Placement.stages) (fun k ->
+        Melastic.Component.buffer
+          ~name:(if k = 0 then name else Printf.sprintf "%s_s%d" name k)
+          ~policy:Melastic.Policy.Valid_only ~kind:cfg.Melastic.Placement.kind
+          ~export_occupancy:probes ())
+  in
   let dp_in =
     Melastic.Component.pipe b
-      [ Melastic.Component.buffer ~name:"md5_entry_meb"
-          ~policy:Melastic.Policy.Valid_only ~kind ();
-        Melastic.Component.probe_if probes ~name:"md5_dp" ]
+      (site_stages "md5_entry_meb"
+      @ [ Melastic.Component.probe_if probes ~name:"md5_dp" ])
       merged
   in
   let active = Mc.active_thread b dp_in in
@@ -191,9 +216,8 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
   let to_meb = { dp_in with Mc.data = next_token } in
   let barrier_in =
     Melastic.Component.pipe b
-      [ Melastic.Component.buffer ~name:"md5_meb"
-          ~policy:Melastic.Policy.Valid_only ~kind ();
-        Melastic.Component.probe_if probes ~name:"md5_bar_in" ]
+      (site_stages "md5_meb"
+      @ [ Melastic.Component.probe_if probes ~name:"md5_bar_in" ])
       to_meb
   in
   let barrier =
@@ -247,9 +271,9 @@ let create ?(kind = Melastic.Meb.Reduced) ?participants ?(probes = false) b
   { builder = b; threads; kind }
 
 (* Convenience: elaborate a standalone MD5 circuit. *)
-let circuit ?(kind = Melastic.Meb.Reduced) ?probes ~threads () =
+let circuit ?(kind = Melastic.Meb.Reduced) ?placement ?probes ~threads () =
   let b = S.Builder.create () in
-  let _t = create ~kind ?probes b ~threads in
+  let _t = create ~kind ?placement ?probes b ~threads in
   Hw.Circuit.create ~name:(Printf.sprintf "md5_%s_%dt" (Melastic.Meb.kind_to_string kind) threads) b
 
 (* Pack a block and a chaining value for the "msg" source. *)

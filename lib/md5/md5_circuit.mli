@@ -42,17 +42,28 @@ type t = {
   kind : Melastic.Meb.kind;
 }
 
+val retime_sites : Melastic.Placement.site list
+(** The loop's two retimable buffer sites (["md5_entry_meb"],
+    ["md5_meb"]; min 1 stage each — the loop needs its pipeline
+    registers).  Probes, barrier, merge and branch are
+    protocol-bearing and are not sites. *)
+
 val create :
-  ?kind:Melastic.Meb.kind -> ?participants:bool array -> ?probes:bool ->
+  ?kind:Melastic.Meb.kind -> ?placement:Melastic.Placement.t ->
+  ?participants:bool array -> ?probes:bool ->
   S.builder -> threads:int -> t
-(** [probes] (default false) installs {!Melastic.Mt_channel.probe}
-    taps ["md5_dp"] (datapath input) and ["md5_bar_in"] (barrier
-    input) for the runtime protocol monitors; off by default so the
-    extra outputs do not perturb the Table I LE counts. *)
+(** [placement] overrides the kind/stage count of the
+    {!retime_sites} (default: one stage of [kind] each — the
+    historical uniform placement).  [probes] (default false) installs
+    {!Melastic.Mt_channel.probe} taps ["md5_dp"] (datapath input) and
+    ["md5_bar_in"] (barrier input) for the runtime protocol monitors,
+    plus the buffers' [<site>_occupancy] exports for
+    {!Melastic.Profile}; off by default so the extra outputs do not
+    perturb the Table I LE counts. *)
 
 val circuit :
-  ?kind:Melastic.Meb.kind -> ?probes:bool -> threads:int -> unit ->
-  Hw.Circuit.t
+  ?kind:Melastic.Meb.kind -> ?placement:Melastic.Placement.t ->
+  ?probes:bool -> threads:int -> unit -> Hw.Circuit.t
 (** Elaborate a standalone MD5 design. *)
 
 val reference_digest : Bits.t -> Bits.t

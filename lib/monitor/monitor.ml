@@ -8,12 +8,15 @@
    (Section IV — the reduced MEB is only correct if no thread ever
    loses or duplicates a word), global progress, and barrier liveness
    (Section V).  A [Monitor.t] rides on any simulator backend through
-   the shared [Hw.Sampler] per-cycle loop and watches the
-   [Mt_channel.probe]/[source]/[sink] export points
-   (<name>_valid/_ready/_fire/_data) plus the barrier's named state
-   probes; each violated invariant produces a structured report
-   (checker, cycle, channel, thread, expected/actual) instead of a
-   silent wrong answer.
+   a [Melastic.Profile] attached to the shared [Hw.Sampler] per-cycle
+   loop: every channel a checker watches is registered with the
+   profile, so the same pass that feeds the invariant checks also
+   accumulates the channel's activity/stall/backpressure statistics
+   ([Monitor.profile]).  Checkers read the [Mt_channel.probe]/
+   [source]/[sink] export points (<name>_valid/_ready/_fire/_data)
+   plus the barrier's named state probes; each violated invariant
+   produces a structured report (checker, cycle, channel, thread,
+   expected/actual) instead of a silent wrong answer.
 
    Every existing workload becomes a correctness test by attaching a
    monitor next to its driver — see [bench/exp_check.ml] and
@@ -30,6 +33,7 @@ type violation = {
 
 type t = {
   sampler : Hw.Sampler.t;
+  profile : Melastic.Profile.t;
   max_reports : int; (* per checker instance; the rest are counted *)
   mutable violations : violation list; (* newest first *)
   mutable suppressed : int;
@@ -38,7 +42,9 @@ type t = {
 }
 
 let create ?(max_reports = 10) sim =
-  { sampler = Hw.Sampler.attach sim;
+  let sampler = Hw.Sampler.attach sim in
+  { sampler;
+    profile = Melastic.Profile.attach sampler;
     max_reports;
     violations = [];
     suppressed = 0;
@@ -46,6 +52,7 @@ let create ?(max_reports = 10) sim =
     finalized = false }
 
 let sampler t = t.sampler
+let profile t = t.profile
 
 (* Each checker instance gets its own budget counter so one noisy
    checker cannot silence the others. *)
@@ -66,19 +73,20 @@ let fired_threads v threads =
 (* ---- (a) one-hot valid ---- *)
 
 (* Section III: the channel carries one data word, so at most one
-   thread may assert valid in any cycle. *)
+   thread may assert valid in any cycle.  The checker shares the
+   channel watch (and thus the per-cycle value refresh) with the
+   profile — attaching a monitor also yields activity statistics. *)
 let check_one_hot t ~name ~threads =
-  let valid = Melastic.Names.valid name in
-  Hw.Sampler.watch t.sampler valid;
+  Melastic.Profile.watch_channel t.profile ~name ~threads;
   let report = reporter t in
-  Hw.Sampler.on_sample t.sampler (fun smp ->
-      let v = Hw.Sampler.value smp valid in
+  Melastic.Profile.on_sample t.profile (fun p ->
+      let v = Melastic.Profile.cycle_valid p name in
       let asserted = ref 0 in
       for i = 0 to threads - 1 do
         if Bits.bit v i then incr asserted
       done;
       if !asserted > 1 then
-        report ~checker:"one-hot" ~cycle:(Hw.Sampler.cycle smp) ~channel:name
+        report ~checker:"one-hot" ~cycle:(Melastic.Profile.cycle p) ~channel:name
           ~expected:"at most one valid(i) asserted"
           ~actual:("valid = 0b" ^ Bits.to_binary_string v)
           ())
@@ -98,18 +106,14 @@ let check_one_hot t ~name ~threads =
    channel with no valid at all, so only re-offer data stability is
    checkable. *)
 let check_stability ?(strict = false) ?(gated = false) t ~name ~threads =
-  let valid = Melastic.Names.valid name and ready = Melastic.Names.ready name in
-  let data = Melastic.Names.data name in
-  Hw.Sampler.watch t.sampler valid;
-  Hw.Sampler.watch t.sampler ready;
-  Hw.Sampler.watch t.sampler data;
+  Melastic.Profile.watch_channel ~data:true t.profile ~name ~threads;
   let report = reporter t in
   let prev = ref None in
-  Hw.Sampler.on_sample t.sampler (fun smp ->
-      let v = Hw.Sampler.value smp valid in
-      let r = Hw.Sampler.value smp ready in
-      let d = Hw.Sampler.value smp data in
-      let cycle = Hw.Sampler.cycle smp in
+  Melastic.Profile.on_sample t.profile (fun p ->
+      let v = Melastic.Profile.cycle_valid p name in
+      let r = Melastic.Profile.cycle_ready p name in
+      let d = Melastic.Profile.cycle_data p name in
+      let cycle = Melastic.Profile.cycle p in
       (match !prev with
        | None -> ()
        | Some (pv, pr, pd) ->
@@ -147,22 +151,21 @@ let check_stability ?(strict = false) ?(gated = false) t ~name ~threads =
 let check_conservation ?transform ?(compare_data = true) ?max_in_flight
     ?(expect_drained = false) t ~src ~snk ~threads =
   let transform = match transform with Some f -> f | None -> fun b -> b in
-  let src_fire = Melastic.Names.fire src and src_data = Melastic.Names.data src in
-  let snk_fire = Melastic.Names.fire snk and snk_data = Melastic.Names.data snk in
-  List.iter (Hw.Sampler.watch t.sampler) [ src_fire; src_data; snk_fire; snk_data ];
+  Melastic.Profile.watch_channel ~data:true t.profile ~name:src ~threads;
+  Melastic.Profile.watch_channel ~data:true t.profile ~name:snk ~threads;
   let report = reporter t in
   let channel = src ^ "->" ^ snk in
   let queues = Array.init threads (fun _ -> Queue.create ()) in
   let over_bound = ref false in
-  Hw.Sampler.on_sample t.sampler (fun smp ->
-      let cycle = Hw.Sampler.cycle smp in
-      let sf = Hw.Sampler.value smp src_fire in
-      let sd = Hw.Sampler.value smp src_data in
+  Melastic.Profile.on_sample t.profile (fun p ->
+      let cycle = Melastic.Profile.cycle p in
+      let sf = Melastic.Profile.cycle_fire p src in
+      let sd = Melastic.Profile.cycle_data p src in
       List.iter
         (fun i -> Queue.add (transform sd) queues.(i))
         (fired_threads sf threads);
-      let kf = Hw.Sampler.value smp snk_fire in
-      let kd = Hw.Sampler.value smp snk_data in
+      let kf = Melastic.Profile.cycle_fire p snk in
+      let kd = Melastic.Profile.cycle_data p snk in
       List.iter
         (fun i ->
           if Queue.is_empty queues.(i) then
@@ -221,25 +224,26 @@ let check_conservation ?transform ?(compare_data = true) ?max_in_flight
    handshakes are supposed to provide, Section III.A). *)
 let check_watchdog ?(timeout = 1000) ?starvation_timeout ?thread_pending
     ?(pending = fun () -> true) t ~channels ~threads =
-  let fires = List.map Melastic.Names.fire channels in
-  List.iter (Hw.Sampler.watch t.sampler) fires;
+  List.iter
+    (fun name -> Melastic.Profile.watch_channel t.profile ~name ~threads)
+    channels;
   let report = reporter t in
   let channel = String.concat "," channels in
   let last_any = ref (-1) in
   let last_thread = Array.make threads (-1) in
-  Hw.Sampler.on_sample t.sampler (fun smp ->
-      let cycle = Hw.Sampler.cycle smp in
+  Melastic.Profile.on_sample t.profile (fun p ->
+      let cycle = Melastic.Profile.cycle p in
       let any = ref false in
       List.iter
-        (fun f ->
-          let v = Hw.Sampler.value smp f in
+        (fun name ->
+          let v = Melastic.Profile.cycle_fire p name in
           if not (Bits.is_zero v) then begin
             any := true;
             for i = 0 to threads - 1 do
               if Bits.bit v i then last_thread.(i) <- cycle
             done
           end)
-        fires;
+        channels;
       if !any then last_any := cycle;
       if cycle - !last_any >= timeout && pending () then begin
         report ~checker:"watchdog" ~cycle ~channel

@@ -53,6 +53,14 @@ val create : ?max_reports:int -> Hw.Sim.t -> t
 val sampler : t -> Hw.Sampler.t
 (** The underlying shared sampler (to co-attach custom listeners). *)
 
+val profile : t -> Melastic.Profile.t
+(** The channel profile the monitor's checkers record through: every
+    channel handed to a checker is also profiled (activity, stalls,
+    backpressure) in the same sampling pass, so attaching a monitor
+    yields workload telemetry for free.  The barrier checker watches
+    FSM state probes, not channel endpoints, and stays outside the
+    profile. *)
+
 val check_one_hot : t -> name:string -> threads:int -> unit
 (** Protocol invariant (a): at most one [valid(i)] asserted per cycle
     on the channel probed as [name]. *)

@@ -320,6 +320,43 @@ let probe_names p =
     p.neighbors;
   terms @ List.rev !links
 
+(* The buffer-chain name of every directed link — the keys a per-link
+   [link_overrides] map (and Synth.Retime's NoC sizing) is written
+   against: [t<t>_up]/[t<t>_down] for the terminal links, [l<a>_<b>]
+   for each router-router direction. *)
+let term_up t = Printf.sprintf "t%d_up" t
+let term_down t = Printf.sprintf "t%d_down" t
+let link_chain a c = Printf.sprintf "l%d_%d" a c
+
+let link_names p =
+  let terms =
+    List.concat (List.init p.n_terminals (fun t -> [ term_up t; term_down t ]))
+  in
+  let links = ref [] in
+  Array.iteri
+    (fun r nbs -> Array.iter (fun nb -> links := link_chain r nb :: !links) nbs)
+    p.neighbors;
+  terms @ List.rev !links
+
+(* Per-link slot counts: the uniform [link_slots] default with an
+   override map keyed by chain name (asymmetric meshes, profile-guided
+   retiming).  Unknown keys are rejected eagerly — a typo would
+   otherwise silently leave the link at the default. *)
+let slots_table p ~link_slots ~link_overrides =
+  if link_slots < 1 then invalid_arg "Noc: link_slots must be >= 1";
+  let known = link_names p in
+  List.iter
+    (fun (name, s) ->
+      if not (List.mem name known) then
+        invalid_arg (Printf.sprintf "Noc: unknown link %S in link_overrides" name);
+      if s < 1 then
+        invalid_arg (Printf.sprintf "Noc: link %S needs >= 1 slot" name))
+    link_overrides;
+  fun name ->
+    match List.assoc_opt name link_overrides with
+    | Some s -> s
+    | None -> link_slots
+
 (* An MEB chain of [link_slots] stages — the pipelined link. *)
 let chain ~kind ~link_slots b name ch =
   Melastic.Component.pipe b
@@ -355,12 +392,13 @@ let crossbar ~fairness b p r inputs =
         (Array.init nports (fun i -> arms.(i).(q))))
 
 let build ?(kind = Melastic.Meb.Reduced) ?(fairness = Melastic.M_merge.Fair)
-    ?(link_slots = 1) ?(probes = false) ~payload_width p b =
-  if link_slots < 1 then invalid_arg "Noc.build: link_slots must be >= 1";
+    ?(link_slots = 1) ?(link_overrides = []) ?(probes = false) ~payload_width p b
+    =
   if payload_width < 1 then invalid_arg "Noc.build: payload_width must be >= 1";
   let threads = p.n_terminals in
   let width = dest_width p + payload_width in
-  let chain = chain ~kind ~link_slots b in
+  let slots = slots_table p ~link_slots ~link_overrides in
+  let chain name ch = chain ~kind ~link_slots:(slots name) b name ch in
   let maybe_probe name ch = if probes then Ch.probe b ~name ch else ch in
   (* Arrival wires first, so routers elaborate in any order. *)
   let rx_wire = Hashtbl.create 16 in
@@ -378,7 +416,7 @@ let build ?(kind = Melastic.Meb.Reduced) ?(fairness = Melastic.M_merge.Fair)
             (* Terminal link, upstream direction. *)
             let t = p.locals.(r).(q) in
             let src = Ch.source b ~name:(inj t) ~threads ~width in
-            maybe_probe (term_rx t) (chain (Printf.sprintf "t%d_up" t) src)
+            maybe_probe (term_rx t) (chain (term_up t) src)
           end
           else
             (* Arrival side of the link from neighbor [a]. *)
@@ -390,21 +428,22 @@ let build ?(kind = Melastic.Meb.Reduced) ?(fairness = Melastic.M_merge.Fair)
         if q < nl then begin
           let t = p.locals.(r).(q) in
           let out = maybe_probe (term_tx t) out in
-          Ch.sink b ~name:(ej t) (chain (Printf.sprintf "t%d_down" t) out)
+          Ch.sink b ~name:(ej t) (chain (term_down t) out)
         end
         else begin
           let nb = p.neighbors.(r).(q - nl) in
           let out = maybe_probe (link_tx r nb) out in
-          let out = chain (Printf.sprintf "l%d_%d" r nb) out in
+          let out = chain (link_chain r nb) out in
           let out = maybe_probe (link_rx r nb) out in
           Ch.connect ~src:out ~dst:(Hashtbl.find rx_wire (r, nb))
         end)
       outs
   done
 
-let circuit ?kind ?fairness ?link_slots ?probes ?name ~payload_width p =
+let circuit ?kind ?fairness ?link_slots ?link_overrides ?probes ?name
+    ~payload_width p =
   let b = S.Builder.create () in
-  build ?kind ?fairness ?link_slots ?probes ~payload_width p b;
+  build ?kind ?fairness ?link_slots ?link_overrides ?probes ~payload_width p b;
   let name =
     match name with
     | Some n -> n
@@ -463,39 +502,45 @@ module Driver = struct
   }
 
   let create ?backend ?(kind = Melastic.Meb.Reduced)
-      ?(fairness = Melastic.M_merge.Fair) ?(link_slots = 1) ?(monitor = false)
-      ?(payload_width = 16) topo =
+      ?(fairness = Melastic.M_merge.Fair) ?(link_slots = 1) ?(link_overrides = [])
+      ?(monitor = false) ?(payload_width = 16) topo =
     if payload_width < 1 || payload_width > 30 then
       invalid_arg "Noc.Driver.create: payload_width must be in 1..30";
     let p = plan topo in
     let threads = p.n_terminals in
     let c =
-      circuit ~kind ~fairness ~link_slots ~probes:monitor ~payload_width p
+      circuit ~kind ~fairness ~link_slots ~link_overrides ~probes:monitor
+        ~payload_width p
     in
     let sim = Hw.Sim.create ?backend c in
     let mon =
       if not monitor then None
       else begin
         let m = Monitor.create sim in
-        let link_cap = link_slots * Melastic.Meb.capacity ~kind ~threads in
+        let slots = slots_table p ~link_slots ~link_overrides in
+        let cap name = slots name * Melastic.Meb.capacity ~kind ~threads in
         (* Per-link invariants: P1 one-hot at both endpoints, gated
            stability at the merge side (the arbiter may rotate onto a
            thread steered elsewhere), per-thread FIFO conservation
-           with the chain's slot capacity across the MEBs. *)
-        let link src snk =
+           with the chain's slot capacity across the MEBs — capacity
+           is per link now that slot counts can differ. *)
+        let link ~chain_name src snk =
           Monitor.check_one_hot m ~name:src ~threads;
           Monitor.check_one_hot m ~name:snk ~threads;
           Monitor.check_stability ~gated:true m ~name:src ~threads;
           Monitor.check_conservation m ~src ~snk ~threads
-            ~max_in_flight:link_cap ~expect_drained:true
+            ~max_in_flight:(cap chain_name) ~expect_drained:true
         in
         for t = 0 to threads - 1 do
-          link (inj t) (term_rx t);
-          link (term_tx t) (ej t)
+          link ~chain_name:(term_up t) (inj t) (term_rx t);
+          link ~chain_name:(term_down t) (term_tx t) (ej t)
         done;
         Array.iteri
           (fun r nbs ->
-            Array.iter (fun nb -> link (link_tx r nb) (link_rx r nb)) nbs)
+            Array.iter
+              (fun nb ->
+                link ~chain_name:(link_chain r nb) (link_tx r nb) (link_rx r nb))
+              nbs)
           p.neighbors;
         Some m
       end
@@ -591,4 +636,11 @@ module Driver = struct
 
   let violations t =
     match t.mon with Some m -> Monitor.violation_count m | None -> 0
+
+  (* The per-link channel profile accumulated by the monitor's shared
+     sampling pass — [None] on an unmonitored fabric (no probes to
+     watch).  This is what replaced the driver's private per-link
+     counters: activity, stalls and backpressure per link endpoint
+     come from the same [Melastic.Profile] every other layer uses. *)
+  let profile t = Option.map Monitor.profile t.mon
 end

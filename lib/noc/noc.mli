@@ -69,12 +69,18 @@ val probe_names : plan -> string list
     [t<t>_rx]/[t<t>_tx], [l<a>_<b>_tx]/[l<a>_<b>_rx]) — what a
     violation report's channel refers back to. *)
 
+val link_names : plan -> string list
+(** The buffer-chain name of every directed link ([t<t>_up],
+    [t<t>_down], [l<a>_<b>]) — the key space of a [link_overrides]
+    map and of [Synth.Retime]'s per-link slot sizing. *)
+
 (** {1 Hardware elaboration} *)
 
 val build :
   ?kind:Melastic.Meb.kind ->
   ?fairness:Melastic.M_merge.fairness ->
   ?link_slots:int ->
+  ?link_overrides:(string * int) list ->
   ?probes:bool ->
   payload_width:int ->
   plan ->
@@ -83,9 +89,12 @@ val build :
 (** Elaborate the fabric: per terminal [t] a source [inj<t>] and sink
     [ej<t>] (threads = terminals, width = dest + payload), MEB chains
     of [link_slots] stages (default 1, Valid_only) on every link, and
-    one crossbar (fanout + collect) per router.  [fairness] (default
-    [Fair]) selects every router's merge policy — [Priority_a] is
-    legal but subject to the documented offer-order hazard, see
+    one crossbar (fanout + collect) per router.  [link_overrides]
+    replaces the uniform slot count on individual links, keyed by
+    {!link_names} (unknown keys and counts < 1 raise) — asymmetric
+    meshes, profile-guided sizing.  [fairness] (default [Fair])
+    selects every router's merge policy — [Priority_a] is legal but
+    subject to the documented offer-order hazard, see
     {!Melastic.Component.collect}.  With [probes], every link endpoint
     is exported: [t<t>_rx]/[t<t>_tx] around each router's terminal
     ports and [l<a>_<b>_tx]/[l<a>_<b>_rx] around each router-router
@@ -95,6 +104,7 @@ val circuit :
   ?kind:Melastic.Meb.kind ->
   ?fairness:Melastic.M_merge.fairness ->
   ?link_slots:int ->
+  ?link_overrides:(string * int) list ->
   ?probes:bool ->
   ?name:string ->
   payload_width:int ->
@@ -123,15 +133,17 @@ module Driver : sig
     ?kind:Melastic.Meb.kind ->
     ?fairness:Melastic.M_merge.fairness ->
     ?link_slots:int ->
+    ?link_overrides:(string * int) list ->
     ?monitor:bool ->
     ?payload_width:int ->
     topology ->
     t
   (** Elaborate and simulate a fabric.  [monitor] (default false)
       elaborates with probes and attaches the per-link protocol
-      monitors (one-hot, gated stability, FIFO conservation with the
-      chain capacity bound).  [payload_width] defaults to 16, max 30
-      (payloads are host ints). *)
+      monitors (one-hot, gated stability, FIFO conservation with each
+      chain's own capacity bound — per link, since [link_overrides]
+      can make slot counts differ).  [payload_width] defaults to 16,
+      max 30 (payloads are host ints). *)
 
   val plan : t -> plan
   val terminals : t -> int
@@ -161,4 +173,9 @@ module Driver : sig
       the conservation scoreboards see every token accounted for. *)
 
   val violations : t -> int
+
+  val profile : t -> Melastic.Profile.t option
+  (** Per-link channel statistics (activity, stalls, backpressure)
+      accumulated by the monitor's shared sampling pass; [None] on an
+      unmonitored fabric. *)
 end

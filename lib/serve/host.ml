@@ -27,16 +27,21 @@ type 'res event =
   | Timed_out of { id : int; tries : int }
   | Shed of { id : int; at : int }
 
+(* The per-cycle gauges live in a host-side [Melastic.Profile]: one
+   histogram per gauge, whose exact sum / max reproduce the old plain
+   counters while also giving the fleet layer queue-depth percentiles
+   for free. *)
+let gauge_busy = "busy_slots"
+let gauge_queue_depth = "queue_depth"
+
 type ('job, 'res) t = {
   classes : class_config array;
   replica : ('job, 'res) Backend_intf.replica;
   queues : 'job queued Queue.t array;
   running : 'job queued option array;
+  profile : Melastic.Profile.t;
   mutable rr_cls : int;
   mutable steps : int;
-  mutable busy_slot_cycles : int;
-  mutable qd_sum : int;
-  mutable qd_max : int;
   mutable retries : int;
 }
 
@@ -51,14 +56,13 @@ let create ?(classes = [ default_class ]) replica =
     replica;
     queues = Array.map (fun _ -> Queue.create ()) classes;
     running = Array.make replica.slots None;
+    profile = Melastic.Profile.create ();
     rr_cls = 0;
     steps = 0;
-    busy_slot_cycles = 0;
-    qd_sum = 0;
-    qd_max = 0;
     retries = 0 }
 
 let classes t = t.classes
+let profile t = t.profile
 
 let class_index t name =
   let rec go i =
@@ -205,10 +209,9 @@ let step t =
       | _ -> ())
     t.running;
   (* 4. metrics: occupancy, and the peak backlog seen this cycle *)
-  t.busy_slot_cycles <- t.busy_slot_cycles + busy_slots t;
-  let qd = max qd_at_refill (queue_depth t) in
-  t.qd_sum <- t.qd_sum + qd;
-  if qd > t.qd_max then t.qd_max <- qd;
+  Melastic.Profile.observe t.profile gauge_busy (busy_slots t);
+  Melastic.Profile.observe t.profile gauge_queue_depth
+    (max qd_at_refill (queue_depth t));
   (* 5. one cycle of the design *)
   t.replica.step ();
   t.steps <- t.steps + 1;
@@ -245,11 +248,15 @@ type metrics = {
   m_retries : int;
 }
 
+(* Derived from the profile gauges: a histogram's sum and max are
+   exact, so these are bit-identical to the former plain counters. *)
 let metrics t =
+  let busy = Melastic.Profile.gauge_hist t.profile gauge_busy in
+  let qd = Melastic.Profile.gauge_hist t.profile gauge_queue_depth in
   { m_steps = t.steps;
-    m_busy_slot_cycles = t.busy_slot_cycles;
-    m_queue_depth_sum = t.qd_sum;
-    m_queue_depth_max = t.qd_max;
+    m_busy_slot_cycles = Melastic.Histogram.sum busy;
+    m_queue_depth_sum = Melastic.Histogram.sum qd;
+    m_queue_depth_max = Melastic.Histogram.max_value qd;
     m_retries = t.retries }
 
 let finish t = t.replica.finish ()

@@ -63,6 +63,12 @@ val create :
   ?classes:class_config list -> ('job, 'res) Backend_intf.replica -> ('job, 'res) t
 
 val classes : ('job, 'res) t -> class_config array
+
+val profile : ('job, 'res) t -> Melastic.Profile.t
+(** The host's gauge profile: ["busy_slots"] and ["queue_depth"]
+    histograms, one sample per {!step}.  {!metrics} reads its exact
+    sum/max; the fleet layer reads its percentiles. *)
+
 val class_index : ('job, 'res) t -> string -> int
 (** Raises [Invalid_argument] for an unknown class name. *)
 

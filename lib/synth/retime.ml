@@ -1,0 +1,106 @@
+(* Profile-guided buffer placement: size each declared site to the
+   cheapest legal config covering its observed peak occupancy. *)
+
+module P = Melastic.Placement
+module Profile = Melastic.Profile
+
+type decision = {
+  d_site : string;
+  d_peak : int;
+  d_profiled : bool;
+  d_cfg : P.buffer_cfg;
+  d_capacity : int;
+}
+
+let capacity ~kind ~threads ~stages =
+  stages * Melastic.Meb.capacity ~kind ~threads
+
+let kind_rank = function Melastic.Meb.Reduced -> 0 | Melastic.Meb.Full -> 1
+
+(* All legal configs of a site, cheapest first: capacity is the area
+   proxy (slot registers dominate), Reduced beats Full on capacity
+   ties (lighter control logic), fewer stages break the rest. *)
+let candidates ~threads (s : P.site) =
+  let cfgs = ref [] in
+  for stages = s.P.s_min_stages to s.P.s_max_stages do
+    List.iter
+      (fun kind ->
+        let cfg = { P.kind; stages } in
+        cfgs := (capacity ~kind ~threads ~stages, cfg) :: !cfgs)
+      s.P.s_kinds
+  done;
+  List.sort
+    (fun (ca, a) (cb, b) ->
+      match compare ca cb with
+      | 0 -> (
+          match compare (kind_rank a.P.kind) (kind_rank b.P.kind) with
+          | 0 -> compare a.P.stages b.P.stages
+          | c -> c)
+      | c -> c)
+    !cfgs
+
+let decide ?(headroom = 0) ~profile ~threads sites =
+  let decisions =
+    List.map
+      (fun (s : P.site) ->
+        let cands = candidates ~threads s in
+        if cands = [] then
+          invalid_arg (Printf.sprintf "Retime.decide: site %s has no kinds" s.P.s_name);
+        let largest =
+          List.fold_left (fun acc c -> if fst c >= fst acc then c else acc)
+            (List.hd cands) cands
+        in
+        let peak, profiled =
+          match Profile.channel profile s.P.s_name with
+          | Some cs when cs.Profile.cs_occupancy <> None ->
+              (Profile.peak_occupancy cs, true)
+          | Some _ | None -> (0, false)
+        in
+        let cap, cfg =
+          if not profiled then largest
+          else
+            let need = peak + headroom in
+            match List.find_opt (fun (c, _) -> c >= need) cands with
+            | Some c -> c
+            | None -> largest
+        in
+        { d_site = s.P.s_name; d_peak = peak; d_profiled = profiled;
+          d_cfg = cfg; d_capacity = cap })
+      sites
+  in
+  let placement =
+    P.of_list (List.map (fun d -> (d.d_site, d.d_cfg)) decisions)
+  in
+  (placement, decisions)
+
+let link_slots ?(default = 1) ?(max_slots = 4) ~profile links =
+  List.map
+    (fun (chain, probe) ->
+      let slots =
+        match Profile.channel profile probe with
+        | None -> default
+        | Some cs ->
+            let cycles = Profile.cycles profile in
+            if cycles = 0 then default
+            else if cs.Profile.cs_fires = 0 then 1
+            else
+              let bp =
+                float_of_int cs.Profile.cs_backpressure_cycles
+                /. float_of_int cycles
+              in
+              if bp > 0.25 then min max_slots (default + 1) else default
+      in
+      (chain, slots))
+    links
+
+let throughput_per_le ~throughput ~les =
+  if les <= 0 then 0.0 else throughput /. float_of_int les
+
+let decisions_to_string ds =
+  String.concat "\n"
+    (List.map
+       (fun d ->
+         Printf.sprintf "%s: peak=%d%s -> %s (capacity %d)" d.d_site d.d_peak
+           (if d.d_profiled then "" else " (unprofiled)")
+           (P.cfg_to_string d.d_cfg) d.d_capacity)
+       ds)

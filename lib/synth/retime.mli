@@ -1,0 +1,63 @@
+(** Profile-guided buffer placement (the retiming pass).
+
+    Consumes a {!Melastic.Profile} captured during a workload run and
+    the {!Melastic.Placement.site} list a circuit declares, and picks
+    one {!Melastic.Placement.buffer_cfg} per site: the cheapest legal
+    configuration whose token capacity covers the observed peak
+    occupancy (plus [headroom]).  Because the pass can only touch
+    declared sites, monitor probes and protocol-bearing channels
+    (barriers, merges, branches, scoreboards) are untouchable by
+    construction.
+
+    Cost model: MEB area is dominated by its slot registers, so
+    candidates are ordered by token capacity first (Reduced = S+1
+    slots/stage, Full = 2S — Table I), preferring Reduced and fewer
+    stages on ties.  The resulting placements are scored end-to-end
+    with {!throughput_per_le} against the [fpga] STA model. *)
+
+type decision = {
+  d_site : string;
+  d_peak : int;  (** observed peak occupancy (0 when unprofiled) *)
+  d_profiled : bool;
+      (** the site's occupancy histogram was present in the profile;
+          unprofiled sites keep their largest legal config *)
+  d_cfg : Melastic.Placement.buffer_cfg;
+  d_capacity : int;  (** token capacity of the chosen config *)
+}
+
+val capacity : kind:Melastic.Meb.kind -> threads:int -> stages:int -> int
+(** Tokens a [stages]-deep chain of MEBs can hold:
+    [stages * Meb.capacity ~kind ~threads]. *)
+
+val decide :
+  ?headroom:int ->
+  profile:Melastic.Profile.t ->
+  threads:int ->
+  Melastic.Placement.site list ->
+  Melastic.Placement.t * decision list
+(** Size every site against the profile.  [headroom] (default 0) adds
+    slack tokens on top of the observed peak before the feasibility
+    check [capacity >= peak + headroom].  A site whose occupancy was
+    not captured (missing channel or no [_occupancy] export) keeps the
+    largest configuration its declaration allows.  If no legal config
+    covers the need, the largest is kept and reported. *)
+
+val link_slots :
+  ?default:int ->
+  ?max_slots:int ->
+  profile:Melastic.Profile.t ->
+  (string * string) list ->
+  (string * int) list
+(** NoC link sizing: for each [(chain_name, probe_channel)] pair, pick
+    a [link_slots] override for {!Noc}'s [link_overrides] from the
+    probe's channel statistics — a link backpressured more than 25% of
+    cycles gets [default + 1] stages (capped at [max_slots], default
+    4), a link that never fired shrinks to 1, anything else keeps
+    [default] (default 1). *)
+
+val throughput_per_le : throughput:float -> les:int -> float
+(** The pass's objective: tokens/cycle per logic element (0 if the
+    design has no LEs). *)
+
+val decisions_to_string : decision list -> string
+(** One line per site: [name: peak=p -> kind/stages (capacity c)]. *)

@@ -3,34 +3,49 @@
    report slot occupancy (the quantity the reduced MEB trades away)
    and channel activity next to the Fig. 5 schedules.
 
-   The per-cycle loop itself lives in [Hw.Sampler]; this module is one
-   of its clients (with [Schedule] and [Monitor]) and only adds the
-   summary arithmetic. *)
+   The per-cycle loop itself lives in [Hw.Sampler]; the summary
+   arithmetic now lives in [Melastic.Profile]: every watched signal
+   feeds a named profile gauge, and mean / maximum / utilization read
+   the gauge's exact sum / max / nonzero counters.  The sampler still
+   retains the full per-cycle series, which [samples] and the exact
+   small-value [histogram] report from directly. *)
 
 type t = {
   sampler : Hw.Sampler.t;
+  profile : Melastic.Profile.t;
   signals : string list;
 }
 
 (* Sample the named signals (ints) at the end of every cycle. *)
 let attach sim ~signals =
   let sampler = Hw.Sampler.attach sim in
+  let profile = Melastic.Profile.attach sampler in
   List.iter (Hw.Sampler.record sampler) signals;
-  { sampler; signals }
+  Melastic.Profile.on_sample profile (fun p ->
+      List.iter
+        (fun name ->
+          Melastic.Profile.observe p name (Hw.Sampler.value_int sampler name))
+        signals);
+  { sampler; profile; signals }
+
+let profile t = t.profile
+
+let check t name =
+  if not (List.mem name t.signals) then invalid_arg ("Stats: unknown series " ^ name)
 
 let samples t name =
-  if not (List.mem name t.signals) then invalid_arg ("Stats: unknown series " ^ name);
+  check t name;
   Hw.Sampler.series_int t.sampler name
 
-let mean t name =
-  match samples t name with
-  | [] -> 0.0
-  | l ->
-    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+let gauge t name =
+  check t name;
+  Melastic.Profile.gauge_hist t.profile name
 
-let maximum t name = List.fold_left max 0 (samples t name)
+let mean t name = Melastic.Histogram.mean (gauge t name)
+let maximum t name = Melastic.Histogram.max_value (gauge t name)
 
-(* Histogram as (value, count) pairs, ascending. *)
+(* Histogram as (value, count) pairs, ascending — exact (from the
+   retained series, not the quantized gauge buckets). *)
 let histogram t name =
   let tbl = Hashtbl.create 16 in
   List.iter
@@ -42,11 +57,10 @@ let histogram t name =
 (* Fraction of sampled cycles with a non-zero value — e.g. channel
    utilization when sampling a fire signal. *)
 let utilization t name =
-  match samples t name with
-  | [] -> 0.0
-  | l ->
-    float_of_int (List.length (List.filter (fun v -> v <> 0) l))
-    /. float_of_int (List.length l)
+  let h = gauge t name in
+  let n = Melastic.Histogram.count h in
+  if n = 0 then 0.0
+  else float_of_int (Melastic.Histogram.nonzero h) /. float_of_int n
 
 let pp_histogram fmt (t, name) =
   Format.fprintf fmt "%s: mean %.2f, max %d@." name (mean t name) (maximum t name);

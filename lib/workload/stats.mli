@@ -5,7 +5,13 @@
 type t
 
 val attach : Hw.Sim.t -> signals:string list -> t
-(** Sample each named signal (as an int) at the end of every cycle. *)
+(** Sample each named signal (as an int) at the end of every cycle.
+    Each signal also feeds a gauge of the same name in {!profile}. *)
+
+val profile : t -> Melastic.Profile.t
+(** The underlying channel profile: one gauge histogram per watched
+    signal, sharing this instrument's sampling pass.  {!mean},
+    {!maximum} and {!utilization} read its exact counters. *)
 
 val samples : t -> string -> int list
 val mean : t -> string -> float

@@ -15,6 +15,7 @@ let () =
       Test_transform.suite;
       Test_fpga.suite;
       Test_workload.suite;
+      Test_profile.suite;
       Test_parallel.suite;
       Test_monitor.suite;
       Test_serve.suite;
